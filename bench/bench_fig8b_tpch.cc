@@ -1,0 +1,88 @@
+// Reproduces Fig. 8(b): TPC-H ad-hoc query performance. Queries run per
+// engine at two scale tiers with a memory budget generous enough that most
+// engines finish (the paper times the successful queries and excludes
+// failures). Reported as total modeled cluster time relative to Xorbits,
+// over the queries every engine completed.
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "io/tpch_gen.h"
+#include "workloads/tpch_queries.h"
+
+namespace xorbits::bench {
+namespace {
+
+// PySpark API failures as in Table I (see bench_table1_2_failures).
+bool SparkApiFails(int q) { return q == 13 || q == 21 || q == 22; }
+
+void RunTier(const char* label, double sf) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       (std::string("xorbits_f8b_") + label))
+          .string();
+  Status gen = io::tpch::GenerateFiles(sf, dir);
+  if (!gen.ok()) {
+    std::printf("generator failed: %s\n", gen.ToString().c_str());
+    return;
+  }
+  std::map<EngineKind, std::map<int, double>> sim;
+  std::map<EngineKind, int> ok_count;
+  for (EngineKind kind : AllEngines()) {
+    for (int q = 1; q <= 22; ++q) {
+      if (kind == EngineKind::kSparkLike && SparkApiFails(q)) continue;
+      RunStats stats = TimedRun(
+          BenchConfig(kind, 2, 2, /*band_mb=*/64, /*chunk_kb=*/1024,
+                      /*deadline_ms=*/120000),
+          [&](core::Session* s) {
+            return workloads::tpch::RunQuery(q, s, dir).status();
+          });
+      if (stats.status.ok()) {
+        sim[kind][q] = stats.sim_s;
+        ok_count[kind]++;
+      }
+    }
+  }
+  // Queries completed by every engine.
+  std::vector<int> common;
+  for (int q = 1; q <= 22; ++q) {
+    bool all = true;
+    for (EngineKind kind : AllEngines()) {
+      if (!sim[kind].count(q)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) common.push_back(q);
+  }
+  PrintHeader((std::string("Fig. 8(b) at ") + label).c_str());
+  std::printf("common successful queries: %zu of 22\n", common.size());
+  std::printf("%-10s %-10s %-14s %-10s\n", "engine", "ok", "total_sim_s",
+              "relative");
+  double xorbits_total = 0;
+  for (int q : common) xorbits_total += sim[EngineKind::kXorbits][q];
+  for (EngineKind kind : AllEngines()) {
+    double total = 0;
+    for (int q : common) total += sim[kind][q];
+    std::printf("%-10s %-10d %-14.3f %-10.2f\n", EngineKindName(kind),
+                ok_count[kind], total,
+                xorbits_total > 0 ? total / xorbits_total : 0.0);
+  }
+  std::printf("(relative time vs xorbits = 1.0; paper: xorbits fastest, "
+              "pyspark closest competitor, dask/modin slower or failing)\n");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace xorbits::bench
+
+int main() {
+  xorbits::bench::PrintEngineTable();
+  xorbits::bench::RunTier("SF100", 0.02);
+  xorbits::bench::RunTier("SF1000", 0.05);
+  return 0;
+}

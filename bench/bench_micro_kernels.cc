@@ -1,0 +1,179 @@
+// google-benchmark microbenchmarks of the kernels that back the paper-level
+// results: groupby aggregation, hash join, sort, fused vs. unfused
+// elementwise evaluation, TSQR blocks, chunk serialization, the coloring
+// algorithm, and storage put/get.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "dataframe/groupby.h"
+#include "dataframe/join.h"
+#include "dataframe/kernels.h"
+#include "graph/coloring.h"
+#include "io/serialize.h"
+#include "io/tpch_gen.h"
+#include "operators/expr.h"
+#include "services/storage_service.h"
+#include "tensor/ndarray.h"
+
+namespace {
+
+using namespace xorbits;  // NOLINT
+using dataframe::AggFunc;
+using dataframe::Column;
+using dataframe::DataFrame;
+
+DataFrame MakeFrame(int64_t n, int64_t cardinality) {
+  Rng rng(7);
+  std::vector<int64_t> k(n), v(n);
+  std::vector<double> x(n);
+  for (int64_t i = 0; i < n; ++i) {
+    k[i] = rng.UniformInt(0, cardinality - 1);
+    v[i] = i;
+    x[i] = rng.Uniform();
+  }
+  return DataFrame::Make({"k", "v", "x"},
+                         {Column::Int64(k), Column::Int64(v),
+                          Column::Float64(x)})
+      .MoveValue();
+}
+
+void BM_GroupByAgg(benchmark::State& state) {
+  DataFrame df = MakeFrame(state.range(0), state.range(1));
+  for (auto _ : state) {
+    auto r = dataframe::GroupByAgg(df, {"k"},
+                                   {{"v", AggFunc::kSum, "s"},
+                                    {"x", AggFunc::kMean, "m"}});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByAgg)->Args({100000, 100})->Args({100000, 50000});
+
+void BM_HashJoin(benchmark::State& state) {
+  DataFrame left = MakeFrame(state.range(0), 1000);
+  DataFrame right = MakeFrame(1000, 1000);
+  dataframe::MergeOptions opts;
+  opts.on = {"k"};
+  for (auto _ : state) {
+    auto r = dataframe::Merge(left, right, opts);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashJoin)->Arg(100000);
+
+void BM_SortValues(benchmark::State& state) {
+  DataFrame df = MakeFrame(state.range(0), 10000);
+  for (auto _ : state) {
+    auto r = dataframe::SortValues(df, {"k", "v"});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortValues)->Arg(100000);
+
+void BM_EvalFused(benchmark::State& state) {
+  using namespace operators;  // NOLINT
+  DataFrame df = MakeFrame(state.range(0), 1000);
+  // (x * 2 + 1) compared in one pass — the fused elementwise kernel.
+  ExprPtr expr = CompareExpr(
+      BinaryExpr(BinaryExpr(Col("x"), dataframe::BinOp::kMul, Lit(2.0)),
+                 dataframe::BinOp::kAdd, Lit(1.0)),
+      dataframe::CmpOp::kGt, Lit(1.7));
+  for (auto _ : state) {
+    auto r = EvalExpr(df, *expr);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EvalFused)->Arg(100000);
+
+void BM_EvalUnfused(benchmark::State& state) {
+  // Same computation with materialized intermediates (what operator-level
+  // fusion removes).
+  DataFrame df = MakeFrame(state.range(0), 1000);
+  for (auto _ : state) {
+    auto t1 = dataframe::BinaryOpScalar(*df.GetColumn("x").ValueOrDie(),
+                                        dataframe::Scalar::Float(2.0),
+                                        dataframe::BinOp::kMul);
+    auto t2 = dataframe::BinaryOpScalar(*t1, dataframe::Scalar::Float(1.0),
+                                        dataframe::BinOp::kAdd);
+    auto r = dataframe::CompareScalar(*t2, dataframe::Scalar::Float(1.7),
+                                      dataframe::CmpOp::kGt);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EvalUnfused)->Arg(100000);
+
+void BM_QRBlock(benchmark::State& state) {
+  Rng rng(3);
+  tensor::NDArray a =
+      tensor::NDArray::RandomNormal({state.range(0), 32}, rng);
+  for (auto _ : state) {
+    tensor::NDArray q, r;
+    auto st = tensor::QRDecompose(a, &q, &r);
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QRBlock)->Arg(4096);
+
+void BM_SerializeChunk(benchmark::State& state) {
+  auto chunk = services::MakeChunk(MakeFrame(state.range(0), 1000));
+  for (auto _ : state) {
+    auto buf = services::SerializeChunk(*chunk);
+    auto back = services::DeserializeChunk(*buf);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(state.iterations() * chunk->nbytes());
+}
+BENCHMARK(BM_SerializeChunk)->Arg(50000);
+
+void BM_ColoringFusion(benchmark::State& state) {
+  // Layered DAG: w nodes per layer, each feeding the next layer.
+  const int layers = 20, width = static_cast<int>(state.range(0));
+  std::vector<std::vector<int>> succ(layers * width);
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int i = 0; i < width; ++i) {
+      succ[l * width + i].push_back((l + 1) * width + i);
+    }
+  }
+  for (auto _ : state) {
+    auto colors = graph::ColorForFusion(succ);
+    benchmark::DoNotOptimize(colors);
+  }
+  state.SetItemsProcessed(state.iterations() * layers * width);
+}
+BENCHMARK(BM_ColoringFusion)->Arg(64);
+
+void BM_StoragePutGet(benchmark::State& state) {
+  Config config;
+  config.num_workers = 1;
+  config.bands_per_worker = 2;
+  config.band_memory_limit = 1LL << 30;
+  Metrics metrics;
+  services::StorageService store(config, &metrics);
+  auto chunk = services::MakeChunk(MakeFrame(10000, 100));
+  int64_t i = 0;
+  for (auto _ : state) {
+    std::string key = "k" + std::to_string(i++);
+    benchmark::DoNotOptimize(store.Put(key, chunk, 0));
+    benchmark::DoNotOptimize(store.Get(key, 1));
+    benchmark::DoNotOptimize(store.Delete(key));
+  }
+}
+BENCHMARK(BM_StoragePutGet);
+
+void BM_TpchGen(benchmark::State& state) {
+  for (auto _ : state) {
+    auto t = io::tpch::Generate(0.001);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_TpchGen);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+#ifndef XORBITS_BENCH_BENCH_UTIL_H_
+#define XORBITS_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+
+namespace xorbits::bench {
+
+/// Engines compared throughout the evaluation (paper Table IV).
+inline std::vector<EngineKind> AllEngines() {
+  return {EngineKind::kPandasLike, EngineKind::kSparkLike,
+          EngineKind::kDaskLike, EngineKind::kModinLike,
+          EngineKind::kXorbits};
+}
+
+/// Simulated-cluster config for benches. Band budgets and chunk limits are
+/// scaled to laptop-size data; the data-to-memory *ratio* tracks the
+/// paper's testbed regime (see DESIGN.md §1).
+inline Config BenchConfig(EngineKind kind, int workers, int bands_per_worker,
+                          int64_t band_mb, int64_t chunk_kb,
+                          int64_t deadline_ms) {
+  Config c = Config::Preset(kind);
+  if (kind != EngineKind::kPandasLike) {
+    c.num_workers = workers;
+    c.bands_per_worker = bands_per_worker;
+  }
+  c.band_memory_limit = band_mb << 20;
+  c.chunk_store_limit = chunk_kb << 10;
+  c.task_deadline_ms = deadline_ms;
+  c.spill_dir = "/tmp/xorbits_bench_spill_" +
+                std::string(EngineKindName(kind));
+  return c;
+}
+
+struct RunStats {
+  Status status = Status::OK();
+  double wall_s = 0;
+  double sim_s = 0;  // modeled cluster time (makespan; see Metrics)
+  int64_t transfer_bytes = 0;
+  int64_t spill_bytes = 0;
+  int64_t oom_events = 0;
+  int64_t subtasks = 0;
+  int64_t yields = 0;
+};
+
+/// Runs `body` inside a fresh session and snapshots timing + metrics.
+inline RunStats TimedRun(Config config,
+                         const std::function<Status(core::Session*)>& body) {
+  core::Session session(std::move(config));
+  RunStats stats;
+  auto t0 = std::chrono::steady_clock::now();
+  stats.status = body(&session);
+  auto t1 = std::chrono::steady_clock::now();
+  stats.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  Metrics& m = session.metrics();
+  stats.sim_s = static_cast<double>(m.simulated_us.load()) / 1e6;
+  stats.transfer_bytes = m.bytes_transferred.load();
+  stats.spill_bytes = m.bytes_spilled.load();
+  stats.oom_events = m.oom_events.load();
+  stats.subtasks = m.subtasks_executed.load();
+  stats.yields = m.dynamic_yields.load();
+  return stats;
+}
+
+/// Failure classification used by Tables I/II.
+inline const char* Classify(const Status& s) {
+  if (s.ok()) return "ok";
+  switch (s.code()) {
+    case StatusCode::kNotImplemented: return "api";
+    case StatusCode::kTimeout: return "hang";
+    case StatusCode::kOutOfMemory: return "oom";
+    default: return "error";
+  }
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+/// Prints the engine-configuration overview (the Table IV analogue: which
+/// policy stack each emulated engine runs).
+inline void PrintEngineTable() {
+  PrintHeader("Engine configurations (Table IV analogue)");
+  std::printf("%-10s %-8s %-12s %-10s %-8s %-6s\n", "engine", "dynamic",
+              "reduce", "graphfuse", "opfuse", "spill");
+  for (EngineKind kind : AllEngines()) {
+    Config c = Config::Preset(kind);
+    const char* reduce = c.reduce_policy == ReducePolicy::kAuto ? "auto"
+                         : c.reduce_policy == ReducePolicy::kTree ? "tree"
+                                                                  : "shuffle";
+    std::printf("%-10s %-8s %-12s %-10s %-8s %-6s\n", EngineKindName(kind),
+                c.dynamic_tiling ? "yes" : "no", reduce,
+                c.graph_fusion ? "yes" : "no", c.op_fusion ? "yes" : "no",
+                c.enable_spill ? "yes" : "no");
+  }
+}
+
+}  // namespace xorbits::bench
+
+#endif  // XORBITS_BENCH_BENCH_UTIL_H_

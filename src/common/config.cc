@@ -1,0 +1,70 @@
+#include "common/config.h"
+
+namespace xorbits {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kXorbits: return "xorbits";
+    case EngineKind::kPandasLike: return "pandas";
+    case EngineKind::kDaskLike: return "dask";
+    case EngineKind::kModinLike: return "modin";
+    case EngineKind::kSparkLike: return "pyspark";
+  }
+  return "?";
+}
+
+Config Config::Preset(EngineKind kind) {
+  Config c;
+  c.engine = kind;
+  switch (kind) {
+    case EngineKind::kXorbits:
+      // The full system; the storage service spills cold chunks to disk
+      // (paper §V-C memory->disk StorageLevels).
+      c.enable_spill = true;
+      break;
+    case EngineKind::kPandasLike:
+      // Single-threaded, single in-memory space, no tiling, no optimizer.
+      c.num_workers = 1;
+      c.bands_per_worker = 1;
+      c.dynamic_tiling = false;
+      c.graph_fusion = false;
+      c.op_fusion = false;
+      c.column_pruning = false;
+      c.reduce_policy = ReducePolicy::kTree;
+      c.numa_aware = false;
+      break;
+    case EngineKind::kDaskLike:
+      // Static task graphs built ahead of execution; tree-reduce default
+      // aggregations; no runtime metadata.
+      c.dynamic_tiling = false;
+      c.op_fusion = false;
+      c.reduce_policy = ReducePolicy::kTree;
+      c.enable_spill = true;  // Dask workers spill to disk
+      c.numa_aware = false;
+      break;
+    case EngineKind::kModinLike:
+      // Static row partitioning decided from the initial source size; no
+      // spill management (Ray workers die on memory pressure). Modin's
+      // query compiler fuses per-partition pipelines, so graph-level
+      // fusion stays on.
+      c.dynamic_tiling = false;
+      c.op_fusion = false;
+      c.column_pruning = false;
+      c.reduce_policy = ReducePolicy::kShuffle;
+      c.enable_spill = false;
+      c.numa_aware = false;
+      break;
+    case EngineKind::kSparkLike:
+      // Static physical plans with size-rule shuffles; whole-stage fusion is
+      // comparable to graph fusion, so keep it on; spill supported.
+      c.dynamic_tiling = false;
+      c.op_fusion = false;
+      c.reduce_policy = ReducePolicy::kShuffle;
+      c.enable_spill = true;
+      c.numa_aware = false;
+      break;
+  }
+  return c;
+}
+
+}  // namespace xorbits

@@ -1,0 +1,47 @@
+#ifndef XORBITS_COMMON_LOGGING_H_
+#define XORBITS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace xorbits {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level emitted to stderr (default kWarn so tests and
+/// benches stay quiet unless something is wrong).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (thread-safely) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define XORBITS_LOG(level)                                            \
+  ::xorbits::internal::LogMessage(::xorbits::LogLevel::k##level,      \
+                                  __FILE__, __LINE__)
+
+}  // namespace xorbits
+
+#endif  // XORBITS_COMMON_LOGGING_H_

@@ -1,0 +1,21 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace xorbits {
+
+std::string Metrics::ToString() const {
+  std::ostringstream os;
+  os << "subtasks=" << subtasks_executed.load()
+     << " failed=" << subtasks_failed.load()
+     << " stored_bytes=" << bytes_stored.load()
+     << " transfer_bytes=" << bytes_transferred.load()
+     << " spill_bytes=" << bytes_spilled.load()
+     << " oom=" << oom_events.load()
+     << " peak_band_bytes=" << peak_band_bytes.load()
+     << " yields=" << dynamic_yields.load()
+     << " fused_subtasks=" << fused_subtasks.load();
+  return os.str();
+}
+
+}  // namespace xorbits

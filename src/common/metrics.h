@@ -1,0 +1,63 @@
+#ifndef XORBITS_COMMON_METRICS_H_
+#define XORBITS_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace xorbits {
+
+/// Counters collected during a run. One instance is owned by each simulated
+/// cluster; benches read these to report transfer/spill/OOM behaviour
+/// alongside wall-clock time.
+struct Metrics {
+  std::atomic<int64_t> subtasks_executed{0};
+  std::atomic<int64_t> subtasks_failed{0};
+  std::atomic<int64_t> chunks_stored{0};
+  std::atomic<int64_t> bytes_stored{0};
+  std::atomic<int64_t> bytes_transferred{0};  // cross-band chunk reads
+  std::atomic<int64_t> bytes_spilled{0};
+  std::atomic<int64_t> spill_events{0};
+  std::atomic<int64_t> oom_events{0};
+  std::atomic<int64_t> peak_band_bytes{0};
+  std::atomic<int64_t> dynamic_yields{0};   // tile()->execution switches
+  /// Modeled cluster time: sum of schedule makespans over all executed
+  /// subtask graphs, from per-subtask thread-CPU cost + transfer penalties
+  /// with one serial slot per band. This is what benches report — on a
+  /// single-core host, wall-clock cannot show parallelism or skew effects.
+  std::atomic<int64_t> simulated_us{0};
+  std::atomic<int64_t> fused_subtasks{0};
+  std::atomic<int64_t> op_fusion_hits{0};
+  std::atomic<int64_t> pruned_columns{0};
+
+  void Reset() {
+    subtasks_executed = 0;
+    subtasks_failed = 0;
+    chunks_stored = 0;
+    bytes_stored = 0;
+    bytes_transferred = 0;
+    bytes_spilled = 0;
+    spill_events = 0;
+    oom_events = 0;
+    peak_band_bytes = 0;
+    dynamic_yields = 0;
+    simulated_us = 0;
+    fused_subtasks = 0;
+    op_fusion_hits = 0;
+    pruned_columns = 0;
+  }
+
+  /// Atomically raises `peak_band_bytes` to at least `value`.
+  void UpdatePeak(int64_t value) {
+    int64_t prev = peak_band_bytes.load();
+    while (value > prev &&
+           !peak_band_bytes.compare_exchange_weak(prev, value)) {
+    }
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace xorbits
+
+#endif  // XORBITS_COMMON_METRICS_H_

@@ -1,0 +1,28 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace xorbits {
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  if (n <= 1) return 0;
+  // Inverse-CDF sampling over a truncated power law. Accurate enough for
+  // generating skewed join keys; not intended as an exact Zipf sampler.
+  double u = Uniform(1e-12, 1.0);
+  double x = std::pow(u, 1.0 / (1.0 - s));  // heavy head at x == 1
+  int64_t v = static_cast<int64_t>(x) - 1;
+  if (v < 0) v = 0;
+  if (v >= n) v = n - 1;
+  return v;
+}
+
+std::string Rng::String(int len) {
+  std::string s;
+  s.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('a' + UniformInt(0, 25)));
+  }
+  return s;
+}
+
+}  // namespace xorbits

@@ -1,0 +1,40 @@
+#ifndef XORBITS_COMMON_RANDOM_H_
+#define XORBITS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace xorbits {
+
+/// Deterministic RNG used by data generators and random tensors so that every
+/// test and bench is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+  int64_t UniformInt(int64_t lo, int64_t hi) {  // inclusive bounds
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+  /// Zipf-like skewed draw over [0, n): probability of 0 dominates with
+  /// exponent `s`. Used by the skewed-merge workloads.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Random lowercase ASCII string of the given length.
+  std::string String(int len);
+
+  std::mt19937_64& gen() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace xorbits
+
+#endif  // XORBITS_COMMON_RANDOM_H_

@@ -1,0 +1,74 @@
+#ifndef XORBITS_COMMON_RESULT_H_
+#define XORBITS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace xorbits {
+
+/// Value-or-error container, mirroring arrow::Result. A `Result<T>` holds
+/// either a valid `T` or a non-OK `Status` explaining why it is absent.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result; `status` must be non-OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok());
+  }
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Moves the value out; only valid when ok().
+  T MoveValue() {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Evaluates an expression returning Result<T>; on error returns the status,
+/// otherwise assigns the value to `lhs` (which may be a declaration).
+#define XORBITS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).MoveValue()
+
+#define XORBITS_ASSIGN_OR_RETURN(lhs, expr) \
+  XORBITS_ASSIGN_OR_RETURN_IMPL(            \
+      XORBITS_CONCAT(_result_tmp_, __COUNTER__), lhs, expr)
+
+}  // namespace xorbits
+
+#endif  // XORBITS_COMMON_RESULT_H_

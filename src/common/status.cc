@@ -1,0 +1,22 @@
+#include "common/status.h"
+
+namespace xorbits {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalid: return "Invalid";
+    case StatusCode::kKeyError: return "KeyError";
+    case StatusCode::kTypeError: return "TypeError";
+    case StatusCode::kIndexError: return "IndexError";
+    case StatusCode::kNotImplemented: return "NotImplemented";
+    case StatusCode::kOutOfMemory: return "OutOfMemory";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kTimeout: return "Timeout";
+    case StatusCode::kExecutionError: return "ExecutionError";
+    case StatusCode::kCancelled: return "Cancelled";
+  }
+  return "Unknown";
+}
+
+}  // namespace xorbits

@@ -1,0 +1,115 @@
+#ifndef XORBITS_COMMON_STATUS_H_
+#define XORBITS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace xorbits {
+
+/// Error categories used across the engine. The scheduler and the failure
+/// benches classify run outcomes by these codes (e.g. Table II of the paper
+/// groups failures into API-compatibility, hang and OOM buckets).
+enum class StatusCode {
+  kOk = 0,
+  kInvalid,          // malformed arguments or inconsistent state
+  kKeyError,         // missing column / storage key / meta entry
+  kTypeError,        // dtype mismatch
+  kIndexError,       // out-of-bounds positional access
+  kNotImplemented,   // API exists but unsupported by this engine config
+  kOutOfMemory,      // a band exceeded its memory budget
+  kIOError,          // file / (simulated) network failure
+  kTimeout,          // scheduler deadline exceeded ("hang")
+  kExecutionError,   // a subtask failed during execution
+  kCancelled,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// Arrow-style status object. Functions that can fail return `Status` (or
+/// `Result<T>`); exceptions never cross library boundaries.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalid, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status IndexError(std::string msg) {
+    return Status(StatusCode::kIndexError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsNotImplemented() const { return code_ == StatusCode::kNotImplemented; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!msg_.empty()) {
+      s += ": ";
+      s += msg_;
+    }
+    return s;
+  }
+
+  /// Adds context to a non-OK status message (no-op on OK).
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code_, context + ": " + msg_);
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define XORBITS_RETURN_NOT_OK(expr)              \
+  do {                                           \
+    ::xorbits::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#define XORBITS_CONCAT_IMPL(a, b) a##b
+#define XORBITS_CONCAT(a, b) XORBITS_CONCAT_IMPL(a, b)
+
+}  // namespace xorbits
+
+#endif  // XORBITS_COMMON_STATUS_H_

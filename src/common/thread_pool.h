@@ -1,0 +1,45 @@
+#ifndef XORBITS_COMMON_THREAD_POOL_H_
+#define XORBITS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xorbits {
+
+/// Fixed-size worker pool. Workers in the simulated cluster submit subtask
+/// bodies here; `WaitIdle` blocks until every submitted task has finished.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` for execution on some pool thread.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until the queue is empty and no task is running.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;       // wakes workers
+  std::condition_variable idle_cv_;  // wakes WaitIdle
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace xorbits
+
+#endif  // XORBITS_COMMON_THREAD_POOL_H_

@@ -1,0 +1,69 @@
+#include "core/session.h"
+
+#include "dataframe/kernels.h"
+#include "optimizer/column_pruning.h"
+#include "tensor/ndarray.h"
+
+namespace xorbits::core {
+
+Session::Session(Config config)
+    : config_(std::move(config)),
+      storage_(std::make_unique<services::StorageService>(config_,
+                                                          &metrics_)),
+      driver_(std::make_unique<tiling::TilingDriver>(
+          config_, &metrics_, storage_.get(), &meta_, &chunk_graph_)) {}
+
+Session::~Session() = default;
+
+graph::TileableNode* Session::AddTileable(
+    std::shared_ptr<graph::OperatorBase> op,
+    std::vector<graph::TileableNode*> inputs,
+    std::vector<std::string> columns, int output_index) {
+  graph::TileableNode* node =
+      tileable_graph_.AddNode(std::move(op), std::move(inputs), output_index);
+  node->columns = std::move(columns);
+  return node;
+}
+
+Status Session::Materialize(
+    const std::vector<graph::TileableNode*>& sinks) {
+  std::vector<graph::TileableNode*> topo = tileable_graph_.TopologicalOrder();
+  if (config_.column_pruning) {
+    optimizer::PruneColumns(topo, sinks);
+  }
+  return driver_->TileAndRun(topo, sinks);
+}
+
+Result<dataframe::DataFrame> Session::FetchDataFrame(
+    graph::TileableNode* node) {
+  // Materialize is incremental (tiled nodes and executed chunks are
+  // skipped), so always run it: a tiled multi-output sibling may still have
+  // unexecuted chunks.
+  XORBITS_RETURN_NOT_OK(Materialize({node}));
+  XORBITS_ASSIGN_OR_RETURN(auto chunks, driver_->FetchChunks(node));
+  std::vector<const dataframe::DataFrame*> pieces;
+  for (const auto& c : chunks) {
+    XORBITS_ASSIGN_OR_RETURN(const dataframe::DataFrame* df,
+                             services::AsDataFrame(c));
+    pieces.push_back(df);
+  }
+  if (pieces.empty()) return dataframe::DataFrame();
+  if (pieces.size() == 1) return *pieces[0];
+  return dataframe::Concat(pieces);
+}
+
+Result<tensor::NDArray> Session::FetchTensor(graph::TileableNode* node) {
+  XORBITS_RETURN_NOT_OK(Materialize({node}));
+  XORBITS_ASSIGN_OR_RETURN(auto chunks, driver_->FetchChunks(node));
+  std::vector<const tensor::NDArray*> pieces;
+  for (const auto& c : chunks) {
+    XORBITS_ASSIGN_OR_RETURN(const tensor::NDArray* a,
+                             services::AsNDArray(c));
+    pieces.push_back(a);
+  }
+  if (pieces.empty()) return tensor::NDArray();
+  if (pieces.size() == 1) return *pieces[0];
+  return tensor::VStack(pieces);
+}
+
+}  // namespace xorbits::core

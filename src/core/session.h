@@ -1,0 +1,61 @@
+#ifndef XORBITS_CORE_SESSION_H_
+#define XORBITS_CORE_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/metrics.h"
+#include "graph/graph.h"
+#include "services/meta_service.h"
+#include "services/storage_service.h"
+#include "tiling/tiling_driver.h"
+
+namespace xorbits::core {
+
+/// One Xorbits runtime: the simulated cluster (bands + storage), the meta
+/// service, the growing tileable/chunk graphs, and the tiling driver. The
+/// paper's session service keeps exactly this state per client session.
+class Session {
+ public:
+  explicit Session(Config config);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const Config& config() const { return config_; }
+  Metrics& metrics() { return metrics_; }
+  graph::TileableGraph& tileable_graph() { return tileable_graph_; }
+  services::StorageService& storage() { return *storage_; }
+  services::MetaService& meta() { return meta_; }
+
+  /// Adds a tileable node for `op` (the API layer's __call__ step).
+  graph::TileableNode* AddTileable(
+      std::shared_ptr<graph::OperatorBase> op,
+      std::vector<graph::TileableNode*> inputs,
+      std::vector<std::string> columns, int output_index = 0);
+
+  /// Deferred evaluation trigger: tiles and executes whatever `sinks` need
+  /// (no-op for parts already materialized).
+  Status Materialize(const std::vector<graph::TileableNode*>& sinks);
+
+  /// Fetches a materialized dataframe tileable (chunks concatenated).
+  Result<dataframe::DataFrame> FetchDataFrame(graph::TileableNode* node);
+  /// Fetches a materialized tensor tileable (row-chunk stacked).
+  Result<tensor::NDArray> FetchTensor(graph::TileableNode* node);
+
+ private:
+  Config config_;
+  Metrics metrics_;
+  std::unique_ptr<services::StorageService> storage_;
+  services::MetaService meta_;
+  graph::TileableGraph tileable_graph_;
+  graph::ChunkGraph chunk_graph_;
+  std::unique_ptr<tiling::TilingDriver> driver_;
+};
+
+}  // namespace xorbits::core
+
+#endif  // XORBITS_CORE_SESSION_H_

@@ -1,0 +1,577 @@
+#include "core/xorbits.h"
+
+#include <algorithm>
+#include <set>
+
+#include "io/csv.h"
+#include "io/xparquet.h"
+#include "operators/dataframe_ops.h"
+#include "operators/groupby_op.h"
+#include "operators/merge_op.h"
+#include "operators/source_ops.h"
+#include "operators/tensor_ops.h"
+#include "operators/window_ops.h"
+#include "io/csv.h"
+
+namespace xorbits {
+
+using dataframe::AggSpec;
+using dataframe::MergeOptions;
+using graph::TileableNode;
+using operators::Assignment;
+using operators::ExprPtr;
+
+namespace {
+
+Status CheckValid(const DataFrameRef& ref) {
+  if (!ref.valid()) return Status::Invalid("operation on invalid dataframe");
+  return Status::OK();
+}
+
+Status CheckColumns(const DataFrameRef& ref,
+                    const std::vector<std::string>& names) {
+  for (const auto& n : names) {
+    if (!ref.HasColumn(n)) {
+      return Status::KeyError("no column named '" + n + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckExprColumns(const DataFrameRef& ref, const operators::Expr& e) {
+  std::set<std::string> used;
+  e.CollectColumns(&used);
+  return CheckColumns(ref, {used.begin(), used.end()});
+}
+
+}  // namespace
+
+bool DataFrameRef::HasColumn(const std::string& name) const {
+  for (const auto& c : node_->columns) {
+    if (c == name) return true;
+  }
+  return false;
+}
+
+Result<DataFrameRef> DataFrameRef::Assign(const std::string& name,
+                                          ExprPtr expr) const {
+  return WithColumns({{name, std::move(expr)}});
+}
+
+Result<DataFrameRef> DataFrameRef::WithColumns(
+    const std::vector<std::pair<std::string, ExprPtr>>& cols) const {
+  XORBITS_RETURN_NOT_OK(CheckValid(*this));
+  std::vector<Assignment> assignments;
+  std::vector<std::string> out_columns = node_->columns;
+  for (const auto& [name, expr] : cols) {
+    XORBITS_RETURN_NOT_OK(CheckExprColumns(*this, *expr));
+    assignments.push_back({name, expr});
+    if (std::find(out_columns.begin(), out_columns.end(), name) ==
+        out_columns.end()) {
+      out_columns.push_back(name);
+    }
+  }
+  auto op = std::make_shared<operators::EvalOp>(std::move(assignments),
+                                                nullptr,
+                                                std::vector<std::string>{});
+  TileableNode* node =
+      session_->AddTileable(std::move(op), {node_}, std::move(out_columns));
+  return DataFrameRef(session_, node);
+}
+
+Result<DataFrameRef> DataFrameRef::Filter(ExprPtr predicate) const {
+  XORBITS_RETURN_NOT_OK(CheckValid(*this));
+  XORBITS_RETURN_NOT_OK(CheckExprColumns(*this, *predicate));
+  auto op = std::make_shared<operators::EvalOp>(
+      std::vector<Assignment>{}, std::move(predicate),
+      std::vector<std::string>{});
+  TileableNode* node =
+      session_->AddTileable(std::move(op), {node_}, node_->columns);
+  return DataFrameRef(session_, node);
+}
+
+Result<DataFrameRef> DataFrameRef::Select(
+    const std::vector<std::string>& cols) const {
+  XORBITS_RETURN_NOT_OK(CheckValid(*this));
+  XORBITS_RETURN_NOT_OK(CheckColumns(*this, cols));
+  auto op = std::make_shared<operators::EvalOp>(std::vector<Assignment>{},
+                                                nullptr, cols);
+  TileableNode* node = session_->AddTileable(std::move(op), {node_}, cols);
+  return DataFrameRef(session_, node);
+}
+
+Result<DataFrameRef> DataFrameRef::Rename(
+    const std::map<std::string, std::string>& mapping) const {
+  XORBITS_RETURN_NOT_OK(CheckValid(*this));
+  std::vector<Assignment> assignments;
+  std::vector<std::string> out_columns;
+  for (const auto& c : node_->columns) {
+    auto it = mapping.find(c);
+    if (it != mapping.end()) {
+      assignments.push_back({it->second, operators::Col(c)});
+      out_columns.push_back(it->second);
+    } else {
+      out_columns.push_back(c);
+    }
+  }
+  auto op = std::make_shared<operators::EvalOp>(std::move(assignments),
+                                                nullptr, out_columns);
+  TileableNode* node =
+      session_->AddTileable(std::move(op), {node_}, out_columns);
+  return DataFrameRef(session_, node);
+}
+
+Result<DataFrameRef> DataFrameRef::GroupByAgg(
+    const std::vector<std::string>& keys,
+    const std::vector<AggSpec>& specs) const {
+  XORBITS_RETURN_NOT_OK(CheckValid(*this));
+  XORBITS_RETURN_NOT_OK(CheckColumns(*this, keys));
+  std::vector<std::string> out_columns = keys;
+  for (const auto& s : specs) {
+    if (!s.input.empty()) {
+      XORBITS_RETURN_NOT_OK(CheckColumns(*this, {s.input}));
+    }
+    out_columns.push_back(s.output);
+  }
+  if (session_->config().strict_api_emulation &&
+      (session_->config().engine == EngineKind::kDaskLike ||
+       session_->config().engine == EngineKind::kSparkLike)) {
+    for (const auto& s : specs) {
+      if (s.func == dataframe::AggFunc::kMedian) {
+        return Status::NotImplemented(
+            "exact groupby.median unsupported (approximate only)");
+      }
+    }
+  }
+  auto op = std::make_shared<operators::GroupByAggOp>(keys, specs);
+  TileableNode* node =
+      session_->AddTileable(std::move(op), {node_}, std::move(out_columns));
+  return DataFrameRef(session_, node);
+}
+
+Result<DataFrameRef> DataFrameRef::Merge(const DataFrameRef& right,
+                                         const MergeOptions& options) const {
+  XORBITS_RETURN_NOT_OK(CheckValid(*this));
+  XORBITS_RETURN_NOT_OK(CheckValid(right));
+  const bool same_names =
+      options.left_on.empty() && options.right_on.empty();
+  const auto& lkeys = same_names ? options.on : options.left_on;
+  const auto& rkeys = same_names ? options.on : options.right_on;
+  if (lkeys.empty() || lkeys.size() != rkeys.size()) {
+    return Status::Invalid("merge: bad key specification");
+  }
+  XORBITS_RETURN_NOT_OK(CheckColumns(*this, lkeys));
+  XORBITS_RETURN_NOT_OK(CheckColumns(right, rkeys));
+
+  auto is_key = [](const std::vector<std::string>& keys,
+                   const std::string& name) {
+    return std::find(keys.begin(), keys.end(), name) != keys.end();
+  };
+  // Output schema mirrors dataframe::Merge exactly.
+  std::vector<std::string> out_columns;
+  for (const auto& name : node_->columns) {
+    std::string out_name = name;
+    if (!(same_names && is_key(lkeys, name)) && right.HasColumn(name) &&
+        !(same_names && is_key(rkeys, name))) {
+      out_name = name + options.suffix_left;
+    }
+    out_columns.push_back(out_name);
+  }
+  for (const auto& name : right.columns()) {
+    if (same_names && is_key(rkeys, name)) continue;
+    std::string out_name = name;
+    if (HasColumn(name) && !(same_names && is_key(lkeys, name))) {
+      out_name = name + options.suffix_right;
+    }
+    out_columns.push_back(out_name);
+  }
+  // Distributed merges produce partition-ordered output; sort=True needs a
+  // global sort over the (left-named) join keys afterwards.
+  dataframe::MergeOptions merge_opts = options;
+  const bool sort_after = merge_opts.sort;
+  merge_opts.sort = false;
+  auto op = std::make_shared<operators::MergeOp>(merge_opts);
+  TileableNode* node = session_->AddTileable(
+      std::move(op), {node_, right.node()}, std::move(out_columns));
+  DataFrameRef merged(session_, node);
+  if (!sort_after) return merged;
+  std::vector<std::string> sort_keys;
+  for (const auto& k : lkeys) {
+    sort_keys.push_back(merged.HasColumn(k) ? k : k + options.suffix_left);
+  }
+  return merged.SortValues(sort_keys);
+}
+
+Result<DataFrameRef> DataFrameRef::SortValues(
+    const std::vector<std::string>& by,
+    const std::vector<bool>& ascending) const {
+  XORBITS_RETURN_NOT_OK(CheckValid(*this));
+  XORBITS_RETURN_NOT_OK(CheckColumns(*this, by));
+  auto op = std::make_shared<operators::SortValuesOp>(by, ascending);
+  TileableNode* node =
+      session_->AddTileable(std::move(op), {node_}, node_->columns);
+  return DataFrameRef(session_, node);
+}
+
+Result<DataFrameRef> DataFrameRef::DropDuplicates(
+    const std::vector<std::string>& subset) const {
+  XORBITS_RETURN_NOT_OK(CheckValid(*this));
+  XORBITS_RETURN_NOT_OK(CheckColumns(*this, subset));
+  auto op = std::make_shared<operators::DropDuplicatesOp>(subset);
+  TileableNode* node =
+      session_->AddTileable(std::move(op), {node_}, node_->columns);
+  return DataFrameRef(session_, node);
+}
+
+Result<DataFrameRef> DataFrameRef::Head(int64_t n) const {
+  XORBITS_RETURN_NOT_OK(CheckValid(*this));
+  if (n < 0) return Status::Invalid("head(n) requires n >= 0");
+  auto op = std::make_shared<operators::HeadOp>(n);
+  TileableNode* node =
+      session_->AddTileable(std::move(op), {node_}, node_->columns);
+  return DataFrameRef(session_, node);
+}
+
+Result<DataFrameRef> DataFrameRef::Iloc(int64_t pos) const {
+  XORBITS_RETURN_NOT_OK(CheckValid(*this));
+  auto op = std::make_shared<operators::ILocOp>(pos);
+  TileableNode* node =
+      session_->AddTileable(std::move(op), {node_}, node_->columns);
+  return DataFrameRef(session_, node);
+}
+
+Result<DataFrameRef> DataFrameRef::Agg(
+    const std::vector<AggSpec>& specs) const {
+  // Whole-frame aggregation: group on a constant key, then drop it.
+  XORBITS_ASSIGN_OR_RETURN(
+      DataFrameRef keyed, Assign("__all__", operators::Lit(int64_t{0})));
+  XORBITS_ASSIGN_OR_RETURN(DataFrameRef grouped,
+                           keyed.GroupByAgg({"__all__"}, specs));
+  std::vector<std::string> outs;
+  for (const auto& s : specs) outs.push_back(s.output);
+  return grouped.Select(outs);
+}
+
+Result<DataFrameRef> DataFrameRef::PivotTable(
+    const std::vector<std::string>& index, const std::string& columns,
+    const std::string& values, dataframe::AggFunc func) const {
+  XORBITS_RETURN_NOT_OK(CheckValid(*this));
+  XORBITS_RETURN_NOT_OK(CheckColumns(*this, index));
+  XORBITS_RETURN_NOT_OK(CheckColumns(*this, {columns, values}));
+  if (session_->config().strict_api_emulation &&
+      (session_->config().engine == EngineKind::kDaskLike ||
+       session_->config().engine == EngineKind::kSparkLike)) {
+    return Status::NotImplemented(
+        "pivot_table unsupported under this engine's pandas API");
+  }
+  std::vector<std::string> keys = index;
+  keys.push_back(columns);
+  XORBITS_ASSIGN_OR_RETURN(
+      DataFrameRef grouped,
+      GroupByAgg(keys, {{values, func, "__pivot_value__"}}));
+  auto op = std::make_shared<operators::PivotReshapeOp>(index, columns,
+                                                        "__pivot_value__");
+  // Output schema depends on the data: leave it empty (pruning then stays
+  // conservative on this branch).
+  TileableNode* node =
+      session_->AddTileable(std::move(op), {grouped.node()}, {});
+  return DataFrameRef(session_, node);
+}
+
+Result<DataFrameRef> DataFrameRef::CumSum(const std::string& column,
+                                          const std::string& output) const {
+  XORBITS_RETURN_NOT_OK(CheckValid(*this));
+  XORBITS_RETURN_NOT_OK(CheckColumns(*this, {column}));
+  if (session_->config().strict_api_emulation &&
+      (session_->config().engine == EngineKind::kDaskLike ||
+       session_->config().engine == EngineKind::kSparkLike)) {
+    return Status::NotImplemented("cumsum over partitions unsupported");
+  }
+  std::vector<std::string> out_columns = node_->columns;
+  if (std::find(out_columns.begin(), out_columns.end(), output) ==
+      out_columns.end()) {
+    out_columns.push_back(output);
+  }
+  auto op = std::make_shared<operators::CumSumOp>(column, output);
+  TileableNode* node =
+      session_->AddTileable(std::move(op), {node_}, std::move(out_columns));
+  return DataFrameRef(session_, node);
+}
+
+Result<DataFrameRef> DataFrameRef::RollingMean(const std::string& column,
+                                               const std::string& output,
+                                               int64_t window) const {
+  XORBITS_RETURN_NOT_OK(CheckValid(*this));
+  XORBITS_RETURN_NOT_OK(CheckColumns(*this, {column}));
+  if (window <= 0) return Status::Invalid("rolling window must be positive");
+  if (session_->config().strict_api_emulation &&
+      (session_->config().engine == EngineKind::kDaskLike ||
+       session_->config().engine == EngineKind::kSparkLike)) {
+    return Status::NotImplemented(
+        "rolling windows across partitions unsupported");
+  }
+  std::vector<std::string> out_columns = node_->columns;
+  if (std::find(out_columns.begin(), out_columns.end(), output) ==
+      out_columns.end()) {
+    out_columns.push_back(output);
+  }
+  auto op =
+      std::make_shared<operators::RollingMeanOp>(column, output, window);
+  TileableNode* node =
+      session_->AddTileable(std::move(op), {node_}, std::move(out_columns));
+  return DataFrameRef(session_, node);
+}
+
+Status DataFrameRef::ToParquet(const std::string& path) const {
+  XORBITS_ASSIGN_OR_RETURN(dataframe::DataFrame df, Fetch());
+  return io::WriteXpq(path, df);
+}
+
+Status DataFrameRef::ToCsv(const std::string& path) const {
+  XORBITS_ASSIGN_OR_RETURN(dataframe::DataFrame df, Fetch());
+  return io::WriteCsv(path, df);
+}
+
+Result<dataframe::DataFrame> DataFrameRef::ToParquetDistributed(
+    const std::string& dir) const {
+  XORBITS_RETURN_NOT_OK(CheckValid(*this));
+  auto op = std::make_shared<operators::WriteXpqOp>(dir);
+  TileableNode* node = session_->AddTileable(
+      std::move(op), {node_}, {"path", "rows"});
+  return DataFrameRef(session_, node).Fetch();
+}
+
+Result<dataframe::DataFrame> DataFrameRef::Describe(
+    const std::vector<std::string>& numeric_columns) const {
+  XORBITS_RETURN_NOT_OK(CheckValid(*this));
+  XORBITS_RETURN_NOT_OK(CheckColumns(*this, numeric_columns));
+  using dataframe::AggFunc;
+  std::vector<AggSpec> specs;
+  for (const auto& c : numeric_columns) {
+    specs.push_back({c, AggFunc::kCount, c + "/count"});
+    specs.push_back({c, AggFunc::kMean, c + "/mean"});
+    specs.push_back({c, AggFunc::kStd, c + "/std"});
+    specs.push_back({c, AggFunc::kMin, c + "/min"});
+    specs.push_back({c, AggFunc::kMax, c + "/max"});
+  }
+  XORBITS_ASSIGN_OR_RETURN(DataFrameRef agg, Agg(specs));
+  XORBITS_ASSIGN_OR_RETURN(dataframe::DataFrame wide, agg.Fetch());
+  // Reshape the single row into the pandas describe() layout: one row per
+  // statistic, one column per input column.
+  const char* kStats[] = {"count", "mean", "std", "min", "max"};
+  dataframe::DataFrame out;
+  XORBITS_RETURN_NOT_OK(out.SetColumn(
+      "stat", dataframe::Column::String(
+                  {"count", "mean", "std", "min", "max"})));
+  for (const auto& c : numeric_columns) {
+    std::vector<double> vals;
+    std::vector<uint8_t> validity;
+    for (const char* stat : kStats) {
+      XORBITS_ASSIGN_OR_RETURN(const dataframe::Column* cell,
+                               wide.GetColumn(c + "/" + stat));
+      validity.push_back(cell->IsValid(0) ? 1 : 0);
+      vals.push_back(cell->IsValid(0) ? cell->GetDouble(0) : 0.0);
+    }
+    XORBITS_RETURN_NOT_OK(out.SetColumn(
+        c, dataframe::Column::Float64(std::move(vals), std::move(validity))));
+  }
+  return out;
+}
+
+Result<DataFrameRef> DataFrameRef::ValueCounts(
+    const std::string& column) const {
+  XORBITS_ASSIGN_OR_RETURN(
+      DataFrameRef counts,
+      GroupByAgg({column}, {{"", dataframe::AggFunc::kSize, "count"}}));
+  return counts.SortValues({"count", column}, {false, true});
+}
+
+Result<DataFrameRef> DataFrameRef::NLargest(int64_t n,
+                                            const std::string& column) const {
+  XORBITS_ASSIGN_OR_RETURN(DataFrameRef sorted,
+                           SortValues({column}, {false}));
+  return sorted.Head(n);
+}
+
+Result<dataframe::DataFrame> DataFrameRef::Fetch() const {
+  XORBITS_RETURN_NOT_OK(CheckValid(*this));
+  return session_->FetchDataFrame(node_);
+}
+
+Result<std::string> DataFrameRef::Repr(int64_t max_rows) const {
+  XORBITS_ASSIGN_OR_RETURN(dataframe::DataFrame df, Fetch());
+  return df.ToString(max_rows);
+}
+
+Result<int64_t> DataFrameRef::CountRows() const {
+  XORBITS_ASSIGN_OR_RETURN(dataframe::DataFrame df, Fetch());
+  return df.num_rows();
+}
+
+// --- tensors ---
+
+namespace {
+Result<TensorRef> EwiseBinary(const TensorRef& a, const TensorRef& b,
+                              operators::EwiseChunkOp::Kind kind) {
+  if (!a.valid() || !b.valid()) return Status::Invalid("invalid tensor");
+  auto op = std::make_shared<operators::TensorEwiseOp>(kind);
+  TileableNode* node =
+      a.session()->AddTileable(std::move(op), {a.node(), b.node()}, {});
+  return TensorRef(a.session(), node);
+}
+
+Result<TensorRef> EwiseUnary(const TensorRef& a,
+                             operators::EwiseChunkOp::Kind kind,
+                             double scalar = 0.0) {
+  if (!a.valid()) return Status::Invalid("invalid tensor");
+  auto op = std::make_shared<operators::TensorEwiseOp>(kind, scalar);
+  TileableNode* node = a.session()->AddTileable(std::move(op), {a.node()}, {});
+  return TensorRef(a.session(), node);
+}
+}  // namespace
+
+Result<TensorRef> TensorRef::Add(const TensorRef& other) const {
+  return EwiseBinary(*this, other, operators::EwiseChunkOp::Kind::kAdd);
+}
+Result<TensorRef> TensorRef::Sub(const TensorRef& other) const {
+  return EwiseBinary(*this, other, operators::EwiseChunkOp::Kind::kSub);
+}
+Result<TensorRef> TensorRef::Mul(const TensorRef& other) const {
+  return EwiseBinary(*this, other, operators::EwiseChunkOp::Kind::kMul);
+}
+Result<TensorRef> TensorRef::Div(const TensorRef& other) const {
+  return EwiseBinary(*this, other, operators::EwiseChunkOp::Kind::kDiv);
+}
+Result<TensorRef> TensorRef::AddScalar(double s) const {
+  return EwiseUnary(*this, operators::EwiseChunkOp::Kind::kAddScalar, s);
+}
+Result<TensorRef> TensorRef::MulScalar(double s) const {
+  return EwiseUnary(*this, operators::EwiseChunkOp::Kind::kMulScalar, s);
+}
+Result<TensorRef> TensorRef::Exp() const {
+  return EwiseUnary(*this, operators::EwiseChunkOp::Kind::kExp);
+}
+Result<TensorRef> TensorRef::Sqrt() const {
+  return EwiseUnary(*this, operators::EwiseChunkOp::Kind::kSqrt);
+}
+
+Result<TensorRef> TensorRef::MatMul(const TensorRef& other) const {
+  if (!valid() || !other.valid()) return Status::Invalid("invalid tensor");
+  auto op = std::make_shared<operators::MatMulOp>();
+  TileableNode* node =
+      session_->AddTileable(std::move(op), {node_, other.node()}, {});
+  return TensorRef(session_, node);
+}
+
+Result<TensorRef> TensorRef::Sum() const {
+  if (!valid()) return Status::Invalid("invalid tensor");
+  auto op = std::make_shared<operators::TensorSumOp>();
+  TileableNode* node = session_->AddTileable(std::move(op), {node_}, {});
+  return TensorRef(session_, node);
+}
+
+Result<std::pair<TensorRef, TensorRef>> TensorRef::QR() const {
+  if (!valid()) return Status::Invalid("invalid tensor");
+  auto op = std::make_shared<operators::QROp>();
+  TileableNode* q = session_->AddTileable(op, {node_}, {}, /*output=*/0);
+  TileableNode* r = session_->AddTileable(op, {node_}, {}, /*output=*/1);
+  return std::make_pair(TensorRef(session_, q), TensorRef(session_, r));
+}
+
+Result<std::tuple<TensorRef, TensorRef, TensorRef>> TensorRef::SVD() const {
+  if (!valid()) return Status::Invalid("invalid tensor");
+  auto op = std::make_shared<operators::SVDOp>();
+  TileableNode* u = session_->AddTileable(op, {node_}, {}, /*output=*/0);
+  TileableNode* s = session_->AddTileable(op, {node_}, {}, /*output=*/1);
+  TileableNode* vt = session_->AddTileable(op, {node_}, {}, /*output=*/2);
+  return std::make_tuple(TensorRef(session_, u), TensorRef(session_, s),
+                         TensorRef(session_, vt));
+}
+
+Result<tensor::NDArray> TensorRef::Fetch() const {
+  if (!valid()) return Status::Invalid("invalid tensor");
+  return session_->FetchTensor(node_);
+}
+
+// --- factories ---
+
+Result<DataFrameRef> ReadParquet(core::Session* session,
+                                 const std::string& path) {
+  XORBITS_ASSIGN_OR_RETURN(io::XpqFileInfo info, io::ReadXpqInfo(path));
+  std::vector<std::string> columns;
+  for (const auto& c : info.columns) columns.push_back(c.name);
+  auto op = std::make_shared<operators::ReadXpqOp>(path);
+  TileableNode* node =
+      session->AddTileable(std::move(op), {}, std::move(columns));
+  node->est_rows = info.num_rows;
+  return DataFrameRef(session, node);
+}
+
+Result<DataFrameRef> ReadCsv(core::Session* session, const std::string& path,
+                             std::vector<std::string> parse_dates) {
+  // Schema from the file head (one-row read).
+  io::CsvOptions opts;
+  opts.parse_dates = parse_dates;
+  opts.max_rows = 1;
+  XORBITS_ASSIGN_OR_RETURN(dataframe::DataFrame head,
+                           io::ReadCsv(path, opts));
+  auto op = std::make_shared<operators::ReadCsvOp>(path,
+                                                   std::move(parse_dates));
+  TileableNode* node =
+      session->AddTileable(std::move(op), {}, head.column_names());
+  return DataFrameRef(session, node);
+}
+
+Result<DataFrameRef> FromPandas(core::Session* session,
+                                dataframe::DataFrame df) {
+  std::vector<std::string> columns = df.column_names();
+  auto op = std::make_shared<operators::FromDataFrameOp>(std::move(df));
+  TileableNode* node =
+      session->AddTileable(std::move(op), {}, std::move(columns));
+  return DataFrameRef(session, node);
+}
+
+Result<DataFrameRef> ConcatFrames(const std::vector<DataFrameRef>& frames) {
+  if (frames.empty()) return Status::Invalid("concat of zero frames");
+  std::vector<TileableNode*> inputs;
+  for (const auto& f : frames) {
+    XORBITS_RETURN_NOT_OK(CheckValid(f));
+    inputs.push_back(f.node());
+  }
+  auto op = std::make_shared<operators::ConcatOp>();
+  TileableNode* node = frames[0].session()->AddTileable(
+      std::move(op), std::move(inputs), frames[0].columns());
+  return DataFrameRef(frames[0].session(), node);
+}
+
+Result<TensorRef> RandomUniform(core::Session* session,
+                                std::vector<int64_t> shape, uint64_t seed) {
+  auto op = std::make_shared<operators::RandomTensorOp>(
+      std::move(shape), seed, operators::RandomChunkOp::Dist::kUniform);
+  TileableNode* node = session->AddTileable(std::move(op), {}, {});
+  return TensorRef(session, node);
+}
+
+Result<TensorRef> RandomNormal(core::Session* session,
+                               std::vector<int64_t> shape, uint64_t seed) {
+  auto op = std::make_shared<operators::RandomTensorOp>(
+      std::move(shape), seed, operators::RandomChunkOp::Dist::kNormal);
+  TileableNode* node = session->AddTileable(std::move(op), {}, {});
+  return TensorRef(session, node);
+}
+
+Result<TensorRef> FromNumpy(core::Session* session, tensor::NDArray array) {
+  auto op = std::make_shared<operators::FromNDArrayOp>(std::move(array));
+  TileableNode* node = session->AddTileable(std::move(op), {}, {});
+  return TensorRef(session, node);
+}
+
+Result<TensorRef> Lstsq(const TensorRef& x, const TensorRef& y) {
+  if (!x.valid() || !y.valid()) return Status::Invalid("invalid tensor");
+  auto op = std::make_shared<operators::LstsqOp>();
+  TileableNode* node =
+      x.session()->AddTileable(std::move(op), {x.node(), y.node()}, {});
+  return TensorRef(x.session(), node);
+}
+
+}  // namespace xorbits

@@ -1,0 +1,168 @@
+#ifndef XORBITS_CORE_XORBITS_H_
+#define XORBITS_CORE_XORBITS_H_
+
+#include <map>
+#include <tuple>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/session.h"
+#include "dataframe/groupby.h"
+#include "dataframe/join.h"
+#include "operators/expr.h"
+
+namespace xorbits {
+
+/// Lazy handle to a distributed dataframe — the analogue of an
+/// `xorbits.pandas` object. Builder methods append tileable nodes; nothing
+/// executes until `Fetch`/`Repr` (deferred evaluation, §IV-C): results
+/// materialize exactly when the user looks at them.
+class DataFrameRef {
+ public:
+  DataFrameRef() = default;
+  DataFrameRef(core::Session* session, graph::TileableNode* node)
+      : session_(session), node_(node) {}
+
+  bool valid() const { return node_ != nullptr; }
+  core::Session* session() const { return session_; }
+  graph::TileableNode* node() const { return node_; }
+  /// Known output schema (column names).
+  const std::vector<std::string>& columns() const { return node_->columns; }
+  bool HasColumn(const std::string& name) const;
+
+  /// df[name] = expr (adds or replaces a column).
+  Result<DataFrameRef> Assign(const std::string& name,
+                              operators::ExprPtr expr) const;
+  /// Multiple assignments applied left to right in one operator.
+  Result<DataFrameRef> WithColumns(
+      const std::vector<std::pair<std::string, operators::ExprPtr>>& cols)
+      const;
+  /// df[predicate] — boolean row selection.
+  Result<DataFrameRef> Filter(operators::ExprPtr predicate) const;
+  /// df[[cols...]] — projection.
+  Result<DataFrameRef> Select(const std::vector<std::string>& cols) const;
+  Result<DataFrameRef> Rename(
+      const std::map<std::string, std::string>& mapping) const;
+  /// df.groupby(keys).agg(...) with NamedAgg-style output naming.
+  Result<DataFrameRef> GroupByAgg(
+      const std::vector<std::string>& keys,
+      const std::vector<dataframe::AggSpec>& specs) const;
+  Result<DataFrameRef> Merge(const DataFrameRef& right,
+                             const dataframe::MergeOptions& options) const;
+  Result<DataFrameRef> SortValues(
+      const std::vector<std::string>& by,
+      const std::vector<bool>& ascending = {}) const;
+  Result<DataFrameRef> DropDuplicates(
+      const std::vector<std::string>& subset = {}) const;
+  Result<DataFrameRef> Head(int64_t n) const;
+  /// df.iloc[pos] — single positional row.
+  Result<DataFrameRef> Iloc(int64_t pos) const;
+  /// Whole-frame aggregation (one output row).
+  Result<DataFrameRef> Agg(const std::vector<dataframe::AggSpec>& specs)
+      const;
+  /// df.pivot_table(index, columns, values, aggfunc): distributed groupby
+  /// followed by a gathered wide reshape. Output schema is data-dependent.
+  Result<DataFrameRef> PivotTable(const std::vector<std::string>& index,
+                                  const std::string& columns,
+                                  const std::string& values,
+                                  dataframe::AggFunc func) const;
+  /// df[output] = df[column].cumsum() — distributed prefix scan.
+  Result<DataFrameRef> CumSum(const std::string& column,
+                              const std::string& output) const;
+  /// df[output] = df[column].rolling(window).mean() — per-chunk windows
+  /// with boundary carries.
+  Result<DataFrameRef> RollingMean(const std::string& column,
+                                   const std::string& output,
+                                   int64_t window) const;
+  /// df.to_parquet / df.to_csv (gathered write).
+  Status ToParquet(const std::string& path) const;
+  Status ToCsv(const std::string& path) const;
+  /// Distributed write: one xparquet file per chunk under `dir`
+  /// (part-00000.xpq, ...); returns the manifest (path, rows) table.
+  Result<dataframe::DataFrame> ToParquetDistributed(
+      const std::string& dir) const;
+  /// df.describe(): count/mean/std/min/max of every numeric column,
+  /// one output row per statistic.
+  Result<dataframe::DataFrame> Describe(
+      const std::vector<std::string>& numeric_columns) const;
+  /// df[column].value_counts(): distinct values with descending counts.
+  Result<DataFrameRef> ValueCounts(const std::string& column) const;
+  /// df.nlargest(n, column).
+  Result<DataFrameRef> NLargest(int64_t n, const std::string& column) const;
+
+  /// Materializes and gathers the full result.
+  Result<dataframe::DataFrame> Fetch() const;
+  /// repr(df): triggers execution like printing does in a notebook.
+  Result<std::string> Repr(int64_t max_rows = 10) const;
+  /// Materialized row count.
+  Result<int64_t> CountRows() const;
+
+ private:
+  core::Session* session_ = nullptr;
+  graph::TileableNode* node_ = nullptr;
+};
+
+/// Lazy handle to a distributed tensor (the `xorbits.numpy` analogue).
+class TensorRef {
+ public:
+  TensorRef() = default;
+  TensorRef(core::Session* session, graph::TileableNode* node)
+      : session_(session), node_(node) {}
+
+  bool valid() const { return node_ != nullptr; }
+  core::Session* session() const { return session_; }
+  graph::TileableNode* node() const { return node_; }
+
+  Result<TensorRef> Add(const TensorRef& other) const;
+  Result<TensorRef> Sub(const TensorRef& other) const;
+  Result<TensorRef> Mul(const TensorRef& other) const;
+  Result<TensorRef> Div(const TensorRef& other) const;
+  Result<TensorRef> AddScalar(double s) const;
+  Result<TensorRef> MulScalar(double s) const;
+  Result<TensorRef> Exp() const;
+  Result<TensorRef> Sqrt() const;
+  Result<TensorRef> MatMul(const TensorRef& other) const;
+  /// Full reduction to a 1x1 tensor.
+  Result<TensorRef> Sum() const;
+  /// np.linalg.qr — returns (Q, R).
+  Result<std::pair<TensorRef, TensorRef>> QR() const;
+  /// np.linalg.svd — returns (U, S, V^T); auto-rechunks like QR.
+  Result<std::tuple<TensorRef, TensorRef, TensorRef>> SVD() const;
+
+  Result<tensor::NDArray> Fetch() const;
+
+ private:
+  core::Session* session_ = nullptr;
+  graph::TileableNode* node_ = nullptr;
+};
+
+// --- factories (the import-line replacements) ---
+
+/// xorbits.pandas.read_parquet
+Result<DataFrameRef> ReadParquet(core::Session* session,
+                                 const std::string& path);
+/// xorbits.pandas.read_csv
+Result<DataFrameRef> ReadCsv(core::Session* session, const std::string& path,
+                             std::vector<std::string> parse_dates = {});
+/// from in-memory data (pd.DataFrame(...))
+Result<DataFrameRef> FromPandas(core::Session* session,
+                                dataframe::DataFrame df);
+/// pd.concat
+Result<DataFrameRef> ConcatFrames(const std::vector<DataFrameRef>& frames);
+
+/// np.random.rand / randn
+Result<TensorRef> RandomUniform(core::Session* session,
+                                std::vector<int64_t> shape,
+                                uint64_t seed = 42);
+Result<TensorRef> RandomNormal(core::Session* session,
+                               std::vector<int64_t> shape,
+                               uint64_t seed = 42);
+Result<TensorRef> FromNumpy(core::Session* session, tensor::NDArray array);
+/// Distributed least squares: beta = argmin ||X beta - y||.
+Result<TensorRef> Lstsq(const TensorRef& x, const TensorRef& y);
+
+}  // namespace xorbits
+
+#endif  // XORBITS_CORE_XORBITS_H_

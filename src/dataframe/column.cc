@@ -1,0 +1,334 @@
+#include "dataframe/column.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace xorbits::dataframe {
+
+namespace {
+
+template <typename T>
+std::vector<T> TakeVec(const std::vector<T>& v,
+                       const std::vector<int64_t>& indices) {
+  std::vector<T> out;
+  out.reserve(indices.size());
+  for (int64_t i : indices) out.push_back(v[i]);
+  return out;
+}
+
+template <typename T>
+std::vector<T> FilterVec(const std::vector<T>& v,
+                         const std::vector<uint8_t>& mask) {
+  std::vector<T> out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (mask[i]) out.push_back(v[i]);
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> SliceVec(const std::vector<T>& v, int64_t offset,
+                        int64_t count) {
+  return std::vector<T>(v.begin() + offset, v.begin() + offset + count);
+}
+
+}  // namespace
+
+Column Column::Int64(std::vector<int64_t> values,
+                     std::vector<uint8_t> validity) {
+  return Column(DType::kInt64, std::move(values), std::move(validity));
+}
+Column Column::Float64(std::vector<double> values,
+                       std::vector<uint8_t> validity) {
+  return Column(DType::kFloat64, std::move(values), std::move(validity));
+}
+Column Column::String(std::vector<std::string> values,
+                      std::vector<uint8_t> validity) {
+  return Column(DType::kString, std::move(values), std::move(validity));
+}
+Column Column::Bool(std::vector<uint8_t> values,
+                    std::vector<uint8_t> validity) {
+  return Column(DType::kBool, std::move(values), std::move(validity));
+}
+
+Column Column::Nulls(DType dtype, int64_t length) {
+  std::vector<uint8_t> validity(length, 0);
+  switch (dtype) {
+    case DType::kInt64:
+      return Int64(std::vector<int64_t>(length, 0), std::move(validity));
+    case DType::kFloat64:
+      return Float64(std::vector<double>(length, 0.0), std::move(validity));
+    case DType::kString:
+      return String(std::vector<std::string>(length), std::move(validity));
+    case DType::kBool:
+      return Bool(std::vector<uint8_t>(length, 0), std::move(validity));
+  }
+  return Column();
+}
+
+Column Column::Full(DType dtype, int64_t length, const Scalar& value) {
+  if (value.is_null()) return Nulls(dtype, length);
+  switch (dtype) {
+    case DType::kInt64:
+      return Int64(std::vector<int64_t>(length, value.AsInt()));
+    case DType::kFloat64:
+      return Float64(std::vector<double>(length, value.AsDouble()));
+    case DType::kString:
+      return String(std::vector<std::string>(length, value.AsString()));
+    case DType::kBool:
+      return Bool(std::vector<uint8_t>(length, value.AsBool() ? 1 : 0));
+  }
+  return Column();
+}
+
+int64_t Column::length() const {
+  return std::visit(
+      [](const auto& v) { return static_cast<int64_t>(v.size()); }, data_);
+}
+
+int64_t Column::null_count() const {
+  int64_t n = 0;
+  for (uint8_t v : validity_) {
+    if (!v) ++n;
+  }
+  return n;
+}
+
+int64_t Column::nbytes() const {
+  int64_t bytes = static_cast<int64_t>(validity_.size());
+  if (dtype_ == DType::kString) {
+    for (const auto& s : string_data()) {
+      bytes += static_cast<int64_t>(s.size()) + DTypeItemSize(DType::kString);
+    }
+  } else {
+    bytes += length() * DTypeItemSize(dtype_);
+  }
+  return bytes;
+}
+
+const std::vector<int64_t>& Column::int64_data() const {
+  assert(dtype_ == DType::kInt64);
+  return std::get<std::vector<int64_t>>(data_);
+}
+const std::vector<double>& Column::float64_data() const {
+  assert(dtype_ == DType::kFloat64);
+  return std::get<std::vector<double>>(data_);
+}
+const std::vector<std::string>& Column::string_data() const {
+  assert(dtype_ == DType::kString);
+  return std::get<std::vector<std::string>>(data_);
+}
+const std::vector<uint8_t>& Column::bool_data() const {
+  assert(dtype_ == DType::kBool);
+  return std::get<std::vector<uint8_t>>(data_);
+}
+std::vector<int64_t>& Column::mutable_int64_data() {
+  assert(dtype_ == DType::kInt64);
+  return std::get<std::vector<int64_t>>(data_);
+}
+std::vector<double>& Column::mutable_float64_data() {
+  assert(dtype_ == DType::kFloat64);
+  return std::get<std::vector<double>>(data_);
+}
+std::vector<std::string>& Column::mutable_string_data() {
+  assert(dtype_ == DType::kString);
+  return std::get<std::vector<std::string>>(data_);
+}
+std::vector<uint8_t>& Column::mutable_bool_data() {
+  assert(dtype_ == DType::kBool);
+  return std::get<std::vector<uint8_t>>(data_);
+}
+
+Scalar Column::GetScalar(int64_t i) const {
+  if (IsNull(i)) return Scalar::Null();
+  switch (dtype_) {
+    case DType::kInt64: return Scalar::Int(int64_data()[i]);
+    case DType::kFloat64: return Scalar::Float(float64_data()[i]);
+    case DType::kString: return Scalar::Str(string_data()[i]);
+    case DType::kBool: return Scalar::Bool(bool_data()[i] != 0);
+  }
+  return Scalar::Null();
+}
+
+double Column::GetDouble(int64_t i) const {
+  switch (dtype_) {
+    case DType::kInt64: return static_cast<double>(int64_data()[i]);
+    case DType::kFloat64: return float64_data()[i];
+    case DType::kBool: return bool_data()[i] ? 1.0 : 0.0;
+    case DType::kString: assert(false && "GetDouble on string column");
+  }
+  return 0.0;
+}
+
+Column Column::Take(const std::vector<int64_t>& indices) const {
+  std::vector<uint8_t> validity;
+  if (has_validity()) validity = TakeVec(validity_, indices);
+  switch (dtype_) {
+    case DType::kInt64:
+      return Int64(TakeVec(int64_data(), indices), std::move(validity));
+    case DType::kFloat64:
+      return Float64(TakeVec(float64_data(), indices), std::move(validity));
+    case DType::kString:
+      return String(TakeVec(string_data(), indices), std::move(validity));
+    case DType::kBool:
+      return Bool(TakeVec(bool_data(), indices), std::move(validity));
+  }
+  return Column();
+}
+
+Column Column::Filter(const std::vector<uint8_t>& mask) const {
+  std::vector<uint8_t> validity;
+  if (has_validity()) validity = FilterVec(validity_, mask);
+  switch (dtype_) {
+    case DType::kInt64:
+      return Int64(FilterVec(int64_data(), mask), std::move(validity));
+    case DType::kFloat64:
+      return Float64(FilterVec(float64_data(), mask), std::move(validity));
+    case DType::kString:
+      return String(FilterVec(string_data(), mask), std::move(validity));
+    case DType::kBool:
+      return Bool(FilterVec(bool_data(), mask), std::move(validity));
+  }
+  return Column();
+}
+
+Column Column::Slice(int64_t offset, int64_t count) const {
+  std::vector<uint8_t> validity;
+  if (has_validity()) validity = SliceVec(validity_, offset, count);
+  switch (dtype_) {
+    case DType::kInt64:
+      return Int64(SliceVec(int64_data(), offset, count), std::move(validity));
+    case DType::kFloat64:
+      return Float64(SliceVec(float64_data(), offset, count),
+                     std::move(validity));
+    case DType::kString:
+      return String(SliceVec(string_data(), offset, count),
+                    std::move(validity));
+    case DType::kBool:
+      return Bool(SliceVec(bool_data(), offset, count), std::move(validity));
+  }
+  return Column();
+}
+
+Result<Column> Column::CastTo(DType target) const {
+  if (target == dtype_) return *this;
+  const int64_t n = length();
+  if (target == DType::kFloat64) {
+    std::vector<double> out(n);
+    for (int64_t i = 0; i < n; ++i) out[i] = IsValid(i) ? GetDouble(i) : 0.0;
+    return Float64(std::move(out), validity_);
+  }
+  if (target == DType::kInt64) {
+    if (!IsNumeric(dtype_) && dtype_ != DType::kBool) {
+      return Status::TypeError("cannot cast " +
+                               std::string(DTypeName(dtype_)) + " to int64");
+    }
+    std::vector<int64_t> out(n);
+    for (int64_t i = 0; i < n; ++i) {
+      out[i] = IsValid(i) ? static_cast<int64_t>(GetDouble(i)) : 0;
+    }
+    return Int64(std::move(out), validity_);
+  }
+  return Status::TypeError(std::string("cast to ") + DTypeName(target) +
+                           " not supported");
+}
+
+Result<Column> Column::Concat(const std::vector<const Column*>& pieces) {
+  if (pieces.empty()) return Status::Invalid("Concat of zero columns");
+  const DType dtype = pieces[0]->dtype();
+  int64_t total = 0;
+  bool any_validity = false;
+  for (const Column* c : pieces) {
+    if (c->dtype() != dtype) {
+      return Status::TypeError("Concat dtype mismatch: " +
+                               std::string(DTypeName(dtype)) + " vs " +
+                               DTypeName(c->dtype()));
+    }
+    total += c->length();
+    any_validity |= c->has_validity();
+  }
+  std::vector<uint8_t> validity;
+  if (any_validity) {
+    validity.reserve(total);
+    for (const Column* c : pieces) {
+      if (c->has_validity()) {
+        validity.insert(validity.end(), c->validity().begin(),
+                        c->validity().end());
+      } else {
+        validity.insert(validity.end(), c->length(), 1);
+      }
+    }
+  }
+  auto concat_typed = [&](auto getter) {
+    using Vec = std::remove_cvref_t<decltype(getter(*pieces[0]))>;
+    Vec out;
+    out.reserve(total);
+    for (const Column* c : pieces) {
+      const auto& v = getter(*c);
+      out.insert(out.end(), v.begin(), v.end());
+    }
+    return out;
+  };
+  switch (dtype) {
+    case DType::kInt64:
+      return Int64(concat_typed([](const Column& c) -> const auto& {
+                     return c.int64_data();
+                   }),
+                   std::move(validity));
+    case DType::kFloat64:
+      return Float64(concat_typed([](const Column& c) -> const auto& {
+                       return c.float64_data();
+                     }),
+                     std::move(validity));
+    case DType::kString:
+      return String(concat_typed([](const Column& c) -> const auto& {
+                      return c.string_data();
+                    }),
+                    std::move(validity));
+    case DType::kBool:
+      return Bool(concat_typed([](const Column& c) -> const auto& {
+                    return c.bool_data();
+                  }),
+                  std::move(validity));
+  }
+  return Status::Invalid("unreachable");
+}
+
+void Column::AppendKeyBytes(int64_t i, std::string* out) const {
+  if (IsNull(i)) {
+    out->push_back('\0');
+    return;
+  }
+  switch (dtype_) {
+    case DType::kInt64: {
+      out->push_back('\1');
+      int64_t v = int64_data()[i];
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+    case DType::kFloat64: {
+      out->push_back('\2');
+      double v = float64_data()[i];
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+    case DType::kString: {
+      out->push_back('\3');
+      const std::string& s = string_data()[i];
+      uint32_t len = static_cast<uint32_t>(s.size());
+      out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+      out->append(s);
+      break;
+    }
+    case DType::kBool:
+      out->push_back('\4');
+      out->push_back(bool_data()[i] ? '\1' : '\0');
+      break;
+  }
+}
+
+std::string Column::ValueToString(int64_t i) const {
+  return GetScalar(i).ToString();
+}
+
+}  // namespace xorbits::dataframe

@@ -1,0 +1,106 @@
+#ifndef XORBITS_DATAFRAME_COLUMN_H_
+#define XORBITS_DATAFRAME_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dataframe/dtype.h"
+#include "dataframe/scalar.h"
+
+namespace xorbits::dataframe {
+
+/// A typed value array with an optional validity bitmap, the unit the
+/// dataframe kernels operate on (one pandas Series worth of data).
+///
+/// Storage is a plain std::vector per dtype; an empty `validity` means all
+/// values are valid. Columns are cheap to move and deliberately copyable so
+/// chunk kernels can slice/take without aliasing issues.
+class Column {
+ public:
+  Column() : dtype_(DType::kInt64) {}
+
+  static Column Int64(std::vector<int64_t> values,
+                      std::vector<uint8_t> validity = {});
+  static Column Float64(std::vector<double> values,
+                        std::vector<uint8_t> validity = {});
+  static Column String(std::vector<std::string> values,
+                       std::vector<uint8_t> validity = {});
+  static Column Bool(std::vector<uint8_t> values,
+                     std::vector<uint8_t> validity = {});
+
+  /// An all-null column of `length` with the given dtype.
+  static Column Nulls(DType dtype, int64_t length);
+
+  /// A column filled with one repeated scalar (null scalar gives Nulls).
+  static Column Full(DType dtype, int64_t length, const Scalar& value);
+
+  DType dtype() const { return dtype_; }
+  int64_t length() const;
+
+  bool has_validity() const { return !validity_.empty(); }
+  bool IsValid(int64_t i) const {
+    return validity_.empty() || validity_[i] != 0;
+  }
+  bool IsNull(int64_t i) const { return !IsValid(i); }
+  int64_t null_count() const;
+
+  /// In-memory payload size in bytes (validity + values; strings measured).
+  int64_t nbytes() const;
+
+  // Typed accessors; dtype must match.
+  const std::vector<int64_t>& int64_data() const;
+  const std::vector<double>& float64_data() const;
+  const std::vector<std::string>& string_data() const;
+  const std::vector<uint8_t>& bool_data() const;
+  std::vector<int64_t>& mutable_int64_data();
+  std::vector<double>& mutable_float64_data();
+  std::vector<std::string>& mutable_string_data();
+  std::vector<uint8_t>& mutable_bool_data();
+  const std::vector<uint8_t>& validity() const { return validity_; }
+  std::vector<uint8_t>& mutable_validity() { return validity_; }
+
+  /// Value at row `i` as a Scalar (Null if invalid).
+  Scalar GetScalar(int64_t i) const;
+
+  /// Numeric value at row `i` coerced to double; callers must check validity.
+  double GetDouble(int64_t i) const;
+
+  /// Rows selected by position; each index must be in range.
+  Column Take(const std::vector<int64_t>& indices) const;
+
+  /// Rows where mask[i] != 0; mask length must equal column length.
+  Column Filter(const std::vector<uint8_t>& mask) const;
+
+  /// Contiguous rows [offset, offset + count).
+  Column Slice(int64_t offset, int64_t count) const;
+
+  /// Casts to the target numeric dtype (int64 <-> float64, bool -> numeric).
+  Result<Column> CastTo(DType target) const;
+
+  /// Concatenates same-dtype columns.
+  static Result<Column> Concat(const std::vector<const Column*>& pieces);
+
+  /// Appends a type-tagged binary encoding of row `i` to `out`; identical
+  /// values produce identical bytes, so this is usable as a hash/group key.
+  void AppendKeyBytes(int64_t i, std::string* out) const;
+
+  std::string ValueToString(int64_t i) const;
+
+ private:
+  using Storage = std::variant<std::vector<int64_t>, std::vector<double>,
+                               std::vector<std::string>, std::vector<uint8_t>>;
+  Column(DType dtype, Storage data, std::vector<uint8_t> validity)
+      : dtype_(dtype), data_(std::move(data)), validity_(std::move(validity)) {}
+
+  DType dtype_;
+  Storage data_;
+  std::vector<uint8_t> validity_;  // empty => all valid
+};
+
+}  // namespace xorbits::dataframe
+
+#endif  // XORBITS_DATAFRAME_COLUMN_H_

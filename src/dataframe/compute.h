@@ -1,0 +1,89 @@
+#ifndef XORBITS_DATAFRAME_COMPUTE_H_
+#define XORBITS_DATAFRAME_COMPUTE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataframe/column.h"
+
+namespace xorbits::dataframe {
+
+enum class BinOp { kAdd, kSub, kMul, kDiv, kMod };
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* BinOpName(BinOp op);
+const char* CmpOpName(CmpOp op);
+
+/// Elementwise arithmetic between two numeric columns (null-propagating;
+/// int64 results unless either side is float64 or op is kDiv).
+Result<Column> BinaryOp(const Column& lhs, const Column& rhs, BinOp op);
+
+/// Column (op) scalar. With `reverse`, computes scalar (op) column.
+Result<Column> BinaryOpScalar(const Column& lhs, const Scalar& rhs, BinOp op,
+                              bool reverse = false);
+
+/// Elementwise comparison producing a bool column (nulls compare false and
+/// are marked invalid).
+Result<Column> Compare(const Column& lhs, const Column& rhs, CmpOp op);
+Result<Column> CompareScalar(const Column& lhs, const Scalar& rhs, CmpOp op);
+
+/// Boolean combinators over kBool columns; null inputs yield null.
+Result<Column> And(const Column& lhs, const Column& rhs);
+Result<Column> Or(const Column& lhs, const Column& rhs);
+Result<Column> Not(const Column& v);
+
+/// Validity probes (always-valid bool output).
+Column IsNullCol(const Column& v);
+Column NotNullCol(const Column& v);
+
+/// Membership test against a literal list.
+Result<Column> IsIn(const Column& v, const std::vector<Scalar>& values);
+
+/// Elementwise negation of a numeric column.
+Result<Column> Negate(const Column& v);
+
+// --- string predicates (kString input, kBool output) ---
+Result<Column> StrContains(const Column& v, const std::string& needle);
+Result<Column> StrStartsWith(const Column& v, const std::string& prefix);
+Result<Column> StrEndsWith(const Column& v, const std::string& suffix);
+/// Byte-range substring (pandas str.slice with start/stop).
+Result<Column> StrSlice(const Column& v, int64_t start, int64_t stop);
+/// ASCII case conversion (str.upper / str.lower).
+Result<Column> StrUpper(const Column& v);
+Result<Column> StrLower(const Column& v);
+/// Byte length of each string (str.len).
+Result<Column> StrLen(const Column& v);
+/// Removes leading/trailing ASCII whitespace (str.strip).
+Result<Column> StrStrip(const Column& v);
+/// Replaces every occurrence of `from` with `to` (str.replace, literal).
+Result<Column> StrReplace(const Column& v, const std::string& from,
+                          const std::string& to);
+
+// --- datetime (dates are int64 days since 1970-01-01) ---
+/// Days since epoch for a civil date (proleptic Gregorian).
+int64_t DaysFromCivil(int year, int month, int day);
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+/// Parses "YYYY-MM-DD".
+Result<int64_t> ParseDate(const std::string& text);
+std::string FormatDate(int64_t days);
+/// Extracts the year (int64 column) from an int64 date column.
+Result<Column> Year(const Column& dates);
+Result<Column> Month(const Column& dates);
+Result<Column> Day(const Column& dates);
+/// Quarter (1-4).
+Result<Column> Quarter(const Column& dates);
+/// Day of week, Monday = 0 (pandas dt.weekday).
+Result<Column> WeekDay(const Column& dates);
+
+// --- column-level reductions (null-skipping, like pandas) ---
+Result<Scalar> SumCol(const Column& v);
+Result<Scalar> MinCol(const Column& v);
+Result<Scalar> MaxCol(const Column& v);
+Result<Scalar> MeanCol(const Column& v);
+/// Number of valid (non-null) values.
+int64_t CountCol(const Column& v);
+
+}  // namespace xorbits::dataframe
+
+#endif  // XORBITS_DATAFRAME_COMPUTE_H_

@@ -1,0 +1,187 @@
+#include "dataframe/dataframe.h"
+
+#include <set>
+#include <sstream>
+
+namespace xorbits::dataframe {
+
+Result<DataFrame> DataFrame::Make(std::vector<std::string> names,
+                                  std::vector<Column> columns) {
+  if (names.size() != columns.size()) {
+    return Status::Invalid("names/columns size mismatch");
+  }
+  std::set<std::string> seen;
+  for (const auto& n : names) {
+    if (!seen.insert(n).second) {
+      return Status::Invalid("duplicate column name: " + n);
+    }
+  }
+  if (!columns.empty()) {
+    const int64_t n = columns[0].length();
+    for (const auto& c : columns) {
+      if (c.length() != n) {
+        return Status::Invalid("column length mismatch");
+      }
+    }
+  }
+  DataFrame df;
+  df.names_ = std::move(names);
+  df.columns_ = std::move(columns);
+  df.index_ = Index::Range(0, df.columns_.empty() ? 0 : df.columns_[0].length());
+  return df;
+}
+
+DataFrame DataFrame::EmptyLike(const DataFrame& schema_source) {
+  DataFrame df;
+  df.names_ = schema_source.names_;
+  for (const auto& c : schema_source.columns_) {
+    df.columns_.push_back(c.Slice(0, 0));
+  }
+  df.index_ = Index::Range(0, 0);
+  return df;
+}
+
+std::vector<DType> DataFrame::dtypes() const {
+  std::vector<DType> out;
+  out.reserve(columns_.size());
+  for (const auto& c : columns_) out.push_back(c.dtype());
+  return out;
+}
+
+bool DataFrame::HasColumn(const std::string& name) const {
+  for (const auto& n : names_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+Result<int> DataFrame::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return Status::KeyError("no column named '" + name + "'");
+}
+
+Result<const Column*> DataFrame::GetColumn(const std::string& name) const {
+  XORBITS_ASSIGN_OR_RETURN(int i, ColumnIndex(name));
+  return &columns_[i];
+}
+
+Status DataFrame::SetColumn(const std::string& name, Column column) {
+  if (!columns_.empty() && column.length() != num_rows()) {
+    return Status::Invalid("SetColumn length mismatch for '" + name + "'");
+  }
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      columns_[i] = std::move(column);
+      return Status::OK();
+    }
+  }
+  if (columns_.empty()) {
+    index_ = Index::Range(0, column.length());
+  }
+  names_.push_back(name);
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Status DataFrame::RemoveColumn(const std::string& name) {
+  XORBITS_ASSIGN_OR_RETURN(int i, ColumnIndex(name));
+  names_.erase(names_.begin() + i);
+  columns_.erase(columns_.begin() + i);
+  return Status::OK();
+}
+
+Result<DataFrame> DataFrame::Select(
+    const std::vector<std::string>& names) const {
+  DataFrame out;
+  for (const auto& n : names) {
+    XORBITS_ASSIGN_OR_RETURN(int i, ColumnIndex(n));
+    out.names_.push_back(n);
+    out.columns_.push_back(columns_[i]);
+  }
+  out.index_ = index_;
+  return out;
+}
+
+Result<DataFrame> DataFrame::Rename(
+    const std::map<std::string, std::string>& mapping) const {
+  DataFrame out = *this;
+  for (auto& n : out.names_) {
+    auto it = mapping.find(n);
+    if (it != mapping.end()) n = it->second;
+  }
+  std::set<std::string> seen;
+  for (const auto& n : out.names_) {
+    if (!seen.insert(n).second) {
+      return Status::Invalid("Rename produces duplicate column: " + n);
+    }
+  }
+  return out;
+}
+
+DataFrame DataFrame::TakeRows(const std::vector<int64_t>& indices) const {
+  DataFrame out;
+  out.names_ = names_;
+  out.columns_.reserve(columns_.size());
+  for (const auto& c : columns_) out.columns_.push_back(c.Take(indices));
+  out.index_ = index_.Take(indices);
+  return out;
+}
+
+DataFrame DataFrame::FilterRows(const std::vector<uint8_t>& mask) const {
+  DataFrame out;
+  out.names_ = names_;
+  out.columns_.reserve(columns_.size());
+  for (const auto& c : columns_) out.columns_.push_back(c.Filter(mask));
+  out.index_ = index_.Filter(mask);
+  return out;
+}
+
+DataFrame DataFrame::SliceRows(int64_t offset, int64_t count) const {
+  if (offset < 0) offset = 0;
+  if (offset > num_rows()) offset = num_rows();
+  if (count < 0 || offset + count > num_rows()) count = num_rows() - offset;
+  DataFrame out;
+  out.names_ = names_;
+  out.columns_.reserve(columns_.size());
+  for (const auto& c : columns_) out.columns_.push_back(c.Slice(offset, count));
+  out.index_ = index_.Slice(offset, count);
+  return out;
+}
+
+DataFrame DataFrame::ResetIndex() const {
+  DataFrame out = *this;
+  out.index_ = Index::Range(0, num_rows());
+  return out;
+}
+
+int64_t DataFrame::nbytes() const {
+  int64_t bytes = index_.nbytes();
+  for (const auto& c : columns_) bytes += c.nbytes();
+  return bytes;
+}
+
+std::string DataFrame::ToString(int64_t max_rows) const {
+  std::ostringstream os;
+  os << "index";
+  for (const auto& n : names_) os << "\t" << n;
+  os << "\n";
+  const int64_t n = num_rows();
+  auto emit_row = [&](int64_t r) {
+    os << index_.Label(r);
+    for (const auto& c : columns_) os << "\t" << c.ValueToString(r);
+    os << "\n";
+  };
+  if (n <= max_rows) {
+    for (int64_t r = 0; r < n; ++r) emit_row(r);
+  } else {
+    for (int64_t r = 0; r < max_rows / 2; ++r) emit_row(r);
+    os << "...\n";
+    for (int64_t r = n - (max_rows - max_rows / 2); r < n; ++r) emit_row(r);
+  }
+  os << "[" << n << " rows x " << num_columns() << " columns]";
+  return os.str();
+}
+
+}  // namespace xorbits::dataframe

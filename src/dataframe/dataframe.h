@@ -1,0 +1,79 @@
+#ifndef XORBITS_DATAFRAME_DATAFRAME_H_
+#define XORBITS_DATAFRAME_DATAFRAME_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dataframe/column.h"
+#include "dataframe/index.h"
+
+namespace xorbits::dataframe {
+
+/// Single-node dataframe: named typed columns of equal length plus a row
+/// index, following the (A, R, C, T) formalization cited by the paper. This
+/// is the "pandas backend" the distributed engine executes chunk kernels on.
+class DataFrame {
+ public:
+  DataFrame() = default;
+
+  /// Builds a frame from parallel name/column vectors; all columns must have
+  /// equal length and names must be unique. Index defaults to RangeIndex.
+  static Result<DataFrame> Make(std::vector<std::string> names,
+                                std::vector<Column> columns);
+
+  /// An empty frame with the given schema (zero rows).
+  static DataFrame EmptyLike(const DataFrame& schema_source);
+
+  int64_t num_rows() const {
+    return columns_.empty() ? index_.length() : columns_[0].length();
+  }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  const std::vector<std::string>& column_names() const { return names_; }
+  std::vector<DType> dtypes() const;
+
+  bool HasColumn(const std::string& name) const;
+  /// Position of a named column or KeyError.
+  Result<int> ColumnIndex(const std::string& name) const;
+
+  const Column& column(int i) const { return columns_[i]; }
+  Column& mutable_column(int i) { return columns_[i]; }
+  const std::string& column_name(int i) const { return names_[i]; }
+  Result<const Column*> GetColumn(const std::string& name) const;
+
+  /// Adds or replaces a column; length must match existing rows.
+  Status SetColumn(const std::string& name, Column column);
+  Status RemoveColumn(const std::string& name);
+
+  /// Projection onto a subset of columns (order given by `names`).
+  Result<DataFrame> Select(const std::vector<std::string>& names) const;
+  Result<DataFrame> Rename(
+      const std::map<std::string, std::string>& mapping) const;
+
+  DataFrame TakeRows(const std::vector<int64_t>& indices) const;
+  DataFrame FilterRows(const std::vector<uint8_t>& mask) const;
+  DataFrame SliceRows(int64_t offset, int64_t count) const;
+
+  const Index& index() const { return index_; }
+  void set_index(Index index) { index_ = std::move(index); }
+  /// Replaces the index with RangeIndex(0, num_rows).
+  DataFrame ResetIndex() const;
+
+  /// Total in-memory payload bytes (columns + index).
+  int64_t nbytes() const;
+
+  /// Pretty-prints up to `max_rows` rows (pandas-style head/tail ellipsis).
+  std::string ToString(int64_t max_rows = 10) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Column> columns_;
+  Index index_ = Index::Range(0, 0);
+};
+
+}  // namespace xorbits::dataframe
+
+#endif  // XORBITS_DATAFRAME_DATAFRAME_H_

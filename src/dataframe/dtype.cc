@@ -1,0 +1,32 @@
+#include "dataframe/dtype.h"
+
+namespace xorbits::dataframe {
+
+const char* DTypeName(DType t) {
+  switch (t) {
+    case DType::kInt64: return "int64";
+    case DType::kFloat64: return "float64";
+    case DType::kString: return "string";
+    case DType::kBool: return "bool";
+  }
+  return "?";
+}
+
+int64_t DTypeItemSize(DType t) {
+  switch (t) {
+    case DType::kInt64: return 8;
+    case DType::kFloat64: return 8;
+    case DType::kString: return 16;  // pointer + length bookkeeping
+    case DType::kBool: return 1;
+  }
+  return 8;
+}
+
+bool IsNumeric(DType t) { return t == DType::kInt64 || t == DType::kFloat64; }
+
+DType PromoteNumeric(DType a, DType b) {
+  if (a == DType::kFloat64 || b == DType::kFloat64) return DType::kFloat64;
+  return DType::kInt64;
+}
+
+}  // namespace xorbits::dataframe

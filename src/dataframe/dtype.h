@@ -1,0 +1,32 @@
+#ifndef XORBITS_DATAFRAME_DTYPE_H_
+#define XORBITS_DATAFRAME_DTYPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xorbits::dataframe {
+
+/// Column value types. Dates are stored as kInt64 (days since 1970-01-01);
+/// see datetime.h for conversions.
+enum class DType : uint8_t {
+  kInt64 = 0,
+  kFloat64 = 1,
+  kString = 2,
+  kBool = 3,
+};
+
+const char* DTypeName(DType t);
+
+/// Fixed per-item byte width used for size estimation (strings use a
+/// measured size instead; this returns the per-item overhead).
+int64_t DTypeItemSize(DType t);
+
+/// True for kInt64 / kFloat64.
+bool IsNumeric(DType t);
+
+/// Promotion rule for arithmetic between two numeric dtypes.
+DType PromoteNumeric(DType a, DType b);
+
+}  // namespace xorbits::dataframe
+
+#endif  // XORBITS_DATAFRAME_DTYPE_H_

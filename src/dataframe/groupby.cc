@@ -1,0 +1,511 @@
+#include "dataframe/groupby.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dataframe/compute.h"
+
+namespace xorbits::dataframe {
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum: return "sum";
+    case AggFunc::kCount: return "count";
+    case AggFunc::kMean: return "mean";
+    case AggFunc::kMin: return "min";
+    case AggFunc::kMax: return "max";
+    case AggFunc::kSize: return "size";
+    case AggFunc::kFirst: return "first";
+    case AggFunc::kLast: return "last";
+    case AggFunc::kNunique: return "nunique";
+    case AggFunc::kVar: return "var";
+    case AggFunc::kStd: return "std";
+    case AggFunc::kSumSq: return "sumsq";
+    case AggFunc::kMedian: return "median";
+    case AggFunc::kProd: return "prod";
+    case AggFunc::kAny: return "any";
+    case AggFunc::kAll: return "all";
+  }
+  return "?";
+}
+
+Result<AggFunc> AggFuncFromName(const std::string& name) {
+  static const std::pair<const char*, AggFunc> kTable[] = {
+      {"sum", AggFunc::kSum},        {"count", AggFunc::kCount},
+      {"mean", AggFunc::kMean},      {"avg", AggFunc::kMean},
+      {"min", AggFunc::kMin},        {"max", AggFunc::kMax},
+      {"size", AggFunc::kSize},      {"first", AggFunc::kFirst},
+      {"last", AggFunc::kLast},      {"nunique", AggFunc::kNunique},
+      {"var", AggFunc::kVar},        {"std", AggFunc::kStd},
+      {"sumsq", AggFunc::kSumSq},  {"median", AggFunc::kMedian},
+      {"prod", AggFunc::kProd},    {"any", AggFunc::kAny},
+      {"all", AggFunc::kAll},
+  };
+  for (const auto& [n, f] : kTable) {
+    if (name == n) return f;
+  }
+  return Status::Invalid("unknown aggregation: " + name);
+}
+
+namespace {
+
+/// Assigns each row a dense group id; returns group count and fills
+/// `first_row` with one representative row per group in first-seen order.
+int64_t BuildGroups(const DataFrame& df, const std::vector<const Column*>& key_cols,
+                    std::vector<int64_t>* gids, std::vector<int64_t>* first_row) {
+  const int64_t n = df.num_rows();
+  gids->resize(n);
+  std::unordered_map<std::string, int64_t> table;
+  table.reserve(static_cast<size_t>(n) * 2);
+  std::string key;
+  for (int64_t i = 0; i < n; ++i) {
+    key.clear();
+    for (const Column* c : key_cols) c->AppendKeyBytes(i, &key);
+    auto [it, inserted] =
+        table.emplace(key, static_cast<int64_t>(first_row->size()));
+    if (inserted) first_row->push_back(i);
+    (*gids)[i] = it->second;
+  }
+  return static_cast<int64_t>(first_row->size());
+}
+
+Result<Column> AggregateColumn(const Column* col, AggFunc func,
+                               const std::vector<int64_t>& gids, int64_t G) {
+  const int64_t n = static_cast<int64_t>(gids.size());
+  switch (func) {
+    case AggFunc::kSize: {
+      std::vector<int64_t> out(G, 0);
+      for (int64_t i = 0; i < n; ++i) out[gids[i]]++;
+      return Column::Int64(std::move(out));
+    }
+    case AggFunc::kCount: {
+      if (col == nullptr) return Status::Invalid("count needs a column");
+      std::vector<int64_t> out(G, 0);
+      for (int64_t i = 0; i < n; ++i) {
+        if (col->IsValid(i)) out[gids[i]]++;
+      }
+      return Column::Int64(std::move(out));
+    }
+    case AggFunc::kSum: {
+      if (col == nullptr) return Status::Invalid("sum needs a column");
+      if (!IsNumeric(col->dtype()) && col->dtype() != DType::kBool) {
+        return Status::TypeError("sum on non-numeric column");
+      }
+      if (col->dtype() == DType::kInt64) {
+        std::vector<int64_t> out(G, 0);
+        const auto& data = col->int64_data();
+        for (int64_t i = 0; i < n; ++i) {
+          if (col->IsValid(i)) out[gids[i]] += data[i];
+        }
+        return Column::Int64(std::move(out));
+      }
+      std::vector<double> out(G, 0.0);
+      for (int64_t i = 0; i < n; ++i) {
+        if (col->IsValid(i)) out[gids[i]] += col->GetDouble(i);
+      }
+      return Column::Float64(std::move(out));
+    }
+    case AggFunc::kSumSq: {
+      if (col == nullptr || !IsNumeric(col->dtype())) {
+        return Status::TypeError("sumsq needs a numeric column");
+      }
+      std::vector<double> out(G, 0.0);
+      for (int64_t i = 0; i < n; ++i) {
+        if (col->IsValid(i)) {
+          const double v = col->GetDouble(i);
+          out[gids[i]] += v * v;
+        }
+      }
+      return Column::Float64(std::move(out));
+    }
+    case AggFunc::kMean: {
+      if (col == nullptr || (!IsNumeric(col->dtype()) &&
+                             col->dtype() != DType::kBool)) {
+        return Status::TypeError("mean needs a numeric column");
+      }
+      std::vector<double> sum(G, 0.0);
+      std::vector<int64_t> cnt(G, 0);
+      for (int64_t i = 0; i < n; ++i) {
+        if (col->IsValid(i)) {
+          sum[gids[i]] += col->GetDouble(i);
+          cnt[gids[i]]++;
+        }
+      }
+      std::vector<double> out(G, 0.0);
+      std::vector<uint8_t> validity(G, 1);
+      for (int64_t g = 0; g < G; ++g) {
+        if (cnt[g] == 0) {
+          validity[g] = 0;
+        } else {
+          out[g] = sum[g] / cnt[g];
+        }
+      }
+      return Column::Float64(std::move(out), std::move(validity));
+    }
+    case AggFunc::kVar:
+    case AggFunc::kStd: {
+      if (col == nullptr || !IsNumeric(col->dtype())) {
+        return Status::TypeError("var/std needs a numeric column");
+      }
+      std::vector<double> sum(G, 0.0), sumsq(G, 0.0);
+      std::vector<int64_t> cnt(G, 0);
+      for (int64_t i = 0; i < n; ++i) {
+        if (col->IsValid(i)) {
+          const double v = col->GetDouble(i);
+          sum[gids[i]] += v;
+          sumsq[gids[i]] += v * v;
+          cnt[gids[i]]++;
+        }
+      }
+      std::vector<double> out(G, 0.0);
+      std::vector<uint8_t> validity(G, 1);
+      for (int64_t g = 0; g < G; ++g) {
+        if (cnt[g] < 2) {
+          validity[g] = 0;
+        } else {
+          double var = (sumsq[g] - sum[g] * sum[g] / cnt[g]) / (cnt[g] - 1);
+          if (var < 0) var = 0;  // numeric noise
+          out[g] = func == AggFunc::kStd ? std::sqrt(var) : var;
+        }
+      }
+      return Column::Float64(std::move(out), std::move(validity));
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+    case AggFunc::kFirst:
+    case AggFunc::kLast: {
+      if (col == nullptr) return Status::Invalid("agg needs a column");
+      // Select one representative row per group, then Take.
+      std::vector<int64_t> pick(G, -1);
+      const bool is_minmax = func == AggFunc::kMin || func == AggFunc::kMax;
+      for (int64_t i = 0; i < n; ++i) {
+        if (!col->IsValid(i)) continue;
+        int64_t& p = pick[gids[i]];
+        if (p < 0) {
+          p = i;
+        } else if (is_minmax) {
+          const Scalar cur = col->GetScalar(i);
+          const Scalar best = col->GetScalar(p);
+          const bool better =
+              func == AggFunc::kMin ? cur < best : best < cur;
+          if (better) p = i;
+        } else if (func == AggFunc::kLast) {
+          p = i;
+        }
+      }
+      // Groups with no valid value become null.
+      std::vector<int64_t> indices(G, 0);
+      std::vector<uint8_t> validity(G, 1);
+      bool any_null = false;
+      for (int64_t g = 0; g < G; ++g) {
+        if (pick[g] < 0) {
+          validity[g] = 0;
+          any_null = true;
+          indices[g] = 0;
+        } else {
+          indices[g] = pick[g];
+        }
+      }
+      if (n == 0) return Column::Nulls(col->dtype(), G);
+      Column out = col->Take(indices);
+      if (any_null) {
+        std::vector<uint8_t> merged(G, 1);
+        for (int64_t g = 0; g < G; ++g) {
+          merged[g] = validity[g] && out.IsValid(g) ? 1 : 0;
+        }
+        out.mutable_validity() = std::move(merged);
+      }
+      return out;
+    }
+    case AggFunc::kProd: {
+      if (col == nullptr || (!IsNumeric(col->dtype()) &&
+                             col->dtype() != DType::kBool)) {
+        return Status::TypeError("prod needs a numeric column");
+      }
+      std::vector<double> out(G, 1.0);
+      for (int64_t i = 0; i < n; ++i) {
+        if (col->IsValid(i)) out[gids[i]] *= col->GetDouble(i);
+      }
+      return Column::Float64(std::move(out));
+    }
+    case AggFunc::kAny:
+    case AggFunc::kAll: {
+      if (col == nullptr) return Status::Invalid("any/all needs a column");
+      const bool is_any = func == AggFunc::kAny;
+      std::vector<uint8_t> out(G, is_any ? 0 : 1);
+      for (int64_t i = 0; i < n; ++i) {
+        if (!col->IsValid(i)) continue;
+        const bool truthy = col->dtype() == DType::kString
+                                ? !col->string_data()[i].empty()
+                                : col->GetDouble(i) != 0.0;
+        if (is_any && truthy) out[gids[i]] = 1;
+        if (!is_any && !truthy) out[gids[i]] = 0;
+      }
+      return Column::Bool(std::move(out));
+    }
+    case AggFunc::kMedian: {
+      if (col == nullptr || !IsNumeric(col->dtype())) {
+        return Status::TypeError("median needs a numeric column");
+      }
+      std::vector<std::vector<double>> vals(G);
+      for (int64_t i = 0; i < n; ++i) {
+        if (col->IsValid(i)) vals[gids[i]].push_back(col->GetDouble(i));
+      }
+      std::vector<double> out(G, 0.0);
+      std::vector<uint8_t> validity(G, 1);
+      for (int64_t g = 0; g < G; ++g) {
+        auto& v = vals[g];
+        if (v.empty()) {
+          validity[g] = 0;
+          continue;
+        }
+        std::sort(v.begin(), v.end());
+        const size_t mid = v.size() / 2;
+        out[g] = v.size() % 2 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+      }
+      return Column::Float64(std::move(out), std::move(validity));
+    }
+    case AggFunc::kNunique: {
+      if (col == nullptr) return Status::Invalid("nunique needs a column");
+      std::vector<std::unordered_set<std::string>> sets(G);
+      std::string buf;
+      for (int64_t i = 0; i < n; ++i) {
+        if (!col->IsValid(i)) continue;
+        buf.clear();
+        col->AppendKeyBytes(i, &buf);
+        sets[gids[i]].insert(buf);
+      }
+      std::vector<int64_t> out(G);
+      for (int64_t g = 0; g < G; ++g) {
+        out[g] = static_cast<int64_t>(sets[g].size());
+      }
+      return Column::Int64(std::move(out));
+    }
+  }
+  return Status::Invalid("unreachable agg func");
+}
+
+}  // namespace
+
+Result<DataFrame> GroupByAgg(const DataFrame& df,
+                             const std::vector<std::string>& keys,
+                             const std::vector<AggSpec>& specs,
+                             bool sort_keys) {
+  if (keys.empty()) return Status::Invalid("GroupByAgg: empty key list");
+  std::vector<const Column*> key_cols;
+  for (const auto& k : keys) {
+    XORBITS_ASSIGN_OR_RETURN(const Column* c, df.GetColumn(k));
+    key_cols.push_back(c);
+  }
+  std::vector<int64_t> gids, first_row;
+  const int64_t G = BuildGroups(df, key_cols, &gids, &first_row);
+
+  // Group ordering: sorted by key tuple (pandas default) or first-seen.
+  std::vector<int64_t> order(G);
+  std::iota(order.begin(), order.end(), 0);
+  if (sort_keys) {
+    std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      for (const Column* c : key_cols) {
+        Scalar sa = c->GetScalar(first_row[a]);
+        Scalar sb = c->GetScalar(first_row[b]);
+        if (sa < sb) return true;
+        if (sb < sa) return false;
+      }
+      return false;
+    });
+  }
+
+  DataFrame out;
+  // Key columns first.
+  {
+    std::vector<int64_t> rep(G);
+    for (int64_t g = 0; g < G; ++g) rep[g] = first_row[order[g]];
+    for (size_t k = 0; k < keys.size(); ++k) {
+      XORBITS_RETURN_NOT_OK(out.SetColumn(keys[k], key_cols[k]->Take(rep)));
+    }
+  }
+  // Aggregated columns, reordered to group order.
+  std::vector<int64_t> perm(G);
+  for (int64_t g = 0; g < G; ++g) perm[g] = order[g];
+  for (const auto& spec : specs) {
+    const Column* col = nullptr;
+    if (!spec.input.empty()) {
+      XORBITS_ASSIGN_OR_RETURN(col, df.GetColumn(spec.input));
+    } else if (spec.func != AggFunc::kSize) {
+      return Status::Invalid("agg '" + std::string(AggFuncName(spec.func)) +
+                             "' requires an input column");
+    }
+    XORBITS_ASSIGN_OR_RETURN(Column agg,
+                             AggregateColumn(col, spec.func, gids, G));
+    XORBITS_RETURN_NOT_OK(out.SetColumn(spec.output, agg.Take(perm)));
+  }
+  if (out.num_columns() == 0) {
+    return Status::Invalid("GroupByAgg produced no columns");
+  }
+  return out;
+}
+
+bool IsDecomposable(const std::vector<AggSpec>& specs) {
+  for (const auto& s : specs) {
+    if (s.func == AggFunc::kNunique || s.func == AggFunc::kMedian) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+std::string PartialName(const AggSpec& spec, const char* part) {
+  return "__p_" + std::string(part) + "_" + spec.output;
+}
+}  // namespace
+
+Result<DecomposedAgg> DecomposeAggs(const std::vector<AggSpec>& specs) {
+  if (!IsDecomposable(specs)) {
+    return Status::NotImplemented("aggregation is not decomposable");
+  }
+  DecomposedAgg out;
+  for (const auto& s : specs) {
+    switch (s.func) {
+      case AggFunc::kSum:
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+      case AggFunc::kFirst:
+      case AggFunc::kLast:
+      case AggFunc::kProd:
+      case AggFunc::kAny:
+      case AggFunc::kAll: {
+        std::string p = PartialName(s, "v");
+        out.map_specs.push_back({s.input, s.func, p});
+        out.combine_specs.push_back({p, s.func, p});
+        break;
+      }
+      case AggFunc::kCount:
+      case AggFunc::kSize: {
+        std::string p = PartialName(s, "n");
+        out.map_specs.push_back({s.input, s.func, p});
+        out.combine_specs.push_back({p, AggFunc::kSum, p});
+        break;
+      }
+      case AggFunc::kMean: {
+        std::string ps = PartialName(s, "sum");
+        std::string pc = PartialName(s, "cnt");
+        out.map_specs.push_back({s.input, AggFunc::kSum, ps});
+        out.map_specs.push_back({s.input, AggFunc::kCount, pc});
+        out.combine_specs.push_back({ps, AggFunc::kSum, ps});
+        out.combine_specs.push_back({pc, AggFunc::kSum, pc});
+        break;
+      }
+      case AggFunc::kVar:
+      case AggFunc::kStd: {
+        std::string ps = PartialName(s, "sum");
+        std::string pq = PartialName(s, "sumsq");
+        std::string pc = PartialName(s, "cnt");
+        out.map_specs.push_back({s.input, AggFunc::kSum, ps});
+        out.map_specs.push_back({s.input, AggFunc::kSumSq, pq});
+        out.map_specs.push_back({s.input, AggFunc::kCount, pc});
+        out.combine_specs.push_back({ps, AggFunc::kSum, ps});
+        out.combine_specs.push_back({pq, AggFunc::kSum, pq});
+        out.combine_specs.push_back({pc, AggFunc::kSum, pc});
+        break;
+      }
+      case AggFunc::kSumSq: {
+        std::string p = PartialName(s, "sq");
+        out.map_specs.push_back({s.input, AggFunc::kSumSq, p});
+        out.combine_specs.push_back({p, AggFunc::kSum, p});
+        break;
+      }
+      case AggFunc::kNunique:
+      case AggFunc::kMedian:
+        return Status::NotImplemented(std::string(AggFuncName(s.func)) +
+                                      " is not decomposable");
+    }
+  }
+  return out;
+}
+
+Result<DataFrame> FinalizeAgg(const DataFrame& combined,
+                              const std::vector<std::string>& keys,
+                              const std::vector<AggSpec>& specs) {
+  DataFrame out;
+  for (const auto& k : keys) {
+    XORBITS_ASSIGN_OR_RETURN(const Column* c, combined.GetColumn(k));
+    XORBITS_RETURN_NOT_OK(out.SetColumn(k, *c));
+  }
+  for (const auto& s : specs) {
+    switch (s.func) {
+      case AggFunc::kSum:
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+      case AggFunc::kFirst:
+      case AggFunc::kLast:
+      case AggFunc::kProd:
+      case AggFunc::kAny:
+      case AggFunc::kAll: {
+        XORBITS_ASSIGN_OR_RETURN(const Column* c,
+                                 combined.GetColumn(PartialName(s, "v")));
+        XORBITS_RETURN_NOT_OK(out.SetColumn(s.output, *c));
+        break;
+      }
+      case AggFunc::kCount:
+      case AggFunc::kSize: {
+        XORBITS_ASSIGN_OR_RETURN(const Column* c,
+                                 combined.GetColumn(PartialName(s, "n")));
+        XORBITS_RETURN_NOT_OK(out.SetColumn(s.output, *c));
+        break;
+      }
+      case AggFunc::kMean: {
+        XORBITS_ASSIGN_OR_RETURN(const Column* sum,
+                                 combined.GetColumn(PartialName(s, "sum")));
+        XORBITS_ASSIGN_OR_RETURN(const Column* cnt,
+                                 combined.GetColumn(PartialName(s, "cnt")));
+        XORBITS_ASSIGN_OR_RETURN(Column mean,
+                                 BinaryOp(*sum, *cnt, BinOp::kDiv));
+        XORBITS_RETURN_NOT_OK(out.SetColumn(s.output, std::move(mean)));
+        break;
+      }
+      case AggFunc::kVar:
+      case AggFunc::kStd: {
+        XORBITS_ASSIGN_OR_RETURN(const Column* sum,
+                                 combined.GetColumn(PartialName(s, "sum")));
+        XORBITS_ASSIGN_OR_RETURN(const Column* sumsq,
+                                 combined.GetColumn(PartialName(s, "sumsq")));
+        XORBITS_ASSIGN_OR_RETURN(const Column* cnt,
+                                 combined.GetColumn(PartialName(s, "cnt")));
+        const int64_t g = sum->length();
+        std::vector<double> out_v(g, 0.0);
+        std::vector<uint8_t> validity(g, 1);
+        for (int64_t i = 0; i < g; ++i) {
+          const double n = cnt->GetDouble(i);
+          if (n < 2) {
+            validity[i] = 0;
+            continue;
+          }
+          const double sv = sum->GetDouble(i);
+          double var = (sumsq->GetDouble(i) - sv * sv / n) / (n - 1);
+          if (var < 0) var = 0;
+          out_v[i] = s.func == AggFunc::kStd ? std::sqrt(var) : var;
+        }
+        XORBITS_RETURN_NOT_OK(out.SetColumn(
+            s.output, Column::Float64(std::move(out_v), std::move(validity))));
+        break;
+      }
+      case AggFunc::kSumSq: {
+        XORBITS_ASSIGN_OR_RETURN(const Column* c,
+                                 combined.GetColumn(PartialName(s, "sq")));
+        XORBITS_RETURN_NOT_OK(out.SetColumn(s.output, *c));
+        break;
+      }
+      case AggFunc::kNunique:
+      case AggFunc::kMedian:
+        return Status::NotImplemented(std::string(AggFuncName(s.func)) +
+                                      " is not decomposable");
+    }
+  }
+  return out;
+}
+
+}  // namespace xorbits::dataframe

@@ -1,0 +1,75 @@
+#ifndef XORBITS_DATAFRAME_GROUPBY_H_
+#define XORBITS_DATAFRAME_GROUPBY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataframe/dataframe.h"
+
+namespace xorbits::dataframe {
+
+/// Aggregation functions supported by groupby.agg. kSumSq is internal (used
+/// by the distributed decomposition of var/std).
+enum class AggFunc {
+  kSum,
+  kCount,
+  kMean,
+  kMin,
+  kMax,
+  kSize,
+  kFirst,
+  kLast,
+  kNunique,
+  kVar,
+  kStd,
+  kSumSq,
+  kMedian,   // non-decomposable: distributed path shuffles raw rows
+  kProd,
+  kAny,      // bool: true if any value truthy
+  kAll,
+};
+
+const char* AggFuncName(AggFunc f);
+Result<AggFunc> AggFuncFromName(const std::string& name);
+
+/// One aggregation: `output = func(input)` within each group. This mirrors
+/// pandas NamedAgg (column-specific aggregation with a controlled output
+/// name), which the paper calls out as a PySpark compatibility gap.
+struct AggSpec {
+  std::string input;   // source column ("" allowed for kSize)
+  AggFunc func;
+  std::string output;  // result column name
+};
+
+/// Hash-grouped aggregation. Group keys become leading output columns;
+/// groups are emitted sorted by key when `sort_keys` (pandas default).
+/// Null-handling follows pandas: aggregations skip nulls, kSize counts rows.
+Result<DataFrame> GroupByAgg(const DataFrame& df,
+                             const std::vector<std::string>& keys,
+                             const std::vector<AggSpec>& specs,
+                             bool sort_keys = true);
+
+/// Partial aggregation plan for the paper's map-combine-reduce model: the
+/// map stage applies `map_specs` to each raw chunk, combine/reduce stages
+/// re-aggregate partials with `combine_specs`, and FinalizeAgg computes the
+/// user-visible outputs.
+struct DecomposedAgg {
+  std::vector<AggSpec> map_specs;
+  std::vector<AggSpec> combine_specs;
+};
+
+/// False when some spec (e.g. nunique) cannot be computed from partial
+/// aggregates; such pipelines must shuffle raw rows instead.
+bool IsDecomposable(const std::vector<AggSpec>& specs);
+
+Result<DecomposedAgg> DecomposeAggs(const std::vector<AggSpec>& specs);
+
+/// Turns combined partial columns into the user-requested outputs.
+Result<DataFrame> FinalizeAgg(const DataFrame& combined,
+                              const std::vector<std::string>& keys,
+                              const std::vector<AggSpec>& specs);
+
+}  // namespace xorbits::dataframe
+
+#endif  // XORBITS_DATAFRAME_GROUPBY_H_

@@ -1,0 +1,49 @@
+#include "dataframe/index.h"
+
+namespace xorbits::dataframe {
+
+Index Index::Take(const std::vector<int64_t>& indices) const {
+  std::vector<int64_t> labels;
+  labels.reserve(indices.size());
+  for (int64_t i : indices) labels.push_back(Label(i));
+  return Labels(std::move(labels));
+}
+
+Index Index::Filter(const std::vector<uint8_t>& mask) const {
+  std::vector<int64_t> labels;
+  const int64_t n = length();
+  for (int64_t i = 0; i < n; ++i) {
+    if (mask[i]) labels.push_back(Label(i));
+  }
+  return Labels(std::move(labels));
+}
+
+Index Index::Slice(int64_t offset, int64_t count) const {
+  if (is_range_) return Range(start_ + offset, start_ + offset + count);
+  return Labels(std::vector<int64_t>(labels_.begin() + offset,
+                                     labels_.begin() + offset + count));
+}
+
+Index Index::Concat(const std::vector<const Index*>& pieces) {
+  // Fast path: contiguous ranges concatenate into one range.
+  bool contiguous = true;
+  int64_t expected = pieces.empty() ? 0 : pieces[0]->start_;
+  for (const Index* p : pieces) {
+    if (!p->is_range_ || p->start_ != expected) {
+      contiguous = false;
+      break;
+    }
+    expected = p->stop_;
+  }
+  if (contiguous && !pieces.empty()) {
+    return Range(pieces[0]->start_, expected);
+  }
+  std::vector<int64_t> labels;
+  for (const Index* p : pieces) {
+    const int64_t n = p->length();
+    for (int64_t i = 0; i < n; ++i) labels.push_back(p->Label(i));
+  }
+  return Labels(std::move(labels));
+}
+
+}  // namespace xorbits::dataframe

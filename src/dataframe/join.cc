@@ -1,0 +1,231 @@
+#include "dataframe/join.h"
+
+#include <unordered_map>
+
+#include "dataframe/kernels.h"
+
+namespace xorbits::dataframe {
+
+const char* JoinTypeName(JoinType t) {
+  switch (t) {
+    case JoinType::kInner: return "inner";
+    case JoinType::kLeft: return "left";
+    case JoinType::kRight: return "right";
+    case JoinType::kOuter: return "outer";
+  }
+  return "?";
+}
+
+Result<JoinType> JoinTypeFromName(const std::string& name) {
+  if (name == "inner") return JoinType::kInner;
+  if (name == "left") return JoinType::kLeft;
+  if (name == "right") return JoinType::kRight;
+  if (name == "outer") return JoinType::kOuter;
+  return Status::Invalid("unknown join type: " + name);
+}
+
+namespace {
+
+/// Gathers rows by index where -1 produces a null row.
+Column TakeOrNull(const Column& col, const std::vector<int64_t>& indices) {
+  const int64_t n = static_cast<int64_t>(indices.size());
+  bool any_null = false;
+  for (int64_t i : indices) {
+    if (i < 0) {
+      any_null = true;
+      break;
+    }
+  }
+  if (!any_null) return col.Take(indices);
+  std::vector<int64_t> safe(indices);
+  std::vector<uint8_t> validity(n, 1);
+  for (int64_t i = 0; i < n; ++i) {
+    if (safe[i] < 0) {
+      safe[i] = 0;
+      validity[i] = 0;
+    }
+  }
+  Column out = col.length() == 0 ? Column::Nulls(col.dtype(), n)
+                                 : col.Take(safe);
+  std::vector<uint8_t> merged(n, 1);
+  for (int64_t i = 0; i < n; ++i) {
+    merged[i] = (validity[i] && out.IsValid(i)) ? 1 : 0;
+  }
+  out.mutable_validity() = std::move(merged);
+  return out;
+}
+
+}  // namespace
+
+Result<DataFrame> Merge(const DataFrame& left, const DataFrame& right,
+                        const MergeOptions& options) {
+  std::vector<std::string> lkeys = options.left_on;
+  std::vector<std::string> rkeys = options.right_on;
+  const bool same_names = lkeys.empty() && rkeys.empty();
+  if (same_names) {
+    lkeys = options.on;
+    rkeys = options.on;
+  }
+  if (lkeys.empty() || lkeys.size() != rkeys.size()) {
+    return Status::Invalid("Merge: bad key specification");
+  }
+  std::vector<const Column*> lcols, rcols;
+  for (const auto& k : lkeys) {
+    XORBITS_ASSIGN_OR_RETURN(const Column* c, left.GetColumn(k));
+    lcols.push_back(c);
+  }
+  for (const auto& k : rkeys) {
+    XORBITS_ASSIGN_OR_RETURN(const Column* c, right.GetColumn(k));
+    rcols.push_back(c);
+  }
+
+  // Build phase: hash right keys -> row lists.
+  const int64_t rn = right.num_rows();
+  std::unordered_map<std::string, std::vector<int64_t>> table;
+  table.reserve(static_cast<size_t>(rn) * 2);
+  {
+    std::string key;
+    for (int64_t i = 0; i < rn; ++i) {
+      bool has_null = false;
+      for (const Column* c : rcols) {
+        if (c->IsNull(i)) {
+          has_null = true;
+          break;
+        }
+      }
+      if (has_null) continue;  // null keys never match (pandas semantics)
+      key.clear();
+      for (const Column* c : rcols) c->AppendKeyBytes(i, &key);
+      table[key].push_back(i);
+    }
+  }
+
+  // Probe phase.
+  const int64_t ln = left.num_rows();
+  std::vector<int64_t> lidx, ridx;
+  std::vector<uint8_t> right_matched(rn, 0);
+  const bool keep_left = options.how == JoinType::kLeft ||
+                         options.how == JoinType::kOuter;
+  const bool keep_right = options.how == JoinType::kRight ||
+                          options.how == JoinType::kOuter;
+  {
+    std::string key;
+    for (int64_t i = 0; i < ln; ++i) {
+      bool has_null = false;
+      for (const Column* c : lcols) {
+        if (c->IsNull(i)) {
+          has_null = true;
+          break;
+        }
+      }
+      const std::vector<int64_t>* matches = nullptr;
+      if (!has_null) {
+        key.clear();
+        for (const Column* c : lcols) c->AppendKeyBytes(i, &key);
+        auto it = table.find(key);
+        if (it != table.end()) matches = &it->second;
+      }
+      if (matches != nullptr) {
+        for (int64_t r : *matches) {
+          lidx.push_back(i);
+          ridx.push_back(r);
+          right_matched[r] = 1;
+        }
+      } else if (keep_left) {
+        lidx.push_back(i);
+        ridx.push_back(-1);
+      }
+    }
+  }
+  if (keep_right) {
+    for (int64_t r = 0; r < rn; ++r) {
+      if (!right_matched[r]) {
+        lidx.push_back(-1);
+        ridx.push_back(r);
+      }
+    }
+  }
+
+  // Assemble output columns. Key columns named in `on` are emitted once,
+  // coalescing left/right values for outer joins.
+  DataFrame out;
+  auto is_key = [](const std::vector<std::string>& keys,
+                   const std::string& name) {
+    for (const auto& k : keys) {
+      if (k == name) return true;
+    }
+    return false;
+  };
+  for (int ci = 0; ci < left.num_columns(); ++ci) {
+    const std::string& name = left.column_name(ci);
+    std::string out_name = name;
+    if (!(same_names && is_key(lkeys, name)) && right.HasColumn(name) &&
+        !(same_names && is_key(rkeys, name))) {
+      out_name = name + options.suffix_left;
+    }
+    Column col = TakeOrNull(left.column(ci), lidx);
+    if (same_names && is_key(lkeys, name)) {
+      // Coalesce: fill nulls (unmatched right rows) from the right key.
+      for (size_t k = 0; k < lkeys.size(); ++k) {
+        if (lkeys[k] != name) continue;
+        Column rcol = TakeOrNull(*rcols[k], ridx);
+        if (col.has_validity()) {
+          const int64_t n = col.length();
+          std::vector<int64_t> fill_rows;
+          for (int64_t i = 0; i < n; ++i) {
+            if (col.IsNull(i) && rcol.IsValid(i)) fill_rows.push_back(i);
+          }
+          if (!fill_rows.empty()) {
+            // Rebuild the column with right values where left is null.
+            std::vector<int64_t> src(n);
+            for (int64_t i = 0; i < n; ++i) src[i] = lidx[i] >= 0 ? i : -1;
+            // Simple per-row rebuild via scalars is acceptable here: outer
+            // joins with unmatched right rows are rare in hot paths.
+            for (int64_t i : fill_rows) {
+              // Replace by reconstructing from rcol at i.
+              switch (col.dtype()) {
+                case DType::kInt64:
+                  col.mutable_int64_data()[i] = rcol.int64_data()[i];
+                  break;
+                case DType::kFloat64:
+                  col.mutable_float64_data()[i] = rcol.float64_data()[i];
+                  break;
+                case DType::kString:
+                  col.mutable_string_data()[i] = rcol.string_data()[i];
+                  break;
+                case DType::kBool:
+                  col.mutable_bool_data()[i] = rcol.bool_data()[i];
+                  break;
+              }
+              col.mutable_validity()[i] = 1;
+            }
+          }
+        }
+        break;
+      }
+    }
+    XORBITS_RETURN_NOT_OK(out.SetColumn(out_name, std::move(col)));
+  }
+  for (int ci = 0; ci < right.num_columns(); ++ci) {
+    const std::string& name = right.column_name(ci);
+    if (same_names && is_key(rkeys, name)) continue;  // already emitted
+    std::string out_name = name;
+    if (left.HasColumn(name) && !(same_names && is_key(lkeys, name))) {
+      out_name = name + options.suffix_right;
+    }
+    XORBITS_RETURN_NOT_OK(
+        out.SetColumn(out_name, TakeOrNull(right.column(ci), ridx)));
+  }
+  out.set_index(Index::Range(0, static_cast<int64_t>(lidx.size())));
+
+  if (options.sort) {
+    std::vector<std::string> by;
+    for (const auto& k : lkeys) {
+      by.push_back(out.HasColumn(k) ? k : k + options.suffix_left);
+    }
+    return SortValues(out, by, std::vector<bool>(by.size(), true));
+  }
+  return out;
+}
+
+}  // namespace xorbits::dataframe

@@ -1,0 +1,40 @@
+#ifndef XORBITS_DATAFRAME_JOIN_H_
+#define XORBITS_DATAFRAME_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataframe/dataframe.h"
+
+namespace xorbits::dataframe {
+
+enum class JoinType { kInner, kLeft, kRight, kOuter };
+
+const char* JoinTypeName(JoinType t);
+Result<JoinType> JoinTypeFromName(const std::string& name);
+
+/// pandas.merge options. When `left_on`/`right_on` are empty, `on` names
+/// columns present on both sides (emitted once in the output). Non-key
+/// columns sharing a name get `suffix_left`/`suffix_right` appended. With
+/// `sort`, the result is sorted by the join keys (the capability the paper
+/// notes Dask/PySpark merges lack).
+struct MergeOptions {
+  std::vector<std::string> on;
+  std::vector<std::string> left_on;
+  std::vector<std::string> right_on;
+  JoinType how = JoinType::kInner;
+  std::string suffix_left = "_x";
+  std::string suffix_right = "_y";
+  bool sort = false;
+};
+
+/// Hash join (build on right, probe from left). Output row order follows the
+/// left frame (then unmatched right rows for right/outer joins), matching
+/// pandas' observable behaviour for sort=False.
+Result<DataFrame> Merge(const DataFrame& left, const DataFrame& right,
+                        const MergeOptions& options);
+
+}  // namespace xorbits::dataframe
+
+#endif  // XORBITS_DATAFRAME_JOIN_H_

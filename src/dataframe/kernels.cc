@@ -1,0 +1,220 @@
+#include "dataframe/kernels.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xorbits::dataframe {
+
+Result<DataFrame> Filter(const DataFrame& df, const Column& mask) {
+  if (mask.dtype() != DType::kBool) {
+    return Status::TypeError("Filter mask must be bool");
+  }
+  if (mask.length() != df.num_rows()) {
+    return Status::Invalid("Filter mask length mismatch");
+  }
+  const auto& data = mask.bool_data();
+  std::vector<uint8_t> effective(data.begin(), data.end());
+  if (mask.has_validity()) {
+    for (int64_t i = 0; i < mask.length(); ++i) {
+      if (!mask.IsValid(i)) effective[i] = 0;
+    }
+  }
+  return df.FilterRows(effective);
+}
+
+Result<DataFrame> SortValues(const DataFrame& df,
+                             const std::vector<std::string>& by,
+                             const std::vector<bool>& ascending) {
+  if (by.empty()) return Status::Invalid("SortValues: empty key list");
+  std::vector<bool> asc = ascending;
+  if (asc.empty()) asc.assign(by.size(), true);
+  if (asc.size() != by.size()) {
+    return Status::Invalid("SortValues: ascending length mismatch");
+  }
+  std::vector<const Column*> cols;
+  for (const auto& k : by) {
+    XORBITS_ASSIGN_OR_RETURN(const Column* c, df.GetColumn(k));
+    cols.push_back(c);
+  }
+  std::vector<int64_t> order(df.num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const Column* c = cols[k];
+      const bool an = c->IsNull(a), bn = c->IsNull(b);
+      if (an || bn) {
+        if (an == bn) continue;
+        return bn;  // nulls last regardless of direction
+      }
+      Scalar sa = c->GetScalar(a), sb = c->GetScalar(b);
+      if (sa < sb) return static_cast<bool>(asc[k]);
+      if (sb < sa) return !asc[k];
+    }
+    return false;
+  });
+  return df.TakeRows(order);
+}
+
+Result<DataFrame> Concat(const std::vector<const DataFrame*>& frames) {
+  if (frames.empty()) return Status::Invalid("Concat of zero frames");
+  const DataFrame& first = *frames[0];
+  DataFrame out;
+  for (int ci = 0; ci < first.num_columns(); ++ci) {
+    const std::string& name = first.column_name(ci);
+    std::vector<const Column*> pieces;
+    for (const DataFrame* f : frames) {
+      XORBITS_ASSIGN_OR_RETURN(const Column* c, f->GetColumn(name));
+      pieces.push_back(c);
+    }
+    XORBITS_ASSIGN_OR_RETURN(Column col, Column::Concat(pieces));
+    XORBITS_RETURN_NOT_OK(out.SetColumn(name, std::move(col)));
+  }
+  std::vector<const Index*> indexes;
+  for (const DataFrame* f : frames) indexes.push_back(&f->index());
+  out.set_index(Index::Concat(indexes));
+  return out;
+}
+
+Result<DataFrame> Concat(const std::vector<DataFrame>& frames) {
+  std::vector<const DataFrame*> ptrs;
+  ptrs.reserve(frames.size());
+  for (const auto& f : frames) ptrs.push_back(&f);
+  return Concat(ptrs);
+}
+
+Result<DataFrame> DropDuplicates(const DataFrame& df,
+                                 const std::vector<std::string>& subset) {
+  std::vector<const Column*> cols;
+  if (subset.empty()) {
+    for (int i = 0; i < df.num_columns(); ++i) cols.push_back(&df.column(i));
+  } else {
+    for (const auto& k : subset) {
+      XORBITS_ASSIGN_OR_RETURN(const Column* c, df.GetColumn(k));
+      cols.push_back(c);
+    }
+  }
+  const int64_t n = df.num_rows();
+  std::unordered_set<std::string> seen;
+  seen.reserve(static_cast<size_t>(n) * 2);
+  std::vector<uint8_t> keep(n, 0);
+  std::string key;
+  for (int64_t i = 0; i < n; ++i) {
+    key.clear();
+    for (const Column* c : cols) c->AppendKeyBytes(i, &key);
+    if (seen.insert(key).second) keep[i] = 1;
+  }
+  return df.FilterRows(keep);
+}
+
+DataFrame Head(const DataFrame& df, int64_t n) {
+  return df.SliceRows(0, std::min<int64_t>(n, df.num_rows()));
+}
+
+Result<DataFrame> DropNa(const DataFrame& df,
+                         const std::vector<std::string>& subset) {
+  std::vector<const Column*> cols;
+  if (subset.empty()) {
+    for (int i = 0; i < df.num_columns(); ++i) cols.push_back(&df.column(i));
+  } else {
+    for (const auto& k : subset) {
+      XORBITS_ASSIGN_OR_RETURN(const Column* c, df.GetColumn(k));
+      cols.push_back(c);
+    }
+  }
+  const int64_t n = df.num_rows();
+  std::vector<uint8_t> keep(n, 1);
+  for (const Column* c : cols) {
+    if (!c->has_validity()) continue;
+    for (int64_t i = 0; i < n; ++i) {
+      if (c->IsNull(i)) keep[i] = 0;
+    }
+  }
+  return df.FilterRows(keep);
+}
+
+Result<DataFrame> FillNa(const DataFrame& df, const std::string& column,
+                         const Scalar& value) {
+  XORBITS_ASSIGN_OR_RETURN(const Column* c, df.GetColumn(column));
+  if (!c->has_validity()) return df;
+  Column filled = *c;
+  const int64_t n = filled.length();
+  for (int64_t i = 0; i < n; ++i) {
+    if (filled.IsValid(i)) continue;
+    switch (filled.dtype()) {
+      case DType::kInt64:
+        filled.mutable_int64_data()[i] = value.AsInt();
+        break;
+      case DType::kFloat64:
+        filled.mutable_float64_data()[i] = value.AsDouble();
+        break;
+      case DType::kString:
+        filled.mutable_string_data()[i] = value.AsString();
+        break;
+      case DType::kBool:
+        filled.mutable_bool_data()[i] = value.AsBool() ? 1 : 0;
+        break;
+    }
+    filled.mutable_validity()[i] = 1;
+  }
+  DataFrame out = df;
+  XORBITS_RETURN_NOT_OK(out.SetColumn(column, std::move(filled)));
+  return out;
+}
+
+Result<Column> Unique(const Column& col) {
+  const int64_t n = col.length();
+  std::unordered_set<std::string> seen;
+  std::vector<int64_t> keep_rows;
+  std::string key;
+  for (int64_t i = 0; i < n; ++i) {
+    key.clear();
+    col.AppendKeyBytes(i, &key);
+    if (seen.insert(key).second) keep_rows.push_back(i);
+  }
+  return col.Take(keep_rows);
+}
+
+Result<DataFrame> ValueCounts(const Column& col, const std::string& name) {
+  const int64_t n = col.length();
+  std::unordered_map<std::string, std::pair<int64_t, int64_t>> counts;
+  std::string key;
+  for (int64_t i = 0; i < n; ++i) {
+    if (col.IsNull(i)) continue;
+    key.clear();
+    col.AppendKeyBytes(i, &key);
+    auto [it, inserted] = counts.emplace(key, std::make_pair(i, int64_t{0}));
+    it->second.second++;
+  }
+  std::vector<std::pair<int64_t, int64_t>> rows;  // (first_row, count)
+  rows.reserve(counts.size());
+  for (const auto& [k, v] : counts) rows.push_back(v);
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second != b.second) return a.second > b.second;
+                     return a.first < b.first;
+                   });
+  std::vector<int64_t> take;
+  std::vector<int64_t> cnts;
+  for (const auto& [row, cnt] : rows) {
+    take.push_back(row);
+    cnts.push_back(cnt);
+  }
+  DataFrame out;
+  XORBITS_RETURN_NOT_OK(out.SetColumn(name, col.Take(take)));
+  XORBITS_RETURN_NOT_OK(out.SetColumn("count", Column::Int64(std::move(cnts))));
+  return out;
+}
+
+Result<DataFrame> IlocRow(const DataFrame& df, int64_t pos) {
+  if (pos < 0) pos += df.num_rows();
+  if (pos < 0 || pos >= df.num_rows()) {
+    return Status::IndexError("iloc position " + std::to_string(pos) +
+                              " out of bounds for " +
+                              std::to_string(df.num_rows()) + " rows");
+  }
+  return df.SliceRows(pos, 1);
+}
+
+}  // namespace xorbits::dataframe

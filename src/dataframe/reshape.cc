@@ -1,0 +1,165 @@
+#include "dataframe/reshape.h"
+
+#include <algorithm>
+#include <map>
+
+#include "dataframe/kernels.h"
+
+namespace xorbits::dataframe {
+
+Result<DataFrame> SpreadToWide(const DataFrame& aggregated,
+                               const std::vector<std::string>& index,
+                               const std::string& columns,
+                               const std::string& value) {
+  XORBITS_ASSIGN_OR_RETURN(const Column* col_col,
+                           aggregated.GetColumn(columns));
+  XORBITS_ASSIGN_OR_RETURN(const Column* val_col,
+                           aggregated.GetColumn(value));
+  std::vector<const Column*> index_cols;
+  for (const auto& k : index) {
+    XORBITS_ASSIGN_OR_RETURN(const Column* c, aggregated.GetColumn(k));
+    index_cols.push_back(c);
+  }
+  const int64_t n = aggregated.num_rows();
+
+  // Distinct output columns, ordered by value (pandas sorts them).
+  std::vector<std::pair<Scalar, std::string>> col_values;
+  {
+    std::map<std::string, Scalar> seen;  // key-bytes -> scalar
+    std::string key;
+    for (int64_t i = 0; i < n; ++i) {
+      key.clear();
+      col_col->AppendKeyBytes(i, &key);
+      seen.emplace(key, col_col->GetScalar(i));
+    }
+    for (auto& [k, s] : seen) col_values.emplace_back(s, s.ToString());
+    std::sort(col_values.begin(), col_values.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+
+  // Distinct index tuples in sorted first-seen order (input is sorted by
+  // the upstream groupby).
+  std::map<std::string, int64_t> row_of;  // index key-bytes -> output row
+  std::vector<int64_t> rep_row;           // representative input row
+  std::string key;
+  std::vector<int64_t> row_ids(n);
+  for (int64_t i = 0; i < n; ++i) {
+    key.clear();
+    for (const Column* c : index_cols) c->AppendKeyBytes(i, &key);
+    auto [it, inserted] =
+        row_of.emplace(key, static_cast<int64_t>(rep_row.size()));
+    if (inserted) rep_row.push_back(i);
+    row_ids[i] = it->second;
+  }
+  const int64_t rows = static_cast<int64_t>(rep_row.size());
+
+  DataFrame out;
+  for (size_t k = 0; k < index.size(); ++k) {
+    XORBITS_RETURN_NOT_OK(out.SetColumn(index[k], index_cols[k]->Take(rep_row)));
+  }
+  // One output column per distinct `columns` value.
+  for (const auto& [scalar, name] : col_values) {
+    std::string want;
+    // Cells default to null; fill from matching rows.
+    Column cell = Column::Nulls(val_col->dtype(), rows);
+    for (int64_t i = 0; i < n; ++i) {
+      want.clear();
+      col_col->AppendKeyBytes(i, &want);
+      std::string have;
+      // Compare by scalar equality via key bytes of this row's column value.
+      // (Rows were grouped upstream, so each (index, column) pair is unique.)
+      Scalar s = col_col->GetScalar(i);
+      if (!(s == scalar)) continue;
+      const int64_t r = row_ids[i];
+      if (val_col->IsValid(i)) {
+        switch (cell.dtype()) {
+          case DType::kInt64:
+            cell.mutable_int64_data()[r] = val_col->int64_data()[i];
+            break;
+          case DType::kFloat64:
+            cell.mutable_float64_data()[r] = val_col->float64_data()[i];
+            break;
+          case DType::kString:
+            cell.mutable_string_data()[r] = val_col->string_data()[i];
+            break;
+          case DType::kBool:
+            cell.mutable_bool_data()[r] = val_col->bool_data()[i];
+            break;
+        }
+        cell.mutable_validity()[r] = 1;
+      }
+    }
+    XORBITS_RETURN_NOT_OK(out.SetColumn(name, std::move(cell)));
+  }
+  return out;
+}
+
+Result<DataFrame> PivotTable(const DataFrame& df,
+                             const std::vector<std::string>& index,
+                             const std::string& columns,
+                             const std::string& values, AggFunc func) {
+  if (index.empty()) return Status::Invalid("pivot_table: empty index");
+  std::vector<std::string> keys = index;
+  keys.push_back(columns);
+  XORBITS_ASSIGN_OR_RETURN(
+      DataFrame aggregated,
+      GroupByAgg(df, keys, {{values, func, "__pivot_value__"}}));
+  return SpreadToWide(aggregated, index, columns, "__pivot_value__");
+}
+
+Result<Column> CumSumCol(const Column& col) {
+  if (!IsNumeric(col.dtype())) {
+    return Status::TypeError("cumsum on non-numeric column");
+  }
+  const int64_t n = col.length();
+  std::vector<uint8_t> validity;
+  if (col.has_validity()) validity = col.validity();
+  if (col.dtype() == DType::kInt64 && !col.has_validity()) {
+    std::vector<int64_t> out(n);
+    int64_t acc = 0;
+    const auto& data = col.int64_data();
+    for (int64_t i = 0; i < n; ++i) {
+      acc += data[i];
+      out[i] = acc;
+    }
+    return Column::Int64(std::move(out));
+  }
+  std::vector<double> out(n, 0.0);
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (col.IsValid(i)) acc += col.GetDouble(i);
+    out[i] = acc;
+  }
+  return Column::Float64(std::move(out), std::move(validity));
+}
+
+Result<Column> RollingMeanCol(const Column& col, int64_t window) {
+  if (!IsNumeric(col.dtype())) {
+    return Status::TypeError("rolling mean on non-numeric column");
+  }
+  if (window <= 0) return Status::Invalid("rolling window must be positive");
+  const int64_t n = col.length();
+  std::vector<double> out(n, 0.0);
+  std::vector<uint8_t> validity(n, 0);
+  double acc = 0.0;
+  int64_t valid_in_window = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (col.IsValid(i)) {
+      acc += col.GetDouble(i);
+      ++valid_in_window;
+    }
+    if (i >= window) {
+      if (col.IsValid(i - window)) {
+        acc -= col.GetDouble(i - window);
+        --valid_in_window;
+      }
+    }
+    if (i >= window - 1 && valid_in_window == window) {
+      out[i] = acc / window;
+      validity[i] = 1;
+    }
+  }
+  return Column::Float64(std::move(out), std::move(validity));
+}
+
+}  // namespace xorbits::dataframe

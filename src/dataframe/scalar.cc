@@ -1,0 +1,57 @@
+#include "dataframe/scalar.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace xorbits::dataframe {
+
+int64_t Scalar::AsInt() const {
+  if (is_int()) return std::get<int64_t>(v_);
+  if (is_float()) return static_cast<int64_t>(std::get<double>(v_));
+  if (is_bool()) return std::get<bool>(v_) ? 1 : 0;
+  assert(false && "Scalar::AsInt on non-numeric");
+  return 0;
+}
+
+double Scalar::AsDouble() const {
+  if (is_float()) return std::get<double>(v_);
+  if (is_int()) return static_cast<double>(std::get<int64_t>(v_));
+  if (is_bool()) return std::get<bool>(v_) ? 1.0 : 0.0;
+  assert(false && "Scalar::AsDouble on non-numeric");
+  return 0.0;
+}
+
+const std::string& Scalar::AsString() const {
+  assert(is_string());
+  return std::get<std::string>(v_);
+}
+
+bool Scalar::AsBool() const {
+  assert(is_bool());
+  return std::get<bool>(v_);
+}
+
+std::string Scalar::ToString() const {
+  if (is_null()) return "null";
+  if (is_int()) return std::to_string(std::get<int64_t>(v_));
+  if (is_bool()) return std::get<bool>(v_) ? "true" : "false";
+  if (is_string()) return std::get<std::string>(v_);
+  std::ostringstream os;
+  os << std::get<double>(v_);
+  return os.str();
+}
+
+bool Scalar::operator<(const Scalar& other) const {
+  if (is_null() != other.is_null()) return is_null();
+  if (is_null()) return false;
+  // Numeric cross-type comparison.
+  if (is_numeric() && other.is_numeric()) {
+    return AsDouble() < other.AsDouble();
+  }
+  if (is_string() && other.is_string()) return AsString() < other.AsString();
+  if (is_bool() && other.is_bool()) return !AsBool() && other.AsBool();
+  // Heterogeneous non-numeric: order by variant index for determinism.
+  return v_.index() < other.v_.index();
+}
+
+}  // namespace xorbits::dataframe

@@ -1,0 +1,52 @@
+#ifndef XORBITS_DATAFRAME_SCALAR_H_
+#define XORBITS_DATAFRAME_SCALAR_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "dataframe/dtype.h"
+
+namespace xorbits::dataframe {
+
+/// A single (possibly null) cell value. Used for literal operands in
+/// comparisons, group keys, and scalar reduction results.
+class Scalar {
+ public:
+  Scalar() : v_(std::monostate{}) {}
+
+  static Scalar Null() { return Scalar(); }
+  static Scalar Int(int64_t v) { return Scalar(V(v)); }
+  static Scalar Float(double v) { return Scalar(V(v)); }
+  static Scalar Str(std::string v) { return Scalar(V(std::move(v))); }
+  static Scalar Bool(bool v) { return Scalar(V(v)); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_float() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_numeric() const { return is_int() || is_float(); }
+
+  int64_t AsInt() const;
+  /// Numeric coercion: ints and bools convert to double.
+  double AsDouble() const;
+  const std::string& AsString() const;
+  bool AsBool() const;
+
+  std::string ToString() const;
+
+  bool operator==(const Scalar& other) const { return v_ == other.v_; }
+  /// Total order with nulls first; numerics compare by value across
+  /// int64/double.
+  bool operator<(const Scalar& other) const;
+
+ private:
+  using V = std::variant<std::monostate, int64_t, double, std::string, bool>;
+  explicit Scalar(V v) : v_(std::move(v)) {}
+  V v_;
+};
+
+}  // namespace xorbits::dataframe
+
+#endif  // XORBITS_DATAFRAME_SCALAR_H_

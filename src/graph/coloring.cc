@@ -1,0 +1,78 @@
+#include "graph/coloring.h"
+
+#include <cstddef>
+
+namespace xorbits::graph {
+
+std::vector<int> ColorForFusion(const std::vector<std::vector<int>>& succ,
+                                const std::vector<bool>& fusible) {
+  const int n = static_cast<int>(succ.size());
+  std::vector<std::vector<int>> pred(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v : succ[u]) pred[v].push_back(u);
+  }
+  std::vector<int> color(n, -1);
+  int next_color = 0;
+
+  // Steps 1 & 2: initial nodes get fresh colors; others inherit when every
+  // predecessor agrees (and both sides are fusible), else take a fresh color.
+  for (int u = 0; u < n; ++u) {
+    if (!fusible[u] || pred[u].empty()) {
+      color[u] = next_color++;
+      continue;
+    }
+    int inherited = -2;
+    for (int p : pred[u]) {
+      const int pc = fusible[p] ? color[p] : -1;  // non-fusible never shared
+      if (inherited == -2) {
+        inherited = pc;
+      } else if (inherited != pc) {
+        inherited = -1;
+      }
+    }
+    color[u] = (inherited >= 0) ? inherited : next_color++;
+  }
+
+  // Step 3: split same-colored successors away when a node's successors have
+  // mixed colors, repainting the downstream region that carried the old
+  // color through the split successor.
+  for (int u = 0; u < n; ++u) {
+    bool any_same = false, any_diff = false;
+    for (int v : succ[u]) {
+      if (color[v] == color[u]) {
+        any_same = true;
+      } else {
+        any_diff = true;
+      }
+    }
+    if (!(any_same && any_diff)) continue;
+    const int old_color = color[u];
+    const int fresh = next_color++;
+    // Repaint each same-colored successor and the old-colored region
+    // reachable from it (monotone walk: indices only increase).
+    std::vector<int> stack;
+    for (int v : succ[u]) {
+      if (color[v] == old_color) {
+        color[v] = fresh;
+        stack.push_back(v);
+      }
+    }
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      for (int w : succ[v]) {
+        if (color[w] == old_color) {
+          color[w] = fresh;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return color;
+}
+
+std::vector<int> ColorForFusion(const std::vector<std::vector<int>>& succ) {
+  return ColorForFusion(succ, std::vector<bool>(succ.size(), true));
+}
+
+}  // namespace xorbits::graph

@@ -1,0 +1,31 @@
+#ifndef XORBITS_GRAPH_COLORING_H_
+#define XORBITS_GRAPH_COLORING_H_
+
+#include <vector>
+
+namespace xorbits::graph {
+
+/// The paper's three-step coloring algorithm for graph-level fusion (§V-A,
+/// Fig. 7), expressed over an abstract DAG: `succ[i]` lists the successors of
+/// node i (nodes must already be in a valid topological order: every edge
+/// goes from a lower to a higher index). Nodes with `fusible[i] == false`
+/// always receive a fresh color and never propagate it (shuffle-style
+/// boundaries).
+///
+/// Returns one color id per node; nodes sharing a color form one subtask.
+///
+/// Step 1 assigns fresh colors to initial nodes. Step 2 propagates along the
+/// topological order: a node whose predecessors all share one color inherits
+/// it, otherwise it gets a fresh color. Step 3 walks the order again and,
+/// whenever a node's successors mix same-colored and differently-colored
+/// nodes, splits the same-colored successors onto a fresh color, repainting
+/// everything downstream that had inherited the old color through them.
+std::vector<int> ColorForFusion(const std::vector<std::vector<int>>& succ,
+                                const std::vector<bool>& fusible);
+
+/// Convenience overload with all nodes fusible.
+std::vector<int> ColorForFusion(const std::vector<std::vector<int>>& succ);
+
+}  // namespace xorbits::graph
+
+#endif  // XORBITS_GRAPH_COLORING_H_

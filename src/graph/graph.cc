@@ -1,0 +1,90 @@
+#include "graph/graph.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xorbits::graph {
+
+TileableNode* TileableGraph::AddNode(std::shared_ptr<OperatorBase> op,
+                                     std::vector<TileableNode*> inputs,
+                                     int output_index) {
+  auto node = std::make_unique<TileableNode>();
+  node->id = next_id_++;
+  node->op = std::move(op);
+  node->inputs = std::move(inputs);
+  node->output_index = output_index;
+  TileableNode* raw = node.get();
+  nodes_.push_back(std::move(node));
+  return raw;
+}
+
+std::vector<TileableNode*> TileableGraph::TopologicalOrder() const {
+  std::vector<TileableNode*> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n.get());
+  return out;  // creation order is topological by construction
+}
+
+ChunkNode* ChunkGraph::AddNode(std::shared_ptr<OperatorBase> op,
+                               std::vector<ChunkNode*> inputs,
+                               int output_index) {
+  auto node = std::make_unique<ChunkNode>();
+  node->id = next_id_++;
+  node->op = std::move(op);
+  node->inputs = std::move(inputs);
+  node->output_index = output_index;
+  node->key = "c" + std::to_string(node->id) + "_" +
+              std::to_string(node->output_index);
+  ChunkNode* raw = node.get();
+  nodes_.push_back(std::move(node));
+  return raw;
+}
+
+std::vector<ChunkNode*> TopoSortChunks(const std::vector<ChunkNode*>& nodes) {
+  std::unordered_set<const ChunkNode*> in_set(nodes.begin(), nodes.end());
+  std::unordered_map<const ChunkNode*, int> indegree;
+  std::unordered_map<const ChunkNode*, std::vector<ChunkNode*>> succ;
+  for (ChunkNode* n : nodes) {
+    int deg = 0;
+    for (ChunkNode* in : n->inputs) {
+      if (in_set.count(in)) {
+        ++deg;
+        succ[in].push_back(n);
+      }
+    }
+    indegree[n] = deg;
+  }
+  std::vector<ChunkNode*> ready;
+  for (ChunkNode* n : nodes) {
+    if (indegree[n] == 0) ready.push_back(n);
+  }
+  std::vector<ChunkNode*> out;
+  out.reserve(nodes.size());
+  while (!ready.empty()) {
+    ChunkNode* n = ready.back();
+    ready.pop_back();
+    out.push_back(n);
+    for (ChunkNode* s : succ[n]) {
+      if (--indegree[s] == 0) ready.push_back(s);
+    }
+  }
+  return out;  // cycle => shorter output; callers treat that as a bug
+}
+
+std::vector<ChunkNode*> PendingClosure(
+    const std::vector<ChunkNode*>& targets) {
+  std::unordered_set<ChunkNode*> visited;
+  std::vector<ChunkNode*> stack(targets.begin(), targets.end());
+  std::vector<ChunkNode*> collected;
+  while (!stack.empty()) {
+    ChunkNode* n = stack.back();
+    stack.pop_back();
+    if (n->executed || visited.count(n)) continue;
+    visited.insert(n);
+    collected.push_back(n);
+    for (ChunkNode* in : n->inputs) stack.push_back(in);
+  }
+  return TopoSortChunks(collected);
+}
+
+}  // namespace xorbits::graph

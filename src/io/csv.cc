@@ -1,0 +1,194 @@
+#include "io/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "dataframe/compute.h"
+
+namespace xorbits::io {
+
+namespace {
+
+using dataframe::Column;
+using dataframe::DataFrame;
+using dataframe::DType;
+
+std::vector<std::string> SplitLine(const std::string& line, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+bool LooksInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksDouble(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+Result<DataFrame> ReadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  std::vector<std::string> header;
+  if (options.has_header) {
+    if (!std::getline(in, line)) return Status::IOError("empty csv " + path);
+    header = SplitLine(line, options.delimiter);
+  }
+  std::vector<std::vector<std::string>> cells;  // column-major
+  int64_t row_count = 0;
+  int64_t skipped = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (skipped < options.skip_rows) {
+      ++skipped;
+      continue;
+    }
+    if (options.max_rows >= 0 && row_count >= options.max_rows) break;
+    auto fields = SplitLine(line, options.delimiter);
+    if (cells.empty()) {
+      cells.resize(header.empty() ? fields.size() : header.size());
+    }
+    if (fields.size() != cells.size()) {
+      return Status::IOError("ragged csv row in " + path);
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      cells[c].push_back(std::move(fields[c]));
+    }
+    ++row_count;
+  }
+  if (header.empty()) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      header.push_back("col" + std::to_string(c));
+    }
+  }
+  if (cells.empty()) cells.resize(header.size());
+
+  auto is_date_col = [&](const std::string& name) {
+    for (const auto& d : options.parse_dates) {
+      if (d == name) return true;
+    }
+    return false;
+  };
+
+  std::vector<Column> columns;
+  for (size_t c = 0; c < header.size(); ++c) {
+    const auto& col = cells[c];
+    const int64_t n = static_cast<int64_t>(col.size());
+    if (is_date_col(header[c])) {
+      std::vector<int64_t> vals(n, 0);
+      std::vector<uint8_t> validity(n, 1);
+      bool any_null = false;
+      for (int64_t i = 0; i < n; ++i) {
+        auto d = dataframe::ParseDate(col[i]);
+        if (d.ok()) {
+          vals[i] = *d;
+        } else {
+          validity[i] = 0;
+          any_null = true;
+        }
+      }
+      columns.push_back(Column::Int64(
+          std::move(vals), any_null ? std::move(validity)
+                                    : std::vector<uint8_t>{}));
+      continue;
+    }
+    // Infer: all non-empty ints -> int64; else all numeric -> float64;
+    // else string. Empty cells are nulls.
+    bool all_int = true, all_num = true, any_empty = false, any_value = false;
+    for (const auto& s : col) {
+      if (s.empty()) {
+        any_empty = true;
+        continue;
+      }
+      any_value = true;
+      if (all_int && !LooksInt(s)) all_int = false;
+      if (all_num && !LooksDouble(s)) all_num = false;
+    }
+    std::vector<uint8_t> validity;
+    if (any_empty) {
+      validity.assign(n, 1);
+      for (int64_t i = 0; i < n; ++i) {
+        if (col[i].empty()) validity[i] = 0;
+      }
+    }
+    if (any_value && all_int) {
+      std::vector<int64_t> vals(n, 0);
+      for (int64_t i = 0; i < n; ++i) {
+        if (!col[i].empty()) vals[i] = std::strtoll(col[i].c_str(), nullptr, 10);
+      }
+      columns.push_back(Column::Int64(std::move(vals), std::move(validity)));
+    } else if (any_value && all_num) {
+      std::vector<double> vals(n, 0.0);
+      for (int64_t i = 0; i < n; ++i) {
+        if (!col[i].empty()) vals[i] = std::strtod(col[i].c_str(), nullptr);
+      }
+      columns.push_back(Column::Float64(std::move(vals), std::move(validity)));
+    } else {
+      std::vector<std::string> vals(col.begin(), col.end());
+      columns.push_back(Column::String(std::move(vals), std::move(validity)));
+    }
+  }
+  return DataFrame::Make(std::move(header), std::move(columns));
+}
+
+Status WriteCsv(const std::string& path, const DataFrame& df,
+                const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  if (options.has_header) {
+    for (int c = 0; c < df.num_columns(); ++c) {
+      if (c) out << options.delimiter;
+      out << df.column_name(c);
+    }
+    out << "\n";
+  }
+  const int64_t n = df.num_rows();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int c = 0; c < df.num_columns(); ++c) {
+      if (c) out << options.delimiter;
+      const Column& col = df.column(c);
+      if (col.IsValid(i)) out << col.ValueToString(i);
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<int64_t> CountCsvRows(const std::string& path,
+                             const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  int64_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  if (options.has_header && rows > 0) --rows;
+  return rows;
+}
+
+}  // namespace xorbits::io

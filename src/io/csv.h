@@ -1,0 +1,39 @@
+#ifndef XORBITS_IO_CSV_H_
+#define XORBITS_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataframe/dataframe.h"
+
+namespace xorbits::io {
+
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// Columns to parse as dates (stored as int64 days since epoch).
+  std::vector<std::string> parse_dates;
+  /// Read at most this many data rows (-1 = all). Used by dynamic tiling to
+  /// sample file heads cheaply.
+  int64_t max_rows = -1;
+  /// Skip this many data rows before reading.
+  int64_t skip_rows = 0;
+};
+
+/// Reads a CSV file, inferring each column's dtype (int64 -> float64 ->
+/// string; empty cells become nulls).
+Result<dataframe::DataFrame> ReadCsv(const std::string& path,
+                                     const CsvOptions& options = {});
+
+Status WriteCsv(const std::string& path, const dataframe::DataFrame& df,
+                const CsvOptions& options = {});
+
+/// Number of data rows in the file (header excluded), used for size-based
+/// partitioning of CSV sources.
+Result<int64_t> CountCsvRows(const std::string& path,
+                             const CsvOptions& options = {});
+
+}  // namespace xorbits::io
+
+#endif  // XORBITS_IO_CSV_H_

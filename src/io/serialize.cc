@@ -1,0 +1,224 @@
+#include "io/serialize.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace xorbits::io {
+
+namespace {
+
+using dataframe::Column;
+using dataframe::DataFrame;
+using dataframe::DType;
+using dataframe::Index;
+using tensor::NDArray;
+
+constexpr uint32_t kDfMagic = 0x58444601;   // "XDF" v1
+constexpr uint32_t kArrMagic = 0x58415201;  // "XAR" v1
+
+template <typename T>
+void WritePod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+Status ReadPod(std::istream& is, T* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  if (!is) return Status::IOError("truncated stream");
+  return Status::OK();
+}
+
+void WriteString(std::ostream& os, const std::string& s) {
+  WritePod<uint64_t>(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Result<std::string> ReadString(std::istream& is) {
+  uint64_t len = 0;
+  XORBITS_RETURN_NOT_OK(ReadPod(is, &len));
+  std::string s(len, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  if (!is) return Status::IOError("truncated string");
+  return s;
+}
+
+template <typename T>
+void WriteVec(std::ostream& os, const std::vector<T>& v) {
+  WritePod<uint64_t>(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+Result<std::vector<T>> ReadVec(std::istream& is) {
+  uint64_t n = 0;
+  XORBITS_RETURN_NOT_OK(ReadPod(is, &n));
+  std::vector<T> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  if (!is) return Status::IOError("truncated vector");
+  return v;
+}
+
+Status WriteColumn(std::ostream& os, const Column& c) {
+  WritePod<uint8_t>(os, static_cast<uint8_t>(c.dtype()));
+  WritePod<uint8_t>(os, c.has_validity() ? 1 : 0);
+  if (c.has_validity()) WriteVec(os, c.validity());
+  switch (c.dtype()) {
+    case DType::kInt64: WriteVec(os, c.int64_data()); break;
+    case DType::kFloat64: WriteVec(os, c.float64_data()); break;
+    case DType::kBool: WriteVec(os, c.bool_data()); break;
+    case DType::kString: {
+      const auto& data = c.string_data();
+      WritePod<uint64_t>(os, data.size());
+      for (const auto& s : data) WriteString(os, s);
+      break;
+    }
+  }
+  if (!os) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<Column> ReadColumn(std::istream& is) {
+  uint8_t dtype_raw = 0, has_validity = 0;
+  XORBITS_RETURN_NOT_OK(ReadPod(is, &dtype_raw));
+  XORBITS_RETURN_NOT_OK(ReadPod(is, &has_validity));
+  if (dtype_raw > static_cast<uint8_t>(DType::kBool)) {
+    return Status::IOError("bad dtype tag");
+  }
+  const DType dtype = static_cast<DType>(dtype_raw);
+  std::vector<uint8_t> validity;
+  if (has_validity) {
+    XORBITS_ASSIGN_OR_RETURN(validity, ReadVec<uint8_t>(is));
+  }
+  switch (dtype) {
+    case DType::kInt64: {
+      XORBITS_ASSIGN_OR_RETURN(auto data, ReadVec<int64_t>(is));
+      return Column::Int64(std::move(data), std::move(validity));
+    }
+    case DType::kFloat64: {
+      XORBITS_ASSIGN_OR_RETURN(auto data, ReadVec<double>(is));
+      return Column::Float64(std::move(data), std::move(validity));
+    }
+    case DType::kBool: {
+      XORBITS_ASSIGN_OR_RETURN(auto data, ReadVec<uint8_t>(is));
+      return Column::Bool(std::move(data), std::move(validity));
+    }
+    case DType::kString: {
+      uint64_t n = 0;
+      XORBITS_RETURN_NOT_OK(ReadPod(is, &n));
+      std::vector<std::string> data;
+      data.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        XORBITS_ASSIGN_OR_RETURN(std::string s, ReadString(is));
+        data.push_back(std::move(s));
+      }
+      return Column::String(std::move(data), std::move(validity));
+    }
+  }
+  return Status::IOError("unreachable");
+}
+
+}  // namespace
+
+Status WriteDataFrame(std::ostream& os, const DataFrame& df) {
+  WritePod(os, kDfMagic);
+  WritePod<uint32_t>(os, static_cast<uint32_t>(df.num_columns()));
+  for (int i = 0; i < df.num_columns(); ++i) {
+    WriteString(os, df.column_name(i));
+    XORBITS_RETURN_NOT_OK(WriteColumn(os, df.column(i)));
+  }
+  // Index: 0 = range(start), 1 = labels.
+  const Index& idx = df.index();
+  if (idx.is_range()) {
+    WritePod<uint8_t>(os, 0);
+    WritePod<int64_t>(os, idx.range_start());
+    WritePod<int64_t>(os, idx.range_start() + idx.length());
+  } else {
+    WritePod<uint8_t>(os, 1);
+    std::vector<int64_t> labels(idx.length());
+    for (int64_t i = 0; i < idx.length(); ++i) labels[i] = idx.Label(i);
+    WriteVec(os, labels);
+  }
+  if (!os) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<DataFrame> ReadDataFrame(std::istream& is) {
+  uint32_t magic = 0;
+  XORBITS_RETURN_NOT_OK(ReadPod(is, &magic));
+  if (magic != kDfMagic) return Status::IOError("bad dataframe magic");
+  uint32_t ncols = 0;
+  XORBITS_RETURN_NOT_OK(ReadPod(is, &ncols));
+  std::vector<std::string> names;
+  std::vector<Column> cols;
+  for (uint32_t i = 0; i < ncols; ++i) {
+    XORBITS_ASSIGN_OR_RETURN(std::string name, ReadString(is));
+    XORBITS_ASSIGN_OR_RETURN(Column c, ReadColumn(is));
+    names.push_back(std::move(name));
+    cols.push_back(std::move(c));
+  }
+  XORBITS_ASSIGN_OR_RETURN(DataFrame df,
+                           DataFrame::Make(std::move(names), std::move(cols)));
+  uint8_t index_kind = 0;
+  XORBITS_RETURN_NOT_OK(ReadPod(is, &index_kind));
+  if (index_kind == 0) {
+    int64_t start = 0, stop = 0;
+    XORBITS_RETURN_NOT_OK(ReadPod(is, &start));
+    XORBITS_RETURN_NOT_OK(ReadPod(is, &stop));
+    df.set_index(Index::Range(start, stop));
+  } else {
+    XORBITS_ASSIGN_OR_RETURN(auto labels, ReadVec<int64_t>(is));
+    df.set_index(Index::Labels(std::move(labels)));
+  }
+  return df;
+}
+
+Status WriteNDArray(std::ostream& os, const NDArray& a) {
+  WritePod(os, kArrMagic);
+  WritePod<uint32_t>(os, static_cast<uint32_t>(a.ndim()));
+  for (int64_t d : a.shape()) WritePod<int64_t>(os, d);
+  WriteVec(os, a.data());
+  if (!os) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<NDArray> ReadNDArray(std::istream& is) {
+  uint32_t magic = 0;
+  XORBITS_RETURN_NOT_OK(ReadPod(is, &magic));
+  if (magic != kArrMagic) return Status::IOError("bad ndarray magic");
+  uint32_t ndim = 0;
+  XORBITS_RETURN_NOT_OK(ReadPod(is, &ndim));
+  std::vector<int64_t> shape(ndim);
+  for (uint32_t i = 0; i < ndim; ++i) {
+    XORBITS_RETURN_NOT_OK(ReadPod(is, &shape[i]));
+  }
+  XORBITS_ASSIGN_OR_RETURN(auto data, ReadVec<double>(is));
+  return NDArray::Make(std::move(data), std::move(shape));
+}
+
+Result<std::string> SerializeDataFrame(const DataFrame& df) {
+  std::ostringstream os;
+  XORBITS_RETURN_NOT_OK(WriteDataFrame(os, df));
+  return os.str();
+}
+
+Result<DataFrame> DeserializeDataFrame(const std::string& buf) {
+  std::istringstream is(buf);
+  return ReadDataFrame(is);
+}
+
+Result<std::string> SerializeNDArray(const NDArray& a) {
+  std::ostringstream os;
+  XORBITS_RETURN_NOT_OK(WriteNDArray(os, a));
+  return os.str();
+}
+
+Result<NDArray> DeserializeNDArray(const std::string& buf) {
+  std::istringstream is(buf);
+  return ReadNDArray(is);
+}
+
+}  // namespace xorbits::io

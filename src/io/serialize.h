@@ -1,0 +1,29 @@
+#ifndef XORBITS_IO_SERIALIZE_H_
+#define XORBITS_IO_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "dataframe/dataframe.h"
+#include "tensor/ndarray.h"
+
+namespace xorbits::io {
+
+/// Binary (de)serialization of chunk payloads. Used by the storage service
+/// for disk spill and by the simulated network path (a chunk crossing bands
+/// is serialized, byte-counted, and deserialized on the receiving side).
+Status WriteDataFrame(std::ostream& os, const dataframe::DataFrame& df);
+Result<dataframe::DataFrame> ReadDataFrame(std::istream& is);
+
+Status WriteNDArray(std::ostream& os, const tensor::NDArray& a);
+Result<tensor::NDArray> ReadNDArray(std::istream& is);
+
+Result<std::string> SerializeDataFrame(const dataframe::DataFrame& df);
+Result<dataframe::DataFrame> DeserializeDataFrame(const std::string& buf);
+Result<std::string> SerializeNDArray(const tensor::NDArray& a);
+Result<tensor::NDArray> DeserializeNDArray(const std::string& buf);
+
+}  // namespace xorbits::io
+
+#endif  // XORBITS_IO_SERIALIZE_H_

@@ -1,0 +1,391 @@
+#include "io/tpch_gen.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/random.h"
+#include "dataframe/compute.h"
+#include "io/xparquet.h"
+
+namespace xorbits::io::tpch {
+
+namespace {
+
+using dataframe::Column;
+using dataframe::DataFrame;
+using dataframe::DaysFromCivil;
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+
+// Nation -> region mapping per the TPC-H spec.
+struct NationDef {
+  const char* name;
+  int region;
+};
+const NationDef kNations[] = {
+    {"ALGERIA", 0},    {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},     {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},     {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},  {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},      {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},    {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},      {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},    {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "MACHINERY", "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP",
+                            "TRUCK", "MAIL", "FOB"};
+const char* kInstructions[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                               "TAKE BACK RETURN"};
+const char* kTypeSyl1[] = {"STANDARD", "SMALL", "MEDIUM",
+                           "LARGE", "ECONOMY", "PROMO"};
+const char* kTypeSyl2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                           "BRUSHED"};
+const char* kTypeSyl3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainerSyl1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainerSyl2[] = {"CASE", "BOX", "BAG", "JAR",
+                                "PKG", "PACK", "CAN", "DRUM"};
+const char* kColors[] = {"almond",  "antique", "aquamarine", "azure",
+                         "beige",   "bisque",  "black",      "blanched",
+                         "blue",    "blush",   "brown",      "burlywood",
+                         "chartreuse", "chocolate", "coral",  "cream",
+                         "cyan",    "dark",    "deep",       "dim",
+                         "dodger",  "drab",    "firebrick",  "forest",
+                         "frosted", "ghost",   "goldenrod",  "green",
+                         "grey",    "honeydew", "hot",       "indian",
+                         "ivory",   "khaki",   "lace",       "lavender",
+                         "lawn",    "lemon",   "light",      "lime"};
+
+template <typename T, size_t N>
+const T& Pick(const T (&arr)[N], Rng& rng) {
+  return arr[rng.UniformInt(0, N - 1)];
+}
+
+double Money(Rng& rng, double lo, double hi) {
+  return std::round(rng.Uniform(lo, hi) * 100.0) / 100.0;
+}
+
+std::string Phone(int64_t nationkey, Rng& rng) {
+  std::string s = std::to_string(10 + nationkey);
+  s += "-" + std::to_string(rng.UniformInt(100, 999));
+  s += "-" + std::to_string(rng.UniformInt(100, 999));
+  s += "-" + std::to_string(rng.UniformInt(1000, 9999));
+  return s;
+}
+
+std::string Comment(Rng& rng, int min_len, int max_len) {
+  return rng.String(static_cast<int>(rng.UniformInt(min_len, max_len)));
+}
+
+}  // namespace
+
+Result<Tables> Generate(double scale_factor, uint64_t seed) {
+  if (scale_factor <= 0) return Status::Invalid("scale_factor must be > 0");
+  Rng rng(seed);
+  Tables t;
+
+  const int64_t n_supp = std::max<int64_t>(10, 10000 * scale_factor);
+  const int64_t n_cust = std::max<int64_t>(30, 150000 * scale_factor);
+  const int64_t n_part = std::max<int64_t>(40, 200000 * scale_factor);
+  const int64_t n_orders = n_cust * 10;
+  const int64_t start_date = DaysFromCivil(1992, 1, 1);
+  const int64_t end_order_date = DaysFromCivil(1998, 8, 2);
+
+  // --- region ---
+  {
+    std::vector<int64_t> keys;
+    std::vector<std::string> names, comments;
+    for (int64_t i = 0; i < 5; ++i) {
+      keys.push_back(i);
+      names.push_back(kRegions[i]);
+      comments.push_back(Comment(rng, 20, 80));
+    }
+    XORBITS_ASSIGN_OR_RETURN(
+        t.region, DataFrame::Make({"r_regionkey", "r_name", "r_comment"},
+                                  {Column::Int64(std::move(keys)),
+                                   Column::String(std::move(names)),
+                                   Column::String(std::move(comments))}));
+  }
+
+  // --- nation ---
+  {
+    std::vector<int64_t> keys, regionkeys;
+    std::vector<std::string> names, comments;
+    for (int64_t i = 0; i < 25; ++i) {
+      keys.push_back(i);
+      names.push_back(kNations[i].name);
+      regionkeys.push_back(kNations[i].region);
+      comments.push_back(Comment(rng, 20, 80));
+    }
+    XORBITS_ASSIGN_OR_RETURN(
+        t.nation,
+        DataFrame::Make(
+            {"n_nationkey", "n_name", "n_regionkey", "n_comment"},
+            {Column::Int64(std::move(keys)), Column::String(std::move(names)),
+             Column::Int64(std::move(regionkeys)),
+             Column::String(std::move(comments))}));
+  }
+
+  // --- supplier ---
+  {
+    std::vector<int64_t> keys, nations;
+    std::vector<std::string> names, addrs, phones, comments;
+    std::vector<double> acctbals;
+    for (int64_t i = 1; i <= n_supp; ++i) {
+      keys.push_back(i);
+      names.push_back("Supplier#" + std::to_string(i));
+      addrs.push_back(Comment(rng, 10, 30));
+      int64_t nk = rng.UniformInt(0, 24);
+      nations.push_back(nk);
+      phones.push_back(Phone(nk, rng));
+      acctbals.push_back(Money(rng, -999.99, 9999.99));
+      // ~0.05% of suppliers carry the Q16 complaint token.
+      std::string c = Comment(rng, 25, 60);
+      if (rng.UniformInt(0, 1999) == 0) {
+        c = "blithely Customer said Complaints " + c;
+      }
+      comments.push_back(std::move(c));
+    }
+    XORBITS_ASSIGN_OR_RETURN(
+        t.supplier,
+        DataFrame::Make(
+            {"s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone",
+             "s_acctbal", "s_comment"},
+            {Column::Int64(std::move(keys)), Column::String(std::move(names)),
+             Column::String(std::move(addrs)),
+             Column::Int64(std::move(nations)),
+             Column::String(std::move(phones)),
+             Column::Float64(std::move(acctbals)),
+             Column::String(std::move(comments))}));
+  }
+
+  // --- customer ---
+  {
+    std::vector<int64_t> keys, nations;
+    std::vector<std::string> names, addrs, phones, segments, comments;
+    std::vector<double> acctbals;
+    for (int64_t i = 1; i <= n_cust; ++i) {
+      keys.push_back(i);
+      names.push_back("Customer#" + std::to_string(i));
+      addrs.push_back(Comment(rng, 10, 30));
+      int64_t nk = rng.UniformInt(0, 24);
+      nations.push_back(nk);
+      phones.push_back(Phone(nk, rng));
+      acctbals.push_back(Money(rng, -999.99, 9999.99));
+      segments.push_back(Pick(kSegments, rng));
+      comments.push_back(Comment(rng, 25, 60));
+    }
+    XORBITS_ASSIGN_OR_RETURN(
+        t.customer,
+        DataFrame::Make(
+            {"c_custkey", "c_name", "c_address", "c_nationkey", "c_phone",
+             "c_acctbal", "c_mktsegment", "c_comment"},
+            {Column::Int64(std::move(keys)), Column::String(std::move(names)),
+             Column::String(std::move(addrs)),
+             Column::Int64(std::move(nations)),
+             Column::String(std::move(phones)),
+             Column::Float64(std::move(acctbals)),
+             Column::String(std::move(segments)),
+             Column::String(std::move(comments))}));
+  }
+
+  // --- part ---
+  std::vector<double> retail_prices(n_part + 1, 0.0);
+  {
+    std::vector<int64_t> keys, sizes;
+    std::vector<std::string> names, mfgrs, brands, types, containers;
+    std::vector<double> prices;
+    for (int64_t i = 1; i <= n_part; ++i) {
+      keys.push_back(i);
+      std::string name = Pick(kColors, rng);
+      for (int w = 0; w < 4; ++w) {
+        name += " ";
+        name += Pick(kColors, rng);
+      }
+      names.push_back(std::move(name));
+      int64_t m = rng.UniformInt(1, 5);
+      mfgrs.push_back("Manufacturer#" + std::to_string(m));
+      brands.push_back("Brand#" + std::to_string(m) +
+                       std::to_string(rng.UniformInt(1, 5)));
+      types.push_back(std::string(Pick(kTypeSyl1, rng)) + " " +
+                      Pick(kTypeSyl2, rng) + " " + Pick(kTypeSyl3, rng));
+      sizes.push_back(rng.UniformInt(1, 50));
+      containers.push_back(std::string(Pick(kContainerSyl1, rng)) + " " +
+                           Pick(kContainerSyl2, rng));
+      // Spec formula: 90000 + ((partkey/10) % 20001) + 100*(partkey % 1000),
+      // all over 100.
+      double price = (90000.0 + (i / 10 % 20001) + 100.0 * (i % 1000)) / 100.0;
+      prices.push_back(price);
+      retail_prices[i] = price;
+    }
+    XORBITS_ASSIGN_OR_RETURN(
+        t.part,
+        DataFrame::Make(
+            {"p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size",
+             "p_container", "p_retailprice"},
+            {Column::Int64(std::move(keys)), Column::String(std::move(names)),
+             Column::String(std::move(mfgrs)),
+             Column::String(std::move(brands)),
+             Column::String(std::move(types)), Column::Int64(std::move(sizes)),
+             Column::String(std::move(containers)),
+             Column::Float64(std::move(prices))}));
+  }
+
+  // --- partsupp --- (4 suppliers per part)
+  {
+    std::vector<int64_t> partkeys, suppkeys, availqtys;
+    std::vector<double> supplycosts;
+    std::vector<std::string> comments;
+    for (int64_t p = 1; p <= n_part; ++p) {
+      for (int s = 0; s < 4; ++s) {
+        partkeys.push_back(p);
+        // Spec-style spreading so each (part, supplier) pair is unique.
+        suppkeys.push_back((p + s * (n_supp / 4 + (p - 1) / n_supp)) % n_supp +
+                           1);
+        availqtys.push_back(rng.UniformInt(1, 9999));
+        supplycosts.push_back(Money(rng, 1.0, 1000.0));
+        comments.push_back(Comment(rng, 20, 50));
+      }
+    }
+    XORBITS_ASSIGN_OR_RETURN(
+        t.partsupp,
+        DataFrame::Make(
+            {"ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost",
+             "ps_comment"},
+            {Column::Int64(std::move(partkeys)),
+             Column::Int64(std::move(suppkeys)),
+             Column::Int64(std::move(availqtys)),
+             Column::Float64(std::move(supplycosts)),
+             Column::String(std::move(comments))}));
+  }
+
+  // --- orders & lineitem ---
+  {
+    std::vector<int64_t> o_keys, o_custkeys, o_dates, o_shippriority;
+    std::vector<std::string> o_status, o_priority, o_clerk, o_comment;
+    std::vector<double> o_totalprice;
+
+    std::vector<int64_t> l_orderkey, l_partkey, l_suppkey, l_linenumber,
+        l_quantity, l_shipdate, l_commitdate, l_receiptdate;
+    std::vector<double> l_extendedprice, l_discount, l_tax;
+    std::vector<std::string> l_returnflag, l_linestatus, l_shipinstruct,
+        l_shipmode;
+
+    const int64_t current_date = DaysFromCivil(1995, 6, 17);
+    for (int64_t o = 1; o <= n_orders; ++o) {
+      const int64_t custkey = rng.UniformInt(1, n_cust);
+      const int64_t odate =
+          rng.UniformInt(start_date, end_order_date - 1);
+      const int64_t nlines = rng.UniformInt(1, 7);
+      double total = 0.0;
+      bool all_f = true, all_o = true;
+      for (int64_t ln = 1; ln <= nlines; ++ln) {
+        const int64_t partkey = rng.UniformInt(1, n_part);
+        const int64_t qty = rng.UniformInt(1, 50);
+        const double extprice = qty * retail_prices[partkey];
+        const int64_t shipdate = odate + rng.UniformInt(1, 121);
+        const int64_t commitdate = odate + rng.UniformInt(30, 90);
+        const int64_t receiptdate = shipdate + rng.UniformInt(1, 30);
+        l_orderkey.push_back(o);
+        l_partkey.push_back(partkey);
+        l_suppkey.push_back((partkey % n_supp) + 1);
+        l_linenumber.push_back(ln);
+        l_quantity.push_back(qty);
+        l_extendedprice.push_back(extprice);
+        l_discount.push_back(rng.UniformInt(0, 10) / 100.0);
+        l_tax.push_back(rng.UniformInt(0, 8) / 100.0);
+        if (receiptdate <= current_date) {
+          l_returnflag.push_back(rng.UniformInt(0, 1) ? "R" : "A");
+        } else {
+          l_returnflag.push_back("N");
+        }
+        const bool shipped = shipdate <= current_date;
+        l_linestatus.push_back(shipped ? "F" : "O");
+        all_f &= shipped;
+        all_o &= !shipped;
+        l_shipdate.push_back(shipdate);
+        l_commitdate.push_back(commitdate);
+        l_receiptdate.push_back(receiptdate);
+        l_shipinstruct.push_back(Pick(kInstructions, rng));
+        l_shipmode.push_back(Pick(kShipModes, rng));
+        total += extprice;
+      }
+      o_keys.push_back(o);
+      o_custkeys.push_back(custkey);
+      o_status.push_back(all_f ? "F" : (all_o ? "O" : "P"));
+      o_totalprice.push_back(total);
+      o_dates.push_back(odate);
+      o_priority.push_back(Pick(kPriorities, rng));
+      o_clerk.push_back("Clerk#" + std::to_string(rng.UniformInt(1, 1000)));
+      o_shippriority.push_back(0);
+      std::string c = Comment(rng, 20, 50);
+      if (rng.UniformInt(0, 99) < 2) {
+        c = "the special packages wake requests " + c;  // Q13 token pair
+      }
+      o_comment.push_back(std::move(c));
+    }
+    XORBITS_ASSIGN_OR_RETURN(
+        t.orders,
+        DataFrame::Make(
+            {"o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+             "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority",
+             "o_comment"},
+            {Column::Int64(std::move(o_keys)),
+             Column::Int64(std::move(o_custkeys)),
+             Column::String(std::move(o_status)),
+             Column::Float64(std::move(o_totalprice)),
+             Column::Int64(std::move(o_dates)),
+             Column::String(std::move(o_priority)),
+             Column::String(std::move(o_clerk)),
+             Column::Int64(std::move(o_shippriority)),
+             Column::String(std::move(o_comment))}));
+    XORBITS_ASSIGN_OR_RETURN(
+        t.lineitem,
+        DataFrame::Make(
+            {"l_orderkey", "l_partkey", "l_suppkey", "l_linenumber",
+             "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+             "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate",
+             "l_receiptdate", "l_shipinstruct", "l_shipmode"},
+            {Column::Int64(std::move(l_orderkey)),
+             Column::Int64(std::move(l_partkey)),
+             Column::Int64(std::move(l_suppkey)),
+             Column::Int64(std::move(l_linenumber)),
+             Column::Int64(std::move(l_quantity)),
+             Column::Float64(std::move(l_extendedprice)),
+             Column::Float64(std::move(l_discount)),
+             Column::Float64(std::move(l_tax)),
+             Column::String(std::move(l_returnflag)),
+             Column::String(std::move(l_linestatus)),
+             Column::Int64(std::move(l_shipdate)),
+             Column::Int64(std::move(l_commitdate)),
+             Column::Int64(std::move(l_receiptdate)),
+             Column::String(std::move(l_shipinstruct)),
+             Column::String(std::move(l_shipmode))}));
+  }
+  return t;
+}
+
+Status GenerateFiles(double scale_factor, const std::string& dir,
+                     uint64_t seed) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create " + dir + ": " + ec.message());
+  XORBITS_ASSIGN_OR_RETURN(Tables t, Generate(scale_factor, seed));
+  const std::pair<const char*, const DataFrame*> tables[] = {
+      {"region", &t.region},     {"nation", &t.nation},
+      {"supplier", &t.supplier}, {"customer", &t.customer},
+      {"part", &t.part},         {"partsupp", &t.partsupp},
+      {"orders", &t.orders},     {"lineitem", &t.lineitem}};
+  for (const auto& [name, df] : tables) {
+    XORBITS_RETURN_NOT_OK(
+        WriteXpq(dir + "/" + name + ".xpq", *df).WithContext(name));
+  }
+  return Status::OK();
+}
+
+}  // namespace xorbits::io::tpch

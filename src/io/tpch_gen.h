@@ -1,0 +1,37 @@
+#ifndef XORBITS_IO_TPCH_GEN_H_
+#define XORBITS_IO_TPCH_GEN_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dataframe/dataframe.h"
+
+namespace xorbits::io::tpch {
+
+/// All eight TPC-H tables, generated in memory.
+struct Tables {
+  dataframe::DataFrame region;
+  dataframe::DataFrame nation;
+  dataframe::DataFrame supplier;
+  dataframe::DataFrame customer;
+  dataframe::DataFrame part;
+  dataframe::DataFrame partsupp;
+  dataframe::DataFrame orders;
+  dataframe::DataFrame lineitem;
+};
+
+/// dbgen replacement: generates the TPC-H schema at `scale_factor` with the
+/// spec's cardinalities (supplier 10k·SF, customer 150k·SF, part 200k·SF,
+/// orders 1.5M·SF, lineitem ≈4 lines/order) and the value distributions the
+/// 22 queries' predicates select on (segments, ship modes, brands, type and
+/// container vocabularies, date ranges, comment tokens for Q13/Q16).
+/// Dates are int64 days since epoch. Deterministic for a given seed.
+Result<Tables> Generate(double scale_factor, uint64_t seed = 42);
+
+/// Generates and writes each table as `<dir>/<name>.xpq`.
+Status GenerateFiles(double scale_factor, const std::string& dir,
+                     uint64_t seed = 42);
+
+}  // namespace xorbits::io::tpch
+
+#endif  // XORBITS_IO_TPCH_GEN_H_

@@ -1,0 +1,230 @@
+#include "io/xparquet.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace xorbits::io {
+
+namespace {
+
+using dataframe::Column;
+using dataframe::DataFrame;
+using dataframe::DType;
+
+constexpr uint32_t kMagic = 0x58505131;  // "XPQ1"
+
+template <typename T>
+void WritePod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+Status ReadPod(std::istream& is, T* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  if (!is) return Status::IOError("truncated xparquet stream");
+  return Status::OK();
+}
+
+void WriteStr(std::ostream& os, const std::string& s) {
+  WritePod<uint32_t>(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Result<std::string> ReadStr(std::istream& is) {
+  uint32_t len = 0;
+  XORBITS_RETURN_NOT_OK(ReadPod(is, &len));
+  std::string s(len, '\0');
+  is.read(s.data(), len);
+  if (!is) return Status::IOError("truncated string");
+  return s;
+}
+
+/// Encodes one column into a standalone block.
+std::string EncodeColumn(const Column& c) {
+  std::ostringstream os;
+  const int64_t n = c.length();
+  WritePod<uint8_t>(os, c.has_validity() ? 1 : 0);
+  if (c.has_validity()) {
+    os.write(reinterpret_cast<const char*>(c.validity().data()), n);
+  }
+  switch (c.dtype()) {
+    case DType::kInt64:
+      os.write(reinterpret_cast<const char*>(c.int64_data().data()), n * 8);
+      break;
+    case DType::kFloat64:
+      os.write(reinterpret_cast<const char*>(c.float64_data().data()), n * 8);
+      break;
+    case DType::kBool:
+      os.write(reinterpret_cast<const char*>(c.bool_data().data()), n);
+      break;
+    case DType::kString:
+      for (const auto& s : c.string_data()) WriteStr(os, s);
+      break;
+  }
+  return os.str();
+}
+
+Result<Column> DecodeColumn(const std::string& block, DType dtype,
+                            int64_t n) {
+  std::istringstream is(block);
+  uint8_t has_validity = 0;
+  XORBITS_RETURN_NOT_OK(ReadPod(is, &has_validity));
+  std::vector<uint8_t> validity;
+  if (has_validity) {
+    validity.resize(n);
+    is.read(reinterpret_cast<char*>(validity.data()), n);
+    if (!is) return Status::IOError("truncated validity");
+  }
+  switch (dtype) {
+    case DType::kInt64: {
+      std::vector<int64_t> data(n);
+      is.read(reinterpret_cast<char*>(data.data()), n * 8);
+      if (!is) return Status::IOError("truncated int64 block");
+      return Column::Int64(std::move(data), std::move(validity));
+    }
+    case DType::kFloat64: {
+      std::vector<double> data(n);
+      is.read(reinterpret_cast<char*>(data.data()), n * 8);
+      if (!is) return Status::IOError("truncated float64 block");
+      return Column::Float64(std::move(data), std::move(validity));
+    }
+    case DType::kBool: {
+      std::vector<uint8_t> data(n);
+      is.read(reinterpret_cast<char*>(data.data()), n);
+      if (!is) return Status::IOError("truncated bool block");
+      return Column::Bool(std::move(data), std::move(validity));
+    }
+    case DType::kString: {
+      std::vector<std::string> data;
+      data.reserve(n);
+      for (int64_t i = 0; i < n; ++i) {
+        XORBITS_ASSIGN_OR_RETURN(std::string s, ReadStr(is));
+        data.push_back(std::move(s));
+      }
+      return Column::String(std::move(data), std::move(validity));
+    }
+  }
+  return Status::IOError("bad dtype");
+}
+
+}  // namespace
+
+bool XpqFileInfo::HasColumn(const std::string& name) const {
+  for (const auto& c : columns) {
+    if (c.name == name) return true;
+  }
+  return false;
+}
+
+Status WriteXpq(const std::string& path, const DataFrame& df) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  WritePod(out, kMagic);
+  std::vector<XpqColumnInfo> infos;
+  for (int c = 0; c < df.num_columns(); ++c) {
+    XpqColumnInfo info;
+    info.name = df.column_name(c);
+    info.dtype = df.column(c).dtype();
+    info.offset = static_cast<int64_t>(out.tellp());
+    std::string block = EncodeColumn(df.column(c));
+    info.nbytes = static_cast<int64_t>(block.size());
+    out.write(block.data(), static_cast<std::streamsize>(block.size()));
+    infos.push_back(std::move(info));
+  }
+  const int64_t footer_start = static_cast<int64_t>(out.tellp());
+  WritePod<int64_t>(out, df.num_rows());
+  WritePod<uint32_t>(out, static_cast<uint32_t>(infos.size()));
+  for (const auto& info : infos) {
+    WriteStr(out, info.name);
+    WritePod<uint8_t>(out, static_cast<uint8_t>(info.dtype));
+    WritePod<int64_t>(out, info.offset);
+    WritePod<int64_t>(out, info.nbytes);
+  }
+  const int64_t footer_size =
+      static_cast<int64_t>(out.tellp()) - footer_start;
+  WritePod<int64_t>(out, footer_size);
+  WritePod(out, kMagic);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<XpqFileInfo> ReadXpqInfo(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const int64_t file_size = static_cast<int64_t>(in.tellg());
+  if (file_size < 20) return Status::IOError("file too small: " + path);
+  in.seekg(file_size - 12);
+  int64_t footer_size = 0;
+  uint32_t magic = 0;
+  XORBITS_RETURN_NOT_OK(ReadPod(in, &footer_size));
+  XORBITS_RETURN_NOT_OK(ReadPod(in, &magic));
+  if (magic != kMagic) return Status::IOError("bad xparquet magic: " + path);
+  in.seekg(file_size - 12 - footer_size);
+  XpqFileInfo info;
+  XORBITS_RETURN_NOT_OK(ReadPod(in, &info.num_rows));
+  uint32_t ncols = 0;
+  XORBITS_RETURN_NOT_OK(ReadPod(in, &ncols));
+  for (uint32_t c = 0; c < ncols; ++c) {
+    XpqColumnInfo ci;
+    XORBITS_ASSIGN_OR_RETURN(ci.name, ReadStr(in));
+    uint8_t dt = 0;
+    XORBITS_RETURN_NOT_OK(ReadPod(in, &dt));
+    ci.dtype = static_cast<DType>(dt);
+    XORBITS_RETURN_NOT_OK(ReadPod(in, &ci.offset));
+    XORBITS_RETURN_NOT_OK(ReadPod(in, &ci.nbytes));
+    info.columns.push_back(std::move(ci));
+  }
+  return info;
+}
+
+Result<DataFrame> ReadXpq(const std::string& path,
+                          const std::vector<std::string>& columns,
+                          int64_t row_offset, int64_t row_count) {
+  XORBITS_ASSIGN_OR_RETURN(XpqFileInfo info, ReadXpqInfo(path));
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  std::vector<const XpqColumnInfo*> wanted;
+  if (columns.empty()) {
+    for (const auto& c : info.columns) wanted.push_back(&c);
+  } else {
+    for (const auto& name : columns) {
+      const XpqColumnInfo* found = nullptr;
+      for (const auto& c : info.columns) {
+        if (c.name == name) {
+          found = &c;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::KeyError("xparquet column not found: " + name);
+      }
+      wanted.push_back(found);
+    }
+  }
+  std::vector<std::string> names;
+  std::vector<Column> cols;
+  for (const XpqColumnInfo* ci : wanted) {
+    in.seekg(ci->offset);
+    std::string block(ci->nbytes, '\0');
+    in.read(block.data(), ci->nbytes);
+    if (!in) return Status::IOError("truncated column block: " + ci->name);
+    XORBITS_ASSIGN_OR_RETURN(Column col,
+                             DecodeColumn(block, ci->dtype, info.num_rows));
+    names.push_back(ci->name);
+    cols.push_back(std::move(col));
+  }
+  XORBITS_ASSIGN_OR_RETURN(DataFrame df,
+                           DataFrame::Make(std::move(names), std::move(cols)));
+  if (row_offset != 0 || row_count >= 0) {
+    const int64_t count = row_count < 0 ? info.num_rows - row_offset
+                                        : row_count;
+    df = df.SliceRows(row_offset, count);
+    df.set_index(dataframe::Index::Range(row_offset,
+                                         row_offset + df.num_rows()));
+  }
+  return df;
+}
+
+}  // namespace xorbits::io

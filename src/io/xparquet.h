@@ -1,0 +1,47 @@
+#ifndef XORBITS_IO_XPARQUET_H_
+#define XORBITS_IO_XPARQUET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataframe/dataframe.h"
+
+namespace xorbits::io {
+
+/// Column metadata from an xparquet footer.
+struct XpqColumnInfo {
+  std::string name;
+  dataframe::DType dtype;
+  int64_t offset = 0;  // byte offset of the column block
+  int64_t nbytes = 0;  // encoded size of the column block
+};
+
+/// File-level metadata (cheap to read: footer only).
+struct XpqFileInfo {
+  int64_t num_rows = 0;
+  std::vector<XpqColumnInfo> columns;
+
+  bool HasColumn(const std::string& name) const;
+};
+
+/// "xparquet": this repo's columnar file format standing in for Parquet.
+/// Layout: [magic][column blocks...][footer][footer_size][magic]. Each
+/// column is an independent block, so readers fetch only the columns they
+/// need — the property the paper's column-pruning optimization relies on.
+Status WriteXpq(const std::string& path, const dataframe::DataFrame& df);
+
+/// Reads footer metadata only.
+Result<XpqFileInfo> ReadXpqInfo(const std::string& path);
+
+/// Reads the whole file, or only `columns` when non-empty (column pruning),
+/// or only rows [row_offset, row_offset+row_count) of those columns when
+/// row_count >= 0 (chunked reads decode the block then slice).
+Result<dataframe::DataFrame> ReadXpq(const std::string& path,
+                                     const std::vector<std::string>& columns = {},
+                                     int64_t row_offset = 0,
+                                     int64_t row_count = -1);
+
+}  // namespace xorbits::io
+
+#endif  // XORBITS_IO_XPARQUET_H_

@@ -1,0 +1,101 @@
+#ifndef XORBITS_OPERATORS_EXPR_H_
+#define XORBITS_OPERATORS_EXPR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataframe/compute.h"
+#include "dataframe/dataframe.h"
+
+namespace xorbits::operators {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Row-wise expression over dataframe columns. A whole tree evaluates in
+/// one pass over a chunk without materializing named intermediates — the
+/// in-engine analogue of numexpr/JAX fusion the paper uses for
+/// operator-level fusion (§V-A).
+struct Expr {
+  enum class Kind {
+    kColumn,     // column reference
+    kLiteral,    // scalar constant
+    kBinary,     // arithmetic: children[0] op children[1]
+    kCompare,    // comparison -> bool
+    kAnd,
+    kOr,
+    kNot,
+    kIsIn,
+    kIsNull,
+    kNotNull,
+    kStrContains,
+    kStrStartsWith,
+    kStrEndsWith,
+    kYear,
+    kMonth,
+    kStrSlice,  // byte-range substring
+    kStrUpper,
+    kStrLower,
+    kStrLen,
+    kStrStrip,
+    kStrReplace,  // str_arg -> str_arg2
+    kDay,
+    kQuarter,
+    kWeekDay,
+  };
+
+  Kind kind;
+  std::string column;                    // kColumn
+  dataframe::Scalar literal;             // kLiteral
+  dataframe::BinOp bin_op{};             // kBinary
+  dataframe::CmpOp cmp_op{};             // kCompare
+  std::string str_arg;                   // kStr*
+  std::string str_arg2;                  // kStrReplace replacement
+  int64_t slice_start = 0, slice_stop = 0;  // kStrSlice
+  std::vector<dataframe::Scalar> in_list;  // kIsIn
+  std::vector<ExprPtr> children;
+
+  /// Column names this expression reads (for column pruning).
+  void CollectColumns(std::set<std::string>* out) const;
+  std::string ToString() const;
+};
+
+// --- builders ---
+ExprPtr Col(std::string name);
+ExprPtr Lit(dataframe::Scalar value);
+ExprPtr Lit(int64_t value);
+ExprPtr Lit(double value);
+ExprPtr Lit(const char* value);
+ExprPtr BinaryExpr(ExprPtr lhs, dataframe::BinOp op, ExprPtr rhs);
+ExprPtr CompareExpr(ExprPtr lhs, dataframe::CmpOp op, ExprPtr rhs);
+ExprPtr AndExpr(ExprPtr lhs, ExprPtr rhs);
+ExprPtr OrExpr(ExprPtr lhs, ExprPtr rhs);
+ExprPtr NotExpr(ExprPtr v);
+ExprPtr IsInExpr(ExprPtr v, std::vector<dataframe::Scalar> values);
+ExprPtr IsNullExpr(ExprPtr v);
+ExprPtr NotNullExpr(ExprPtr v);
+ExprPtr StrContainsExpr(ExprPtr v, std::string needle);
+ExprPtr StrStartsWithExpr(ExprPtr v, std::string prefix);
+ExprPtr StrEndsWithExpr(ExprPtr v, std::string suffix);
+ExprPtr YearExpr(ExprPtr v);
+ExprPtr MonthExpr(ExprPtr v);
+ExprPtr StrSliceExpr(ExprPtr v, int64_t start, int64_t stop);
+ExprPtr StrUpperExpr(ExprPtr v);
+ExprPtr StrLowerExpr(ExprPtr v);
+ExprPtr StrLenExpr(ExprPtr v);
+ExprPtr StrStripExpr(ExprPtr v);
+ExprPtr StrReplaceExpr(ExprPtr v, std::string from, std::string to);
+ExprPtr DayExpr(ExprPtr v);
+ExprPtr QuarterExpr(ExprPtr v);
+ExprPtr WeekDayExpr(ExprPtr v);
+
+/// Evaluates the expression against one chunk.
+Result<dataframe::Column> EvalExpr(const dataframe::DataFrame& df,
+                                   const Expr& expr);
+
+}  // namespace xorbits::operators
+
+#endif  // XORBITS_OPERATORS_EXPR_H_

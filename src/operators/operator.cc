@@ -1,0 +1,97 @@
+#include "operators/operator.h"
+
+#include <algorithm>
+
+namespace xorbits::operators {
+
+std::vector<std::string> ChunkOp::InputKeys(
+    const graph::ChunkNode& node) const {
+  std::vector<std::string> keys;
+  keys.reserve(node.inputs.size());
+  for (const graph::ChunkNode* in : node.inputs) keys.push_back(in->key);
+  return keys;
+}
+
+SizeEstimate EstimateChunk(const TileContext& ctx,
+                           const graph::ChunkNode* chunk) {
+  SizeEstimate est;
+  auto meta = ctx.GetMeta(chunk);
+  if (meta.ok()) {
+    est.rows = meta->rows;
+    est.nbytes = meta->nbytes;
+    est.measured = true;
+    est.exact = true;
+    return est;
+  }
+  est.rows = chunk->meta.rows;
+  est.nbytes = chunk->meta.nbytes;
+  est.exact = chunk->meta.rows_exact;
+  return est;
+}
+
+SizeEstimate EstimateChunks(const TileContext& ctx,
+                            const std::vector<graph::ChunkNode*>& chunks) {
+  SizeEstimate total;
+  total.rows = 0;
+  total.nbytes = 0;
+  int64_t known_bytes = 0, known_count = 0;
+  int64_t known_rows = 0, known_rows_count = 0;
+  bool any_measured = false;
+  for (const graph::ChunkNode* c : chunks) {
+    SizeEstimate e = EstimateChunk(ctx, c);
+    any_measured |= e.measured;
+    if (e.nbytes >= 0) {
+      known_bytes += e.nbytes;
+      ++known_count;
+    }
+    if (e.rows >= 0) {
+      known_rows += e.rows;
+      ++known_rows_count;
+    }
+  }
+  const int64_t n = static_cast<int64_t>(chunks.size());
+  if (known_count == 0) {
+    total.nbytes = -1;
+  } else {
+    // Extrapolate unknown chunks from the known mean.
+    total.nbytes = known_bytes * n / known_count;
+  }
+  if (known_rows_count == 0) {
+    total.rows = -1;
+  } else {
+    total.rows = known_rows * n / known_rows_count;
+  }
+  total.measured = any_measured;
+  return total;
+}
+
+std::vector<std::pair<int64_t, int64_t>> SplitRows(int64_t total_rows,
+                                                   int64_t target_chunks) {
+  std::vector<std::pair<int64_t, int64_t>> spans;
+  if (total_rows <= 0) {
+    spans.emplace_back(0, 0);
+    return spans;
+  }
+  target_chunks = std::clamp<int64_t>(target_chunks, 1, total_rows);
+  const int64_t base = total_rows / target_chunks;
+  const int64_t extra = total_rows % target_chunks;
+  int64_t off = 0;
+  for (int64_t i = 0; i < target_chunks; ++i) {
+    const int64_t count = base + (i < extra ? 1 : 0);
+    spans.emplace_back(off, count);
+    off += count;
+  }
+  return spans;
+}
+
+int64_t ChooseChunkCount(const Config& config, int64_t total_bytes) {
+  if (total_bytes < 0) return config.total_bands();
+  const int64_t by_size =
+      (total_bytes + config.chunk_store_limit - 1) / config.chunk_store_limit;
+  // Primarily size-driven (chunks must respect the store limit whatever the
+  // band count); the cap only bounds scheduler pressure on huge inputs.
+  const int64_t cap = std::max<int64_t>(4LL * config.total_bands(), 128);
+  return std::clamp<int64_t>(by_size, 1, cap);
+}
+
+}  // namespace xorbits::operators

@@ -1,0 +1,229 @@
+#include "operators/source_ops.h"
+
+#include <filesystem>
+
+#include "io/csv.h"
+#include "io/xparquet.h"
+#include "tiling/auto_rechunk.h"
+
+namespace xorbits::operators {
+
+using dataframe::DataFrame;
+using graph::ChunkNode;
+using graph::TileableNode;
+using tensor::NDArray;
+
+namespace {
+
+/// Fills planning meta on a freshly created chunk node.
+void SetPlannedMeta(ChunkNode* chunk, int64_t rows, int64_t cols,
+                    int64_t nbytes, int64_t chunk_row) {
+  chunk->meta.rows = rows;
+  chunk->meta.cols = cols;
+  chunk->meta.nbytes = nbytes;
+  chunk->meta.chunk_row = chunk_row;
+}
+
+}  // namespace
+
+Status ReadXpqChunkOp::Execute(ExecutionContext& ctx) const {
+  XORBITS_ASSIGN_OR_RETURN(
+      DataFrame df, io::ReadXpq(path_, columns_, row_offset_, row_count_));
+  ctx.outputs[0] = services::MakeChunk(std::move(df));
+  return Status::OK();
+}
+
+Status ReadCsvChunkOp::Execute(ExecutionContext& ctx) const {
+  io::CsvOptions opts;
+  opts.parse_dates = parse_dates_;
+  opts.skip_rows = skip_rows_;
+  opts.max_rows = max_rows_;
+  XORBITS_ASSIGN_OR_RETURN(DataFrame df, io::ReadCsv(path_, opts));
+  ctx.outputs[0] = services::MakeChunk(std::move(df));
+  return Status::OK();
+}
+
+Status RandomChunkOp::Execute(ExecutionContext& ctx) const {
+  Rng rng(seed_);
+  NDArray out = dist_ == Dist::kUniform
+                    ? NDArray::RandomUniform(shape_, rng)
+                    : NDArray::RandomNormal(shape_, rng);
+  ctx.outputs[0] = services::MakeChunk(std::move(out));
+  return Status::OK();
+}
+
+Status WriteXpqChunkOp::Execute(ExecutionContext& ctx) const {
+  XORBITS_ASSIGN_OR_RETURN(const DataFrame* df,
+                           services::AsDataFrame(ctx.inputs[0]));
+  char name[32];
+  std::snprintf(name, sizeof(name), "part-%05lld.xpq",
+                static_cast<long long>(index_));
+  const std::string path = dir_ + "/" + name;
+  XORBITS_RETURN_NOT_OK(io::WriteXpq(path, *df));
+  DataFrame manifest;
+  XORBITS_RETURN_NOT_OK(manifest.SetColumn(
+      "path", dataframe::Column::String({path})));
+  XORBITS_RETURN_NOT_OK(manifest.SetColumn(
+      "rows", dataframe::Column::Int64({df->num_rows()})));
+  ctx.outputs[0] = services::MakeChunk(std::move(manifest));
+  return Status::OK();
+}
+
+TileTask WriteXpqOp::Tile(TileContext& ctx, TileableNode* node) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    co_return Status::IOError("cannot create " + dir_ + ": " + ec.message());
+  }
+  TileableNode* in = node->inputs[0];
+  for (size_t i = 0; i < in->chunks.size(); ++i) {
+    ChunkNode* written = ctx.chunk_graph()->AddNode(
+        std::make_shared<WriteXpqChunkOp>(dir_, static_cast<int64_t>(i)),
+        {in->chunks[i]});
+    written->meta.rows = 1;
+    written->meta.rows_exact = true;
+    written->meta.chunk_row = static_cast<int64_t>(i);
+    node->chunks.push_back(written);
+  }
+  node->tiled = true;
+  co_return Status::OK();
+}
+
+TileTask FromDataFrameOp::Tile(TileContext& ctx, TileableNode* node) {
+  const int64_t total = df_.num_rows();
+  const int64_t nbytes = df_.nbytes();
+  int64_t nchunks = ChooseChunkCount(ctx.config(), nbytes);
+  // Engage at least the available bands for non-trivial frames.
+  if (total >= 2 * ctx.config().total_bands()) {
+    nchunks = std::max<int64_t>(nchunks, ctx.config().total_bands());
+  }
+  for (const auto& [off, count] : SplitRows(total, nchunks)) {
+    DataFrame piece = df_.SliceRows(off, count);
+    const int64_t piece_bytes = piece.nbytes();
+    auto op = std::make_shared<DataChunkOp>(
+        services::MakeChunk(std::move(piece)));
+    ChunkNode* chunk = ctx.chunk_graph()->AddNode(std::move(op), {});
+    SetPlannedMeta(chunk, count, df_.num_columns(), piece_bytes,
+                   static_cast<int64_t>(node->chunks.size()));
+    node->chunks.push_back(chunk);
+  }
+  node->est_rows = total;
+  node->tiled = true;
+  co_return Status::OK();
+}
+
+TileTask ReadXpqOp::Tile(TileContext& ctx, TileableNode* node) {
+  auto info_r = io::ReadXpqInfo(path_);
+  if (!info_r.ok()) co_return info_r.status();
+  const io::XpqFileInfo& info = *info_r;
+  // Planned bytes: only the pruned columns are ever read.
+  int64_t bytes = 0;
+  for (const auto& c : info.columns) {
+    if (pruned_columns_.empty()) {
+      bytes += c.nbytes;
+    } else {
+      for (const auto& want : pruned_columns_) {
+        if (c.name == want) {
+          bytes += c.nbytes;
+          break;
+        }
+      }
+    }
+  }
+  if (!pruned_columns_.empty()) {
+    ctx.metrics()->pruned_columns +=
+        static_cast<int64_t>(info.columns.size() - pruned_columns_.size());
+  }
+  int64_t nchunks = ChooseChunkCount(ctx.config(), bytes);
+  if (info.num_rows >= 2 * ctx.config().total_bands()) {
+    nchunks = std::max<int64_t>(nchunks, ctx.config().total_bands());
+  }
+  const int64_t ncols = pruned_columns_.empty()
+                            ? static_cast<int64_t>(info.columns.size())
+                            : static_cast<int64_t>(pruned_columns_.size());
+  for (const auto& [off, count] : SplitRows(info.num_rows, nchunks)) {
+    auto op =
+        std::make_shared<ReadXpqChunkOp>(path_, pruned_columns_, off, count);
+    ChunkNode* chunk = ctx.chunk_graph()->AddNode(std::move(op), {});
+    SetPlannedMeta(chunk, count, ncols,
+                   info.num_rows > 0 ? bytes * count / info.num_rows : 0,
+                   static_cast<int64_t>(node->chunks.size()));
+    node->chunks.push_back(chunk);
+  }
+  node->est_rows = info.num_rows;
+  node->tiled = true;
+  co_return Status::OK();
+}
+
+TileTask ReadCsvOp::Tile(TileContext& ctx, TileableNode* node) {
+  auto rows_r = io::CountCsvRows(path_);
+  if (!rows_r.ok()) co_return rows_r.status();
+  const int64_t total = *rows_r;
+  std::error_code ec;
+  const int64_t file_bytes = static_cast<int64_t>(
+      std::filesystem::file_size(path_, ec));
+  int64_t nchunks = ChooseChunkCount(ctx.config(), ec ? -1 : file_bytes);
+  if (total >= 2 * ctx.config().total_bands()) {
+    nchunks = std::max<int64_t>(nchunks, ctx.config().total_bands());
+  }
+  for (const auto& [off, count] : SplitRows(total, nchunks)) {
+    auto op = std::make_shared<ReadCsvChunkOp>(path_, parse_dates_, off,
+                                               count);
+    ChunkNode* chunk = ctx.chunk_graph()->AddNode(std::move(op), {});
+    SetPlannedMeta(chunk, count, -1,
+                   total > 0 ? file_bytes * count / total : 0,
+                   static_cast<int64_t>(node->chunks.size()));
+    node->chunks.push_back(chunk);
+  }
+  node->est_rows = total;
+  node->tiled = true;
+  co_return Status::OK();
+}
+
+TileTask FromNDArrayOp::Tile(TileContext& ctx, TileableNode* node) {
+  const int64_t rows = array_.rows();
+  const int64_t nchunks = ChooseChunkCount(ctx.config(), array_.nbytes());
+  for (const auto& [off, count] : SplitRows(rows, nchunks)) {
+    NDArray piece = array_.SliceRows(off, off + count);
+    const int64_t piece_bytes = piece.nbytes();
+    const int64_t piece_cols = piece.cols();
+    auto op = std::make_shared<DataChunkOp>(
+        services::MakeChunk(std::move(piece)));
+    ChunkNode* chunk = ctx.chunk_graph()->AddNode(std::move(op), {});
+    SetPlannedMeta(chunk, count, piece_cols, piece_bytes,
+                   static_cast<int64_t>(node->chunks.size()));
+    node->chunks.push_back(chunk);
+  }
+  node->est_rows = rows;
+  node->tiled = true;
+  co_return Status::OK();
+}
+
+TileTask RandomTensorOp::Tile(TileContext& ctx, TileableNode* node) {
+  // Auto rechunk keeps columns whole (row chunking) so downstream matmul/QR
+  // blocks are tall-and-skinny without user intervention.
+  std::map<int, int64_t> constraints;
+  if (shape_.size() == 2) constraints[1] = shape_[1];
+  auto extents_r = tiling::AutoRechunk(shape_, constraints, 8,
+                                       ctx.config().chunk_store_limit);
+  if (!extents_r.ok()) co_return extents_r.status();
+  const std::vector<int64_t>& row_extents = (*extents_r)[0];
+  const int64_t cols = shape_.size() == 2 ? shape_[1] : 1;
+  uint64_t chunk_seed = seed_;
+  for (int64_t rows : row_extents) {
+    std::vector<int64_t> chunk_shape =
+        shape_.size() == 2 ? std::vector<int64_t>{rows, cols}
+                           : std::vector<int64_t>{rows};
+    auto op = std::make_shared<RandomChunkOp>(std::move(chunk_shape),
+                                              ++chunk_seed, dist_);
+    ChunkNode* chunk = ctx.chunk_graph()->AddNode(std::move(op), {});
+    SetPlannedMeta(chunk, rows, cols, rows * cols * 8,
+                   static_cast<int64_t>(node->chunks.size()));
+    node->chunks.push_back(chunk);
+  }
+  node->est_rows = shape_[0];
+  node->tiled = true;
+  co_return Status::OK();
+}
+
+}  // namespace xorbits::operators

@@ -1,0 +1,186 @@
+#ifndef XORBITS_OPERATORS_SOURCE_OPS_H_
+#define XORBITS_OPERATORS_SOURCE_OPS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "operators/operator.h"
+#include "tensor/ndarray.h"
+
+namespace xorbits::operators {
+
+/// Chunk kernel that emits a payload captured at tile time (in-memory
+/// sources, sliced).
+class DataChunkOp : public ChunkOp {
+ public:
+  explicit DataChunkOp(ChunkDataPtr payload) : payload_(std::move(payload)) {}
+  const char* type_name() const override { return "DataChunk"; }
+  Status Execute(ExecutionContext& ctx) const override {
+    ctx.outputs[0] = payload_;
+    return Status::OK();
+  }
+
+ private:
+  ChunkDataPtr payload_;
+};
+
+/// Chunk kernel that reads a row range of selected columns from an
+/// xparquet file (the fused unit of ReadParquet + pruning).
+class ReadXpqChunkOp : public ChunkOp {
+ public:
+  ReadXpqChunkOp(std::string path, std::vector<std::string> columns,
+                 int64_t row_offset, int64_t row_count)
+      : path_(std::move(path)),
+        columns_(std::move(columns)),
+        row_offset_(row_offset),
+        row_count_(row_count) {}
+  const char* type_name() const override { return "ReadParquet"; }
+  Status Execute(ExecutionContext& ctx) const override;
+
+ private:
+  std::string path_;
+  std::vector<std::string> columns_;
+  int64_t row_offset_;
+  int64_t row_count_;
+};
+
+/// Chunk kernel reading a CSV row range (dtype inference per chunk; dates
+/// parsed for the configured columns).
+class ReadCsvChunkOp : public ChunkOp {
+ public:
+  ReadCsvChunkOp(std::string path, std::vector<std::string> parse_dates,
+                 int64_t skip_rows, int64_t max_rows)
+      : path_(std::move(path)),
+        parse_dates_(std::move(parse_dates)),
+        skip_rows_(skip_rows),
+        max_rows_(max_rows) {}
+  const char* type_name() const override { return "ReadCsv"; }
+  Status Execute(ExecutionContext& ctx) const override;
+
+ private:
+  std::string path_;
+  std::vector<std::string> parse_dates_;
+  int64_t skip_rows_;
+  int64_t max_rows_;
+};
+
+/// Chunk kernel generating a random tensor block.
+class RandomChunkOp : public ChunkOp {
+ public:
+  enum class Dist { kUniform, kNormal };
+  RandomChunkOp(std::vector<int64_t> shape, uint64_t seed, Dist dist)
+      : shape_(std::move(shape)), seed_(seed), dist_(dist) {}
+  const char* type_name() const override { return "RandomChunk"; }
+  Status Execute(ExecutionContext& ctx) const override;
+
+ private:
+  std::vector<int64_t> shape_;
+  uint64_t seed_;
+  Dist dist_;
+};
+
+/// Tileable source over an in-memory dataframe ("from_pandas").
+class FromDataFrameOp : public TileableOp {
+ public:
+  explicit FromDataFrameOp(dataframe::DataFrame df) : df_(std::move(df)) {}
+  const char* type_name() const override { return "FromDataFrame"; }
+  TileTask Tile(TileContext& ctx, graph::TileableNode* node) override;
+  const dataframe::DataFrame& frame() const { return df_; }
+
+ private:
+  dataframe::DataFrame df_;
+};
+
+/// Tileable source over an xparquet file. The optimizer installs the pruned
+/// column set before tiling.
+class ReadXpqOp : public TileableOp {
+ public:
+  explicit ReadXpqOp(std::string path) : path_(std::move(path)) {}
+  const char* type_name() const override { return "ReadParquetFile"; }
+  TileTask Tile(TileContext& ctx, graph::TileableNode* node) override;
+  void SetPrunedColumns(std::vector<std::string> columns) {
+    pruned_columns_ = std::move(columns);
+  }
+  const std::string& path() const { return path_; }
+  const std::vector<std::string>& pruned_columns() const {
+    return pruned_columns_;
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> pruned_columns_;  // empty => all
+};
+
+/// Tileable source over a CSV file.
+class ReadCsvOp : public TileableOp {
+ public:
+  ReadCsvOp(std::string path, std::vector<std::string> parse_dates)
+      : path_(std::move(path)), parse_dates_(std::move(parse_dates)) {}
+  const char* type_name() const override { return "ReadCsvFile"; }
+  TileTask Tile(TileContext& ctx, graph::TileableNode* node) override;
+
+ private:
+  std::string path_;
+  std::vector<std::string> parse_dates_;
+};
+
+/// Tileable source over an in-memory tensor.
+class FromNDArrayOp : public TileableOp {
+ public:
+  explicit FromNDArrayOp(tensor::NDArray array) : array_(std::move(array)) {}
+  const char* type_name() const override { return "FromNDArray"; }
+  TileTask Tile(TileContext& ctx, graph::TileableNode* node) override;
+  const tensor::NDArray& array() const { return array_; }
+
+ private:
+  tensor::NDArray array_;
+};
+
+/// Writes one chunk to `<dir>/part-<index>.xpq`; outputs a one-row
+/// manifest frame (path, rows).
+class WriteXpqChunkOp : public ChunkOp {
+ public:
+  WriteXpqChunkOp(std::string dir, int64_t index)
+      : dir_(std::move(dir)), index_(index) {}
+  const char* type_name() const override { return "WriteParquet"; }
+  Status Execute(ExecutionContext& ctx) const override;
+
+ private:
+  std::string dir_;
+  int64_t index_;
+};
+
+/// Distributed parquet write: every chunk lands in its own file, in
+/// parallel on the band that owns it; the output tileable is the manifest.
+class WriteXpqOp : public TileableOp {
+ public:
+  explicit WriteXpqOp(std::string dir) : dir_(std::move(dir)) {}
+  const char* type_name() const override { return "WriteParquetDir"; }
+  TileTask Tile(TileContext& ctx, graph::TileableNode* node) override;
+
+ private:
+  std::string dir_;
+};
+
+/// Tileable random tensor (xorbits.numpy.random.*). Row-chunked; with
+/// `force_tall_skinny`, tiling consults the auto-rechunk rule so downstream
+/// QR receives valid block shapes without user rechunk calls.
+class RandomTensorOp : public TileableOp {
+ public:
+  RandomTensorOp(std::vector<int64_t> shape, uint64_t seed,
+                 RandomChunkOp::Dist dist)
+      : shape_(std::move(shape)), seed_(seed), dist_(dist) {}
+  const char* type_name() const override { return "RandomTensor"; }
+  TileTask Tile(TileContext& ctx, graph::TileableNode* node) override;
+  const std::vector<int64_t>& shape() const { return shape_; }
+
+ private:
+  std::vector<int64_t> shape_;
+  uint64_t seed_;
+  RandomChunkOp::Dist dist_;
+};
+
+}  // namespace xorbits::operators
+
+#endif  // XORBITS_OPERATORS_SOURCE_OPS_H_

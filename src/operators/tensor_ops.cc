@@ -1,0 +1,413 @@
+#include "operators/tensor_ops.h"
+
+#include <algorithm>
+
+#include "operators/dataframe_ops.h"
+
+namespace xorbits::operators {
+
+using graph::ChunkNode;
+using graph::TileableNode;
+using tensor::NDArray;
+
+Status EwiseChunkOp::Execute(ExecutionContext& ctx) const {
+  XORBITS_ASSIGN_OR_RETURN(const NDArray* a, services::AsNDArray(ctx.inputs[0]));
+  switch (kind_) {
+    case Kind::kAdd:
+    case Kind::kSub:
+    case Kind::kMul:
+    case Kind::kDiv: {
+      XORBITS_ASSIGN_OR_RETURN(const NDArray* b,
+                               services::AsNDArray(ctx.inputs[1]));
+      Result<NDArray> r = kind_ == Kind::kAdd   ? tensor::Add(*a, *b)
+                          : kind_ == Kind::kSub ? tensor::Sub(*a, *b)
+                          : kind_ == Kind::kMul ? tensor::Mul(*a, *b)
+                                                : tensor::Div(*a, *b);
+      if (!r.ok()) return r.status();
+      ctx.outputs[0] = services::MakeChunk(std::move(r).MoveValue());
+      return Status::OK();
+    }
+    case Kind::kAddScalar:
+      ctx.outputs[0] = services::MakeChunk(tensor::AddScalar(*a, scalar_));
+      return Status::OK();
+    case Kind::kMulScalar:
+      ctx.outputs[0] = services::MakeChunk(tensor::MulScalar(*a, scalar_));
+      return Status::OK();
+    case Kind::kExp:
+      ctx.outputs[0] = services::MakeChunk(tensor::Exp(*a));
+      return Status::OK();
+    case Kind::kSqrt:
+      ctx.outputs[0] = services::MakeChunk(tensor::Sqrt(*a));
+      return Status::OK();
+  }
+  return Status::Invalid("unreachable ewise kind");
+}
+
+Status MatMulChunkOp::Execute(ExecutionContext& ctx) const {
+  XORBITS_ASSIGN_OR_RETURN(const NDArray* a, services::AsNDArray(ctx.inputs[0]));
+  XORBITS_ASSIGN_OR_RETURN(const NDArray* b, services::AsNDArray(ctx.inputs[1]));
+  XORBITS_ASSIGN_OR_RETURN(NDArray out, tensor::MatMul(*a, *b));
+  ctx.outputs[0] = services::MakeChunk(std::move(out));
+  return Status::OK();
+}
+
+Status TransposeChunkOp::Execute(ExecutionContext& ctx) const {
+  XORBITS_ASSIGN_OR_RETURN(const NDArray* a, services::AsNDArray(ctx.inputs[0]));
+  XORBITS_ASSIGN_OR_RETURN(NDArray out, tensor::Transpose(*a));
+  ctx.outputs[0] = services::MakeChunk(std::move(out));
+  return Status::OK();
+}
+
+Status QRChunkOp::Execute(ExecutionContext& ctx) const {
+  XORBITS_ASSIGN_OR_RETURN(const NDArray* a, services::AsNDArray(ctx.inputs[0]));
+  NDArray q, r;
+  XORBITS_RETURN_NOT_OK(tensor::QRDecompose(*a, &q, &r));
+  ctx.outputs[0] = services::MakeChunk(std::move(q));
+  ctx.outputs[1] = services::MakeChunk(std::move(r));
+  return Status::OK();
+}
+
+Status AddNChunkOp::Execute(ExecutionContext& ctx) const {
+  XORBITS_ASSIGN_OR_RETURN(const NDArray* first,
+                           services::AsNDArray(ctx.inputs[0]));
+  NDArray acc = *first;
+  for (size_t i = 1; i < ctx.inputs.size(); ++i) {
+    XORBITS_ASSIGN_OR_RETURN(const NDArray* next,
+                             services::AsNDArray(ctx.inputs[i]));
+    XORBITS_ASSIGN_OR_RETURN(acc, tensor::Add(acc, *next));
+  }
+  ctx.outputs[0] = services::MakeChunk(std::move(acc));
+  return Status::OK();
+}
+
+Status GramChunkOp::Execute(ExecutionContext& ctx) const {
+  XORBITS_ASSIGN_OR_RETURN(const NDArray* x, services::AsNDArray(ctx.inputs[0]));
+  XORBITS_ASSIGN_OR_RETURN(const NDArray* y, services::AsNDArray(ctx.inputs[1]));
+  XORBITS_ASSIGN_OR_RETURN(NDArray xt, tensor::Transpose(*x));
+  XORBITS_ASSIGN_OR_RETURN(NDArray xtx, tensor::MatMul(xt, *x));
+  NDArray ymat = *y;
+  if (ymat.ndim() == 1) {
+    XORBITS_ASSIGN_OR_RETURN(ymat,
+                             NDArray::Make(ymat.data(), {ymat.rows(), 1}));
+  }
+  XORBITS_ASSIGN_OR_RETURN(NDArray xty, tensor::MatMul(xt, ymat));
+  XORBITS_ASSIGN_OR_RETURN(NDArray gram, tensor::HStack({&xtx, &xty}));
+  ctx.outputs[0] = services::MakeChunk(std::move(gram));
+  return Status::OK();
+}
+
+Status CholSolveGramChunkOp::Execute(ExecutionContext& ctx) const {
+  XORBITS_ASSIGN_OR_RETURN(const NDArray* gram,
+                           services::AsNDArray(ctx.inputs[0]));
+  const int64_t d = gram->rows();
+  XORBITS_ASSIGN_OR_RETURN(NDArray xtx, gram->SliceCols(0, d));
+  XORBITS_ASSIGN_OR_RETURN(NDArray xty, gram->SliceCols(d, d + 1));
+  XORBITS_ASSIGN_OR_RETURN(NDArray beta, tensor::CholeskySolve(xtx, xty));
+  ctx.outputs[0] = services::MakeChunk(std::move(beta));
+  return Status::OK();
+}
+
+Status SVDChunkOp::Execute(ExecutionContext& ctx) const {
+  XORBITS_ASSIGN_OR_RETURN(const NDArray* a, services::AsNDArray(ctx.inputs[0]));
+  NDArray u, s, vt;
+  XORBITS_RETURN_NOT_OK(tensor::SVDDecompose(*a, &u, &s, &vt));
+  ctx.outputs[0] = services::MakeChunk(std::move(u));
+  ctx.outputs[1] = services::MakeChunk(std::move(s));
+  ctx.outputs[2] = services::MakeChunk(std::move(vt));
+  return Status::OK();
+}
+
+Status SumAllChunkOp::Execute(ExecutionContext& ctx) const {
+  XORBITS_ASSIGN_OR_RETURN(const NDArray* a, services::AsNDArray(ctx.inputs[0]));
+  ctx.outputs[0] =
+      services::MakeChunk(NDArray::Full({1, 1}, tensor::SumAll(*a)));
+  return Status::OK();
+}
+
+TileTask TensorEwiseOp::Tile(TileContext& ctx, TileableNode* node) {
+  const bool binary =
+      kind_ == EwiseChunkOp::Kind::kAdd || kind_ == EwiseChunkOp::Kind::kSub ||
+      kind_ == EwiseChunkOp::Kind::kMul || kind_ == EwiseChunkOp::Kind::kDiv;
+  auto op = std::make_shared<EwiseChunkOp>(kind_, scalar_);
+  TileableNode* a = node->inputs[0];
+  if (binary) {
+    TileableNode* b = node->inputs[1];
+    std::vector<ChunkNode*> b_chunks = b->chunks;
+    bool aligned = a->chunks.size() == b_chunks.size();
+    if (aligned) {
+      for (size_t i = 0; i < b_chunks.size(); ++i) {
+        if (a->chunks[i]->meta.rows != b_chunks[i]->meta.rows) {
+          aligned = false;
+          break;
+        }
+      }
+    }
+    if (!aligned) {
+      // Auto rechunk: realign the right operand to the left's row splits
+      // (gather + re-slice). Static engines require matching chunks, like
+      // Dask does without an explicit rechunk call.
+      if (!ctx.dynamic()) {
+        co_return Status::Invalid(
+            "elementwise op over differently-chunked tensors; rechunk the "
+            "operands");
+      }
+      ChunkNode* all_b =
+          b_chunks.size() == 1
+              ? b_chunks[0]
+              : ctx.chunk_graph()->AddNode(std::make_shared<ConcatChunkOp>(),
+                                           b_chunks);
+      b_chunks.clear();
+      int64_t off = 0;
+      for (ChunkNode* ac : a->chunks) {
+        if (ac->meta.rows < 0) {
+          co_return Status::Invalid("ewise rechunk: unknown chunk rows");
+        }
+        b_chunks.push_back(ctx.chunk_graph()->AddNode(
+            std::make_shared<SliceChunkOp>(off, ac->meta.rows), {all_b}));
+        off += ac->meta.rows;
+      }
+    }
+    for (size_t i = 0; i < a->chunks.size(); ++i) {
+      ChunkNode* chunk =
+          ctx.chunk_graph()->AddNode(op, {a->chunks[i], b_chunks[i]});
+      chunk->meta = a->chunks[i]->meta;
+      chunk->meta.chunk_row = static_cast<int64_t>(i);
+      node->chunks.push_back(chunk);
+    }
+  } else {
+    for (size_t i = 0; i < a->chunks.size(); ++i) {
+      ChunkNode* chunk = ctx.chunk_graph()->AddNode(op, {a->chunks[i]});
+      chunk->meta = a->chunks[i]->meta;
+      chunk->meta.chunk_row = static_cast<int64_t>(i);
+      node->chunks.push_back(chunk);
+    }
+  }
+  node->tiled = true;
+  co_return Status::OK();
+}
+
+TileTask MatMulOp::Tile(TileContext& ctx, TileableNode* node) {
+  TileableNode* a = node->inputs[0];
+  TileableNode* b = node->inputs[1];
+  ChunkNode* rhs = b->chunks.size() == 1
+                       ? b->chunks[0]
+                       : ctx.chunk_graph()->AddNode(
+                             std::make_shared<ConcatChunkOp>(), b->chunks);
+  auto op = std::make_shared<MatMulChunkOp>();
+  for (ChunkNode* chunk : a->chunks) {
+    ChunkNode* out = ctx.chunk_graph()->AddNode(op, {chunk, rhs});
+    out->meta.rows = chunk->meta.rows;
+    out->meta.rows_exact = chunk->meta.rows_exact;
+    out->meta.chunk_row = static_cast<int64_t>(node->chunks.size());
+    node->chunks.push_back(out);
+  }
+  node->tiled = true;
+  co_return Status::OK();
+}
+
+Status QROp::BuildOnce(TileContext& ctx, TileableNode* node) {
+  TileableNode* in = node->inputs[0];
+  std::vector<ChunkNode*> blocks = in->chunks;
+  // Column count of the matrix (cols are never split by our sources).
+  int64_t n = -1;
+  for (ChunkNode* c : blocks) {
+    if (c->meta.cols >= 0) n = std::max(n, c->meta.cols);
+  }
+  if (n < 0) return Status::Invalid("qr: unknown column count");
+  // Tall-and-skinny requirement: every block needs rows >= cols.
+  bool conforming = true;
+  for (ChunkNode* c : blocks) {
+    if (c->meta.rows >= 0 && c->meta.rows < n) conforming = false;
+  }
+  if (!conforming) {
+    if (!ctx.dynamic()) {
+      // Dask behaviour from the paper's Listing 1: the user must rechunk.
+      return Status::Invalid(
+          "qr requires tall-and-skinny chunks; rechunk the input");
+    }
+    // Auto rechunk: merge adjacent blocks until each has rows >= cols.
+    std::vector<ChunkNode*> merged;
+    std::vector<ChunkNode*> pending;
+    int64_t pending_rows = 0;
+    for (ChunkNode* c : blocks) {
+      pending.push_back(c);
+      pending_rows += std::max<int64_t>(0, c->meta.rows);
+      if (pending_rows >= n) {
+        ChunkNode* m = pending.size() == 1
+                           ? pending[0]
+                           : ctx.chunk_graph()->AddNode(
+                                 std::make_shared<ConcatChunkOp>(), pending);
+        m->meta.rows = pending_rows;
+        m->meta.cols = n;
+        merged.push_back(m);
+        pending.clear();
+        pending_rows = 0;
+      }
+    }
+    if (!pending.empty()) {
+      if (merged.empty()) {
+        return Status::Invalid("qr: matrix has fewer rows than columns");
+      }
+      // Fold the remainder into the last conforming block.
+      pending.push_back(merged.back());
+      ChunkNode* m = ctx.chunk_graph()->AddNode(
+          std::make_shared<ConcatChunkOp>(), pending);
+      merged.back() = m;
+    }
+    blocks = std::move(merged);
+  }
+
+  // Map: per-block QR.
+  auto qr_op = std::make_shared<QRChunkOp>();
+  std::vector<ChunkNode*> q1s, r1s;
+  for (ChunkNode* block : blocks) {
+    ChunkNode* q1 = ctx.chunk_graph()->AddNode(qr_op, {block}, 0);
+    ChunkNode* r1 = ctx.chunk_graph()->AddNode(qr_op, {block}, 1);
+    q1->meta.rows = block->meta.rows;
+    q1->meta.cols = n;
+    r1->meta.rows = n;
+    r1->meta.cols = n;
+    r1->meta.rows_exact = true;
+    q1s.push_back(q1);
+    r1s.push_back(r1);
+  }
+  // Combine: stack R factors, QR again.
+  ChunkNode* stacked = ctx.chunk_graph()->AddNode(
+      std::make_shared<ConcatChunkOp>(), r1s);
+  auto qr2_op = std::make_shared<QRChunkOp>();
+  ChunkNode* q2 = ctx.chunk_graph()->AddNode(qr2_op, {stacked}, 0);
+  ChunkNode* r_final = ctx.chunk_graph()->AddNode(qr2_op, {stacked}, 1);
+  r_final->meta.rows = n;
+  r_final->meta.cols = n;
+  r_final->meta.rows_exact = true;
+  // Reconstruct: Q_i = Q1_i * Q2[i*n:(i+1)*n].
+  auto mm_op = std::make_shared<MatMulChunkOp>();
+  for (size_t i = 0; i < q1s.size(); ++i) {
+    ChunkNode* slice = ctx.chunk_graph()->AddNode(
+        std::make_shared<SliceChunkOp>(static_cast<int64_t>(i) * n, n), {q2});
+    ChunkNode* q = ctx.chunk_graph()->AddNode(mm_op, {q1s[i], slice});
+    q->meta.rows = q1s[i]->meta.rows;
+    q->meta.cols = n;
+    q->meta.chunk_row = static_cast<int64_t>(i);
+    q_chunks_.push_back(q);
+  }
+  r_chunk_ = r_final;
+  return Status::OK();
+}
+
+Status SVDOp::BuildOnce(TileContext& ctx, TileableNode* node) {
+  // TSQR first (via a private QROp over the same input), then SVD of R.
+  QROp qr;
+  Status qr_status = qr.BuildOnce(ctx, node);
+  XORBITS_RETURN_NOT_OK(qr_status);
+  auto svd_op = std::make_shared<SVDChunkOp>();
+  ChunkNode* ur = ctx.chunk_graph()->AddNode(svd_op, {qr.r_chunk_}, 0);
+  s_chunk_ = ctx.chunk_graph()->AddNode(svd_op, {qr.r_chunk_}, 1);
+  vt_chunk_ = ctx.chunk_graph()->AddNode(svd_op, {qr.r_chunk_}, 2);
+  auto mm_op = std::make_shared<MatMulChunkOp>();
+  for (size_t i = 0; i < qr.q_chunks_.size(); ++i) {
+    ChunkNode* u = ctx.chunk_graph()->AddNode(mm_op, {qr.q_chunks_[i], ur});
+    u->meta = qr.q_chunks_[i]->meta;
+    u->meta.chunk_row = static_cast<int64_t>(i);
+    u_chunks_.push_back(u);
+  }
+  return Status::OK();
+}
+
+TileTask SVDOp::Tile(TileContext& ctx, TileableNode* node) {
+  if (!built_) {
+    built_ = true;
+    build_status_ = BuildOnce(ctx, node);
+  }
+  if (!build_status_.ok()) co_return build_status_;
+  if (node->output_index == 0) {
+    node->chunks = u_chunks_;
+  } else if (node->output_index == 1) {
+    node->chunks = {s_chunk_};
+  } else {
+    node->chunks = {vt_chunk_};
+  }
+  node->tiled = true;
+  co_return Status::OK();
+}
+
+TileTask QROp::Tile(TileContext& ctx, TileableNode* node) {
+  if (!built_) {
+    built_ = true;
+    build_status_ = BuildOnce(ctx, node);
+  }
+  if (!build_status_.ok()) co_return build_status_;
+  if (node->output_index == 0) {
+    node->chunks = q_chunks_;
+  } else {
+    node->chunks = {r_chunk_};
+  }
+  node->tiled = true;
+  co_return Status::OK();
+}
+
+TileTask LstsqOp::Tile(TileContext& ctx, TileableNode* node) {
+  TileableNode* x = node->inputs[0];
+  TileableNode* y = node->inputs[1];
+  std::vector<ChunkNode*> xchunks = x->chunks;
+  std::vector<ChunkNode*> ychunks = y->chunks;
+  // Align y to X's row splits when the chunking differs.
+  bool aligned = xchunks.size() == ychunks.size();
+  if (aligned) {
+    for (size_t i = 0; i < xchunks.size(); ++i) {
+      if (xchunks[i]->meta.rows != ychunks[i]->meta.rows) {
+        aligned = false;
+        break;
+      }
+    }
+  }
+  if (!aligned) {
+    ChunkNode* ally = ychunks.size() == 1
+                          ? ychunks[0]
+                          : ctx.chunk_graph()->AddNode(
+                                std::make_shared<ConcatChunkOp>(), ychunks);
+    ychunks.clear();
+    int64_t off = 0;
+    for (ChunkNode* xc : xchunks) {
+      if (xc->meta.rows < 0) {
+        co_return Status::Invalid("lstsq: unknown X chunk rows");
+      }
+      ChunkNode* piece = ctx.chunk_graph()->AddNode(
+          std::make_shared<SliceChunkOp>(off, xc->meta.rows), {ally});
+      off += xc->meta.rows;
+      ychunks.push_back(piece);
+    }
+  }
+  // Map: per-block gram; combine: tree add; final: Cholesky solve.
+  auto gram_op = std::make_shared<GramChunkOp>();
+  std::vector<ChunkNode*> grams;
+  for (size_t i = 0; i < xchunks.size(); ++i) {
+    grams.push_back(
+        ctx.chunk_graph()->AddNode(gram_op, {xchunks[i], ychunks[i]}));
+  }
+  std::vector<ChunkNode*> reduced = BuildTreeReduce(
+      ctx, std::move(grams), /*avg_chunk_bytes=*/-1,
+      [] { return std::make_shared<AddNChunkOp>(); });
+  ChunkNode* beta = ctx.chunk_graph()->AddNode(
+      std::make_shared<CholSolveGramChunkOp>(), {reduced[0]});
+  node->chunks.push_back(beta);
+  node->tiled = true;
+  co_return Status::OK();
+}
+
+TileTask TensorSumOp::Tile(TileContext& ctx, TileableNode* node) {
+  TileableNode* in = node->inputs[0];
+  auto sum_op = std::make_shared<SumAllChunkOp>();
+  std::vector<ChunkNode*> partials;
+  for (ChunkNode* chunk : in->chunks) {
+    partials.push_back(ctx.chunk_graph()->AddNode(sum_op, {chunk}));
+  }
+  std::vector<ChunkNode*> reduced = BuildTreeReduce(
+      ctx, std::move(partials), /*avg_chunk_bytes=*/-1,
+      [] { return std::make_shared<AddNChunkOp>(); });
+  node->chunks = std::move(reduced);
+  node->tiled = true;
+  co_return Status::OK();
+}
+
+}  // namespace xorbits::operators

@@ -1,0 +1,164 @@
+#ifndef XORBITS_OPERATORS_TENSOR_OPS_H_
+#define XORBITS_OPERATORS_TENSOR_OPS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "operators/operator.h"
+#include "tensor/ndarray.h"
+
+namespace xorbits::operators {
+
+/// Elementwise tensor kernels (fused at chunk level).
+class EwiseChunkOp : public ChunkOp {
+ public:
+  enum class Kind {
+    kAdd, kSub, kMul, kDiv,          // binary, inputs[0] op inputs[1]
+    kAddScalar, kMulScalar,          // unary with scalar operand
+    kExp, kSqrt,                     // unary
+  };
+  explicit EwiseChunkOp(Kind kind, double scalar = 0.0)
+      : kind_(kind), scalar_(scalar) {}
+  const char* type_name() const override { return "TensorEwise"; }
+  Status Execute(ExecutionContext& ctx) const override;
+
+ private:
+  Kind kind_;
+  double scalar_;
+};
+
+/// inputs[0] (m,k) x inputs[1] (k,n).
+class MatMulChunkOp : public ChunkOp {
+ public:
+  const char* type_name() const override { return "TensorMatMul"; }
+  Status Execute(ExecutionContext& ctx) const override;
+};
+
+class TransposeChunkOp : public ChunkOp {
+ public:
+  const char* type_name() const override { return "TensorTranspose"; }
+  Status Execute(ExecutionContext& ctx) const override;
+};
+
+/// Thin QR of one block: outputs Q (index 0) and R (index 1) — the paper's
+/// two-output TensorQR of Fig. 3(a).
+class QRChunkOp : public ChunkOp {
+ public:
+  const char* type_name() const override { return "TensorQR"; }
+  int num_outputs() const override { return 2; }
+  Status Execute(ExecutionContext& ctx) const override;
+};
+
+/// Sums all inputs elementwise (tree-reduce combine step).
+class AddNChunkOp : public ChunkOp {
+ public:
+  const char* type_name() const override { return "TensorAddN"; }
+  Status Execute(ExecutionContext& ctx) const override;
+};
+
+/// Normal-equation map step for distributed least squares: from a block
+/// (X_i, y_i) computes the (d, d+1) block [X_i^T X_i | X_i^T y_i].
+class GramChunkOp : public ChunkOp {
+ public:
+  const char* type_name() const override { return "Gram"; }
+  Status Execute(ExecutionContext& ctx) const override;
+};
+
+/// Final solve: splits the combined gram block back into (X^T X, X^T y) and
+/// returns beta via Cholesky.
+class CholSolveGramChunkOp : public ChunkOp {
+ public:
+  const char* type_name() const override { return "CholeskySolve"; }
+  Status Execute(ExecutionContext& ctx) const override;
+};
+
+/// Elementwise tileable op over tensors (zip of aligned chunk grids).
+class TensorEwiseOp : public TileableOp {
+ public:
+  explicit TensorEwiseOp(EwiseChunkOp::Kind kind, double scalar = 0.0)
+      : kind_(kind), scalar_(scalar) {}
+  const char* type_name() const override { return "TensorEwiseOp"; }
+  TileTask Tile(TileContext& ctx, graph::TileableNode* node) override;
+
+ private:
+  EwiseChunkOp::Kind kind_;
+  double scalar_;
+};
+
+/// Distributed matmul for row-chunked A times a (gathered) small B — the
+/// tall-times-small case every workload in the paper's array section uses.
+class MatMulOp : public TileableOp {
+ public:
+  const char* type_name() const override { return "MatMulOp"; }
+  TileTask Tile(TileContext& ctx, graph::TileableNode* node) override;
+};
+
+/// TSQR (Benson et al., the MapReduce QR both Xorbits and Dask implement):
+/// per-block QR, stacked-R QR, then per-block Q reconstruction. Produces
+/// two tileables (Q: output 0, R: output 1). With auto-rechunk (dynamic
+/// engines) non-conforming chunks are merged until tall-and-skinny; static
+/// engines reject them like Dask does without a manual rechunk.
+class QROp : public TileableOp {
+ public:
+  const char* type_name() const override { return "QROp"; }
+  TileTask Tile(TileContext& ctx, graph::TileableNode* node) override;
+
+ private:
+  friend class SVDOp;  // SVD composes on top of the TSQR build
+  Status BuildOnce(TileContext& ctx, graph::TileableNode* node);
+  bool built_ = false;
+  Status build_status_ = Status::OK();
+  std::vector<graph::ChunkNode*> q_chunks_;
+  graph::ChunkNode* r_chunk_ = nullptr;
+};
+
+/// SVD of a gathered block: outputs U_r (0), S (1), V^T (2).
+class SVDChunkOp : public ChunkOp {
+ public:
+  const char* type_name() const override { return "TensorSVD"; }
+  int num_outputs() const override { return 3; }
+  Status Execute(ExecutionContext& ctx) const override;
+};
+
+/// Distributed thin SVD built on TSQR: per-block QR, SVD of the stacked R,
+/// then U = Q_blocks x U_r. Outputs U (0, row-chunked), S (1), V^T (2).
+class SVDOp : public TileableOp {
+ public:
+  const char* type_name() const override { return "SVDOp"; }
+  TileTask Tile(TileContext& ctx, graph::TileableNode* node) override;
+
+ private:
+  Status BuildOnce(TileContext& ctx, graph::TileableNode* node);
+  bool built_ = false;
+  Status build_status_ = Status::OK();
+  std::vector<graph::ChunkNode*> u_chunks_;
+  graph::ChunkNode* s_chunk_ = nullptr;
+  graph::ChunkNode* vt_chunk_ = nullptr;
+};
+
+/// Distributed ordinary least squares via gram tree-reduction; output is a
+/// single beta chunk. Inputs: X (row-chunked), y (row-chunked or gathered).
+class LstsqOp : public TileableOp {
+ public:
+  const char* type_name() const override { return "LstsqOp"; }
+  TileTask Tile(TileContext& ctx, graph::TileableNode* node) override;
+};
+
+/// Full-tensor sum -> 1x1 tensor (map partials + tree reduce).
+class TensorSumOp : public TileableOp {
+ public:
+  const char* type_name() const override { return "TensorSumOp"; }
+  TileTask Tile(TileContext& ctx, graph::TileableNode* node) override;
+};
+
+/// Per-chunk full reduction to a 1x1 tensor.
+class SumAllChunkOp : public ChunkOp {
+ public:
+  const char* type_name() const override { return "TensorSumAll"; }
+  Status Execute(ExecutionContext& ctx) const override;
+};
+
+}  // namespace xorbits::operators
+
+#endif  // XORBITS_OPERATORS_TENSOR_OPS_H_

@@ -1,0 +1,134 @@
+#ifndef XORBITS_OPERATORS_WINDOW_OPS_H_
+#define XORBITS_OPERATORS_WINDOW_OPS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataframe/reshape.h"
+#include "operators/operator.h"
+
+namespace xorbits::operators {
+
+/// Gathers the (already distributed-aggregated) long table and spreads it
+/// wide — the reshape half of pivot_table.
+class PivotReshapeChunkOp : public ChunkOp {
+ public:
+  PivotReshapeChunkOp(std::vector<std::string> index, std::string columns,
+                      std::string value)
+      : index_(std::move(index)),
+        columns_(std::move(columns)),
+        value_(std::move(value)) {}
+  const char* type_name() const override { return "PivotReshape"; }
+  Status Execute(ExecutionContext& ctx) const override;
+
+ private:
+  std::vector<std::string> index_;
+  std::string columns_;
+  std::string value_;
+};
+
+/// Local cumulative sum over one column plus that chunk's total (emitted as
+/// output 1, a one-cell frame consumed by downstream offset additions).
+class LocalCumSumChunkOp : public ChunkOp {
+ public:
+  LocalCumSumChunkOp(std::string column, std::string output)
+      : column_(std::move(column)), output_(std::move(output)) {}
+  const char* type_name() const override { return "CumSum::local"; }
+  int num_outputs() const override { return 2; }
+  Status Execute(ExecutionContext& ctx) const override;
+
+ private:
+  std::string column_;
+  std::string output_;
+};
+
+/// Adds the sum of the preceding chunks' totals (inputs 1..n) to the local
+/// cumsum column of input 0 — the prefix-propagation step.
+class AddPrefixChunkOp : public ChunkOp {
+ public:
+  explicit AddPrefixChunkOp(std::string output) : output_(std::move(output)) {}
+  const char* type_name() const override { return "CumSum::prefix"; }
+  Status Execute(ExecutionContext& ctx) const override;
+
+ private:
+  std::string output_;
+};
+
+/// Rolling mean over one column. Input 0 is the chunk; optional input 1
+/// carries the previous chunk's last window-1 rows so windows spanning the
+/// chunk boundary are exact.
+class RollingMeanChunkOp : public ChunkOp {
+ public:
+  RollingMeanChunkOp(std::string column, std::string output, int64_t window,
+                     bool has_carry)
+      : column_(std::move(column)),
+        output_(std::move(output)),
+        window_(window),
+        has_carry_(has_carry) {}
+  const char* type_name() const override { return "Rolling::mean"; }
+  Status Execute(ExecutionContext& ctx) const override;
+
+ private:
+  std::string column_;
+  std::string output_;
+  int64_t window_;
+  bool has_carry_;
+};
+
+/// df.pivot_table(index=..., columns=..., values=..., aggfunc=...): a
+/// distributed groupby (reusing the map-combine-reduce machinery via the
+/// API layer) followed by a gathered reshape. Output schema is
+/// data-dependent — unknowable before execution, another operator in the
+/// paper's "non-static" class.
+class PivotReshapeOp : public TileableOp {
+ public:
+  PivotReshapeOp(std::vector<std::string> index, std::string columns,
+                 std::string value)
+      : index_(std::move(index)),
+        columns_(std::move(columns)),
+        value_(std::move(value)) {}
+  const char* type_name() const override { return "PivotTable"; }
+  TileTask Tile(TileContext& ctx, graph::TileableNode* node) override;
+
+ private:
+  std::vector<std::string> index_;
+  std::string columns_;
+  std::string value_;
+};
+
+/// df[col].cumsum(): local scans plus prefix propagation of chunk totals —
+/// no gather of the data itself.
+class CumSumOp : public TileableOp {
+ public:
+  CumSumOp(std::string column, std::string output)
+      : column_(std::move(column)), output_(std::move(output)) {}
+  const char* type_name() const override { return "CumSumOp"; }
+  TileTask Tile(TileContext& ctx, graph::TileableNode* node) override;
+
+ private:
+  std::string column_;
+  std::string output_;
+};
+
+/// df[col].rolling(window).mean(): per-chunk windows with boundary carry
+/// rows from the previous chunk. Chunk row counts must be exact; dynamic
+/// engines execute-to-learn, static ones fall back to a gather.
+class RollingMeanOp : public TileableOp {
+ public:
+  RollingMeanOp(std::string column, std::string output, int64_t window)
+      : column_(std::move(column)),
+        output_(std::move(output)),
+        window_(window) {}
+  const char* type_name() const override { return "RollingOp"; }
+  TileTask Tile(TileContext& ctx, graph::TileableNode* node) override;
+
+ private:
+  std::string column_;
+  std::string output_;
+  int64_t window_;
+};
+
+}  // namespace xorbits::operators
+
+#endif  // XORBITS_OPERATORS_WINDOW_OPS_H_

@@ -1,0 +1,138 @@
+#include "optimizer/column_pruning.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_set>
+
+#include "operators/source_ops.h"
+
+namespace xorbits::optimizer {
+
+using graph::TileableNode;
+
+namespace {
+
+struct Requirement {
+  std::set<std::string> columns;
+  bool need_all = false;
+};
+
+}  // namespace
+
+void PruneColumns(const std::vector<TileableNode*>& topo_order,
+                  const std::vector<TileableNode*>& sinks) {
+  std::map<const TileableNode*, Requirement> required;
+  // Sinks need their entire schema (the user sees all of it) — expressed as
+  // the sink's column list so the requirement can still narrow through
+  // projections upstream. Schema-less sinks (tensors) stay conservative.
+  for (const TileableNode* s : sinks) {
+    if (s->columns.empty()) {
+      required[s].need_all = true;
+    } else {
+      required[s].columns.insert(s->columns.begin(), s->columns.end());
+    }
+  }
+
+  for (auto it = topo_order.rbegin(); it != topo_order.rend(); ++it) {
+    TileableNode* node = *it;
+    Requirement& req = required[node];  // default empty if never consumed
+    auto* op = dynamic_cast<operators::TileableOp*>(node->op.get());
+    if (op == nullptr) continue;
+
+    std::optional<std::vector<std::set<std::string>>> input_needs;
+    if (!req.need_all) {
+      input_needs = op->RequiredInputColumns(*node, req.columns);
+    }
+    if (!input_needs.has_value()) {
+      // Conservative: inputs must deliver everything they have.
+      for (TileableNode* in : node->inputs) required[in].need_all = true;
+    } else {
+      for (size_t i = 0; i < node->inputs.size() && i < input_needs->size();
+           ++i) {
+        Requirement& in_req = required[node->inputs[i]];
+        for (const auto& c : (*input_needs)[i]) in_req.columns.insert(c);
+      }
+    }
+
+    // Install pruning on parquet sources. Deferred evaluation means a
+    // source may already be tiled under an earlier (narrower) requirement;
+    // Xorbits re-plans reads per execution, which here means widening the
+    // column set and re-tiling the source.
+    auto* read = dynamic_cast<operators::ReadXpqOp*>(node->op.get());
+    if (read == nullptr || node->columns.empty()) continue;
+
+    std::set<std::string> needed;
+    if (req.need_all) {
+      needed.insert(node->columns.begin(), node->columns.end());
+    } else {
+      for (const auto& c : node->columns) {
+        if (req.columns.count(c)) needed.insert(c);
+      }
+      if (needed.empty()) {
+        // Consumed for row counts only; keep one column to stay well-formed.
+        needed.insert(node->columns.front());
+      }
+    }
+    const std::vector<std::string>& pruned = read->pruned_columns();
+    std::set<std::string> current(pruned.begin(), pruned.end());
+    if (pruned.empty()) {
+      current.insert(node->columns.begin(), node->columns.end());
+    }
+    const bool covered = std::includes(current.begin(), current.end(),
+                                       needed.begin(), needed.end());
+    if (!node->tiled) {
+      // First plan for this source: read exactly what is needed.
+      if (needed.size() < node->columns.size()) {
+        std::vector<std::string> keep;
+        for (const auto& c : node->columns) {
+          if (needed.count(c)) keep.push_back(c);
+        }
+        read->SetPrunedColumns(std::move(keep));
+      } else {
+        read->SetPrunedColumns({});
+      }
+    } else if (!covered) {
+      // Widen and re-tile (new chunks; already-executed consumers of the
+      // old, narrower chunks are unaffected).
+      std::set<std::string> widened = current;
+      widened.insert(needed.begin(), needed.end());
+      if (widened.size() < node->columns.size()) {
+        std::vector<std::string> keep;
+        for (const auto& c : node->columns) {
+          if (widened.count(c)) keep.push_back(c);
+        }
+        read->SetPrunedColumns(std::move(keep));
+      } else {
+        read->SetPrunedColumns({});
+      }
+      node->tiled = false;
+      node->chunks.clear();
+    }
+  }
+
+  // Forward pass: anything tiled on top of a re-tiled source must re-tile
+  // as well (its chunk lists point at the old, narrower chunks). Executed
+  // chunks of the old plan stay valid for their own consumers.
+  std::unordered_set<const TileableNode*> invalidated;
+  for (TileableNode* node : topo_order) {
+    if (!node->tiled) {
+      if (node->op != nullptr &&
+          dynamic_cast<operators::ReadXpqOp*>(node->op.get()) != nullptr) {
+        invalidated.insert(node);
+      }
+      continue;
+    }
+    for (TileableNode* in : node->inputs) {
+      if (invalidated.count(in) || !in->tiled) {
+        node->tiled = false;
+        node->chunks.clear();
+        invalidated.insert(node);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace xorbits::optimizer

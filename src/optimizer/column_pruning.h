@@ -1,0 +1,19 @@
+#ifndef XORBITS_OPTIMIZER_COLUMN_PRUNING_H_
+#define XORBITS_OPTIMIZER_COLUMN_PRUNING_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace xorbits::optimizer {
+
+/// Column pruning (§V-A): traverses the tileable graph backward from the
+/// sinks, recording the columns each operator needs, and installs the
+/// pruned column set on parquet sources so unused columns are never read.
+/// Sinks require their full schema. Must run before tiling.
+void PruneColumns(const std::vector<graph::TileableNode*>& topo_order,
+                  const std::vector<graph::TileableNode*>& sinks);
+
+}  // namespace xorbits::optimizer
+
+#endif  // XORBITS_OPTIMIZER_COLUMN_PRUNING_H_

@@ -1,0 +1,24 @@
+#ifndef XORBITS_OPTIMIZER_FUSION_H_
+#define XORBITS_OPTIMIZER_FUSION_H_
+
+#include <vector>
+
+#include "common/metrics.h"
+#include "graph/graph.h"
+
+namespace xorbits::optimizer {
+
+/// Converts a pending chunk-node closure (topologically ordered) into a
+/// subtask graph. With `enable_fusion`, nodes are grouped by the paper's
+/// coloring algorithm (§V-A); otherwise every execution unit becomes its
+/// own subtask. Nodes in `must_persist` are always published to storage;
+/// additionally each subtask's tail nodes persist (they may be consumed by
+/// operators tiled later).
+graph::SubtaskGraph BuildSubtaskGraph(
+    const std::vector<graph::ChunkNode*>& pending,
+    const std::vector<graph::ChunkNode*>& must_persist, bool enable_fusion,
+    Metrics* metrics);
+
+}  // namespace xorbits::optimizer
+
+#endif  // XORBITS_OPTIMIZER_FUSION_H_

@@ -1,0 +1,21 @@
+#ifndef XORBITS_OPTIMIZER_OP_FUSION_H_
+#define XORBITS_OPTIMIZER_OP_FUSION_H_
+
+#include <vector>
+
+#include "common/metrics.h"
+#include "graph/graph.h"
+
+namespace xorbits::optimizer {
+
+/// Operator-level fusion (§V-A): collapses chains of elementwise Eval chunk
+/// operators (a -> b, b the sole consumer of a) into a single fused
+/// EvalChunkOp, eliminating materialized intermediates the way numexpr/JAX
+/// do. Mutates the pending closure in place and returns the surviving node
+/// list (dropped producers are removed).
+std::vector<graph::ChunkNode*> FuseElementwiseChains(
+    std::vector<graph::ChunkNode*> pending, Metrics* metrics);
+
+}  // namespace xorbits::optimizer
+
+#endif  // XORBITS_OPTIMIZER_OP_FUSION_H_

@@ -1,0 +1,16 @@
+#include "scheduler/band.h"
+
+namespace xorbits::scheduler {
+
+std::vector<Band> BandsFromConfig(const Config& config) {
+  std::vector<Band> bands;
+  int id = 0;
+  for (int w = 0; w < config.num_workers; ++w) {
+    for (int n = 0; n < config.bands_per_worker; ++n) {
+      bands.push_back(Band{id++, w, n});
+    }
+  }
+  return bands;
+}
+
+}  // namespace xorbits::scheduler

@@ -1,0 +1,29 @@
+#ifndef XORBITS_SCHEDULER_BAND_H_
+#define XORBITS_SCHEDULER_BAND_H_
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+
+namespace xorbits::scheduler {
+
+/// The basic unit of subtask scheduling and execution (§V-B): one NUMA node
+/// of one worker (GPU bands collapse onto the same abstraction).
+struct Band {
+  int id = 0;      // global band id
+  int worker = 0;  // owning worker node
+  int numa = 0;    // NUMA slot within the worker
+
+  std::string name() const {
+    return "w" + std::to_string(worker) + ":numa" + std::to_string(numa);
+  }
+};
+
+/// Enumerates the cluster's bands worker-major (worker 0's NUMA slots
+/// first), the order the breadth-first strategy packs.
+std::vector<Band> BandsFromConfig(const Config& config);
+
+}  // namespace xorbits::scheduler
+
+#endif  // XORBITS_SCHEDULER_BAND_H_

@@ -1,0 +1,44 @@
+#ifndef XORBITS_SCHEDULER_EXECUTOR_H_
+#define XORBITS_SCHEDULER_EXECUTOR_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/config.h"
+#include "common/metrics.h"
+#include "graph/graph.h"
+#include "services/meta_service.h"
+#include "services/storage_service.h"
+
+namespace xorbits::scheduler {
+
+/// Runs a subtask graph on the simulated cluster: one serial execution slot
+/// per band, dependency-ordered dispatch, byte-accurate storage accounting,
+/// failure propagation and a wall-clock deadline (exceeding it reports the
+/// paper's "hang" failure class).
+class Executor {
+ public:
+  Executor(const Config& config, Metrics* metrics,
+           services::StorageService* storage, services::MetaService* meta);
+
+  /// Assigns bands (placement), executes everything, and marks persisted
+  /// chunk nodes executed. `deadline` is absolute; pass time_point::max()
+  /// for no deadline.
+  Status Run(graph::SubtaskGraph* st_graph,
+             std::chrono::steady_clock::time_point deadline);
+
+ private:
+  Status RunSubtask(graph::Subtask& subtask);
+
+  const Config& config_;
+  Metrics* metrics_;
+  services::StorageService* storage_;
+  services::MetaService* meta_;
+};
+
+}  // namespace xorbits::scheduler
+
+#endif  // XORBITS_SCHEDULER_EXECUTOR_H_

@@ -1,0 +1,70 @@
+#include "scheduler/placement.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace xorbits::scheduler {
+
+void AssignBands(const Config& config, graph::SubtaskGraph* st_graph) {
+  const int num_bands = config.total_bands();
+  std::vector<int64_t> band_load(num_bands, 0);  // assigned subtask count
+  int next_initial_band = 0;
+
+  auto least_loaded = [&] {
+    return static_cast<int>(
+        std::min_element(band_load.begin(), band_load.end()) -
+        band_load.begin());
+  };
+
+  // Subtasks arrive topologically ordered from the fusion pass, so every
+  // predecessor is placed before its successors.
+  for (graph::Subtask& st : st_graph->subtasks) {
+    int band;
+    // "Initial" means no producers at all — a subtask whose inputs were
+    // executed in an earlier partial run (dynamic tiling) still has data
+    // with a home band and must be placed by locality.
+    bool has_located_input = false;
+    for (const graph::ChunkNode* in : st.external_inputs) {
+      if (in->band >= 0) {
+        has_located_input = true;
+        break;
+      }
+    }
+    if ((st.preds.empty() && !has_located_input) ||
+        !config.locality_aware) {
+      // Breadth-first: fill one worker's bands, then the next.
+      band = next_initial_band;
+      next_initial_band = (next_initial_band + 1) % num_bands;
+    } else {
+      // Locality-aware: follow the band holding the most input bytes.
+      std::map<int, int64_t> bytes_per_band;
+      for (const graph::ChunkNode* in : st.external_inputs) {
+        if (in->band >= 0) {
+          bytes_per_band[in->band] +=
+              std::max<int64_t>(1, in->meta.nbytes);
+        }
+      }
+      if (bytes_per_band.empty()) {
+        band = least_loaded();
+      } else {
+        band = bytes_per_band.begin()->first;
+        int64_t best = -1;
+        for (const auto& [b, bytes] : bytes_per_band) {
+          if (bytes > best) {
+            best = bytes;
+            band = b;
+          }
+        }
+        // Avoid piling everything on one band when alternatives are idle.
+        const int idle = least_loaded();
+        if (band_load[band] >= band_load[idle] + 4) band = idle;
+      }
+    }
+    st.band = band;
+    band_load[band]++;
+    for (graph::ChunkNode* n : st.chunk_nodes) n->band = band;
+  }
+}
+
+}  // namespace xorbits::scheduler

@@ -1,0 +1,18 @@
+#ifndef XORBITS_SCHEDULER_PLACEMENT_H_
+#define XORBITS_SCHEDULER_PLACEMENT_H_
+
+#include "common/config.h"
+#include "graph/graph.h"
+
+namespace xorbits::scheduler {
+
+/// Assigns every subtask to a band (§V-B): initial subtasks (no
+/// predecessors) are packed breadth-first across workers' bands; successor
+/// subtasks follow the band holding most of their input bytes
+/// (locality-aware), falling back to the least-loaded band. Mutates
+/// `subtask.band` and the member chunk nodes' planned band.
+void AssignBands(const Config& config, graph::SubtaskGraph* st_graph);
+
+}  // namespace xorbits::scheduler
+
+#endif  // XORBITS_SCHEDULER_PLACEMENT_H_

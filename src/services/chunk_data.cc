@@ -1,0 +1,104 @@
+#include "services/chunk_data.h"
+
+#include <sstream>
+
+#include "io/serialize.h"
+
+namespace xorbits::services {
+
+int64_t ChunkData::nbytes() const {
+  if (is_dataframe()) return dataframe().nbytes();
+  if (is_ndarray()) return ndarray().nbytes();
+  return 16;
+}
+
+int64_t ChunkData::rows() const {
+  if (is_dataframe()) return dataframe().num_rows();
+  if (is_ndarray()) return ndarray().rows();
+  return 1;
+}
+
+std::string ChunkData::ToString() const {
+  if (is_dataframe()) return dataframe().ToString();
+  if (is_ndarray()) return ndarray().ToString();
+  return scalar().ToString();
+}
+
+ChunkDataPtr MakeChunk(dataframe::DataFrame df) {
+  return std::make_shared<ChunkData>(std::move(df));
+}
+ChunkDataPtr MakeChunk(tensor::NDArray arr) {
+  return std::make_shared<ChunkData>(std::move(arr));
+}
+ChunkDataPtr MakeChunk(dataframe::Scalar s) {
+  return std::make_shared<ChunkData>(std::move(s));
+}
+
+Result<std::string> SerializeChunk(const ChunkData& chunk) {
+  std::ostringstream os;
+  if (chunk.is_dataframe()) {
+    os.put('D');
+    XORBITS_RETURN_NOT_OK(io::WriteDataFrame(os, chunk.dataframe()));
+  } else if (chunk.is_ndarray()) {
+    os.put('A');
+    XORBITS_RETURN_NOT_OK(io::WriteNDArray(os, chunk.ndarray()));
+  } else {
+    os.put('S');
+    const std::string repr = chunk.scalar().ToString();
+    // Scalars spill via a single-value dataframe for simplicity.
+    dataframe::DataFrame df;
+    dataframe::Column col =
+        chunk.scalar().is_null()
+            ? dataframe::Column::Nulls(dataframe::DType::kFloat64, 1)
+        : chunk.scalar().is_string()
+            ? dataframe::Column::String({chunk.scalar().AsString()})
+        : chunk.scalar().is_int()
+            ? dataframe::Column::Int64({chunk.scalar().AsInt()})
+        : chunk.scalar().is_bool()
+            ? dataframe::Column::Bool({chunk.scalar().AsBool()})
+            : dataframe::Column::Float64({chunk.scalar().AsDouble()});
+    XORBITS_RETURN_NOT_OK(df.SetColumn("v", std::move(col)));
+    XORBITS_RETURN_NOT_OK(io::WriteDataFrame(os, df));
+    (void)repr;
+  }
+  return os.str();
+}
+
+Result<ChunkDataPtr> DeserializeChunk(const std::string& buf) {
+  if (buf.empty()) return Status::IOError("empty chunk buffer");
+  std::istringstream is(buf);
+  char tag = 0;
+  is.get(tag);
+  if (tag == 'D') {
+    XORBITS_ASSIGN_OR_RETURN(auto df, io::ReadDataFrame(is));
+    return MakeChunk(std::move(df));
+  }
+  if (tag == 'A') {
+    XORBITS_ASSIGN_OR_RETURN(auto arr, io::ReadNDArray(is));
+    return MakeChunk(std::move(arr));
+  }
+  if (tag == 'S') {
+    XORBITS_ASSIGN_OR_RETURN(auto df, io::ReadDataFrame(is));
+    if (df.num_rows() != 1 || df.num_columns() != 1) {
+      return Status::IOError("bad scalar chunk");
+    }
+    return MakeChunk(df.column(0).GetScalar(0));
+  }
+  return Status::IOError("bad chunk tag");
+}
+
+Result<const dataframe::DataFrame*> AsDataFrame(const ChunkDataPtr& chunk) {
+  if (!chunk) return Status::Invalid("null chunk");
+  if (!chunk->is_dataframe()) {
+    return Status::TypeError("chunk is not a dataframe");
+  }
+  return &chunk->dataframe();
+}
+
+Result<const tensor::NDArray*> AsNDArray(const ChunkDataPtr& chunk) {
+  if (!chunk) return Status::Invalid("null chunk");
+  if (!chunk->is_ndarray()) return Status::TypeError("chunk is not a tensor");
+  return &chunk->ndarray();
+}
+
+}  // namespace xorbits::services

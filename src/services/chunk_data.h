@@ -1,0 +1,72 @@
+#ifndef XORBITS_SERVICES_CHUNK_DATA_H_
+#define XORBITS_SERVICES_CHUNK_DATA_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "dataframe/dataframe.h"
+#include "tensor/ndarray.h"
+
+namespace xorbits::services {
+
+/// A chunk's in-memory payload: one dataframe piece, one tensor block, or a
+/// scalar (final reductions). Immutable once stored; workers share payloads
+/// by pointer within a process, mirroring the zero-copy path of the paper's
+/// storage backends.
+class ChunkData {
+ public:
+  explicit ChunkData(dataframe::DataFrame df) : payload_(std::move(df)) {}
+  explicit ChunkData(tensor::NDArray arr) : payload_(std::move(arr)) {}
+  explicit ChunkData(dataframe::Scalar s) : payload_(std::move(s)) {}
+
+  bool is_dataframe() const {
+    return std::holds_alternative<dataframe::DataFrame>(payload_);
+  }
+  bool is_ndarray() const {
+    return std::holds_alternative<tensor::NDArray>(payload_);
+  }
+  bool is_scalar() const {
+    return std::holds_alternative<dataframe::Scalar>(payload_);
+  }
+
+  const dataframe::DataFrame& dataframe() const {
+    return std::get<dataframe::DataFrame>(payload_);
+  }
+  const tensor::NDArray& ndarray() const {
+    return std::get<tensor::NDArray>(payload_);
+  }
+  const dataframe::Scalar& scalar() const {
+    return std::get<dataframe::Scalar>(payload_);
+  }
+
+  /// Payload bytes, the unit of all memory accounting.
+  int64_t nbytes() const;
+  /// Rows for dataframes/tensors, 1 for scalars.
+  int64_t rows() const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<dataframe::DataFrame, tensor::NDArray, dataframe::Scalar>
+      payload_;
+};
+
+using ChunkDataPtr = std::shared_ptr<const ChunkData>;
+
+ChunkDataPtr MakeChunk(dataframe::DataFrame df);
+ChunkDataPtr MakeChunk(tensor::NDArray arr);
+ChunkDataPtr MakeChunk(dataframe::Scalar s);
+
+/// Binary round-trip for spill and simulated cross-node transfer.
+Result<std::string> SerializeChunk(const ChunkData& chunk);
+Result<ChunkDataPtr> DeserializeChunk(const std::string& buf);
+
+/// Typed accessors with checked errors.
+Result<const dataframe::DataFrame*> AsDataFrame(const ChunkDataPtr& chunk);
+Result<const tensor::NDArray*> AsNDArray(const ChunkDataPtr& chunk);
+
+}  // namespace xorbits::services
+
+#endif  // XORBITS_SERVICES_CHUNK_DATA_H_

@@ -1,0 +1,39 @@
+#include "services/meta_service.h"
+
+namespace xorbits::services {
+
+void MetaService::Put(const std::string& key, ChunkMeta meta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metas_[key] = std::move(meta);
+}
+
+Result<ChunkMeta> MetaService::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metas_.find(key);
+  if (it == metas_.end()) {
+    return Status::KeyError("no meta for chunk '" + key + "'");
+  }
+  return it->second;
+}
+
+bool MetaService::Has(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metas_.count(key) > 0;
+}
+
+void MetaService::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metas_.erase(key);
+}
+
+int64_t MetaService::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(metas_.size());
+}
+
+void MetaService::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  metas_.clear();
+}
+
+}  // namespace xorbits::services

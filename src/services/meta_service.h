@@ -1,0 +1,43 @@
+#ifndef XORBITS_SERVICES_META_SERVICE_H_
+#define XORBITS_SERVICES_META_SERVICE_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace xorbits::services {
+
+/// Chunk-level execution metadata recorded by workers and consumed by the
+/// tiling process (paper §IV-B step 2: "store it in the meta service so
+/// that the tiling process can later access it").
+struct ChunkMeta {
+  int64_t rows = -1;
+  int64_t cols = -1;
+  int64_t nbytes = -1;
+  int band = -1;
+  std::vector<std::string> columns;  // dataframe chunks only
+};
+
+/// Thread-safe key -> ChunkMeta registry shared by workers (writers, during
+/// execute) and the supervisor-side tiling driver (reader, during tile).
+class MetaService {
+ public:
+  void Put(const std::string& key, ChunkMeta meta);
+  Result<ChunkMeta> Get(const std::string& key) const;
+  bool Has(const std::string& key) const;
+  void Delete(const std::string& key);
+  int64_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, ChunkMeta> metas_;
+};
+
+}  // namespace xorbits::services
+
+#endif  // XORBITS_SERVICES_META_SERVICE_H_

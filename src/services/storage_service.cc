@@ -1,0 +1,209 @@
+#include "services/storage_service.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace xorbits::services {
+
+StorageService::StorageService(const Config& config, Metrics* metrics)
+    : num_bands_(config.total_bands()),
+      band_limit_(config.band_memory_limit),
+      enable_spill_(config.enable_spill),
+      spill_dir_(config.spill_dir),
+      metrics_(metrics),
+      band_used_(config.total_bands(), 0) {
+  if (enable_spill_) {
+    std::error_code ec;
+    std::filesystem::create_directories(spill_dir_, ec);
+  }
+}
+
+StorageService::~StorageService() { Clear(); }
+
+Status StorageService::Put(const std::string& key, ChunkDataPtr data,
+                           int band) {
+  if (!data) return Status::Invalid("Put of null chunk: " + key);
+  if (band < 0 || band >= num_bands_) {
+    return Status::Invalid("Put on bad band " + std::to_string(band));
+  }
+  const int64_t bytes = data->nbytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(key)) {
+    return Status::Invalid("duplicate chunk key: " + key);
+  }
+  XORBITS_RETURN_NOT_OK(EnsureCapacityLocked(band, bytes));
+  Entry e;
+  e.data = std::move(data);
+  e.band = band;
+  e.nbytes = bytes;
+  e.lru_tick = ++tick_;
+  entries_.emplace(key, std::move(e));
+  band_used_[band] += bytes;
+  metrics_->chunks_stored++;
+  metrics_->bytes_stored += bytes;
+  metrics_->UpdatePeak(band_used_[band]);
+  return Status::OK();
+}
+
+Result<ChunkDataPtr> StorageService::Get(const std::string& key,
+                                         int requesting_band,
+                                         bool* transferred) {
+  if (transferred != nullptr) *transferred = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::KeyError("no chunk with key '" + key + "'");
+  }
+  Entry& e = it->second;
+  e.lru_tick = ++tick_;
+  if (e.level == StorageLevel::kDisk) {
+    // Fault back into memory on the owning band.
+    std::ifstream in(e.spill_path, std::ios::binary);
+    if (!in) return Status::IOError("lost spill file " + e.spill_path);
+    std::string buf((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    XORBITS_ASSIGN_OR_RETURN(ChunkDataPtr data, DeserializeChunk(buf));
+    XORBITS_RETURN_NOT_OK(EnsureCapacityLocked(e.band, e.nbytes));
+    std::filesystem::remove(e.spill_path);
+    e.spill_path.clear();
+    e.data = std::move(data);
+    e.level = StorageLevel::kMemory;
+    band_used_[e.band] += e.nbytes;
+    metrics_->UpdatePeak(band_used_[e.band]);
+  }
+  if (requesting_band >= 0 && requesting_band != e.band) {
+    bool cached = false;
+    for (int b : e.replicas) {
+      if (b == requesting_band) {
+        cached = true;
+        break;
+      }
+    }
+    if (!cached) {
+      metrics_->bytes_transferred += e.nbytes;
+      e.replicas.push_back(requesting_band);
+      if (transferred != nullptr) *transferred = true;
+    }
+  }
+  return e.data;
+}
+
+bool StorageService::Has(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(key) > 0;
+}
+
+Status StorageService::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::KeyError("delete of unknown chunk '" + key + "'");
+  }
+  if (it->second.level == StorageLevel::kMemory) {
+    band_used_[it->second.band] -= it->second.nbytes;
+  } else {
+    std::filesystem::remove(it->second.spill_path);
+  }
+  entries_.erase(it);
+  return Status::OK();
+}
+
+Result<int> StorageService::BandOf(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::KeyError("no chunk with key '" + key + "'");
+  }
+  return it->second.band;
+}
+
+int64_t StorageService::band_used_bytes(int band) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return band_used_[band];
+}
+
+Status StorageService::ReserveTransient(int band, int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  XORBITS_RETURN_NOT_OK(EnsureCapacityLocked(band, bytes));
+  band_used_[band] += bytes;
+  metrics_->UpdatePeak(band_used_[band]);
+  return Status::OK();
+}
+
+void StorageService::ReleaseTransient(int band, int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  band_used_[band] -= bytes;
+}
+
+void StorageService::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, e] : entries_) {
+    if (e.level == StorageLevel::kDisk) {
+      std::filesystem::remove(e.spill_path);
+    }
+  }
+  entries_.clear();
+  std::fill(band_used_.begin(), band_used_.end(), 0);
+}
+
+Status StorageService::EnsureCapacityLocked(int band, int64_t bytes) {
+  if (bytes > band_limit_) {
+    metrics_->oom_events++;
+    return Status::OutOfMemory(
+        "chunk of " + std::to_string(bytes) + " bytes exceeds band budget " +
+        std::to_string(band_limit_));
+  }
+  while (band_used_[band] + bytes > band_limit_) {
+    if (!enable_spill_) {
+      metrics_->oom_events++;
+      return Status::OutOfMemory(
+          "band " + std::to_string(band) + " over budget: used " +
+          std::to_string(band_used_[band]) + " + " + std::to_string(bytes) +
+          " > " + std::to_string(band_limit_));
+    }
+    Status s = SpillOneLocked(band);
+    if (!s.ok()) {
+      metrics_->oom_events++;
+      return Status::OutOfMemory("band " + std::to_string(band) +
+                                 " over budget and cannot spill: " +
+                                 s.message());
+    }
+  }
+  return Status::OK();
+}
+
+Status StorageService::SpillOneLocked(int band) {
+  // Pick the least-recently-used in-memory chunk on this band.
+  Entry* victim = nullptr;
+  std::string victim_key;
+  for (auto& [key, e] : entries_) {
+    if (e.band != band || e.level != StorageLevel::kMemory) continue;
+    if (!victim || e.lru_tick < victim->lru_tick) {
+      victim = &e;
+      victim_key = key;
+    }
+  }
+  if (!victim) return Status::Invalid("nothing left to spill");
+  XORBITS_ASSIGN_OR_RETURN(std::string buf, SerializeChunk(*victim->data));
+  const std::string path =
+      spill_dir_ + "/spill_" + std::to_string(++spill_file_seq_) + ".bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return Status::IOError("cannot open spill file " + path);
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!out) return Status::IOError("spill write failed " + path);
+  }
+  band_used_[band] -= victim->nbytes;
+  metrics_->bytes_spilled += victim->nbytes;
+  metrics_->spill_events++;
+  victim->data.reset();
+  victim->level = StorageLevel::kDisk;
+  victim->spill_path = path;
+  XORBITS_LOG(Debug) << "spilled " << victim_key << " (" << victim->nbytes
+                     << " bytes) from band " << band;
+  return Status::OK();
+}
+
+}  // namespace xorbits::services

@@ -1,0 +1,96 @@
+#ifndef XORBITS_SERVICES_STORAGE_SERVICE_H_
+#define XORBITS_SERVICES_STORAGE_SERVICE_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "services/chunk_data.h"
+
+namespace xorbits::services {
+
+/// Where a chunk currently lives (paper §V-C StorageLevels; GPU and remote
+/// filesystem levels collapse onto these two in the simulation).
+enum class StorageLevel { kMemory, kDisk };
+
+/// The intermediate-result store. Each band has a byte budget; `Put`
+/// accounts the payload against the producing band and either spills cold
+/// chunks to disk (when enabled) or fails with OutOfMemory — the mechanism
+/// behind every OOM row in the paper's Tables I/II. `Get` from another band
+/// meters simulated network transfer. Keys are opaque; workers address data
+/// purely by key (put/get), never by location.
+class StorageService {
+ public:
+  StorageService(const Config& config, Metrics* metrics);
+  ~StorageService();
+
+  StorageService(const StorageService&) = delete;
+  StorageService& operator=(const StorageService&) = delete;
+
+  /// Stores `data` on `band`. Fails with OutOfMemory when the band budget is
+  /// exhausted and spill is disabled (or disk cannot absorb the overflow).
+  Status Put(const std::string& key, ChunkDataPtr data, int band);
+
+  /// Fetches a chunk; `requesting_band` meters cross-band transfer and
+  /// faults spilled chunks back into memory. A band pays the transfer only
+  /// on its first read of a chunk — afterwards it holds a cached replica
+  /// (how real clusters broadcast small tables once per worker). When
+  /// `transferred` is non-null it reports whether this call moved bytes.
+  Result<ChunkDataPtr> Get(const std::string& key, int requesting_band,
+                           bool* transferred = nullptr);
+
+  bool Has(const std::string& key) const;
+  Status Delete(const std::string& key);
+  /// Band the chunk was produced on.
+  Result<int> BandOf(const std::string& key) const;
+
+  int64_t band_used_bytes(int band) const;
+  int num_bands() const { return num_bands_; }
+  int64_t band_limit() const { return band_limit_; }
+
+  /// Reserves transient working memory on a band for the duration of a
+  /// subtask (fused intermediates never hit the store but still occupy
+  /// worker memory). Returns OutOfMemory when it cannot fit.
+  Status ReserveTransient(int band, int64_t bytes);
+  void ReleaseTransient(int band, int64_t bytes);
+
+  /// Drops everything (end of run).
+  void Clear();
+
+ private:
+  struct Entry {
+    ChunkDataPtr data;        // null when spilled
+    int band = 0;
+    StorageLevel level = StorageLevel::kMemory;
+    int64_t nbytes = 0;
+    std::string spill_path;
+    uint64_t lru_tick = 0;
+    /// Bands holding a cached replica (transfer charged once per band).
+    std::vector<int> replicas;
+  };
+
+  /// Ensures `bytes` fit on `band`, spilling LRU chunks if allowed.
+  /// Caller holds mu_.
+  Status EnsureCapacityLocked(int band, int64_t bytes);
+  Status SpillOneLocked(int band);
+
+  const int num_bands_;
+  const int64_t band_limit_;
+  const bool enable_spill_;
+  const std::string spill_dir_;
+  Metrics* const metrics_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::vector<int64_t> band_used_;
+  uint64_t tick_ = 0;
+  uint64_t spill_file_seq_ = 0;
+};
+
+}  // namespace xorbits::services
+
+#endif  // XORBITS_SERVICES_STORAGE_SERVICE_H_

@@ -1,0 +1,75 @@
+#include "tiling/auto_rechunk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xorbits::tiling {
+
+Result<std::vector<std::vector<int64_t>>> AutoRechunk(
+    const std::vector<int64_t>& shape,
+    const std::map<int, int64_t>& dim_to_size, int64_t itemsize,
+    int64_t max_chunk_size) {
+  const int ndim = static_cast<int>(shape.size());
+  if (ndim == 0) return Status::Invalid("AutoRechunk: empty shape");
+  if (itemsize <= 0 || max_chunk_size <= 0) {
+    return Status::Invalid("AutoRechunk: bad itemsize/limit");
+  }
+  for (const auto& [dim, size] : dim_to_size) {
+    if (dim < 0 || dim >= ndim) {
+      return Status::Invalid("AutoRechunk: constraint on bad dimension");
+    }
+    if (size <= 0 || size > shape[dim]) {
+      return Status::Invalid("AutoRechunk: bad constrained size");
+    }
+  }
+
+  // Constrained dimensions contribute fixed extents; the remaining budget
+  // is spread evenly (geometric mean) over the unconstrained ones.
+  std::vector<std::vector<int64_t>> result(ndim);
+  std::map<int, int64_t> left_unsplit;
+  std::vector<int> left_dims;
+  int64_t fixed_items = 1;
+  for (int d = 0; d < ndim; ++d) {
+    auto it = dim_to_size.find(d);
+    if (it != dim_to_size.end()) {
+      // Fixed chunk extent on this dim; split the dim into equal pieces.
+      for (int64_t off = 0; off < shape[d]; off += it->second) {
+        result[d].push_back(std::min(it->second, shape[d] - off));
+      }
+      fixed_items *= it->second;
+    } else {
+      left_unsplit[d] = shape[d];
+      left_dims.push_back(d);
+    }
+  }
+  if (left_dims.empty()) return result;
+
+  while (true) {
+    const double nbytes = static_cast<double>(fixed_items) * itemsize;
+    const double divided = std::max(1.0, max_chunk_size / nbytes);
+    int remaining = 0;
+    for (int d : left_dims) {
+      if (left_unsplit[d] > 0) ++remaining;
+    }
+    if (remaining == 0) break;
+    const int64_t cur_size = std::max<int64_t>(
+        1, static_cast<int64_t>(std::pow(divided, 1.0 / remaining)));
+    bool progressed = false;
+    for (int d : left_dims) {
+      int64_t& unsplit = left_unsplit[d];
+      if (unsplit <= 0) continue;
+      const int64_t take = std::min(unsplit, cur_size);
+      result[d].push_back(take);
+      unsplit -= take;
+      progressed = true;
+    }
+    if (!progressed) break;
+  }
+  // Degenerate zero-length dims still need one empty chunk extent.
+  for (int d = 0; d < ndim; ++d) {
+    if (result[d].empty()) result[d].push_back(shape[d]);
+  }
+  return result;
+}
+
+}  // namespace xorbits::tiling

@@ -1,0 +1,30 @@
+#ifndef XORBITS_TILING_AUTO_RECHUNK_H_
+#define XORBITS_TILING_AUTO_RECHUNK_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xorbits::tiling {
+
+/// Algorithm 1 of the paper (Auto Rechunk): given a raw array `shape`,
+/// per-dimension constraints `dim_to_size` (dimension index -> required
+/// chunk extent on that dimension, e.g. {1: n} forces whole rows so QR
+/// blocks are tall-and-skinny), the element width `itemsize`, and the
+/// configured `max_chunk_size` in bytes, computes chunk extents for every
+/// dimension such that each chunk's payload stays within the limit.
+///
+/// Returns one extent list per dimension; the chunk grid is their cartesian
+/// product. E.g. shape (10000, 10000), dim_to_size {1: 10000}, 8-byte items
+/// and a 128 MiB limit yields dim 0 -> [1677, 1677, ..., 1615] and
+/// dim 1 -> [10000], matching the paper's worked example.
+Result<std::vector<std::vector<int64_t>>> AutoRechunk(
+    const std::vector<int64_t>& shape,
+    const std::map<int, int64_t>& dim_to_size, int64_t itemsize,
+    int64_t max_chunk_size);
+
+}  // namespace xorbits::tiling
+
+#endif  // XORBITS_TILING_AUTO_RECHUNK_H_

@@ -1,0 +1,91 @@
+#include "tiling/tiling_driver.h"
+
+#include "common/logging.h"
+#include "optimizer/fusion.h"
+#include "optimizer/op_fusion.h"
+
+namespace xorbits::tiling {
+
+using graph::ChunkNode;
+using graph::TileableNode;
+using operators::TileableOp;
+using operators::TileContext;
+using operators::TileTask;
+
+TilingDriver::TilingDriver(const Config& config, Metrics* metrics,
+                           services::StorageService* storage,
+                           services::MetaService* meta,
+                           graph::ChunkGraph* chunk_graph)
+    : config_(config),
+      metrics_(metrics),
+      storage_(storage),
+      meta_(meta),
+      chunk_graph_(chunk_graph),
+      executor_(config, metrics, storage, meta) {}
+
+Status TilingDriver::ExecutePartial(
+    const std::vector<ChunkNode*>& targets) {
+  std::vector<ChunkNode*> closure = graph::PendingClosure(targets);
+  if (closure.empty()) return Status::OK();
+  if (config_.op_fusion) {
+    closure = optimizer::FuseElementwiseChains(std::move(closure), metrics_);
+  }
+  graph::SubtaskGraph st_graph = optimizer::BuildSubtaskGraph(
+      closure, targets, config_.graph_fusion, metrics_);
+  return executor_.Run(&st_graph, deadline_);
+}
+
+Status TilingDriver::TileAndRun(
+    const std::vector<TileableNode*>& topo_order,
+    const std::vector<TileableNode*>& sinks) {
+  deadline_ = config_.task_deadline_ms > 0
+                  ? std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.task_deadline_ms)
+                  : std::chrono::steady_clock::time_point::max();
+  TileContext tctx(config_, meta_, chunk_graph_, metrics_);
+  for (TileableNode* node : topo_order) {
+    if (node->tiled) continue;
+    if (std::chrono::steady_clock::now() >= deadline_) {
+      return Status::Timeout("tiling deadline exceeded");
+    }
+    auto* op = dynamic_cast<TileableOp*>(node->op.get());
+    if (op == nullptr) {
+      return Status::Invalid("tileable node without a tileable operator");
+    }
+    TileTask task = op->Tile(tctx, node);
+    while (task.Resume()) {
+      // The coroutine needs execution metadata: run the partial graph.
+      XORBITS_RETURN_NOT_OK(
+          ExecutePartial(task.pending().chunks)
+              .WithContext(std::string("while dynamically tiling ") +
+                           op->type_name()));
+    }
+    XORBITS_RETURN_NOT_OK(
+        task.result().WithContext(std::string("tiling ") + op->type_name()));
+    if (!node->tiled) {
+      return Status::ExecutionError(std::string(op->type_name()) +
+                                    " finished tile() without tiling");
+    }
+  }
+  // Materialize the sinks.
+  std::vector<ChunkNode*> targets;
+  for (TileableNode* sink : sinks) {
+    for (ChunkNode* c : sink->chunks) targets.push_back(c);
+  }
+  return ExecutePartial(targets);
+}
+
+Result<std::vector<services::ChunkDataPtr>> TilingDriver::FetchChunks(
+    const TileableNode* node) {
+  if (!node->tiled) return Status::Invalid("fetch of untiled tileable");
+  std::vector<services::ChunkDataPtr> out;
+  out.reserve(node->chunks.size());
+  for (const ChunkNode* c : node->chunks) {
+    XORBITS_ASSIGN_OR_RETURN(services::ChunkDataPtr data,
+                             storage_->Get(c->key, /*requesting_band=*/-1));
+    out.push_back(std::move(data));
+  }
+  return out;
+}
+
+}  // namespace xorbits::tiling

@@ -1,0 +1,52 @@
+#ifndef XORBITS_TILING_TILING_DRIVER_H_
+#define XORBITS_TILING_TILING_DRIVER_H_
+
+#include <chrono>
+#include <vector>
+
+#include "common/config.h"
+#include "common/metrics.h"
+#include "operators/operator.h"
+#include "scheduler/executor.h"
+
+namespace xorbits::tiling {
+
+/// The supervisor-side task service: walks the tileable graph, drives each
+/// operator's tile coroutine, and — whenever a coroutine yields — optimizes
+/// and executes the pending partial chunk graph, records metadata, and
+/// resumes (Fig. 5(a): switching between tiling and execution). When every
+/// operator is tiled it executes the sink chunks and exposes their
+/// payloads.
+class TilingDriver {
+ public:
+  TilingDriver(const Config& config, Metrics* metrics,
+               services::StorageService* storage,
+               services::MetaService* meta, graph::ChunkGraph* chunk_graph);
+
+  /// Tiles and executes everything needed by `sinks`. `topo_order` is the
+  /// full tileable graph order (already-tiled nodes are skipped, so
+  /// incremental calls on a growing graph are cheap).
+  Status TileAndRun(const std::vector<graph::TileableNode*>& topo_order,
+                    const std::vector<graph::TileableNode*>& sinks);
+
+  /// Payloads of a tiled + executed tileable, in chunk order.
+  Result<std::vector<services::ChunkDataPtr>> FetchChunks(
+      const graph::TileableNode* node);
+
+ private:
+  /// Executes the pending ancestor closure of `targets` (no-op when all are
+  /// executed): op-level fusion, coloring fusion, placement, run.
+  Status ExecutePartial(const std::vector<graph::ChunkNode*>& targets);
+
+  const Config& config_;
+  Metrics* metrics_;
+  services::StorageService* storage_;
+  services::MetaService* meta_;
+  graph::ChunkGraph* chunk_graph_;
+  scheduler::Executor executor_;
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+}  // namespace xorbits::tiling
+
+#endif  // XORBITS_TILING_TILING_DRIVER_H_

@@ -1,0 +1,33 @@
+#include "workloads/array_workloads.h"
+
+namespace xorbits::workloads::arrays {
+
+Result<tensor::NDArray> RunQR(core::Session* session, int64_t rows,
+                              int64_t cols, uint64_t seed) {
+  XORBITS_ASSIGN_OR_RETURN(TensorRef a,
+                           RandomNormal(session, {rows, cols}, seed));
+  XORBITS_ASSIGN_OR_RETURN(auto qr, a.QR());
+  return qr.second.Fetch();
+}
+
+Result<tensor::NDArray> RunLinearRegression(core::Session* session,
+                                            int64_t rows, int64_t features,
+                                            uint64_t seed) {
+  XORBITS_ASSIGN_OR_RETURN(TensorRef x,
+                           RandomNormal(session, {rows, features}, seed));
+  // y = sum of feature columns + noise: X * ones + eps, built lazily so the
+  // whole pipeline (generation, elementwise, gram, solve) is distributed.
+  XORBITS_ASSIGN_OR_RETURN(
+      TensorRef ones_vec,
+      FromNumpy(session, tensor::NDArray::Full({features, 1}, 1.0)));
+  XORBITS_ASSIGN_OR_RETURN(TensorRef signal, x.MatMul(ones_vec));
+  // Perturbation derived from the signal itself so both operands share the
+  // same chunking — the alignment the paper's hand-rechunked Dask code
+  // guarantees manually and Xorbits' auto rechunk guarantees automatically.
+  XORBITS_ASSIGN_OR_RETURN(TensorRef noise, signal.MulScalar(0.001));
+  XORBITS_ASSIGN_OR_RETURN(TensorRef y, signal.Add(noise));
+  XORBITS_ASSIGN_OR_RETURN(TensorRef beta, Lstsq(x, y));
+  return beta.Fetch();
+}
+
+}  // namespace xorbits::workloads::arrays

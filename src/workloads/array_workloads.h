@@ -1,0 +1,23 @@
+#ifndef XORBITS_WORKLOADS_ARRAY_WORKLOADS_H_
+#define XORBITS_WORKLOADS_ARRAY_WORKLOADS_H_
+
+#include <cstdint>
+
+#include "core/xorbits.h"
+
+namespace xorbits::workloads::arrays {
+
+/// QR decomposition workload (Fig. 8(c)): random (rows, cols) matrix,
+/// distributed TSQR, R factor fetched. Returns R for validation.
+Result<tensor::NDArray> RunQR(core::Session* session, int64_t rows,
+                              int64_t cols, uint64_t seed = 42);
+
+/// Linear regression workload (Fig. 8(d)): y = X beta + noise solved by
+/// distributed normal equations; returns the fitted beta.
+Result<tensor::NDArray> RunLinearRegression(core::Session* session,
+                                            int64_t rows, int64_t features,
+                                            uint64_t seed = 42);
+
+}  // namespace xorbits::workloads::arrays
+
+#endif  // XORBITS_WORKLOADS_ARRAY_WORKLOADS_H_

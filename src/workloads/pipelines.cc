@@ -1,0 +1,185 @@
+#include "workloads/pipelines.h"
+
+#include "common/random.h"
+
+namespace xorbits::workloads::pipelines {
+
+using dataframe::AggFunc;
+using dataframe::BinOp;
+using dataframe::CmpOp;
+using dataframe::Column;
+using dataframe::DataFrame;
+using dataframe::Scalar;
+using operators::AndExpr;
+using operators::BinaryExpr;
+using operators::Col;
+using operators::CompareExpr;
+using operators::Lit;
+
+#define AR(lhs, expr) XORBITS_ASSIGN_OR_RETURN(lhs, expr)
+
+DataFrame MakeCustomers(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> id(n);
+  std::vector<double> risk(n);
+  std::vector<std::string> region(n);
+  const char* kRegions[] = {"north", "south", "east", "west"};
+  for (int64_t i = 0; i < n; ++i) {
+    id[i] = i;
+    risk[i] = rng.Uniform(0.0, 1.0);
+    region[i] = kRegions[rng.UniformInt(0, 3)];
+  }
+  return DataFrame::Make({"customer_id", "risk_score", "region"},
+                         {Column::Int64(std::move(id)),
+                          Column::Float64(std::move(risk)),
+                          Column::String(std::move(region))})
+      .MoveValue();
+}
+
+DataFrame MakeTransactions(int64_t n, int64_t n_customers,
+                           double zipf_exponent, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> cust(n), ts(n);
+  std::vector<double> amount(n);
+  for (int64_t i = 0; i < n; ++i) {
+    cust[i] = rng.Zipf(n_customers, zipf_exponent);  // heavy head: skew
+    amount[i] = rng.Uniform(1.0, 5000.0);
+    ts[i] = rng.UniformInt(0, 365 * 5);
+  }
+  return DataFrame::Make({"customer_id", "amount", "ts"},
+                         {Column::Int64(std::move(cust)),
+                          Column::Float64(std::move(amount)),
+                          Column::Int64(std::move(ts))})
+      .MoveValue();
+}
+
+Result<DataFrame> TpcxAiUC10(core::Session* session,
+                             int64_t num_transactions, int64_t num_customers,
+                             uint64_t seed) {
+  AR(DataFrameRef customers,
+     FromPandas(session, MakeCustomers(num_customers, seed)));
+  AR(DataFrameRef trans,
+     FromPandas(session,
+                MakeTransactions(num_transactions, num_customers, 3.0,
+                                 seed + 1)));
+  // ETL: discard micro transactions, join customer attributes (the skewed
+  // imbalanced merge), risk-weight amounts, per-customer fraud features.
+  AR(trans, trans.Filter(CompareExpr(Col("amount"), CmpOp::kGt, Lit(10.0))));
+  dataframe::MergeOptions on_cust;
+  on_cust.on = {"customer_id"};
+  AR(DataFrameRef joined, trans.Merge(customers, on_cust));
+  AR(joined, joined.Assign("weighted",
+                           BinaryExpr(Col("amount"), BinOp::kMul,
+                                      Col("risk_score"))));
+  AR(DataFrameRef features,
+     joined.GroupByAgg({"customer_id"},
+                       {{"amount", AggFunc::kSum, "total_amount"},
+                        {"amount", AggFunc::kMean, "avg_amount"},
+                        {"weighted", AggFunc::kSum, "risk_weighted"},
+                        {"", AggFunc::kSize, "tx_count"}}));
+  return features.Fetch();
+}
+
+DataFrame MakeCensus(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> age(rows), edu(rows), hours(rows);
+  std::vector<double> gain(rows);
+  std::vector<std::string> workclass(rows), marital(rows);
+  std::vector<uint8_t> age_valid(rows, 1), gain_valid(rows, 1);
+  const char* kWork[] = {"private", "gov", "self", "other"};
+  const char* kMarital[] = {"married", "single", "divorced"};
+  for (int64_t i = 0; i < rows; ++i) {
+    age[i] = rng.UniformInt(17, 90);
+    if (rng.UniformInt(0, 49) == 0) age_valid[i] = 0;  // 2% missing
+    edu[i] = rng.UniformInt(1, 16);
+    hours[i] = rng.UniformInt(1, 99);
+    gain[i] = rng.UniformInt(0, 9) == 0 ? rng.Uniform(100, 99999) : 0.0;
+    if (rng.UniformInt(0, 99) == 0) gain_valid[i] = 0;
+    workclass[i] = kWork[rng.UniformInt(0, 3)];
+    marital[i] = kMarital[rng.UniformInt(0, 2)];
+  }
+  return DataFrame::Make(
+             {"age", "education_num", "hours_per_week", "capital_gain",
+              "workclass", "marital_status"},
+             {Column::Int64(std::move(age), std::move(age_valid)),
+              Column::Int64(std::move(edu)), Column::Int64(std::move(hours)),
+              Column::Float64(std::move(gain), std::move(gain_valid)),
+              Column::String(std::move(workclass)),
+              Column::String(std::move(marital))})
+      .MoveValue();
+}
+
+Result<DataFrame> Census(core::Session* session, int64_t rows,
+                         uint64_t seed) {
+  AR(DataFrameRef df, FromPandas(session, MakeCensus(rows, seed)));
+  // Preprocessing: drop rows with missing age, zero-fill capital gain,
+  // derive features, select working-age adults, aggregate by demographic.
+  AR(df, df.Filter(operators::NotNullExpr(Col("age"))));
+  AR(df, df.WithColumns(
+             {{"gain_filled",
+               BinaryExpr(Col("capital_gain"), BinOp::kMul, Lit(1.0))},
+              {"overtime", BinaryExpr(Col("hours_per_week"), BinOp::kSub,
+                                      Lit(int64_t{40}))}}));
+  AR(df, df.Filter(AndExpr(
+             CompareExpr(Col("age"), CmpOp::kGe, Lit(int64_t{18})),
+             CompareExpr(Col("age"), CmpOp::kLe, Lit(int64_t{65})))));
+  AR(DataFrameRef g,
+     df.GroupByAgg({"workclass", "marital_status"},
+                   {{"age", AggFunc::kMean, "avg_age"},
+                    {"education_num", AggFunc::kMean, "avg_edu"},
+                    {"hours_per_week", AggFunc::kMean, "avg_hours"},
+                    {"capital_gain", AggFunc::kSum, "total_gain"},
+                    {"", AggFunc::kSize, "n"}}));
+  AR(g, g.SortValues({"workclass", "marital_status"}));
+  return g.Fetch();
+}
+
+DataFrame MakePlasticc(int64_t rows, int64_t num_objects, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> object_id(rows), passband(rows);
+  std::vector<double> mjd(rows), flux(rows), flux_err(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    object_id[i] = rng.UniformInt(0, num_objects - 1);
+    passband[i] = rng.UniformInt(0, 5);
+    mjd[i] = rng.Uniform(59580.0, 60675.0);
+    flux[i] = rng.Normal(0.0, 200.0);
+    flux_err[i] = rng.Uniform(0.5, 30.0);
+  }
+  return DataFrame::Make(
+             {"object_id", "passband", "mjd", "flux", "flux_err"},
+             {Column::Int64(std::move(object_id)),
+              Column::Int64(std::move(passband)),
+              Column::Float64(std::move(mjd)),
+              Column::Float64(std::move(flux)),
+              Column::Float64(std::move(flux_err))})
+      .MoveValue();
+}
+
+Result<DataFrame> Plasticc(core::Session* session, int64_t rows,
+                           int64_t num_objects, uint64_t seed) {
+  AR(DataFrameRef df,
+     FromPandas(session, MakePlasticc(rows, num_objects, seed)));
+  // Feature engineering: signal-to-noise filtering and per-object
+  // light-curve statistics (the kernel of the Kaggle starter pipelines).
+  AR(df, df.Assign("snr", BinaryExpr(Col("flux"), BinOp::kDiv,
+                                     Col("flux_err"))));
+  AR(df, df.Filter(CompareExpr(Col("snr"), CmpOp::kGt, Lit(-5.0))));
+  AR(DataFrameRef features,
+     df.GroupByAgg({"object_id"},
+                   {{"flux", AggFunc::kMean, "flux_mean"},
+                    {"flux", AggFunc::kStd, "flux_std"},
+                    {"flux", AggFunc::kMin, "flux_min"},
+                    {"flux", AggFunc::kMax, "flux_max"},
+                    {"snr", AggFunc::kMean, "snr_mean"},
+                    {"mjd", AggFunc::kMax, "mjd_max"},
+                    {"mjd", AggFunc::kMin, "mjd_min"},
+                    {"", AggFunc::kSize, "n_obs"}}));
+  AR(features,
+     features.Assign("duration", BinaryExpr(Col("mjd_max"), BinOp::kSub,
+                                            Col("mjd_min"))));
+  return features.Fetch();
+}
+
+#undef AR
+
+}  // namespace xorbits::workloads::pipelines

@@ -1,0 +1,43 @@
+#ifndef XORBITS_WORKLOADS_PIPELINES_H_
+#define XORBITS_WORKLOADS_PIPELINES_H_
+
+#include <cstdint>
+
+#include "core/xorbits.h"
+
+namespace xorbits::workloads::pipelines {
+
+/// Synthetic stand-ins for the paper's data-science pipelines (Fig. 8(a)).
+/// Each generator is deterministic; each pipeline returns its final feature
+/// table so callers can validate row counts and compare across engines.
+
+/// TPCx-AI UC10 shape: a tiny customer table joined against a much larger,
+/// heavily skewed financial-transaction table (one hot customer receives the
+/// bulk of the rows — the data-imbalance case where the paper reports 29x /
+/// 37x over Dask/Modin), followed by per-customer fraud features.
+dataframe::DataFrame MakeCustomers(int64_t n, uint64_t seed = 42);
+dataframe::DataFrame MakeTransactions(int64_t n, int64_t n_customers,
+                                      double zipf_exponent = 1.6,
+                                      uint64_t seed = 43);
+Result<dataframe::DataFrame> TpcxAiUC10(core::Session* session,
+                                        int64_t num_transactions,
+                                        int64_t num_customers,
+                                        uint64_t seed = 42);
+
+/// Census-shaped preprocessing: wide mixed-type rows with missing values;
+/// dropna/fillna, derived features, demographic group aggregation.
+dataframe::DataFrame MakeCensus(int64_t rows, uint64_t seed = 44);
+Result<dataframe::DataFrame> Census(core::Session* session, int64_t rows,
+                                    uint64_t seed = 44);
+
+/// PLAsTiCC-shaped light curves: long (object, band) time series; signal
+/// filtering and per-object flux statistics (feature engineering).
+dataframe::DataFrame MakePlasticc(int64_t rows, int64_t num_objects,
+                                  uint64_t seed = 45);
+Result<dataframe::DataFrame> Plasticc(core::Session* session, int64_t rows,
+                                      int64_t num_objects,
+                                      uint64_t seed = 45);
+
+}  // namespace xorbits::workloads::pipelines
+
+#endif  // XORBITS_WORKLOADS_PIPELINES_H_

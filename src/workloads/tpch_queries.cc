@@ -1,0 +1,692 @@
+#include "workloads/tpch_queries.h"
+
+#include "dataframe/kernels.h"
+
+namespace xorbits::workloads::tpch {
+
+using core::Session;
+using dataframe::AggFunc;
+using dataframe::AggSpec;
+using dataframe::BinOp;
+using dataframe::CmpOp;
+using dataframe::DataFrame;
+using dataframe::JoinType;
+using dataframe::MergeOptions;
+using dataframe::Scalar;
+using operators::AndExpr;
+using operators::BinaryExpr;
+using operators::Col;
+using operators::CompareExpr;
+using operators::ExprPtr;
+using operators::IsInExpr;
+using operators::IsNullExpr;
+using operators::Lit;
+using operators::NotExpr;
+using operators::OrExpr;
+using operators::StrContainsExpr;
+using operators::StrEndsWithExpr;
+using operators::StrSliceExpr;
+using operators::StrStartsWithExpr;
+using operators::YearExpr;
+
+#define AR(lhs, expr) XORBITS_ASSIGN_OR_RETURN(lhs, expr)
+
+namespace {
+
+// --- expression shorthands ---
+ExprPtr Eq(ExprPtr a, ExprPtr b) { return CompareExpr(a, CmpOp::kEq, b); }
+ExprPtr Ne(ExprPtr a, ExprPtr b) { return CompareExpr(a, CmpOp::kNe, b); }
+ExprPtr Lt(ExprPtr a, ExprPtr b) { return CompareExpr(a, CmpOp::kLt, b); }
+ExprPtr Le(ExprPtr a, ExprPtr b) { return CompareExpr(a, CmpOp::kLe, b); }
+ExprPtr Gt(ExprPtr a, ExprPtr b) { return CompareExpr(a, CmpOp::kGt, b); }
+ExprPtr Ge(ExprPtr a, ExprPtr b) { return CompareExpr(a, CmpOp::kGe, b); }
+ExprPtr AddE(ExprPtr a, ExprPtr b) { return BinaryExpr(a, BinOp::kAdd, b); }
+ExprPtr SubE(ExprPtr a, ExprPtr b) { return BinaryExpr(a, BinOp::kSub, b); }
+ExprPtr MulE(ExprPtr a, ExprPtr b) { return BinaryExpr(a, BinOp::kMul, b); }
+
+/// Literal for a calendar date.
+ExprPtr D(const char* date) {
+  return Lit(Scalar::Int(dataframe::ParseDate(date).ValueOrDie()));
+}
+
+/// l_extendedprice * (1 - l_discount), the revenue term most queries use.
+ExprPtr Revenue() {
+  return MulE(Col("l_extendedprice"), SubE(Lit(1.0), Col("l_discount")));
+}
+
+Result<DataFrameRef> T(Session* s, const std::string& dir,
+                       const char* table) {
+  return ReadParquet(s, dir + "/" + table + ".xpq");
+}
+
+MergeOptions On(std::vector<std::string> keys,
+                JoinType how = JoinType::kInner) {
+  MergeOptions m;
+  m.on = std::move(keys);
+  m.how = how;
+  return m;
+}
+
+MergeOptions OnLR(std::vector<std::string> left,
+                  std::vector<std::string> right,
+                  JoinType how = JoinType::kInner) {
+  MergeOptions m;
+  m.left_on = std::move(left);
+  m.right_on = std::move(right);
+  m.how = how;
+  return m;
+}
+
+std::vector<Scalar> Strs(std::initializer_list<const char*> values) {
+  std::vector<Scalar> out;
+  for (const char* v : values) out.push_back(Scalar::Str(v));
+  return out;
+}
+
+/// First-row value of a numeric column in a fetched frame.
+Result<double> ScalarOf(const DataFrame& df, const std::string& col) {
+  AR(const dataframe::Column* c, df.GetColumn(col));
+  if (c->length() == 0 || c->IsNull(0)) {
+    return Status::Invalid("empty scalar aggregate");
+  }
+  return c->GetDouble(0);
+}
+
+// ---------------------------------------------------------------- Q1
+Result<DataFrame> Q1(Session* s, const std::string& dir) {
+  AR(DataFrameRef l, T(s, dir, "lineitem"));
+  AR(l, l.Filter(Le(Col("l_shipdate"), D("1998-09-02"))));
+  AR(l, l.WithColumns(
+            {{"disc_price", Revenue()},
+             {"charge", MulE(Revenue(), AddE(Lit(1.0), Col("l_tax")))}}));
+  AR(DataFrameRef g,
+     l.GroupByAgg({"l_returnflag", "l_linestatus"},
+                  {{"l_quantity", AggFunc::kSum, "sum_qty"},
+                   {"l_extendedprice", AggFunc::kSum, "sum_base_price"},
+                   {"disc_price", AggFunc::kSum, "sum_disc_price"},
+                   {"charge", AggFunc::kSum, "sum_charge"},
+                   {"l_quantity", AggFunc::kMean, "avg_qty"},
+                   {"l_extendedprice", AggFunc::kMean, "avg_price"},
+                   {"l_discount", AggFunc::kMean, "avg_disc"},
+                   {"", AggFunc::kSize, "count_order"}}));
+  AR(g, g.SortValues({"l_returnflag", "l_linestatus"}));
+  return g.Fetch();
+}
+
+// ---------------------------------------------------------------- Q2
+Result<DataFrame> Q2(Session* s, const std::string& dir) {
+  AR(DataFrameRef p, T(s, dir, "part"));
+  AR(p, p.Filter(AndExpr(Eq(Col("p_size"), Lit(int64_t{15})),
+                         StrEndsWithExpr(Col("p_type"), "BRASS"))));
+  AR(p, p.Select({"p_partkey", "p_mfgr"}));
+  AR(DataFrameRef r, T(s, dir, "region"));
+  AR(r, r.Filter(Eq(Col("r_name"), Lit("EUROPE"))));
+  AR(r, r.Select({"r_regionkey"}));
+  AR(DataFrameRef n, T(s, dir, "nation"));
+  AR(n, n.Merge(r, OnLR({"n_regionkey"}, {"r_regionkey"})));
+  AR(n, n.Select({"n_nationkey", "n_name"}));
+  AR(DataFrameRef sup, T(s, dir, "supplier"));
+  AR(sup, sup.Merge(n, OnLR({"s_nationkey"}, {"n_nationkey"})));
+  AR(DataFrameRef ps, T(s, dir, "partsupp"));
+  AR(ps, ps.Merge(p, OnLR({"ps_partkey"}, {"p_partkey"})));
+  AR(ps, ps.Merge(sup, OnLR({"ps_suppkey"}, {"s_suppkey"})));
+  AR(DataFrameRef min_cost,
+     ps.GroupByAgg({"ps_partkey"},
+                   {{"ps_supplycost", AggFunc::kMin, "min_cost"}}));
+  MergeOptions mc = On({"ps_partkey"});
+  AR(ps, ps.Merge(min_cost, mc));
+  AR(ps, ps.Filter(Eq(Col("ps_supplycost"), Col("min_cost"))));
+  AR(ps, ps.SortValues({"s_acctbal", "n_name", "s_name", "ps_partkey"},
+                       {false, true, true, true}));
+  AR(ps, ps.Head(100));
+  AR(ps, ps.Select({"s_acctbal", "s_name", "n_name", "ps_partkey", "p_mfgr",
+                    "s_address", "s_phone", "s_comment"}));
+  return ps.Fetch();
+}
+
+// ---------------------------------------------------------------- Q3
+Result<DataFrame> Q3(Session* s, const std::string& dir) {
+  AR(DataFrameRef c, T(s, dir, "customer"));
+  AR(c, c.Filter(Eq(Col("c_mktsegment"), Lit("BUILDING"))));
+  AR(c, c.Select({"c_custkey"}));
+  AR(DataFrameRef o, T(s, dir, "orders"));
+  AR(o, o.Filter(Lt(Col("o_orderdate"), D("1995-03-15"))));
+  AR(o, o.Merge(c, OnLR({"o_custkey"}, {"c_custkey"})));
+  AR(o, o.Select({"o_orderkey", "o_orderdate", "o_shippriority"}));
+  AR(DataFrameRef l, T(s, dir, "lineitem"));
+  AR(l, l.Filter(Gt(Col("l_shipdate"), D("1995-03-15"))));
+  AR(l, l.Merge(o, OnLR({"l_orderkey"}, {"o_orderkey"})));
+  AR(l, l.Assign("revenue", Revenue()));
+  AR(DataFrameRef g,
+     l.GroupByAgg({"l_orderkey", "o_orderdate", "o_shippriority"},
+                  {{"revenue", AggFunc::kSum, "revenue"}}));
+  AR(g, g.SortValues({"revenue", "o_orderdate"}, {false, true}));
+  AR(g, g.Head(10));
+  return g.Fetch();
+}
+
+// ---------------------------------------------------------------- Q4
+Result<DataFrame> Q4(Session* s, const std::string& dir) {
+  AR(DataFrameRef o, T(s, dir, "orders"));
+  AR(o, o.Filter(AndExpr(Ge(Col("o_orderdate"), D("1993-07-01")),
+                         Lt(Col("o_orderdate"), D("1993-10-01")))));
+  AR(DataFrameRef l, T(s, dir, "lineitem"));
+  AR(l, l.Filter(Lt(Col("l_commitdate"), Col("l_receiptdate"))));
+  AR(l, l.Select({"l_orderkey"}));
+  AR(l, l.DropDuplicates({"l_orderkey"}));
+  AR(o, o.Merge(l, OnLR({"o_orderkey"}, {"l_orderkey"})));
+  AR(DataFrameRef g, o.GroupByAgg({"o_orderpriority"},
+                                  {{"", AggFunc::kSize, "order_count"}}));
+  AR(g, g.SortValues({"o_orderpriority"}));
+  return g.Fetch();
+}
+
+// ---------------------------------------------------------------- Q5
+Result<DataFrame> Q5(Session* s, const std::string& dir) {
+  AR(DataFrameRef r, T(s, dir, "region"));
+  AR(r, r.Filter(Eq(Col("r_name"), Lit("ASIA"))));
+  AR(r, r.Select({"r_regionkey"}));
+  AR(DataFrameRef n, T(s, dir, "nation"));
+  AR(n, n.Merge(r, OnLR({"n_regionkey"}, {"r_regionkey"})));
+  AR(n, n.Select({"n_nationkey", "n_name"}));
+  AR(DataFrameRef c, T(s, dir, "customer"));
+  AR(c, c.Merge(n, OnLR({"c_nationkey"}, {"n_nationkey"})));
+  AR(c, c.Select({"c_custkey", "c_nationkey", "n_name"}));
+  AR(DataFrameRef o, T(s, dir, "orders"));
+  AR(o, o.Filter(AndExpr(Ge(Col("o_orderdate"), D("1994-01-01")),
+                         Lt(Col("o_orderdate"), D("1995-01-01")))));
+  AR(o, o.Merge(c, OnLR({"o_custkey"}, {"c_custkey"})));
+  AR(o, o.Select({"o_orderkey", "c_nationkey", "n_name"}));
+  AR(DataFrameRef l, T(s, dir, "lineitem"));
+  AR(l, l.Merge(o, OnLR({"l_orderkey"}, {"o_orderkey"})));
+  AR(DataFrameRef sup, T(s, dir, "supplier"));
+  AR(sup, sup.Select({"s_suppkey", "s_nationkey"}));
+  AR(l, l.Merge(sup, OnLR({"l_suppkey"}, {"s_suppkey"})));
+  AR(l, l.Filter(Eq(Col("c_nationkey"), Col("s_nationkey"))));
+  AR(l, l.Assign("revenue", Revenue()));
+  AR(DataFrameRef g, l.GroupByAgg({"n_name"},
+                                  {{"revenue", AggFunc::kSum, "revenue"}}));
+  AR(g, g.SortValues({"revenue"}, {false}));
+  return g.Fetch();
+}
+
+// ---------------------------------------------------------------- Q6
+Result<DataFrame> Q6(Session* s, const std::string& dir) {
+  AR(DataFrameRef l, T(s, dir, "lineitem"));
+  AR(l, l.Filter(AndExpr(
+            AndExpr(Ge(Col("l_shipdate"), D("1994-01-01")),
+                    Lt(Col("l_shipdate"), D("1995-01-01"))),
+            AndExpr(AndExpr(Ge(Col("l_discount"), Lit(0.05)),
+                            Le(Col("l_discount"), Lit(0.07))),
+                    Lt(Col("l_quantity"), Lit(int64_t{24}))))));
+  AR(l, l.Assign("revenue",
+                 MulE(Col("l_extendedprice"), Col("l_discount"))));
+  AR(DataFrameRef g, l.Agg({{"revenue", AggFunc::kSum, "revenue"}}));
+  return g.Fetch();
+}
+
+// ---------------------------------------------------------------- Q7
+Result<DataFrame> Q7(Session* s, const std::string& dir) {
+  AR(DataFrameRef n1, T(s, dir, "nation"));
+  AR(n1, n1.Select({"n_nationkey", "n_name"}));
+  AR(n1, n1.Rename({{"n_nationkey", "n1key"}, {"n_name", "supp_nation"}}));
+  AR(DataFrameRef n2, T(s, dir, "nation"));
+  AR(n2, n2.Select({"n_nationkey", "n_name"}));
+  AR(n2, n2.Rename({{"n_nationkey", "n2key"}, {"n_name", "cust_nation"}}));
+  AR(DataFrameRef sup, T(s, dir, "supplier"));
+  AR(sup, sup.Select({"s_suppkey", "s_nationkey"}));
+  AR(sup, sup.Merge(n1, OnLR({"s_nationkey"}, {"n1key"})));
+  AR(sup, sup.Select({"s_suppkey", "supp_nation"}));
+  AR(DataFrameRef c, T(s, dir, "customer"));
+  AR(c, c.Select({"c_custkey", "c_nationkey"}));
+  AR(c, c.Merge(n2, OnLR({"c_nationkey"}, {"n2key"})));
+  AR(c, c.Select({"c_custkey", "cust_nation"}));
+  AR(DataFrameRef l, T(s, dir, "lineitem"));
+  AR(l, l.Filter(AndExpr(Ge(Col("l_shipdate"), D("1995-01-01")),
+                         Le(Col("l_shipdate"), D("1996-12-31")))));
+  AR(l, l.Merge(sup, OnLR({"l_suppkey"}, {"s_suppkey"})));
+  AR(DataFrameRef o, T(s, dir, "orders"));
+  AR(o, o.Select({"o_orderkey", "o_custkey"}));
+  AR(l, l.Merge(o, OnLR({"l_orderkey"}, {"o_orderkey"})));
+  AR(l, l.Merge(c, OnLR({"o_custkey"}, {"c_custkey"})));
+  AR(l, l.Filter(OrExpr(
+            AndExpr(Eq(Col("supp_nation"), Lit("FRANCE")),
+                    Eq(Col("cust_nation"), Lit("GERMANY"))),
+            AndExpr(Eq(Col("supp_nation"), Lit("GERMANY")),
+                    Eq(Col("cust_nation"), Lit("FRANCE"))))));
+  AR(l, l.WithColumns({{"l_year", YearExpr(Col("l_shipdate"))},
+                       {"volume", Revenue()}}));
+  AR(DataFrameRef g,
+     l.GroupByAgg({"supp_nation", "cust_nation", "l_year"},
+                  {{"volume", AggFunc::kSum, "revenue"}}));
+  AR(g, g.SortValues({"supp_nation", "cust_nation", "l_year"}));
+  return g.Fetch();
+}
+
+// ---------------------------------------------------------------- Q8
+Result<DataFrame> Q8(Session* s, const std::string& dir) {
+  AR(DataFrameRef r, T(s, dir, "region"));
+  AR(r, r.Filter(Eq(Col("r_name"), Lit("AMERICA"))));
+  AR(r, r.Select({"r_regionkey"}));
+  AR(DataFrameRef n, T(s, dir, "nation"));
+  AR(n, n.Merge(r, OnLR({"n_regionkey"}, {"r_regionkey"})));
+  AR(n, n.Select({"n_nationkey"}));
+  AR(DataFrameRef c, T(s, dir, "customer"));
+  AR(c, c.Select({"c_custkey", "c_nationkey"}));
+  AR(c, c.Merge(n, OnLR({"c_nationkey"}, {"n_nationkey"})));
+  AR(DataFrameRef o, T(s, dir, "orders"));
+  AR(o, o.Filter(AndExpr(Ge(Col("o_orderdate"), D("1995-01-01")),
+                         Le(Col("o_orderdate"), D("1996-12-31")))));
+  AR(o, o.Merge(c, OnLR({"o_custkey"}, {"c_custkey"})));
+  AR(o, o.Select({"o_orderkey", "o_orderdate"}));
+  AR(DataFrameRef p, T(s, dir, "part"));
+  AR(p, p.Filter(Eq(Col("p_type"), Lit("ECONOMY ANODIZED STEEL"))));
+  AR(p, p.Select({"p_partkey"}));
+  AR(DataFrameRef l, T(s, dir, "lineitem"));
+  AR(l, l.Merge(p, OnLR({"l_partkey"}, {"p_partkey"})));
+  AR(l, l.Merge(o, OnLR({"l_orderkey"}, {"o_orderkey"})));
+  AR(DataFrameRef sup, T(s, dir, "supplier"));
+  AR(sup, sup.Select({"s_suppkey", "s_nationkey"}));
+  AR(l, l.Merge(sup, OnLR({"l_suppkey"}, {"s_suppkey"})));
+  AR(DataFrameRef n2, T(s, dir, "nation"));
+  AR(n2, n2.Select({"n_nationkey", "n_name"}));
+  AR(n2, n2.Rename({{"n_name", "supp_nation"}}));
+  AR(l, l.Merge(n2, OnLR({"s_nationkey"}, {"n_nationkey"})));
+  AR(l, l.WithColumns({{"o_year", YearExpr(Col("o_orderdate"))},
+                       {"volume", Revenue()}}));
+  AR(DataFrameRef total, l.GroupByAgg({"o_year"},
+                                      {{"volume", AggFunc::kSum, "total"}}));
+  AR(DataFrameRef br, l.Filter(Eq(Col("supp_nation"), Lit("BRAZIL"))));
+  AR(br, br.GroupByAgg({"o_year"}, {{"volume", AggFunc::kSum, "brazil"}}));
+  AR(total, total.Merge(br, On({"o_year"}, JoinType::kLeft)));
+  AR(total, total.Assign("mkt_share",
+                         BinaryExpr(Col("brazil"), BinOp::kDiv,
+                                    Col("total"))));
+  AR(total, total.SortValues({"o_year"}));
+  AR(total, total.Select({"o_year", "mkt_share"}));
+  return total.Fetch();
+}
+
+// ---------------------------------------------------------------- Q9
+Result<DataFrame> Q9(Session* s, const std::string& dir) {
+  AR(DataFrameRef p, T(s, dir, "part"));
+  AR(p, p.Filter(StrContainsExpr(Col("p_name"), "green")));
+  AR(p, p.Select({"p_partkey"}));
+  AR(DataFrameRef l, T(s, dir, "lineitem"));
+  AR(l, l.Merge(p, OnLR({"l_partkey"}, {"p_partkey"})));
+  AR(DataFrameRef ps, T(s, dir, "partsupp"));
+  AR(ps, ps.Select({"ps_partkey", "ps_suppkey", "ps_supplycost"}));
+  AR(l, l.Merge(ps, OnLR({"l_partkey", "l_suppkey"},
+                         {"ps_partkey", "ps_suppkey"})));
+  AR(DataFrameRef sup, T(s, dir, "supplier"));
+  AR(sup, sup.Select({"s_suppkey", "s_nationkey"}));
+  AR(l, l.Merge(sup, OnLR({"l_suppkey"}, {"s_suppkey"})));
+  AR(DataFrameRef n, T(s, dir, "nation"));
+  AR(n, n.Select({"n_nationkey", "n_name"}));
+  AR(l, l.Merge(n, OnLR({"s_nationkey"}, {"n_nationkey"})));
+  AR(DataFrameRef o, T(s, dir, "orders"));
+  AR(o, o.Select({"o_orderkey", "o_orderdate"}));
+  AR(l, l.Merge(o, OnLR({"l_orderkey"}, {"o_orderkey"})));
+  AR(l, l.WithColumns(
+            {{"o_year", YearExpr(Col("o_orderdate"))},
+             {"amount", SubE(Revenue(), MulE(Col("ps_supplycost"),
+                                             Col("l_quantity")))}}));
+  AR(DataFrameRef g, l.GroupByAgg({"n_name", "o_year"},
+                                  {{"amount", AggFunc::kSum, "sum_profit"}}));
+  AR(g, g.SortValues({"n_name", "o_year"}, {true, false}));
+  return g.Fetch();
+}
+
+// ---------------------------------------------------------------- Q10
+Result<DataFrame> Q10(Session* s, const std::string& dir) {
+  AR(DataFrameRef o, T(s, dir, "orders"));
+  AR(o, o.Filter(AndExpr(Ge(Col("o_orderdate"), D("1993-10-01")),
+                         Lt(Col("o_orderdate"), D("1994-01-01")))));
+  AR(o, o.Select({"o_orderkey", "o_custkey"}));
+  AR(DataFrameRef l, T(s, dir, "lineitem"));
+  AR(l, l.Filter(Eq(Col("l_returnflag"), Lit("R"))));
+  AR(l, l.Merge(o, OnLR({"l_orderkey"}, {"o_orderkey"})));
+  AR(DataFrameRef c, T(s, dir, "customer"));
+  AR(DataFrameRef n, T(s, dir, "nation"));
+  AR(n, n.Select({"n_nationkey", "n_name"}));
+  AR(c, c.Merge(n, OnLR({"c_nationkey"}, {"n_nationkey"})));
+  AR(l, l.Merge(c, OnLR({"o_custkey"}, {"c_custkey"})));
+  AR(l, l.Assign("revenue", Revenue()));
+  AR(DataFrameRef g,
+     l.GroupByAgg({"c_custkey", "c_name", "c_acctbal", "c_phone", "n_name",
+                   "c_address", "c_comment"},
+                  {{"revenue", AggFunc::kSum, "revenue"}}));
+  AR(g, g.SortValues({"revenue"}, {false}));
+  AR(g, g.Head(20));
+  return g.Fetch();
+}
+
+// ---------------------------------------------------------------- Q11
+Result<DataFrame> Q11(Session* s, const std::string& dir) {
+  AR(DataFrameRef n, T(s, dir, "nation"));
+  AR(n, n.Filter(Eq(Col("n_name"), Lit("GERMANY"))));
+  AR(n, n.Select({"n_nationkey"}));
+  AR(DataFrameRef sup, T(s, dir, "supplier"));
+  AR(sup, sup.Select({"s_suppkey", "s_nationkey"}));
+  AR(sup, sup.Merge(n, OnLR({"s_nationkey"}, {"n_nationkey"})));
+  AR(DataFrameRef ps, T(s, dir, "partsupp"));
+  AR(ps, ps.Merge(sup, OnLR({"ps_suppkey"}, {"s_suppkey"})));
+  AR(ps, ps.Assign("value", MulE(Col("ps_supplycost"),
+                                 Col("ps_availqty"))));
+  AR(DataFrameRef g, ps.GroupByAgg({"ps_partkey"},
+                                   {{"value", AggFunc::kSum, "value"}}));
+  AR(DataFrameRef total_ref, g.Agg({{"value", AggFunc::kSum, "total"}}));
+  AR(DataFrame total_df, total_ref.Fetch());
+  AR(double total, ScalarOf(total_df, "total"));
+  AR(g, g.Filter(Gt(Col("value"), Lit(total * 0.0001))));
+  AR(g, g.SortValues({"value"}, {false}));
+  return g.Fetch();
+}
+
+// ---------------------------------------------------------------- Q12
+Result<DataFrame> Q12(Session* s, const std::string& dir) {
+  AR(DataFrameRef l, T(s, dir, "lineitem"));
+  AR(l, l.Filter(AndExpr(
+            AndExpr(IsInExpr(Col("l_shipmode"), Strs({"MAIL", "SHIP"})),
+                    Lt(Col("l_commitdate"), Col("l_receiptdate"))),
+            AndExpr(Lt(Col("l_shipdate"), Col("l_commitdate")),
+                    AndExpr(Ge(Col("l_receiptdate"), D("1994-01-01")),
+                            Lt(Col("l_receiptdate"), D("1995-01-01")))))));
+  AR(DataFrameRef o, T(s, dir, "orders"));
+  AR(o, o.Select({"o_orderkey", "o_orderpriority"}));
+  AR(l, l.Merge(o, OnLR({"l_orderkey"}, {"o_orderkey"})));
+  AR(DataFrameRef high,
+     l.Filter(IsInExpr(Col("o_orderpriority"),
+                       Strs({"1-URGENT", "2-HIGH"}))));
+  AR(high, high.GroupByAgg({"l_shipmode"},
+                           {{"", AggFunc::kSize, "high_line_count"}}));
+  AR(DataFrameRef low,
+     l.Filter(NotExpr(IsInExpr(Col("o_orderpriority"),
+                               Strs({"1-URGENT", "2-HIGH"})))));
+  AR(low, low.GroupByAgg({"l_shipmode"},
+                         {{"", AggFunc::kSize, "low_line_count"}}));
+  AR(high, high.Merge(low, On({"l_shipmode"}, JoinType::kOuter)));
+  AR(high, high.SortValues({"l_shipmode"}));
+  return high.Fetch();
+}
+
+// ---------------------------------------------------------------- Q13
+Result<DataFrame> Q13(Session* s, const std::string& dir) {
+  AR(DataFrameRef o, T(s, dir, "orders"));
+  AR(o, o.Filter(NotExpr(AndExpr(
+            StrContainsExpr(Col("o_comment"), "special"),
+            StrContainsExpr(Col("o_comment"), "requests")))));
+  AR(o, o.Select({"o_orderkey", "o_custkey"}));
+  AR(DataFrameRef c, T(s, dir, "customer"));
+  AR(c, c.Select({"c_custkey"}));
+  AR(c, c.Merge(o, OnLR({"c_custkey"}, {"o_custkey"}, JoinType::kLeft)));
+  AR(DataFrameRef counts,
+     c.GroupByAgg({"c_custkey"},
+                  {{"o_orderkey", AggFunc::kCount, "c_count"}}));
+  AR(DataFrameRef dist, counts.GroupByAgg(
+                            {"c_count"}, {{"", AggFunc::kSize, "custdist"}}));
+  AR(dist, dist.SortValues({"custdist", "c_count"}, {false, false}));
+  return dist.Fetch();
+}
+
+// ---------------------------------------------------------------- Q14
+Result<DataFrame> Q14(Session* s, const std::string& dir) {
+  AR(DataFrameRef l, T(s, dir, "lineitem"));
+  AR(l, l.Filter(AndExpr(Ge(Col("l_shipdate"), D("1995-09-01")),
+                         Lt(Col("l_shipdate"), D("1995-10-01")))));
+  AR(DataFrameRef p, T(s, dir, "part"));
+  AR(p, p.Select({"p_partkey", "p_type"}));
+  AR(l, l.Merge(p, OnLR({"l_partkey"}, {"p_partkey"})));
+  AR(l, l.Assign("revenue", Revenue()));
+  AR(DataFrameRef promo,
+     l.Filter(StrStartsWithExpr(Col("p_type"), "PROMO")));
+  AR(promo, promo.Agg({{"revenue", AggFunc::kSum, "promo"}}));
+  AR(DataFrameRef total, l.Agg({{"revenue", AggFunc::kSum, "total"}}));
+  AR(DataFrame promo_df, promo.Fetch());
+  AR(DataFrame total_df, total.Fetch());
+  AR(double promo_rev, ScalarOf(promo_df, "promo"));
+  AR(double total_rev, ScalarOf(total_df, "total"));
+  dataframe::DataFrame out;
+  XORBITS_RETURN_NOT_OK(out.SetColumn(
+      "promo_revenue",
+      dataframe::Column::Float64({100.0 * promo_rev / total_rev})));
+  return out;
+}
+
+// ---------------------------------------------------------------- Q15
+Result<DataFrame> Q15(Session* s, const std::string& dir) {
+  AR(DataFrameRef l, T(s, dir, "lineitem"));
+  AR(l, l.Filter(AndExpr(Ge(Col("l_shipdate"), D("1996-01-01")),
+                         Lt(Col("l_shipdate"), D("1996-04-01")))));
+  AR(l, l.Assign("revenue", Revenue()));
+  AR(DataFrameRef rev,
+     l.GroupByAgg({"l_suppkey"},
+                  {{"revenue", AggFunc::kSum, "total_revenue"}}));
+  AR(DataFrameRef max_ref,
+     rev.Agg({{"total_revenue", AggFunc::kMax, "max_rev"}}));
+  AR(DataFrame max_df, max_ref.Fetch());
+  AR(double max_rev, ScalarOf(max_df, "max_rev"));
+  AR(rev, rev.Filter(Ge(Col("total_revenue"), Lit(max_rev))));
+  AR(DataFrameRef sup, T(s, dir, "supplier"));
+  AR(sup, sup.Select({"s_suppkey", "s_name", "s_address", "s_phone"}));
+  AR(sup, sup.Merge(rev, OnLR({"s_suppkey"}, {"l_suppkey"})));
+  AR(sup, sup.SortValues({"s_suppkey"}));
+  return sup.Fetch();
+}
+
+// ---------------------------------------------------------------- Q16
+Result<DataFrame> Q16(Session* s, const std::string& dir) {
+  AR(DataFrameRef p, T(s, dir, "part"));
+  AR(p, p.Filter(AndExpr(
+            AndExpr(Ne(Col("p_brand"), Lit("Brand#45")),
+                    NotExpr(StrStartsWithExpr(Col("p_type"),
+                                              "MEDIUM POLISHED"))),
+            IsInExpr(Col("p_size"),
+                     {Scalar::Int(49), Scalar::Int(14), Scalar::Int(23),
+                      Scalar::Int(45), Scalar::Int(19), Scalar::Int(3),
+                      Scalar::Int(36), Scalar::Int(9)}))));
+  AR(p, p.Select({"p_partkey", "p_brand", "p_type", "p_size"}));
+  AR(DataFrameRef ps, T(s, dir, "partsupp"));
+  AR(ps, ps.Select({"ps_partkey", "ps_suppkey"}));
+  AR(ps, ps.Merge(p, OnLR({"ps_partkey"}, {"p_partkey"})));
+  AR(DataFrameRef bad, T(s, dir, "supplier"));
+  AR(bad, bad.Filter(AndExpr(StrContainsExpr(Col("s_comment"), "Customer"),
+                             StrContainsExpr(Col("s_comment"),
+                                             "Complaints"))));
+  AR(bad, bad.Select({"s_suppkey"}));
+  AR(ps, ps.Merge(bad, OnLR({"ps_suppkey"}, {"s_suppkey"},
+                            JoinType::kLeft)));
+  AR(ps, ps.Filter(IsNullExpr(Col("s_suppkey"))));
+  AR(DataFrameRef g,
+     ps.GroupByAgg({"p_brand", "p_type", "p_size"},
+                   {{"ps_suppkey", AggFunc::kNunique, "supplier_cnt"}}));
+  AR(g, g.SortValues({"supplier_cnt", "p_brand", "p_type", "p_size"},
+                     {false, true, true, true}));
+  return g.Fetch();
+}
+
+// ---------------------------------------------------------------- Q17
+Result<DataFrame> Q17(Session* s, const std::string& dir) {
+  AR(DataFrameRef p, T(s, dir, "part"));
+  AR(p, p.Filter(AndExpr(Eq(Col("p_brand"), Lit("Brand#23")),
+                         Eq(Col("p_container"), Lit("MED BOX")))));
+  AR(p, p.Select({"p_partkey"}));
+  AR(DataFrameRef l, T(s, dir, "lineitem"));
+  AR(l, l.Merge(p, OnLR({"l_partkey"}, {"p_partkey"})));
+  AR(DataFrameRef avg_q,
+     l.GroupByAgg({"l_partkey"},
+                  {{"l_quantity", AggFunc::kMean, "avg_qty"}}));
+  AR(l, l.Merge(avg_q, On({"l_partkey"})));
+  AR(l, l.Filter(Lt(Col("l_quantity"), MulE(Lit(0.2), Col("avg_qty")))));
+  AR(DataFrameRef total,
+     l.Agg({{"l_extendedprice", AggFunc::kSum, "total"}}));
+  AR(DataFrame total_df, total.Fetch());
+  double total_price = 0.0;
+  if (total_df.num_rows() > 0 && total_df.column(0).IsValid(0)) {
+    AR(total_price, ScalarOf(total_df, "total"));
+  }
+  dataframe::DataFrame out;
+  XORBITS_RETURN_NOT_OK(out.SetColumn(
+      "avg_yearly", dataframe::Column::Float64({total_price / 7.0})));
+  return out;
+}
+
+// ---------------------------------------------------------------- Q18
+Result<DataFrame> Q18(Session* s, const std::string& dir) {
+  AR(DataFrameRef l, T(s, dir, "lineitem"));
+  AR(DataFrameRef big,
+     l.GroupByAgg({"l_orderkey"}, {{"l_quantity", AggFunc::kSum, "sum_qty"}}));
+  AR(big, big.Filter(Gt(Col("sum_qty"), Lit(int64_t{300}))));
+  AR(DataFrameRef o, T(s, dir, "orders"));
+  AR(o, o.Select({"o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"}));
+  AR(o, o.Merge(big, OnLR({"o_orderkey"}, {"l_orderkey"})));
+  AR(DataFrameRef c, T(s, dir, "customer"));
+  AR(c, c.Select({"c_custkey", "c_name"}));
+  AR(o, o.Merge(c, OnLR({"o_custkey"}, {"c_custkey"})));
+  AR(o, o.SortValues({"o_totalprice", "o_orderdate"}, {false, true}));
+  AR(o, o.Head(100));
+  AR(o, o.Select({"c_name", "c_custkey", "o_orderkey", "o_orderdate",
+                  "o_totalprice", "sum_qty"}));
+  return o.Fetch();
+}
+
+// ---------------------------------------------------------------- Q19
+Result<DataFrame> Q19(Session* s, const std::string& dir) {
+  AR(DataFrameRef l, T(s, dir, "lineitem"));
+  AR(l, l.Filter(AndExpr(
+            IsInExpr(Col("l_shipmode"), Strs({"AIR", "REG AIR"})),
+            Eq(Col("l_shipinstruct"), Lit("DELIVER IN PERSON")))));
+  AR(DataFrameRef p, T(s, dir, "part"));
+  AR(p, p.Select({"p_partkey", "p_brand", "p_container", "p_size"}));
+  AR(l, l.Merge(p, OnLR({"l_partkey"}, {"p_partkey"})));
+  auto clause = [](const char* brand,
+                   std::initializer_list<const char*> containers,
+                   int64_t qmin, int64_t qmax, int64_t smax) {
+    return AndExpr(
+        AndExpr(Eq(Col("p_brand"), Lit(brand)),
+                IsInExpr(Col("p_container"), Strs(containers))),
+        AndExpr(AndExpr(Ge(Col("l_quantity"), Lit(qmin)),
+                        Le(Col("l_quantity"), Lit(qmax))),
+                AndExpr(Ge(Col("p_size"), Lit(int64_t{1})),
+                        Le(Col("p_size"), Lit(smax)))));
+  };
+  AR(l, l.Filter(OrExpr(
+            OrExpr(clause("Brand#12",
+                          {"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 1, 11,
+                          5),
+                   clause("Brand#23",
+                          {"MED BAG", "MED BOX", "MED PKG", "MED PACK"}, 10,
+                          20, 10)),
+            clause("Brand#34", {"LG CASE", "LG BOX", "LG PACK", "LG PKG"},
+                   20, 30, 15))));
+  AR(l, l.Assign("revenue", Revenue()));
+  AR(DataFrameRef g, l.Agg({{"revenue", AggFunc::kSum, "revenue"}}));
+  return g.Fetch();
+}
+
+// ---------------------------------------------------------------- Q20
+Result<DataFrame> Q20(Session* s, const std::string& dir) {
+  AR(DataFrameRef p, T(s, dir, "part"));
+  AR(p, p.Filter(StrStartsWithExpr(Col("p_name"), "forest")));
+  AR(p, p.Select({"p_partkey"}));
+  AR(DataFrameRef l, T(s, dir, "lineitem"));
+  AR(l, l.Filter(AndExpr(Ge(Col("l_shipdate"), D("1994-01-01")),
+                         Lt(Col("l_shipdate"), D("1995-01-01")))));
+  AR(DataFrameRef sq,
+     l.GroupByAgg({"l_partkey", "l_suppkey"},
+                  {{"l_quantity", AggFunc::kSum, "sum_qty"}}));
+  AR(DataFrameRef ps, T(s, dir, "partsupp"));
+  AR(ps, ps.Merge(p, OnLR({"ps_partkey"}, {"p_partkey"})));
+  AR(ps, ps.Merge(sq, OnLR({"ps_partkey", "ps_suppkey"},
+                           {"l_partkey", "l_suppkey"})));
+  AR(ps, ps.Filter(Gt(Col("ps_availqty"),
+                      MulE(Lit(0.5), Col("sum_qty")))));
+  AR(ps, ps.Select({"ps_suppkey"}));
+  AR(ps, ps.DropDuplicates({"ps_suppkey"}));
+  AR(DataFrameRef n, T(s, dir, "nation"));
+  AR(n, n.Filter(Eq(Col("n_name"), Lit("CANADA"))));
+  AR(n, n.Select({"n_nationkey"}));
+  AR(DataFrameRef sup, T(s, dir, "supplier"));
+  AR(sup, sup.Merge(n, OnLR({"s_nationkey"}, {"n_nationkey"})));
+  AR(sup, sup.Merge(ps, OnLR({"s_suppkey"}, {"ps_suppkey"})));
+  AR(sup, sup.Select({"s_name", "s_address"}));
+  AR(sup, sup.SortValues({"s_name"}));
+  return sup.Fetch();
+}
+
+// ---------------------------------------------------------------- Q21
+Result<DataFrame> Q21(Session* s, const std::string& dir) {
+  AR(DataFrameRef l, T(s, dir, "lineitem"));
+  AR(l, l.Select({"l_orderkey", "l_suppkey", "l_receiptdate",
+                  "l_commitdate"}));
+  AR(DataFrameRef total,
+     l.GroupByAgg({"l_orderkey"},
+                  {{"l_suppkey", AggFunc::kNunique, "nsupp"}}));
+  AR(DataFrameRef late,
+     l.Filter(Gt(Col("l_receiptdate"), Col("l_commitdate"))));
+  AR(DataFrameRef late_cnt,
+     late.GroupByAgg({"l_orderkey"},
+                     {{"l_suppkey", AggFunc::kNunique, "nlate"}}));
+  AR(DataFrameRef o, T(s, dir, "orders"));
+  AR(o, o.Filter(Eq(Col("o_orderstatus"), Lit("F"))));
+  AR(o, o.Select({"o_orderkey"}));
+  AR(late, late.Merge(o, OnLR({"l_orderkey"}, {"o_orderkey"})));
+  AR(late, late.Merge(total, On({"l_orderkey"})));
+  AR(late, late.Merge(late_cnt, On({"l_orderkey"})));
+  AR(late, late.Filter(AndExpr(Ge(Col("nsupp"), Lit(int64_t{2})),
+                               Eq(Col("nlate"), Lit(int64_t{1})))));
+  AR(DataFrameRef n, T(s, dir, "nation"));
+  AR(n, n.Filter(Eq(Col("n_name"), Lit("SAUDI ARABIA"))));
+  AR(n, n.Select({"n_nationkey"}));
+  AR(DataFrameRef sup, T(s, dir, "supplier"));
+  AR(sup, sup.Select({"s_suppkey", "s_nationkey", "s_name"}));
+  AR(sup, sup.Merge(n, OnLR({"s_nationkey"}, {"n_nationkey"})));
+  AR(late, late.Merge(sup, OnLR({"l_suppkey"}, {"s_suppkey"})));
+  AR(DataFrameRef g, late.GroupByAgg({"s_name"},
+                                     {{"", AggFunc::kSize, "numwait"}}));
+  AR(g, g.SortValues({"numwait", "s_name"}, {false, true}));
+  AR(g, g.Head(100));
+  return g.Fetch();
+}
+
+// ---------------------------------------------------------------- Q22
+Result<DataFrame> Q22(Session* s, const std::string& dir) {
+  AR(DataFrameRef c, T(s, dir, "customer"));
+  AR(c, c.Assign("cntrycode", StrSliceExpr(Col("c_phone"), 0, 2)));
+  AR(c, c.Filter(IsInExpr(Col("cntrycode"),
+                          Strs({"13", "31", "23", "29", "30", "18", "17"}))));
+  AR(DataFrameRef pos, c.Filter(Gt(Col("c_acctbal"), Lit(0.0))));
+  AR(DataFrameRef avg_ref, pos.Agg({{"c_acctbal", AggFunc::kMean, "avg"}}));
+  AR(DataFrame avg_df, avg_ref.Fetch());
+  AR(double avg_bal, ScalarOf(avg_df, "avg"));
+  AR(c, c.Filter(Gt(Col("c_acctbal"), Lit(avg_bal))));
+  AR(DataFrameRef o, T(s, dir, "orders"));
+  AR(o, o.Select({"o_custkey"}));
+  AR(o, o.DropDuplicates({"o_custkey"}));
+  AR(c, c.Merge(o, OnLR({"c_custkey"}, {"o_custkey"}, JoinType::kLeft)));
+  AR(c, c.Filter(IsNullExpr(Col("o_custkey"))));
+  AR(DataFrameRef g,
+     c.GroupByAgg({"cntrycode"}, {{"", AggFunc::kSize, "numcust"},
+                                  {"c_acctbal", AggFunc::kSum, "totacctbal"}}));
+  AR(g, g.SortValues({"cntrycode"}));
+  return g.Fetch();
+}
+
+}  // namespace
+
+int NumQueries() { return 22; }
+
+Result<DataFrame> RunQuery(int q, Session* session, const std::string& dir) {
+  using Fn = Result<DataFrame> (*)(Session*, const std::string&);
+  static constexpr Fn kQueries[] = {Q1,  Q2,  Q3,  Q4,  Q5,  Q6,  Q7,  Q8,
+                                    Q9,  Q10, Q11, Q12, Q13, Q14, Q15, Q16,
+                                    Q17, Q18, Q19, Q20, Q21, Q22};
+  if (q < 1 || q > NumQueries()) {
+    return Status::Invalid("no such query: Q" + std::to_string(q));
+  }
+  return kQueries[q - 1](session, dir);
+}
+
+#undef AR
+
+}  // namespace xorbits::workloads::tpch

@@ -1,0 +1,22 @@
+#ifndef XORBITS_WORKLOADS_TPCH_QUERIES_H_
+#define XORBITS_WORKLOADS_TPCH_QUERIES_H_
+
+#include <string>
+
+#include "core/xorbits.h"
+
+namespace xorbits::workloads::tpch {
+
+/// Number of TPC-H queries implemented (all 22).
+int NumQueries();
+
+/// Runs query `q` (1-based) against the xparquet tables in `dir`
+/// (produced by io::tpch::GenerateFiles) and returns the fetched result.
+/// Each query builds its own lazy pipeline through the public API — the
+/// direct C++ analogue of the paper's pandas-API TPC-H port.
+Result<dataframe::DataFrame> RunQuery(int q, core::Session* session,
+                                      const std::string& dir);
+
+}  // namespace xorbits::workloads::tpch
+
+#endif  // XORBITS_WORKLOADS_TPCH_QUERIES_H_

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/xorbits.h"
+#include "dataframe/kernels.h"
+
+namespace xorbits {
+namespace {
+
+using dataframe::Column;
+using dataframe::DataFrame;
+
+Config SmallChunks() {
+  Config c;
+  c.num_workers = 2;
+  c.bands_per_worker = 2;
+  c.chunk_store_limit = 1 << 12;
+  return c;
+}
+
+DataFrame Numbers(int64_t n) {
+  std::vector<int64_t> k(n), v(n);
+  std::vector<double> x(n);
+  for (int64_t i = 0; i < n; ++i) {
+    k[i] = i % 4;
+    v[i] = i;
+    x[i] = 0.5 * i;
+  }
+  return DataFrame::Make({"k", "v", "x"},
+                         {Column::Int64(k), Column::Int64(v),
+                          Column::Float64(x)})
+      .MoveValue();
+}
+
+TEST(ApiSugarTest, DescribeLayout) {
+  core::Session session(SmallChunks());
+  auto df = FromPandas(&session, Numbers(500));
+  auto stats = df->Describe({"v", "x"});
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->num_rows(), 5);  // count/mean/std/min/max
+  EXPECT_EQ(stats->num_columns(), 3);
+  const auto& v = stats->GetColumn("v").ValueOrDie()->float64_data();
+  EXPECT_DOUBLE_EQ(v[0], 500);          // count
+  EXPECT_DOUBLE_EQ(v[1], 249.5);        // mean
+  EXPECT_DOUBLE_EQ(v[3], 0);            // min
+  EXPECT_DOUBLE_EQ(v[4], 499);          // max
+  EXPECT_EQ(stats->GetColumn("stat").ValueOrDie()->string_data()[2], "std");
+  EXPECT_EQ(df->Describe({"missing"}).status().code(),
+            StatusCode::kKeyError);
+}
+
+TEST(ApiSugarTest, ValueCountsSortedDescending) {
+  core::Session session(SmallChunks());
+  std::vector<int64_t> k{1, 2, 2, 3, 3, 3, 3, 2, 1};
+  auto df = FromPandas(
+      &session, DataFrame::Make({"k"}, {Column::Int64(k)}).MoveValue());
+  auto counts = df->ValueCounts("k");
+  ASSERT_TRUE(counts.ok());
+  auto out = counts->Fetch();
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->GetColumn("k").ValueOrDie()->int64_data(),
+            (std::vector<int64_t>{3, 2, 1}));
+  EXPECT_EQ(out->GetColumn("count").ValueOrDie()->int64_data(),
+            (std::vector<int64_t>{4, 3, 2}));
+}
+
+TEST(ApiSugarTest, NLargest) {
+  core::Session session(SmallChunks());
+  auto df = FromPandas(&session, Numbers(300));
+  auto top = df->NLargest(5, "v");
+  ASSERT_TRUE(top.ok());
+  auto out = top->Fetch();
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->num_rows(), 5);
+  EXPECT_EQ(out->GetColumn("v").ValueOrDie()->int64_data()[0], 299);
+  EXPECT_EQ(out->GetColumn("v").ValueOrDie()->int64_data()[4], 295);
+}
+
+TEST(ApiSugarTest, DistributedParquetWrite) {
+  core::Session session(SmallChunks());
+  auto df = FromPandas(&session, Numbers(400));
+  const std::string dir = "/tmp/xorbits_dist_write";
+  std::filesystem::remove_all(dir);
+  auto manifest = df->ToParquetDistributed(dir);
+  ASSERT_TRUE(manifest.ok()) << manifest.status();
+  // One part file per chunk, rows summing to the input.
+  EXPECT_EQ(manifest->num_rows(),
+            static_cast<int64_t>(df->node()->chunks.size()));
+  int64_t total = 0;
+  const auto& rows = manifest->GetColumn("rows").ValueOrDie()->int64_data();
+  for (int64_t r : rows) total += r;
+  EXPECT_EQ(total, 400);
+  // Every listed part is readable and the union round-trips.
+  int64_t read_back = 0;
+  for (const auto& path :
+       manifest->GetColumn("path").ValueOrDie()->string_data()) {
+    auto part = ReadParquet(&session, path);
+    ASSERT_TRUE(part.ok()) << path;
+    read_back += *part->CountRows();
+  }
+  EXPECT_EQ(read_back, 400);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ApiSugarTest, WriteFailsOnBadDirectory) {
+  core::Session session(SmallChunks());
+  auto df = FromPandas(&session, Numbers(10));
+  EXPECT_FALSE(df->ToParquetDistributed("/proc/definitely/not/ok").ok());
+}
+
+}  // namespace
+}  // namespace xorbits

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "dataframe/column.h"
+
+namespace xorbits::dataframe {
+namespace {
+
+TEST(ColumnTest, BasicInt64) {
+  Column c = Column::Int64({1, 2, 3});
+  EXPECT_EQ(c.dtype(), DType::kInt64);
+  EXPECT_EQ(c.length(), 3);
+  EXPECT_EQ(c.null_count(), 0);
+  EXPECT_FALSE(c.has_validity());
+  EXPECT_EQ(c.GetScalar(1).AsInt(), 2);
+}
+
+TEST(ColumnTest, ValidityMarksNulls) {
+  Column c = Column::Float64({1.0, 2.0, 3.0}, {1, 0, 1});
+  EXPECT_EQ(c.null_count(), 1);
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_TRUE(c.GetScalar(1).is_null());
+  EXPECT_FALSE(c.GetScalar(0).is_null());
+}
+
+TEST(ColumnTest, NullsFactory) {
+  for (DType t : {DType::kInt64, DType::kFloat64, DType::kString,
+                  DType::kBool}) {
+    Column c = Column::Nulls(t, 4);
+    EXPECT_EQ(c.length(), 4);
+    EXPECT_EQ(c.null_count(), 4);
+  }
+}
+
+TEST(ColumnTest, FullFactory) {
+  Column c = Column::Full(DType::kString, 3, Scalar::Str("x"));
+  EXPECT_EQ(c.length(), 3);
+  EXPECT_EQ(c.string_data()[2], "x");
+}
+
+TEST(ColumnTest, TakePreservesValidity) {
+  Column c = Column::Int64({10, 20, 30, 40}, {1, 0, 1, 1});
+  Column t = c.Take({3, 1, 0});
+  EXPECT_EQ(t.length(), 3);
+  EXPECT_EQ(t.int64_data()[0], 40);
+  EXPECT_TRUE(t.IsNull(1));
+  EXPECT_EQ(t.int64_data()[2], 10);
+}
+
+TEST(ColumnTest, FilterByMask) {
+  Column c = Column::String({"a", "b", "c", "d"});
+  Column f = c.Filter({1, 0, 0, 1});
+  EXPECT_EQ(f.length(), 2);
+  EXPECT_EQ(f.string_data()[0], "a");
+  EXPECT_EQ(f.string_data()[1], "d");
+}
+
+TEST(ColumnTest, Slice) {
+  Column c = Column::Float64({0.5, 1.5, 2.5, 3.5});
+  Column s = c.Slice(1, 2);
+  EXPECT_EQ(s.length(), 2);
+  EXPECT_DOUBLE_EQ(s.float64_data()[0], 1.5);
+}
+
+TEST(ColumnTest, ConcatSameDtype) {
+  Column a = Column::Int64({1, 2});
+  Column b = Column::Int64({3}, {0});
+  auto r = Column::Concat({&a, &b});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->length(), 3);
+  EXPECT_TRUE(r->IsNull(2));
+  EXPECT_FALSE(r->IsNull(0));
+}
+
+TEST(ColumnTest, ConcatDtypeMismatchFails) {
+  Column a = Column::Int64({1});
+  Column b = Column::Float64({2.0});
+  EXPECT_EQ(Column::Concat({&a, &b}).status().code(), StatusCode::kTypeError);
+}
+
+TEST(ColumnTest, CastIntToFloat) {
+  Column c = Column::Int64({1, 2}, {1, 0});
+  auto r = c.CastTo(DType::kFloat64);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->dtype(), DType::kFloat64);
+  EXPECT_DOUBLE_EQ(r->float64_data()[0], 1.0);
+  EXPECT_TRUE(r->IsNull(1));
+}
+
+TEST(ColumnTest, CastStringToIntFails) {
+  Column c = Column::String({"a"});
+  EXPECT_FALSE(c.CastTo(DType::kInt64).ok());
+}
+
+TEST(ColumnTest, KeyBytesDistinguishValues) {
+  Column c = Column::Int64({1, 2, 1});
+  std::string k0, k1, k2;
+  c.AppendKeyBytes(0, &k0);
+  c.AppendKeyBytes(1, &k1);
+  c.AppendKeyBytes(2, &k2);
+  EXPECT_EQ(k0, k2);
+  EXPECT_NE(k0, k1);
+}
+
+TEST(ColumnTest, KeyBytesDistinguishNullFromZero) {
+  Column c = Column::Int64({0, 0}, {1, 0});
+  std::string k0, k1;
+  c.AppendKeyBytes(0, &k0);
+  c.AppendKeyBytes(1, &k1);
+  EXPECT_NE(k0, k1);
+}
+
+TEST(ColumnTest, KeyBytesDistinguishDtypes) {
+  Column i = Column::Int64({1});
+  Column f = Column::Float64({1.0});
+  std::string ki, kf;
+  i.AppendKeyBytes(0, &ki);
+  f.AppendKeyBytes(0, &kf);
+  EXPECT_NE(ki, kf);
+}
+
+TEST(ColumnTest, NbytesStringsMeasured) {
+  Column a = Column::String({"ab", "cdef"});
+  Column b = Column::String({"", ""});
+  EXPECT_GT(a.nbytes(), b.nbytes());
+  Column i = Column::Int64({1, 2, 3});
+  EXPECT_EQ(i.nbytes(), 24);
+}
+
+TEST(ScalarTest, Ordering) {
+  EXPECT_TRUE(Scalar::Int(1) < Scalar::Int(2));
+  EXPECT_TRUE(Scalar::Int(1) < Scalar::Float(1.5));  // cross numeric
+  EXPECT_TRUE(Scalar::Null() < Scalar::Int(0));      // nulls first
+  EXPECT_TRUE(Scalar::Str("a") < Scalar::Str("b"));
+  EXPECT_FALSE(Scalar::Str("b") < Scalar::Str("a"));
+}
+
+TEST(ScalarTest, Equality) {
+  EXPECT_EQ(Scalar::Int(3), Scalar::Int(3));
+  EXPECT_FALSE(Scalar::Int(3) == Scalar::Float(3.0));  // typed equality
+  EXPECT_EQ(Scalar::Null(), Scalar::Null());
+}
+
+TEST(ScalarTest, ToString) {
+  EXPECT_EQ(Scalar::Int(5).ToString(), "5");
+  EXPECT_EQ(Scalar::Null().ToString(), "null");
+  EXPECT_EQ(Scalar::Bool(true).ToString(), "true");
+}
+
+class ColumnRoundTripTest : public ::testing::TestWithParam<DType> {};
+
+TEST_P(ColumnRoundTripTest, TakeIdentityPreservesAll) {
+  DType t = GetParam();
+  Column c = Column::Nulls(t, 5);
+  // Half-null column via Full + validity edit.
+  Column full = Column::Full(t, 5, t == DType::kString ? Scalar::Str("v")
+                             : t == DType::kBool      ? Scalar::Bool(true)
+                             : t == DType::kFloat64   ? Scalar::Float(2.5)
+                                                      : Scalar::Int(7));
+  std::vector<int64_t> identity{0, 1, 2, 3, 4};
+  Column taken = full.Take(identity);
+  EXPECT_EQ(taken.length(), full.length());
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(taken.GetScalar(i), full.GetScalar(i));
+  }
+  EXPECT_EQ(c.Take(identity).null_count(), 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDTypes, ColumnRoundTripTest,
+                         ::testing::Values(DType::kInt64, DType::kFloat64,
+                                           DType::kString, DType::kBool));
+
+}  // namespace
+}  // namespace xorbits::dataframe

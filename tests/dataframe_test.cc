@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "dataframe/dataframe.h"
+
+namespace xorbits::dataframe {
+namespace {
+
+DataFrame SampleDf() {
+  auto r = DataFrame::Make(
+      {"a", "b", "s"},
+      {Column::Int64({1, 2, 3, 4}), Column::Float64({0.1, 0.2, 0.3, 0.4}),
+       Column::String({"w", "x", "y", "z"})});
+  return r.MoveValue();
+}
+
+TEST(DataFrameTest, MakeChecksLengths) {
+  auto r = DataFrame::Make({"a", "b"},
+                           {Column::Int64({1, 2}), Column::Int64({1})});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DataFrameTest, MakeChecksDuplicateNames) {
+  auto r = DataFrame::Make({"a", "a"},
+                           {Column::Int64({1}), Column::Int64({2})});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DataFrameTest, BasicAccessors) {
+  DataFrame df = SampleDf();
+  EXPECT_EQ(df.num_rows(), 4);
+  EXPECT_EQ(df.num_columns(), 3);
+  EXPECT_TRUE(df.HasColumn("b"));
+  EXPECT_FALSE(df.HasColumn("nope"));
+  EXPECT_EQ(df.ColumnIndex("s").ValueOrDie(), 2);
+  EXPECT_EQ(df.GetColumn("nope").status().code(), StatusCode::kKeyError);
+}
+
+TEST(DataFrameTest, SetColumnReplacesOrAppends) {
+  DataFrame df = SampleDf();
+  ASSERT_TRUE(df.SetColumn("a", Column::Int64({9, 9, 9, 9})).ok());
+  EXPECT_EQ(df.num_columns(), 3);
+  EXPECT_EQ(df.GetColumn("a").ValueOrDie()->int64_data()[0], 9);
+  ASSERT_TRUE(df.SetColumn("new", Column::Bool({1, 0, 1, 0})).ok());
+  EXPECT_EQ(df.num_columns(), 4);
+  EXPECT_FALSE(df.SetColumn("bad", Column::Int64({1})).ok());
+}
+
+TEST(DataFrameTest, SelectProjectsAndReorders) {
+  DataFrame df = SampleDf();
+  auto sel = df.Select({"s", "a"});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->num_columns(), 2);
+  EXPECT_EQ(sel->column_name(0), "s");
+  EXPECT_FALSE(df.Select({"missing"}).ok());
+}
+
+TEST(DataFrameTest, RenameDetectsCollision) {
+  DataFrame df = SampleDf();
+  auto ok = df.Rename({{"a", "aa"}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->HasColumn("aa"));
+  EXPECT_FALSE(df.Rename({{"a", "b"}}).ok());
+}
+
+TEST(DataFrameTest, RowOpsKeepIndexLabels) {
+  DataFrame df = SampleDf();
+  DataFrame t = df.TakeRows({2, 0});
+  EXPECT_EQ(t.index().Label(0), 2);
+  EXPECT_EQ(t.index().Label(1), 0);
+  DataFrame f = df.FilterRows({0, 1, 0, 1});
+  EXPECT_EQ(f.num_rows(), 2);
+  EXPECT_EQ(f.index().Label(0), 1);
+  EXPECT_EQ(f.index().Label(1), 3);
+  DataFrame s = df.SliceRows(1, 2);
+  EXPECT_EQ(s.index().Label(0), 1);
+  DataFrame reset = f.ResetIndex();
+  EXPECT_EQ(reset.index().Label(0), 0);
+}
+
+TEST(DataFrameTest, SliceClampsBounds) {
+  DataFrame df = SampleDf();
+  EXPECT_EQ(df.SliceRows(3, 100).num_rows(), 1);
+  EXPECT_EQ(df.SliceRows(10, 5).num_rows(), 0);
+}
+
+TEST(DataFrameTest, NbytesPositive) {
+  DataFrame df = SampleDf();
+  EXPECT_GT(df.nbytes(), 0);
+  EXPECT_GT(df.nbytes(), df.SliceRows(0, 1).nbytes());
+}
+
+TEST(DataFrameTest, ToStringTruncates) {
+  std::vector<int64_t> big(100);
+  for (int i = 0; i < 100; ++i) big[i] = i;
+  auto df = DataFrame::Make({"v"}, {Column::Int64(big)}).MoveValue();
+  std::string s = df.ToString(6);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("[100 rows x 1 columns]"), std::string::npos);
+}
+
+TEST(DataFrameTest, EmptyLikeKeepsSchema) {
+  DataFrame e = DataFrame::EmptyLike(SampleDf());
+  EXPECT_EQ(e.num_rows(), 0);
+  EXPECT_EQ(e.num_columns(), 3);
+  EXPECT_EQ(e.column(2).dtype(), DType::kString);
+}
+
+TEST(IndexTest, RangeConcatStaysRange) {
+  Index a = Index::Range(0, 3);
+  Index b = Index::Range(3, 7);
+  Index c = Index::Concat({&a, &b});
+  EXPECT_TRUE(c.is_range());
+  EXPECT_EQ(c.length(), 7);
+  EXPECT_EQ(c.Label(6), 6);
+}
+
+TEST(IndexTest, NonContiguousConcatKeepsLabels) {
+  Index a = Index::Range(0, 2);
+  Index b = Index::Range(5, 7);
+  Index c = Index::Concat({&a, &b});
+  EXPECT_FALSE(c.is_range());
+  EXPECT_EQ(c.Label(2), 5);
+}
+
+}  // namespace
+}  // namespace xorbits::dataframe

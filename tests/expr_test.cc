@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "operators/expr.h"
+
+namespace xorbits::operators {
+namespace {
+
+using dataframe::BinOp;
+using dataframe::CmpOp;
+using dataframe::Column;
+using dataframe::DataFrame;
+using dataframe::Scalar;
+
+DataFrame Df() {
+  return DataFrame::Make(
+             {"a", "b", "s"},
+             {Column::Int64({1, 2, 3, 4}),
+              Column::Float64({0.5, 1.5, 2.5, 3.5}, {1, 1, 0, 1}),
+              Column::String({"foo", "bar", "foobar", "baz"})})
+      .MoveValue();
+}
+
+TEST(ExprTest, ColumnAndLiteral) {
+  auto c = EvalExpr(Df(), *Col("a"));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->int64_data(), (std::vector<int64_t>{1, 2, 3, 4}));
+  auto l = EvalExpr(Df(), *Lit(7.0));
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(l->length(), 4);
+  EXPECT_DOUBLE_EQ(l->float64_data()[2], 7.0);
+  EXPECT_FALSE(EvalExpr(Df(), *Col("missing")).ok());
+}
+
+TEST(ExprTest, NestedArithmetic) {
+  // (a * 2 + b) — mixes column/column and column/literal fast paths.
+  auto e = BinaryExpr(BinaryExpr(Col("a"), BinOp::kMul, Lit(int64_t{2})),
+                      BinOp::kAdd, Col("b"));
+  auto r = EvalExpr(Df(), *e);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->float64_data()[0], 2.5);
+  EXPECT_TRUE(r->IsNull(2));  // null in b propagates
+}
+
+TEST(ExprTest, ReversedLiteralOperand) {
+  // 10 - a (literal on the left).
+  auto e = BinaryExpr(Lit(int64_t{10}), BinOp::kSub, Col("a"));
+  auto r = EvalExpr(Df(), *e);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->int64_data(), (std::vector<int64_t>{9, 8, 7, 6}));
+}
+
+TEST(ExprTest, ComparisonAndBooleanAlgebra) {
+  auto e = AndExpr(CompareExpr(Col("a"), CmpOp::kGt, Lit(int64_t{1})),
+                   NotExpr(StrStartsWithExpr(Col("s"), "foo")));
+  auto r = EvalExpr(Df(), *e);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->bool_data(), (std::vector<uint8_t>{0, 1, 0, 1}));
+}
+
+TEST(ExprTest, IsInAndNullProbes) {
+  auto in = EvalExpr(Df(), *IsInExpr(Col("a"), {Scalar::Int(2),
+                                                Scalar::Int(4)}));
+  EXPECT_EQ(in->bool_data(), (std::vector<uint8_t>{0, 1, 0, 1}));
+  auto isnull = EvalExpr(Df(), *IsNullExpr(Col("b")));
+  EXPECT_EQ(isnull->bool_data(), (std::vector<uint8_t>{0, 0, 1, 0}));
+  auto notnull = EvalExpr(Df(), *NotNullExpr(Col("b")));
+  EXPECT_EQ(notnull->bool_data(), (std::vector<uint8_t>{1, 1, 0, 1}));
+}
+
+TEST(ExprTest, CollectColumnsWalksWholeTree) {
+  auto e = OrExpr(CompareExpr(Col("a"), CmpOp::kLt, Col("b")),
+                  StrContainsExpr(Col("s"), "ba"));
+  std::set<std::string> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::set<std::string>{"a", "b", "s"}));
+}
+
+TEST(ExprTest, ToStringIsReadable) {
+  auto e = CompareExpr(BinaryExpr(Col("a"), BinOp::kMul, Lit(2.0)),
+                       CmpOp::kGe, Lit(3.0));
+  EXPECT_EQ(e->ToString(), "((a mul 2) ge 3)");
+  EXPECT_EQ(StrSliceExpr(Col("s"), 0, 2)->ToString(), "s.str[0:2]");
+  EXPECT_EQ(YearExpr(Col("a"))->ToString(), "a.dt.year");
+  EXPECT_EQ(IsInExpr(Col("a"), {})->ToString(), "a.isin([...])");
+}
+
+TEST(ExprTest, StringTransforms) {
+  auto upper = EvalExpr(Df(), *StrUpperExpr(Col("s")));
+  EXPECT_EQ(upper->string_data()[0], "FOO");
+  auto len = EvalExpr(Df(), *StrLenExpr(Col("s")));
+  EXPECT_EQ(len->int64_data()[2], 6);
+  auto rep = EvalExpr(Df(), *StrReplaceExpr(Col("s"), "ba", "X"));
+  EXPECT_EQ(rep->string_data()[1], "Xr");
+  auto sliced = EvalExpr(Df(), *StrSliceExpr(Col("s"), 1, 3));
+  EXPECT_EQ(sliced->string_data()[0], "oo");
+}
+
+TEST(ExprTest, TypeErrorsSurface) {
+  // String column in arithmetic.
+  EXPECT_FALSE(
+      EvalExpr(Df(), *BinaryExpr(Col("s"), BinOp::kAdd, Lit(1.0))).ok());
+  // Bool combinator over non-bool children.
+  EXPECT_FALSE(EvalExpr(Df(), *AndExpr(Col("a"), Col("b"))).ok());
+  // String predicate on numeric column.
+  EXPECT_FALSE(EvalExpr(Df(), *StrContainsExpr(Col("a"), "x")).ok());
+}
+
+}  // namespace
+}  // namespace xorbits::operators

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataframe/groupby.h"
+#include "dataframe/kernels.h"
+
+namespace xorbits::dataframe {
+namespace {
+
+DataFrame Sales() {
+  return DataFrame::Make(
+             {"store", "item", "qty", "price"},
+             {Column::String({"a", "b", "a", "b", "a", "c"}),
+              Column::String({"x", "x", "y", "y", "x", "z"}),
+              Column::Int64({1, 2, 3, 4, 5, 6}),
+              Column::Float64({1.0, 2.0, 3.0, 4.0, 5.0, 6.0})})
+      .MoveValue();
+}
+
+TEST(GroupByTest, SumSortedKeys) {
+  auto r = GroupByAgg(Sales(), {"store"}, {{"qty", AggFunc::kSum, "qty_sum"}});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->num_rows(), 3);
+  EXPECT_EQ(r->GetColumn("store").ValueOrDie()->string_data(),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(r->GetColumn("qty_sum").ValueOrDie()->int64_data(),
+            (std::vector<int64_t>{9, 6, 6}));
+}
+
+TEST(GroupByTest, MultipleKeysAndAggs) {
+  auto r = GroupByAgg(Sales(), {"store", "item"},
+                      {{"qty", AggFunc::kSum, "q"},
+                       {"price", AggFunc::kMean, "p"},
+                       {"", AggFunc::kSize, "n"}});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->num_rows(), 5);  // (a,x) (a,y) (b,x) (b,y) (c,z)
+  EXPECT_TRUE(r->HasColumn("q"));
+  EXPECT_TRUE(r->HasColumn("p"));
+  EXPECT_TRUE(r->HasColumn("n"));
+}
+
+TEST(GroupByTest, GroupCountExact) {
+  auto r = GroupByAgg(Sales(), {"store", "item"},
+                      {{"", AggFunc::kSize, "n"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 5);
+}
+
+TEST(GroupByTest, MinMaxFirstLast) {
+  auto r = GroupByAgg(Sales(), {"store"},
+                      {{"qty", AggFunc::kMin, "mn"},
+                       {"qty", AggFunc::kMax, "mx"},
+                       {"item", AggFunc::kFirst, "fi"},
+                       {"item", AggFunc::kLast, "la"}});
+  ASSERT_TRUE(r.ok()) << r.status();
+  // group "a": rows qty {1,3,5}, items {x,y,x}
+  EXPECT_EQ(r->GetColumn("mn").ValueOrDie()->int64_data()[0], 1);
+  EXPECT_EQ(r->GetColumn("mx").ValueOrDie()->int64_data()[0], 5);
+  EXPECT_EQ(r->GetColumn("fi").ValueOrDie()->string_data()[0], "x");
+  EXPECT_EQ(r->GetColumn("la").ValueOrDie()->string_data()[0], "x");
+}
+
+TEST(GroupByTest, NullsSkippedByAggsButCountedBySize) {
+  auto df = DataFrame::Make({"k", "v"},
+                            {Column::Int64({1, 1, 1}),
+                             Column::Float64({1.0, 2.0, 3.0}, {1, 0, 1})})
+                .MoveValue();
+  auto r = GroupByAgg(df, {"k"},
+                      {{"v", AggFunc::kSum, "s"},
+                       {"v", AggFunc::kCount, "c"},
+                       {"", AggFunc::kSize, "n"},
+                       {"v", AggFunc::kMean, "m"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->GetColumn("s").ValueOrDie()->float64_data()[0], 4.0);
+  EXPECT_EQ(r->GetColumn("c").ValueOrDie()->int64_data()[0], 2);
+  EXPECT_EQ(r->GetColumn("n").ValueOrDie()->int64_data()[0], 3);
+  EXPECT_DOUBLE_EQ(r->GetColumn("m").ValueOrDie()->float64_data()[0], 2.0);
+}
+
+TEST(GroupByTest, AllNullGroupGivesNullMinMax) {
+  auto df = DataFrame::Make({"k", "v"},
+                            {Column::Int64({1, 2}),
+                             Column::Float64({1.0, 2.0}, {1, 0})})
+                .MoveValue();
+  auto r = GroupByAgg(df, {"k"}, {{"v", AggFunc::kMax, "mx"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->GetColumn("mx").ValueOrDie()->IsNull(0));
+  EXPECT_TRUE(r->GetColumn("mx").ValueOrDie()->IsNull(1));
+}
+
+TEST(GroupByTest, Nunique) {
+  auto r = GroupByAgg(Sales(), {"store"},
+                      {{"item", AggFunc::kNunique, "nu"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetColumn("nu").ValueOrDie()->int64_data(),
+            (std::vector<int64_t>{2, 2, 1}));
+}
+
+TEST(GroupByTest, VarAndStdMatchDefinition) {
+  auto df = DataFrame::Make({"k", "v"},
+                            {Column::Int64({1, 1, 1, 2}),
+                             Column::Float64({1.0, 2.0, 3.0, 5.0})})
+                .MoveValue();
+  auto r = GroupByAgg(df, {"k"},
+                      {{"v", AggFunc::kVar, "var"},
+                       {"v", AggFunc::kStd, "std"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->GetColumn("var").ValueOrDie()->float64_data()[0], 1.0);
+  EXPECT_DOUBLE_EQ(r->GetColumn("std").ValueOrDie()->float64_data()[0], 1.0);
+  // Single-element group has undefined sample variance.
+  EXPECT_TRUE(r->GetColumn("var").ValueOrDie()->IsNull(1));
+}
+
+TEST(GroupByTest, EmptyKeyListFails) {
+  EXPECT_FALSE(GroupByAgg(Sales(), {}, {{"qty", AggFunc::kSum, "s"}}).ok());
+}
+
+TEST(GroupByTest, MissingColumnFails) {
+  EXPECT_EQ(
+      GroupByAgg(Sales(), {"nope"}, {{"qty", AggFunc::kSum, "s"}})
+          .status()
+          .code(),
+      StatusCode::kKeyError);
+}
+
+TEST(GroupByTest, UnsortedKeepsFirstSeenOrder) {
+  auto r = GroupByAgg(Sales(), {"store"}, {{"qty", AggFunc::kSum, "s"}},
+                      /*sort_keys=*/false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetColumn("store").ValueOrDie()->string_data(),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(AggFuncTest, NamesRoundTrip) {
+  for (AggFunc f : {AggFunc::kSum, AggFunc::kCount, AggFunc::kMean,
+                    AggFunc::kMin, AggFunc::kMax, AggFunc::kSize,
+                    AggFunc::kFirst, AggFunc::kLast, AggFunc::kNunique,
+                    AggFunc::kVar, AggFunc::kStd, AggFunc::kMedian,
+                    AggFunc::kProd, AggFunc::kAny, AggFunc::kAll}) {
+    auto r = AggFuncFromName(AggFuncName(f));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, f);
+  }
+  EXPECT_FALSE(AggFuncFromName("mode").ok());
+}
+
+// --- Decomposition: map-combine-reduce equivalence property. ---
+// Splitting the frame into chunks, applying map specs per chunk, combining,
+// then finalizing must equal the direct single-node aggregation. This is the
+// invariant the paper's multi-stage model relies on.
+class DecomposeEquivalenceTest : public ::testing::TestWithParam<AggFunc> {};
+
+TEST_P(DecomposeEquivalenceTest, ChunkedEqualsDirect) {
+  AggFunc func = GetParam();
+  DataFrame df = Sales();
+  std::vector<AggSpec> specs{{func == AggFunc::kSize ? "" : "price", func,
+                              "out"}};
+  auto direct = GroupByAgg(df, {"store"}, specs);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+
+  auto plan = DecomposeAggs(specs);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Map over 3 chunks of 2 rows.
+  std::vector<DataFrame> partials;
+  for (int64_t off = 0; off < df.num_rows(); off += 2) {
+    DataFrame chunk = df.SliceRows(off, 2);
+    auto p = GroupByAgg(chunk, {"store"}, plan->map_specs);
+    ASSERT_TRUE(p.ok()) << p.status();
+    partials.push_back(p.MoveValue());
+  }
+  auto concat = Concat(partials);
+  ASSERT_TRUE(concat.ok());
+  auto combined = GroupByAgg(*concat, {"store"}, plan->combine_specs);
+  ASSERT_TRUE(combined.ok()) << combined.status();
+  auto final_df = FinalizeAgg(*combined, {"store"}, specs);
+  ASSERT_TRUE(final_df.ok()) << final_df.status();
+
+  ASSERT_EQ(final_df->num_rows(), direct->num_rows());
+  const Column* a = final_df->GetColumn("out").ValueOrDie();
+  const Column* b = direct->GetColumn("out").ValueOrDie();
+  for (int64_t i = 0; i < a->length(); ++i) {
+    if (b->IsNull(i)) {
+      EXPECT_TRUE(a->IsNull(i));
+      continue;
+    }
+    EXPECT_NEAR(a->GetDouble(i), b->GetDouble(i), 1e-9) << "group " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Funcs, DecomposeEquivalenceTest,
+    ::testing::Values(AggFunc::kSum, AggFunc::kCount, AggFunc::kMean,
+                      AggFunc::kMin, AggFunc::kMax, AggFunc::kSize,
+                      AggFunc::kFirst, AggFunc::kLast, AggFunc::kVar,
+                      AggFunc::kStd));
+
+TEST(DecomposeTest, NuniqueNotDecomposable) {
+  std::vector<AggSpec> specs{{"x", AggFunc::kNunique, "o"}};
+  EXPECT_FALSE(IsDecomposable(specs));
+  EXPECT_EQ(DecomposeAggs(specs).status().code(),
+            StatusCode::kNotImplemented);
+}
+
+}  // namespace
+}  // namespace xorbits::dataframe

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "dataframe/join.h"
+
+namespace xorbits::dataframe {
+namespace {
+
+DataFrame Left() {
+  return DataFrame::Make({"k", "lv"},
+                         {Column::Int64({1, 2, 3, 2}),
+                          Column::String({"a", "b", "c", "d"})})
+      .MoveValue();
+}
+
+DataFrame Right() {
+  return DataFrame::Make({"k", "rv"},
+                         {Column::Int64({2, 3, 4}),
+                          Column::Float64({20.0, 30.0, 40.0})})
+      .MoveValue();
+}
+
+TEST(JoinTest, InnerPreservesLeftOrderAndDuplicates) {
+  MergeOptions opts;
+  opts.on = {"k"};
+  auto r = Merge(Left(), Right(), opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->num_rows(), 3);  // k=2 (row1), k=3, k=2 (row3)
+  EXPECT_EQ(r->GetColumn("k").ValueOrDie()->int64_data(),
+            (std::vector<int64_t>{2, 3, 2}));
+  EXPECT_EQ(r->GetColumn("lv").ValueOrDie()->string_data(),
+            (std::vector<std::string>{"b", "c", "d"}));
+  EXPECT_EQ(r->GetColumn("rv").ValueOrDie()->float64_data(),
+            (std::vector<double>{20.0, 30.0, 20.0}));
+  // Key emitted once.
+  EXPECT_EQ(r->num_columns(), 3);
+}
+
+TEST(JoinTest, LeftKeepsUnmatchedWithNulls) {
+  MergeOptions opts;
+  opts.on = {"k"};
+  opts.how = JoinType::kLeft;
+  auto r = Merge(Left(), Right(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 4);
+  const Column* rv = r->GetColumn("rv").ValueOrDie();
+  EXPECT_TRUE(rv->IsNull(0));  // k=1 unmatched
+  EXPECT_FALSE(rv->IsNull(1));
+}
+
+TEST(JoinTest, RightKeepsUnmatchedRight) {
+  MergeOptions opts;
+  opts.on = {"k"};
+  opts.how = JoinType::kRight;
+  auto r = Merge(Left(), Right(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 4);  // matches(3) + k=4 unmatched
+  const Column* lv = r->GetColumn("lv").ValueOrDie();
+  EXPECT_TRUE(lv->IsNull(3));
+  // Coalesced key column: unmatched right row keeps its key value.
+  EXPECT_EQ(r->GetColumn("k").ValueOrDie()->int64_data()[3], 4);
+  EXPECT_FALSE(r->GetColumn("k").ValueOrDie()->IsNull(3));
+}
+
+TEST(JoinTest, OuterUnionOfKeys) {
+  MergeOptions opts;
+  opts.on = {"k"};
+  opts.how = JoinType::kOuter;
+  auto r = Merge(Left(), Right(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 5);  // 3 matches + k=1 + k=4
+}
+
+TEST(JoinTest, MultiKeyJoin) {
+  auto l = DataFrame::Make({"a", "b", "x"},
+                           {Column::Int64({1, 1, 2}),
+                            Column::String({"p", "q", "p"}),
+                            Column::Int64({10, 11, 12})})
+               .MoveValue();
+  auto rt = DataFrame::Make({"a", "b", "y"},
+                            {Column::Int64({1, 2}),
+                             Column::String({"q", "p"}),
+                             Column::Int64({100, 200})})
+                .MoveValue();
+  MergeOptions opts;
+  opts.on = {"a", "b"};
+  auto r = Merge(l, rt, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2);
+  EXPECT_EQ(r->GetColumn("y").ValueOrDie()->int64_data(),
+            (std::vector<int64_t>{100, 200}));
+}
+
+TEST(JoinTest, LeftOnRightOnKeepsBothColumns) {
+  auto l = DataFrame::Make({"lk", "v"},
+                           {Column::Int64({1, 2}), Column::Int64({5, 6})})
+               .MoveValue();
+  auto rt = DataFrame::Make({"rk", "w"},
+                            {Column::Int64({2, 3}), Column::Int64({7, 8})})
+                .MoveValue();
+  MergeOptions opts;
+  opts.left_on = {"lk"};
+  opts.right_on = {"rk"};
+  auto r = Merge(l, rt, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 1);
+  EXPECT_TRUE(r->HasColumn("lk"));
+  EXPECT_TRUE(r->HasColumn("rk"));
+}
+
+TEST(JoinTest, SuffixesOnCollidingColumns) {
+  auto l = DataFrame::Make({"k", "v"},
+                           {Column::Int64({1}), Column::Int64({5})})
+               .MoveValue();
+  auto rt = DataFrame::Make({"k", "v"},
+                            {Column::Int64({1}), Column::Int64({7})})
+                .MoveValue();
+  MergeOptions opts;
+  opts.on = {"k"};
+  auto r = Merge(l, rt, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->HasColumn("v_x"));
+  EXPECT_TRUE(r->HasColumn("v_y"));
+  EXPECT_EQ(r->GetColumn("v_x").ValueOrDie()->int64_data()[0], 5);
+  EXPECT_EQ(r->GetColumn("v_y").ValueOrDie()->int64_data()[0], 7);
+}
+
+TEST(JoinTest, NullKeysNeverMatch) {
+  auto l = DataFrame::Make({"k", "v"},
+                           {Column::Int64({1, 2}, {0, 1}),
+                            Column::Int64({5, 6})})
+               .MoveValue();
+  auto rt = DataFrame::Make({"k", "w"},
+                            {Column::Int64({1, 2}, {0, 1}),
+                             Column::Int64({7, 8})})
+                .MoveValue();
+  MergeOptions opts;
+  opts.on = {"k"};
+  auto r = Merge(l, rt, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 1);  // only k=2 matches
+  EXPECT_EQ(r->GetColumn("w").ValueOrDie()->int64_data()[0], 8);
+}
+
+TEST(JoinTest, SortedOutput) {
+  MergeOptions opts;
+  opts.on = {"k"};
+  opts.sort = true;
+  auto r = Merge(Left(), Right(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetColumn("k").ValueOrDie()->int64_data(),
+            (std::vector<int64_t>{2, 2, 3}));
+}
+
+TEST(JoinTest, BadOptionsFail) {
+  MergeOptions opts;  // no keys at all
+  EXPECT_FALSE(Merge(Left(), Right(), opts).ok());
+  MergeOptions opts2;
+  opts2.on = {"missing"};
+  EXPECT_EQ(Merge(Left(), Right(), opts2).status().code(),
+            StatusCode::kKeyError);
+}
+
+TEST(JoinTest, JoinTypeNamesRoundTrip) {
+  for (JoinType t : {JoinType::kInner, JoinType::kLeft, JoinType::kRight,
+                     JoinType::kOuter}) {
+    EXPECT_EQ(*JoinTypeFromName(JoinTypeName(t)), t);
+  }
+  EXPECT_FALSE(JoinTypeFromName("cross").ok());
+}
+
+TEST(JoinTest, SkewedManyToOne) {
+  // One hot key on the left joining a small right table — the UC10 shape.
+  std::vector<int64_t> keys(1000, 7);
+  keys[0] = 1;
+  auto l = DataFrame::Make({"k"}, {Column::Int64(keys)}).MoveValue();
+  auto rt = DataFrame::Make({"k", "w"},
+                            {Column::Int64({7, 1}), Column::Int64({70, 10})})
+                .MoveValue();
+  MergeOptions opts;
+  opts.on = {"k"};
+  auto r = Merge(l, rt, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 1000);
+  EXPECT_EQ(r->GetColumn("w").ValueOrDie()->int64_data()[0], 10);
+  EXPECT_EQ(r->GetColumn("w").ValueOrDie()->int64_data()[999], 70);
+}
+
+}  // namespace
+}  // namespace xorbits::dataframe

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "dataframe/kernels.h"
+
+namespace xorbits::dataframe {
+namespace {
+
+DataFrame Df() {
+  return DataFrame::Make({"k", "v", "s"},
+                         {Column::Int64({3, 1, 2, 1, 3}),
+                          Column::Float64({0.3, 0.1, 0.2, 0.15, 0.35}),
+                          Column::String({"c", "a", "b", "a2", "c2"})})
+      .MoveValue();
+}
+
+TEST(FilterTest, KeepsMaskedRows) {
+  auto mask = CompareScalar(*Df().GetColumn("k").ValueOrDie(), Scalar::Int(2),
+                            CmpOp::kGe);
+  auto r = Filter(Df(), *mask);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 3);
+  EXPECT_EQ(r->index().Label(0), 0);
+  EXPECT_EQ(r->index().Label(1), 2);
+}
+
+TEST(FilterTest, NullMaskEntriesDropRows) {
+  DataFrame df = Df();
+  Column mask = Column::Bool({1, 1, 1, 1, 1}, {1, 0, 1, 0, 1});
+  auto r = Filter(df, mask);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 3);
+}
+
+TEST(FilterTest, WrongMaskFails) {
+  EXPECT_FALSE(Filter(Df(), Column::Int64({1, 2, 3, 4, 5})).ok());
+  EXPECT_FALSE(Filter(Df(), Column::Bool({1})).ok());
+}
+
+TEST(SortTest, SingleKeyAscending) {
+  auto r = SortValues(Df(), {"k"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetColumn("k").ValueOrDie()->int64_data(),
+            (std::vector<int64_t>{1, 1, 2, 3, 3}));
+  // Stability: original order of equal keys preserved.
+  EXPECT_EQ(r->GetColumn("s").ValueOrDie()->string_data()[0], "a");
+  EXPECT_EQ(r->GetColumn("s").ValueOrDie()->string_data()[1], "a2");
+}
+
+TEST(SortTest, MultiKeyMixedDirections) {
+  auto r = SortValues(Df(), {"k", "v"}, {true, false});
+  ASSERT_TRUE(r.ok());
+  const auto& v = r->GetColumn("v").ValueOrDie()->float64_data();
+  EXPECT_DOUBLE_EQ(v[0], 0.15);  // k=1, larger v first? no: descending => 0.15 < 0.1 is false
+  // k=1 rows have v {0.1, 0.15}; descending puts 0.15 first.
+  EXPECT_DOUBLE_EQ(v[1], 0.1);
+}
+
+TEST(SortTest, NullsSortLast) {
+  auto df = DataFrame::Make(
+                {"a"}, {Column::Int64({2, 1, 3}, {1, 0, 1})})
+                .MoveValue();
+  auto r = SortValues(df, {"a"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->GetColumn("a").ValueOrDie()->IsNull(2));
+  auto d = SortValues(df, {"a"}, {false});
+  EXPECT_TRUE(d->GetColumn("a").ValueOrDie()->IsNull(2));
+}
+
+TEST(ConcatTest, MatchesByNameAcrossColumnOrder) {
+  auto a = DataFrame::Make({"x", "y"},
+                           {Column::Int64({1}), Column::Int64({2})})
+               .MoveValue();
+  auto b = DataFrame::Make({"y", "x"},
+                           {Column::Int64({20}), Column::Int64({10})})
+               .MoveValue();
+  auto r = Concat({a, b});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetColumn("x").ValueOrDie()->int64_data(),
+            (std::vector<int64_t>{1, 10}));
+  EXPECT_EQ(r->GetColumn("y").ValueOrDie()->int64_data(),
+            (std::vector<int64_t>{2, 20}));
+}
+
+TEST(ConcatTest, MissingColumnFails) {
+  auto a = DataFrame::Make({"x"}, {Column::Int64({1})}).MoveValue();
+  auto b = DataFrame::Make({"z"}, {Column::Int64({2})}).MoveValue();
+  EXPECT_FALSE(Concat({a, b}).ok());
+}
+
+TEST(ConcatTest, IndexLabelsPreserved) {
+  DataFrame a = Df().SliceRows(0, 2);
+  DataFrame b = Df().SliceRows(3, 2);
+  auto r = Concat({a, b});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->index().Label(2), 3);
+}
+
+TEST(DropDuplicatesTest, SubsetKeepsFirst) {
+  auto r = DropDuplicates(Df(), {"k"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 3);
+  EXPECT_EQ(r->GetColumn("s").ValueOrDie()->string_data(),
+            (std::vector<std::string>{"c", "a", "b"}));
+}
+
+TEST(DropDuplicatesTest, AllColumnsWhenNoSubset) {
+  auto df = DataFrame::Make({"a", "b"},
+                            {Column::Int64({1, 1, 1}),
+                             Column::Int64({2, 2, 3})})
+                .MoveValue();
+  auto r = DropDuplicates(df);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2);
+}
+
+TEST(HeadTest, ClampsToLength) {
+  EXPECT_EQ(Head(Df(), 2).num_rows(), 2);
+  EXPECT_EQ(Head(Df(), 100).num_rows(), 5);
+}
+
+TEST(DropNaTest, SubsetAndAll) {
+  auto df = DataFrame::Make({"a", "b"},
+                            {Column::Int64({1, 2, 3}, {1, 0, 1}),
+                             Column::Int64({4, 5, 6}, {1, 1, 0})})
+                .MoveValue();
+  EXPECT_EQ(DropNa(df)->num_rows(), 1);
+  EXPECT_EQ(DropNa(df, {"a"})->num_rows(), 2);
+}
+
+TEST(FillNaTest, ReplacesOnlyNulls) {
+  auto df = DataFrame::Make(
+                {"a"}, {Column::Float64({1.0, 2.0, 3.0}, {1, 0, 1})})
+                .MoveValue();
+  auto r = FillNa(df, "a", Scalar::Float(-1.0));
+  ASSERT_TRUE(r.ok());
+  const Column* c = r->GetColumn("a").ValueOrDie();
+  EXPECT_EQ(c->null_count(), 0);
+  EXPECT_DOUBLE_EQ(c->float64_data()[1], -1.0);
+  EXPECT_DOUBLE_EQ(c->float64_data()[0], 1.0);
+}
+
+TEST(UniqueTest, FirstSeenOrder) {
+  auto r = Unique(Column::String({"b", "a", "b", "c", "a"}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->string_data(), (std::vector<std::string>{"b", "a", "c"}));
+}
+
+TEST(ValueCountsTest, SortedByCountDesc) {
+  auto r = ValueCounts(Column::String({"x", "y", "x", "x", "y", "z"}), "val");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetColumn("val").ValueOrDie()->string_data(),
+            (std::vector<std::string>{"x", "y", "z"}));
+  EXPECT_EQ(r->GetColumn("count").ValueOrDie()->int64_data(),
+            (std::vector<int64_t>{3, 2, 1}));
+}
+
+TEST(IlocTest, PositiveNegativeAndOutOfBounds) {
+  auto r = IlocRow(Df(), 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetColumn("s").ValueOrDie()->string_data()[0], "b");
+  auto neg = IlocRow(Df(), -1);
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ(neg->GetColumn("s").ValueOrDie()->string_data()[0], "c2");
+  EXPECT_EQ(IlocRow(Df(), 10).status().code(), StatusCode::kIndexError);
+}
+
+}  // namespace
+}  // namespace xorbits::dataframe

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "services/chunk_data.h"
+#include "services/meta_service.h"
+#include "services/storage_service.h"
+
+namespace xorbits::services {
+namespace {
+
+using dataframe::Column;
+using dataframe::DataFrame;
+using dataframe::Scalar;
+
+ChunkDataPtr DfChunk(int64_t rows) {
+  std::vector<int64_t> v(rows);
+  for (int64_t i = 0; i < rows; ++i) v[i] = i;
+  return MakeChunk(DataFrame::Make({"v"}, {Column::Int64(v)}).MoveValue());
+}
+
+Config SmallConfig(bool spill) {
+  Config c;
+  c.num_workers = 1;
+  c.bands_per_worker = 2;
+  c.band_memory_limit = 1024;  // tiny: forces pressure
+  c.enable_spill = spill;
+  c.spill_dir = "/tmp/xorbits_test_spill";
+  return c;
+}
+
+TEST(ChunkDataTest, KindsAndNbytes) {
+  ChunkDataPtr df = DfChunk(10);
+  EXPECT_TRUE(df->is_dataframe());
+  EXPECT_EQ(df->rows(), 10);
+  EXPECT_GT(df->nbytes(), 0);
+  ChunkDataPtr arr = MakeChunk(tensor::NDArray::Zeros({3, 3}));
+  EXPECT_TRUE(arr->is_ndarray());
+  EXPECT_EQ(arr->nbytes(), 72);
+  ChunkDataPtr s = MakeChunk(Scalar::Float(1.5));
+  EXPECT_TRUE(s->is_scalar());
+  EXPECT_EQ(s->rows(), 1);
+}
+
+TEST(ChunkDataTest, TypedAccessErrors) {
+  ChunkDataPtr df = DfChunk(1);
+  EXPECT_TRUE(AsDataFrame(df).ok());
+  EXPECT_FALSE(AsNDArray(df).ok());
+  EXPECT_FALSE(AsDataFrame(ChunkDataPtr()).ok());
+}
+
+TEST(ChunkDataTest, SerializeRoundTripAllKinds) {
+  for (ChunkDataPtr c :
+       {DfChunk(5), MakeChunk(tensor::NDArray::Full({2, 2}, 3.0)),
+        MakeChunk(Scalar::Int(42)), MakeChunk(Scalar::Str("hi")),
+        MakeChunk(Scalar::Null())}) {
+    auto buf = SerializeChunk(*c);
+    ASSERT_TRUE(buf.ok());
+    auto back = DeserializeChunk(*buf);
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ((*back)->nbytes(), c->nbytes());
+    EXPECT_EQ((*back)->is_dataframe(), c->is_dataframe());
+    if (c->is_scalar()) {
+      EXPECT_EQ((*back)->scalar(), c->scalar());
+    }
+  }
+  EXPECT_FALSE(DeserializeChunk("").ok());
+  EXPECT_FALSE(DeserializeChunk("Zjunk").ok());
+}
+
+TEST(MetaServiceTest, PutGetDelete) {
+  MetaService meta;
+  ChunkMeta m;
+  m.rows = 7;
+  m.columns = {"a", "b"};
+  m.band = 1;
+  meta.Put("k1", m);
+  EXPECT_TRUE(meta.Has("k1"));
+  auto got = meta.Get("k1");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->rows, 7);
+  EXPECT_EQ(got->columns.size(), 2u);
+  EXPECT_FALSE(meta.Get("missing").ok());
+  meta.Delete("k1");
+  EXPECT_FALSE(meta.Has("k1"));
+  EXPECT_EQ(meta.size(), 0);
+}
+
+TEST(StorageTest, PutGetSameBand) {
+  Metrics metrics;
+  StorageService store(SmallConfig(false), &metrics);
+  ChunkDataPtr c = DfChunk(10);
+  ASSERT_TRUE(store.Put("a", c, 0).ok());
+  EXPECT_TRUE(store.Has("a"));
+  auto got = store.Get("a", 0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->rows(), 10);
+  EXPECT_EQ(metrics.bytes_transferred.load(), 0);
+  EXPECT_EQ(*store.BandOf("a"), 0);
+  EXPECT_GT(store.band_used_bytes(0), 0);
+}
+
+TEST(StorageTest, CrossBandGetMetersTransfer) {
+  Metrics metrics;
+  StorageService store(SmallConfig(false), &metrics);
+  ChunkDataPtr c = DfChunk(10);
+  ASSERT_TRUE(store.Put("a", c, 0).ok());
+  ASSERT_TRUE(store.Get("a", 1).ok());
+  EXPECT_EQ(metrics.bytes_transferred.load(), c->nbytes());
+}
+
+TEST(StorageTest, DuplicateKeyRejected) {
+  Metrics metrics;
+  StorageService store(SmallConfig(false), &metrics);
+  ASSERT_TRUE(store.Put("a", DfChunk(1), 0).ok());
+  EXPECT_FALSE(store.Put("a", DfChunk(1), 0).ok());
+}
+
+TEST(StorageTest, OomWithoutSpill) {
+  Metrics metrics;
+  StorageService store(SmallConfig(false), &metrics);
+  // Each 50-row chunk is ~400+ bytes; the 1 KiB band fills quickly.
+  Status last = Status::OK();
+  for (int i = 0; i < 10 && last.ok(); ++i) {
+    last = store.Put("k" + std::to_string(i), DfChunk(50), 0);
+  }
+  EXPECT_TRUE(last.IsOutOfMemory());
+  EXPECT_GT(metrics.oom_events.load(), 0);
+  // The other band is unaffected.
+  EXPECT_TRUE(store.Put("other", DfChunk(50), 1).ok());
+}
+
+TEST(StorageTest, SpillThenFaultBack) {
+  Metrics metrics;
+  StorageService store(SmallConfig(true), &metrics);
+  // Overcommit band 0; spill must kick in instead of OOM.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(store.Put("k" + std::to_string(i), DfChunk(40), 0).ok())
+        << i;
+  }
+  EXPECT_GT(metrics.spill_events.load(), 0);
+  EXPECT_GT(metrics.bytes_spilled.load(), 0);
+  // Oldest chunk was spilled; Get faults it back with identical content.
+  auto got = store.Get("k0", 0);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ((*got)->rows(), 40);
+  EXPECT_EQ((*got)->dataframe().GetColumn("v").ValueOrDie()->int64_data()[7],
+            7);
+}
+
+TEST(StorageTest, ChunkLargerThanBandAlwaysOoms) {
+  Metrics metrics;
+  StorageService store(SmallConfig(true), &metrics);
+  EXPECT_TRUE(store.Put("big", DfChunk(100000), 0).IsOutOfMemory());
+}
+
+TEST(StorageTest, DeleteFreesBudget) {
+  Metrics metrics;
+  StorageService store(SmallConfig(false), &metrics);
+  ASSERT_TRUE(store.Put("a", DfChunk(50), 0).ok());
+  int64_t used = store.band_used_bytes(0);
+  EXPECT_GT(used, 0);
+  ASSERT_TRUE(store.Delete("a").ok());
+  EXPECT_EQ(store.band_used_bytes(0), 0);
+  EXPECT_FALSE(store.Delete("a").ok());
+  EXPECT_FALSE(store.Get("a", 0).ok());
+}
+
+TEST(StorageTest, TransientReservation) {
+  Metrics metrics;
+  StorageService store(SmallConfig(false), &metrics);
+  ASSERT_TRUE(store.ReserveTransient(0, 800).ok());
+  // Band nearly full: a big put must fail...
+  EXPECT_TRUE(store.Put("a", DfChunk(50), 0).IsOutOfMemory());
+  store.ReleaseTransient(0, 800);
+  // ...and succeed after release.
+  EXPECT_TRUE(store.Put("a", DfChunk(50), 0).ok());
+}
+
+TEST(StorageTest, ClearResetsEverything) {
+  Metrics metrics;
+  StorageService store(SmallConfig(false), &metrics);
+  ASSERT_TRUE(store.Put("a", DfChunk(10), 1).ok());
+  store.Clear();
+  EXPECT_FALSE(store.Has("a"));
+  EXPECT_EQ(store.band_used_bytes(1), 0);
+}
+
+}  // namespace
+}  // namespace xorbits::services

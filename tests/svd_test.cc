@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/xorbits.h"
+#include "tensor/ndarray.h"
+
+namespace xorbits {
+namespace {
+
+using tensor::MatMul;
+using tensor::MaxAbsDiff;
+using tensor::NDArray;
+using tensor::SVDDecompose;
+using tensor::Transpose;
+
+void ExpectSvdInvariants(const NDArray& a, const NDArray& u,
+                         const NDArray& s, const NDArray& vt,
+                         double tol = 1e-8) {
+  const int64_t n = a.cols();
+  ASSERT_EQ(u.shape(), (std::vector<int64_t>{a.rows(), n}));
+  ASSERT_EQ(s.shape(), (std::vector<int64_t>{n}));
+  ASSERT_EQ(vt.shape(), (std::vector<int64_t>{n, n}));
+  // Singular values descending and non-negative.
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_GE(s.at(i), -tol);
+    if (i > 0) EXPECT_LE(s.at(i), s.at(i - 1) + tol);
+  }
+  // U^T U = I, V V^T = I.
+  EXPECT_LT(*MaxAbsDiff(*MatMul(*Transpose(u), u), NDArray::Eye(n)), tol);
+  EXPECT_LT(*MaxAbsDiff(*MatMul(vt, *Transpose(vt)), NDArray::Eye(n)), tol);
+  // A = U diag(S) V^T.
+  NDArray us = u;
+  for (int64_t i = 0; i < us.rows(); ++i) {
+    for (int64_t j = 0; j < n; ++j) us.at(i, j) *= s.at(j);
+  }
+  EXPECT_LT(*MaxAbsDiff(a, *MatMul(us, vt)), tol);
+}
+
+TEST(SvdKernelTest, RandomTallMatrix) {
+  Rng rng(21);
+  NDArray a = NDArray::RandomNormal({60, 6}, rng);
+  NDArray u, s, vt;
+  ASSERT_TRUE(SVDDecompose(a, &u, &s, &vt).ok());
+  ExpectSvdInvariants(a, u, s, vt);
+}
+
+TEST(SvdKernelTest, SquareMatrix) {
+  Rng rng(5);
+  NDArray a = NDArray::RandomNormal({8, 8}, rng);
+  NDArray u, s, vt;
+  ASSERT_TRUE(SVDDecompose(a, &u, &s, &vt).ok());
+  ExpectSvdInvariants(a, u, s, vt);
+}
+
+TEST(SvdKernelTest, KnownSingularValues) {
+  // diag(3, 2, 1) has singular values 3, 2, 1.
+  NDArray a = NDArray::Zeros({3, 3});
+  a.at(0, 0) = 3;
+  a.at(1, 1) = 2;
+  a.at(2, 2) = 1;
+  NDArray u, s, vt;
+  ASSERT_TRUE(SVDDecompose(a, &u, &s, &vt).ok());
+  EXPECT_NEAR(s.at(0), 3.0, 1e-10);
+  EXPECT_NEAR(s.at(1), 2.0, 1e-10);
+  EXPECT_NEAR(s.at(2), 1.0, 1e-10);
+}
+
+TEST(SvdKernelTest, RankDeficient) {
+  // Column 2 = 2 x column 1: one zero singular value.
+  auto a = NDArray::Make({1, 2, 2, 4, 3, 6, 4, 8}, {4, 2}).MoveValue();
+  NDArray u, s, vt;
+  ASSERT_TRUE(SVDDecompose(a, &u, &s, &vt).ok());
+  EXPECT_NEAR(s.at(1), 0.0, 1e-9);
+  ExpectSvdInvariants(a, u, s, vt, 1e-7);
+}
+
+TEST(SvdKernelTest, WideRejected) {
+  NDArray u, s, vt;
+  EXPECT_FALSE(SVDDecompose(NDArray::Zeros({2, 5}), &u, &s, &vt).ok());
+}
+
+TEST(SvdDistributedTest, MatchesInvariantsAcrossChunks) {
+  Config c;
+  c.num_workers = 2;
+  c.bands_per_worker = 2;
+  c.chunk_store_limit = 1 << 14;  // multiple tall-skinny blocks
+  core::Session session(std::move(c));
+  auto a = RandomNormal(&session, {600, 12}, 9);
+  auto svd = a->SVD();
+  ASSERT_TRUE(svd.ok()) << svd.status();
+  auto [u_ref, s_ref, vt_ref] = *svd;
+  auto u = u_ref.Fetch();
+  auto s = s_ref.Fetch();
+  auto vt = vt_ref.Fetch();
+  ASSERT_TRUE(u.ok()) << u.status();
+  ASSERT_TRUE(s.ok()) << s.status();
+  ASSERT_TRUE(vt.ok()) << vt.status();
+  auto full = a->Fetch();
+  ASSERT_TRUE(full.ok());
+  ExpectSvdInvariants(*full, *u, *s, *vt, 1e-7);
+}
+
+TEST(SvdDistributedTest, AgreesWithSingleNodeSingularValues) {
+  Config c;
+  c.num_workers = 1;
+  c.bands_per_worker = 2;
+  c.chunk_store_limit = 1 << 14;
+  core::Session session(std::move(c));
+  auto a = RandomNormal(&session, {400, 5}, 17);
+  auto svd = a->SVD();
+  ASSERT_TRUE(svd.ok());
+  auto s = std::get<1>(*svd).Fetch();
+  ASSERT_TRUE(s.ok()) << s.status();
+  auto full = a->Fetch();
+  tensor::NDArray u1, s1, vt1;
+  ASSERT_TRUE(SVDDecompose(*full, &u1, &s1, &vt1).ok());
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(s->at(i), s1.at(i), 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace xorbits

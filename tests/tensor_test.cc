@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ndarray.h"
+
+namespace xorbits::tensor {
+namespace {
+
+TEST(NDArrayTest, MakeValidatesShape) {
+  EXPECT_TRUE(NDArray::Make({1, 2, 3, 4}, {2, 2}).ok());
+  EXPECT_FALSE(NDArray::Make({1, 2, 3}, {2, 2}).ok());
+  EXPECT_FALSE(NDArray::Make({1}, {1, 1, 1}).ok());  // rank 3 unsupported
+  EXPECT_FALSE(NDArray::Make({}, {-1}).ok());
+}
+
+TEST(NDArrayTest, AccessorsRowMajor) {
+  auto a = NDArray::Make({1, 2, 3, 4, 5, 6}, {2, 3}).MoveValue();
+  EXPECT_EQ(a.rows(), 2);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_DOUBLE_EQ(a.at(1, 2), 6);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 2);
+  EXPECT_EQ(a.nbytes(), 48);
+}
+
+TEST(NDArrayTest, ZerosFullEye) {
+  EXPECT_DOUBLE_EQ(SumAll(NDArray::Zeros({3, 3})), 0.0);
+  EXPECT_DOUBLE_EQ(SumAll(NDArray::Full({2, 2}, 1.5)), 6.0);
+  NDArray eye = NDArray::Eye(3);
+  EXPECT_DOUBLE_EQ(SumAll(eye), 3.0);
+  EXPECT_DOUBLE_EQ(eye.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye.at(0, 1), 0.0);
+}
+
+TEST(NDArrayTest, SliceRowsAndCols) {
+  auto a = NDArray::Make({1, 2, 3, 4, 5, 6}, {3, 2}).MoveValue();
+  NDArray s = a.SliceRows(1, 3);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 3);
+  auto c = a.SliceCols(1, 2);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->cols(), 1);
+  EXPECT_DOUBLE_EQ(c->at(2, 0), 6);
+  // Clamping.
+  EXPECT_EQ(a.SliceRows(2, 100).rows(), 1);
+}
+
+TEST(ElementwiseTest, AddSubMulDiv) {
+  auto a = NDArray::Make({1, 2, 3, 4}, {2, 2}).MoveValue();
+  auto b = NDArray::Make({4, 3, 2, 1}, {2, 2}).MoveValue();
+  EXPECT_DOUBLE_EQ(Add(a, b)->at(0, 0), 5);
+  EXPECT_DOUBLE_EQ(Sub(a, b)->at(1, 1), 3);
+  EXPECT_DOUBLE_EQ(Mul(a, b)->at(0, 1), 6);
+  EXPECT_DOUBLE_EQ(Div(a, b)->at(1, 0), 1.5);
+  EXPECT_FALSE(Add(a, NDArray::Zeros({3, 3})).ok());
+}
+
+TEST(ElementwiseTest, ScalarAndUnary) {
+  auto a = NDArray::Make({1, 4}, {2}).MoveValue();
+  EXPECT_DOUBLE_EQ(AddScalar(a, 1).at(1), 5);
+  EXPECT_DOUBLE_EQ(MulScalar(a, 2).at(0), 2);
+  EXPECT_DOUBLE_EQ(Sqrt(a).at(1), 2);
+  EXPECT_NEAR(Exp(NDArray::Zeros({1})).at(0), 1.0, 1e-12);
+}
+
+TEST(MatMulTest, KnownProduct) {
+  auto a = NDArray::Make({1, 2, 3, 4, 5, 6}, {2, 3}).MoveValue();
+  auto b = NDArray::Make({7, 8, 9, 10, 11, 12}, {3, 2}).MoveValue();
+  auto c = MatMul(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->at(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c->at(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c->at(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c->at(1, 1), 154);
+  EXPECT_FALSE(MatMul(a, a).ok());  // inner dim mismatch
+}
+
+TEST(TransposeTest, RoundTrip) {
+  Rng rng(5);
+  NDArray a = NDArray::RandomUniform({4, 7}, rng);
+  auto t = Transpose(a);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->rows(), 7);
+  auto tt = Transpose(*t);
+  EXPECT_DOUBLE_EQ(*MaxAbsDiff(a, *tt), 0.0);
+}
+
+TEST(QRTest, ReconstructsInput) {
+  Rng rng(11);
+  NDArray a = NDArray::RandomNormal({20, 5}, rng);
+  NDArray q, r;
+  ASSERT_TRUE(QRDecompose(a, &q, &r).ok());
+  EXPECT_EQ(q.shape(), (std::vector<int64_t>{20, 5}));
+  EXPECT_EQ(r.shape(), (std::vector<int64_t>{5, 5}));
+  // A == Q R.
+  auto qr = MatMul(q, r);
+  EXPECT_LT(*MaxAbsDiff(a, *qr), 1e-10);
+  // Q^T Q == I.
+  auto qtq = MatMul(*Transpose(q), q);
+  EXPECT_LT(*MaxAbsDiff(*qtq, NDArray::Eye(5)), 1e-10);
+  // R upper triangular.
+  for (int64_t i = 1; i < 5; ++i) {
+    for (int64_t j = 0; j < i; ++j) EXPECT_DOUBLE_EQ(r.at(i, j), 0.0);
+  }
+}
+
+TEST(QRTest, SquareMatrix) {
+  Rng rng(2);
+  NDArray a = NDArray::RandomNormal({6, 6}, rng);
+  NDArray q, r;
+  ASSERT_TRUE(QRDecompose(a, &q, &r).ok());
+  EXPECT_LT(*MaxAbsDiff(a, *MatMul(q, r)), 1e-10);
+}
+
+TEST(QRTest, WideMatrixRejected) {
+  NDArray q, r;
+  EXPECT_FALSE(QRDecompose(NDArray::Zeros({2, 5}), &q, &r).ok());
+}
+
+TEST(QRTest, RankDeficientStillFactors) {
+  // Second column is 2x the first.
+  auto a = NDArray::Make({1, 2, 2, 4, 3, 6}, {3, 2}).MoveValue();
+  NDArray q, r;
+  ASSERT_TRUE(QRDecompose(a, &q, &r).ok());
+  EXPECT_LT(*MaxAbsDiff(a, *MatMul(q, r)), 1e-10);
+}
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  Rng rng(3);
+  NDArray x_true = NDArray::RandomNormal({4, 1}, rng);
+  NDArray m = NDArray::RandomNormal({8, 4}, rng);
+  NDArray a = *MatMul(*Transpose(m), m);  // SPD (w.h.p.)
+  NDArray b = *MatMul(a, x_true);
+  auto x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok()) << x.status();
+  EXPECT_LT(*MaxAbsDiff(*x, x_true), 1e-8);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  auto a = NDArray::Make({0, 1, 1, 0}, {2, 2}).MoveValue();
+  EXPECT_FALSE(CholeskySolve(a, NDArray::Zeros({2, 1})).ok());
+}
+
+TEST(StackTest, VStackAndHStack) {
+  auto a = NDArray::Make({1, 2}, {1, 2}).MoveValue();
+  auto b = NDArray::Make({3, 4, 5, 6}, {2, 2}).MoveValue();
+  auto v = VStack({&a, &b});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->rows(), 3);
+  EXPECT_DOUBLE_EQ(v->at(2, 1), 6);
+  auto h = HStack({&b, &b});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->cols(), 4);
+  EXPECT_DOUBLE_EQ(h->at(1, 3), 6);
+  NDArray wide = NDArray::Zeros({1, 3});
+  EXPECT_FALSE(VStack({&a, &wide}).ok());
+}
+
+TEST(ReductionTest, SumNormMaxAbs) {
+  auto a = NDArray::Make({3, -4}, {2}).MoveValue();
+  EXPECT_DOUBLE_EQ(SumAll(a), -1);
+  EXPECT_DOUBLE_EQ(Norm(a), 5);
+  EXPECT_DOUBLE_EQ(MaxAbs(a), 4);
+}
+
+TEST(RandomTest, SeededReproducible) {
+  Rng r1(9), r2(9);
+  NDArray a = NDArray::RandomUniform({5, 5}, r1);
+  NDArray b = NDArray::RandomUniform({5, 5}, r2);
+  EXPECT_DOUBLE_EQ(*MaxAbsDiff(a, b), 0.0);
+  for (double v : a.data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+// Distributed TSQR building block: stacking per-chunk R factors and
+// re-factorizing must reproduce the full R (up to sign).
+TEST(QRTest, TsqrTwoLevelAgreesWithDirect) {
+  Rng rng(17);
+  NDArray a = NDArray::RandomNormal({40, 4}, rng);
+  NDArray q_full, r_full;
+  ASSERT_TRUE(QRDecompose(a, &q_full, &r_full).ok());
+
+  std::vector<NDArray> rs;
+  for (int64_t off = 0; off < 40; off += 10) {
+    NDArray qi, ri;
+    ASSERT_TRUE(QRDecompose(a.SliceRows(off, off + 10), &qi, &ri).ok());
+    rs.push_back(ri);
+  }
+  std::vector<const NDArray*> ptrs;
+  for (const auto& r : rs) ptrs.push_back(&r);
+  NDArray stacked = VStack(ptrs).MoveValue();
+  NDArray q2, r2;
+  ASSERT_TRUE(QRDecompose(stacked, &q2, &r2).ok());
+  // Compare |R| elementwise (QR is unique up to row signs).
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(std::fabs(r2.at(i, j)), std::fabs(r_full.at(i, j)), 1e-8);
+    }
+  }
+}
+
+class ShapeSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ShapeSweep, QrInvariantsHold) {
+  auto [m, n] = GetParam();
+  Rng rng(m * 100 + n);
+  NDArray a = NDArray::RandomNormal({m, n}, rng);
+  NDArray q, r;
+  ASSERT_TRUE(QRDecompose(a, &q, &r).ok());
+  EXPECT_LT(*MaxAbsDiff(a, *MatMul(q, r)), 1e-9);
+  EXPECT_LT(*MaxAbsDiff(*MatMul(*Transpose(q), q),
+                        NDArray::Eye(n)),
+            1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ShapeSweep,
+                         ::testing::Values(std::pair{1, 1}, std::pair{5, 1},
+                                           std::pair{8, 8}, std::pair{30, 3},
+                                           std::pair{64, 16}));
+
+}  // namespace
+}  // namespace xorbits::tensor

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "dataframe/compute.h"
+#include "dataframe/kernels.h"
+#include "io/tpch_gen.h"
+#include "tiling/auto_rechunk.h"
+#include "workloads/api_coverage.h"
+#include "workloads/array_workloads.h"
+#include "workloads/pipelines.h"
+#include "workloads/tpch_queries.h"
+
+namespace xorbits::workloads {
+namespace {
+
+Config SmallCluster(EngineKind kind = EngineKind::kXorbits) {
+  Config c = Config::Preset(kind);
+  c.num_workers = 2;
+  c.bands_per_worker = 2;
+  c.band_memory_limit = 256LL << 20;
+  c.chunk_store_limit = 256LL << 10;
+  c.task_deadline_ms = 60000;
+  return c;
+}
+
+class TpchQueryTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string(
+        (std::filesystem::temp_directory_path() / "xorbits_tpch_q").string());
+    ASSERT_TRUE(io::tpch::GenerateFiles(0.002, *dir_).ok());
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*dir_);
+    delete dir_;
+  }
+  static std::string* dir_;
+};
+std::string* TpchQueryTest::dir_ = nullptr;
+
+TEST_P(TpchQueryTest, RunsOnXorbits) {
+  core::Session session(SmallCluster());
+  auto result = tpch::RunQuery(GetParam(), &session, *dir_);
+  ASSERT_TRUE(result.ok()) << "Q" << GetParam() << ": " << result.status();
+  // Every query returns a well-formed (possibly small) table.
+  EXPECT_GT(result->num_columns(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All22, TpchQueryTest, ::testing::Range(1, 23));
+
+TEST(TpchQueryValuesTest, Q1AggregatesMatchDirectComputation) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "xorbits_tpch_v").string();
+  ASSERT_TRUE(io::tpch::GenerateFiles(0.002, dir).ok());
+  core::Session session(SmallCluster());
+  auto q1 = tpch::RunQuery(1, &session, dir);
+  ASSERT_TRUE(q1.ok()) << q1.status();
+  // Direct single-node recomputation of the grand total quantity.
+  auto tables = io::tpch::Generate(0.002);
+  ASSERT_TRUE(tables.ok());
+  const auto& l = tables->lineitem;
+  auto cutoff = dataframe::ParseDate("1998-09-02");
+  double direct_qty = 0;
+  const auto& ship = l.GetColumn("l_shipdate").ValueOrDie()->int64_data();
+  const auto& qty = l.GetColumn("l_quantity").ValueOrDie()->int64_data();
+  for (size_t i = 0; i < ship.size(); ++i) {
+    if (ship[i] <= *cutoff) direct_qty += qty[i];
+  }
+  double engine_qty = 0;
+  const dataframe::Column* sum_qty =
+      q1->GetColumn("sum_qty").ValueOrDie();
+  for (int64_t i = 0; i < sum_qty->length(); ++i) {
+    engine_qty += sum_qty->GetDouble(i);
+  }
+  EXPECT_NEAR(engine_qty, direct_qty, 1e-6);
+  // Q1 has the classic 4-ish groups (returnflag x linestatus).
+  EXPECT_GE(q1->num_rows(), 3);
+  EXPECT_LE(q1->num_rows(), 6);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TpchQueryValuesTest, Q6MatchesDirectComputation) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "xorbits_tpch_q6").string();
+  ASSERT_TRUE(io::tpch::GenerateFiles(0.002, dir).ok());
+  core::Session session(SmallCluster());
+  auto q6 = tpch::RunQuery(6, &session, dir);
+  ASSERT_TRUE(q6.ok()) << q6.status();
+  auto tables = io::tpch::Generate(0.002);
+  const auto& l = tables->lineitem;
+  const auto& ship = l.GetColumn("l_shipdate").ValueOrDie()->int64_data();
+  const auto& disc = l.GetColumn("l_discount").ValueOrDie()->float64_data();
+  const auto& qty = l.GetColumn("l_quantity").ValueOrDie()->int64_data();
+  const auto& price =
+      l.GetColumn("l_extendedprice").ValueOrDie()->float64_data();
+  const int64_t d0 = *dataframe::ParseDate("1994-01-01");
+  const int64_t d1 = *dataframe::ParseDate("1995-01-01");
+  double direct = 0;
+  for (size_t i = 0; i < ship.size(); ++i) {
+    if (ship[i] >= d0 && ship[i] < d1 && disc[i] >= 0.05 &&
+        disc[i] <= 0.07 && qty[i] < 24) {
+      direct += price[i] * disc[i];
+    }
+  }
+  EXPECT_NEAR(q6->GetColumn("revenue").ValueOrDie()->GetDouble(0), direct,
+              1e-6);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TpchQueryValuesTest, BadQueryNumberRejected) {
+  core::Session session(SmallCluster());
+  EXPECT_FALSE(tpch::RunQuery(0, &session, "/tmp").ok());
+  EXPECT_FALSE(tpch::RunQuery(23, &session, "/tmp").ok());
+}
+
+TEST(PipelineTest, UC10ProducesPerCustomerFeatures) {
+  core::Session session(SmallCluster());
+  auto r = pipelines::TpcxAiUC10(&session, 20000, 200);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r->num_rows(), 10);
+  EXPECT_LE(r->num_rows(), 200);
+  EXPECT_TRUE(r->HasColumn("risk_weighted"));
+  // Total tx count across customers equals the filtered transaction count.
+  auto trans = pipelines::MakeTransactions(20000, 200, 1.6, 43);
+  const auto& amount =
+      trans.GetColumn("amount").ValueOrDie()->float64_data();
+  int64_t expected = 0;
+  for (double a : amount) {
+    if (a > 10.0) ++expected;
+  }
+  const dataframe::Column* n = r->GetColumn("tx_count").ValueOrDie();
+  int64_t got = 0;
+  for (int64_t i = 0; i < n->length(); ++i) got += n->int64_data()[i];
+  EXPECT_EQ(got, expected);
+}
+
+TEST(PipelineTest, UC10SkewIsReal) {
+  auto trans = pipelines::MakeTransactions(50000, 500, 1.6, 43);
+  auto counts = dataframe::ValueCounts(
+      *trans.GetColumn("customer_id").ValueOrDie(), "cid");
+  ASSERT_TRUE(counts.ok());
+  // The hottest customer holds a large share of all rows: genuine skew.
+  EXPECT_GT(counts->GetColumn("count").ValueOrDie()->int64_data()[0],
+            50000 / 10);
+}
+
+TEST(PipelineTest, CensusPipeline) {
+  core::Session session(SmallCluster());
+  auto r = pipelines::Census(&session, 20000, 44);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->num_rows(), 12);  // 4 workclasses x 3 marital statuses
+  EXPECT_TRUE(r->HasColumn("avg_age"));
+}
+
+TEST(PipelineTest, PlasticcPipeline) {
+  core::Session session(SmallCluster());
+  auto r = pipelines::Plasticc(&session, 30000, 300, 45);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->num_rows(), 300);
+  EXPECT_TRUE(r->HasColumn("flux_std"));
+  EXPECT_TRUE(r->HasColumn("duration"));
+}
+
+TEST(ArrayWorkloadTest, QrProducesUpperTriangularR) {
+  core::Session session(SmallCluster());
+  auto r = arrays::RunQR(&session, 2000, 16);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->shape(), (std::vector<int64_t>{16, 16}));
+  for (int64_t i = 1; i < 16; ++i) {
+    for (int64_t j = 0; j < i; ++j) {
+      EXPECT_NEAR(r->at(i, j), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(ArrayWorkloadTest, LinearRegressionRecoversOnes) {
+  core::Session session(SmallCluster());
+  auto beta = arrays::RunLinearRegression(&session, 4000, 8);
+  ASSERT_TRUE(beta.ok()) << beta.status();
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(beta->at(i, 0), 1.0, 0.05);
+  }
+}
+
+TEST(CoverageTest, RatesMatchPaperTableV) {
+  auto x = coverage::RunCoverage(EngineKind::kXorbits);
+  EXPECT_EQ(x.passed, 29) << ::testing::PrintToString(x.failures);
+  auto m = coverage::RunCoverage(EngineKind::kModinLike);
+  EXPECT_EQ(m.passed, 29) << ::testing::PrintToString(m.failures);
+  auto d = coverage::RunCoverage(EngineKind::kDaskLike);
+  EXPECT_EQ(d.passed, 14) << ::testing::PrintToString(d.failures);
+  auto s = coverage::RunCoverage(EngineKind::kSparkLike);
+  EXPECT_EQ(s.passed, 11) << ::testing::PrintToString(s.failures);
+  EXPECT_EQ(x.total, 30);
+  EXPECT_NEAR(x.rate(), 96.7, 0.1);
+  EXPECT_NEAR(d.rate(), 46.7, 0.1);
+  EXPECT_NEAR(s.rate(), 36.7, 0.1);
+  EXPECT_GE(x.native_executed, 18);
+}
+
+TEST(AutoRechunkTest, PaperWorkedExample) {
+  // shape (10000, 10000), dim 1 fixed at 10000, 8-byte items, 128 MiB limit
+  // -> row chunks 1677, ..., remainder 1615 (paper §V-D).
+  auto r = tiling::AutoRechunk({10000, 10000}, {{1, 10000}}, 8, 128LL << 20);
+  ASSERT_TRUE(r.ok());
+  const auto& rows = (*r)[0];
+  ASSERT_EQ((*r)[1], (std::vector<int64_t>{10000}));
+  EXPECT_EQ(rows[0], 1677);
+  EXPECT_EQ(rows.back(), 1615);
+  int64_t total = 0;
+  for (int64_t v : rows) total += v;
+  EXPECT_EQ(total, 10000);
+}
+
+TEST(AutoRechunkTest, UnconstrainedSplitsEvenly) {
+  auto r = tiling::AutoRechunk({1000}, {}, 8, 800);
+  ASSERT_TRUE(r.ok());
+  int64_t total = 0;
+  for (int64_t v : (*r)[0]) {
+    EXPECT_LE(v * 8, 800);
+    total += v;
+  }
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(AutoRechunkTest, RejectsBadInput) {
+  EXPECT_FALSE(tiling::AutoRechunk({}, {}, 8, 100).ok());
+  EXPECT_FALSE(tiling::AutoRechunk({10}, {{3, 5}}, 8, 100).ok());
+  EXPECT_FALSE(tiling::AutoRechunk({10}, {{0, 50}}, 8, 100).ok());
+  EXPECT_FALSE(tiling::AutoRechunk({10}, {}, 0, 100).ok());
+}
+
+}  // namespace
+}  // namespace xorbits::workloads
