@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8cd_arrays.dir/bench_fig8cd_arrays.cc.o"
+  "CMakeFiles/bench_fig8cd_arrays.dir/bench_fig8cd_arrays.cc.o.d"
+  "bench_fig8cd_arrays"
+  "bench_fig8cd_arrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8cd_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/xorbits_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xorbits_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tiling/CMakeFiles/xorbits_tiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/xorbits_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/xorbits_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/operators/CMakeFiles/xorbits_operators.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/xorbits_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/xorbits_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/xorbits_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/xorbits_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/xorbits_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tiling/CMakeFiles/xorbits_tiling_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xorbits_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

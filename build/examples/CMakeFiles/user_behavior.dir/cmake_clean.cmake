@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_behavior.dir/user_behavior.cpp.o"
+  "CMakeFiles/user_behavior.dir/user_behavior.cpp.o.d"
+  "user_behavior"
+  "user_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("dataframe")
+subdirs("tensor")
+subdirs("io")
+subdirs("graph")
+subdirs("services")
+subdirs("operators")
+subdirs("scheduler")
+subdirs("optimizer")
+subdirs("tiling")
+subdirs("core")
+subdirs("workloads")

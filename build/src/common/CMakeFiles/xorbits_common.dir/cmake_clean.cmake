@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xorbits_common.dir/config.cc.o"
+  "CMakeFiles/xorbits_common.dir/config.cc.o.d"
+  "CMakeFiles/xorbits_common.dir/logging.cc.o"
+  "CMakeFiles/xorbits_common.dir/logging.cc.o.d"
+  "CMakeFiles/xorbits_common.dir/metrics.cc.o"
+  "CMakeFiles/xorbits_common.dir/metrics.cc.o.d"
+  "CMakeFiles/xorbits_common.dir/random.cc.o"
+  "CMakeFiles/xorbits_common.dir/random.cc.o.d"
+  "CMakeFiles/xorbits_common.dir/status.cc.o"
+  "CMakeFiles/xorbits_common.dir/status.cc.o.d"
+  "CMakeFiles/xorbits_common.dir/thread_pool.cc.o"
+  "CMakeFiles/xorbits_common.dir/thread_pool.cc.o.d"
+  "libxorbits_common.a"
+  "libxorbits_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xorbits_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

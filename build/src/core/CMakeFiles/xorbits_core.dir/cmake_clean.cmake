@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xorbits_core.dir/session.cc.o"
+  "CMakeFiles/xorbits_core.dir/session.cc.o.d"
+  "CMakeFiles/xorbits_core.dir/xorbits.cc.o"
+  "CMakeFiles/xorbits_core.dir/xorbits.cc.o.d"
+  "libxorbits_core.a"
+  "libxorbits_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xorbits_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

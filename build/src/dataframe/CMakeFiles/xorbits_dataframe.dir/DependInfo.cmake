@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataframe/column.cc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/column.cc.o" "gcc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/column.cc.o.d"
+  "/root/repo/src/dataframe/compute.cc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/compute.cc.o" "gcc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/compute.cc.o.d"
+  "/root/repo/src/dataframe/dataframe.cc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/dataframe.cc.o" "gcc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/dataframe.cc.o.d"
+  "/root/repo/src/dataframe/dtype.cc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/dtype.cc.o" "gcc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/dtype.cc.o.d"
+  "/root/repo/src/dataframe/groupby.cc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/groupby.cc.o" "gcc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/groupby.cc.o.d"
+  "/root/repo/src/dataframe/index.cc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/index.cc.o" "gcc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/index.cc.o.d"
+  "/root/repo/src/dataframe/join.cc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/join.cc.o" "gcc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/join.cc.o.d"
+  "/root/repo/src/dataframe/kernels.cc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/kernels.cc.o" "gcc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/kernels.cc.o.d"
+  "/root/repo/src/dataframe/reshape.cc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/reshape.cc.o" "gcc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/reshape.cc.o.d"
+  "/root/repo/src/dataframe/scalar.cc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/scalar.cc.o" "gcc" "src/dataframe/CMakeFiles/xorbits_dataframe.dir/scalar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xorbits_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

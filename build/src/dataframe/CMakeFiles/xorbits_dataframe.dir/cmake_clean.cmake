@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xorbits_dataframe.dir/column.cc.o"
+  "CMakeFiles/xorbits_dataframe.dir/column.cc.o.d"
+  "CMakeFiles/xorbits_dataframe.dir/compute.cc.o"
+  "CMakeFiles/xorbits_dataframe.dir/compute.cc.o.d"
+  "CMakeFiles/xorbits_dataframe.dir/dataframe.cc.o"
+  "CMakeFiles/xorbits_dataframe.dir/dataframe.cc.o.d"
+  "CMakeFiles/xorbits_dataframe.dir/dtype.cc.o"
+  "CMakeFiles/xorbits_dataframe.dir/dtype.cc.o.d"
+  "CMakeFiles/xorbits_dataframe.dir/groupby.cc.o"
+  "CMakeFiles/xorbits_dataframe.dir/groupby.cc.o.d"
+  "CMakeFiles/xorbits_dataframe.dir/index.cc.o"
+  "CMakeFiles/xorbits_dataframe.dir/index.cc.o.d"
+  "CMakeFiles/xorbits_dataframe.dir/join.cc.o"
+  "CMakeFiles/xorbits_dataframe.dir/join.cc.o.d"
+  "CMakeFiles/xorbits_dataframe.dir/kernels.cc.o"
+  "CMakeFiles/xorbits_dataframe.dir/kernels.cc.o.d"
+  "CMakeFiles/xorbits_dataframe.dir/reshape.cc.o"
+  "CMakeFiles/xorbits_dataframe.dir/reshape.cc.o.d"
+  "CMakeFiles/xorbits_dataframe.dir/scalar.cc.o"
+  "CMakeFiles/xorbits_dataframe.dir/scalar.cc.o.d"
+  "libxorbits_dataframe.a"
+  "libxorbits_dataframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xorbits_dataframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

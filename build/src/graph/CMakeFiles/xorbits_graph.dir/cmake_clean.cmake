@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xorbits_graph.dir/coloring.cc.o"
+  "CMakeFiles/xorbits_graph.dir/coloring.cc.o.d"
+  "CMakeFiles/xorbits_graph.dir/graph.cc.o"
+  "CMakeFiles/xorbits_graph.dir/graph.cc.o.d"
+  "libxorbits_graph.a"
+  "libxorbits_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xorbits_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

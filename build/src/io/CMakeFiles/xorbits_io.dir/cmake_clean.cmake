@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xorbits_io.dir/csv.cc.o"
+  "CMakeFiles/xorbits_io.dir/csv.cc.o.d"
+  "CMakeFiles/xorbits_io.dir/serialize.cc.o"
+  "CMakeFiles/xorbits_io.dir/serialize.cc.o.d"
+  "CMakeFiles/xorbits_io.dir/tpch_gen.cc.o"
+  "CMakeFiles/xorbits_io.dir/tpch_gen.cc.o.d"
+  "CMakeFiles/xorbits_io.dir/xparquet.cc.o"
+  "CMakeFiles/xorbits_io.dir/xparquet.cc.o.d"
+  "libxorbits_io.a"
+  "libxorbits_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xorbits_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xorbits_operators.dir/dataframe_ops.cc.o"
+  "CMakeFiles/xorbits_operators.dir/dataframe_ops.cc.o.d"
+  "CMakeFiles/xorbits_operators.dir/expr.cc.o"
+  "CMakeFiles/xorbits_operators.dir/expr.cc.o.d"
+  "CMakeFiles/xorbits_operators.dir/groupby_op.cc.o"
+  "CMakeFiles/xorbits_operators.dir/groupby_op.cc.o.d"
+  "CMakeFiles/xorbits_operators.dir/merge_op.cc.o"
+  "CMakeFiles/xorbits_operators.dir/merge_op.cc.o.d"
+  "CMakeFiles/xorbits_operators.dir/operator.cc.o"
+  "CMakeFiles/xorbits_operators.dir/operator.cc.o.d"
+  "CMakeFiles/xorbits_operators.dir/source_ops.cc.o"
+  "CMakeFiles/xorbits_operators.dir/source_ops.cc.o.d"
+  "CMakeFiles/xorbits_operators.dir/tensor_ops.cc.o"
+  "CMakeFiles/xorbits_operators.dir/tensor_ops.cc.o.d"
+  "CMakeFiles/xorbits_operators.dir/window_ops.cc.o"
+  "CMakeFiles/xorbits_operators.dir/window_ops.cc.o.d"
+  "libxorbits_operators.a"
+  "libxorbits_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xorbits_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

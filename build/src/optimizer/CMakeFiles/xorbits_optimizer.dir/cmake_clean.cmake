@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xorbits_optimizer.dir/column_pruning.cc.o"
+  "CMakeFiles/xorbits_optimizer.dir/column_pruning.cc.o.d"
+  "CMakeFiles/xorbits_optimizer.dir/fusion.cc.o"
+  "CMakeFiles/xorbits_optimizer.dir/fusion.cc.o.d"
+  "CMakeFiles/xorbits_optimizer.dir/op_fusion.cc.o"
+  "CMakeFiles/xorbits_optimizer.dir/op_fusion.cc.o.d"
+  "libxorbits_optimizer.a"
+  "libxorbits_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xorbits_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

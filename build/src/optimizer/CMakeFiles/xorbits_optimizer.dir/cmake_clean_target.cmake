@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxorbits_optimizer.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xorbits_scheduler.dir/band.cc.o"
+  "CMakeFiles/xorbits_scheduler.dir/band.cc.o.d"
+  "CMakeFiles/xorbits_scheduler.dir/executor.cc.o"
+  "CMakeFiles/xorbits_scheduler.dir/executor.cc.o.d"
+  "CMakeFiles/xorbits_scheduler.dir/placement.cc.o"
+  "CMakeFiles/xorbits_scheduler.dir/placement.cc.o.d"
+  "libxorbits_scheduler.a"
+  "libxorbits_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xorbits_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

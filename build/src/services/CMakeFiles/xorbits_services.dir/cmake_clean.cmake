@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xorbits_services.dir/chunk_data.cc.o"
+  "CMakeFiles/xorbits_services.dir/chunk_data.cc.o.d"
+  "CMakeFiles/xorbits_services.dir/meta_service.cc.o"
+  "CMakeFiles/xorbits_services.dir/meta_service.cc.o.d"
+  "CMakeFiles/xorbits_services.dir/storage_service.cc.o"
+  "CMakeFiles/xorbits_services.dir/storage_service.cc.o.d"
+  "libxorbits_services.a"
+  "libxorbits_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xorbits_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xorbits_tensor.dir/ndarray.cc.o"
+  "CMakeFiles/xorbits_tensor.dir/ndarray.cc.o.d"
+  "libxorbits_tensor.a"
+  "libxorbits_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xorbits_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

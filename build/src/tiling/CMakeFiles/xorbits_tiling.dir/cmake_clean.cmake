@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xorbits_tiling.dir/tiling_driver.cc.o"
+  "CMakeFiles/xorbits_tiling.dir/tiling_driver.cc.o.d"
+  "libxorbits_tiling.a"
+  "libxorbits_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xorbits_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

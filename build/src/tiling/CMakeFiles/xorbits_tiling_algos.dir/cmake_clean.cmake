@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xorbits_tiling_algos.dir/auto_rechunk.cc.o"
+  "CMakeFiles/xorbits_tiling_algos.dir/auto_rechunk.cc.o.d"
+  "libxorbits_tiling_algos.a"
+  "libxorbits_tiling_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xorbits_tiling_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xorbits_workloads.dir/api_coverage.cc.o"
+  "CMakeFiles/xorbits_workloads.dir/api_coverage.cc.o.d"
+  "CMakeFiles/xorbits_workloads.dir/array_workloads.cc.o"
+  "CMakeFiles/xorbits_workloads.dir/array_workloads.cc.o.d"
+  "CMakeFiles/xorbits_workloads.dir/pipelines.cc.o"
+  "CMakeFiles/xorbits_workloads.dir/pipelines.cc.o.d"
+  "CMakeFiles/xorbits_workloads.dir/tpch_queries.cc.o"
+  "CMakeFiles/xorbits_workloads.dir/tpch_queries.cc.o.d"
+  "libxorbits_workloads.a"
+  "libxorbits_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xorbits_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
