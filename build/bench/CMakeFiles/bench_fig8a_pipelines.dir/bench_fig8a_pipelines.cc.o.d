@@ -272,6 +272,7 @@ bench/CMakeFiles/bench_fig8a_pipelines.dir/bench_fig8a_pipelines.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/common/thread_pool.h \
  /root/repo/src/workloads/pipelines.h /root/repo/src/core/xorbits.h \
  /root/repo/src/dataframe/groupby.h /root/repo/src/dataframe/join.h \
  /root/repo/src/operators/expr.h /root/repo/src/dataframe/compute.h

@@ -265,5 +265,10 @@ examples/CMakeFiles/user_behavior.dir/user_behavior.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/dataframe/groupby.h /root/repo/src/dataframe/join.h \
- /root/repo/src/operators/expr.h /root/repo/src/dataframe/compute.h
+ /usr/include/c++/12/thread /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h /root/repo/src/dataframe/groupby.h \
+ /root/repo/src/dataframe/join.h /root/repo/src/operators/expr.h \
+ /root/repo/src/dataframe/compute.h

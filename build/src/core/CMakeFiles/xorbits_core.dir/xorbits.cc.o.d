@@ -266,18 +266,18 @@ src/core/CMakeFiles/xorbits_core.dir/xorbits.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/dataframe/groupby.h /root/repo/src/dataframe/join.h \
- /root/repo/src/operators/expr.h /root/repo/src/dataframe/compute.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/thread /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_heap.h /root/repo/src/dataframe/groupby.h \
+ /root/repo/src/dataframe/join.h /root/repo/src/operators/expr.h \
+ /root/repo/src/dataframe/compute.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/io/csv.h \
  /root/repo/src/io/xparquet.h /root/repo/src/operators/dataframe_ops.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /root/repo/src/dataframe/kernels.h \
- /root/repo/src/operators/groupby_op.h \
+ /root/repo/src/dataframe/kernels.h /root/repo/src/operators/groupby_op.h \
  /root/repo/src/operators/merge_op.h \
  /root/repo/src/operators/source_ops.h \
  /root/repo/src/operators/tensor_ops.h \

@@ -264,6 +264,11 @@ src/tiling/CMakeFiles/xorbits_tiling.dir/tiling_driver.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
  /root/repo/src/services/storage_service.h \
  /root/repo/src/common/logging.h /root/repo/src/optimizer/fusion.h \
  /root/repo/src/optimizer/op_fusion.h

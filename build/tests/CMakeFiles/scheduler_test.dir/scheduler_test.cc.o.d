@@ -343,5 +343,6 @@ tests/CMakeFiles/scheduler_test.dir/scheduler_test.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/common/thread_pool.h \
  /root/repo/src/services/storage_service.h \
  /root/repo/src/scheduler/placement.h

@@ -343,5 +343,6 @@ tests/CMakeFiles/svd_test.dir/svd_test.cc.o: /root/repo/tests/svd_test.cc \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/common/thread_pool.h \
  /root/repo/src/dataframe/groupby.h /root/repo/src/dataframe/join.h \
  /root/repo/src/operators/expr.h /root/repo/src/dataframe/compute.h

@@ -343,6 +343,7 @@ tests/CMakeFiles/tiling_test.dir/tiling_test.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/common/thread_pool.h \
  /root/repo/src/dataframe/groupby.h /root/repo/src/dataframe/join.h \
  /root/repo/src/operators/expr.h /root/repo/src/dataframe/compute.h \
  /root/repo/src/dataframe/kernels.h

@@ -26,6 +26,7 @@ Config Config::Preset(EngineKind kind) {
       // Single-threaded, single in-memory space, no tiling, no optimizer.
       c.num_workers = 1;
       c.bands_per_worker = 1;
+      c.cpus_per_band = 1;  // pandas kernels hold the GIL
       c.dynamic_tiling = false;
       c.graph_fusion = false;
       c.op_fusion = false;

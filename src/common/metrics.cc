@@ -14,6 +14,7 @@ std::string Metrics::ToString() const {
      << " oom=" << oom_events.load()
      << " peak_band_bytes=" << peak_band_bytes.load()
      << " yields=" << dynamic_yields.load()
+     << " kernel_cpu_us=" << kernel_cpu_us.load()
      << " fused_subtasks=" << fused_subtasks.load();
   return os.str();
 }

@@ -26,6 +26,11 @@ struct Metrics {
   /// with one serial slot per band. This is what benches report — on a
   /// single-core host, wall-clock cannot show parallelism or skew effects.
   std::atomic<int64_t> simulated_us{0};
+  /// Total kernel CPU burned by subtasks (band thread + pool threads),
+  /// before the division by cpus_per_band that models parallel slots.
+  /// Serial and parallel runs of the same graph report comparable values
+  /// here — the invariant that keeps the parallel cost model honest.
+  std::atomic<int64_t> kernel_cpu_us{0};
   std::atomic<int64_t> fused_subtasks{0};
   std::atomic<int64_t> op_fusion_hits{0};
   std::atomic<int64_t> pruned_columns{0};
@@ -42,6 +47,7 @@ struct Metrics {
     peak_band_bytes = 0;
     dynamic_yields = 0;
     simulated_us = 0;
+    kernel_cpu_us = 0;
     fused_subtasks = 0;
     op_fusion_hits = 0;
     pruned_columns = 0;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/thread_pool.h"
+
 namespace xorbits::dataframe {
 
 namespace {
@@ -10,9 +12,11 @@ namespace {
 template <typename T>
 std::vector<T> TakeVec(const std::vector<T>& v,
                        const std::vector<int64_t>& indices) {
-  std::vector<T> out;
-  out.reserve(indices.size());
-  for (int64_t i : indices) out.push_back(v[i]);
+  const int64_t n = static_cast<int64_t>(indices.size());
+  std::vector<T> out(n);
+  ParallelFor(0, n, 16384, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] = v[indices[i]];
+  });
   return out;
 }
 

@@ -5,17 +5,29 @@
 #include <limits>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
+
 namespace xorbits::dataframe {
 
 namespace {
+
+/// Rows per morsel for elementwise kernels; disjoint writes make parallel
+/// output byte-identical to serial at any thread count.
+constexpr int64_t kElemGrain = 16384;
+
+/// Partial-reduction decomposition: bounded partial count, fixed grain as a
+/// pure function of n so float merge order never depends on thread count.
+inline int64_t ReduceGrain(int64_t n) { return GrainForMorsels(n, kElemGrain, 16); }
 
 std::vector<uint8_t> MergeValidity(const Column& a, const Column& b) {
   if (!a.has_validity() && !b.has_validity()) return {};
   const int64_t n = a.length();
   std::vector<uint8_t> out(n, 1);
-  for (int64_t i = 0; i < n; ++i) {
-    out[i] = (a.IsValid(i) && b.IsValid(i)) ? 1 : 0;
-  }
+  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      out[i] = (a.IsValid(i) && b.IsValid(i)) ? 1 : 0;
+    }
+  });
   return out;
 }
 
@@ -94,9 +106,11 @@ Result<Column> StrPredicate(const Column& v, const std::string& arg,
   std::vector<uint8_t> validity;
   if (v.has_validity()) validity = v.validity();
   const auto& data = v.string_data();
-  for (int64_t i = 0; i < n; ++i) {
-    if (v.IsValid(i)) out[i] = pred(data[i], arg) ? 1 : 0;
-  }
+  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      if (v.IsValid(i)) out[i] = pred(data[i], arg) ? 1 : 0;
+    }
+  });
   return Column::Bool(std::move(out), std::move(validity));
 }
 
@@ -136,15 +150,19 @@ Result<Column> BinaryOp(const Column& lhs, const Column& rhs, BinOp op) {
                              DType::kFloat64;
   if (as_double) {
     std::vector<double> out(n);
-    for (int64_t i = 0; i < n; ++i) {
-      out[i] = ApplyBinOpDouble(lhs.GetDouble(i), rhs.GetDouble(i), op);
-    }
+    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        out[i] = ApplyBinOpDouble(lhs.GetDouble(i), rhs.GetDouble(i), op);
+      }
+    });
     return Column::Float64(std::move(out), std::move(validity));
   }
   const auto& a = lhs.int64_data();
   const auto& b = rhs.int64_data();
   std::vector<int64_t> out(n);
-  for (int64_t i = 0; i < n; ++i) out[i] = ApplyBinOpInt(a[i], b[i], op);
+  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] = ApplyBinOpInt(a[i], b[i], op);
+  });
   return Column::Int64(std::move(out), std::move(validity));
 }
 
@@ -163,19 +181,24 @@ Result<Column> BinaryOpScalar(const Column& lhs, const Scalar& rhs, BinOp op,
   if (as_double) {
     const double s = rhs.AsDouble();
     std::vector<double> out(n);
-    for (int64_t i = 0; i < n; ++i) {
-      const double v = lhs.GetDouble(i);
-      out[i] = reverse ? ApplyBinOpDouble(s, v, op)
-                       : ApplyBinOpDouble(v, s, op);
-    }
+    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        const double v = lhs.GetDouble(i);
+        out[i] = reverse ? ApplyBinOpDouble(s, v, op)
+                         : ApplyBinOpDouble(v, s, op);
+      }
+    });
     return Column::Float64(std::move(out), std::move(validity));
   }
   const int64_t s = rhs.AsInt();
   const auto& a = lhs.int64_data();
   std::vector<int64_t> out(n);
-  for (int64_t i = 0; i < n; ++i) {
-    out[i] = reverse ? ApplyBinOpInt(s, a[i], op) : ApplyBinOpInt(a[i], s, op);
-  }
+  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      out[i] =
+          reverse ? ApplyBinOpInt(s, a[i], op) : ApplyBinOpInt(a[i], s, op);
+    }
+  });
   return Column::Int64(std::move(out), std::move(validity));
 }
 
@@ -187,20 +210,25 @@ Result<Column> Compare(const Column& lhs, const Column& rhs, CmpOp op) {
   if (lhs.dtype() == DType::kString && rhs.dtype() == DType::kString) {
     const auto& a = lhs.string_data();
     const auto& b = rhs.string_data();
-    for (int64_t i = 0; i < n; ++i) {
-      if (lhs.IsValid(i) && rhs.IsValid(i)) {
-        out[i] = ApplyCmpString(a[i], b[i], op) ? 1 : 0;
+    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        if (lhs.IsValid(i) && rhs.IsValid(i)) {
+          out[i] = ApplyCmpString(a[i], b[i], op) ? 1 : 0;
+        }
       }
-    }
+    });
     return Column::Bool(std::move(out), std::move(validity));
   }
   XORBITS_RETURN_NOT_OK(CheckNumeric(lhs, "Compare"));
   XORBITS_RETURN_NOT_OK(CheckNumeric(rhs, "Compare"));
-  for (int64_t i = 0; i < n; ++i) {
-    if (lhs.IsValid(i) && rhs.IsValid(i)) {
-      out[i] = ApplyCmpDouble(lhs.GetDouble(i), rhs.GetDouble(i), op) ? 1 : 0;
+  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      if (lhs.IsValid(i) && rhs.IsValid(i)) {
+        out[i] =
+            ApplyCmpDouble(lhs.GetDouble(i), rhs.GetDouble(i), op) ? 1 : 0;
+      }
     }
-  }
+  });
   return Column::Bool(std::move(out), std::move(validity));
 }
 
@@ -219,9 +247,11 @@ Result<Column> CompareScalar(const Column& lhs, const Scalar& rhs, CmpOp op) {
     }
     const auto& a = lhs.string_data();
     const std::string& s = rhs.AsString();
-    for (int64_t i = 0; i < n; ++i) {
-      if (lhs.IsValid(i)) out[i] = ApplyCmpString(a[i], s, op) ? 1 : 0;
-    }
+    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        if (lhs.IsValid(i)) out[i] = ApplyCmpString(a[i], s, op) ? 1 : 0;
+      }
+    });
     return Column::Bool(std::move(out), std::move(validity));
   }
   if (lhs.dtype() == DType::kBool) {
@@ -242,9 +272,13 @@ Result<Column> CompareScalar(const Column& lhs, const Scalar& rhs, CmpOp op) {
     return Status::TypeError("CompareScalar: numeric column vs non-numeric");
   }
   const double s = rhs.AsDouble();
-  for (int64_t i = 0; i < n; ++i) {
-    if (lhs.IsValid(i)) out[i] = ApplyCmpDouble(lhs.GetDouble(i), s, op) ? 1 : 0;
-  }
+  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      if (lhs.IsValid(i)) {
+        out[i] = ApplyCmpDouble(lhs.GetDouble(i), s, op) ? 1 : 0;
+      }
+    }
+  });
   return Column::Bool(std::move(out), std::move(validity));
 }
 
@@ -258,7 +292,9 @@ Result<Column> And(const Column& lhs, const Column& rhs) {
   std::vector<uint8_t> validity = MergeValidity(lhs, rhs);
   const auto& a = lhs.bool_data();
   const auto& b = rhs.bool_data();
-  for (int64_t i = 0; i < n; ++i) out[i] = (a[i] && b[i]) ? 1 : 0;
+  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] = (a[i] && b[i]) ? 1 : 0;
+  });
   return Column::Bool(std::move(out), std::move(validity));
 }
 
@@ -272,7 +308,9 @@ Result<Column> Or(const Column& lhs, const Column& rhs) {
   std::vector<uint8_t> validity = MergeValidity(lhs, rhs);
   const auto& a = lhs.bool_data();
   const auto& b = rhs.bool_data();
-  for (int64_t i = 0; i < n; ++i) out[i] = (a[i] || b[i]) ? 1 : 0;
+  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] = (a[i] || b[i]) ? 1 : 0;
+  });
   return Column::Bool(std::move(out), std::move(validity));
 }
 
@@ -285,7 +323,9 @@ Result<Column> Not(const Column& v) {
   std::vector<uint8_t> validity;
   if (v.has_validity()) validity = v.validity();
   const auto& a = v.bool_data();
-  for (int64_t i = 0; i < n; ++i) out[i] = a[i] ? 0 : 1;
+  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] = a[i] ? 0 : 1;
+  });
   return Column::Bool(std::move(out), std::move(validity));
 }
 
@@ -314,9 +354,11 @@ Result<Column> IsIn(const Column& v, const std::vector<Scalar>& values) {
       if (s.is_string()) set.insert(s.AsString());
     }
     const auto& data = v.string_data();
-    for (int64_t i = 0; i < n; ++i) {
-      if (v.IsValid(i)) out[i] = set.count(data[i]) ? 1 : 0;
-    }
+    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        if (v.IsValid(i)) out[i] = set.count(data[i]) ? 1 : 0;
+      }
+    });
     return Column::Bool(std::move(out), std::move(validity));
   }
   if (IsNumeric(v.dtype())) {
@@ -324,9 +366,11 @@ Result<Column> IsIn(const Column& v, const std::vector<Scalar>& values) {
     for (const auto& s : values) {
       if (s.is_numeric()) set.insert(s.AsDouble());
     }
-    for (int64_t i = 0; i < n; ++i) {
-      if (v.IsValid(i)) out[i] = set.count(v.GetDouble(i)) ? 1 : 0;
-    }
+    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        if (v.IsValid(i)) out[i] = set.count(v.GetDouble(i)) ? 1 : 0;
+      }
+    });
     return Column::Bool(std::move(out), std::move(validity));
   }
   return Status::TypeError("IsIn: unsupported dtype");
@@ -374,13 +418,15 @@ Result<Column> StrSlice(const Column& v, int64_t start, int64_t stop) {
   std::vector<uint8_t> validity;
   if (v.has_validity()) validity = v.validity();
   const auto& data = v.string_data();
-  for (int64_t i = 0; i < n; ++i) {
-    if (!v.IsValid(i)) continue;
-    const auto& s = data[i];
-    int64_t b = std::min<int64_t>(start, s.size());
-    int64_t e = std::min<int64_t>(stop, s.size());
-    if (e > b) out[i] = s.substr(b, e - b);
-  }
+  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      if (!v.IsValid(i)) continue;
+      const auto& s = data[i];
+      int64_t b = std::min<int64_t>(start, s.size());
+      int64_t e = std::min<int64_t>(stop, s.size());
+      if (e > b) out[i] = s.substr(b, e - b);
+    }
+  });
   return Column::String(std::move(out), std::move(validity));
 }
 
@@ -395,9 +441,11 @@ Result<Column> StrMapString(const Column& v, F f, const char* what) {
   std::vector<uint8_t> validity;
   if (v.has_validity()) validity = v.validity();
   const auto& data = v.string_data();
-  for (int64_t i = 0; i < n; ++i) {
-    if (v.IsValid(i)) out[i] = f(data[i]);
-  }
+  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      if (v.IsValid(i)) out[i] = f(data[i]);
+    }
+  });
   return Column::String(std::move(out), std::move(validity));
 }
 
@@ -412,7 +460,9 @@ Result<Column> DateMapInt(const Column& dates, F f, const char* what) {
   std::vector<uint8_t> validity;
   if (dates.has_validity()) validity = dates.validity();
   const auto& data = dates.int64_data();
-  for (int64_t i = 0; i < n; ++i) out[i] = f(data[i]);
+  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] = f(data[i]);
+  });
   return Column::Int64(std::move(out), std::move(validity));
 }
 }  // namespace
@@ -470,9 +520,11 @@ Result<Column> StrLen(const Column& v) {
   std::vector<uint8_t> validity;
   if (v.has_validity()) validity = v.validity();
   const auto& data = v.string_data();
-  for (int64_t i = 0; i < n; ++i) {
-    if (v.IsValid(i)) out[i] = static_cast<int64_t>(data[i].size());
-  }
+  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      if (v.IsValid(i)) out[i] = static_cast<int64_t>(data[i].size());
+    }
+  });
   return Column::Int64(std::move(out), std::move(validity));
 }
 
@@ -527,11 +579,13 @@ Result<Column> Year(const Column& dates) {
   std::vector<uint8_t> validity;
   if (dates.has_validity()) validity = dates.validity();
   const auto& data = dates.int64_data();
-  for (int64_t i = 0; i < n; ++i) {
-    int y, m, d;
-    CivilFromDays(data[i], &y, &m, &d);
-    out[i] = y;
-  }
+  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      int y, m, d;
+      CivilFromDays(data[i], &y, &m, &d);
+      out[i] = y;
+    }
+  });
   return Column::Int64(std::move(out), std::move(validity));
 }
 
@@ -544,11 +598,13 @@ Result<Column> Month(const Column& dates) {
   std::vector<uint8_t> validity;
   if (dates.has_validity()) validity = dates.validity();
   const auto& data = dates.int64_data();
-  for (int64_t i = 0; i < n; ++i) {
-    int y, m, d;
-    CivilFromDays(data[i], &y, &m, &d);
-    out[i] = m;
-  }
+  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      int y, m, d;
+      CivilFromDays(data[i], &y, &m, &d);
+      out[i] = m;
+    }
+  });
   return Column::Int64(std::move(out), std::move(validity));
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "dataframe/compute.h"
 
 namespace xorbits::dataframe {
@@ -52,41 +53,120 @@ Result<AggFunc> AggFuncFromName(const std::string& name) {
 
 namespace {
 
+/// Morsel grain for aggregation kernels: bounded morsel count keeps the
+/// per-morsel partial buffers (size G each) cheap, and the decomposition is
+/// a pure function of n so results never depend on thread count.
+inline int64_t AggGrain(int64_t n) { return GrainForMorsels(n, 4096, 16); }
+
 /// Assigns each row a dense group id; returns group count and fills
 /// `first_row` with one representative row per group in first-seen order.
+///
+/// Parallel hash groupby partition phase, three deterministic steps:
+///   1. each morsel builds a local key dictionary (parallel);
+///   2. local dictionaries merge into the global one in morsel order, which
+///      reproduces the serial first-seen group order exactly (serial);
+///   3. rows rewrite their local ids to global ids (parallel).
 int64_t BuildGroups(const DataFrame& df, const std::vector<const Column*>& key_cols,
                     std::vector<int64_t>* gids, std::vector<int64_t>* first_row) {
   const int64_t n = df.num_rows();
   gids->resize(n);
-  std::unordered_map<std::string, int64_t> table;
-  table.reserve(static_cast<size_t>(n) * 2);
-  std::string key;
-  for (int64_t i = 0; i < n; ++i) {
-    key.clear();
-    for (const Column* c : key_cols) c->AppendKeyBytes(i, &key);
-    auto [it, inserted] =
-        table.emplace(key, static_cast<int64_t>(first_row->size()));
-    if (inserted) first_row->push_back(i);
-    (*gids)[i] = it->second;
+  const int64_t grain = AggGrain(n);
+  const int64_t morsels = NumMorsels(0, n, grain);
+  if (morsels < 2) {
+    std::unordered_map<std::string, int64_t> table;
+    table.reserve(static_cast<size_t>(n) * 2);
+    std::string key;
+    for (int64_t i = 0; i < n; ++i) {
+      key.clear();
+      for (const Column* c : key_cols) c->AppendKeyBytes(i, &key);
+      auto [it, inserted] =
+          table.emplace(key, static_cast<int64_t>(first_row->size()));
+      if (inserted) first_row->push_back(i);
+      (*gids)[i] = it->second;
+    }
+    return static_cast<int64_t>(first_row->size());
   }
+
+  struct LocalGroups {
+    std::vector<std::string> keys;   // unique keys, local first-seen order
+    std::vector<int64_t> first_row;  // global row of local first occurrence
+  };
+  std::vector<LocalGroups> locals(morsels);
+  ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+    LocalGroups& lg = locals[lo / grain];
+    std::unordered_map<std::string, int64_t> table;
+    table.reserve(static_cast<size_t>(hi - lo) * 2);
+    std::string key;
+    for (int64_t i = lo; i < hi; ++i) {
+      key.clear();
+      for (const Column* c : key_cols) c->AppendKeyBytes(i, &key);
+      auto [it, inserted] =
+          table.emplace(key, static_cast<int64_t>(lg.keys.size()));
+      if (inserted) {
+        lg.keys.push_back(key);
+        lg.first_row.push_back(i);
+      }
+      (*gids)[i] = it->second;
+    }
+  });
+
+  std::unordered_map<std::string, int64_t> table;
+  std::vector<std::vector<int64_t>> remap(morsels);
+  for (int64_t m = 0; m < morsels; ++m) {
+    LocalGroups& lg = locals[m];
+    remap[m].resize(lg.keys.size());
+    for (size_t k = 0; k < lg.keys.size(); ++k) {
+      auto [it, inserted] = table.emplace(
+          std::move(lg.keys[k]), static_cast<int64_t>(first_row->size()));
+      if (inserted) first_row->push_back(lg.first_row[k]);
+      remap[m][k] = it->second;
+    }
+  }
+
+  ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+    const std::vector<int64_t>& r = remap[lo / grain];
+    for (int64_t i = lo; i < hi; ++i) (*gids)[i] = r[(*gids)[i]];
+  });
   return static_cast<int64_t>(first_row->size());
+}
+
+/// Elementwise-sum combine for per-morsel partial accumulators.
+template <typename T>
+std::vector<T> AddVec(std::vector<T> a, std::vector<T> b) {
+  for (size_t g = 0; g < a.size(); ++g) a[g] += b[g];
+  return a;
 }
 
 Result<Column> AggregateColumn(const Column* col, AggFunc func,
                                const std::vector<int64_t>& gids, int64_t G) {
   const int64_t n = static_cast<int64_t>(gids.size());
+  // Hot accumulations below run as morsel-local partials (one G-sized
+  // buffer per morsel, morsel count capped by AggGrain) folded in morsel
+  // order — deterministic at any thread count, including float cases.
   switch (func) {
     case AggFunc::kSize: {
-      std::vector<int64_t> out(G, 0);
-      for (int64_t i = 0; i < n; ++i) out[gids[i]]++;
+      std::vector<int64_t> out = ParallelReduce(
+          0, n, AggGrain(n), std::vector<int64_t>(G, 0),
+          [&](int64_t lo, int64_t hi) {
+            std::vector<int64_t> p(G, 0);
+            for (int64_t i = lo; i < hi; ++i) p[gids[i]]++;
+            return p;
+          },
+          AddVec<int64_t>);
       return Column::Int64(std::move(out));
     }
     case AggFunc::kCount: {
       if (col == nullptr) return Status::Invalid("count needs a column");
-      std::vector<int64_t> out(G, 0);
-      for (int64_t i = 0; i < n; ++i) {
-        if (col->IsValid(i)) out[gids[i]]++;
-      }
+      std::vector<int64_t> out = ParallelReduce(
+          0, n, AggGrain(n), std::vector<int64_t>(G, 0),
+          [&](int64_t lo, int64_t hi) {
+            std::vector<int64_t> p(G, 0);
+            for (int64_t i = lo; i < hi; ++i) {
+              if (col->IsValid(i)) p[gids[i]]++;
+            }
+            return p;
+          },
+          AddVec<int64_t>);
       return Column::Int64(std::move(out));
     }
     case AggFunc::kSum: {
@@ -95,30 +175,48 @@ Result<Column> AggregateColumn(const Column* col, AggFunc func,
         return Status::TypeError("sum on non-numeric column");
       }
       if (col->dtype() == DType::kInt64) {
-        std::vector<int64_t> out(G, 0);
         const auto& data = col->int64_data();
-        for (int64_t i = 0; i < n; ++i) {
-          if (col->IsValid(i)) out[gids[i]] += data[i];
-        }
+        std::vector<int64_t> out = ParallelReduce(
+            0, n, AggGrain(n), std::vector<int64_t>(G, 0),
+            [&](int64_t lo, int64_t hi) {
+              std::vector<int64_t> p(G, 0);
+              for (int64_t i = lo; i < hi; ++i) {
+                if (col->IsValid(i)) p[gids[i]] += data[i];
+              }
+              return p;
+            },
+            AddVec<int64_t>);
         return Column::Int64(std::move(out));
       }
-      std::vector<double> out(G, 0.0);
-      for (int64_t i = 0; i < n; ++i) {
-        if (col->IsValid(i)) out[gids[i]] += col->GetDouble(i);
-      }
+      std::vector<double> out = ParallelReduce(
+          0, n, AggGrain(n), std::vector<double>(G, 0.0),
+          [&](int64_t lo, int64_t hi) {
+            std::vector<double> p(G, 0.0);
+            for (int64_t i = lo; i < hi; ++i) {
+              if (col->IsValid(i)) p[gids[i]] += col->GetDouble(i);
+            }
+            return p;
+          },
+          AddVec<double>);
       return Column::Float64(std::move(out));
     }
     case AggFunc::kSumSq: {
       if (col == nullptr || !IsNumeric(col->dtype())) {
         return Status::TypeError("sumsq needs a numeric column");
       }
-      std::vector<double> out(G, 0.0);
-      for (int64_t i = 0; i < n; ++i) {
-        if (col->IsValid(i)) {
-          const double v = col->GetDouble(i);
-          out[gids[i]] += v * v;
-        }
-      }
+      std::vector<double> out = ParallelReduce(
+          0, n, AggGrain(n), std::vector<double>(G, 0.0),
+          [&](int64_t lo, int64_t hi) {
+            std::vector<double> p(G, 0.0);
+            for (int64_t i = lo; i < hi; ++i) {
+              if (col->IsValid(i)) {
+                const double v = col->GetDouble(i);
+                p[gids[i]] += v * v;
+              }
+            }
+            return p;
+          },
+          AddVec<double>);
       return Column::Float64(std::move(out));
     }
     case AggFunc::kMean: {
@@ -126,14 +224,26 @@ Result<Column> AggregateColumn(const Column* col, AggFunc func,
                              col->dtype() != DType::kBool)) {
         return Status::TypeError("mean needs a numeric column");
       }
-      std::vector<double> sum(G, 0.0);
-      std::vector<int64_t> cnt(G, 0);
-      for (int64_t i = 0; i < n; ++i) {
-        if (col->IsValid(i)) {
-          sum[gids[i]] += col->GetDouble(i);
-          cnt[gids[i]]++;
-        }
-      }
+      using MeanPartial = std::pair<std::vector<double>, std::vector<int64_t>>;
+      auto [sum, cnt] = ParallelReduce(
+          0, n, AggGrain(n),
+          MeanPartial{std::vector<double>(G, 0.0), std::vector<int64_t>(G, 0)},
+          [&](int64_t lo, int64_t hi) {
+            MeanPartial p{std::vector<double>(G, 0.0),
+                          std::vector<int64_t>(G, 0)};
+            for (int64_t i = lo; i < hi; ++i) {
+              if (col->IsValid(i)) {
+                p.first[gids[i]] += col->GetDouble(i);
+                p.second[gids[i]]++;
+              }
+            }
+            return p;
+          },
+          [](MeanPartial a, MeanPartial b) {
+            a.first = AddVec(std::move(a.first), std::move(b.first));
+            a.second = AddVec(std::move(a.second), std::move(b.second));
+            return a;
+          });
       std::vector<double> out(G, 0.0);
       std::vector<uint8_t> validity(G, 1);
       for (int64_t g = 0; g < G; ++g) {
@@ -150,16 +260,36 @@ Result<Column> AggregateColumn(const Column* col, AggFunc func,
       if (col == nullptr || !IsNumeric(col->dtype())) {
         return Status::TypeError("var/std needs a numeric column");
       }
-      std::vector<double> sum(G, 0.0), sumsq(G, 0.0);
-      std::vector<int64_t> cnt(G, 0);
-      for (int64_t i = 0; i < n; ++i) {
-        if (col->IsValid(i)) {
-          const double v = col->GetDouble(i);
-          sum[gids[i]] += v;
-          sumsq[gids[i]] += v * v;
-          cnt[gids[i]]++;
-        }
-      }
+      struct Moments {
+        std::vector<double> sum, sumsq;
+        std::vector<int64_t> cnt;
+      };
+      Moments mo = ParallelReduce(
+          0, n, AggGrain(n),
+          Moments{std::vector<double>(G, 0.0), std::vector<double>(G, 0.0),
+                  std::vector<int64_t>(G, 0)},
+          [&](int64_t lo, int64_t hi) {
+            Moments p{std::vector<double>(G, 0.0),
+                      std::vector<double>(G, 0.0),
+                      std::vector<int64_t>(G, 0)};
+            for (int64_t i = lo; i < hi; ++i) {
+              if (col->IsValid(i)) {
+                const double v = col->GetDouble(i);
+                p.sum[gids[i]] += v;
+                p.sumsq[gids[i]] += v * v;
+                p.cnt[gids[i]]++;
+              }
+            }
+            return p;
+          },
+          [](Moments a, Moments b) {
+            a.sum = AddVec(std::move(a.sum), std::move(b.sum));
+            a.sumsq = AddVec(std::move(a.sumsq), std::move(b.sumsq));
+            a.cnt = AddVec(std::move(a.cnt), std::move(b.cnt));
+            return a;
+          });
+      const std::vector<double>&sum = mo.sum, &sumsq = mo.sumsq;
+      const std::vector<int64_t>& cnt = mo.cnt;
       std::vector<double> out(G, 0.0);
       std::vector<uint8_t> validity(G, 1);
       for (int64_t g = 0; g < G; ++g) {
@@ -179,23 +309,48 @@ Result<Column> AggregateColumn(const Column* col, AggFunc func,
     case AggFunc::kLast: {
       if (col == nullptr) return Status::Invalid("agg needs a column");
       // Select one representative row per group, then Take.
-      std::vector<int64_t> pick(G, -1);
       const bool is_minmax = func == AggFunc::kMin || func == AggFunc::kMax;
-      for (int64_t i = 0; i < n; ++i) {
-        if (!col->IsValid(i)) continue;
-        int64_t& p = pick[gids[i]];
-        if (p < 0) {
-          p = i;
-        } else if (is_minmax) {
-          const Scalar cur = col->GetScalar(i);
-          const Scalar best = col->GetScalar(p);
-          const bool better =
-              func == AggFunc::kMin ? cur < best : best < cur;
-          if (better) p = i;
-        } else if (func == AggFunc::kLast) {
-          p = i;
-        }
-      }
+      // Strict comparisons pick the earliest qualifying row within a
+      // morsel; the morsel-order fold extends that tie-break globally, so
+      // the winner matches the serial scan exactly.
+      std::vector<int64_t> pick = ParallelReduce(
+          0, n, AggGrain(n), std::vector<int64_t>(G, -1),
+          [&](int64_t lo, int64_t hi) {
+            std::vector<int64_t> lp(G, -1);
+            for (int64_t i = lo; i < hi; ++i) {
+              if (!col->IsValid(i)) continue;
+              int64_t& p = lp[gids[i]];
+              if (p < 0) {
+                p = i;
+              } else if (is_minmax) {
+                const Scalar cur = col->GetScalar(i);
+                const Scalar best = col->GetScalar(p);
+                const bool better =
+                    func == AggFunc::kMin ? cur < best : best < cur;
+                if (better) p = i;
+              } else if (func == AggFunc::kLast) {
+                p = i;
+              }
+            }
+            return lp;
+          },
+          [&](std::vector<int64_t> a, std::vector<int64_t> b) {
+            for (int64_t g = 0; g < G; ++g) {
+              if (b[g] < 0) continue;
+              if (a[g] < 0) {
+                a[g] = b[g];
+              } else if (is_minmax) {
+                const Scalar cur = col->GetScalar(b[g]);
+                const Scalar best = col->GetScalar(a[g]);
+                const bool better =
+                    func == AggFunc::kMin ? cur < best : best < cur;
+                if (better) a[g] = b[g];
+              } else if (func == AggFunc::kLast) {
+                a[g] = b[g];
+              }
+            }
+            return a;
+          });
       // Groups with no valid value become null.
       std::vector<int64_t> indices(G, 0);
       std::vector<uint8_t> validity(G, 1);
@@ -225,25 +380,45 @@ Result<Column> AggregateColumn(const Column* col, AggFunc func,
                              col->dtype() != DType::kBool)) {
         return Status::TypeError("prod needs a numeric column");
       }
-      std::vector<double> out(G, 1.0);
-      for (int64_t i = 0; i < n; ++i) {
-        if (col->IsValid(i)) out[gids[i]] *= col->GetDouble(i);
-      }
+      std::vector<double> out = ParallelReduce(
+          0, n, AggGrain(n), std::vector<double>(G, 1.0),
+          [&](int64_t lo, int64_t hi) {
+            std::vector<double> p(G, 1.0);
+            for (int64_t i = lo; i < hi; ++i) {
+              if (col->IsValid(i)) p[gids[i]] *= col->GetDouble(i);
+            }
+            return p;
+          },
+          [](std::vector<double> a, std::vector<double> b) {
+            for (size_t g = 0; g < a.size(); ++g) a[g] *= b[g];
+            return a;
+          });
       return Column::Float64(std::move(out));
     }
     case AggFunc::kAny:
     case AggFunc::kAll: {
       if (col == nullptr) return Status::Invalid("any/all needs a column");
       const bool is_any = func == AggFunc::kAny;
-      std::vector<uint8_t> out(G, is_any ? 0 : 1);
-      for (int64_t i = 0; i < n; ++i) {
-        if (!col->IsValid(i)) continue;
-        const bool truthy = col->dtype() == DType::kString
-                                ? !col->string_data()[i].empty()
-                                : col->GetDouble(i) != 0.0;
-        if (is_any && truthy) out[gids[i]] = 1;
-        if (!is_any && !truthy) out[gids[i]] = 0;
-      }
+      std::vector<uint8_t> out = ParallelReduce(
+          0, n, AggGrain(n), std::vector<uint8_t>(G, is_any ? 0 : 1),
+          [&](int64_t lo, int64_t hi) {
+            std::vector<uint8_t> p(G, is_any ? 0 : 1);
+            for (int64_t i = lo; i < hi; ++i) {
+              if (!col->IsValid(i)) continue;
+              const bool truthy = col->dtype() == DType::kString
+                                      ? !col->string_data()[i].empty()
+                                      : col->GetDouble(i) != 0.0;
+              if (is_any && truthy) p[gids[i]] = 1;
+              if (!is_any && !truthy) p[gids[i]] = 0;
+            }
+            return p;
+          },
+          [&](std::vector<uint8_t> a, std::vector<uint8_t> b) {
+            for (int64_t g = 0; g < G; ++g) {
+              a[g] = is_any ? (a[g] | b[g]) : (a[g] & b[g]);
+            }
+            return a;
+          });
       return Column::Bool(std::move(out));
     }
     case AggFunc::kMedian: {

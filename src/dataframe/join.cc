@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "common/thread_pool.h"
 #include "dataframe/kernels.h"
 
 namespace xorbits::dataframe {
@@ -39,18 +40,22 @@ Column TakeOrNull(const Column& col, const std::vector<int64_t>& indices) {
   if (!any_null) return col.Take(indices);
   std::vector<int64_t> safe(indices);
   std::vector<uint8_t> validity(n, 1);
-  for (int64_t i = 0; i < n; ++i) {
-    if (safe[i] < 0) {
-      safe[i] = 0;
-      validity[i] = 0;
+  ParallelFor(0, n, 16384, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      if (safe[i] < 0) {
+        safe[i] = 0;
+        validity[i] = 0;
+      }
     }
-  }
+  });
   Column out = col.length() == 0 ? Column::Nulls(col.dtype(), n)
                                  : col.Take(safe);
   std::vector<uint8_t> merged(n, 1);
-  for (int64_t i = 0; i < n; ++i) {
-    merged[i] = (validity[i] && out.IsValid(i)) ? 1 : 0;
-  }
+  ParallelFor(0, n, 16384, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      merged[i] = (validity[i] && out.IsValid(i)) ? 1 : 0;
+    }
+  });
   out.mutable_validity() = std::move(merged);
   return out;
 }
@@ -79,25 +84,28 @@ Result<DataFrame> Merge(const DataFrame& left, const DataFrame& right,
     rcols.push_back(c);
   }
 
-  // Build phase: hash right keys -> row lists.
+  // Build phase: hash right keys -> row lists. Key bytes materialize in
+  // parallel morsels (the expensive part); rows then insert serially in
+  // ascending order, so each row list is identical to the serial build.
   const int64_t rn = right.num_rows();
-  std::unordered_map<std::string, std::vector<int64_t>> table;
-  table.reserve(static_cast<size_t>(rn) * 2);
-  {
-    std::string key;
-    for (int64_t i = 0; i < rn; ++i) {
-      bool has_null = false;
+  std::vector<std::string> rkey(rn);
+  std::vector<uint8_t> rnull(rn, 0);
+  ParallelFor(0, rn, 8192, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
       for (const Column* c : rcols) {
         if (c->IsNull(i)) {
-          has_null = true;
+          rnull[i] = 1;  // null keys never match (pandas semantics)
           break;
         }
       }
-      if (has_null) continue;  // null keys never match (pandas semantics)
-      key.clear();
-      for (const Column* c : rcols) c->AppendKeyBytes(i, &key);
-      table[key].push_back(i);
+      if (rnull[i]) continue;
+      for (const Column* c : rcols) c->AppendKeyBytes(i, &rkey[i]);
     }
+  });
+  std::unordered_map<std::string, std::vector<int64_t>> table;
+  table.reserve(static_cast<size_t>(rn) * 2);
+  for (int64_t i = 0; i < rn; ++i) {
+    if (!rnull[i]) table[std::move(rkey[i])].push_back(i);
   }
 
   // Probe phase.
@@ -109,32 +117,54 @@ Result<DataFrame> Merge(const DataFrame& left, const DataFrame& right,
   const bool keep_right = options.how == JoinType::kRight ||
                           options.how == JoinType::kOuter;
   {
-    std::string key;
-    for (int64_t i = 0; i < ln; ++i) {
-      bool has_null = false;
-      for (const Column* c : lcols) {
-        if (c->IsNull(i)) {
-          has_null = true;
-          break;
+    // Probe morsels emit into private index buffers; concatenating them in
+    // morsel order reproduces the serial emission order byte for byte. The
+    // table is read-only here, so morsels share it without locks.
+    struct ProbeOut {
+      std::vector<int64_t> lidx, ridx;
+    };
+    const int64_t grain = GrainForMorsels(ln, 8192, 32);
+    const int64_t morsels = NumMorsels(0, ln, grain);
+    std::vector<ProbeOut> parts(morsels > 0 ? morsels : 1);
+    ParallelFor(0, ln, grain, [&](int64_t lo, int64_t hi) {
+      ProbeOut& po = parts[lo / grain];
+      std::string key;
+      for (int64_t i = lo; i < hi; ++i) {
+        bool has_null = false;
+        for (const Column* c : lcols) {
+          if (c->IsNull(i)) {
+            has_null = true;
+            break;
+          }
+        }
+        const std::vector<int64_t>* matches = nullptr;
+        if (!has_null) {
+          key.clear();
+          for (const Column* c : lcols) c->AppendKeyBytes(i, &key);
+          auto it = table.find(key);
+          if (it != table.end()) matches = &it->second;
+        }
+        if (matches != nullptr) {
+          for (int64_t r : *matches) {
+            po.lidx.push_back(i);
+            po.ridx.push_back(r);
+          }
+        } else if (keep_left) {
+          po.lidx.push_back(i);
+          po.ridx.push_back(-1);
         }
       }
-      const std::vector<int64_t>* matches = nullptr;
-      if (!has_null) {
-        key.clear();
-        for (const Column* c : lcols) c->AppendKeyBytes(i, &key);
-        auto it = table.find(key);
-        if (it != table.end()) matches = &it->second;
-      }
-      if (matches != nullptr) {
-        for (int64_t r : *matches) {
-          lidx.push_back(i);
-          ridx.push_back(r);
-          right_matched[r] = 1;
-        }
-      } else if (keep_left) {
-        lidx.push_back(i);
-        ridx.push_back(-1);
-      }
+    });
+    size_t total = 0;
+    for (const ProbeOut& po : parts) total += po.lidx.size();
+    lidx.reserve(total);
+    ridx.reserve(total);
+    for (const ProbeOut& po : parts) {
+      lidx.insert(lidx.end(), po.lidx.begin(), po.lidx.end());
+      ridx.insert(ridx.end(), po.ridx.begin(), po.ridx.end());
+    }
+    for (int64_t r : ridx) {
+      if (r >= 0) right_matched[r] = 1;
     }
   }
   if (keep_right) {

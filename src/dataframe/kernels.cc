@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
+
 namespace xorbits::dataframe {
 
 Result<DataFrame> Filter(const DataFrame& df, const Column& mask) {
@@ -17,9 +19,11 @@ Result<DataFrame> Filter(const DataFrame& df, const Column& mask) {
   const auto& data = mask.bool_data();
   std::vector<uint8_t> effective(data.begin(), data.end());
   if (mask.has_validity()) {
-    for (int64_t i = 0; i < mask.length(); ++i) {
-      if (!mask.IsValid(i)) effective[i] = 0;
-    }
+    ParallelFor(0, mask.length(), 16384, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        if (!mask.IsValid(i)) effective[i] = 0;
+      }
+    });
   }
   return df.FilterRows(effective);
 }
@@ -38,9 +42,10 @@ Result<DataFrame> SortValues(const DataFrame& df,
     XORBITS_ASSIGN_OR_RETURN(const Column* c, df.GetColumn(k));
     cols.push_back(c);
   }
-  std::vector<int64_t> order(df.num_rows());
+  const int64_t n = df.num_rows();
+  std::vector<int64_t> order(n);
   std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+  auto less = [&](int64_t a, int64_t b) {
     for (size_t k = 0; k < cols.size(); ++k) {
       const Column* c = cols[k];
       const bool an = c->IsNull(a), bn = c->IsNull(b);
@@ -53,7 +58,34 @@ Result<DataFrame> SortValues(const DataFrame& df,
       if (sb < sa) return !asc[k];
     }
     return false;
-  });
+  };
+  // Parallel stable merge sort: stable_sort each morsel, then merge
+  // adjacent runs pairwise. A stable merge of stable-sorted runs taken in
+  // index order is the unique stable-sort permutation, so the result is
+  // byte-identical to a serial stable_sort at any thread count.
+  const int64_t grain = GrainForMorsels(n, 4096, 16);
+  const int64_t morsels = NumMorsels(0, n, grain);
+  if (morsels < 2) {
+    std::stable_sort(order.begin(), order.end(), less);
+  } else {
+    ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+      std::stable_sort(order.begin() + lo, order.begin() + hi, less);
+    });
+    for (int64_t width = grain; width < n; width *= 2) {
+      const int64_t pairs = (n + 2 * width - 1) / (2 * width);
+      ParallelFor(0, pairs, 1, [&](int64_t mlo, int64_t mhi) {
+        for (int64_t m = mlo; m < mhi; ++m) {
+          const int64_t lo = m * 2 * width;
+          const int64_t mid = std::min(lo + width, n);
+          const int64_t hi = std::min(lo + 2 * width, n);
+          if (mid < hi) {
+            std::inplace_merge(order.begin() + lo, order.begin() + mid,
+                               order.begin() + hi, less);
+          }
+        }
+      });
+    }
+  }
   return df.TakeRows(order);
 }
 
@@ -127,9 +159,11 @@ Result<DataFrame> DropNa(const DataFrame& df,
   std::vector<uint8_t> keep(n, 1);
   for (const Column* c : cols) {
     if (!c->has_validity()) continue;
-    for (int64_t i = 0; i < n; ++i) {
-      if (c->IsNull(i)) keep[i] = 0;
-    }
+    ParallelFor(0, n, 16384, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        if (c->IsNull(i)) keep[i] = 0;
+      }
+    });
   }
   return df.FilterRows(keep);
 }

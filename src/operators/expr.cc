@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/thread_pool.h"
+
 namespace xorbits::operators {
 
 using dataframe::BinOp;
@@ -198,7 +200,11 @@ ExprPtr DayExpr(ExprPtr v) { return Unary(Expr::Kind::kDay, std::move(v)); }
 ExprPtr QuarterExpr(ExprPtr v) { return Unary(Expr::Kind::kQuarter, std::move(v)); }
 ExprPtr WeekDayExpr(ExprPtr v) { return Unary(Expr::Kind::kWeekDay, std::move(v)); }
 
-Result<Column> EvalExpr(const DataFrame& df, const Expr& expr) {
+namespace {
+
+/// Whole-column recursive evaluation; every elementwise kernel it calls is
+/// itself morsel-parallel (see dataframe/compute.cc).
+Result<Column> EvalExprImpl(const DataFrame& df, const Expr& expr) {
   switch (expr.kind) {
     case Expr::Kind::kColumn: {
       XORBITS_ASSIGN_OR_RETURN(const Column* c, df.GetColumn(expr.column));
@@ -216,113 +222,159 @@ Result<Column> EvalExpr(const DataFrame& df, const Expr& expr) {
       const Expr& l = *expr.children[0];
       const Expr& r = *expr.children[1];
       if (r.kind == Expr::Kind::kLiteral) {
-        XORBITS_ASSIGN_OR_RETURN(Column lc, EvalExpr(df, l));
+        XORBITS_ASSIGN_OR_RETURN(Column lc, EvalExprImpl(df, l));
         return dataframe::BinaryOpScalar(lc, r.literal, expr.bin_op);
       }
       if (l.kind == Expr::Kind::kLiteral) {
-        XORBITS_ASSIGN_OR_RETURN(Column rc, EvalExpr(df, r));
+        XORBITS_ASSIGN_OR_RETURN(Column rc, EvalExprImpl(df, r));
         return dataframe::BinaryOpScalar(rc, l.literal, expr.bin_op,
                                          /*reverse=*/true);
       }
-      XORBITS_ASSIGN_OR_RETURN(Column lc, EvalExpr(df, l));
-      XORBITS_ASSIGN_OR_RETURN(Column rc, EvalExpr(df, r));
+      XORBITS_ASSIGN_OR_RETURN(Column lc, EvalExprImpl(df, l));
+      XORBITS_ASSIGN_OR_RETURN(Column rc, EvalExprImpl(df, r));
       return dataframe::BinaryOp(lc, rc, expr.bin_op);
     }
     case Expr::Kind::kCompare: {
       const Expr& l = *expr.children[0];
       const Expr& r = *expr.children[1];
       if (r.kind == Expr::Kind::kLiteral) {
-        XORBITS_ASSIGN_OR_RETURN(Column lc, EvalExpr(df, l));
+        XORBITS_ASSIGN_OR_RETURN(Column lc, EvalExprImpl(df, l));
         return dataframe::CompareScalar(lc, r.literal, expr.cmp_op);
       }
-      XORBITS_ASSIGN_OR_RETURN(Column lc, EvalExpr(df, l));
-      XORBITS_ASSIGN_OR_RETURN(Column rc, EvalExpr(df, r));
+      XORBITS_ASSIGN_OR_RETURN(Column lc, EvalExprImpl(df, l));
+      XORBITS_ASSIGN_OR_RETURN(Column rc, EvalExprImpl(df, r));
       return dataframe::Compare(lc, rc, expr.cmp_op);
     }
     case Expr::Kind::kAnd: {
-      XORBITS_ASSIGN_OR_RETURN(Column l, EvalExpr(df, *expr.children[0]));
-      XORBITS_ASSIGN_OR_RETURN(Column r, EvalExpr(df, *expr.children[1]));
+      XORBITS_ASSIGN_OR_RETURN(Column l, EvalExprImpl(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column r, EvalExprImpl(df, *expr.children[1]));
       return dataframe::And(l, r);
     }
     case Expr::Kind::kOr: {
-      XORBITS_ASSIGN_OR_RETURN(Column l, EvalExpr(df, *expr.children[0]));
-      XORBITS_ASSIGN_OR_RETURN(Column r, EvalExpr(df, *expr.children[1]));
+      XORBITS_ASSIGN_OR_RETURN(Column l, EvalExprImpl(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column r, EvalExprImpl(df, *expr.children[1]));
       return dataframe::Or(l, r);
     }
     case Expr::Kind::kNot: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::Not(v);
     }
     case Expr::Kind::kIsIn: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::IsIn(v, expr.in_list);
     }
     case Expr::Kind::kIsNull: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::IsNullCol(v);
     }
     case Expr::Kind::kNotNull: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::NotNullCol(v);
     }
     case Expr::Kind::kStrContains: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::StrContains(v, expr.str_arg);
     }
     case Expr::Kind::kStrStartsWith: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::StrStartsWith(v, expr.str_arg);
     }
     case Expr::Kind::kStrEndsWith: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::StrEndsWith(v, expr.str_arg);
     }
     case Expr::Kind::kYear: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::Year(v);
     }
     case Expr::Kind::kMonth: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::Month(v);
     }
     case Expr::Kind::kStrSlice: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::StrSlice(v, expr.slice_start, expr.slice_stop);
     }
     case Expr::Kind::kStrUpper: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::StrUpper(v);
     }
     case Expr::Kind::kStrLower: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::StrLower(v);
     }
     case Expr::Kind::kStrLen: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::StrLen(v);
     }
     case Expr::Kind::kStrStrip: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::StrStrip(v);
     }
     case Expr::Kind::kStrReplace: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::StrReplace(v, expr.str_arg, expr.str_arg2);
     }
     case Expr::Kind::kDay: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::Day(v);
     }
     case Expr::Kind::kQuarter: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::Quarter(v);
     }
     case Expr::Kind::kWeekDay: {
-      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExpr(df, *expr.children[0]));
+      XORBITS_ASSIGN_OR_RETURN(Column v, EvalExprImpl(df, *expr.children[0]));
       return dataframe::WeekDay(v);
     }
   }
   return Status::Invalid("unreachable expr kind");
+}
+
+}  // namespace
+
+Result<Column> EvalExpr(const DataFrame& df, const Expr& expr) {
+  const int64_t n = df.num_rows();
+  const int64_t grain = GrainForMorsels(n, 16384, 8);
+  const int64_t morsels = NumMorsels(0, n, grain);
+  if (morsels < 2 || expr.kind == Expr::Kind::kColumn ||
+      expr.kind == Expr::Kind::kLiteral) {
+    return EvalExprImpl(df, expr);
+  }
+  // Morsel-driven tree evaluation: project the referenced columns once,
+  // then each morsel evaluates the whole expression over its row slice so
+  // intermediates stay cache-sized. Slices are row-local computations and
+  // concatenate in morsel order, so the result is byte-identical to the
+  // whole-column path at any thread count. (Kernels invoked inside a
+  // morsel run their own ParallelFor inline — no nested fan-out.)
+  std::set<std::string> used;
+  expr.CollectColumns(&used);
+  DataFrame projected;
+  for (const auto& name : used) {
+    XORBITS_ASSIGN_OR_RETURN(const Column* c, df.GetColumn(name));
+    XORBITS_RETURN_NOT_OK(projected.SetColumn(name, *c));
+  }
+  if (projected.num_columns() == 0) return EvalExprImpl(df, expr);
+
+  std::vector<Column> parts(morsels);
+  std::vector<Status> statuses(morsels, Status::OK());
+  ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+    const int64_t m = lo / grain;
+    DataFrame slice = projected.SliceRows(lo, hi - lo);
+    Result<Column> r = EvalExprImpl(slice, expr);
+    if (r.ok()) {
+      parts[m] = std::move(*r);
+    } else {
+      statuses[m] = r.status();
+    }
+  });
+  for (const Status& st : statuses) {
+    XORBITS_RETURN_NOT_OK(st);
+  }
+  std::vector<const Column*> piece_ptrs;
+  piece_ptrs.reserve(morsels);
+  for (const Column& c : parts) piece_ptrs.push_back(&c);
+  return Column::Concat(piece_ptrs);
 }
 
 }  // namespace xorbits::operators

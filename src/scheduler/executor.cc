@@ -1,7 +1,6 @@
 #include "scheduler/executor.h"
 
 #include <atomic>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -15,23 +14,45 @@ using operators::ChunkOp;
 using operators::ExecutionContext;
 using services::ChunkDataPtr;
 
-Executor::Executor(const Config& config, Metrics* metrics,
-                   services::StorageService* storage,
-                   services::MetaService* meta)
-    : config_(config), metrics_(metrics), storage_(storage), meta_(meta) {}
-
-namespace {
-
-/// Shared dispatch state for one Run call.
-struct RunState {
-  std::mutex mu;
-  std::condition_variable cv;
+/// Shared dispatch state for one Run call. Owned by Run's stack frame; band
+/// workers only dereference it under mu_ while `run_` still points at it,
+/// and Run does not return until no worker is busy with one of its
+/// subtasks.
+struct Executor::RunState {
+  graph::SubtaskGraph* graph = nullptr;
+  std::chrono::steady_clock::time_point deadline;
   std::vector<std::deque<int>> band_queues;
   std::vector<int> indegree;
   int remaining = 0;
+  int busy = 0;  // workers currently executing a subtask of this run
   bool cancelled = false;
   Status failure = Status::OK();
 };
+
+Executor::Executor(const Config& config, Metrics* metrics,
+                   services::StorageService* storage,
+                   services::MetaService* meta)
+    : config_(config), metrics_(metrics), storage_(storage), meta_(meta) {
+  kernel_pools_.resize(config_.num_workers);
+  if (config_.cpus_per_band > 1) {
+    const int pool_threads =
+        config_.bands_per_worker * config_.cpus_per_band;
+    for (int w = 0; w < config_.num_workers; ++w) {
+      kernel_pools_[w] = std::make_unique<ThreadPool>(pool_threads);
+    }
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : band_threads_) t.join();
+}
+
+namespace {
 
 services::ChunkMeta MetaOf(const ChunkDataPtr& data, int band) {
   services::ChunkMeta m;
@@ -52,14 +73,6 @@ services::ChunkMeta MetaOf(const ChunkDataPtr& data, int band) {
 }  // namespace
 
 namespace {
-int64_t ThreadCpuMicros() {
-  timespec ts;
-  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
-  return ts.tv_sec * 1000000LL + ts.tv_nsec / 1000;
-}
-}  // namespace
-
-namespace {
 // Cost model for modeled cluster time (see Metrics::simulated_us):
 // cross-band reads move at 1 GB/s; publishing a chunk to the storage
 // service costs a 2 GB/s (de)serialization pass; and dispatching one
@@ -72,6 +85,12 @@ constexpr int64_t kDispatchUs = 1000;
 
 Status Executor::RunSubtask(graph::Subtask& subtask) {
   const int band = subtask.band;
+  // Kernel CPU accounting. `cpu_start` sees only this band thread;
+  // ParallelFor morsels executed by pool threads report into `par_cpu`
+  // (with the band thread's own morsel share flagged inline so it is not
+  // counted twice). The modeled cost then charges serial CPU at full price
+  // and parallel CPU divided across the band's cpus_per_band slots.
+  ParallelCpuScope par_cpu;
   const int64_t cpu_start = ThreadCpuMicros();
   int64_t penalty_us = kDispatchUs;
   std::unordered_map<std::string, ChunkDataPtr> local;
@@ -180,8 +199,69 @@ Status Executor::RunSubtask(graph::Subtask& subtask) {
     local[node->key] = std::move(payload);
   }
   release_all();
-  subtask.sim_us = (ThreadCpuMicros() - cpu_start) + penalty_us;
+  const int64_t band_cpu = ThreadCpuMicros() - cpu_start;
+  const int64_t par_total = par_cpu.total_us();
+  int64_t serial_cpu = band_cpu - par_cpu.inline_us();
+  if (serial_cpu < 0) serial_cpu = 0;
+  const int64_t slots = std::max(1, config_.cpus_per_band);
+  metrics_->kernel_cpu_us += serial_cpu + par_total;
+  subtask.sim_us =
+      serial_cpu + (par_total + slots - 1) / slots + penalty_us;
   return Status::OK();
+}
+
+void Executor::EnsureWorkersStarted() {
+  if (workers_started_) return;
+  workers_started_ = true;
+  const int num_bands = config_.total_bands();
+  band_threads_.reserve(num_bands);
+  for (int b = 0; b < num_bands; ++b) {
+    band_threads_.emplace_back([this, b] { BandWorkerLoop(b); });
+  }
+}
+
+void Executor::BandWorkerLoop(int band) {
+  // Kernels dispatched from this band use the owning worker node's pool.
+  const int worker = band / std::max(1, config_.bands_per_worker);
+  if (worker < static_cast<int>(kernel_pools_.size())) {
+    SetCurrentThreadPool(kernel_pools_[worker].get());
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] {
+      return shutdown_ ||
+             (run_ != nullptr && !run_->cancelled &&
+              !run_->band_queues[band].empty());
+    });
+    if (shutdown_) return;
+    RunState* state = run_;
+    const int task_id = state->band_queues[band].front();
+    state->band_queues[band].pop_front();
+    state->busy++;
+    lock.unlock();
+
+    graph::Subtask& st = state->graph->subtasks[task_id];
+    Status result = RunSubtask(st);
+
+    lock.lock();
+    state->busy--;
+    metrics_->subtasks_executed++;
+    if (!result.ok()) {
+      metrics_->subtasks_failed++;
+      state->cancelled = true;
+      if (state->failure.ok()) state->failure = result;
+    } else {
+      state->remaining--;
+      for (int succ : st.succs) {
+        if (--state->indegree[succ] == 0) {
+          state->band_queues[state->graph->subtasks[succ].band].push_back(
+              succ);
+        }
+      }
+    }
+    cv_.notify_all();
+    done_cv_.notify_all();
+  }
 }
 
 Status Executor::Run(graph::SubtaskGraph* st_graph,
@@ -192,6 +272,8 @@ Status Executor::Run(graph::SubtaskGraph* st_graph,
 
   const int num_bands = config_.total_bands();
   RunState state;
+  state.graph = st_graph;
+  state.deadline = deadline;
   state.band_queues.resize(num_bands);
   state.indegree.resize(st_graph->subtasks.size());
   state.remaining = static_cast<int>(st_graph->subtasks.size());
@@ -200,65 +282,40 @@ Status Executor::Run(graph::SubtaskGraph* st_graph,
     if (st.preds.empty()) state.band_queues[st.band].push_back(st.id);
   }
 
-  auto band_worker = [&](int band) {
-    for (;;) {
-      int task_id = -1;
-      {
-        std::unique_lock<std::mutex> lock(state.mu);
-        state.cv.wait_until(lock, deadline, [&] {
-          return state.cancelled || state.remaining == 0 ||
-                 !state.band_queues[band].empty();
-        });
-        if (state.cancelled || state.remaining == 0) return;
-        if (state.band_queues[band].empty()) {
-          if (std::chrono::steady_clock::now() >= deadline) {
-            state.cancelled = true;
-            if (state.failure.ok()) {
-              state.failure = Status::Timeout("task deadline exceeded");
-            }
-            state.cv.notify_all();
-            return;
-          }
-          continue;
-        }
-        task_id = state.band_queues[band].front();
-        state.band_queues[band].pop_front();
+  Status out = Status::OK();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    EnsureWorkersStarted();
+    run_ = &state;
+    cv_.notify_all();
+    auto drained = [&] {
+      return (state.remaining == 0 || state.cancelled) && state.busy == 0;
+    };
+    if (!done_cv_.wait_until(lock, deadline, drained)) {
+      // Deadline passed: stop dispatching; workers finish their current
+      // subtask and quiesce, then the drain completes.
+      state.cancelled = true;
+      if (state.failure.ok()) {
+        state.failure = Status::Timeout("task deadline exceeded");
       }
-      graph::Subtask& st = st_graph->subtasks[task_id];
-      Status result = RunSubtask(st);
-      {
-        std::lock_guard<std::mutex> lock(state.mu);
-        metrics_->subtasks_executed++;
-        if (!result.ok()) {
-          metrics_->subtasks_failed++;
-          state.cancelled = true;
-          if (state.failure.ok()) state.failure = result;
-          state.cv.notify_all();
-          return;
-        }
-        state.remaining--;
-        for (int succ : st.succs) {
-          if (--state.indegree[succ] == 0) {
-            state.band_queues[st_graph->subtasks[succ].band].push_back(succ);
-          }
-        }
-        state.cv.notify_all();
-      }
+      cv_.notify_all();
+      done_cv_.wait(lock, drained);
     }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(num_bands);
-  for (int b = 0; b < num_bands; ++b) threads.emplace_back(band_worker, b);
-  for (auto& t : threads) t.join();
-
-  std::lock_guard<std::mutex> lock(state.mu);
-  if (!state.failure.ok()) return state.failure;
-  if (state.remaining != 0) {
-    return Status::Timeout("task deadline exceeded");
+    // Detach the run before releasing the lock so workers never observe a
+    // dangling RunState.
+    run_ = nullptr;
+    if (!state.failure.ok()) {
+      out = state.failure;
+    } else if (state.remaining != 0) {
+      out = Status::Timeout("task deadline exceeded");
+    }
   }
+  if (!out.ok()) return out;
+
   // Modeled cluster time: list-schedule the measured per-subtask costs with
-  // one serial execution slot per band (subtask order is topological).
+  // one serial dispatch slot per band (subtask order is topological); each
+  // subtask's sim_us already folds its parallel-kernel CPU divided across
+  // the band's cpus_per_band slots.
   {
     std::vector<int64_t> band_free(num_bands, 0);
     std::vector<int64_t> finish(st_graph->subtasks.size(), 0);

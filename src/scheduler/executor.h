@@ -4,25 +4,42 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/config.h"
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "graph/graph.h"
 #include "services/meta_service.h"
 #include "services/storage_service.h"
 
 namespace xorbits::scheduler {
 
-/// Runs a subtask graph on the simulated cluster: one serial execution slot
-/// per band, dependency-ordered dispatch, byte-accurate storage accounting,
+/// Runs subtask graphs on the simulated cluster: one serial dispatch slot
+/// per band, dependency-ordered execution, byte-accurate storage accounting,
 /// failure propagation and a wall-clock deadline (exceeding it reports the
 /// paper's "hang" failure class).
+///
+/// Band workers are persistent threads created on first use and reused
+/// across Run calls — dynamic tiling executes many partial graphs per
+/// pipeline, so re-spawning num_bands threads per graph is pure overhead.
+/// Each simulated worker node additionally owns a shared kernel ThreadPool
+/// (bands_per_worker * cpus_per_band threads) that its band workers install
+/// as the current pool, giving chunk kernels morsel-driven intra-operator
+/// parallelism. Kernel CPU burned on pool threads is aggregated per subtask
+/// and divided by cpus_per_band in the simulated cost model, so
+/// `simulated_us` reflects parallel speedup honestly.
 class Executor {
  public:
   Executor(const Config& config, Metrics* metrics,
            services::StorageService* storage, services::MetaService* meta);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
 
   /// Assigns bands (placement), executes everything, and marks persisted
   /// chunk nodes executed. `deadline` is absolute; pass time_point::max()
@@ -31,12 +48,29 @@ class Executor {
              std::chrono::steady_clock::time_point deadline);
 
  private:
+  struct RunState;
+
   Status RunSubtask(graph::Subtask& subtask);
+  void BandWorkerLoop(int band);
+  void EnsureWorkersStarted();
 
   const Config& config_;
   Metrics* metrics_;
   services::StorageService* storage_;
   services::MetaService* meta_;
+
+  // One kernel pool per simulated worker node, shared by its bands
+  // (nullptr entries when cpus_per_band == 1).
+  std::vector<std::unique_ptr<ThreadPool>> kernel_pools_;
+
+  // Persistent band workers and the run they are serving.
+  std::mutex mu_;
+  std::condition_variable cv_;       // wakes band workers
+  std::condition_variable done_cv_;  // wakes Run
+  std::vector<std::thread> band_threads_;
+  RunState* run_ = nullptr;  // non-null while a Run is in flight
+  bool shutdown_ = false;
+  bool workers_started_ = false;
 };
 
 }  // namespace xorbits::scheduler

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/thread_pool.h"
+
 namespace xorbits::tensor {
 
 namespace {
@@ -22,19 +24,37 @@ Status CheckSameShape(const NDArray& a, const NDArray& b, const char* what) {
   return Status::OK();
 }
 
+/// Elements per morsel for elementwise tensor kernels.
+constexpr int64_t kElemGrain = 1 << 15;
+
+/// Morsel grain for scalar reductions: bounded partial count, decomposition
+/// a pure function of n — float merge order never depends on thread count.
+inline int64_t ReduceGrain(int64_t n) {
+  return GrainForMorsels(n, kElemGrain, 16);
+}
+
 template <typename F>
 Result<NDArray> ZipWith(const NDArray& a, const NDArray& b, F f,
                         const char* what) {
   XORBITS_RETURN_NOT_OK(CheckSameShape(a, b, what));
   std::vector<double> out(a.data().size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = f(a.data()[i], b.data()[i]);
+  const double* ad = a.data().data();
+  const double* bd = b.data().data();
+  ParallelFor(0, static_cast<int64_t>(out.size()), kElemGrain,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) out[i] = f(ad[i], bd[i]);
+              });
   return NDArray::Make(std::move(out), a.shape());
 }
 
 template <typename F>
 NDArray MapUnary(const NDArray& a, F f) {
   std::vector<double> out(a.data().size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = f(a.data()[i]);
+  const double* ad = a.data().data();
+  ParallelFor(0, static_cast<int64_t>(out.size()), kElemGrain,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) out[i] = f(ad[i]);
+              });
   return NDArray::Make(std::move(out), a.shape()).MoveValue();
 }
 
@@ -173,19 +193,24 @@ Result<NDArray> MatMul(const NDArray& a, const NDArray& b) {
                            a.ShapeString() + " x " + b.ShapeString());
   }
   NDArray out = NDArray::Zeros({m, n});
-  // i-k-j loop order: streams through b rows, cache friendly.
+  // Row-blocked morsels: each morsel owns a disjoint slab of output rows,
+  // and within a row the i-k-j order streams through b rows cache
+  // friendly. Per-row accumulation order is unchanged, so the product is
+  // byte-identical to the serial loop at any thread count.
   const double* ad = a.data().data();
   const double* bd = b.data().data();
   double* od = out.mutable_data().data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const double aik = ad[i * k + kk];
-      if (aik == 0.0) continue;
-      const double* brow = bd + kk * n;
-      double* orow = od + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+  ParallelFor(0, m, GrainForMorsels(m, 1, 16), [&](int64_t ilo, int64_t ihi) {
+    for (int64_t i = ilo; i < ihi; ++i) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const double aik = ad[i * k + kk];
+        if (aik == 0.0) continue;
+        const double* brow = bd + kk * n;
+        double* orow = od + i * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -193,9 +218,11 @@ Result<NDArray> Transpose(const NDArray& a) {
   if (a.ndim() != 2) return Status::Invalid("Transpose requires rank 2");
   const int64_t m = a.rows(), n = a.cols();
   NDArray out = NDArray::Zeros({n, m});
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
-  }
+  ParallelFor(0, m, GrainForMorsels(m, 64, 16), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+    }
+  });
   return out;
 }
 
@@ -405,20 +432,42 @@ Status SVDDecompose(const NDArray& a, NDArray* u, NDArray* s, NDArray* vt) {
 }
 
 double SumAll(const NDArray& a) {
-  double s = 0;
-  for (double v : a.data()) s += v;
-  return s;
+  const double* d = a.data().data();
+  const int64_t n = static_cast<int64_t>(a.data().size());
+  return ParallelReduce(
+      0, n, ReduceGrain(n), 0.0,
+      [&](int64_t lo, int64_t hi) {
+        double s = 0;
+        for (int64_t i = lo; i < hi; ++i) s += d[i];
+        return s;
+      },
+      [](double x, double y) { return x + y; });
 }
 
 double MaxAbs(const NDArray& a) {
-  double s = 0;
-  for (double v : a.data()) s = std::max(s, std::fabs(v));
-  return s;
+  const double* d = a.data().data();
+  const int64_t n = static_cast<int64_t>(a.data().size());
+  return ParallelReduce(
+      0, n, ReduceGrain(n), 0.0,
+      [&](int64_t lo, int64_t hi) {
+        double s = 0;
+        for (int64_t i = lo; i < hi; ++i) s = std::max(s, std::fabs(d[i]));
+        return s;
+      },
+      [](double x, double y) { return std::max(x, y); });
 }
 
 double Norm(const NDArray& a) {
-  double s = 0;
-  for (double v : a.data()) s += v * v;
+  const double* d = a.data().data();
+  const int64_t n = static_cast<int64_t>(a.data().size());
+  const double s = ParallelReduce(
+      0, n, ReduceGrain(n), 0.0,
+      [&](int64_t lo, int64_t hi) {
+        double p = 0;
+        for (int64_t i = lo; i < hi; ++i) p += d[i] * d[i];
+        return p;
+      },
+      [](double x, double y) { return x + y; });
   return std::sqrt(s);
 }
 
@@ -469,10 +518,19 @@ Result<NDArray> HStack(const std::vector<const NDArray*>& pieces) {
 
 Result<double> MaxAbsDiff(const NDArray& a, const NDArray& b) {
   XORBITS_RETURN_NOT_OK(CheckSameShape(a, b, "MaxAbsDiff"));
-  double s = 0;
-  for (size_t i = 0; i < a.data().size(); ++i) {
-    s = std::max(s, std::fabs(a.data()[i] - b.data()[i]));
-  }
+  const double* ad = a.data().data();
+  const double* bd = b.data().data();
+  const int64_t n = static_cast<int64_t>(a.data().size());
+  double s = ParallelReduce(
+      0, n, ReduceGrain(n), 0.0,
+      [&](int64_t lo, int64_t hi) {
+        double p = 0;
+        for (int64_t i = lo; i < hi; ++i) {
+          p = std::max(p, std::fabs(ad[i] - bd[i]));
+        }
+        return p;
+      },
+      [](double x, double y) { return std::max(x, y); });
   return s;
 }
 

@@ -1,0 +1,302 @@
+// Stress tests for the morsel-driven ThreadPool and determinism tests
+// proving that parallel kernels produce byte-identical results at any
+// thread count (the contract that lets the executor divide parallel CPU
+// across modeled slots without changing answers).
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "dataframe/dataframe.h"
+#include "dataframe/groupby.h"
+#include "dataframe/join.h"
+#include "dataframe/kernels.h"
+#include "tensor/ndarray.h"
+
+namespace xorbits {
+namespace {
+
+using dataframe::AggFunc;
+using dataframe::AggSpec;
+using dataframe::Column;
+using dataframe::DataFrame;
+using dataframe::JoinType;
+using dataframe::MergeOptions;
+
+// ---------------------------------------------------------------------------
+// Pool stress
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolStressTest, ConcurrentSubmitAndWaitIdle) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 200;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+        if (i % 50 == 0) pool.WaitIdle();
+      }
+      pool.WaitIdle();
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), kThreads * kPerThread);
+}
+
+TEST(ThreadPoolStressTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  ThreadPool* prev = SetCurrentThreadPool(&pool);
+  constexpr int64_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(0, kN, 1000, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  SetCurrentThreadPool(prev);
+}
+
+TEST(ThreadPoolStressTest, NestedParallelForRunsInlineAndCompletes) {
+  ThreadPool pool(3);
+  ThreadPool* prev = SetCurrentThreadPool(&pool);
+  std::atomic<int64_t> total{0};
+  ParallelFor(0, 64, 4, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      // Nested loops must not deadlock and must cover their range.
+      ParallelFor(0, 100, 10, [&](int64_t ilo, int64_t ihi) {
+        total.fetch_add(ihi - ilo);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 64 * 100);
+  SetCurrentThreadPool(prev);
+}
+
+TEST(ThreadPoolStressTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  ThreadPool* prev = SetCurrentThreadPool(&pool);
+  EXPECT_THROW(
+      ParallelFor(0, 1000, 10,
+                  [&](int64_t lo, int64_t /*hi*/) {
+                    if (lo >= 500) throw std::runtime_error("morsel failed");
+                  }),
+      std::runtime_error);
+  // Pool must stay usable after an exception.
+  std::atomic<int> ok{0};
+  ParallelFor(0, 100, 10, [&](int64_t lo, int64_t hi) {
+    ok.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(ok.load(), 100);
+  SetCurrentThreadPool(prev);
+}
+
+TEST(ThreadPoolStressTest, ParallelReduceMatchesSerialFold) {
+  ThreadPool pool(4);
+  ThreadPool* prev = SetCurrentThreadPool(&pool);
+  constexpr int64_t kN = 123457;
+  const int64_t sum = ParallelReduce(
+      0, kN, 1000, int64_t{0},
+      [](int64_t lo, int64_t hi) {
+        int64_t s = 0;
+        for (int64_t i = lo; i < hi; ++i) s += i;
+        return s;
+      },
+      [](int64_t a, int64_t b) { return a + b; });
+  EXPECT_EQ(sum, kN * (kN - 1) / 2);
+  SetCurrentThreadPool(prev);
+}
+
+TEST(ThreadPoolStressTest, CpuScopeSeesPoolThreadWork) {
+  ThreadPool pool(4);
+  ThreadPool* prev = SetCurrentThreadPool(&pool);
+  ParallelCpuScope scope;
+  volatile double sink = 0;
+  ParallelFor(0, 1 << 22, 1 << 16, [&](int64_t lo, int64_t hi) {
+    double s = 0;
+    for (int64_t i = lo; i < hi; ++i) s += static_cast<double>(i) * 1e-9;
+    sink = sink + s;
+  });
+  // All morsel CPU must be visible, and the share run on this thread can
+  // never exceed the total.
+  EXPECT_GT(scope.total_us(), 0);
+  EXPECT_LE(scope.inline_us(), scope.total_us());
+  SetCurrentThreadPool(prev);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: byte-identical results at any thread count
+// ---------------------------------------------------------------------------
+
+/// Exact fingerprint of a frame: column names, dtypes, validity and raw
+/// value bytes. Any float-level difference changes the fingerprint.
+std::string Fingerprint(const DataFrame& df) {
+  std::string out;
+  for (int ci = 0; ci < df.num_columns(); ++ci) {
+    out += df.column_name(ci);
+    out += '|';
+    const Column& c = df.column(ci);
+    out += static_cast<char>(c.dtype());
+    for (int64_t i = 0; i < c.length(); ++i) {
+      out += c.IsValid(i) ? 'v' : 'n';
+      if (c.IsValid(i)) c.AppendKeyBytes(i, &out);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+/// Deterministic mixed-type test frame (LCG; no global RNG state).
+DataFrame MakeFrame(int64_t n) {
+  std::vector<int64_t> k1(n), ival(n);
+  std::vector<double> dval(n);
+  std::vector<std::string> k2(n);
+  std::vector<uint8_t> validity(n, 1);
+  uint64_t state = 42;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int64_t i = 0; i < n; ++i) {
+    k1[i] = static_cast<int64_t>(next() % 97);
+    k2[i] = "g" + std::to_string(next() % 13);
+    ival[i] = static_cast<int64_t>(next() % 1000) - 500;
+    dval[i] = static_cast<double>(next() % 100000) / 7.0;
+    if (next() % 50 == 0) validity[i] = 0;
+  }
+  DataFrame df;
+  EXPECT_TRUE(df.SetColumn("k1", Column::Int64(std::move(k1))).ok());
+  EXPECT_TRUE(df.SetColumn("k2", Column::String(std::move(k2))).ok());
+  EXPECT_TRUE(df.SetColumn("i", Column::Int64(std::move(ival))).ok());
+  EXPECT_TRUE(
+      df.SetColumn("d", Column::Float64(std::move(dval), std::move(validity)))
+          .ok());
+  return df;
+}
+
+/// Runs `fn` with no pool and with pools of 1, 2 and 8 threads; all four
+/// fingerprints must match exactly.
+template <typename Fn>
+void ExpectIdenticalAcrossThreadCounts(const Fn& fn) {
+  ThreadPool* prev = SetCurrentThreadPool(nullptr);
+  const std::string serial = fn();
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    SetCurrentThreadPool(&pool);
+    EXPECT_EQ(fn(), serial) << "threads=" << threads;
+    SetCurrentThreadPool(nullptr);
+  }
+  SetCurrentThreadPool(prev);
+}
+
+TEST(ParallelDeterminismTest, GroupByAggByteIdentical) {
+  const DataFrame df = MakeFrame(40000);
+  const std::vector<AggSpec> specs = {
+      {"i", AggFunc::kSum, "i_sum"},     {"d", AggFunc::kSum, "d_sum"},
+      {"d", AggFunc::kMean, "d_mean"},   {"d", AggFunc::kVar, "d_var"},
+      {"d", AggFunc::kMin, "d_min"},     {"i", AggFunc::kMax, "i_max"},
+      {"i", AggFunc::kFirst, "i_first"}, {"i", AggFunc::kLast, "i_last"},
+      {"", AggFunc::kSize, "n"},         {"d", AggFunc::kCount, "d_cnt"},
+  };
+  ExpectIdenticalAcrossThreadCounts([&] {
+    auto r = GroupByAgg(df, {"k1", "k2"}, specs, /*sort_keys=*/true);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return Fingerprint(*r);
+  });
+}
+
+TEST(ParallelDeterminismTest, MergeByteIdentical) {
+  const DataFrame left = MakeFrame(20000);
+  DataFrame right = MakeFrame(3000);
+  for (JoinType how :
+       {JoinType::kInner, JoinType::kLeft, JoinType::kOuter}) {
+    MergeOptions opt;
+    opt.on = {"k1"};
+    opt.how = how;
+    ExpectIdenticalAcrossThreadCounts([&] {
+      auto r = Merge(left, right, opt);
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      return Fingerprint(*r);
+    });
+  }
+}
+
+TEST(ParallelDeterminismTest, SortValuesByteIdentical) {
+  const DataFrame df = MakeFrame(50000);
+  ExpectIdenticalAcrossThreadCounts([&] {
+    auto r = SortValues(df, {"k1", "d"}, {true, false});
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return Fingerprint(*r);
+  });
+}
+
+TEST(ParallelDeterminismTest, SortIsStable) {
+  // Many duplicate keys: equal rows must keep their original order.
+  const int64_t n = 30000;
+  std::vector<int64_t> key(n), seq(n);
+  uint64_t state = 7;
+  for (int64_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    key[i] = static_cast<int64_t>(state >> 33) % 5;
+    seq[i] = i;
+  }
+  DataFrame df;
+  ASSERT_TRUE(df.SetColumn("k", Column::Int64(std::move(key))).ok());
+  ASSERT_TRUE(df.SetColumn("seq", Column::Int64(std::move(seq))).ok());
+  ThreadPool pool(8);
+  ThreadPool* prev = SetCurrentThreadPool(&pool);
+  auto r = SortValues(df, {"k"}, {true});
+  ASSERT_TRUE(r.ok());
+  const auto& k = r->GetColumn("k").ValueOrDie()->int64_data();
+  const auto& s = r->GetColumn("seq").ValueOrDie()->int64_data();
+  for (int64_t i = 1; i < n; ++i) {
+    ASSERT_LE(k[i - 1], k[i]);
+    if (k[i - 1] == k[i]) {
+      ASSERT_LT(s[i - 1], s[i]) << "unstable at " << i;
+    }
+  }
+  SetCurrentThreadPool(prev);
+}
+
+TEST(ParallelDeterminismTest, TensorKernelsByteIdentical) {
+  const int64_t m = 120, k = 80, n = 96;
+  std::vector<double> av(m * k), bv(k * n);
+  uint64_t state = 11;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 40) / 1000.0 - 8.0;
+  };
+  for (auto& v : av) v = next();
+  for (auto& v : bv) v = next();
+  const tensor::NDArray a =
+      tensor::NDArray::Make(av, {m, k}).ValueOrDie();
+  const tensor::NDArray b =
+      tensor::NDArray::Make(bv, {k, n}).ValueOrDie();
+
+  auto fingerprint = [&] {
+    auto prod = tensor::MatMul(a, b).ValueOrDie();
+    const double s = tensor::SumAll(prod);
+    const double nr = tensor::Norm(prod);
+    std::string out(reinterpret_cast<const char*>(prod.data().data()),
+                    prod.data().size() * sizeof(double));
+    out.append(reinterpret_cast<const char*>(&s), sizeof(s));
+    out.append(reinterpret_cast<const char*>(&nr), sizeof(nr));
+    return out;
+  };
+  ExpectIdenticalAcrossThreadCounts(fingerprint);
+}
+
+}  // namespace
+}  // namespace xorbits

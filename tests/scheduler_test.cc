@@ -243,5 +243,119 @@ TEST(ExecutorTest, EmptyGraphIsOk) {
   EXPECT_TRUE(h.Run(&g).ok());
 }
 
+TEST(ExecutorTest, SequentialRunsReusePersistentWorkers) {
+  Harness h;
+  std::atomic<int> count{0};
+  auto op = std::make_shared<CountingOp>(&count);
+  for (int round = 0; round < 3; ++round) {
+    ChunkGraph cg;
+    ChunkNode* n = cg.AddNode(op, {});
+    // Fresh graphs restart chunk ids, and the shared storage service
+    // rejects duplicate keys across rounds.
+    n->key = "persist_round" + std::to_string(round);
+    SubtaskGraph g;
+    Subtask st;
+    st.id = 0;
+    st.chunk_nodes = {n};
+    st.outputs = {n};
+    g.subtasks = {st};
+    ASSERT_TRUE(h.Run(&g).ok()) << "round " << round;
+  }
+  EXPECT_EQ(count.load(), 3);
+  EXPECT_EQ(h.metrics.subtasks_executed.load(), 3);
+}
+
+// Burns kernel CPU through the morsel loop, the shape whose cost used to
+// vanish from the model when it ran on pool threads.
+class BusyOp : public operators::ChunkOp {
+ public:
+  const char* type_name() const override { return "Busy"; }
+  Status Execute(operators::ExecutionContext& ctx) const override {
+    constexpr int64_t kN = 1 << 22;
+    const double total = ParallelReduce(
+        0, kN, 1 << 16, 0.0,
+        [](int64_t lo, int64_t hi) {
+          double s = 0;
+          for (int64_t i = lo; i < hi; ++i) {
+            s += static_cast<double>(i % 1000) * 1e-6;
+          }
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+    ctx.outputs[0] = services::MakeChunk(dataframe::Scalar::Float(total));
+    return Status::OK();
+  }
+};
+
+struct ConfiguredHarness {
+  Config config;
+  Metrics metrics;
+  services::StorageService storage;
+  services::MetaService meta;
+  Executor executor;
+
+  explicit ConfiguredHarness(Config c)
+      : config(std::move(c)),
+        storage(config, &metrics),
+        executor(config, &metrics, &storage, &meta) {}
+
+  Status Run(SubtaskGraph* g) {
+    return executor.Run(g, std::chrono::steady_clock::now() +
+                               std::chrono::seconds(60));
+  }
+};
+
+SubtaskGraph BusyGraph(ChunkGraph* cg, int n_subtasks) {
+  auto op = std::make_shared<BusyOp>();
+  SubtaskGraph g;
+  for (int i = 0; i < n_subtasks; ++i) {
+    ChunkNode* n = cg->AddNode(op, {});
+    Subtask st;
+    st.id = i;
+    st.chunk_nodes = {n};
+    st.outputs = {n};
+    g.subtasks.push_back(st);
+  }
+  return g;
+}
+
+TEST(ExecutorTest, ParallelKernelCpuIsNotFree) {
+  // The same graph must report comparable total kernel CPU whether the
+  // morsels run serially on the band thread or fan out to pool threads —
+  // the regression guard for the cost-model blind spot where pool-thread
+  // work never entered simulated_us.
+  Config serial_cfg = FourBands();
+  serial_cfg.cpus_per_band = 1;
+  Config parallel_cfg = FourBands();
+  parallel_cfg.cpus_per_band = 4;
+
+  ConfiguredHarness serial(serial_cfg);
+  {
+    ChunkGraph cg;
+    SubtaskGraph g = BusyGraph(&cg, 4);
+    ASSERT_TRUE(serial.Run(&g).ok());
+  }
+  ConfiguredHarness parallel(parallel_cfg);
+  {
+    ChunkGraph cg;
+    SubtaskGraph g = BusyGraph(&cg, 4);
+    ASSERT_TRUE(parallel.Run(&g).ok());
+  }
+
+  const double serial_cpu =
+      static_cast<double>(serial.metrics.kernel_cpu_us.load());
+  const double parallel_cpu =
+      static_cast<double>(parallel.metrics.kernel_cpu_us.load());
+  ASSERT_GT(serial_cpu, 0);
+  ASSERT_GT(parallel_cpu, 0);
+  // Identical work; generous bounds absorb scheduler/timer noise.
+  EXPECT_GT(parallel_cpu, serial_cpu / 6.0);
+  EXPECT_LT(parallel_cpu, serial_cpu * 6.0);
+
+  // Dividing parallel CPU across modeled slots must shrink modeled time.
+  EXPECT_LT(parallel.metrics.simulated_us.load(),
+            serial.metrics.simulated_us.load());
+}
+
 }  // namespace
 }  // namespace xorbits::scheduler
