@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace xorbits {
 
@@ -77,6 +79,39 @@ struct Config {
   int64_t task_deadline_ms = 120000;
   bool locality_aware = true;
   bool numa_aware = true;
+
+  // --- fault tolerance ---
+  /// Max re-executions of one subtask after a retryable failure (transient
+  /// I/O flake, lost band, per-subtask timeout). Fatal errors never retry.
+  int max_subtask_retries = 3;
+  /// Capped exponential backoff between attempts:
+  /// min(base << (attempt-1), cap), in milliseconds.
+  int64_t retry_backoff_base_ms = 1;
+  int64_t retry_backoff_cap_ms = 50;
+  /// Per-subtask wall-clock budget; an attempt that overruns it is rolled
+  /// back and retried as a straggler (0 disables). Checked cooperatively
+  /// after the kernel returns — a kernel that never returns is caught by the
+  /// task-level deadline instead.
+  int64_t subtask_timeout_ms = 0;
+  /// Cap on lineage-recovery recompute depth (ancestor chain of lost
+  /// chunks) before the executor gives up with the original kChunkLost.
+  int max_recovery_depth = 64;
+
+  // --- fault injection (deterministic chaos; see common/fault_injector.h) ---
+  /// Seed for the per-(subtask, attempt) transient-fault hash. The same
+  /// seed reproduces the same injected faults run over run.
+  uint64_t fault_seed = 0;
+  /// Probability that one subtask attempt fails with an injected transient
+  /// (retryable) fault. 0 disables transient injection.
+  double fault_transient_prob = 0.0;
+  /// Band-kill schedule: after the cluster completes `first` subtasks, band
+  /// `second` dies — its queued subtasks are re-placed, its stored chunks
+  /// are lost, and it is blacklisted for the rest of the executor's life.
+  std::vector<std::pair<int64_t, int>> fault_band_kills;
+  /// Chunk-loss schedule: after the cluster completes N subtasks, one
+  /// persisted chunk (deterministically the lexicographically smallest
+  /// lineage-tracked key) is dropped from storage.
+  std::vector<int64_t> fault_chunk_losses;
 
   /// Total number of bands in the cluster.
   int total_bands() const { return num_workers * bands_per_worker; }

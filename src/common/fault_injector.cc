@@ -1,0 +1,70 @@
+#include "common/fault_injector.h"
+
+#include <algorithm>
+#include <string>
+
+namespace xorbits {
+
+namespace {
+
+/// splitmix64: cheap, well-mixed 64-bit hash; the standard choice for
+/// turning (seed, counter) pairs into independent uniform draws.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const Config& config)
+    : seed_(config.fault_seed),
+      transient_prob_(config.fault_transient_prob),
+      band_kills_(config.fault_band_kills),
+      chunk_losses_(config.fault_chunk_losses) {
+  std::sort(band_kills_.begin(), band_kills_.end());
+  std::sort(chunk_losses_.begin(), chunk_losses_.end());
+  enabled_ = transient_prob_ > 0.0 || !band_kills_.empty() ||
+             !chunk_losses_.empty();
+}
+
+Status FaultInjector::MaybeInjectSubtaskFault(int64_t uid, int attempt) {
+  if (transient_prob_ <= 0.0) return Status::OK();
+  const uint64_t h = Mix64(seed_ ^ Mix64(static_cast<uint64_t>(uid)) ^
+                           (static_cast<uint64_t>(attempt) << 48));
+  // Top 53 bits -> uniform double in [0, 1).
+  const double draw =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  if (draw >= transient_prob_) return Status::OK();
+  faults_injected_++;
+  return Status::IOError("injected transient fault (subtask uid " +
+                         std::to_string(uid) + ", attempt " +
+                         std::to_string(attempt) + ")");
+}
+
+std::vector<int> FaultInjector::TakeDueBandKills(int64_t completed_subtasks) {
+  if (band_kills_.empty()) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> due;
+  while (next_band_kill_ < band_kills_.size() &&
+         band_kills_[next_band_kill_].first <= completed_subtasks) {
+    due.push_back(band_kills_[next_band_kill_].second);
+    ++next_band_kill_;
+  }
+  return due;
+}
+
+int FaultInjector::TakeDueChunkLosses(int64_t completed_subtasks) {
+  if (chunk_losses_.empty()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  int due = 0;
+  while (next_chunk_loss_ < chunk_losses_.size() &&
+         chunk_losses_[next_chunk_loss_] <= completed_subtasks) {
+    ++due;
+    ++next_chunk_loss_;
+  }
+  return due;
+}
+
+}  // namespace xorbits

@@ -1,0 +1,73 @@
+#ifndef XORBITS_COMMON_FAULT_INJECTOR_H_
+#define XORBITS_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+
+namespace xorbits {
+
+/// Deterministic chaos source for the simulated cluster. Three fault
+/// classes, all configured through `Config` so a chaos run is exactly
+/// reproducible from its seed:
+///
+///  - transient subtask faults: each (subtask, attempt) pair hashes, with
+///    the seed, to a uniform draw against `fault_transient_prob`. Hashing
+///    instead of a shared RNG stream makes the decision independent of
+///    thread interleaving — attempt 0 of subtask 17 either always fails or
+///    never does, no matter which band ran first.
+///  - band kills: "after the cluster has completed N subtasks, band B
+///    dies" schedules, consumed in order by the executor's completion
+///    counter.
+///  - chunk losses: "after N completed subtasks, one persisted chunk
+///    vanishes" events; the victim is chosen deterministically by the
+///    executor (lexicographically smallest lineage-tracked key).
+///
+/// A default-constructed injector (or one built from a Config with no
+/// fault fields set) is inert and costs one branch per hook.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const Config& config);
+
+  /// True when any fault class is configured.
+  bool enabled() const { return enabled_; }
+
+  /// Decides whether attempt `attempt` of the subtask identified by `uid`
+  /// suffers an injected transient fault. Returns OK or a retryable
+  /// kIOError. `uid` must be stable across identical runs (the executor
+  /// uses run-sequence * 2^20 + subtask id).
+  Status MaybeInjectSubtaskFault(int64_t uid, int attempt);
+
+  /// Bands whose scheduled kill step is <= `completed_subtasks`, each
+  /// returned exactly once across all calls.
+  std::vector<int> TakeDueBandKills(int64_t completed_subtasks);
+
+  /// Number of chunk-loss events whose step is <= `completed_subtasks`,
+  /// each counted exactly once across all calls.
+  int TakeDueChunkLosses(int64_t completed_subtasks);
+
+  /// Transient faults injected so far (for tests and benches).
+  int64_t faults_injected() const { return faults_injected_.load(); }
+
+ private:
+  bool enabled_ = false;
+  uint64_t seed_ = 0;
+  double transient_prob_ = 0.0;
+  std::atomic<int64_t> faults_injected_{0};
+
+  std::mutex mu_;  // guards the schedule cursors
+  std::vector<std::pair<int64_t, int>> band_kills_;  // sorted by step
+  size_t next_band_kill_ = 0;
+  std::vector<int64_t> chunk_losses_;  // sorted
+  size_t next_chunk_loss_ = 0;
+};
+
+}  // namespace xorbits
+
+#endif  // XORBITS_COMMON_FAULT_INJECTOR_H_

@@ -8,6 +8,9 @@ std::string Metrics::ToString() const {
   std::ostringstream os;
   os << "subtasks=" << subtasks_executed.load()
      << " failed=" << subtasks_failed.load()
+     << " retried=" << subtasks_retried.load()
+     << " recovered_chunks=" << chunks_recovered.load()
+     << " bands_lost=" << bands_blacklisted.load()
      << " stored_bytes=" << bytes_stored.load()
      << " transfer_bytes=" << bytes_transferred.load()
      << " spill_bytes=" << bytes_spilled.load()

@@ -13,6 +13,18 @@ namespace xorbits {
 struct Metrics {
   std::atomic<int64_t> subtasks_executed{0};
   std::atomic<int64_t> subtasks_failed{0};
+  /// Subtask attempts re-queued after a retryable failure (injected
+  /// transient fault, lost band, per-subtask timeout).
+  std::atomic<int64_t> subtasks_retried{0};
+  /// Chunk nodes recomputed from lineage after their stored payload was
+  /// lost (band death, chunk-loss event, missing spill file).
+  std::atomic<int64_t> chunks_recovered{0};
+  /// Bands permanently removed from scheduling after an injected kill.
+  std::atomic<int64_t> bands_blacklisted{0};
+  /// Transient faults the injector fired (denominator for retry rates).
+  std::atomic<int64_t> faults_injected{0};
+  /// Wall time spent inside lineage recovery (recompute of lost chunks).
+  std::atomic<int64_t> recovery_us{0};
   std::atomic<int64_t> chunks_stored{0};
   std::atomic<int64_t> bytes_stored{0};
   std::atomic<int64_t> bytes_transferred{0};  // cross-band chunk reads
@@ -38,6 +50,11 @@ struct Metrics {
   void Reset() {
     subtasks_executed = 0;
     subtasks_failed = 0;
+    subtasks_retried = 0;
+    chunks_recovered = 0;
+    bands_blacklisted = 0;
+    faults_injected = 0;
+    recovery_us = 0;
     chunks_stored = 0;
     bytes_stored = 0;
     bytes_transferred = 0;

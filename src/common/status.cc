@@ -15,6 +15,8 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kTimeout: return "Timeout";
     case StatusCode::kExecutionError: return "ExecutionError";
     case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kWorkerLost: return "WorkerLost";
+    case StatusCode::kChunkLost: return "ChunkLost";
   }
   return "Unknown";
 }

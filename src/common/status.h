@@ -22,6 +22,8 @@ enum class StatusCode {
   kTimeout,          // scheduler deadline exceeded ("hang")
   kExecutionError,   // a subtask failed during execution
   kCancelled,
+  kWorkerLost,       // a band died; its subtasks must run elsewhere
+  kChunkLost,        // stored chunk gone; recoverable via lineage recompute
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -66,6 +68,12 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status WorkerLost(std::string msg) {
+    return Status(StatusCode::kWorkerLost, std::move(msg));
+  }
+  static Status ChunkLost(std::string msg) {
+    return Status(StatusCode::kChunkLost, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -74,6 +82,21 @@ class Status {
   bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
   bool IsNotImplemented() const { return code_ == StatusCode::kNotImplemented; }
+  bool IsWorkerLost() const { return code_ == StatusCode::kWorkerLost; }
+  bool IsChunkLost() const { return code_ == StatusCode::kChunkLost; }
+
+  /// Failure taxonomy used by the executor's retry policy. Retryable errors
+  /// are transient by nature (an I/O flake, a band that died mid-subtask, a
+  /// straggler past its per-subtask timeout) and may succeed on a clean
+  /// re-execution; everything else — kernel bugs, type errors, deterministic
+  /// OOM — fails identically on every attempt and must fail fast. kChunkLost
+  /// is deliberately NOT retryable: plain re-execution cannot conjure the
+  /// missing input, it needs the lineage-recovery path first.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kIOError ||
+           code_ == StatusCode::kWorkerLost ||
+           code_ == StatusCode::kTimeout;
+  }
 
   std::string ToString() const {
     if (ok()) return "OK";

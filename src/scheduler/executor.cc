@@ -1,6 +1,9 @@
 #include "scheduler/executor.h"
 
+#include <algorithm>
 #include <atomic>
+#include <functional>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -23,16 +26,25 @@ struct Executor::RunState {
   std::chrono::steady_clock::time_point deadline;
   std::vector<std::deque<int>> band_queues;
   std::vector<int> indegree;
+  /// Retry count per subtask (attempt = attempts[id] on dispatch).
+  std::vector<int> attempts;
+  /// uid_base + subtask id = the stable identity the injector hashes.
+  int64_t uid_base = 0;
   int remaining = 0;
   int busy = 0;  // workers currently executing a subtask of this run
-  bool cancelled = false;
+  std::atomic<bool> cancelled{false};
   Status failure = Status::OK();
 };
 
 Executor::Executor(const Config& config, Metrics* metrics,
                    services::StorageService* storage,
                    services::MetaService* meta)
-    : config_(config), metrics_(metrics), storage_(storage), meta_(meta) {
+    : config_(config),
+      metrics_(metrics),
+      storage_(storage),
+      meta_(meta),
+      injector_(config),
+      blacklisted_(config.total_bands(), 0) {
   kernel_pools_.resize(config_.num_workers);
   if (config_.cpus_per_band > 1) {
     const int pool_threads =
@@ -70,6 +82,13 @@ services::ChunkMeta MetaOf(const ChunkDataPtr& data, int band) {
   return m;
 }
 
+/// Lineage is keyed by the producing node's key; shuffle partitions
+/// ("<key>@<p>") map back to it by stripping the suffix.
+std::string BaseKey(const std::string& key) {
+  const auto pos = key.rfind('@');
+  return pos == std::string::npos ? key : key.substr(0, pos);
+}
+
 }  // namespace
 
 namespace {
@@ -83,8 +102,18 @@ constexpr int64_t kStoreBytesPerUs = 2000;
 constexpr int64_t kDispatchUs = 1000;
 }  // namespace
 
-Status Executor::RunSubtask(graph::Subtask& subtask) {
+Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
+                            int attempt, std::string* lost_key) {
   const int band = subtask.band;
+  // Injected transient faults fire before any work: a fated (uid, attempt)
+  // pair fails here deterministically, and a re-run of the same attempt
+  // after lineage recovery passes identically.
+  Status injected = injector_.MaybeInjectSubtaskFault(uid, attempt);
+  if (!injected.ok()) {
+    metrics_->faults_injected++;
+    return injected;
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
   // Kernel CPU accounting. `cpu_start` sees only this band thread;
   // ParallelFor morsels executed by pool threads report into `par_cpu`
   // (with the band thread's own morsel share flagged inline so it is not
@@ -97,6 +126,12 @@ Status Executor::RunSubtask(graph::Subtask& subtask) {
   std::unordered_map<std::string, std::vector<ChunkDataPtr>> unit_cache;
   std::unordered_set<const graph::ChunkNode*> persist(
       subtask.outputs.begin(), subtask.outputs.end());
+  // Provenance for lineage recovery: every storage key this attempt read
+  // (the group's external inputs) and wrote (outputs + shuffle
+  // partitions). Recorded only after the whole group succeeds.
+  std::vector<std::string> fetched_keys;
+  std::vector<std::string> published_keys;
+  std::vector<graph::ChunkNode*> shuffle_map_nodes;
   std::vector<int64_t> transients;
   auto release_all = [&] {
     for (int64_t b : transients) storage_->ReleaseTransient(band, b);
@@ -135,12 +170,16 @@ Status Executor::RunSubtask(graph::Subtask& subtask) {
         auto fetched = storage_->Get(k, band, &transferred);
         if (!fetched.ok()) {
           release_all();
+          if (fetched.status().IsChunkLost() && lost_key != nullptr) {
+            *lost_key = k;
+          }
           return fetched.status().WithContext(
               std::string("fetching input for ") + op->type_name());
         }
         if (transferred) {
           penalty_us += (*fetched)->nbytes() / kNetworkBytesPerUs;
         }
+        fetched_keys.push_back(k);
         ctx.inputs.push_back(*fetched);
       }
       Status st = op->Execute(ctx);
@@ -151,12 +190,13 @@ Status Executor::RunSubtask(graph::Subtask& subtask) {
       if (op->is_shuffle_map()) {
         int64_t total_rows = 0, total_bytes = 0;
         for (const auto& [p, data] : ctx.shuffle_outputs) {
-          Status put = storage_->Put(
-              node->key + "@" + std::to_string(p), data, band);
+          const std::string part_key = node->key + "@" + std::to_string(p);
+          Status put = storage_->Put(part_key, data, band);
           if (!put.ok()) {
             release_all();
             return put.WithContext(op->type_name());
           }
+          published_keys.push_back(part_key);
           penalty_us += data->nbytes() / kStoreBytesPerUs;
           total_rows += data->rows();
           total_bytes += data->nbytes();
@@ -166,6 +206,7 @@ Status Executor::RunSubtask(graph::Subtask& subtask) {
         m.nbytes = total_bytes;
         m.band = band;
         meta_->Put(node->key, m);
+        shuffle_map_nodes.push_back(node);
         node->executed = true;
         continue;
       }
@@ -185,6 +226,7 @@ Status Executor::RunSubtask(graph::Subtask& subtask) {
       }
       penalty_us += payload->nbytes() / kStoreBytesPerUs;
       meta_->Put(node->key, MetaOf(payload, band));
+      published_keys.push_back(node->key);
       node->executed = true;
     } else {
       // Fused intermediate: never stored, but it occupies worker memory
@@ -199,6 +241,26 @@ Status Executor::RunSubtask(graph::Subtask& subtask) {
     local[node->key] = std::move(payload);
   }
   release_all();
+  // Record provenance at subtask granularity: a fused group's interior
+  // nodes were never persisted, so recovering any one output means
+  // re-running the whole group from its external inputs. Recorded only
+  // now, after every output is published — the chaos chunk-loss picker
+  // skips lineage-less keys, so half-published groups are never chosen.
+  {
+    services::ChunkLineage lineage;
+    lineage.nodes = subtask.chunk_nodes;
+    lineage.outputs = subtask.outputs;
+    lineage.input_keys = fetched_keys;
+    lineage.output_keys = published_keys;
+    for (const graph::ChunkNode* out : subtask.outputs) {
+      meta_->PutLineage(out->key, lineage);
+    }
+    // Shuffle mappers publish partitions whether or not they are listed as
+    // outputs; their base key must resolve to this group's lineage too.
+    for (const graph::ChunkNode* m : shuffle_map_nodes) {
+      meta_->PutLineage(m->key, lineage);
+    }
+  }
   const int64_t band_cpu = ThreadCpuMicros() - cpu_start;
   const int64_t par_total = par_cpu.total_us();
   int64_t serial_cpu = band_cpu - par_cpu.inline_us();
@@ -207,6 +269,161 @@ Status Executor::RunSubtask(graph::Subtask& subtask) {
   metrics_->kernel_cpu_us += serial_cpu + par_total;
   subtask.sim_us =
       serial_cpu + (par_total + slots - 1) / slots + penalty_us;
+  // Per-subtask timeout, checked cooperatively after the kernel returns
+  // (a kernel that never returns is the task-level deadline's job). An
+  // overrunning attempt is rolled back and reported as a retryable
+  // straggler.
+  if (config_.subtask_timeout_ms > 0) {
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    if (elapsed_ms > config_.subtask_timeout_ms) {
+      RollbackSubtask(subtask);
+      return Status::Timeout(
+          "subtask attempt took " + std::to_string(elapsed_ms) +
+          " ms, over the per-subtask timeout of " +
+          std::to_string(config_.subtask_timeout_ms) + " ms");
+    }
+  }
+  return Status::OK();
+}
+
+void Executor::RollbackSubtask(graph::Subtask& subtask) {
+  for (graph::ChunkNode* node : subtask.chunk_nodes) {
+    if (!node->executed) continue;
+    Status ignored = storage_->Delete(node->key);
+    (void)ignored;
+    storage_->DeleteByPrefix(node->key + "@");
+    meta_->Delete(node->key);
+    node->executed = false;
+  }
+}
+
+int64_t Executor::BackoffMs(int attempt) const {
+  if (config_.retry_backoff_base_ms <= 0) return 0;
+  int64_t delay = config_.retry_backoff_base_ms;
+  for (int i = 1; i < attempt && delay < config_.retry_backoff_cap_ms; ++i) {
+    delay *= 2;
+  }
+  return std::min(delay, config_.retry_backoff_cap_ms);
+}
+
+Status Executor::EnsureChunkAvailable(const std::string& key) {
+  if (storage_->Has(key) || !storage_->IsLost(key)) return Status::OK();
+  int band = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int b = 0; b < config_.total_bands(); ++b) {
+      if (!blacklisted_[b]) {
+        band = b;
+        break;
+      }
+    }
+  }
+  if (band < 0) {
+    return Status::WorkerLost("chunk '" + key +
+                              "' is lost and every band is dead");
+  }
+  int64_t sim_us = 0;
+  Status st = RecoverLostChunk(key, band, &sim_us);
+  metrics_->simulated_us += sim_us;
+  return st;
+}
+
+Status Executor::RecoverLostChunk(const std::string& key, int band,
+                                  int64_t* sim_us) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(recovery_mu_);
+  Status out = Status::OK();
+  if (!storage_->Has(key)) {  // a racing recovery may have rebuilt it
+    out = RecoverKey(key, band, /*depth=*/0, sim_us);
+  }
+  metrics_->recovery_us +=
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+Status Executor::RecoverKey(const std::string& key, int band, int depth,
+                            int64_t* sim_us) {
+  if (depth > config_.max_recovery_depth) {
+    return Status::ChunkLost("lineage recovery depth cap (" +
+                             std::to_string(config_.max_recovery_depth) +
+                             ") exceeded at chunk '" + key + "'");
+  }
+  const std::string base = BaseKey(key);
+  auto lineage = meta_->GetLineage(base);
+  if (!lineage.ok()) {
+    return Status::ChunkLost("chunk '" + key +
+                             "' is lost and has no recorded lineage");
+  }
+  // Rebuild the minimal recomputation subgraph: recursively recover every
+  // external input of the producing group that is itself gone, then re-run
+  // the whole group (its interior nodes were never persisted).
+  for (const std::string& in : lineage->input_keys) {
+    if (!storage_->Has(in)) {
+      XORBITS_RETURN_NOT_OK(RecoverKey(in, band, depth + 1, sim_us));
+    }
+  }
+  // Drop surviving outputs (and settle tombstones) so the re-publish is
+  // clean; stale shuffle partitions are swept by base-key prefix.
+  for (const std::string& out_key : lineage->output_keys) {
+    Status ignored = storage_->Delete(out_key);
+    (void)ignored;
+  }
+  for (const graph::ChunkNode* n : lineage->nodes) {
+    storage_->DeleteByPrefix(n->key + "@");
+  }
+  for (graph::ChunkNode* n : lineage->nodes) n->executed = false;
+
+  graph::Subtask recompute;
+  recompute.id = -1;
+  recompute.band = band;
+  recompute.chunk_nodes = lineage->nodes;
+  recompute.outputs = lineage->outputs;
+  // Stable injector identity for recovery work, distinct from regular
+  // subtask uids (bit 59 set); recovery attempts are themselves subject to
+  // transient injection and retry.
+  const int64_t uid =
+      static_cast<int64_t>(std::hash<std::string>{}(base) &
+                           0x07ffffffffffffffULL) |
+      (int64_t{1} << 59);
+  Status result = Status::OK();
+  const int max_attempts = config_.max_subtask_retries + 1;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    std::string lost;
+    result = RunSubtask(recompute, uid, attempt, &lost);
+    if (result.ok()) break;
+    RollbackSubtask(recompute);
+    if (result.IsChunkLost() && !lost.empty()) {
+      // An input vanished between the availability check and the read
+      // (nested loss); recover it and burn one attempt.
+      Status nested = RecoverKey(lost, band, depth + 1, sim_us);
+      if (!nested.ok()) return nested;
+      continue;
+    }
+    if (result.IsRetryable() && attempt + 1 < max_attempts) {
+      metrics_->subtasks_retried++;
+      const int64_t delay = BackoffMs(attempt + 1);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+      continue;
+    }
+    return result.WithContext("recomputing lost chunk '" + base + "'");
+  }
+  if (!result.ok()) {
+    return result.WithContext("recomputing lost chunk '" + base + "'");
+  }
+  for (graph::ChunkNode* n : lineage->nodes) n->band = band;
+  *sim_us += recompute.sim_us;
+  metrics_->chunks_recovered +=
+      static_cast<int64_t>(lineage->outputs.size());
+  XORBITS_LOG(Info) << "recovered chunk " << base << " on band " << band
+                    << " (group of " << lineage->nodes.size()
+                    << ", depth " << depth << ")";
   return Status::OK();
 }
 
@@ -217,6 +434,81 @@ void Executor::EnsureWorkersStarted() {
   band_threads_.reserve(num_bands);
   for (int b = 0; b < num_bands; ++b) {
     band_threads_.emplace_back([this, b] { BandWorkerLoop(b); });
+  }
+}
+
+int Executor::AliveBandLocked(RunState* state) const {
+  int best = -1;
+  size_t best_queue = std::numeric_limits<size_t>::max();
+  for (int b = 0; b < config_.total_bands(); ++b) {
+    if (blacklisted_[b]) continue;
+    const size_t q = state->band_queues[b].size();
+    if (q < best_queue) {
+      best_queue = q;
+      best = b;
+    }
+  }
+  return best;
+}
+
+void Executor::EnqueueLocked(RunState* state, int task_id) {
+  graph::Subtask& st = state->graph->subtasks[task_id];
+  if (st.band < 0 || st.band >= config_.total_bands() ||
+      blacklisted_[st.band]) {
+    const int target = AliveBandLocked(state);
+    if (target < 0) {
+      state->cancelled = true;
+      if (state->failure.ok()) {
+        state->failure =
+            Status::WorkerLost("every band in the cluster is dead");
+      }
+      return;
+    }
+    st.band = target;
+    for (graph::ChunkNode* n : st.chunk_nodes) n->band = target;
+  }
+  state->band_queues[st.band].push_back(task_id);
+}
+
+void Executor::KillBandLocked(RunState* state, int band) {
+  if (band < 0 || band >= config_.total_bands() || blacklisted_[band]) {
+    return;
+  }
+  blacklisted_[band] = 1;
+  metrics_->bands_blacklisted++;
+  const std::vector<std::string> lost = storage_->MarkBandDead(band);
+  XORBITS_LOG(Warn) << "chaos: band " << band << " died, " << lost.size()
+                    << " chunk(s) lost; re-placing its queue";
+  if (state == nullptr) return;
+  // Re-place everything the dead band had queued; lost chunks are
+  // recovered lazily when a consumer's read surfaces kChunkLost.
+  std::deque<int> orphaned;
+  orphaned.swap(state->band_queues[band]);
+  for (int task_id : orphaned) {
+    graph::Subtask& st = state->graph->subtasks[task_id];
+    st.band = -1;  // force re-placement
+    EnqueueLocked(state, task_id);
+  }
+}
+
+void Executor::DropOneChunkLocked() {
+  for (const std::string& key : storage_->SortedKeys()) {
+    if (!meta_->HasLineage(BaseKey(key))) continue;
+    Status dropped = storage_->DropChunk(key);
+    if (dropped.ok()) {
+      XORBITS_LOG(Warn) << "chaos: dropped chunk " << key;
+      return;
+    }
+  }
+}
+
+void Executor::ProcessDueFaultsLocked(RunState* state, int64_t completed) {
+  if (!injector_.enabled()) return;
+  for (int band : injector_.TakeDueBandKills(completed)) {
+    KillBandLocked(state, band);
+  }
+  for (int n = injector_.TakeDueChunkLosses(completed); n > 0; --n) {
+    DropOneChunkLocked();
   }
 }
 
@@ -238,27 +530,75 @@ void Executor::BandWorkerLoop(int band) {
     const int task_id = state->band_queues[band].front();
     state->band_queues[band].pop_front();
     state->busy++;
+    const int attempt = state->attempts[task_id];
+    const int64_t uid = state->uid_base + task_id;
     lock.unlock();
 
     graph::Subtask& st = state->graph->subtasks[task_id];
-    Status result = RunSubtask(st);
+    std::string lost_key;
+    Status result = RunSubtask(st, uid, attempt, &lost_key);
+
+    // Lineage recovery: rebuild lost inputs on this band, then re-run the
+    // attempt in place. Each iteration recovers one lost input chain, so
+    // the loop is bounded by the subtask's input count (cap guards the
+    // pathological case).
+    int64_t recovered_sim_us = 0;
+    int recovery_rounds = 0;
+    while (result.IsChunkLost() && !lost_key.empty() &&
+           recovery_rounds <= config_.max_recovery_depth &&
+           !state->cancelled.load()) {
+      RollbackSubtask(st);
+      Status recovered = RecoverLostChunk(lost_key, band, &recovered_sim_us);
+      if (!recovered.ok()) {
+        result = recovered;
+        break;
+      }
+      ++recovery_rounds;
+      lost_key.clear();
+      result = RunSubtask(st, uid, attempt, &lost_key);
+    }
+    if (result.ok()) st.sim_us += recovered_sim_us;
 
     lock.lock();
-    state->busy--;
     metrics_->subtasks_executed++;
-    if (!result.ok()) {
+    if (result.ok() && blacklisted_[band]) {
+      // The band died while this subtask ran; whatever it published went
+      // down with the band's storage.
+      result = Status::WorkerLost("band " + std::to_string(band) +
+                                  " died while executing subtask " +
+                                  std::to_string(task_id));
+    }
+    if (result.ok()) {
+      state->remaining--;
+      for (int succ : st.succs) {
+        if (--state->indegree[succ] == 0) EnqueueLocked(state, succ);
+      }
+      ProcessDueFaultsLocked(state, ++completed_subtasks_);
+    } else if (result.IsRetryable() &&
+               state->attempts[task_id] < config_.max_subtask_retries &&
+               !state->cancelled.load()) {
+      // Retryable failure with budget left: roll back, back off, re-queue
+      // (off this band if it just died). `busy` stays held through the
+      // backoff so Run cannot drain while the subtask is parked here.
+      state->attempts[task_id]++;
+      metrics_->subtasks_retried++;
+      const int64_t delay_ms = BackoffMs(state->attempts[task_id]);
+      lock.unlock();
+      RollbackSubtask(st);
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+      lock.lock();
+      if (!state->cancelled.load()) {
+        if (blacklisted_[st.band]) st.band = -1;
+        EnqueueLocked(state, task_id);
+      }
+    } else {
       metrics_->subtasks_failed++;
       state->cancelled = true;
       if (state->failure.ok()) state->failure = result;
-    } else {
-      state->remaining--;
-      for (int succ : st.succs) {
-        if (--state->indegree[succ] == 0) {
-          state->band_queues[state->graph->subtasks[succ].band].push_back(
-              succ);
-        }
-      }
     }
+    state->busy--;
     cv_.notify_all();
     done_cv_.notify_all();
   }
@@ -268,28 +608,45 @@ Status Executor::Run(graph::SubtaskGraph* st_graph,
                      std::chrono::steady_clock::time_point deadline) {
   if (st_graph->subtasks.empty()) return Status::OK();
   const int64_t spilled_before = metrics_->bytes_spilled.load();
-  AssignBands(config_, st_graph);
-
   const int num_bands = config_.total_bands();
+
+  std::vector<char> dead;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dead = blacklisted_;
+  }
+  if (std::count(dead.begin(), dead.end(), 1) == num_bands) {
+    return Status::WorkerLost("every band in the cluster is dead");
+  }
+  AssignBands(config_, st_graph, &dead);
+
   RunState state;
   state.graph = st_graph;
   state.deadline = deadline;
   state.band_queues.resize(num_bands);
   state.indegree.resize(st_graph->subtasks.size());
+  state.attempts.assign(st_graph->subtasks.size(), 0);
   state.remaining = static_cast<int>(st_graph->subtasks.size());
   for (const graph::Subtask& st : st_graph->subtasks) {
     state.indegree[st.id] = static_cast<int>(st.preds.size());
-    if (st.preds.empty()) state.band_queues[st.band].push_back(st.id);
   }
 
   Status out = Status::OK();
   {
     std::unique_lock<std::mutex> lock(mu_);
     EnsureWorkersStarted();
+    state.uid_base = (++run_seq_) << 20;
+    for (const graph::Subtask& st : st_graph->subtasks) {
+      if (st.preds.empty()) EnqueueLocked(&state, st.id);
+    }
+    // Kill/loss events scheduled at or before the current completion count
+    // (e.g. "kill band 1 at step 0") fire before dispatch.
+    ProcessDueFaultsLocked(&state, completed_subtasks_);
     run_ = &state;
     cv_.notify_all();
     auto drained = [&] {
-      return (state.remaining == 0 || state.cancelled) && state.busy == 0;
+      return (state.remaining == 0 || state.cancelled.load()) &&
+             state.busy == 0;
     };
     if (!done_cv_.wait_until(lock, deadline, drained)) {
       // Deadline passed: stop dispatching; workers finish their current
@@ -315,7 +672,8 @@ Status Executor::Run(graph::SubtaskGraph* st_graph,
   // Modeled cluster time: list-schedule the measured per-subtask costs with
   // one serial dispatch slot per band (subtask order is topological); each
   // subtask's sim_us already folds its parallel-kernel CPU divided across
-  // the band's cpus_per_band slots.
+  // the band's cpus_per_band slots (and any lineage-recovery recompute it
+  // had to wait for).
   {
     std::vector<int64_t> band_free(num_bands, 0);
     std::vector<int64_t> finish(st_graph->subtasks.size(), 0);

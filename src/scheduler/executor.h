@@ -6,10 +6,12 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/config.h"
+#include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "graph/graph.h"
@@ -32,6 +34,19 @@ namespace xorbits::scheduler {
 /// parallelism. Kernel CPU burned on pool threads is aggregated per subtask
 /// and divided by cpus_per_band in the simulated cost model, so
 /// `simulated_us` reflects parallel speedup honestly.
+///
+/// Fault tolerance (DESIGN.md § Failure model & recovery): subtask attempts
+/// that fail with a retryable error (transient I/O flake, lost band,
+/// per-subtask timeout) are rolled back and re-queued with capped
+/// exponential backoff, up to `max_subtask_retries`. A band killed by the
+/// fault injector is blacklisted for the executor's lifetime: its stored
+/// chunks are dropped (tombstoned in storage), its queued subtasks are
+/// re-placed on surviving bands, and later runs never schedule onto it.
+/// When a subtask's input read surfaces kChunkLost, the executor rebuilds
+/// the minimal recomputation subgraph from lineage recorded in the meta
+/// service and re-executes it on the consuming band before retrying the
+/// consumer. Fatal errors (kernel bugs, type errors, deterministic OOM)
+/// still fail the run fast with their original error class.
 class Executor {
  public:
   Executor(const Config& config, Metrics* metrics,
@@ -47,17 +62,57 @@ class Executor {
   Status Run(graph::SubtaskGraph* st_graph,
              std::chrono::steady_clock::time_point deadline);
 
+  /// Supervisor-side recovery hook: if `key` was lost (tombstoned), rebuild
+  /// it from lineage on a surviving band. No-op when the chunk is present
+  /// or never existed (the caller's read then surfaces the original
+  /// error). Used by result fetch, which reads storage directly and would
+  /// otherwise leak kChunkLost to the user.
+  Status EnsureChunkAvailable(const std::string& key);
+
  private:
   struct RunState;
 
-  Status RunSubtask(graph::Subtask& subtask);
+  /// One execution attempt. `uid` identifies the (run, subtask) pair for
+  /// deterministic fault injection; `lost_key`, when non-null, receives the
+  /// storage key whose read failed with kChunkLost.
+  Status RunSubtask(graph::Subtask& subtask, int64_t uid, int attempt,
+                    std::string* lost_key);
+  /// Deletes every output this subtask already published (including shuffle
+  /// partitions) and clears member nodes' executed flags, so a retry can
+  /// re-publish without duplicate-key collisions.
+  void RollbackSubtask(graph::Subtask& subtask);
+
+  /// Serialized entry point for lineage recovery of one lost chunk;
+  /// re-checks under the recovery lock whether a racing recovery already
+  /// rebuilt it. Adds the recompute's modeled cost to `*sim_us`.
+  Status RecoverLostChunk(const std::string& key, int band, int64_t* sim_us);
+  /// Recomputes the producer of `key` (recursively recovering its own lost
+  /// inputs first) on `band`. Caller holds recovery_mu_.
+  Status RecoverKey(const std::string& key, int band, int depth,
+                    int64_t* sim_us);
+
   void BandWorkerLoop(int band);
   void EnsureWorkersStarted();
+  /// Applies band-kill / chunk-loss events due at `completed` cluster-wide
+  /// finished subtasks. Caller holds mu_.
+  void ProcessDueFaultsLocked(RunState* state, int64_t completed);
+  /// Blacklists `band`, drops its chunks, re-places its queue. Holds mu_.
+  void KillBandLocked(RunState* state, int band);
+  /// Chaos chunk-loss event: drops the lexicographically smallest
+  /// lineage-tracked chunk. Caller holds mu_.
+  void DropOneChunkLocked();
+  /// Least-loaded surviving band, or -1 when every band is dead. Holds mu_.
+  int AliveBandLocked(RunState* state) const;
+  /// Queues `task_id`, re-placing it first if its band is dead. Holds mu_.
+  void EnqueueLocked(RunState* state, int task_id);
+
+  int64_t BackoffMs(int attempt) const;
 
   const Config& config_;
   Metrics* metrics_;
   services::StorageService* storage_;
   services::MetaService* meta_;
+  FaultInjector injector_;
 
   // One kernel pool per simulated worker node, shared by its bands
   // (nullptr entries when cpus_per_band == 1).
@@ -71,6 +126,20 @@ class Executor {
   RunState* run_ = nullptr;  // non-null while a Run is in flight
   bool shutdown_ = false;
   bool workers_started_ = false;
+
+  /// Bands killed by fault injection; permanent for this executor (guarded
+  /// by mu_). Placement, dispatch and retry all route around them.
+  std::vector<char> blacklisted_;
+  /// Cluster-wide successfully-completed subtask count, the clock the
+  /// injector's kill/loss schedules are expressed against (guarded by mu_).
+  int64_t completed_subtasks_ = 0;
+  /// Monotonic Run() sequence number; combined with subtask ids into the
+  /// stable uids the injector hashes (guarded by mu_ at Run start).
+  int64_t run_seq_ = 0;
+
+  /// Serializes lineage recovery so two consumers missing the same chunk
+  /// recompute it once, not twice into a duplicate-key collision.
+  std::mutex recovery_mu_;
 };
 
 }  // namespace xorbits::scheduler

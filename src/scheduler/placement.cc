@@ -1,20 +1,43 @@
 #include "scheduler/placement.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <vector>
 
 namespace xorbits::scheduler {
 
-void AssignBands(const Config& config, graph::SubtaskGraph* st_graph) {
+void AssignBands(const Config& config, graph::SubtaskGraph* st_graph,
+                 const std::vector<char>* dead_bands) {
   const int num_bands = config.total_bands();
   std::vector<int64_t> band_load(num_bands, 0);  // assigned subtask count
   int next_initial_band = 0;
 
+  auto dead = [&](int band) {
+    return dead_bands != nullptr &&
+           band < static_cast<int>(dead_bands->size()) && (*dead_bands)[band];
+  };
+
   auto least_loaded = [&] {
-    return static_cast<int>(
-        std::min_element(band_load.begin(), band_load.end()) -
-        band_load.begin());
+    int best = -1;
+    int64_t best_load = std::numeric_limits<int64_t>::max();
+    for (int b = 0; b < num_bands; ++b) {
+      if (dead(b)) continue;
+      if (band_load[b] < best_load) {
+        best_load = band_load[b];
+        best = b;
+      }
+    }
+    return best < 0 ? 0 : best;  // all dead: caller fails the run anyway
+  };
+
+  auto next_alive_initial = [&] {
+    for (int tries = 0; tries < num_bands; ++tries) {
+      const int b = next_initial_band;
+      next_initial_band = (next_initial_band + 1) % num_bands;
+      if (!dead(b)) return b;
+    }
+    return 0;
   };
 
   // Subtasks arrive topologically ordered from the fusion pass, so every
@@ -34,13 +57,13 @@ void AssignBands(const Config& config, graph::SubtaskGraph* st_graph) {
     if ((st.preds.empty() && !has_located_input) ||
         !config.locality_aware) {
       // Breadth-first: fill one worker's bands, then the next.
-      band = next_initial_band;
-      next_initial_band = (next_initial_band + 1) % num_bands;
+      band = next_alive_initial();
     } else {
       // Locality-aware: follow the band holding the most input bytes.
+      // Bytes on dead bands no longer exist, so they attract nothing.
       std::map<int, int64_t> bytes_per_band;
       for (const graph::ChunkNode* in : st.external_inputs) {
-        if (in->band >= 0) {
+        if (in->band >= 0 && !dead(in->band)) {
           bytes_per_band[in->band] +=
               std::max<int64_t>(1, in->meta.nbytes);
         }

@@ -1,6 +1,8 @@
 #ifndef XORBITS_SCHEDULER_PLACEMENT_H_
 #define XORBITS_SCHEDULER_PLACEMENT_H_
 
+#include <vector>
+
 #include "common/config.h"
 #include "graph/graph.h"
 
@@ -11,7 +13,13 @@ namespace xorbits::scheduler {
 /// subtasks follow the band holding most of their input bytes
 /// (locality-aware), falling back to the least-loaded band. Mutates
 /// `subtask.band` and the member chunk nodes' planned band.
-void AssignBands(const Config& config, graph::SubtaskGraph* st_graph);
+///
+/// `dead_bands`, when non-null, marks blacklisted bands (index -> dead):
+/// no subtask is placed on them, and locality toward data that lived on a
+/// dead band is ignored (the data is gone; recovery will recompute it on
+/// whichever surviving band runs the consumer).
+void AssignBands(const Config& config, graph::SubtaskGraph* st_graph,
+                 const std::vector<char>* dead_bands = nullptr);
 
 }  // namespace xorbits::scheduler
 

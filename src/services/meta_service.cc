@@ -34,6 +34,31 @@ int64_t MetaService::size() const {
 void MetaService::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   metas_.clear();
+  lineages_.clear();
+}
+
+void MetaService::PutLineage(const std::string& key, ChunkLineage lineage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lineages_[key] = std::move(lineage);
+}
+
+Result<ChunkLineage> MetaService::GetLineage(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = lineages_.find(key);
+  if (it == lineages_.end()) {
+    return Status::KeyError("no lineage for chunk '" + key + "'");
+  }
+  return it->second;
+}
+
+bool MetaService::HasLineage(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lineages_.count(key) > 0;
+}
+
+int64_t MetaService::lineage_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lineages_.size());
 }
 
 }  // namespace xorbits::services

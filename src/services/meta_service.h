@@ -22,8 +22,31 @@ struct ChunkMeta {
   std::vector<std::string> columns;  // dataframe chunks only
 };
 
+/// Provenance of one persisted chunk, recorded by the executor when the
+/// producing subtask completes and consumed by lineage-based recovery:
+/// when storage reports a chunk lost, the whole producing subtask (its
+/// fused node group, whose intermediates were never persisted) is
+/// re-executed after recursively recovering any external inputs that are
+/// also gone. Node pointers stay valid for the session lifetime —
+/// ChunkGraph is an arena that never frees nodes while the pipeline runs.
+struct ChunkLineage {
+  /// The producing subtask's fused chunk-node group, in execution order.
+  std::vector<graph::ChunkNode*> nodes;
+  /// The subset of `nodes` that was persisted (the subtask's outputs).
+  std::vector<graph::ChunkNode*> outputs;
+  /// Storage keys the producing execution read from outside the group
+  /// (shuffle reducers list per-partition keys).
+  std::vector<std::string> input_keys;
+  /// All storage keys the producing execution wrote — output node keys,
+  /// plus every "<key>@<partition>" for shuffle mappers. Recovery deletes
+  /// survivors in this list before re-running so re-Puts don't collide.
+  std::vector<std::string> output_keys;
+};
+
 /// Thread-safe key -> ChunkMeta registry shared by workers (writers, during
 /// execute) and the supervisor-side tiling driver (reader, during tile).
+/// Also the system of record for chunk lineage (keyed by the producing
+/// node's base key, without any "@partition" suffix).
 class MetaService {
  public:
   void Put(const std::string& key, ChunkMeta meta);
@@ -33,9 +56,15 @@ class MetaService {
   int64_t size() const;
   void Clear();
 
+  void PutLineage(const std::string& key, ChunkLineage lineage);
+  Result<ChunkLineage> GetLineage(const std::string& key) const;
+  bool HasLineage(const std::string& key) const;
+  int64_t lineage_size() const;
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, ChunkMeta> metas_;
+  std::unordered_map<std::string, ChunkLineage> lineages_;
 };
 
 }  // namespace xorbits::services

@@ -1,5 +1,6 @@
 #include "services/storage_service.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
@@ -13,7 +14,8 @@ StorageService::StorageService(const Config& config, Metrics* metrics)
       enable_spill_(config.enable_spill),
       spill_dir_(config.spill_dir),
       metrics_(metrics),
-      band_used_(config.total_bands(), 0) {
+      band_used_(config.total_bands(), 0),
+      band_dead_(config.total_bands(), 0) {
   if (enable_spill_) {
     std::error_code ec;
     std::filesystem::create_directories(spill_dir_, ec);
@@ -30,10 +32,15 @@ Status StorageService::Put(const std::string& key, ChunkDataPtr data,
   }
   const int64_t bytes = data->nbytes();
   std::lock_guard<std::mutex> lock(mu_);
+  if (band_dead_[band]) {
+    return Status::WorkerLost("Put of '" + key + "' on dead band " +
+                              std::to_string(band));
+  }
   if (entries_.count(key)) {
     return Status::Invalid("duplicate chunk key: " + key);
   }
   XORBITS_RETURN_NOT_OK(EnsureCapacityLocked(band, bytes));
+  lost_.erase(key);  // a recomputed payload resurrects a lost key
   Entry e;
   e.data = std::move(data);
   e.band = band;
@@ -54,6 +61,11 @@ Result<ChunkDataPtr> StorageService::Get(const std::string& key,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
+    if (lost_.count(key)) {
+      return Status::ChunkLost("chunk '" + key +
+                               "' was lost (dead band or chunk-loss event) "
+                               "and awaits lineage recompute");
+    }
     return Status::KeyError("no chunk with key '" + key + "'");
   }
   Entry& e = it->second;
@@ -61,7 +73,16 @@ Result<ChunkDataPtr> StorageService::Get(const std::string& key,
   if (e.level == StorageLevel::kDisk) {
     // Fault back into memory on the owning band.
     std::ifstream in(e.spill_path, std::ios::binary);
-    if (!in) return Status::IOError("lost spill file " + e.spill_path);
+    if (!in) {
+      // The spill file is gone (worker disk fault): the payload is
+      // unrecoverable from storage alone — tombstone it so the executor's
+      // lineage recovery can recompute it.
+      lost_.insert(key);
+      const std::string path = e.spill_path;
+      entries_.erase(it);
+      return Status::ChunkLost("spill file " + path + " for chunk '" + key +
+                               "' is gone; lineage recompute required");
+    }
     std::string buf((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
     XORBITS_ASSIGN_OR_RETURN(ChunkDataPtr data, DeserializeChunk(buf));
@@ -99,6 +120,9 @@ Status StorageService::Delete(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
+    // Deleting a lost key settles its tombstone (the consumer that needed
+    // it is being rolled back or recomputed).
+    if (lost_.erase(key) > 0) return Status::OK();
     return Status::KeyError("delete of unknown chunk '" + key + "'");
   }
   if (it->second.level == StorageLevel::kMemory) {
@@ -108,6 +132,93 @@ Status StorageService::Delete(const std::string& key) {
   }
   entries_.erase(it);
   return Status::OK();
+}
+
+void StorageService::DeleteByPrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      if (it->second.level == StorageLevel::kMemory) {
+        band_used_[it->second.band] -= it->second.nbytes;
+      } else {
+        std::filesystem::remove(it->second.spill_path);
+      }
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = lost_.begin(); it != lost_.end();) {
+    if (it->rfind(prefix, 0) == 0) {
+      it = lost_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<std::string> StorageService::MarkBandDead(int band) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> lost_keys;
+  if (band < 0 || band >= num_bands_ || band_dead_[band]) return lost_keys;
+  band_dead_[band] = 1;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& e = it->second;
+    if (e.band == band) {
+      // Memory and spilled chunks both die with the band — spill files
+      // live on the dead worker's local disk.
+      if (e.level == StorageLevel::kDisk) {
+        std::filesystem::remove(e.spill_path);
+      }
+      lost_keys.push_back(it->first);
+      lost_.insert(it->first);
+      it = entries_.erase(it);
+    } else {
+      // Cached replicas on the dead band are gone; surviving consumers
+      // pay the transfer again on their next read.
+      auto& reps = e.replicas;
+      reps.erase(std::remove(reps.begin(), reps.end(), band), reps.end());
+      ++it;
+    }
+  }
+  band_used_[band] = 0;
+  std::sort(lost_keys.begin(), lost_keys.end());
+  return lost_keys;
+}
+
+bool StorageService::band_dead(int band) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return band >= 0 && band < num_bands_ && band_dead_[band];
+}
+
+Status StorageService::DropChunk(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::KeyError("drop of unknown chunk '" + key + "'");
+  }
+  if (it->second.level == StorageLevel::kMemory) {
+    band_used_[it->second.band] -= it->second.nbytes;
+  } else {
+    std::filesystem::remove(it->second.spill_path);
+  }
+  entries_.erase(it);
+  lost_.insert(key);
+  return Status::OK();
+}
+
+bool StorageService::IsLost(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lost_.count(key) > 0;
+}
+
+std::vector<std::string> StorageService::SortedKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 Result<int> StorageService::BandOf(const std::string& key) const {
@@ -126,6 +237,10 @@ int64_t StorageService::band_used_bytes(int band) const {
 
 Status StorageService::ReserveTransient(int band, int64_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (band_dead_[band]) {
+    return Status::WorkerLost("transient reservation on dead band " +
+                              std::to_string(band));
+  }
   XORBITS_RETURN_NOT_OK(EnsureCapacityLocked(band, bytes));
   band_used_[band] += bytes;
   metrics_->UpdatePeak(band_used_[band]);
@@ -145,30 +260,33 @@ void StorageService::Clear() {
     }
   }
   entries_.clear();
+  lost_.clear();
   std::fill(band_used_.begin(), band_used_.end(), 0);
 }
 
 Status StorageService::EnsureCapacityLocked(int band, int64_t bytes) {
+  // Diagnosable OOM: every message names the band and its occupancy so a
+  // failed chaos/OOM run pinpoints which band overflowed and by how much.
+  auto oom_detail = [&](const std::string& why) {
+    return why + " on band " + std::to_string(band) + ": requested " +
+           std::to_string(bytes) + " bytes, used " +
+           std::to_string(band_used_[band]) + " of budget " +
+           std::to_string(band_limit_) + " bytes";
+  };
   if (bytes > band_limit_) {
     metrics_->oom_events++;
-    return Status::OutOfMemory(
-        "chunk of " + std::to_string(bytes) + " bytes exceeds band budget " +
-        std::to_string(band_limit_));
+    return Status::OutOfMemory(oom_detail("chunk exceeds whole band budget"));
   }
   while (band_used_[band] + bytes > band_limit_) {
     if (!enable_spill_) {
       metrics_->oom_events++;
-      return Status::OutOfMemory(
-          "band " + std::to_string(band) + " over budget: used " +
-          std::to_string(band_used_[band]) + " + " + std::to_string(bytes) +
-          " > " + std::to_string(band_limit_));
+      return Status::OutOfMemory(oom_detail("over budget (spill disabled)"));
     }
     Status s = SpillOneLocked(band);
     if (!s.ok()) {
       metrics_->oom_events++;
-      return Status::OutOfMemory("band " + std::to_string(band) +
-                                 " over budget and cannot spill: " +
-                                 s.message());
+      return Status::OutOfMemory(
+          oom_detail("over budget and cannot spill (" + s.message() + ")"));
     }
   }
   return Status::OK();

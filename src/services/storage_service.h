@@ -4,6 +4,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/config.h"
@@ -45,8 +46,33 @@ class StorageService {
 
   bool Has(const std::string& key) const;
   Status Delete(const std::string& key);
+  /// Deletes every chunk whose key starts with `prefix` (shuffle partitions
+  /// of a mapper being rolled back or recomputed). Missing is fine.
+  void DeleteByPrefix(const std::string& prefix);
   /// Band the chunk was produced on.
   Result<int> BandOf(const std::string& key) const;
+
+  // --- failure surface (see DESIGN.md § Failure model & recovery) ---
+
+  /// Simulates the death of one band (worker NUMA node): every chunk it
+  /// holds — in memory or spilled to its local disk — is dropped and
+  /// tombstoned so later reads surface kChunkLost instead of kKeyError,
+  /// and future Put/ReserveTransient on the band are rejected with
+  /// kWorkerLost. Returns the keys lost. Idempotent.
+  std::vector<std::string> MarkBandDead(int band);
+  bool band_dead(int band) const;
+
+  /// Drops one chunk (chaos chunk-loss event) and tombstones its key;
+  /// later Gets surface kChunkLost until a recomputed payload is Put.
+  Status DropChunk(const std::string& key);
+
+  /// True when `key` was lost (band death / chunk-loss) and has not been
+  /// recomputed yet.
+  bool IsLost(const std::string& key) const;
+
+  /// Keys of all currently stored chunks, sorted (deterministic victim
+  /// selection for chunk-loss events).
+  std::vector<std::string> SortedKeys() const;
 
   int64_t band_used_bytes(int band) const;
   int num_bands() const { return num_bands_; }
@@ -87,6 +113,9 @@ class StorageService {
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;
   std::vector<int64_t> band_used_;
+  std::vector<char> band_dead_;
+  /// Keys lost to band death / chunk-loss events, pending recompute.
+  std::unordered_set<std::string> lost_;
   uint64_t tick_ = 0;
   uint64_t spill_file_seq_ = 0;
 };

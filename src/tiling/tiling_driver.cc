@@ -81,6 +81,9 @@ Result<std::vector<services::ChunkDataPtr>> TilingDriver::FetchChunks(
   std::vector<services::ChunkDataPtr> out;
   out.reserve(node->chunks.size());
   for (const ChunkNode* c : node->chunks) {
+    // A result chunk may have gone down with a band after it was computed;
+    // rebuild it from lineage instead of leaking kChunkLost to the user.
+    XORBITS_RETURN_NOT_OK(executor_.EnsureChunkAvailable(c->key));
     XORBITS_ASSIGN_OR_RETURN(services::ChunkDataPtr data,
                              storage_->Get(c->key, /*requesting_band=*/-1));
     out.push_back(std::move(data));

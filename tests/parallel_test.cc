@@ -123,11 +123,11 @@ TEST(ThreadPoolStressTest, CpuScopeSeesPoolThreadWork) {
   ThreadPool pool(4);
   ThreadPool* prev = SetCurrentThreadPool(&pool);
   ParallelCpuScope scope;
-  volatile double sink = 0;
+  std::atomic<double> sink{0};
   ParallelFor(0, 1 << 22, 1 << 16, [&](int64_t lo, int64_t hi) {
     double s = 0;
     for (int64_t i = lo; i < hi; ++i) s += static_cast<double>(i) * 1e-9;
-    sink = sink + s;
+    sink.fetch_add(s, std::memory_order_relaxed);
   });
   // All morsel CPU must be visible, and the share run on this thread can
   // never exceed the total.

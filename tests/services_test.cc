@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "services/chunk_data.h"
 #include "services/meta_service.h"
 #include "services/storage_service.h"
@@ -173,6 +175,110 @@ TEST(StorageTest, TransientReservation) {
   store.ReleaseTransient(0, 800);
   // ...and succeed after release.
   EXPECT_TRUE(store.Put("a", DfChunk(50), 0).ok());
+}
+
+TEST(StorageTest, OomErrorsCarryBandAndBudgetDetail) {
+  Metrics metrics;
+  StorageService store(SmallConfig(false), &metrics);
+  Status last = Status::OK();
+  for (int i = 0; i < 10 && last.ok(); ++i) {
+    last = store.Put("k" + std::to_string(i), DfChunk(50), 0);
+  }
+  ASSERT_TRUE(last.IsOutOfMemory());
+  // The message names the band, the requested size and the budget — enough
+  // to diagnose which band ran out and by how much.
+  EXPECT_NE(last.message().find("band 0"), std::string::npos) << last;
+  EXPECT_NE(last.message().find("requested"), std::string::npos) << last;
+  EXPECT_NE(last.message().find("budget 1024"), std::string::npos) << last;
+  EXPECT_NE(last.message().find("used"), std::string::npos) << last;
+  // The whole-chunk-too-big class carries the same detail.
+  Status big = store.Put("big", DfChunk(100000), 1);
+  ASSERT_TRUE(big.IsOutOfMemory());
+  EXPECT_NE(big.message().find("band 1"), std::string::npos) << big;
+}
+
+TEST(StorageTest, SpillFaultBackChargesTransferExactlyOnce) {
+  Metrics metrics;
+  Config cfg = SmallConfig(true);
+  cfg.spill_dir = "/tmp/xorbits_test_spill_once";
+  StorageService store(cfg, &metrics);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(store.Put("k" + std::to_string(i), DfChunk(40), 0).ok());
+  }
+  ASSERT_GT(metrics.spill_events.load(), 0);
+  // Cross-band read of a spilled chunk: fault back from disk, then one
+  // metered transfer — the bytes must not be double-charged.
+  const int64_t before = metrics.bytes_transferred.load();
+  auto got = store.Get("k0", 1);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(metrics.bytes_transferred.load() - before, (*got)->nbytes());
+}
+
+TEST(StorageTest, MissingSpillFileSurfacesChunkLost) {
+  Metrics metrics;
+  Config cfg = SmallConfig(true);
+  cfg.spill_dir = "/tmp/xorbits_test_spill_lost";
+  std::filesystem::remove_all(cfg.spill_dir);
+  StorageService store(cfg, &metrics);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(store.Put("k" + std::to_string(i), DfChunk(40), 0).ok());
+  }
+  ASSERT_GT(metrics.spill_events.load(), 0);
+  // Simulate disk loss: every spill file vanishes.
+  for (const auto& e :
+       std::filesystem::directory_iterator(cfg.spill_dir)) {
+    std::filesystem::remove(e.path());
+  }
+  Status st = store.Get("k0", 0).status();
+  ASSERT_FALSE(st.ok());
+  // Lost, not a user error: the executor recomputes from lineage.
+  EXPECT_TRUE(st.IsChunkLost()) << st;
+  EXPECT_TRUE(store.IsLost("k0"));
+  // The tombstone persists: a later read still reports loss, and a fresh
+  // Put of the recomputed chunk resurrects the key.
+  EXPECT_TRUE(store.Get("k0", 0).status().IsChunkLost());
+  ASSERT_TRUE(store.Put("k0", DfChunk(40), 1).ok());
+  EXPECT_TRUE(store.Get("k0", 1).ok());
+  EXPECT_FALSE(store.IsLost("k0"));
+}
+
+TEST(StorageTest, MarkBandDeadTombstonesItsChunks) {
+  Metrics metrics;
+  Config cfg = SmallConfig(false);
+  cfg.band_memory_limit = 64 << 10;
+  StorageService store(cfg, &metrics);
+  ASSERT_TRUE(store.Put("a", DfChunk(10), 0).ok());
+  ASSERT_TRUE(store.Put("b", DfChunk(10), 0).ok());
+  ASSERT_TRUE(store.Put("c", DfChunk(10), 1).ok());
+
+  const auto lost = store.MarkBandDead(0);
+  EXPECT_EQ(lost, (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(store.band_dead(0));
+  EXPECT_EQ(store.band_used_bytes(0), 0);
+  EXPECT_TRUE(store.Get("a", 1).status().IsChunkLost());
+  EXPECT_TRUE(store.Get("c", 1).ok());  // survivor unaffected
+  // A dead band accepts no new data or reservations.
+  EXPECT_TRUE(store.Put("d", DfChunk(10), 0).IsWorkerLost());
+  EXPECT_TRUE(store.ReserveTransient(0, 100).IsWorkerLost());
+  // Recomputed chunks land on live bands and clear the tombstone.
+  ASSERT_TRUE(store.Put("a", DfChunk(10), 1).ok());
+  EXPECT_TRUE(store.Get("a", 1).ok());
+  // Killing the same band twice reports nothing new.
+  EXPECT_TRUE(store.MarkBandDead(0).empty());
+}
+
+TEST(StorageTest, DeleteByPrefixRemovesShufflePartitions) {
+  Metrics metrics;
+  StorageService store(SmallConfig(false), &metrics);
+  ASSERT_TRUE(store.Put("s@0", DfChunk(5), 0).ok());
+  ASSERT_TRUE(store.Put("s@1", DfChunk(5), 1).ok());
+  ASSERT_TRUE(store.Put("other", DfChunk(5), 0).ok());
+  store.DeleteByPrefix("s@");
+  EXPECT_FALSE(store.Has("s@0"));
+  EXPECT_FALSE(store.Has("s@1"));
+  EXPECT_TRUE(store.Has("other"));
+  // Re-publication after a rollback must not hit duplicate-key errors.
+  EXPECT_TRUE(store.Put("s@0", DfChunk(5), 0).ok());
 }
 
 TEST(StorageTest, ClearResetsEverything) {
