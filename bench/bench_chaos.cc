@@ -144,10 +144,11 @@ void WriteJson(const char* path, const std::vector<ChaosRun>& runs,
 }  // namespace
 }  // namespace xorbits::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xorbits;
   using namespace xorbits::bench;
 
+  InitTrace(argc, argv);
   PrintHeader("Chaos: fault injection and recovery overhead");
   std::vector<ChaosRun> runs;
 
@@ -200,5 +201,6 @@ int main() {
     }
   }
   std::printf("chaos acceptance: %s\n", ok ? "PASS" : "FAIL");
+  FinishTrace();
   return ok ? 0 : 1;
 }

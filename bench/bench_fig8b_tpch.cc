@@ -80,9 +80,11 @@ void RunTier(const char* label, double sf) {
 }  // namespace
 }  // namespace xorbits::bench
 
-int main() {
+int main(int argc, char** argv) {
+  xorbits::bench::InitTrace(argc, argv);
   xorbits::bench::PrintEngineTable();
   xorbits::bench::RunTier("SF100", 0.02);
   xorbits::bench::RunTier("SF1000", 0.05);
+  xorbits::bench::FinishTrace();
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "dataframe/groupby.h"
@@ -24,6 +25,7 @@
 #include "operators/expr.h"
 #include "services/storage_service.h"
 #include "tensor/ndarray.h"
+#include "workloads/pipelines.h"
 
 namespace {
 
@@ -365,7 +367,28 @@ void WriteKernelSweepJson(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Consume --trace-out before google-benchmark sees (and rejects) it.
+  xorbits::bench::InitTrace(argc, argv);
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--trace-out=", 0) != 0) {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   WriteKernelSweepJson("BENCH_kernels.json");
+  // The kernel sweep itself runs no sessions; when tracing was requested,
+  // run one small traced pipeline so the exported trace has content.
+  if (xorbits::bench::BenchTrace::Get().tracer) {
+    xorbits::bench::TimedRun(
+        xorbits::bench::BenchConfig(EngineKind::kXorbits, /*workers=*/2,
+                                    /*bands_per_worker=*/2, /*band_mb=*/64,
+                                    /*chunk_kb=*/256, /*deadline_ms=*/60000),
+        [](core::Session* session) {
+          return workloads::pipelines::Census(session, /*rows=*/50000)
+              .status();
+        });
+  }
   char arg0_default[] = "benchmark";
   char* args_default = arg0_default;
   if (!argv) {
@@ -376,5 +399,6 @@ int main(int argc, char** argv) {
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  xorbits::bench::FinishTrace();
   return 0;
 }

@@ -116,7 +116,9 @@ void Run() {
 }  // namespace
 }  // namespace xorbits::bench
 
-int main() {
+int main(int argc, char** argv) {
+  xorbits::bench::InitTrace(argc, argv);
   xorbits::bench::Run();
+  xorbits::bench::FinishTrace();
   return 0;
 }

@@ -8,10 +8,11 @@
 #include "bench_util.h"
 #include "workloads/api_coverage.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xorbits;
   using workloads::coverage::RunCoverage;
 
+  bench::InitTrace(argc, argv);
   bench::PrintHeader("Table V: API coverage rate (higher is better)");
   std::printf("%-10s %-8s %-8s %-10s %s\n", "engine", "passed", "total",
               "coverage", "native-executed");
@@ -33,5 +34,6 @@ int main() {
     std::printf("%s:\n", EngineKindName(kind));
     for (const auto& f : report.failures) std::printf("  - %s\n", f.c_str());
   }
+  bench::FinishTrace();
   return 0;
 }

@@ -3,13 +3,69 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/tracing.h"
 #include "core/session.h"
 
 namespace xorbits::bench {
+
+/// Shared `--trace-out=<file>` support. One Tracer is shared by every traced
+/// session in the process; each registers its own track group. To keep
+/// Perfetto usable, only the first kMaxTracedRuns sessions are traced in
+/// benches that run dozens of configurations.
+struct BenchTrace {
+  std::unique_ptr<Tracer> tracer;
+  std::string out_path;
+  int traced_runs = 0;
+  static constexpr int kMaxTracedRuns = 8;
+
+  static BenchTrace& Get() {
+    static BenchTrace instance;
+    return instance;
+  }
+};
+
+/// Parses --trace-out=<file> (every bench accepts it); call once at the top
+/// of main. Tracing stays off (null sink everywhere) without the flag.
+inline void InitTrace(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      BenchTrace& bt = BenchTrace::Get();
+      bt.out_path = arg + 12;
+      bt.tracer = std::make_unique<Tracer>();
+    }
+  }
+}
+
+/// Writes the Chrome/Perfetto JSON plus a `<file>.report.txt` run report and
+/// prints the reports; call once at the end of main. No-op when tracing is
+/// off.
+inline void FinishTrace() {
+  BenchTrace& bt = BenchTrace::Get();
+  if (!bt.tracer) return;
+  Status st = bt.tracer->WriteChromeTrace(bt.out_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "trace export failed: %s\n", st.message().c_str());
+  } else {
+    std::printf("\ntrace written to %s (%lld events)\n", bt.out_path.c_str(),
+                static_cast<long long>(bt.tracer->event_count()));
+  }
+  const std::string report = bt.tracer->RenderAllReports();
+  const std::string report_path = bt.out_path + ".report.txt";
+  FILE* f = std::fopen(report_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fwrite(report.data(), 1, report.size(), f);
+    std::fclose(f);
+    std::printf("run report written to %s\n", report_path.c_str());
+  }
+  std::printf("%s", report.c_str());
+}
 
 /// Engines compared throughout the evaluation (paper Table IV).
 inline std::vector<EngineKind> AllEngines() {
@@ -48,22 +104,39 @@ struct RunStats {
   int64_t yields = 0;
 };
 
+/// Points `config.trace` at the shared bench tracer when tracing is on.
+/// Only full-Xorbits runs are traced (the baselines' sessions would multiply
+/// the track count without adding information), and only up to the traced-run
+/// cap.
+inline void MaybeAttachTrace(Config* config) {
+  BenchTrace& bt = BenchTrace::Get();
+  if (!bt.tracer || config->engine != EngineKind::kXorbits ||
+      bt.traced_runs >= BenchTrace::kMaxTracedRuns) {
+    return;
+  }
+  bt.traced_runs++;
+  config->trace.sink = bt.tracer.get();
+}
+
 /// Runs `body` inside a fresh session and snapshots timing + metrics.
 inline RunStats TimedRun(Config config,
                          const std::function<Status(core::Session*)>& body) {
+  MaybeAttachTrace(&config);
   core::Session session(std::move(config));
   RunStats stats;
   auto t0 = std::chrono::steady_clock::now();
   stats.status = body(&session);
   auto t1 = std::chrono::steady_clock::now();
   stats.wall_s = std::chrono::duration<double>(t1 - t0).count();
-  Metrics& m = session.metrics();
-  stats.sim_s = static_cast<double>(m.simulated_us.load()) / 1e6;
-  stats.transfer_bytes = m.bytes_transferred.load();
-  stats.spill_bytes = m.bytes_spilled.load();
-  stats.oom_events = m.oom_events.load();
-  stats.subtasks = m.subtasks_executed.load();
-  stats.yields = m.dynamic_yields.load();
+  // One consistent snapshot instead of per-field reads: band workers (and
+  // their kernel pools) may still be running when a body bails out early.
+  const MetricsSnapshot m = session.metrics().Snapshot();
+  stats.sim_s = static_cast<double>(m.Counter("simulated_us")) / 1e6;
+  stats.transfer_bytes = m.Counter("bytes_transferred");
+  stats.spill_bytes = m.Counter("bytes_spilled");
+  stats.oom_events = m.Counter("oom_events");
+  stats.subtasks = m.Counter("subtasks_executed");
+  stats.yields = m.Counter("dynamic_yields");
   return stats;
 }
 

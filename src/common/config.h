@@ -22,6 +22,24 @@ enum class EngineKind {
 
 const char* EngineKindName(EngineKind kind);
 
+class Tracer;
+
+/// Structured-tracing hookup (see common/tracing.h). Off by default: with a
+/// null `sink` every instrumentation site reduces to one pointer test and
+/// allocates nothing. The owning session registers itself with the sink and
+/// stores the returned process id here; services copy the Config, so they
+/// all see the same (sink, pid) pair.
+struct TraceConfig {
+  Tracer* sink = nullptr;
+  /// Process id of this session inside `sink` (1-based; 0 = unregistered).
+  int pid = 0;
+  /// Also emit per-chunk storage:put / storage:get instants (high volume;
+  /// off by default even when tracing).
+  bool verbose_storage = false;
+
+  bool enabled() const { return sink != nullptr; }
+};
+
 /// How a multi-chunk aggregation is reduced (paper §IV-C "Auto Reduce
 /// Selection"). kAuto samples the first chunks and picks tree- vs
 /// shuffle-reduce from the measured aggregation ratio.
@@ -112,6 +130,10 @@ struct Config {
   /// persisted chunk (deterministically the lexicographically smallest
   /// lineage-tracked key) is dropped from storage.
   std::vector<int64_t> fault_chunk_losses;
+
+  // --- observability ---
+  /// Tracing sink + session process id; disabled (null sink) by default.
+  TraceConfig trace;
 
   /// Total number of bands in the cluster.
   int total_bands() const { return num_workers * bands_per_worker; }

@@ -1,8 +1,202 @@
 #include "common/metrics.h"
 
+#include <algorithm>
 #include <sstream>
 
+#include "common/trace_names.h"
+
 namespace xorbits {
+
+Histogram::Histogram(std::string name, std::string unit,
+                     std::vector<int64_t> bounds)
+    : name_(std::move(name)),
+      unit_(std::move(unit)),
+      bounds_(std::move(bounds)),
+      counts_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::Observe(int64_t value) {
+  // First bucket whose upper bound covers the value; above-all -> overflow.
+  size_t idx = bounds_.size();
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      idx = i;
+      break;
+    }
+  }
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t prev = min_.load(std::memory_order_relaxed);
+  while (value < prev && !min_.compare_exchange_weak(prev, value)) {
+  }
+  prev = max_.load(std::memory_order_relaxed);
+  while (value > prev && !max_.compare_exchange_weak(prev, value)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.name = name_;
+  s.unit = unit_;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = s.count > 0 ? min_.load(std::memory_order_relaxed) : 0;
+  s.max = s.count > 0 ? max_.load(std::memory_order_relaxed) : 0;
+  return s;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+  count_.store(0);
+  sum_.store(0);
+  min_.store(std::numeric_limits<int64_t>::max());
+  max_.store(std::numeric_limits<int64_t>::min());
+}
+
+std::vector<int64_t> DefaultBuckets() {
+  std::vector<int64_t> bounds;
+  int64_t b = 16;
+  for (int i = 0; i < 12; ++i) {
+    bounds.push_back(b);
+    b *= 4;
+  }
+  return bounds;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>(name, unit)).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& unit,
+                                         std::vector<int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(name, unit,
+                                                        std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<std::pair<std::string, int64_t>>
+MetricsRegistry::SnapshotGaugesLocked() const {
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<HistogramSnapshot> MetricsRegistry::SnapshotHistogramsLocked()
+    const {
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.push_back(h->Snapshot());
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::SnapshotGauges()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotGaugesLocked();
+}
+
+std::vector<HistogramSnapshot> MetricsRegistry::SnapshotHistograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotHistogramsLocked();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, g] : gauges_) g->Set(0);
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+int64_t MetricsSnapshot::Counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+Metrics::Metrics()
+    : subtask_latency_us(registry.GetHistogram(trace::kHistSubtaskLatencyUs,
+                                               "us", DefaultBuckets())),
+      chunk_bytes(registry.GetHistogram(trace::kHistChunkBytes, "bytes",
+                                        DefaultBuckets())),
+      queue_wait_us(registry.GetHistogram(trace::kHistQueueWaitUs, "us",
+                                          DefaultBuckets())) {}
+
+void Metrics::Reset() {
+  subtasks_executed = 0;
+  subtasks_failed = 0;
+  subtasks_retried = 0;
+  chunks_recovered = 0;
+  bands_blacklisted = 0;
+  faults_injected = 0;
+  recovery_us = 0;
+  chunks_stored = 0;
+  bytes_stored = 0;
+  bytes_transferred = 0;
+  bytes_spilled = 0;
+  spill_events = 0;
+  oom_events = 0;
+  peak_band_bytes = 0;
+  dynamic_yields = 0;
+  simulated_us = 0;
+  kernel_cpu_us = 0;
+  fused_subtasks = 0;
+  op_fusion_hits = 0;
+  pruned_columns = 0;
+  registry.Reset();
+}
+
+MetricsSnapshot Metrics::Snapshot() const {
+  // The registry lock makes the snapshot consistent with registration and
+  // with other snapshotters; individual values are atomics.
+  std::lock_guard<std::mutex> lock(registry.mutex());
+  MetricsSnapshot s;
+  s.counters = {
+      {"subtasks_executed", subtasks_executed.load()},
+      {"subtasks_failed", subtasks_failed.load()},
+      {"subtasks_retried", subtasks_retried.load()},
+      {"chunks_recovered", chunks_recovered.load()},
+      {"bands_blacklisted", bands_blacklisted.load()},
+      {"faults_injected", faults_injected.load()},
+      {"recovery_us", recovery_us.load()},
+      {"chunks_stored", chunks_stored.load()},
+      {"bytes_stored", bytes_stored.load()},
+      {"bytes_transferred", bytes_transferred.load()},
+      {"bytes_spilled", bytes_spilled.load()},
+      {"spill_events", spill_events.load()},
+      {"oom_events", oom_events.load()},
+      {"peak_band_bytes", peak_band_bytes.load()},
+      {"dynamic_yields", dynamic_yields.load()},
+      {"simulated_us", simulated_us.load()},
+      {"kernel_cpu_us", kernel_cpu_us.load()},
+      {"fused_subtasks", fused_subtasks.load()},
+      {"op_fusion_hits", op_fusion_hits.load()},
+      {"pruned_columns", pruned_columns.load()},
+  };
+  s.gauges = registry.SnapshotGaugesLocked();
+  s.histograms = registry.SnapshotHistogramsLocked();
+  return s;
+}
 
 std::string Metrics::ToString() const {
   std::ostringstream os;

@@ -3,13 +3,136 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace xorbits {
 
+/// Point-in-time copy of one histogram (see Histogram). `counts` has one
+/// entry per bucket in `bounds` plus a final overflow bucket.
+struct HistogramSnapshot {
+  std::string name;
+  std::string unit;
+  std::vector<int64_t> bounds;
+  std::vector<int64_t> counts;
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+};
+
+/// Fixed-bucket histogram with lock-free observation. Bucket `i` counts
+/// values `v <= bounds[i]` (first matching bound); values above the last
+/// bound land in the overflow bucket. Bounds are fixed at registration so
+/// snapshots from different runs are directly comparable.
+class Histogram {
+ public:
+  Histogram(std::string name, std::string unit, std::vector<int64_t> bounds);
+
+  void Observe(int64_t value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  const std::string& name() const { return name_; }
+  const std::string& unit() const { return unit_; }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::string name_;
+  const std::string unit_;
+  const std::vector<int64_t> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{std::numeric_limits<int64_t>::max()};
+  std::atomic<int64_t> max_{std::numeric_limits<int64_t>::min()};
+};
+
+/// A named point-in-time value (peak band bytes, registry sizes, ...).
+class Gauge {
+ public:
+  Gauge(std::string name, std::string unit)
+      : name_(std::move(name)), unit_(std::move(unit)) {}
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  /// Atomically raises the gauge to at least `v` (peak watermarks).
+  void SetMax(int64_t v) {
+    int64_t prev = value_.load(std::memory_order_relaxed);
+    while (v > prev && !value_.compare_exchange_weak(prev, v)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+  const std::string& unit() const { return unit_; }
+
+ private:
+  const std::string name_;
+  const std::string unit_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Shared bucket policy: exponential base-4 bounds starting at 16
+/// (16, 64, 256, ..., 64Mi — 12 buckets + overflow). One policy for both
+/// microsecond and byte histograms keeps every report column comparable;
+/// see DESIGN.md §4.
+std::vector<int64_t> DefaultBuckets();
+
+/// Named gauge/histogram registry. Registration is idempotent (same name
+/// returns the same instance; pointers are stable for the registry's
+/// lifetime). Observation paths are lock-free; the registry mutex guards
+/// registration and snapshotting, and `Metrics::Snapshot` holds it so a
+/// snapshot cannot interleave with new registrations.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Gauge* GetGauge(const std::string& name, const std::string& unit);
+  Histogram* GetHistogram(const std::string& name, const std::string& unit,
+                          std::vector<int64_t> bounds);
+
+  std::vector<std::pair<std::string, int64_t>> SnapshotGauges() const;
+  std::vector<HistogramSnapshot> SnapshotHistograms() const;
+  void Reset();
+
+  /// Variants for callers that already hold `mutex()` (Metrics::Snapshot
+  /// takes one consistent snapshot of counters + registry under it).
+  std::vector<std::pair<std::string, int64_t>> SnapshotGaugesLocked() const;
+  std::vector<HistogramSnapshot> SnapshotHistogramsLocked() const;
+
+  std::mutex& mutex() const { return mu_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// A consistent point-in-time copy of every counter, gauge and histogram of
+/// one Metrics instance, taken under the registry lock. Safe to read after
+/// the owning session is gone (the run report is rendered from this).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Value of a legacy counter by name (0 when absent).
+  int64_t Counter(const std::string& name) const;
+};
+
 /// Counters collected during a run. One instance is owned by each simulated
 /// cluster; benches read these to report transfer/spill/OOM behaviour
-/// alongside wall-clock time.
+/// alongside wall-clock time. The embedded `registry` adds named gauges and
+/// fixed-bucket histograms on top of the flat counters; take `Snapshot()`
+/// instead of reading fields one by one when band workers may still run.
 struct Metrics {
   std::atomic<int64_t> subtasks_executed{0};
   std::atomic<int64_t> subtasks_failed{0};
@@ -47,28 +170,16 @@ struct Metrics {
   std::atomic<int64_t> op_fusion_hits{0};
   std::atomic<int64_t> pruned_columns{0};
 
-  void Reset() {
-    subtasks_executed = 0;
-    subtasks_failed = 0;
-    subtasks_retried = 0;
-    chunks_recovered = 0;
-    bands_blacklisted = 0;
-    faults_injected = 0;
-    recovery_us = 0;
-    chunks_stored = 0;
-    bytes_stored = 0;
-    bytes_transferred = 0;
-    bytes_spilled = 0;
-    spill_events = 0;
-    oom_events = 0;
-    peak_band_bytes = 0;
-    dynamic_yields = 0;
-    simulated_us = 0;
-    kernel_cpu_us = 0;
-    fused_subtasks = 0;
-    op_fusion_hits = 0;
-    pruned_columns = 0;
-  }
+  /// Named gauges + histograms registered by subsystems; the three
+  /// histograms below are pre-registered for the executor and storage.
+  MetricsRegistry registry;
+  Histogram* subtask_latency_us;  // modeled per-subtask latency (us)
+  Histogram* chunk_bytes;         // payload size at each storage Put (bytes)
+  Histogram* queue_wait_us;       // modeled inputs-ready -> band-slot wait
+
+  Metrics();
+
+  void Reset();
 
   /// Atomically raises `peak_band_bytes` to at least `value`.
   void UpdatePeak(int64_t value) {
@@ -77,6 +188,11 @@ struct Metrics {
            !peak_band_bytes.compare_exchange_weak(prev, value)) {
     }
   }
+
+  /// Consistent snapshot of counters + registry, taken under the registry
+  /// lock. Reading the fields one by one races band workers that are still
+  /// updating them; snapshot once, then read the copy.
+  MetricsSnapshot Snapshot() const;
 
   std::string ToString() const;
 };

@@ -1,0 +1,62 @@
+#ifndef XORBITS_COMMON_TRACE_NAMES_H_
+#define XORBITS_COMMON_TRACE_NAMES_H_
+
+/// Central registry of every span, event, and named-metric identifier the
+/// observability layer emits. All emitting sites reference these constants
+/// instead of string literals so that (a) names cannot drift between the
+/// code and OBSERVABILITY.md and (b) `tools/docs_check.sh` can grep this
+/// one file and fail the `docs_check` ctest when a name is missing from
+/// the reference. Add a new name here + a row in OBSERVABILITY.md together.
+///
+/// Naming scheme: `<subsystem>:<what>`; spans that embed a dynamic suffix
+/// (operator type, chunk key) are declared as `k...Prefix` constants and
+/// documented as `prefix<suffix>`.
+
+#define XORBITS_SPAN_NAME(ident, str) inline constexpr char ident[] = str;
+#define XORBITS_EVENT_NAME(ident, str) inline constexpr char ident[] = str;
+#define XORBITS_METRIC_NAME(ident, str) inline constexpr char ident[] = str;
+
+namespace xorbits::trace {
+
+// --- spans (Chrome "X" complete events) ---
+XORBITS_SPAN_NAME(kSpanMaterialize, "materialize")
+XORBITS_SPAN_NAME(kSpanColumnPruning, "optimize:column_pruning")
+XORBITS_SPAN_NAME(kSpanTilePrefix, "tile:")
+XORBITS_SPAN_NAME(kSpanExecutePartial, "execute_partial")
+XORBITS_SPAN_NAME(kSpanOpFusion, "optimize:op_fusion")
+XORBITS_SPAN_NAME(kSpanGraphFusion, "optimize:graph_fusion")
+XORBITS_SPAN_NAME(kSpanScheduleRun, "schedule:run")
+XORBITS_SPAN_NAME(kSpanRecoverPrefix, "recover:")
+XORBITS_SPAN_NAME(kSpanSubtaskPrefix, "subtask:")
+XORBITS_SPAN_NAME(kSpanSpillBackpressure, "storage:spill_backpressure")
+
+// --- instant events (Chrome "i" events) ---
+XORBITS_EVENT_NAME(kEventAddTileable, "graph:add_tileable")
+XORBITS_EVENT_NAME(kEventTileYield, "tile:yield")
+XORBITS_EVENT_NAME(kEventPlacement, "schedule:placement")
+XORBITS_EVENT_NAME(kEventSubtaskRetry, "subtask:retry")
+XORBITS_EVENT_NAME(kEventFaultTransient, "fault:transient")
+XORBITS_EVENT_NAME(kEventBandKill, "chaos:band_kill")
+XORBITS_EVENT_NAME(kEventChunkLoss, "chaos:chunk_loss")
+XORBITS_EVENT_NAME(kEventSpill, "storage:spill")
+XORBITS_EVENT_NAME(kEventOom, "storage:oom")
+XORBITS_EVENT_NAME(kEventStoragePut, "storage:put")
+XORBITS_EVENT_NAME(kEventStorageGet, "storage:get")
+XORBITS_EVENT_NAME(kEventFetch, "fetch:chunks")
+
+// --- registry metrics (gauges + histograms; see MetricsRegistry) ---
+XORBITS_METRIC_NAME(kHistSubtaskLatencyUs, "subtask_latency_us")
+XORBITS_METRIC_NAME(kHistChunkBytes, "chunk_bytes")
+XORBITS_METRIC_NAME(kHistQueueWaitUs, "queue_wait_us")
+XORBITS_METRIC_NAME(kGaugeBandPeakBytesPrefix, "band_peak_bytes/")
+XORBITS_METRIC_NAME(kGaugeBandSpillBytesPrefix, "band_spill_bytes/")
+XORBITS_METRIC_NAME(kGaugeMetaEntries, "meta_entries")
+XORBITS_METRIC_NAME(kGaugeLineageEntries, "lineage_entries")
+
+}  // namespace xorbits::trace
+
+#undef XORBITS_SPAN_NAME
+#undef XORBITS_EVENT_NAME
+#undef XORBITS_METRIC_NAME
+
+#endif  // XORBITS_COMMON_TRACE_NAMES_H_

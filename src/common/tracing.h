@@ -1,0 +1,229 @@
+#ifndef XORBITS_COMMON_TRACING_H_
+#define XORBITS_COMMON_TRACING_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace xorbits {
+
+/// Fixed per-process track (Chrome "thread") layout: every traced session
+/// gets one supervisor track (graph construction, optimizer passes, partial
+/// execution), one tiling track (per-operator tile spans and yields), one
+/// storage track (spill/OOM/chaos events), and one track per band.
+inline constexpr int kTrackSupervisor = 0;
+inline constexpr int kTrackTiling = 1;
+inline constexpr int kTrackStorage = 2;
+inline constexpr int kTrackBandBase = 3;
+
+/// One key/value annotation on an event. `numeric` values are emitted as
+/// JSON numbers, everything else as strings.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool numeric = false;
+};
+using TraceArgs = std::vector<TraceArg>;
+
+inline TraceArg Arg(std::string key, std::string value) {
+  return {std::move(key), std::move(value), false};
+}
+inline TraceArg Arg(std::string key, const char* value) {
+  return {std::move(key), value, false};
+}
+inline TraceArg Arg(std::string key, int64_t value) {
+  return {std::move(key), std::to_string(value), true};
+}
+
+/// Decomposition of one session's simulated time along the critical path of
+/// each executed subtask graph; the run report's stage totals sum to the
+/// session's `simulated_us` exactly (see DESIGN.md §4).
+enum class TraceStage : int {
+  kKernelSerial = 0,  // band-thread kernel CPU on the critical chain
+  kKernelParallel,    // pool kernel CPU / cpus_per_band on the chain
+  kDispatch,          // per-subtask supervisor RPC/dispatch latency
+  kTransfer,          // modeled cross-band network time
+  kStore,             // modeled storage (de)serialization time
+  kRecovery,          // lineage recompute (in-run and supervisor-side)
+  kSpill,             // modeled spill disk backpressure
+  kIdle,              // critical-chain wait (band busy with other work)
+};
+inline constexpr int kTraceStageCount = 8;
+const char* TraceStageName(TraceStage stage);
+
+/// One recorded event, timestamped in the owning process's simulated time.
+struct TraceEvent {
+  enum class Phase : char { kComplete = 'X', kInstant = 'i' };
+  std::string name;
+  Phase phase = Phase::kInstant;
+  int pid = 0;
+  int tid = kTrackSupervisor;
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+  bool critical = false;  // on the critical path (subtask events)
+  TraceArgs args;
+};
+
+/// Thread-safe structured-trace sink. A Tracer can host several sessions at
+/// once (each registers a "process" with its own track group and simulated
+/// clock); the bench harness shares one Tracer across every traced run and
+/// exports a single Chrome/Perfetto JSON plus one text run report per
+/// process.
+///
+/// Cost model: the tracer only exists when tracing is requested
+/// (`Config::trace.sink != nullptr`); every emitting site checks that
+/// pointer first, so the disabled path is a null test with no allocation.
+/// When enabled, events land in one of 16 mutex-sharded buffers (shard
+/// picked by thread id), so concurrent band workers almost never contend.
+///
+/// Time base: all timestamps are **simulated** microseconds. Each process
+/// owns a cursor (`sim_now`) that the executor advances by the makespan of
+/// every subtask-graph run; supervisor-side spans (tiling, fusion) capture
+/// the cursor at begin/end, so a tile span that paused for two partial
+/// executions spans their combined simulated time, and wall-clock cost of
+/// supervisor work is attached as a `wall_us` arg instead.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Registers a session; returns its process id. Emits Chrome metadata
+  /// naming the process and its tracks (one per band).
+  int RegisterProcess(const std::string& name, int num_bands);
+
+  /// Attaches the session's final metrics (rendered in the run report).
+  /// Sessions call this at destruction so reports outlive them.
+  void SetProcessMetrics(int pid, MetricsSnapshot snapshot);
+
+  int64_t sim_now(int pid) const;
+  void AdvanceSim(int pid, int64_t us);
+  void AddStage(int pid, TraceStage stage, int64_t us);
+  int64_t stage_total(int pid, TraceStage stage) const;
+
+  void Emit(TraceEvent event);
+  void Instant(int pid, int tid, std::string name, TraceArgs args = {});
+  /// Complete event at an explicit simulated timestamp (the executor emits
+  /// subtask events post-hoc once the schedule is known).
+  void CompleteAt(int pid, int tid, std::string name, int64_t ts_us,
+                  int64_t dur_us, TraceArgs args = {}, bool critical = false);
+
+  /// Explicit span handle for scopes that outlive one C++ scope — the tile
+  /// spans stay open across co_yield suspensions of the tile coroutine.
+  struct Span {
+    int pid = -1;
+    int tid = kTrackSupervisor;
+    std::string name;
+    int64_t sim_start_us = 0;
+    int64_t wall_start_us = 0;
+    TraceArgs args;
+    bool active = false;
+  };
+  Span BeginSpan(int pid, int tid, std::string name, TraceArgs args = {});
+  /// Emits the complete event for `span` (no-op when inactive) and
+  /// deactivates it. `extra` args are appended.
+  void EndSpan(Span* span, TraceArgs extra = {});
+
+  int64_t event_count() const {
+    return event_count_.load(std::memory_order_relaxed);
+  }
+  std::vector<int> process_ids() const;
+  std::string process_name(int pid) const;
+
+  /// All recorded events (flushed from every shard), in no particular
+  /// order. Used by tests and the report renderer.
+  std::vector<TraceEvent> SnapshotEvents() const;
+
+  /// Chrome-tracing / Perfetto JSON of every process.
+  std::string ToChromeJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Plain-text run report for one process: critical-path stage breakdown
+  /// (sums to the process's simulated total), per-op band-time, per-band
+  /// busy/idle/spill, peak memory watermarks, histograms.
+  std::string RenderRunReport(int pid) const;
+  /// Reports for every registered process, concatenated.
+  std::string RenderAllReports() const;
+
+ private:
+  struct Process {
+    std::string name;
+    int num_bands = 0;
+    std::atomic<int64_t> sim_now{0};
+    std::array<std::atomic<int64_t>, kTraceStageCount> stages{};
+    std::optional<MetricsSnapshot> metrics;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
+  Process* process(int pid) const;
+  Shard& ShardForThisThread();
+
+  mutable std::mutex mu_;  // guards processes_
+  std::vector<std::unique_ptr<Process>> processes_;
+  static constexpr int kNumShards = 16;
+  mutable std::array<Shard, kNumShards> shards_;
+  std::atomic<int64_t> event_count_{0};
+};
+
+/// RAII span: begins on construction, ends on destruction. All constructors
+/// are no-ops when `tracer` is null (the disabled path allocates nothing —
+/// take care to only build dynamic names inside a `if (tracer)` guard).
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(Tracer* tracer, int pid, int tid, const char* name) {
+    if (tracer != nullptr) {
+      tracer_ = tracer;
+      span_ = tracer->BeginSpan(pid, tid, name);
+    }
+  }
+  TraceSpan(Tracer* tracer, int pid, int tid, std::string name,
+            TraceArgs args) {
+    if (tracer != nullptr) {
+      tracer_ = tracer;
+      span_ = tracer->BeginSpan(pid, tid, std::move(name), std::move(args));
+    }
+  }
+  TraceSpan(TraceSpan&& other) noexcept { *this = std::move(other); }
+  TraceSpan& operator=(TraceSpan&& other) noexcept {
+    if (this != &other) {
+      End();
+      tracer_ = other.tracer_;
+      span_ = std::move(other.span_);
+      other.tracer_ = nullptr;
+      other.span_.active = false;
+    }
+    return *this;
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { End(); }
+
+  void AddArg(TraceArg arg) {
+    if (tracer_ != nullptr) span_.args.push_back(std::move(arg));
+  }
+  /// Ends the span early (idempotent).
+  void End() {
+    if (tracer_ != nullptr) tracer_->EndSpan(&span_);
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  Tracer::Span span_;
+};
+
+}  // namespace xorbits
+
+#endif  // XORBITS_COMMON_TRACING_H_

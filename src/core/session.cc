@@ -1,19 +1,46 @@
 #include "core/session.h"
 
+#include "common/trace_names.h"
+#include "common/tracing.h"
 #include "dataframe/kernels.h"
 #include "optimizer/column_pruning.h"
 #include "tensor/ndarray.h"
 
 namespace xorbits::core {
 
+namespace {
+
+/// Registers the session with the trace sink (when one is configured) and
+/// stores the returned process id back into the config, before the services
+/// copy it. Runs first in the member-init order (config_ precedes storage_
+/// and driver_).
+Config RegisterTraceProcess(Config config) {
+  if (config.trace.sink != nullptr && config.trace.pid == 0) {
+    config.trace.pid = config.trace.sink->RegisterProcess(
+        EngineKindName(config.engine), config.total_bands());
+  }
+  return config;
+}
+
+}  // namespace
+
 Session::Session(Config config)
-    : config_(std::move(config)),
+    : config_(RegisterTraceProcess(std::move(config))),
       storage_(std::make_unique<services::StorageService>(config_,
                                                           &metrics_)),
       driver_(std::make_unique<tiling::TilingDriver>(
-          config_, &metrics_, storage_.get(), &meta_, &chunk_graph_)) {}
+          config_, &metrics_, storage_.get(), &meta_, &chunk_graph_)) {
+  meta_.BindObservability(&metrics_);
+}
 
-Session::~Session() = default;
+Session::~Session() {
+  // Hand the final metrics to the trace sink so run reports (rendered after
+  // every session is gone) still see this session's counters/histograms.
+  if (config_.trace.sink != nullptr) {
+    config_.trace.sink->SetProcessMetrics(config_.trace.pid,
+                                          metrics_.Snapshot());
+  }
+}
 
 graph::TileableNode* Session::AddTileable(
     std::shared_ptr<graph::OperatorBase> op,
@@ -22,13 +49,24 @@ graph::TileableNode* Session::AddTileable(
   graph::TileableNode* node =
       tileable_graph_.AddNode(std::move(op), std::move(inputs), output_index);
   node->columns = std::move(columns);
+  if (Tracer* tr = config_.trace.sink) {
+    tr->Instant(config_.trace.pid, kTrackSupervisor, trace::kEventAddTileable,
+                {Arg("op", node->op->type_name()),
+                 Arg("node", node->id)});
+  }
   return node;
 }
 
 Status Session::Materialize(
     const std::vector<graph::TileableNode*>& sinks) {
   std::vector<graph::TileableNode*> topo = tileable_graph_.TopologicalOrder();
+  Tracer* tr = config_.trace.sink;
+  TraceSpan mat_span(tr, config_.trace.pid, kTrackSupervisor,
+                     trace::kSpanMaterialize);
+  mat_span.AddArg(Arg("tileables", static_cast<int64_t>(topo.size())));
   if (config_.column_pruning) {
+    TraceSpan span(tr, config_.trace.pid, kTrackSupervisor,
+                   trace::kSpanColumnPruning);
     optimizer::PruneColumns(topo, sinks);
   }
   return driver_->TileAndRun(topo, sinks);

@@ -110,6 +110,20 @@ class ChunkGraph {
   int64_t next_id_ = 0;
 };
 
+/// Component breakdown of one subtask's modeled cost, filled alongside
+/// `Subtask::sim_us` so the tracer can attribute critical-path time to
+/// stages (kernel vs dispatch vs transfer vs store; see DESIGN.md §4).
+/// Invariant: serial + parallel + dispatch + transfer + store + recovery
+/// == sim_us.
+struct SubtaskCost {
+  int64_t serial_us = 0;    // band-thread kernel CPU
+  int64_t parallel_us = 0;  // pool kernel CPU already divided by slots
+  int64_t dispatch_us = 0;  // fixed per-subtask dispatch latency
+  int64_t transfer_us = 0;  // modeled cross-band input fetch
+  int64_t store_us = 0;     // modeled output (de)serialization
+  int64_t recovery_us = 0;  // in-run lineage recompute charged to this task
+};
+
 /// A fused group of chunk nodes scheduled as one unit (§III-C).
 struct Subtask {
   int id = 0;
@@ -126,6 +140,9 @@ struct Subtask {
   /// Modeled execution cost (thread-CPU time + transfer penalty), filled by
   /// the executor and consumed by the makespan computation.
   int64_t sim_us = 0;
+  /// Stage decomposition of sim_us (tracing; zero when untraced runs don't
+  /// need it — the executor always fills it, it is cheap).
+  SubtaskCost cost;
 };
 
 /// The fine-grained physical plan: fused subtasks plus dependency edges.

@@ -8,6 +8,8 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/trace_names.h"
+#include "common/tracing.h"
 #include "operators/operator.h"
 #include "scheduler/placement.h"
 
@@ -111,6 +113,11 @@ Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
   Status injected = injector_.MaybeInjectSubtaskFault(uid, attempt);
   if (!injected.ok()) {
     metrics_->faults_injected++;
+    if (Tracer* tr = config_.trace.sink) {
+      tr->Instant(config_.trace.pid, kTrackBandBase + band,
+                  trace::kEventFaultTransient,
+                  {Arg("uid", uid), Arg("attempt", int64_t{attempt})});
+    }
     return injected;
   }
   const auto wall_start = std::chrono::steady_clock::now();
@@ -121,7 +128,8 @@ Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
   // and parallel CPU divided across the band's cpus_per_band slots.
   ParallelCpuScope par_cpu;
   const int64_t cpu_start = ThreadCpuMicros();
-  int64_t penalty_us = kDispatchUs;
+  int64_t transfer_us = 0;
+  int64_t store_us = 0;
   std::unordered_map<std::string, ChunkDataPtr> local;
   std::unordered_map<std::string, std::vector<ChunkDataPtr>> unit_cache;
   std::unordered_set<const graph::ChunkNode*> persist(
@@ -177,7 +185,7 @@ Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
               std::string("fetching input for ") + op->type_name());
         }
         if (transferred) {
-          penalty_us += (*fetched)->nbytes() / kNetworkBytesPerUs;
+          transfer_us += (*fetched)->nbytes() / kNetworkBytesPerUs;
         }
         fetched_keys.push_back(k);
         ctx.inputs.push_back(*fetched);
@@ -197,7 +205,7 @@ Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
             return put.WithContext(op->type_name());
           }
           published_keys.push_back(part_key);
-          penalty_us += data->nbytes() / kStoreBytesPerUs;
+          store_us += data->nbytes() / kStoreBytesPerUs;
           total_rows += data->rows();
           total_bytes += data->nbytes();
         }
@@ -224,7 +232,7 @@ Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
         release_all();
         return put.WithContext(op->type_name());
       }
-      penalty_us += payload->nbytes() / kStoreBytesPerUs;
+      store_us += payload->nbytes() / kStoreBytesPerUs;
       meta_->Put(node->key, MetaOf(payload, band));
       published_keys.push_back(node->key);
       node->executed = true;
@@ -267,8 +275,14 @@ Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
   if (serial_cpu < 0) serial_cpu = 0;
   const int64_t slots = std::max(1, config_.cpus_per_band);
   metrics_->kernel_cpu_us += serial_cpu + par_total;
-  subtask.sim_us =
-      serial_cpu + (par_total + slots - 1) / slots + penalty_us;
+  subtask.cost.serial_us = serial_cpu;
+  subtask.cost.parallel_us = (par_total + slots - 1) / slots;
+  subtask.cost.dispatch_us = kDispatchUs;
+  subtask.cost.transfer_us = transfer_us;
+  subtask.cost.store_us = store_us;
+  subtask.cost.recovery_us = 0;
+  subtask.sim_us = subtask.cost.serial_us + subtask.cost.parallel_us +
+                   kDispatchUs + transfer_us + store_us;
   // Per-subtask timeout, checked cooperatively after the kernel returns
   // (a kernel that never returns is the task-level deadline's job). An
   // overrunning attempt is rolled back and reported as a retryable
@@ -328,6 +342,18 @@ Status Executor::EnsureChunkAvailable(const std::string& key) {
   int64_t sim_us = 0;
   Status st = RecoverLostChunk(key, band, &sim_us);
   metrics_->simulated_us += sim_us;
+  // Supervisor-side recovery (a fetch found the chunk gone outside any
+  // run): the recompute advances this session's simulated clock and is
+  // charged to the recovery stage in full.
+  if (Tracer* tr = config_.trace.sink) {
+    const int pid = config_.trace.pid;
+    const int64_t ts = tr->sim_now(pid);
+    tr->AdvanceSim(pid, sim_us);
+    tr->AddStage(pid, TraceStage::kRecovery, sim_us);
+    tr->CompleteAt(pid, kTrackBandBase + band, trace::kSpanRecoverPrefix + key,
+                   ts, sim_us,
+                   {Arg("ok", int64_t{st.ok() ? 1 : 0})});
+  }
   return st;
 }
 
@@ -477,6 +503,11 @@ void Executor::KillBandLocked(RunState* state, int band) {
   blacklisted_[band] = 1;
   metrics_->bands_blacklisted++;
   const std::vector<std::string> lost = storage_->MarkBandDead(band);
+  if (Tracer* tr = config_.trace.sink) {
+    tr->Instant(config_.trace.pid, kTrackBandBase + band,
+                trace::kEventBandKill,
+                {Arg("chunks_lost", static_cast<int64_t>(lost.size()))});
+  }
   XORBITS_LOG(Warn) << "chaos: band " << band << " died, " << lost.size()
                     << " chunk(s) lost; re-placing its queue";
   if (state == nullptr) return;
@@ -497,6 +528,10 @@ void Executor::DropOneChunkLocked() {
     Status dropped = storage_->DropChunk(key);
     if (dropped.ok()) {
       XORBITS_LOG(Warn) << "chaos: dropped chunk " << key;
+      if (Tracer* tr = config_.trace.sink) {
+        tr->Instant(config_.trace.pid, kTrackStorage, trace::kEventChunkLoss,
+                    {Arg("key", key)});
+      }
       return;
     }
   }
@@ -557,7 +592,10 @@ void Executor::BandWorkerLoop(int band) {
       lost_key.clear();
       result = RunSubtask(st, uid, attempt, &lost_key);
     }
-    if (result.ok()) st.sim_us += recovered_sim_us;
+    if (result.ok()) {
+      st.sim_us += recovered_sim_us;
+      st.cost.recovery_us += recovered_sim_us;
+    }
 
     lock.lock();
     metrics_->subtasks_executed++;
@@ -582,8 +620,16 @@ void Executor::BandWorkerLoop(int band) {
       // backoff so Run cannot drain while the subtask is parked here.
       state->attempts[task_id]++;
       metrics_->subtasks_retried++;
-      const int64_t delay_ms = BackoffMs(state->attempts[task_id]);
+      const int next_attempt = state->attempts[task_id];
+      const int64_t delay_ms = BackoffMs(next_attempt);
       lock.unlock();
+      if (Tracer* tr = config_.trace.sink) {
+        tr->Instant(config_.trace.pid, kTrackBandBase + band,
+                    trace::kEventSubtaskRetry,
+                    {Arg("subtask", int64_t{task_id}),
+                     Arg("attempt", int64_t{next_attempt}),
+                     Arg("error", result.message())});
+      }
       RollbackSubtask(st);
       if (delay_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
@@ -619,6 +665,19 @@ Status Executor::Run(graph::SubtaskGraph* st_graph,
     return Status::WorkerLost("every band in the cluster is dead");
   }
   AssignBands(config_, st_graph, &dead);
+  if (Tracer* tr = config_.trace.sink) {
+    std::vector<int64_t> per_band(num_bands, 0);
+    for (const graph::Subtask& st : st_graph->subtasks) {
+      if (st.band >= 0 && st.band < num_bands) per_band[st.band]++;
+    }
+    TraceArgs args = {
+        Arg("subtasks", static_cast<int64_t>(st_graph->subtasks.size()))};
+    for (int b = 0; b < num_bands; ++b) {
+      args.push_back(Arg("band_" + std::to_string(b), per_band[b]));
+    }
+    tr->Instant(config_.trace.pid, kTrackSupervisor, trace::kEventPlacement,
+                std::move(args));
+  }
 
   RunState state;
   state.graph = st_graph;
@@ -675,23 +734,114 @@ Status Executor::Run(graph::SubtaskGraph* st_graph,
   // the band's cpus_per_band slots (and any lineage-recovery recompute it
   // had to wait for).
   {
+    const size_t n = st_graph->subtasks.size();
     std::vector<int64_t> band_free(num_bands, 0);
-    std::vector<int64_t> finish(st_graph->subtasks.size(), 0);
+    std::vector<int64_t> finish(n, 0);
+    std::vector<int64_t> queue_wait(n, 0);
+    // Band-serialization edge: the subtask that ran on this band right
+    // before, so the critical-path walk can cross "waited for the band"
+    // dependencies as well as graph edges.
+    std::vector<int> band_pred(n, -1);
+    std::vector<int> prev_on_band(num_bands, -1);
     int64_t makespan = 0;
+    int last = -1;
     for (const graph::Subtask& st : st_graph->subtasks) {
-      int64_t ready = band_free[st.band];
-      for (int p : st.preds) ready = std::max(ready, finish[p]);
-      finish[st.id] = ready + st.sim_us;
+      int64_t ready_inputs = 0;
+      for (int p : st.preds) {
+        ready_inputs = std::max(ready_inputs, finish[p]);
+      }
+      const int64_t start = std::max(ready_inputs, band_free[st.band]);
+      queue_wait[st.id] = start - ready_inputs;
+      band_pred[st.id] = prev_on_band[st.band];
+      finish[st.id] = start + st.sim_us;
       band_free[st.band] = finish[st.id];
-      makespan = std::max(makespan, finish[st.id]);
+      prev_on_band[st.band] = st.id;
+      if (finish[st.id] > makespan) {
+        makespan = finish[st.id];
+        last = st.id;
+      }
+      metrics_->subtask_latency_us->Observe(st.sim_us);
+      metrics_->queue_wait_us->Observe(queue_wait[st.id]);
     }
     // Memory pressure: spilled bytes pass through a shared 500 MB/s disk
     // (write + eventual fault-back), the cost that turns static engines'
     // over-materialization into the paper's slowdowns and hangs.
     const int64_t spilled =
         metrics_->bytes_spilled.load() - spilled_before;
-    makespan += 2 * spilled / 500;  // bytes / (500 B/us)
-    metrics_->simulated_us += makespan;
+    const int64_t spill_us = 2 * spilled / 500;  // bytes / (500 B/us)
+    metrics_->simulated_us += makespan + spill_us;
+
+    if (Tracer* tr = config_.trace.sink) {
+      const int pid = config_.trace.pid;
+      // Critical path: walk back from the last-finishing subtask, at each
+      // step to whichever dependency (graph pred or band predecessor)
+      // finished last. Each critical subtask contributes its cost
+      // components to the stage totals; whatever the chain spent waiting
+      // (band busy elsewhere) is idle. By construction the stage totals
+      // sum exactly to the makespan, so the session-wide totals sum to
+      // simulated_us.
+      std::vector<char> critical(n, 0);
+      int64_t critical_us = 0;
+      for (int cur = last; cur >= 0;) {
+        critical[cur] = 1;
+        const graph::Subtask& st = st_graph->subtasks[cur];
+        tr->AddStage(pid, TraceStage::kKernelSerial, st.cost.serial_us);
+        tr->AddStage(pid, TraceStage::kKernelParallel, st.cost.parallel_us);
+        tr->AddStage(pid, TraceStage::kDispatch, st.cost.dispatch_us);
+        tr->AddStage(pid, TraceStage::kTransfer, st.cost.transfer_us);
+        tr->AddStage(pid, TraceStage::kStore, st.cost.store_us);
+        tr->AddStage(pid, TraceStage::kRecovery, st.cost.recovery_us);
+        critical_us += st.sim_us;
+        int next = -1;
+        int64_t best = -1;
+        for (int p : st.preds) {
+          if (finish[p] > best) {
+            best = finish[p];
+            next = p;
+          }
+        }
+        const int bp = band_pred[cur];
+        if (bp >= 0 && finish[bp] > best) {
+          best = finish[bp];
+          next = bp;
+        }
+        cur = next;
+      }
+      tr->AddStage(pid, TraceStage::kIdle, makespan - critical_us);
+      tr->AddStage(pid, TraceStage::kSpill, spill_us);
+
+      // Emit the schedule post-hoc onto the band tracks, anchored at this
+      // run's slice of the session's simulated clock.
+      const int64_t base = tr->sim_now(pid);
+      TraceSpan run_span(tr, pid, kTrackSupervisor, trace::kSpanScheduleRun);
+      run_span.AddArg(Arg("subtasks", static_cast<int64_t>(n)));
+      run_span.AddArg(Arg("makespan_us", makespan));
+      for (const graph::Subtask& st : st_graph->subtasks) {
+        const graph::ChunkNode* out =
+            st.chunk_nodes.empty() ? nullptr : st.chunk_nodes.back();
+        const char* op_name =
+            out != nullptr && out->op != nullptr ? out->op->type_name()
+                                                 : "unknown";
+        TraceArgs args = {
+            Arg("subtask", int64_t{st.id}),
+            Arg("ops", static_cast<int64_t>(st.chunk_nodes.size())),
+            Arg("queue_wait_us", queue_wait[st.id]),
+            Arg("attempts", int64_t{state.attempts[st.id] + 1}),
+        };
+        if (out != nullptr) args.push_back(Arg("chunk", out->key));
+        tr->CompleteAt(pid, kTrackBandBase + st.band,
+                       trace::kSpanSubtaskPrefix + std::string(op_name),
+                       base + finish[st.id] - st.sim_us, st.sim_us,
+                       std::move(args), critical[st.id] != 0);
+      }
+      if (spill_us > 0) {
+        tr->CompleteAt(pid, kTrackStorage, trace::kSpanSpillBackpressure,
+                       base + makespan, spill_us,
+                       {Arg("bytes", spilled)});
+      }
+      tr->AdvanceSim(pid, makespan + spill_us);
+      // run_span ends here and spans exactly this run's simulated slice.
+    }
   }
   return Status::OK();
 }

@@ -1,10 +1,31 @@
 #include "services/meta_service.h"
 
+#include "common/trace_names.h"
+
 namespace xorbits::services {
+
+void MetaService::BindObservability(Metrics* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  meta_entries_ =
+      metrics->registry.GetGauge(trace::kGaugeMetaEntries, "entries");
+  lineage_entries_ =
+      metrics->registry.GetGauge(trace::kGaugeLineageEntries, "entries");
+  UpdateGaugesLocked();
+}
+
+void MetaService::UpdateGaugesLocked() {
+  if (meta_entries_ != nullptr) {
+    meta_entries_->Set(static_cast<int64_t>(metas_.size()));
+  }
+  if (lineage_entries_ != nullptr) {
+    lineage_entries_->Set(static_cast<int64_t>(lineages_.size()));
+  }
+}
 
 void MetaService::Put(const std::string& key, ChunkMeta meta) {
   std::lock_guard<std::mutex> lock(mu_);
   metas_[key] = std::move(meta);
+  UpdateGaugesLocked();
 }
 
 Result<ChunkMeta> MetaService::Get(const std::string& key) const {
@@ -24,6 +45,7 @@ bool MetaService::Has(const std::string& key) const {
 void MetaService::Delete(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   metas_.erase(key);
+  UpdateGaugesLocked();
 }
 
 int64_t MetaService::size() const {
@@ -35,11 +57,13 @@ void MetaService::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   metas_.clear();
   lineages_.clear();
+  UpdateGaugesLocked();
 }
 
 void MetaService::PutLineage(const std::string& key, ChunkLineage lineage) {
   std::lock_guard<std::mutex> lock(mu_);
   lineages_[key] = std::move(lineage);
+  UpdateGaugesLocked();
 }
 
 Result<ChunkLineage> MetaService::GetLineage(const std::string& key) const {

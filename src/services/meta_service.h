@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "graph/graph.h"
 
@@ -49,6 +50,11 @@ struct ChunkLineage {
 /// node's base key, without any "@partition" suffix).
 class MetaService {
  public:
+  /// Registers the meta_entries / lineage_entries gauges on `metrics` and
+  /// keeps them current from then on. Optional: the service works (and the
+  /// gauges simply stay absent) when never bound.
+  void BindObservability(Metrics* metrics);
+
   void Put(const std::string& key, ChunkMeta meta);
   Result<ChunkMeta> Get(const std::string& key) const;
   bool Has(const std::string& key) const;
@@ -62,9 +68,14 @@ class MetaService {
   int64_t lineage_size() const;
 
  private:
+  /// Pushes current map sizes into the bound gauges. Caller holds mu_.
+  void UpdateGaugesLocked();
+
   mutable std::mutex mu_;
   std::unordered_map<std::string, ChunkMeta> metas_;
   std::unordered_map<std::string, ChunkLineage> lineages_;
+  Gauge* meta_entries_ = nullptr;     // bound via BindObservability
+  Gauge* lineage_entries_ = nullptr;
 };
 
 }  // namespace xorbits::services

@@ -5,6 +5,8 @@
 #include <fstream>
 
 #include "common/logging.h"
+#include "common/trace_names.h"
+#include "common/tracing.h"
 
 namespace xorbits::services {
 
@@ -14,8 +16,17 @@ StorageService::StorageService(const Config& config, Metrics* metrics)
       enable_spill_(config.enable_spill),
       spill_dir_(config.spill_dir),
       metrics_(metrics),
+      trace_(config.trace),
       band_used_(config.total_bands(), 0),
       band_dead_(config.total_bands(), 0) {
+  peak_gauges_.reserve(num_bands_);
+  spill_gauges_.reserve(num_bands_);
+  for (int b = 0; b < num_bands_; ++b) {
+    peak_gauges_.push_back(metrics_->registry.GetGauge(
+        trace::kGaugeBandPeakBytesPrefix + std::to_string(b), "bytes"));
+    spill_gauges_.push_back(metrics_->registry.GetGauge(
+        trace::kGaugeBandSpillBytesPrefix + std::to_string(b), "bytes"));
+  }
   if (enable_spill_) {
     std::error_code ec;
     std::filesystem::create_directories(spill_dir_, ec);
@@ -51,6 +62,13 @@ Status StorageService::Put(const std::string& key, ChunkDataPtr data,
   metrics_->chunks_stored++;
   metrics_->bytes_stored += bytes;
   metrics_->UpdatePeak(band_used_[band]);
+  metrics_->chunk_bytes->Observe(bytes);
+  peak_gauges_[band]->SetMax(band_used_[band]);
+  if (trace_.sink != nullptr && trace_.verbose_storage) {
+    trace_.sink->Instant(trace_.pid, kTrackStorage, trace::kEventStoragePut,
+                         {Arg("key", key), Arg("bytes", bytes),
+                          Arg("band", int64_t{band})});
+  }
   return Status::OK();
 }
 
@@ -93,7 +111,9 @@ Result<ChunkDataPtr> StorageService::Get(const std::string& key,
     e.level = StorageLevel::kMemory;
     band_used_[e.band] += e.nbytes;
     metrics_->UpdatePeak(band_used_[e.band]);
+    peak_gauges_[e.band]->SetMax(band_used_[e.band]);
   }
+  bool moved = false;
   if (requesting_band >= 0 && requesting_band != e.band) {
     bool cached = false;
     for (int b : e.replicas) {
@@ -106,7 +126,13 @@ Result<ChunkDataPtr> StorageService::Get(const std::string& key,
       metrics_->bytes_transferred += e.nbytes;
       e.replicas.push_back(requesting_band);
       if (transferred != nullptr) *transferred = true;
+      moved = true;
     }
+  }
+  if (trace_.sink != nullptr && trace_.verbose_storage) {
+    trace_.sink->Instant(trace_.pid, kTrackStorage, trace::kEventStorageGet,
+                         {Arg("key", key), Arg("bytes", e.nbytes),
+                          Arg("transferred", int64_t{moved ? 1 : 0})});
   }
   return e.data;
 }
@@ -268,6 +294,12 @@ Status StorageService::EnsureCapacityLocked(int band, int64_t bytes) {
   // Diagnosable OOM: every message names the band and its occupancy so a
   // failed chaos/OOM run pinpoints which band overflowed and by how much.
   auto oom_detail = [&](const std::string& why) {
+    if (trace_.sink != nullptr) {
+      trace_.sink->Instant(trace_.pid, kTrackStorage, trace::kEventOom,
+                           {Arg("band", int64_t{band}),
+                            Arg("requested_bytes", bytes),
+                            Arg("used_bytes", band_used_[band])});
+    }
     return why + " on band " + std::to_string(band) + ": requested " +
            std::to_string(bytes) + " bytes, used " +
            std::to_string(band_used_[band]) + " of budget " +
@@ -316,6 +348,13 @@ Status StorageService::SpillOneLocked(int band) {
   band_used_[band] -= victim->nbytes;
   metrics_->bytes_spilled += victim->nbytes;
   metrics_->spill_events++;
+  spill_gauges_[band]->Add(victim->nbytes);
+  if (trace_.sink != nullptr) {
+    trace_.sink->Instant(trace_.pid, kTrackStorage, trace::kEventSpill,
+                         {Arg("key", victim_key),
+                          Arg("bytes", victim->nbytes),
+                          Arg("band", int64_t{band})});
+  }
   victim->data.reset();
   victim->level = StorageLevel::kDisk;
   victim->spill_path = path;

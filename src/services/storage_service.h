@@ -109,6 +109,11 @@ class StorageService {
   const bool enable_spill_;
   const std::string spill_dir_;
   Metrics* const metrics_;
+  const TraceConfig trace_;
+  /// Per-band registry gauges (band_peak_bytes/<b>, band_spill_bytes/<b>),
+  /// registered at construction; pointers are stable for metrics_'s life.
+  std::vector<Gauge*> peak_gauges_;
+  std::vector<Gauge*> spill_gauges_;
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;

@@ -1,6 +1,8 @@
 #include "tiling/tiling_driver.h"
 
 #include "common/logging.h"
+#include "common/trace_names.h"
+#include "common/tracing.h"
 #include "optimizer/fusion.h"
 #include "optimizer/op_fusion.h"
 
@@ -27,11 +29,23 @@ Status TilingDriver::ExecutePartial(
     const std::vector<ChunkNode*>& targets) {
   std::vector<ChunkNode*> closure = graph::PendingClosure(targets);
   if (closure.empty()) return Status::OK();
+  Tracer* tr = config_.trace.sink;
+  const int pid = config_.trace.pid;
+  TraceSpan partial_span(tr, pid, kTrackSupervisor,
+                         trace::kSpanExecutePartial);
+  partial_span.AddArg(Arg("pending", static_cast<int64_t>(closure.size())));
   if (config_.op_fusion) {
+    TraceSpan span(tr, pid, kTrackSupervisor, trace::kSpanOpFusion);
     closure = optimizer::FuseElementwiseChains(std::move(closure), metrics_);
   }
-  graph::SubtaskGraph st_graph = optimizer::BuildSubtaskGraph(
-      closure, targets, config_.graph_fusion, metrics_);
+  graph::SubtaskGraph st_graph;
+  {
+    TraceSpan span(tr, pid, kTrackSupervisor, trace::kSpanGraphFusion);
+    st_graph = optimizer::BuildSubtaskGraph(closure, targets,
+                                            config_.graph_fusion, metrics_);
+    span.AddArg(
+        Arg("subtasks", static_cast<int64_t>(st_graph.subtasks.size())));
+  }
   return executor_.Run(&st_graph, deadline_);
 }
 
@@ -52,14 +66,35 @@ Status TilingDriver::TileAndRun(
     if (op == nullptr) {
       return Status::Invalid("tileable node without a tileable operator");
     }
+    // The tile span stays open across every co_yield suspension of the
+    // tile coroutine: it covers the metadata-driven partial executions the
+    // operator waited for, in simulated time (see common/tracing.h).
+    Tracer* tr = config_.trace.sink;
+    TraceSpan tile_span;
+    if (tr != nullptr) {
+      tile_span = TraceSpan(tr, config_.trace.pid, kTrackTiling,
+                            trace::kSpanTilePrefix + std::string(op->type_name()),
+                            {});
+    }
+    int64_t yields = 0;
     TileTask task = op->Tile(tctx, node);
     while (task.Resume()) {
       // The coroutine needs execution metadata: run the partial graph.
+      if (tr != nullptr) {
+        tr->Instant(config_.trace.pid, kTrackTiling, trace::kEventTileYield,
+                    {Arg("op", op->type_name()),
+                     Arg("pending_chunks", static_cast<int64_t>(
+                                               task.pending().chunks.size()))});
+      }
+      ++yields;
       XORBITS_RETURN_NOT_OK(
           ExecutePartial(task.pending().chunks)
               .WithContext(std::string("while dynamically tiling ") +
                            op->type_name()));
     }
+    tile_span.AddArg(Arg("yields", yields));
+    tile_span.AddArg(
+        Arg("chunks", static_cast<int64_t>(node->chunks.size())));
     XORBITS_RETURN_NOT_OK(
         task.result().WithContext(std::string("tiling ") + op->type_name()));
     if (!node->tiled) {
@@ -78,6 +113,10 @@ Status TilingDriver::TileAndRun(
 Result<std::vector<services::ChunkDataPtr>> TilingDriver::FetchChunks(
     const TileableNode* node) {
   if (!node->tiled) return Status::Invalid("fetch of untiled tileable");
+  if (Tracer* tr = config_.trace.sink) {
+    tr->Instant(config_.trace.pid, kTrackSupervisor, trace::kEventFetch,
+                {Arg("chunks", static_cast<int64_t>(node->chunks.size()))});
+  }
   std::vector<services::ChunkDataPtr> out;
   out.reserve(node->chunks.size());
   for (const ChunkNode* c : node->chunks) {

@@ -1,0 +1,66 @@
+#!/bin/sh
+# Fails when an observability name registered in code is missing from
+# OBSERVABILITY.md. Runs as the `docs_check` ctest.
+#
+# Sources of truth:
+#   - src/common/trace_names.h    span / event / registry-metric constants
+#                                 (XORBITS_SPAN_NAME / _EVENT_NAME /
+#                                  _METRIC_NAME macros)
+#   - src/common/metrics.h        legacy counters, declared exactly as
+#                                 `std::atomic<int64_t> <name>{0};`
+#
+# Usage: tools/docs_check.sh [repo-root]
+
+set -u
+root="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
+names_h="$root/src/common/trace_names.h"
+metrics_h="$root/src/common/metrics.h"
+doc="$root/OBSERVABILITY.md"
+
+fail=0
+for f in "$names_h" "$metrics_h" "$doc"; do
+  if [ ! -f "$f" ]; then
+    echo "docs_check: missing $f" >&2
+    exit 1
+  fi
+done
+
+check() {
+  # $1 = name, $2 = where it came from
+  if ! grep -qF "$1" "$doc"; then
+    echo "docs_check: '$1' ($2) is not documented in OBSERVABILITY.md" >&2
+    fail=1
+  fi
+}
+
+# Span/event/metric string constants.
+names=$(sed -n \
+  's/^XORBITS_\(SPAN\|EVENT\|METRIC\)_NAME([A-Za-z0-9_]*, *"\([^"]*\)").*/\2/p' \
+  "$names_h")
+if [ -z "$names" ]; then
+  echo "docs_check: no names parsed from $names_h (format changed?)" >&2
+  exit 1
+fi
+for n in $names; do
+  check "$n" "trace_names.h"
+done
+
+# Legacy atomic counters. Trailing-underscore names are private class
+# members (Histogram/Gauge internals), not counters.
+counters=$(sed -n \
+  's/^ *std::atomic<int64_t> \([a-z_][a-z0-9_]*[a-z0-9]\){0};.*/\1/p' \
+  "$metrics_h")
+if [ -z "$counters" ]; then
+  echo "docs_check: no counters parsed from $metrics_h (format changed?)" >&2
+  exit 1
+fi
+for n in $counters; do
+  check "$n" "metrics.h counter"
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs_check: FAILED — add the missing rows to OBSERVABILITY.md" >&2
+  exit 1
+fi
+echo "docs_check: OK ($(printf '%s\n' $names | wc -l) trace names," \
+  "$(printf '%s\n' $counters | wc -l) counters documented)"
