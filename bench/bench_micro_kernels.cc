@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/buffer.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "dataframe/groupby.h"
@@ -263,6 +264,164 @@ struct KernelSpec {
   std::function<std::string()> fingerprint;
 };
 
+// ---------------------------------------------------------------------------
+// Buffer-sharing section: for slice / concat / shuffle-partition, build the
+// derived chunks once eagerly (value data copied, the pre-CoW behaviour)
+// and once through the shared-buffer paths, store base + derived chunks in
+// a StorageService band, and report the band's resident bytes in each mode
+// plus the wall time of the derivation itself. The gap is exactly what the
+// copy-on-write payload layer saves at peak.
+// ---------------------------------------------------------------------------
+
+services::ChunkDataPtr WrapColumn(Column col) {
+  return services::MakeChunk(
+      DataFrame::Make({"v"}, {std::move(col)}).MoveValue());
+}
+
+int64_t PeakBandBytes(const std::vector<services::ChunkDataPtr>& chunks) {
+  Config config;
+  config.num_workers = 1;
+  config.bands_per_worker = 1;
+  config.band_memory_limit = 8LL << 30;
+  Metrics metrics;
+  services::StorageService store(config, &metrics);
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    auto st = store.Put("c" + std::to_string(i), chunks[i], 0);
+    if (!st.ok()) std::fprintf(stderr, "sharing bench put failed\n");
+  }
+  return store.band_used_bytes(0);
+}
+
+struct SharingSample {
+  const char* op;
+  int64_t rows = 0;
+  int partitions = 0;
+  int64_t peak_eager = 0;
+  int64_t peak_shared = 0;
+  int64_t bytes_shared = 0;  // BufferStats delta during the shared build
+  double wall_us_eager = 0;
+  double wall_us_shared = 0;
+};
+
+/// Times `build(share)` and stores its chunks; `share` selects the view
+/// path vs. the eager-copy path over an identical fresh base column.
+SharingSample MeasureSharing(
+    const char* op, int64_t rows, int partitions,
+    const std::function<std::vector<services::ChunkDataPtr>(bool)>& build) {
+  SharingSample s;
+  s.op = op;
+  s.rows = rows;
+  s.partitions = partitions;
+  for (bool share : {false, true}) {
+    const int64_t shared0 =
+        common::BufferStats::Get().bytes_shared.load();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<services::ChunkDataPtr> chunks = build(share);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    const int64_t peak = PeakBandBytes(chunks);
+    if (share) {
+      s.wall_us_shared = us;
+      s.peak_shared = peak;
+      s.bytes_shared =
+          common::BufferStats::Get().bytes_shared.load() - shared0;
+    } else {
+      s.wall_us_eager = us;
+      s.peak_eager = peak;
+    }
+  }
+  return s;
+}
+
+void WriteSharingJson(FILE* f) {
+  const int64_t n = 1 << 20;  // 8 MiB of int64 payload per base column
+  const int parts = 8;
+  std::vector<int64_t> values(n);
+  for (int64_t i = 0; i < n; ++i) values[i] = i * 3 + 1;
+
+  const auto slice_build = [&](bool share) {
+    Column base = Column::Int64(values);
+    std::vector<services::ChunkDataPtr> out;
+    for (int p = 0; p < parts; ++p) {
+      const int64_t lo = p * (n / parts);
+      Column piece =
+          share ? base.Slice(lo, n / parts)
+                : Column::Int64(std::vector<int64_t>(
+                      values.begin() + lo, values.begin() + lo + n / parts));
+      out.push_back(WrapColumn(std::move(piece)));
+    }
+    out.push_back(WrapColumn(std::move(base)));
+    return out;
+  };
+
+  const auto concat_build = [&](bool share) {
+    Column base = Column::Int64(values);
+    Column left = share ? base.Slice(0, n / 2)
+                        : Column::Int64(std::vector<int64_t>(
+                              values.begin(), values.begin() + n / 2));
+    Column right = share ? base.Slice(n / 2, n / 2)
+                         : Column::Int64(std::vector<int64_t>(
+                               values.begin() + n / 2, values.end()));
+    Column joined = Column::Concat({&left, &right}).ValueOrDie();
+    std::vector<services::ChunkDataPtr> out;
+    out.push_back(WrapColumn(std::move(base)));
+    out.push_back(WrapColumn(std::move(joined)));
+    return out;
+  };
+
+  // Range-partition shuffle: each mapper output is a contiguous index run
+  // of the sorted input, the shape `Take` turns into an O(1) window.
+  const auto shuffle_build = [&](bool share) {
+    Column base = Column::Int64(values);
+    std::vector<services::ChunkDataPtr> out;
+    for (int p = 0; p < parts; ++p) {
+      const int64_t lo = p * (n / parts);
+      Column piece;
+      if (share) {
+        std::vector<int64_t> idx(n / parts);
+        for (int64_t i = 0; i < n / parts; ++i) idx[i] = lo + i;
+        piece = base.Take(idx);
+      } else {
+        piece = Column::Int64(std::vector<int64_t>(
+            values.begin() + lo, values.begin() + lo + n / parts));
+      }
+      out.push_back(WrapColumn(std::move(piece)));
+    }
+    out.push_back(WrapColumn(std::move(base)));
+    return out;
+  };
+
+  const SharingSample samples[] = {
+      MeasureSharing("slice", n, parts, slice_build),
+      MeasureSharing("concat", n, 2, concat_build),
+      MeasureSharing("shuffle_partition", n, parts, shuffle_build),
+  };
+
+  std::fprintf(f, "  \"sharing\": [\n");
+  for (size_t i = 0; i < std::size(samples); ++i) {
+    const SharingSample& s = samples[i];
+    const double ratio =
+        s.peak_eager > 0
+            ? static_cast<double>(s.peak_shared) / s.peak_eager
+            : 0.0;
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"rows\": %" PRId64
+                 ", \"partitions\": %d, \"peak_band_bytes_eager\": %" PRId64
+                 ", \"peak_band_bytes_shared\": %" PRId64
+                 ", \"shared_over_eager\": %.3f, \"bytes_shared\": %" PRId64
+                 ", \"wall_us_eager\": %.1f, \"wall_us_shared\": %.1f}%s\n",
+                 s.op, s.rows, s.partitions, s.peak_eager, s.peak_shared,
+                 ratio, s.bytes_shared, s.wall_us_eager, s.wall_us_shared,
+                 i + 1 < std::size(samples) ? "," : "");
+    std::printf("sharing %s: peak %" PRId64 " -> %" PRId64
+                " bytes (%.2fx), derive %.0fus -> %.0fus\n",
+                s.op, s.peak_eager, s.peak_shared, ratio, s.wall_us_eager,
+                s.wall_us_shared);
+  }
+  std::fprintf(f, "  ]\n");
+}
+
 void WriteKernelSweepJson(const char* path) {
   const int64_t kRows = 400000;
   DataFrame gb_df = MakeFrame(kRows, 500);
@@ -359,7 +518,9 @@ void WriteKernelSweepJson(const char* path) {
     }
     std::fprintf(f, "    ]}");
   }
-  std::fprintf(f, "\n  ]\n}\n");
+  std::fprintf(f, "\n  ],\n");
+  WriteSharingJson(f);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }

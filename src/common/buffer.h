@@ -1,0 +1,236 @@
+#ifndef XORBITS_COMMON_BUFFER_H_
+#define XORBITS_COMMON_BUFFER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xorbits::common {
+
+/// Fixed per-item byte widths, the single source of truth for dtype sizes.
+/// `dataframe::DTypeItemSize` and `tensor::NDArray::nbytes` both route
+/// through these so memory accounting cannot drift between layers. Strings
+/// store a measured payload; kItemSizeString is the per-item bookkeeping
+/// overhead added on top (pointer + length).
+inline constexpr int64_t kItemSizeInt64 = 8;
+inline constexpr int64_t kItemSizeFloat64 = 8;
+inline constexpr int64_t kItemSizeString = 16;
+inline constexpr int64_t kItemSizeBool = 1;
+
+/// Process-global counters for the copy-on-write buffer layer. They are
+/// deliberately global (the buffer layer sits below Metrics/Session);
+/// `Metrics::Snapshot` surfaces them as gauges. All updates are relaxed
+/// atomics — exact cross-thread ordering is irrelevant for monotone totals.
+struct BufferStats {
+  /// Payload bytes that were aliased instead of copied (cumulative, counted
+  /// at each zero-copy slice/concat/take; strings are counted at their
+  /// container width, the O(1) path never walks the heap).
+  std::atomic<int64_t> bytes_shared{0};
+  /// Zero-copy share events (slices, adjacent concats, contiguous takes)
+  /// that a plain-vector payload would have materialized.
+  std::atomic<int64_t> copies_avoided{0};
+  /// Private copies forced by a mutation of a shared (or sliced) buffer.
+  std::atomic<int64_t> cow_copies{0};
+
+  static BufferStats& Get();
+  void Reset() {
+    bytes_shared.store(0, std::memory_order_relaxed);
+    copies_avoided.store(0, std::memory_order_relaxed);
+    cow_copies.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// One underlying buffer referenced by a view, for unique-byte accounting:
+/// storage charges `buffer_bytes` once per distinct `id` per band, while
+/// logical sizes (transfer, serialization) sum `view_bytes` once per
+/// distinct (id, offset, length) window.
+struct BufferRef {
+  uint64_t id = 0;
+  int64_t buffer_bytes = 0;  // whole underlying allocation (measured)
+  int64_t view_bytes = 0;    // just the window this view exposes
+  int64_t offset = 0;
+  int64_t length = 0;
+};
+
+namespace buffer_detail {
+
+uint64_t NextBufferId();
+
+template <typename T>
+inline int64_t PayloadBytes(const T* /*data*/, int64_t n) {
+  return n * static_cast<int64_t>(sizeof(T));
+}
+inline int64_t PayloadBytes(const std::string* data, int64_t n) {
+  int64_t bytes = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    bytes += static_cast<int64_t>(data[i].size()) + kItemSizeString;
+  }
+  return bytes;
+}
+
+/// Refcounted immutable storage cell. The vector is only ever written
+/// through BufferView::MutableVec, which guarantees single ownership first.
+template <typename T>
+struct Buffer {
+  explicit Buffer(std::vector<T> v)
+      : vec(std::move(v)), id(NextBufferId()) {}
+  std::vector<T> vec;
+  const uint64_t id;
+};
+
+}  // namespace buffer_detail
+
+/// A typed window (offset/length) over a shared refcounted buffer — the
+/// payload cell behind dataframe::Column and tensor::NDArray. Copying a
+/// view shares the buffer; `Slice` is O(1); the first mutation of a shared
+/// or partial view (`MutableVec`) makes a private full copy of the window
+/// (copy-on-write). The interface mirrors `const std::vector<T>` so kernel
+/// code reads through it unchanged.
+template <typename T>
+class BufferView {
+ public:
+  using value_type = T;
+
+  BufferView() = default;
+  explicit BufferView(std::vector<T> values)
+      : buf_(std::make_shared<buffer_detail::Buffer<T>>(std::move(values))) {}
+
+  // --- const, vector-shaped access ---
+  size_t size() const {
+    if (!buf_) return 0;
+    return length_ < 0 ? buf_->vec.size() : static_cast<size_t>(length_);
+  }
+  int64_t ssize() const { return static_cast<int64_t>(size()); }
+  bool empty() const { return size() == 0; }
+  const T* data() const { return buf_ ? buf_->vec.data() + offset_ : nullptr; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+  const T& operator[](size_t i) const { return buf_->vec[offset_ + i]; }
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size() - 1]; }
+
+  /// Materializes the window as a plain vector (explicit copy).
+  std::vector<T> ToVector() const { return std::vector<T>(begin(), end()); }
+
+  /// O(1) sub-window [offset, offset + count) sharing the same buffer.
+  BufferView Slice(int64_t offset, int64_t count) const {
+    BufferView out;
+    out.buf_ = buf_;
+    out.offset_ = offset_ + offset;
+    out.length_ = count;
+    if (buf_ && count > 0) {
+      auto& stats = BufferStats::Get();
+      stats.copies_avoided.fetch_add(1, std::memory_order_relaxed);
+      stats.bytes_shared.fetch_add(count * static_cast<int64_t>(sizeof(T)),
+                                   std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  /// Mutable access to the backing vector. Unshares first: a view that is
+  /// shared (or exposes only part of its buffer) copies its window into a
+  /// private buffer; a uniquely-owned full view mutates in place. After
+  /// this call the view tracks the vector's live size, so callers may
+  /// resize the returned vector freely.
+  std::vector<T>& MutableVec() {
+    if (!buf_) {
+      buf_ = std::make_shared<buffer_detail::Buffer<T>>(std::vector<T>());
+      offset_ = 0;
+      length_ = -1;
+      return buf_->vec;
+    }
+    if (buf_.use_count() == 1 && offset_ == 0 &&
+        (length_ < 0 ||
+         length_ == static_cast<int64_t>(buf_->vec.size()))) {
+      length_ = -1;
+      return buf_->vec;
+    }
+    BufferStats::Get().cow_copies.fetch_add(1, std::memory_order_relaxed);
+    auto copy = std::make_shared<buffer_detail::Buffer<T>>(ToVector());
+    buf_ = std::move(copy);
+    offset_ = 0;
+    length_ = -1;
+    return buf_->vec;
+  }
+
+  // --- introspection for accounting and tests ---
+  bool has_buffer() const { return buf_ != nullptr; }
+  uint64_t buffer_id() const { return buf_ ? buf_->id : 0; }
+  int64_t offset() const { return offset_; }
+  bool SharesBufferWith(const BufferView& other) const {
+    return buf_ != nullptr && buf_ == other.buf_;
+  }
+  /// True when no other view can reach this buffer.
+  bool unique() const { return !buf_ || buf_.use_count() == 1; }
+
+  /// Measured payload bytes of the window (strings: heap + bookkeeping).
+  int64_t view_nbytes() const {
+    return buffer_detail::PayloadBytes(data(), ssize());
+  }
+  /// Measured payload bytes of the whole underlying buffer.
+  int64_t buffer_nbytes() const {
+    if (!buf_) return 0;
+    return buffer_detail::PayloadBytes(
+        buf_->vec.data(), static_cast<int64_t>(buf_->vec.size()));
+  }
+
+  /// Appends this view's buffer to `out` for unique-byte accounting.
+  /// Views without a buffer (default-constructed, empty) contribute nothing.
+  void AppendRef(std::vector<BufferRef>* out) const {
+    if (!buf_) return;
+    BufferRef ref;
+    ref.id = buf_->id;
+    ref.buffer_bytes = buffer_nbytes();
+    ref.view_bytes = view_nbytes();
+    ref.offset = offset_;
+    ref.length = ssize();
+    out->push_back(ref);
+  }
+
+  /// Two views are identical when they expose the same window of the same
+  /// buffer (the serializer dedups on this to preserve sharing on spill).
+  bool IdenticalTo(const BufferView& other) const {
+    return buf_ == other.buf_ && offset_ == other.offset_ &&
+           size() == other.size();
+  }
+
+ private:
+  std::shared_ptr<buffer_detail::Buffer<T>> buf_;
+  int64_t offset_ = 0;
+  /// -1 = "full view": size tracks the live vector (required so callers may
+  /// resize through MutableVec); >= 0 pins an explicit window length.
+  int64_t length_ = -1;
+};
+
+/// Logical payload size of a set of views: window bytes summed once per
+/// distinct (id, offset, length) window. Two columns exposing the same
+/// window (a reused key column, say) count it once.
+int64_t UniqueViewBytes(std::vector<BufferRef> refs);
+
+/// The distinct underlying buffers among `refs`, as (id, buffer_bytes)
+/// pairs sorted by id — the unit the storage layer refcounts per band.
+std::vector<std::pair<uint64_t, int64_t>> UniqueBuffers(
+    std::vector<BufferRef> refs);
+
+/// Element-wise equality, so views compare naturally against vectors and
+/// each other in tests and assertions.
+template <typename T>
+bool operator==(const BufferView<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+template <typename T>
+bool operator==(const std::vector<T>& a, const BufferView<T>& b) {
+  return b == a;
+}
+template <typename T>
+bool operator==(const BufferView<T>& a, const BufferView<T>& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace xorbits::common
+
+#endif  // XORBITS_COMMON_BUFFER_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/buffer.h"
 #include "common/trace_names.h"
 
 namespace xorbits {
@@ -194,6 +195,17 @@ MetricsSnapshot Metrics::Snapshot() const {
       {"pruned_columns", pruned_columns.load()},
   };
   s.gauges = registry.SnapshotGaugesLocked();
+  // The copy-on-write buffer layer sits below the session, so its counters
+  // are process-global; surface them as gauges so run reports and tests see
+  // sharing behaviour next to the band gauges.
+  const auto& bs = common::BufferStats::Get();
+  s.gauges.emplace_back(trace::kGaugeBufferBytesShared,
+                        bs.bytes_shared.load(std::memory_order_relaxed));
+  s.gauges.emplace_back(trace::kGaugeChunkCopiesAvoided,
+                        bs.copies_avoided.load(std::memory_order_relaxed));
+  s.gauges.emplace_back(trace::kGaugeBufferCowCopies,
+                        bs.cow_copies.load(std::memory_order_relaxed));
+  std::sort(s.gauges.begin(), s.gauges.end());
   s.histograms = registry.SnapshotHistogramsLocked();
   return s;
 }
@@ -212,7 +224,11 @@ std::string Metrics::ToString() const {
      << " peak_band_bytes=" << peak_band_bytes.load()
      << " yields=" << dynamic_yields.load()
      << " kernel_cpu_us=" << kernel_cpu_us.load()
-     << " fused_subtasks=" << fused_subtasks.load();
+     << " fused_subtasks=" << fused_subtasks.load()
+     << " buffer_bytes_shared="
+     << common::BufferStats::Get().bytes_shared.load()
+     << " chunk_copies_avoided="
+     << common::BufferStats::Get().copies_avoided.load();
   return os.str();
 }
 

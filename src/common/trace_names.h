@@ -50,8 +50,12 @@ XORBITS_METRIC_NAME(kHistChunkBytes, "chunk_bytes")
 XORBITS_METRIC_NAME(kHistQueueWaitUs, "queue_wait_us")
 XORBITS_METRIC_NAME(kGaugeBandPeakBytesPrefix, "band_peak_bytes/")
 XORBITS_METRIC_NAME(kGaugeBandSpillBytesPrefix, "band_spill_bytes/")
+XORBITS_METRIC_NAME(kGaugeBandReplicaBytesPrefix, "band_replica_bytes/")
 XORBITS_METRIC_NAME(kGaugeMetaEntries, "meta_entries")
 XORBITS_METRIC_NAME(kGaugeLineageEntries, "lineage_entries")
+XORBITS_METRIC_NAME(kGaugeBufferBytesShared, "buffer_bytes_shared")
+XORBITS_METRIC_NAME(kGaugeChunkCopiesAvoided, "chunk_copies_avoided")
+XORBITS_METRIC_NAME(kGaugeBufferCowCopies, "buffer_cow_copies")
 
 }  // namespace xorbits::trace
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <optional>
 
 #include "common/thread_pool.h"
 
@@ -9,49 +10,124 @@ namespace xorbits::dataframe {
 
 namespace {
 
-template <typename T>
-std::vector<T> TakeVec(const std::vector<T>& v,
-                       const std::vector<int64_t>& indices) {
+using common::BufferView;
+
+template <typename View>
+std::vector<typename View::value_type> TakeVec(
+    const View& v, const std::vector<int64_t>& indices) {
+  using T = typename View::value_type;
   const int64_t n = static_cast<int64_t>(indices.size());
   std::vector<T> out(n);
+  const T* src = v.data();
   ParallelFor(0, n, 16384, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) out[i] = v[indices[i]];
+    for (int64_t i = lo; i < hi; ++i) out[i] = src[indices[i]];
   });
   return out;
 }
 
-template <typename T>
-std::vector<T> FilterVec(const std::vector<T>& v,
-                         const std::vector<uint8_t>& mask) {
-  std::vector<T> out;
+template <typename View>
+std::vector<typename View::value_type> FilterVec(
+    const View& v, const std::vector<uint8_t>& mask) {
+  std::vector<typename View::value_type> out;
   for (size_t i = 0; i < v.size(); ++i) {
     if (mask[i]) out.push_back(v[i]);
   }
   return out;
 }
 
-template <typename T>
-std::vector<T> SliceVec(const std::vector<T>& v, int64_t offset,
-                        int64_t count) {
-  return std::vector<T>(v.begin() + offset, v.begin() + offset + count);
+/// True when `indices` is the contiguous ascending run indices[0]..+n-1,
+/// which lets Take degenerate to an O(1) Slice. Bails at the first break,
+/// so random index lists pay almost nothing for the probe.
+bool IsContiguousRun(const std::vector<int64_t>& indices) {
+  for (size_t i = 1; i < indices.size(); ++i) {
+    if (indices[i] != indices[0] + static_cast<int64_t>(i)) return false;
+  }
+  return !indices.empty();
+}
+
+/// Zero-copy Concat probe: when every non-empty piece is a window of one
+/// shared buffer and the windows are back-to-back in order, the result is
+/// just a wider window. Returns nullopt when any piece breaks the run.
+template <typename T, typename GetView>
+std::optional<BufferView<T>> TryAdjacentConcat(
+    const std::vector<const Column*>& pieces, GetView view_of,
+    int64_t total) {
+  const BufferView<T>* first = nullptr;
+  int64_t next_offset = 0;
+  for (const Column* c : pieces) {
+    const BufferView<T>& v = view_of(*c);
+    if (v.ssize() == 0) continue;
+    if (first == nullptr) {
+      first = &v;
+      next_offset = v.offset() + v.ssize();
+    } else if (v.SharesBufferWith(*first) && v.offset() == next_offset) {
+      next_offset += v.ssize();
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (first == nullptr) return std::nullopt;
+  return first->Slice(0, total);
 }
 
 }  // namespace
 
 Column Column::Int64(std::vector<int64_t> values,
                      std::vector<uint8_t> validity) {
-  return Column(DType::kInt64, std::move(values), std::move(validity));
+  return FromView(BufferView<int64_t>(std::move(values)),
+                  BufferView<uint8_t>(std::move(validity)));
 }
 Column Column::Float64(std::vector<double> values,
                        std::vector<uint8_t> validity) {
-  return Column(DType::kFloat64, std::move(values), std::move(validity));
+  return FromView(BufferView<double>(std::move(values)),
+                  BufferView<uint8_t>(std::move(validity)));
 }
 Column Column::String(std::vector<std::string> values,
                       std::vector<uint8_t> validity) {
-  return Column(DType::kString, std::move(values), std::move(validity));
+  return FromView(BufferView<std::string>(std::move(values)),
+                  BufferView<uint8_t>(std::move(validity)));
 }
 Column Column::Bool(std::vector<uint8_t> values,
                     std::vector<uint8_t> validity) {
+  return BoolFromView(BufferView<uint8_t>(std::move(values)),
+                      BufferView<uint8_t>(std::move(validity)));
+}
+
+Column Column::Int64(std::vector<int64_t> values,
+                     BufferView<uint8_t> validity) {
+  return FromView(BufferView<int64_t>(std::move(values)),
+                  std::move(validity));
+}
+Column Column::Float64(std::vector<double> values,
+                       BufferView<uint8_t> validity) {
+  return FromView(BufferView<double>(std::move(values)),
+                  std::move(validity));
+}
+Column Column::String(std::vector<std::string> values,
+                      BufferView<uint8_t> validity) {
+  return FromView(BufferView<std::string>(std::move(values)),
+                  std::move(validity));
+}
+Column Column::Bool(std::vector<uint8_t> values,
+                    BufferView<uint8_t> validity) {
+  return BoolFromView(BufferView<uint8_t>(std::move(values)),
+                      std::move(validity));
+}
+
+Column Column::FromView(BufferView<int64_t> values,
+                        BufferView<uint8_t> validity) {
+  return Column(DType::kInt64, std::move(values), std::move(validity));
+}
+Column Column::FromView(BufferView<double> values,
+                        BufferView<uint8_t> validity) {
+  return Column(DType::kFloat64, std::move(values), std::move(validity));
+}
+Column Column::FromView(BufferView<std::string> values,
+                        BufferView<uint8_t> validity) {
+  return Column(DType::kString, std::move(values), std::move(validity));
+}
+Column Column::BoolFromView(BufferView<uint8_t> values,
+                            BufferView<uint8_t> validity) {
   return Column(DType::kBool, std::move(values), std::move(validity));
 }
 
@@ -86,8 +162,7 @@ Column Column::Full(DType dtype, int64_t length, const Scalar& value) {
 }
 
 int64_t Column::length() const {
-  return std::visit(
-      [](const auto& v) { return static_cast<int64_t>(v.size()); }, data_);
+  return std::visit([](const auto& v) { return v.ssize(); }, data_);
 }
 
 int64_t Column::null_count() const {
@@ -99,48 +174,47 @@ int64_t Column::null_count() const {
 }
 
 int64_t Column::nbytes() const {
-  int64_t bytes = static_cast<int64_t>(validity_.size());
-  if (dtype_ == DType::kString) {
-    for (const auto& s : string_data()) {
-      bytes += static_cast<int64_t>(s.size()) + DTypeItemSize(DType::kString);
-    }
-  } else {
-    bytes += length() * DTypeItemSize(dtype_);
-  }
+  int64_t bytes = validity_.ssize();
+  bytes += std::visit([](const auto& v) { return v.view_nbytes(); }, data_);
   return bytes;
 }
 
-const std::vector<int64_t>& Column::int64_data() const {
+void Column::AppendBufferRefs(std::vector<common::BufferRef>* out) const {
+  std::visit([&](const auto& v) { v.AppendRef(out); }, data_);
+  validity_.AppendRef(out);
+}
+
+const BufferView<int64_t>& Column::int64_data() const {
   assert(dtype_ == DType::kInt64);
-  return std::get<std::vector<int64_t>>(data_);
+  return std::get<BufferView<int64_t>>(data_);
 }
-const std::vector<double>& Column::float64_data() const {
+const BufferView<double>& Column::float64_data() const {
   assert(dtype_ == DType::kFloat64);
-  return std::get<std::vector<double>>(data_);
+  return std::get<BufferView<double>>(data_);
 }
-const std::vector<std::string>& Column::string_data() const {
+const BufferView<std::string>& Column::string_data() const {
   assert(dtype_ == DType::kString);
-  return std::get<std::vector<std::string>>(data_);
+  return std::get<BufferView<std::string>>(data_);
 }
-const std::vector<uint8_t>& Column::bool_data() const {
+const BufferView<uint8_t>& Column::bool_data() const {
   assert(dtype_ == DType::kBool);
-  return std::get<std::vector<uint8_t>>(data_);
+  return std::get<BufferView<uint8_t>>(data_);
 }
 std::vector<int64_t>& Column::mutable_int64_data() {
   assert(dtype_ == DType::kInt64);
-  return std::get<std::vector<int64_t>>(data_);
+  return std::get<BufferView<int64_t>>(data_).MutableVec();
 }
 std::vector<double>& Column::mutable_float64_data() {
   assert(dtype_ == DType::kFloat64);
-  return std::get<std::vector<double>>(data_);
+  return std::get<BufferView<double>>(data_).MutableVec();
 }
 std::vector<std::string>& Column::mutable_string_data() {
   assert(dtype_ == DType::kString);
-  return std::get<std::vector<std::string>>(data_);
+  return std::get<BufferView<std::string>>(data_).MutableVec();
 }
 std::vector<uint8_t>& Column::mutable_bool_data() {
   assert(dtype_ == DType::kBool);
-  return std::get<std::vector<uint8_t>>(data_);
+  return std::get<BufferView<uint8_t>>(data_).MutableVec();
 }
 
 Scalar Column::GetScalar(int64_t i) const {
@@ -165,53 +239,61 @@ double Column::GetDouble(int64_t i) const {
 }
 
 Column Column::Take(const std::vector<int64_t>& indices) const {
-  std::vector<uint8_t> validity;
-  if (has_validity()) validity = TakeVec(validity_, indices);
+  if (IsContiguousRun(indices)) {
+    return Slice(indices[0], static_cast<int64_t>(indices.size()));
+  }
+  BufferView<uint8_t> validity;
+  if (has_validity()) {
+    validity = BufferView<uint8_t>(TakeVec(validity_, indices));
+  }
   switch (dtype_) {
     case DType::kInt64:
-      return Int64(TakeVec(int64_data(), indices), std::move(validity));
+      return FromView(BufferView<int64_t>(TakeVec(int64_data(), indices)),
+                      std::move(validity));
     case DType::kFloat64:
-      return Float64(TakeVec(float64_data(), indices), std::move(validity));
+      return FromView(BufferView<double>(TakeVec(float64_data(), indices)),
+                      std::move(validity));
     case DType::kString:
-      return String(TakeVec(string_data(), indices), std::move(validity));
+      return FromView(
+          BufferView<std::string>(TakeVec(string_data(), indices)),
+          std::move(validity));
     case DType::kBool:
-      return Bool(TakeVec(bool_data(), indices), std::move(validity));
+      return BoolFromView(BufferView<uint8_t>(TakeVec(bool_data(), indices)),
+                          std::move(validity));
   }
   return Column();
 }
 
 Column Column::Filter(const std::vector<uint8_t>& mask) const {
-  std::vector<uint8_t> validity;
-  if (has_validity()) validity = FilterVec(validity_, mask);
+  BufferView<uint8_t> validity;
+  if (has_validity()) {
+    validity = BufferView<uint8_t>(FilterVec(validity_, mask));
+  }
   switch (dtype_) {
     case DType::kInt64:
-      return Int64(FilterVec(int64_data(), mask), std::move(validity));
+      return FromView(BufferView<int64_t>(FilterVec(int64_data(), mask)),
+                      std::move(validity));
     case DType::kFloat64:
-      return Float64(FilterVec(float64_data(), mask), std::move(validity));
+      return FromView(BufferView<double>(FilterVec(float64_data(), mask)),
+                      std::move(validity));
     case DType::kString:
-      return String(FilterVec(string_data(), mask), std::move(validity));
+      return FromView(
+          BufferView<std::string>(FilterVec(string_data(), mask)),
+          std::move(validity));
     case DType::kBool:
-      return Bool(FilterVec(bool_data(), mask), std::move(validity));
+      return BoolFromView(BufferView<uint8_t>(FilterVec(bool_data(), mask)),
+                          std::move(validity));
   }
   return Column();
 }
 
 Column Column::Slice(int64_t offset, int64_t count) const {
-  std::vector<uint8_t> validity;
-  if (has_validity()) validity = SliceVec(validity_, offset, count);
-  switch (dtype_) {
-    case DType::kInt64:
-      return Int64(SliceVec(int64_data(), offset, count), std::move(validity));
-    case DType::kFloat64:
-      return Float64(SliceVec(float64_data(), offset, count),
-                     std::move(validity));
-    case DType::kString:
-      return String(SliceVec(string_data(), offset, count),
-                    std::move(validity));
-    case DType::kBool:
-      return Bool(SliceVec(bool_data(), offset, count), std::move(validity));
-  }
-  return Column();
+  BufferView<uint8_t> validity;
+  if (has_validity()) validity = validity_.Slice(offset, count);
+  Storage data =
+      std::visit([&](const auto& v) { return Storage(v.Slice(offset, count)); },
+                 data_);
+  return Column(dtype_, std::move(data), std::move(validity));
 }
 
 Result<Column> Column::CastTo(DType target) const {
@@ -220,7 +302,7 @@ Result<Column> Column::CastTo(DType target) const {
   if (target == DType::kFloat64) {
     std::vector<double> out(n);
     for (int64_t i = 0; i < n; ++i) out[i] = IsValid(i) ? GetDouble(i) : 0.0;
-    return Float64(std::move(out), validity_);
+    return FromView(BufferView<double>(std::move(out)), validity_);
   }
   if (target == DType::kInt64) {
     if (!IsNumeric(dtype_) && dtype_ != DType::kBool) {
@@ -231,7 +313,7 @@ Result<Column> Column::CastTo(DType target) const {
     for (int64_t i = 0; i < n; ++i) {
       out[i] = IsValid(i) ? static_cast<int64_t>(GetDouble(i)) : 0;
     }
-    return Int64(std::move(out), validity_);
+    return FromView(BufferView<int64_t>(std::move(out)), validity_);
   }
   return Status::TypeError(std::string("cast to ") + DTypeName(target) +
                            " not supported");
@@ -242,6 +324,7 @@ Result<Column> Column::Concat(const std::vector<const Column*>& pieces) {
   const DType dtype = pieces[0]->dtype();
   int64_t total = 0;
   bool any_validity = false;
+  bool all_validity = true;
   for (const Column* c : pieces) {
     if (c->dtype() != dtype) {
       return Status::TypeError("Concat dtype mismatch: " +
@@ -250,50 +333,67 @@ Result<Column> Column::Concat(const std::vector<const Column*>& pieces) {
     }
     total += c->length();
     any_validity |= c->has_validity();
+    if (c->length() > 0 && !c->has_validity()) all_validity = false;
   }
-  std::vector<uint8_t> validity;
+  BufferView<uint8_t> validity;
   if (any_validity) {
-    validity.reserve(total);
-    for (const Column* c : pieces) {
-      if (c->has_validity()) {
-        validity.insert(validity.end(), c->validity().begin(),
+    std::optional<BufferView<uint8_t>> shared;
+    if (all_validity) {
+      shared = TryAdjacentConcat<uint8_t>(
+          pieces, [](const Column& c) -> const auto& { return c.validity(); },
+          total);
+    }
+    if (shared.has_value()) {
+      validity = std::move(*shared);
+    } else {
+      std::vector<uint8_t> merged;
+      merged.reserve(total);
+      for (const Column* c : pieces) {
+        if (c->has_validity()) {
+          merged.insert(merged.end(), c->validity().begin(),
                         c->validity().end());
-      } else {
-        validity.insert(validity.end(), c->length(), 1);
+        } else {
+          merged.insert(merged.end(), c->length(), 1);
+        }
       }
+      validity = BufferView<uint8_t>(std::move(merged));
     }
   }
   auto concat_typed = [&](auto getter) {
-    using Vec = std::remove_cvref_t<decltype(getter(*pieces[0]))>;
-    Vec out;
+    using T = typename std::remove_cvref_t<
+        decltype(getter(*pieces[0]))>::value_type;
+    std::optional<BufferView<T>> shared =
+        TryAdjacentConcat<T>(pieces, getter, total);
+    if (shared.has_value()) return std::move(*shared);
+    std::vector<T> out;
     out.reserve(total);
     for (const Column* c : pieces) {
       const auto& v = getter(*c);
       out.insert(out.end(), v.begin(), v.end());
     }
-    return out;
+    return BufferView<T>(std::move(out));
   };
   switch (dtype) {
     case DType::kInt64:
-      return Int64(concat_typed([](const Column& c) -> const auto& {
-                     return c.int64_data();
-                   }),
-                   std::move(validity));
+      return FromView(concat_typed([](const Column& c) -> const auto& {
+                        return c.int64_data();
+                      }),
+                      std::move(validity));
     case DType::kFloat64:
-      return Float64(concat_typed([](const Column& c) -> const auto& {
-                       return c.float64_data();
-                     }),
-                     std::move(validity));
+      return FromView(concat_typed([](const Column& c) -> const auto& {
+                        return c.float64_data();
+                      }),
+                      std::move(validity));
     case DType::kString:
-      return String(concat_typed([](const Column& c) -> const auto& {
-                      return c.string_data();
-                    }),
-                    std::move(validity));
+      return FromView(concat_typed([](const Column& c) -> const auto& {
+                        return c.string_data();
+                      }),
+                      std::move(validity));
     case DType::kBool:
-      return Bool(concat_typed([](const Column& c) -> const auto& {
-                    return c.bool_data();
-                  }),
-                  std::move(validity));
+      return BoolFromView(concat_typed([](const Column& c) -> const auto& {
+                            return c.bool_data();
+                          }),
+                          std::move(validity));
   }
   return Status::Invalid("unreachable");
 }

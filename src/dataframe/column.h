@@ -6,6 +6,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "dataframe/dtype.h"
@@ -16,9 +17,11 @@ namespace xorbits::dataframe {
 /// A typed value array with an optional validity bitmap, the unit the
 /// dataframe kernels operate on (one pandas Series worth of data).
 ///
-/// Storage is a plain std::vector per dtype; an empty `validity` means all
-/// values are valid. Columns are cheap to move and deliberately copyable so
-/// chunk kernels can slice/take without aliasing issues.
+/// Storage is a shared copy-on-write buffer view per dtype (values and
+/// validity alike): copying a Column shares the payload, `Slice` is an O(1)
+/// window over the same buffer, and the `mutable_*` accessors make a
+/// private copy only when the buffer is actually shared. An empty
+/// `validity` means all values are valid.
 class Column {
  public:
   Column() : dtype_(DType::kInt64) {}
@@ -31,6 +34,28 @@ class Column {
                        std::vector<uint8_t> validity = {});
   static Column Bool(std::vector<uint8_t> values,
                      std::vector<uint8_t> validity = {});
+
+  // Same factories with the validity riding as a shared view (the common
+  // "new values, same validity as the input" kernel shape).
+  static Column Int64(std::vector<int64_t> values,
+                      common::BufferView<uint8_t> validity);
+  static Column Float64(std::vector<double> values,
+                        common::BufferView<uint8_t> validity);
+  static Column String(std::vector<std::string> values,
+                       common::BufferView<uint8_t> validity);
+  static Column Bool(std::vector<uint8_t> values,
+                     common::BufferView<uint8_t> validity);
+
+  /// Zero-copy factories from existing buffer views (the uint8_t overload
+  /// builds a kBool column; validity always rides as a view).
+  static Column FromView(common::BufferView<int64_t> values,
+                         common::BufferView<uint8_t> validity = {});
+  static Column FromView(common::BufferView<double> values,
+                         common::BufferView<uint8_t> validity = {});
+  static Column FromView(common::BufferView<std::string> values,
+                         common::BufferView<uint8_t> validity = {});
+  static Column BoolFromView(common::BufferView<uint8_t> values,
+                             common::BufferView<uint8_t> validity = {});
 
   /// An all-null column of `length` with the given dtype.
   static Column Nulls(DType dtype, int64_t length);
@@ -51,17 +76,24 @@ class Column {
   /// In-memory payload size in bytes (validity + values; strings measured).
   int64_t nbytes() const;
 
-  // Typed accessors; dtype must match.
-  const std::vector<int64_t>& int64_data() const;
-  const std::vector<double>& float64_data() const;
-  const std::vector<std::string>& string_data() const;
-  const std::vector<uint8_t>& bool_data() const;
+  // Typed accessors; dtype must match. The const accessors return the
+  // shared view (vector-shaped: data()/size()/operator[]/iteration); the
+  // mutable accessors unshare first (copy-on-write) and hand back the
+  // private backing vector.
+  const common::BufferView<int64_t>& int64_data() const;
+  const common::BufferView<double>& float64_data() const;
+  const common::BufferView<std::string>& string_data() const;
+  const common::BufferView<uint8_t>& bool_data() const;
   std::vector<int64_t>& mutable_int64_data();
   std::vector<double>& mutable_float64_data();
   std::vector<std::string>& mutable_string_data();
   std::vector<uint8_t>& mutable_bool_data();
-  const std::vector<uint8_t>& validity() const { return validity_; }
-  std::vector<uint8_t>& mutable_validity() { return validity_; }
+  const common::BufferView<uint8_t>& validity() const { return validity_; }
+  std::vector<uint8_t>& mutable_validity() { return validity_.MutableVec(); }
+
+  /// Appends every underlying buffer of this column (values + validity) to
+  /// `out`; storage dedups by buffer id to count shared payloads once.
+  void AppendBufferRefs(std::vector<common::BufferRef>* out) const;
 
   /// Value at row `i` as a Scalar (Null if invalid).
   Scalar GetScalar(int64_t i) const;
@@ -69,19 +101,21 @@ class Column {
   /// Numeric value at row `i` coerced to double; callers must check validity.
   double GetDouble(int64_t i) const;
 
-  /// Rows selected by position; each index must be in range.
+  /// Rows selected by position; each index must be in range. A contiguous
+  /// ascending run degenerates to an O(1) Slice (no value-data copy).
   Column Take(const std::vector<int64_t>& indices) const;
 
   /// Rows where mask[i] != 0; mask length must equal column length.
   Column Filter(const std::vector<uint8_t>& mask) const;
 
-  /// Contiguous rows [offset, offset + count).
+  /// Contiguous rows [offset, offset + count). O(1): shares the buffer.
   Column Slice(int64_t offset, int64_t count) const;
 
   /// Casts to the target numeric dtype (int64 <-> float64, bool -> numeric).
   Result<Column> CastTo(DType target) const;
 
-  /// Concatenates same-dtype columns.
+  /// Concatenates same-dtype columns. Adjacent windows of one shared buffer
+  /// (the split-then-reassemble pattern) concatenate zero-copy.
   static Result<Column> Concat(const std::vector<const Column*>& pieces);
 
   /// Appends a type-tagged binary encoding of row `i` to `out`; identical
@@ -91,14 +125,16 @@ class Column {
   std::string ValueToString(int64_t i) const;
 
  private:
-  using Storage = std::variant<std::vector<int64_t>, std::vector<double>,
-                               std::vector<std::string>, std::vector<uint8_t>>;
-  Column(DType dtype, Storage data, std::vector<uint8_t> validity)
+  using Storage =
+      std::variant<common::BufferView<int64_t>, common::BufferView<double>,
+                   common::BufferView<std::string>,
+                   common::BufferView<uint8_t>>;
+  Column(DType dtype, Storage data, common::BufferView<uint8_t> validity)
       : dtype_(dtype), data_(std::move(data)), validity_(std::move(validity)) {}
 
   DType dtype_;
   Storage data_;
-  std::vector<uint8_t> validity_;  // empty => all valid
+  common::BufferView<uint8_t> validity_;  // empty => all valid
 };
 
 }  // namespace xorbits::dataframe

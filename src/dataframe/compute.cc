@@ -103,8 +103,7 @@ Result<Column> StrPredicate(const Column& v, const std::string& arg,
   }
   const int64_t n = v.length();
   std::vector<uint8_t> out(n, 0);
-  std::vector<uint8_t> validity;
-  if (v.has_validity()) validity = v.validity();
+  common::BufferView<uint8_t> validity = v.validity();
   const auto& data = v.string_data();
   ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
@@ -174,8 +173,7 @@ Result<Column> BinaryOpScalar(const Column& lhs, const Scalar& rhs, BinOp op,
     return Status::TypeError("BinaryOpScalar: non-numeric scalar");
   }
   const int64_t n = lhs.length();
-  std::vector<uint8_t> validity;
-  if (lhs.has_validity()) validity = lhs.validity();
+  common::BufferView<uint8_t> validity = lhs.validity();
   const bool as_double =
       op == BinOp::kDiv || lhs.dtype() == DType::kFloat64 || rhs.is_float();
   if (as_double) {
@@ -235,8 +233,7 @@ Result<Column> Compare(const Column& lhs, const Column& rhs, CmpOp op) {
 Result<Column> CompareScalar(const Column& lhs, const Scalar& rhs, CmpOp op) {
   const int64_t n = lhs.length();
   std::vector<uint8_t> out(n, 0);
-  std::vector<uint8_t> validity;
-  if (lhs.has_validity()) validity = lhs.validity();
+  common::BufferView<uint8_t> validity = lhs.validity();
   if (rhs.is_null()) {
     return Column::Bool(std::vector<uint8_t>(n, 0),
                         std::vector<uint8_t>(n, 0));
@@ -320,8 +317,7 @@ Result<Column> Not(const Column& v) {
   }
   const int64_t n = v.length();
   std::vector<uint8_t> out(n);
-  std::vector<uint8_t> validity;
-  if (v.has_validity()) validity = v.validity();
+  common::BufferView<uint8_t> validity = v.validity();
   const auto& a = v.bool_data();
   ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) out[i] = a[i] ? 0 : 1;
@@ -346,8 +342,7 @@ Column NotNullCol(const Column& v) {
 Result<Column> IsIn(const Column& v, const std::vector<Scalar>& values) {
   const int64_t n = v.length();
   std::vector<uint8_t> out(n, 0);
-  std::vector<uint8_t> validity;
-  if (v.has_validity()) validity = v.validity();
+  common::BufferView<uint8_t> validity = v.validity();
   if (v.dtype() == DType::kString) {
     std::unordered_set<std::string> set;
     for (const auto& s : values) {
@@ -415,8 +410,7 @@ Result<Column> StrSlice(const Column& v, int64_t start, int64_t stop) {
   }
   const int64_t n = v.length();
   std::vector<std::string> out(n);
-  std::vector<uint8_t> validity;
-  if (v.has_validity()) validity = v.validity();
+  common::BufferView<uint8_t> validity = v.validity();
   const auto& data = v.string_data();
   ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
@@ -438,8 +432,7 @@ Result<Column> StrMapString(const Column& v, F f, const char* what) {
   }
   const int64_t n = v.length();
   std::vector<std::string> out(n);
-  std::vector<uint8_t> validity;
-  if (v.has_validity()) validity = v.validity();
+  common::BufferView<uint8_t> validity = v.validity();
   const auto& data = v.string_data();
   ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
@@ -457,8 +450,7 @@ Result<Column> DateMapInt(const Column& dates, F f, const char* what) {
   }
   const int64_t n = dates.length();
   std::vector<int64_t> out(n);
-  std::vector<uint8_t> validity;
-  if (dates.has_validity()) validity = dates.validity();
+  common::BufferView<uint8_t> validity = dates.validity();
   const auto& data = dates.int64_data();
   ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) out[i] = f(data[i]);
@@ -517,8 +509,7 @@ Result<Column> StrLen(const Column& v) {
   }
   const int64_t n = v.length();
   std::vector<int64_t> out(n, 0);
-  std::vector<uint8_t> validity;
-  if (v.has_validity()) validity = v.validity();
+  common::BufferView<uint8_t> validity = v.validity();
   const auto& data = v.string_data();
   ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
@@ -576,8 +567,7 @@ Result<Column> Year(const Column& dates) {
   }
   const int64_t n = dates.length();
   std::vector<int64_t> out(n);
-  std::vector<uint8_t> validity;
-  if (dates.has_validity()) validity = dates.validity();
+  common::BufferView<uint8_t> validity = dates.validity();
   const auto& data = dates.int64_data();
   ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
@@ -595,8 +585,7 @@ Result<Column> Month(const Column& dates) {
   }
   const int64_t n = dates.length();
   std::vector<int64_t> out(n);
-  std::vector<uint8_t> validity;
-  if (dates.has_validity()) validity = dates.validity();
+  common::BufferView<uint8_t> validity = dates.validity();
   const auto& data = dates.int64_data();
   ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {

@@ -162,6 +162,10 @@ int64_t DataFrame::nbytes() const {
   return bytes;
 }
 
+void DataFrame::AppendBufferRefs(std::vector<common::BufferRef>* out) const {
+  for (const auto& c : columns_) c.AppendBufferRefs(out);
+}
+
 std::string DataFrame::ToString(int64_t max_rows) const {
   std::ostringstream os;
   os << "index";

@@ -62,8 +62,13 @@ class DataFrame {
   /// Replaces the index with RangeIndex(0, num_rows).
   DataFrame ResetIndex() const;
 
-  /// Total in-memory payload bytes (columns + index).
+  /// Total in-memory payload bytes (columns + index). Counts every column's
+  /// window independently; use AppendBufferRefs for shared-aware accounting.
   int64_t nbytes() const;
+
+  /// Appends every underlying buffer of every column (values + validity);
+  /// index labels are not buffer-backed and count as overhead.
+  void AppendBufferRefs(std::vector<common::BufferRef>* out) const;
 
   /// Pretty-prints up to `max_rows` rows (pandas-style head/tail ellipsis).
   std::string ToString(int64_t max_rows = 10) const;

@@ -1,5 +1,7 @@
 #include "dataframe/dtype.h"
 
+#include "common/buffer.h"
+
 namespace xorbits::dataframe {
 
 const char* DTypeName(DType t) {
@@ -14,12 +16,12 @@ const char* DTypeName(DType t) {
 
 int64_t DTypeItemSize(DType t) {
   switch (t) {
-    case DType::kInt64: return 8;
-    case DType::kFloat64: return 8;
-    case DType::kString: return 16;  // pointer + length bookkeeping
-    case DType::kBool: return 1;
+    case DType::kInt64: return common::kItemSizeInt64;
+    case DType::kFloat64: return common::kItemSizeFloat64;
+    case DType::kString: return common::kItemSizeString;
+    case DType::kBool: return common::kItemSizeBool;
   }
-  return 8;
+  return common::kItemSizeInt64;
 }
 
 bool IsNumeric(DType t) { return t == DType::kInt64 || t == DType::kFloat64; }

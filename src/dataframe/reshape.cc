@@ -112,8 +112,7 @@ Result<Column> CumSumCol(const Column& col) {
     return Status::TypeError("cumsum on non-numeric column");
   }
   const int64_t n = col.length();
-  std::vector<uint8_t> validity;
-  if (col.has_validity()) validity = col.validity();
+  common::BufferView<uint8_t> validity = col.validity();
   if (col.dtype() == DType::kInt64 && !col.has_validity()) {
     std::vector<int64_t> out(n);
     int64_t acc = 0;

@@ -4,19 +4,29 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <variant>
 
 namespace xorbits::io {
 
 namespace {
 
+using common::BufferView;
 using dataframe::Column;
 using dataframe::DataFrame;
 using dataframe::DType;
 using dataframe::Index;
 using tensor::NDArray;
 
-constexpr uint32_t kDfMagic = 0x58444601;   // "XDF" v1
+// "XDF" v2: column payloads are tagged (inline vs back-reference) so that
+// views sharing one buffer window within a frame are written once and the
+// sharing is reconstructed on read (spill/restore keeps memory accounting
+// honest). A frame without internal sharing has exactly one inline payload
+// per column, so its bytes do not depend on how the columns were built.
+constexpr uint32_t kDfMagic = 0x58444602;
 constexpr uint32_t kArrMagic = 0x58415201;  // "XAR" v1
+
+constexpr uint8_t kPayloadInline = 0;
+constexpr uint8_t kPayloadBackref = 1;
 
 template <typename T>
 void WritePod(std::ostream& os, const T& v) {
@@ -44,11 +54,23 @@ Result<std::string> ReadString(std::istream& is) {
   return s;
 }
 
+/// Writes a length-prefixed POD span directly from view memory — no
+/// intermediate vector materialization for sliced views.
+template <typename T>
+void WriteSpan(std::ostream& os, const T* data, uint64_t n) {
+  WritePod<uint64_t>(os, n);
+  os.write(reinterpret_cast<const char*>(data),
+           static_cast<std::streamsize>(n * sizeof(T)));
+}
+
+void WriteSpan(std::ostream& os, const std::string* data, uint64_t n) {
+  WritePod<uint64_t>(os, n);
+  for (uint64_t i = 0; i < n; ++i) WriteString(os, data[i]);
+}
+
 template <typename T>
 void WriteVec(std::ostream& os, const std::vector<T>& v) {
-  WritePod<uint64_t>(os, v.size());
-  os.write(reinterpret_cast<const char*>(v.data()),
-           static_cast<std::streamsize>(v.size() * sizeof(T)));
+  WriteSpan(os, v.data(), v.size());
 }
 
 template <typename T>
@@ -62,26 +84,124 @@ Result<std::vector<T>> ReadVec(std::istream& is) {
   return v;
 }
 
-Status WriteColumn(std::ostream& os, const Column& c) {
+/// Tracks each buffer window already written to (or read from) one frame,
+/// keyed by (buffer id, offset, length). Identical views become
+/// back-references so intra-chunk sharing survives a spill round-trip.
+struct WriteRegistry {
+  struct Key {
+    uint64_t id;
+    int64_t offset;
+    int64_t length;
+  };
+  std::vector<Key> seen;
+
+  int64_t Find(const Key& k) const {
+    for (size_t i = 0; i < seen.size(); ++i) {
+      if (seen[i].id == k.id && seen[i].offset == k.offset &&
+          seen[i].length == k.length) {
+        return static_cast<int64_t>(i);
+      }
+    }
+    return -1;
+  }
+};
+
+using ReadPayloadVariant =
+    std::variant<BufferView<int64_t>, BufferView<double>,
+                 BufferView<std::string>, BufferView<uint8_t>>;
+
+struct ReadRegistry {
+  std::vector<ReadPayloadVariant> payloads;
+};
+
+template <typename T>
+Status WritePayload(std::ostream& os, const BufferView<T>& v,
+                    WriteRegistry* reg) {
+  if (v.has_buffer() && !v.empty()) {
+    WriteRegistry::Key key{v.buffer_id(), v.offset(), v.ssize()};
+    const int64_t idx = reg->Find(key);
+    if (idx >= 0) {
+      WritePod<uint8_t>(os, kPayloadBackref);
+      WritePod<uint32_t>(os, static_cast<uint32_t>(idx));
+      return os ? Status::OK() : Status::IOError("write failed");
+    }
+    reg->seen.push_back(key);
+    WritePod<uint8_t>(os, kPayloadInline);
+    WriteSpan(os, v.data(), v.size());
+    return os ? Status::OK() : Status::IOError("write failed");
+  }
+  WritePod<uint8_t>(os, kPayloadInline);
+  WriteSpan(os, v.data(), v.size());
+  return os ? Status::OK() : Status::IOError("write failed");
+}
+
+template <typename T>
+Result<BufferView<T>> ReadInlinePayload(std::istream& is) {
+  XORBITS_ASSIGN_OR_RETURN(auto data, ReadVec<T>(is));
+  return BufferView<T>(std::move(data));
+}
+
+template <>
+Result<BufferView<std::string>> ReadInlinePayload<std::string>(
+    std::istream& is) {
+  uint64_t n = 0;
+  XORBITS_RETURN_NOT_OK(ReadPod(is, &n));
+  std::vector<std::string> data;
+  data.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    XORBITS_ASSIGN_OR_RETURN(std::string s, ReadString(is));
+    data.push_back(std::move(s));
+  }
+  return BufferView<std::string>(std::move(data));
+}
+
+template <typename T>
+Result<BufferView<T>> ReadPayload(std::istream& is, ReadRegistry* reg) {
+  uint8_t tag = 0;
+  XORBITS_RETURN_NOT_OK(ReadPod(is, &tag));
+  if (tag == kPayloadBackref) {
+    uint32_t idx = 0;
+    XORBITS_RETURN_NOT_OK(ReadPod(is, &idx));
+    if (idx >= reg->payloads.size()) {
+      return Status::IOError("payload back-reference out of range");
+    }
+    const auto* v = std::get_if<BufferView<T>>(&reg->payloads[idx]);
+    if (v == nullptr) {
+      return Status::IOError("payload back-reference type mismatch");
+    }
+    return *v;
+  }
+  if (tag != kPayloadInline) return Status::IOError("bad payload tag");
+  XORBITS_ASSIGN_OR_RETURN(BufferView<T> v, ReadInlinePayload<T>(is));
+  if (!v.empty()) reg->payloads.push_back(v);
+  return v;
+}
+
+Status WriteColumn(std::ostream& os, const Column& c, WriteRegistry* reg) {
   WritePod<uint8_t>(os, static_cast<uint8_t>(c.dtype()));
   WritePod<uint8_t>(os, c.has_validity() ? 1 : 0);
-  if (c.has_validity()) WriteVec(os, c.validity());
+  if (c.has_validity()) {
+    XORBITS_RETURN_NOT_OK(WritePayload(os, c.validity(), reg));
+  }
   switch (c.dtype()) {
-    case DType::kInt64: WriteVec(os, c.int64_data()); break;
-    case DType::kFloat64: WriteVec(os, c.float64_data()); break;
-    case DType::kBool: WriteVec(os, c.bool_data()); break;
-    case DType::kString: {
-      const auto& data = c.string_data();
-      WritePod<uint64_t>(os, data.size());
-      for (const auto& s : data) WriteString(os, s);
+    case DType::kInt64:
+      XORBITS_RETURN_NOT_OK(WritePayload(os, c.int64_data(), reg));
       break;
-    }
+    case DType::kFloat64:
+      XORBITS_RETURN_NOT_OK(WritePayload(os, c.float64_data(), reg));
+      break;
+    case DType::kBool:
+      XORBITS_RETURN_NOT_OK(WritePayload(os, c.bool_data(), reg));
+      break;
+    case DType::kString:
+      XORBITS_RETURN_NOT_OK(WritePayload(os, c.string_data(), reg));
+      break;
   }
   if (!os) return Status::IOError("write failed");
   return Status::OK();
 }
 
-Result<Column> ReadColumn(std::istream& is) {
+Result<Column> ReadColumn(std::istream& is, ReadRegistry* reg) {
   uint8_t dtype_raw = 0, has_validity = 0;
   XORBITS_RETURN_NOT_OK(ReadPod(is, &dtype_raw));
   XORBITS_RETURN_NOT_OK(ReadPod(is, &has_validity));
@@ -89,33 +209,26 @@ Result<Column> ReadColumn(std::istream& is) {
     return Status::IOError("bad dtype tag");
   }
   const DType dtype = static_cast<DType>(dtype_raw);
-  std::vector<uint8_t> validity;
+  BufferView<uint8_t> validity;
   if (has_validity) {
-    XORBITS_ASSIGN_OR_RETURN(validity, ReadVec<uint8_t>(is));
+    XORBITS_ASSIGN_OR_RETURN(validity, ReadPayload<uint8_t>(is, reg));
   }
   switch (dtype) {
     case DType::kInt64: {
-      XORBITS_ASSIGN_OR_RETURN(auto data, ReadVec<int64_t>(is));
-      return Column::Int64(std::move(data), std::move(validity));
+      XORBITS_ASSIGN_OR_RETURN(auto data, ReadPayload<int64_t>(is, reg));
+      return Column::FromView(std::move(data), std::move(validity));
     }
     case DType::kFloat64: {
-      XORBITS_ASSIGN_OR_RETURN(auto data, ReadVec<double>(is));
-      return Column::Float64(std::move(data), std::move(validity));
+      XORBITS_ASSIGN_OR_RETURN(auto data, ReadPayload<double>(is, reg));
+      return Column::FromView(std::move(data), std::move(validity));
     }
     case DType::kBool: {
-      XORBITS_ASSIGN_OR_RETURN(auto data, ReadVec<uint8_t>(is));
-      return Column::Bool(std::move(data), std::move(validity));
+      XORBITS_ASSIGN_OR_RETURN(auto data, ReadPayload<uint8_t>(is, reg));
+      return Column::BoolFromView(std::move(data), std::move(validity));
     }
     case DType::kString: {
-      uint64_t n = 0;
-      XORBITS_RETURN_NOT_OK(ReadPod(is, &n));
-      std::vector<std::string> data;
-      data.reserve(n);
-      for (uint64_t i = 0; i < n; ++i) {
-        XORBITS_ASSIGN_OR_RETURN(std::string s, ReadString(is));
-        data.push_back(std::move(s));
-      }
-      return Column::String(std::move(data), std::move(validity));
+      XORBITS_ASSIGN_OR_RETURN(auto data, ReadPayload<std::string>(is, reg));
+      return Column::FromView(std::move(data), std::move(validity));
     }
   }
   return Status::IOError("unreachable");
@@ -126,9 +239,10 @@ Result<Column> ReadColumn(std::istream& is) {
 Status WriteDataFrame(std::ostream& os, const DataFrame& df) {
   WritePod(os, kDfMagic);
   WritePod<uint32_t>(os, static_cast<uint32_t>(df.num_columns()));
+  WriteRegistry reg;
   for (int i = 0; i < df.num_columns(); ++i) {
     WriteString(os, df.column_name(i));
-    XORBITS_RETURN_NOT_OK(WriteColumn(os, df.column(i)));
+    XORBITS_RETURN_NOT_OK(WriteColumn(os, df.column(i), &reg));
   }
   // Index: 0 = range(start), 1 = labels.
   const Index& idx = df.index();
@@ -152,11 +266,12 @@ Result<DataFrame> ReadDataFrame(std::istream& is) {
   if (magic != kDfMagic) return Status::IOError("bad dataframe magic");
   uint32_t ncols = 0;
   XORBITS_RETURN_NOT_OK(ReadPod(is, &ncols));
+  ReadRegistry reg;
   std::vector<std::string> names;
   std::vector<Column> cols;
   for (uint32_t i = 0; i < ncols; ++i) {
     XORBITS_ASSIGN_OR_RETURN(std::string name, ReadString(is));
-    XORBITS_ASSIGN_OR_RETURN(Column c, ReadColumn(is));
+    XORBITS_ASSIGN_OR_RETURN(Column c, ReadColumn(is, &reg));
     names.push_back(std::move(name));
     cols.push_back(std::move(c));
   }
@@ -180,7 +295,7 @@ Status WriteNDArray(std::ostream& os, const NDArray& a) {
   WritePod(os, kArrMagic);
   WritePod<uint32_t>(os, static_cast<uint32_t>(a.ndim()));
   for (int64_t d : a.shape()) WritePod<int64_t>(os, d);
-  WriteVec(os, a.data());
+  WriteSpan(os, a.data().data(), a.data().size());
   if (!os) return Status::IOError("write failed");
   return Status::OK();
 }

@@ -87,8 +87,8 @@ Status GramChunkOp::Execute(ExecutionContext& ctx) const {
   XORBITS_ASSIGN_OR_RETURN(NDArray xtx, tensor::MatMul(xt, *x));
   NDArray ymat = *y;
   if (ymat.ndim() == 1) {
-    XORBITS_ASSIGN_OR_RETURN(ymat,
-                             NDArray::Make(ymat.data(), {ymat.rows(), 1}));
+    XORBITS_ASSIGN_OR_RETURN(
+        ymat, NDArray::FromView(ymat.data(), {ymat.rows(), 1}));
   }
   XORBITS_ASSIGN_OR_RETURN(NDArray xty, tensor::MatMul(xt, ymat));
   XORBITS_ASSIGN_OR_RETURN(NDArray gram, tensor::HStack({&xtx, &xty}));

@@ -7,9 +7,23 @@
 namespace xorbits::services {
 
 int64_t ChunkData::nbytes() const {
-  if (is_dataframe()) return dataframe().nbytes();
-  if (is_ndarray()) return ndarray().nbytes();
+  std::vector<common::BufferRef> refs;
+  AppendBufferRefs(&refs);
+  return overhead_nbytes() + common::UniqueViewBytes(std::move(refs));
+}
+
+int64_t ChunkData::overhead_nbytes() const {
+  if (is_dataframe()) return dataframe().index().nbytes();
+  if (is_ndarray()) return 0;
   return 16;
+}
+
+void ChunkData::AppendBufferRefs(std::vector<common::BufferRef>* out) const {
+  if (is_dataframe()) {
+    dataframe().AppendBufferRefs(out);
+  } else if (is_ndarray()) {
+    ndarray().AppendBufferRefs(out);
+  }
 }
 
 int64_t ChunkData::rows() const {

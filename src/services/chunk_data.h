@@ -41,8 +41,17 @@ class ChunkData {
     return std::get<dataframe::Scalar>(payload_);
   }
 
-  /// Payload bytes, the unit of all memory accounting.
+  /// Logical payload bytes — the unit of transfer and spill metering.
+  /// Windows shared by several columns of this chunk are counted once
+  /// (deduped by exact buffer window), so a chunk assembled from views is
+  /// no "larger" than its eagerly-copied equivalent.
   int64_t nbytes() const;
+  /// Bytes not backed by shared buffers (index labels, scalar payloads).
+  /// Retained-size accounting charges these per chunk, unconditionally.
+  int64_t overhead_nbytes() const;
+  /// Appends every underlying buffer of the payload, for the storage
+  /// layer's per-band unique-byte (refcounted) accounting.
+  void AppendBufferRefs(std::vector<common::BufferRef>* out) const;
   /// Rows for dataframes/tensors, 1 for scalars.
   int64_t rows() const;
 

@@ -18,14 +18,19 @@ StorageService::StorageService(const Config& config, Metrics* metrics)
       metrics_(metrics),
       trace_(config.trace),
       band_used_(config.total_bands(), 0),
+      band_buffers_(config.total_bands()),
+      band_replica_bytes_(config.total_bands(), 0),
       band_dead_(config.total_bands(), 0) {
   peak_gauges_.reserve(num_bands_);
   spill_gauges_.reserve(num_bands_);
+  replica_gauges_.reserve(num_bands_);
   for (int b = 0; b < num_bands_; ++b) {
     peak_gauges_.push_back(metrics_->registry.GetGauge(
         trace::kGaugeBandPeakBytesPrefix + std::to_string(b), "bytes"));
     spill_gauges_.push_back(metrics_->registry.GetGauge(
         trace::kGaugeBandSpillBytesPrefix + std::to_string(b), "bytes"));
+    replica_gauges_.push_back(metrics_->registry.GetGauge(
+        trace::kGaugeBandReplicaBytesPrefix + std::to_string(b), "bytes"));
   }
   if (enable_spill_) {
     std::error_code ec;
@@ -35,13 +40,61 @@ StorageService::StorageService(const Config& config, Metrics* metrics)
 
 StorageService::~StorageService() { Clear(); }
 
+void StorageService::FillAccounting(Entry* e, const ChunkData& data) {
+  e->nbytes = data.nbytes();
+  e->overhead_bytes = data.overhead_nbytes();
+  std::vector<common::BufferRef> refs;
+  data.AppendBufferRefs(&refs);
+  e->buffers = common::UniqueBuffers(std::move(refs));
+}
+
+int64_t StorageService::ChargeDeltaLocked(int band, const Entry& e) const {
+  int64_t delta = e.overhead_bytes;
+  const auto& held = band_buffers_[band];
+  for (const auto& [id, bytes] : e.buffers) {
+    if (held.find(id) == held.end()) delta += bytes;
+  }
+  return delta;
+}
+
+void StorageService::ChargeLocked(int band, const Entry& e) {
+  for (const auto& [id, bytes] : e.buffers) {
+    BandBuffer& bb = band_buffers_[band][id];
+    if (bb.refs == 0) {
+      bb.bytes = bytes;
+      band_used_[band] += bytes;
+    }
+    bb.refs++;
+  }
+  band_used_[band] += e.overhead_bytes;
+}
+
+void StorageService::UnchargeLocked(int band, const Entry& e) {
+  auto& held = band_buffers_[band];
+  for (const auto& [id, bytes] : e.buffers) {
+    auto it = held.find(id);
+    if (it == held.end()) continue;
+    if (--it->second.refs == 0) {
+      band_used_[band] -= it->second.bytes;
+      held.erase(it);
+    }
+  }
+  band_used_[band] -= e.overhead_bytes;
+}
+
+void StorageService::ReleaseReplicasLocked(const Entry& e) {
+  for (int b : e.replicas) {
+    band_replica_bytes_[b] -= e.nbytes;
+    replica_gauges_[b]->Set(band_replica_bytes_[b]);
+  }
+}
+
 Status StorageService::Put(const std::string& key, ChunkDataPtr data,
                            int band) {
   if (!data) return Status::Invalid("Put of null chunk: " + key);
   if (band < 0 || band >= num_bands_) {
     return Status::Invalid("Put on bad band " + std::to_string(band));
   }
-  const int64_t bytes = data->nbytes();
   std::lock_guard<std::mutex> lock(mu_);
   if (band_dead_[band]) {
     return Status::WorkerLost("Put of '" + key + "' on dead band " +
@@ -50,15 +103,16 @@ Status StorageService::Put(const std::string& key, ChunkDataPtr data,
   if (entries_.count(key)) {
     return Status::Invalid("duplicate chunk key: " + key);
   }
-  XORBITS_RETURN_NOT_OK(EnsureCapacityLocked(band, bytes));
-  lost_.erase(key);  // a recomputed payload resurrects a lost key
   Entry e;
-  e.data = std::move(data);
   e.band = band;
-  e.nbytes = bytes;
   e.lru_tick = ++tick_;
+  FillAccounting(&e, *data);
+  e.data = std::move(data);
+  const int64_t bytes = e.nbytes;
+  XORBITS_RETURN_NOT_OK(EnsureEntryCapacityLocked(band, e));
+  lost_.erase(key);  // a recomputed payload resurrects a lost key
+  ChargeLocked(band, e);
   entries_.emplace(key, std::move(e));
-  band_used_[band] += bytes;
   metrics_->chunks_stored++;
   metrics_->bytes_stored += bytes;
   metrics_->UpdatePeak(band_used_[band]);
@@ -104,12 +158,16 @@ Result<ChunkDataPtr> StorageService::Get(const std::string& key,
     std::string buf((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
     XORBITS_ASSIGN_OR_RETURN(ChunkDataPtr data, DeserializeChunk(buf));
-    XORBITS_RETURN_NOT_OK(EnsureCapacityLocked(e.band, e.nbytes));
+    // Deserialization minted fresh buffers (identical windows inside the
+    // chunk were reunified by the v2 back-references) — rebuild the
+    // accounting fields before recharging the band.
+    FillAccounting(&e, *data);
+    XORBITS_RETURN_NOT_OK(EnsureEntryCapacityLocked(e.band, e));
     std::filesystem::remove(e.spill_path);
     e.spill_path.clear();
     e.data = std::move(data);
     e.level = StorageLevel::kMemory;
-    band_used_[e.band] += e.nbytes;
+    ChargeLocked(e.band, e);
     metrics_->UpdatePeak(band_used_[e.band]);
     peak_gauges_[e.band]->SetMax(band_used_[e.band]);
   }
@@ -125,6 +183,9 @@ Result<ChunkDataPtr> StorageService::Get(const std::string& key,
     if (!cached) {
       metrics_->bytes_transferred += e.nbytes;
       e.replicas.push_back(requesting_band);
+      band_replica_bytes_[requesting_band] += e.nbytes;
+      replica_gauges_[requesting_band]->Set(
+          band_replica_bytes_[requesting_band]);
       if (transferred != nullptr) *transferred = true;
       moved = true;
     }
@@ -152,10 +213,11 @@ Status StorageService::Delete(const std::string& key) {
     return Status::KeyError("delete of unknown chunk '" + key + "'");
   }
   if (it->second.level == StorageLevel::kMemory) {
-    band_used_[it->second.band] -= it->second.nbytes;
+    UnchargeLocked(it->second.band, it->second);
   } else {
     std::filesystem::remove(it->second.spill_path);
   }
+  ReleaseReplicasLocked(it->second);
   entries_.erase(it);
   return Status::OK();
 }
@@ -165,10 +227,11 @@ void StorageService::DeleteByPrefix(const std::string& prefix) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->first.rfind(prefix, 0) == 0) {
       if (it->second.level == StorageLevel::kMemory) {
-        band_used_[it->second.band] -= it->second.nbytes;
+        UnchargeLocked(it->second.band, it->second);
       } else {
         std::filesystem::remove(it->second.spill_path);
       }
+      ReleaseReplicasLocked(it->second);
       it = entries_.erase(it);
     } else {
       ++it;
@@ -196,6 +259,7 @@ std::vector<std::string> StorageService::MarkBandDead(int band) {
       if (e.level == StorageLevel::kDisk) {
         std::filesystem::remove(e.spill_path);
       }
+      ReleaseReplicasLocked(e);
       lost_keys.push_back(it->first);
       lost_.insert(it->first);
       it = entries_.erase(it);
@@ -208,6 +272,9 @@ std::vector<std::string> StorageService::MarkBandDead(int band) {
     }
   }
   band_used_[band] = 0;
+  band_buffers_[band].clear();
+  band_replica_bytes_[band] = 0;
+  replica_gauges_[band]->Set(0);
   std::sort(lost_keys.begin(), lost_keys.end());
   return lost_keys;
 }
@@ -224,10 +291,11 @@ Status StorageService::DropChunk(const std::string& key) {
     return Status::KeyError("drop of unknown chunk '" + key + "'");
   }
   if (it->second.level == StorageLevel::kMemory) {
-    band_used_[it->second.band] -= it->second.nbytes;
+    UnchargeLocked(it->second.band, it->second);
   } else {
     std::filesystem::remove(it->second.spill_path);
   }
+  ReleaseReplicasLocked(it->second);
   entries_.erase(it);
   lost_.insert(key);
   return Status::OK();
@@ -288,6 +356,9 @@ void StorageService::Clear() {
   entries_.clear();
   lost_.clear();
   std::fill(band_used_.begin(), band_used_.end(), 0);
+  for (auto& held : band_buffers_) held.clear();
+  std::fill(band_replica_bytes_.begin(), band_replica_bytes_.end(), 0);
+  for (Gauge* g : replica_gauges_) g->Set(0);
 }
 
 Status StorageService::EnsureCapacityLocked(int band, int64_t bytes) {
@@ -324,6 +395,44 @@ Status StorageService::EnsureCapacityLocked(int band, int64_t bytes) {
   return Status::OK();
 }
 
+Status StorageService::EnsureEntryCapacityLocked(int band, const Entry& e) {
+  auto oom_detail = [&](const std::string& why, int64_t bytes) {
+    if (trace_.sink != nullptr) {
+      trace_.sink->Instant(trace_.pid, kTrackStorage, trace::kEventOom,
+                           {Arg("band", int64_t{band}),
+                            Arg("requested_bytes", bytes),
+                            Arg("used_bytes", band_used_[band])});
+    }
+    return why + " on band " + std::to_string(band) + ": requested " +
+           std::to_string(bytes) + " bytes, used " +
+           std::to_string(band_used_[band]) + " of budget " +
+           std::to_string(band_limit_) + " bytes";
+  };
+  int64_t delta = ChargeDeltaLocked(band, e);
+  if (delta > band_limit_) {
+    metrics_->oom_events++;
+    return Status::OutOfMemory(
+        oom_detail("chunk exceeds whole band budget", delta));
+  }
+  while (band_used_[band] + delta > band_limit_) {
+    if (!enable_spill_) {
+      metrics_->oom_events++;
+      return Status::OutOfMemory(
+          oom_detail("over budget (spill disabled)", delta));
+    }
+    Status s = SpillOneLocked(band);
+    if (!s.ok()) {
+      metrics_->oom_events++;
+      return Status::OutOfMemory(oom_detail(
+          "over budget and cannot spill (" + s.message() + ")", delta));
+    }
+    // Spilling may have evicted a chunk sharing buffers with `e`, in which
+    // case `e` now needs to bring those bytes itself.
+    delta = ChargeDeltaLocked(band, e);
+  }
+  return Status::OK();
+}
+
 Status StorageService::SpillOneLocked(int band) {
   // Pick the least-recently-used in-memory chunk on this band.
   Entry* victim = nullptr;
@@ -345,7 +454,7 @@ Status StorageService::SpillOneLocked(int band) {
     out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
     if (!out) return Status::IOError("spill write failed " + path);
   }
-  band_used_[band] -= victim->nbytes;
+  UnchargeLocked(band, *victim);
   metrics_->bytes_spilled += victim->nbytes;
   metrics_->spill_events++;
   spill_gauges_[band]->Add(victim->nbytes);

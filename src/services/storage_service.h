@@ -92,16 +92,47 @@ class StorageService {
     ChunkDataPtr data;        // null when spilled
     int band = 0;
     StorageLevel level = StorageLevel::kMemory;
+    /// Logical payload bytes (transfer/spill metering; unique within the
+    /// chunk but blind to sharing with other chunks).
     int64_t nbytes = 0;
+    /// Bytes not backed by shared buffers (index labels, scalars) —
+    /// charged against the band budget per chunk, unconditionally.
+    int64_t overhead_bytes = 0;
+    /// Distinct underlying buffers (id, bytes); charged against the band
+    /// budget once per buffer across all chunks the band holds.
+    std::vector<std::pair<uint64_t, int64_t>> buffers;
     std::string spill_path;
     uint64_t lru_tick = 0;
     /// Bands holding a cached replica (transfer charged once per band).
     std::vector<int> replicas;
   };
 
+  /// One shared buffer held on a band: budget bytes + chunk refcount.
+  struct BandBuffer {
+    int64_t bytes = 0;
+    int refs = 0;
+  };
+
+  /// Fills an entry's accounting fields (nbytes/overhead/buffers) from its
+  /// payload. Called on Put and again after a spill fault-back, because
+  /// deserialization mints fresh buffers.
+  static void FillAccounting(Entry* e, const ChunkData& data);
+
+  /// Bytes Charge would actually add on `band`: overhead plus every buffer
+  /// the band does not already hold. Caller holds mu_.
+  int64_t ChargeDeltaLocked(int band, const Entry& e) const;
+  void ChargeLocked(int band, const Entry& e);
+  void UnchargeLocked(int band, const Entry& e);
+  /// Drops replica-byte metering for every band caching this entry.
+  void ReleaseReplicasLocked(const Entry& e);
+
   /// Ensures `bytes` fit on `band`, spilling LRU chunks if allowed.
   /// Caller holds mu_.
   Status EnsureCapacityLocked(int band, int64_t bytes);
+  /// Entry-aware variant: recomputes the prospective charge after every
+  /// spill, since evicting a chunk that shares buffers with `e` shrinks
+  /// what `e` still needs. Caller holds mu_.
+  Status EnsureEntryCapacityLocked(int band, const Entry& e);
   Status SpillOneLocked(int band);
 
   const int num_bands_;
@@ -110,14 +141,23 @@ class StorageService {
   const std::string spill_dir_;
   Metrics* const metrics_;
   const TraceConfig trace_;
-  /// Per-band registry gauges (band_peak_bytes/<b>, band_spill_bytes/<b>),
-  /// registered at construction; pointers are stable for metrics_'s life.
+  /// Per-band registry gauges (band_peak_bytes/<b>, band_spill_bytes/<b>,
+  /// band_replica_bytes/<b>), registered at construction; pointers are
+  /// stable for metrics_'s life.
   std::vector<Gauge*> peak_gauges_;
   std::vector<Gauge*> spill_gauges_;
+  std::vector<Gauge*> replica_gauges_;
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;
   std::vector<int64_t> band_used_;
+  /// Shared buffers resident per band, refcounted across chunks — the
+  /// mechanism that keeps a buffer charged once however many views of it
+  /// the band stores.
+  std::vector<std::unordered_map<uint64_t, BandBuffer>> band_buffers_;
+  /// Replica-held logical bytes per band (metered, not budgeted; see
+  /// DESIGN.md §5).
+  std::vector<int64_t> band_replica_bytes_;
   std::vector<char> band_dead_;
   /// Keys lost to band death / chunk-loss events, pending recompute.
   std::unordered_set<std::string> lost_;

@@ -62,13 +62,19 @@ NDArray MapUnary(const NDArray& a, F f) {
 
 Result<NDArray> NDArray::Make(std::vector<double> data,
                               std::vector<int64_t> shape) {
+  return FromView(common::BufferView<double>(std::move(data)),
+                  std::move(shape));
+}
+
+Result<NDArray> NDArray::FromView(common::BufferView<double> data,
+                                  std::vector<int64_t> shape) {
   if (shape.empty() || shape.size() > 2) {
     return Status::Invalid("NDArray supports rank 1 or 2");
   }
   for (int64_t d : shape) {
     if (d < 0) return Status::Invalid("negative dimension");
   }
-  if (ShapeProduct(shape) != static_cast<int64_t>(data.size())) {
+  if (ShapeProduct(shape) != data.ssize()) {
     return Status::Invalid("data size does not match shape");
   }
   return NDArray(std::move(data), std::move(shape));
@@ -86,7 +92,8 @@ NDArray NDArray::Full(std::vector<int64_t> shape, double value) {
 
 NDArray NDArray::Eye(int64_t n) {
   NDArray out = Zeros({n, n});
-  for (int64_t i = 0; i < n; ++i) out.at(i, i) = 1.0;
+  double* od = out.mutable_data().data();
+  for (int64_t i = 0; i < n; ++i) od[i * n + i] = 1.0;
   return out;
 }
 
@@ -109,10 +116,9 @@ NDArray NDArray::SliceRows(int64_t r0, int64_t r1) const {
   r0 = std::max<int64_t>(0, r0);
   r1 = std::min<int64_t>(rows(), r1);
   if (r1 < r0) r1 = r0;
-  std::vector<double> data(data_.begin() + r0 * c, data_.begin() + r1 * c);
   std::vector<int64_t> shape = shape_;
   shape[0] = r1 - r0;
-  return NDArray(std::move(data), std::move(shape));
+  return NDArray(data_.Slice(r0 * c, (r1 - r0) * c), std::move(shape));
 }
 
 Result<NDArray> NDArray::SliceCols(int64_t c0, int64_t c1) const {
@@ -218,9 +224,11 @@ Result<NDArray> Transpose(const NDArray& a) {
   if (a.ndim() != 2) return Status::Invalid("Transpose requires rank 2");
   const int64_t m = a.rows(), n = a.cols();
   NDArray out = NDArray::Zeros({n, m});
+  const double* ad = a.data().data();
+  double* od = out.mutable_data().data();
   ParallelFor(0, m, GrainForMorsels(m, 64, 16), [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
-      for (int64_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+      for (int64_t j = 0; j < n; ++j) od[j * m + i] = ad[i * n + j];
     }
   });
   return out;
@@ -233,21 +241,23 @@ Status QRDecompose(const NDArray& a, NDArray* q, NDArray* r) {
     return Status::Invalid("QR requires m >= n (tall or square), got " +
                            a.ShapeString());
   }
-  // Householder on a working copy; accumulate reflectors.
+  // Householder on a working copy; accumulate reflectors. The copy-on-write
+  // unshare happens once here, then the kernel works on a raw pointer.
   NDArray work = a;
+  double* wd = work.mutable_data().data();
   std::vector<std::vector<double>> vs;  // reflector vectors (length m - j)
   for (int64_t j = 0; j < n; ++j) {
     // Build reflector for column j below the diagonal.
     double norm = 0.0;
-    for (int64_t i = j; i < m; ++i) norm += work.at(i, j) * work.at(i, j);
+    for (int64_t i = j; i < m; ++i) norm += wd[i * n + j] * wd[i * n + j];
     norm = std::sqrt(norm);
     std::vector<double> v(m - j, 0.0);
-    double alpha = work.at(j, j) >= 0 ? -norm : norm;
+    double alpha = wd[j * n + j] >= 0 ? -norm : norm;
     if (norm == 0.0) {
       vs.push_back(std::move(v));
       continue;
     }
-    for (int64_t i = j; i < m; ++i) v[i - j] = work.at(i, j);
+    for (int64_t i = j; i < m; ++i) v[i - j] = wd[i * n + j];
     v[0] -= alpha;
     double vnorm = 0.0;
     for (double x : v) vnorm += x * x;
@@ -258,26 +268,28 @@ Status QRDecompose(const NDArray& a, NDArray* q, NDArray* r) {
     // Apply H = I - 2 v v^T to the trailing submatrix.
     for (int64_t c = j; c < n; ++c) {
       double dot = 0.0;
-      for (int64_t i = j; i < m; ++i) dot += v[i - j] * work.at(i, c);
-      for (int64_t i = j; i < m; ++i) work.at(i, c) -= 2 * dot * v[i - j];
+      for (int64_t i = j; i < m; ++i) dot += v[i - j] * wd[i * n + c];
+      for (int64_t i = j; i < m; ++i) wd[i * n + c] -= 2 * dot * v[i - j];
     }
     vs.push_back(std::move(v));
   }
   // R: upper-triangular top n x n of work.
   NDArray rr = NDArray::Zeros({n, n});
+  double* rd = rr.mutable_data().data();
   for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = i; j < n; ++j) rr.at(i, j) = work.at(i, j);
+    for (int64_t j = i; j < n; ++j) rd[i * n + j] = wd[i * n + j];
   }
   // Q: apply reflectors in reverse to the first n columns of I (thin Q).
   NDArray qq = NDArray::Zeros({m, n});
-  for (int64_t i = 0; i < n; ++i) qq.at(i, i) = 1.0;
+  double* qd = qq.mutable_data().data();
+  for (int64_t i = 0; i < n; ++i) qd[i * n + i] = 1.0;
   for (int64_t j = n - 1; j >= 0; --j) {
     const std::vector<double>& v = vs[j];
     if (v.empty()) continue;
     for (int64_t c = 0; c < n; ++c) {
       double dot = 0.0;
-      for (int64_t i = j; i < m; ++i) dot += v[i - j] * qq.at(i, c);
-      for (int64_t i = j; i < m; ++i) qq.at(i, c) -= 2 * dot * v[i - j];
+      for (int64_t i = j; i < m; ++i) dot += v[i - j] * qd[i * n + c];
+      for (int64_t i = j; i < m; ++i) qd[i * n + c] -= 2 * dot * v[i - j];
     }
   }
   *q = std::move(qq);
@@ -294,33 +306,37 @@ Result<NDArray> CholeskySolve(const NDArray& a, const NDArray& b) {
   const int64_t rhs = b.cols();
   // L L^T = A.
   NDArray l = NDArray::Zeros({n, n});
+  double* ld = l.mutable_data().data();
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j <= i; ++j) {
       double s = a.at(i, j);
-      for (int64_t k = 0; k < j; ++k) s -= l.at(i, k) * l.at(j, k);
+      for (int64_t k = 0; k < j; ++k) s -= ld[i * n + k] * ld[j * n + k];
       if (i == j) {
         if (s <= 0) {
           return Status::Invalid("matrix is not positive definite");
         }
-        l.at(i, j) = std::sqrt(s);
+        ld[i * n + j] = std::sqrt(s);
       } else {
-        l.at(i, j) = s / l.at(j, j);
+        ld[i * n + j] = s / ld[j * n + j];
       }
     }
   }
   // Forward then back substitution per right-hand side.
   NDArray x = NDArray::Zeros({n, rhs});
+  double* xd = x.mutable_data().data();
   for (int64_t c = 0; c < rhs; ++c) {
     std::vector<double> y(n);
     for (int64_t i = 0; i < n; ++i) {
       double s = b.ndim() == 1 ? b.at(i) : b.at(i, c);
-      for (int64_t k = 0; k < i; ++k) s -= l.at(i, k) * y[k];
-      y[i] = s / l.at(i, i);
+      for (int64_t k = 0; k < i; ++k) s -= ld[i * n + k] * y[k];
+      y[i] = s / ld[i * n + i];
     }
     for (int64_t i = n - 1; i >= 0; --i) {
       double s = y[i];
-      for (int64_t k = i + 1; k < n; ++k) s -= l.at(k, i) * x.at(k, c);
-      x.at(i, c) = s / l.at(i, i);
+      for (int64_t k = i + 1; k < n; ++k) {
+        s -= ld[k * n + i] * xd[k * rhs + c];
+      }
+      xd[i * rhs + c] = s / ld[i * n + i];
     }
   }
   return x;
@@ -336,6 +352,8 @@ Status SVDDecompose(const NDArray& a, NDArray* u, NDArray* s, NDArray* vt) {
   // One-sided Jacobi on R: rotate column pairs until all are orthogonal.
   NDArray w = r;                 // becomes U_r * diag(S)
   NDArray v = NDArray::Eye(n);   // accumulates V
+  double* wd = w.mutable_data().data();
+  double* vd = v.mutable_data().data();
   const double eps = 1e-12;
   for (int sweep = 0; sweep < 60; ++sweep) {
     double off = 0.0;
@@ -343,9 +361,9 @@ Status SVDDecompose(const NDArray& a, NDArray* u, NDArray* s, NDArray* vt) {
       for (int64_t qc = p + 1; qc < n; ++qc) {
         double app = 0, aqq = 0, apq = 0;
         for (int64_t i = 0; i < n; ++i) {
-          app += w.at(i, p) * w.at(i, p);
-          aqq += w.at(i, qc) * w.at(i, qc);
-          apq += w.at(i, p) * w.at(i, qc);
+          app += wd[i * n + p] * wd[i * n + p];
+          aqq += wd[i * n + qc] * wd[i * n + qc];
+          apq += wd[i * n + p] * wd[i * n + qc];
         }
         off = std::max(off, std::fabs(apq) / std::sqrt(app * aqq + eps));
         if (std::fabs(apq) < eps * std::sqrt(app * aqq) || apq == 0.0) {
@@ -357,12 +375,12 @@ Status SVDDecompose(const NDArray& a, NDArray* u, NDArray* s, NDArray* vt) {
         const double cs = 1.0 / std::sqrt(1.0 + t * t);
         const double sn = cs * t;
         for (int64_t i = 0; i < n; ++i) {
-          const double wp = w.at(i, p), wq = w.at(i, qc);
-          w.at(i, p) = cs * wp - sn * wq;
-          w.at(i, qc) = sn * wp + cs * wq;
-          const double vp = v.at(i, p), vq = v.at(i, qc);
-          v.at(i, p) = cs * vp - sn * vq;
-          v.at(i, qc) = sn * vp + cs * vq;
+          const double wp = wd[i * n + p], wq = wd[i * n + qc];
+          wd[i * n + p] = cs * wp - sn * wq;
+          wd[i * n + qc] = sn * wp + cs * wq;
+          const double vp = vd[i * n + p], vq = vd[i * n + qc];
+          vd[i * n + p] = cs * vp - sn * vq;
+          vd[i * n + qc] = sn * vp + cs * vq;
         }
       }
     }
@@ -371,14 +389,15 @@ Status SVDDecompose(const NDArray& a, NDArray* u, NDArray* s, NDArray* vt) {
   // Singular values = column norms of w; U_r = normalized columns.
   std::vector<double> sigma(n);
   NDArray ur = NDArray::Zeros({n, n});
+  double* urd = ur.mutable_data().data();
   std::vector<int64_t> zero_cols;
   for (int64_t j = 0; j < n; ++j) {
     double norm = 0;
-    for (int64_t i = 0; i < n; ++i) norm += w.at(i, j) * w.at(i, j);
+    for (int64_t i = 0; i < n; ++i) norm += wd[i * n + j] * wd[i * n + j];
     norm = std::sqrt(norm);
     sigma[j] = norm;
     if (norm > 1e-10) {
-      for (int64_t i = 0; i < n; ++i) ur.at(i, j) = w.at(i, j) / norm;
+      for (int64_t i = 0; i < n; ++i) urd[i * n + j] = wd[i * n + j] / norm;
     } else {
       sigma[j] = 0.0;
       zero_cols.push_back(j);
@@ -388,20 +407,20 @@ Status SVDDecompose(const NDArray& a, NDArray* u, NDArray* s, NDArray* vt) {
   // unit vectors against the existing columns).
   for (int64_t j : zero_cols) {
     for (int64_t cand = 0; cand < n; ++cand) {
-      std::vector<double> v(n, 0.0);
-      v[cand] = 1.0;
+      std::vector<double> unit(n, 0.0);
+      unit[cand] = 1.0;
       // Project out every already-filled column (unfilled ones are zero
       // vectors and contribute nothing).
       for (int64_t c = 0; c < n; ++c) {
         double dot = 0;
-        for (int64_t i = 0; i < n; ++i) dot += ur.at(i, c) * v[i];
-        for (int64_t i = 0; i < n; ++i) v[i] -= dot * ur.at(i, c);
+        for (int64_t i = 0; i < n; ++i) dot += urd[i * n + c] * unit[i];
+        for (int64_t i = 0; i < n; ++i) unit[i] -= dot * urd[i * n + c];
       }
       double norm = 0;
-      for (double x : v) norm += x * x;
+      for (double x : unit) norm += x * x;
       norm = std::sqrt(norm);
       if (norm > 1e-6) {
-        for (int64_t i = 0; i < n; ++i) ur.at(i, j) = v[i] / norm;
+        for (int64_t i = 0; i < n; ++i) urd[i * n + j] = unit[i] / norm;
         break;
       }
     }
@@ -413,12 +432,14 @@ Status SVDDecompose(const NDArray& a, NDArray* u, NDArray* s, NDArray* vt) {
             [&](int64_t x, int64_t y) { return sigma[x] > sigma[y]; });
   NDArray ur_sorted = NDArray::Zeros({n, n});
   NDArray v_sorted = NDArray::Zeros({n, n});
+  double* ursd = ur_sorted.mutable_data().data();
+  double* vsd = v_sorted.mutable_data().data();
   std::vector<double> s_sorted(n);
   for (int64_t j = 0; j < n; ++j) {
     s_sorted[j] = sigma[order[j]];
     for (int64_t i = 0; i < n; ++i) {
-      ur_sorted.at(i, j) = ur.at(i, order[j]);
-      v_sorted.at(i, j) = v.at(i, order[j]);
+      ursd[i * n + j] = urd[i * n + order[j]];
+      vsd[i * n + j] = vd[i * n + order[j]];
     }
   }
   XORBITS_ASSIGN_OR_RETURN(NDArray uu, MatMul(q, ur_sorted));
@@ -504,14 +525,17 @@ Result<NDArray> HStack(const std::vector<const NDArray*>& pieces) {
     total_cols += p->cols();
   }
   NDArray out = NDArray::Zeros({m, total_cols});
+  double* od = out.mutable_data().data();
   int64_t off = 0;
   for (const NDArray* p : pieces) {
+    const double* pd = p->data().data();
+    const int64_t pc = p->cols();
     for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < p->cols(); ++j) {
-        out.at(i, off + j) = p->at(i, j);
+      for (int64_t j = 0; j < pc; ++j) {
+        od[i * total_cols + off + j] = pd[i * pc + j];
       }
     }
-    off += p->cols();
+    off += pc;
   }
   return out;
 }

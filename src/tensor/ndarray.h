@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -14,6 +15,11 @@ namespace xorbits::tensor {
 /// Dense row-major float64 array, rank 1 or 2 — the single-node "NumPy
 /// backend" that tensor chunk kernels execute on. (Rank-2 covers every array
 /// workload in the paper: QR, linear regression, elementwise pipelines.)
+///
+/// Values live in a shared copy-on-write buffer view: copying an array
+/// shares the payload, `SliceRows` is an O(1) window, and `mutable_data` /
+/// mutable `at` unshare first. Kernels that write element-wise should hoist
+/// `mutable_data().data()` once instead of calling mutable `at` per element.
 class NDArray {
  public:
   NDArray() = default;
@@ -21,6 +27,9 @@ class NDArray {
   /// Validates that the shape product matches the data size.
   static Result<NDArray> Make(std::vector<double> data,
                               std::vector<int64_t> shape);
+  /// Same, from an existing view: shares the buffer (zero-copy reshape).
+  static Result<NDArray> FromView(common::BufferView<double> data,
+                                  std::vector<int64_t> shape);
   static NDArray Zeros(std::vector<int64_t> shape);
   static NDArray Full(std::vector<int64_t> shape, double value);
   /// Identity matrix of order n.
@@ -32,20 +41,29 @@ class NDArray {
 
   const std::vector<int64_t>& shape() const { return shape_; }
   int ndim() const { return static_cast<int>(shape_.size()); }
-  int64_t size() const { return static_cast<int64_t>(data_.size()); }
-  int64_t nbytes() const { return size() * 8; }
+  int64_t size() const { return data_.ssize(); }
+  int64_t nbytes() const { return size() * common::kItemSizeFloat64; }
   int64_t rows() const { return shape_.empty() ? 0 : shape_[0]; }
   int64_t cols() const { return ndim() < 2 ? 1 : shape_[1]; }
 
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& mutable_data() { return data_; }
+  const common::BufferView<double>& data() const { return data_; }
+  /// Unshares (copy-on-write) and returns the private backing vector.
+  std::vector<double>& mutable_data() { return data_.MutableVec(); }
+
+  /// Appends the underlying buffer for unique-byte storage accounting.
+  void AppendBufferRefs(std::vector<common::BufferRef>* out) const {
+    data_.AppendRef(out);
+  }
 
   double at(int64_t i) const { return data_[i]; }
   double at(int64_t i, int64_t j) const { return data_[i * cols() + j]; }
-  double& at(int64_t i) { return data_[i]; }
-  double& at(int64_t i, int64_t j) { return data_[i * cols() + j]; }
+  // The mutable forms re-check sharing on every call; fine for touch-ups,
+  // wrong for kernels (hoist mutable_data().data() there).
+  double& at(int64_t i) { return mutable_data()[i]; }
+  double& at(int64_t i, int64_t j) { return mutable_data()[i * cols() + j]; }
 
-  /// Rows [r0, r1) as a new array (rank preserved).
+  /// Rows [r0, r1) as a new array (rank preserved). O(1): the result is a
+  /// window over this array's buffer, no value data is copied.
   NDArray SliceRows(int64_t r0, int64_t r1) const;
   /// Columns [c0, c1) of a rank-2 array.
   Result<NDArray> SliceCols(int64_t c0, int64_t c1) const;
@@ -55,9 +73,12 @@ class NDArray {
 
  private:
   NDArray(std::vector<double> data, std::vector<int64_t> shape)
+      : data_(common::BufferView<double>(std::move(data))),
+        shape_(std::move(shape)) {}
+  NDArray(common::BufferView<double> data, std::vector<int64_t> shape)
       : data_(std::move(data)), shape_(std::move(shape)) {}
 
-  std::vector<double> data_;
+  common::BufferView<double> data_;
   std::vector<int64_t> shape_;
 };
 
