@@ -45,6 +45,22 @@ struct TraceConfig {
 /// shuffle-reduce from the measured aggregation ratio.
 enum class ReducePolicy { kAuto, kTree, kShuffle };
 
+/// Pipeline spec for the three-level optimizer (src/optimizer/pass.h): one
+/// ordered pass-name list per graph level. The sentinel pipeline {"auto"}
+/// derives the list from the legacy Config bools (graph_fusion / op_fusion /
+/// column_pruning) so presets and older call sites keep their meaning; an
+/// explicit list overrides the bools. Unknown names fail Materialize with
+/// an Invalid status naming the pass.
+struct OptimizerSpec {
+  std::vector<std::string> tileable{"auto"};
+  std::vector<std::string> chunk{"auto"};
+  std::vector<std::string> subtask{"auto"};
+  /// Run the graph invariant verifier after every pass (graph/rewrite.h).
+  /// On by default — the default build is RelWithDebInfo, so a compile-time
+  /// NDEBUG gate would never fire; cost is a few linear scans per pass.
+  bool verify = true;
+};
+
 /// Engine + simulated cluster configuration.
 struct Config {
   EngineKind engine = EngineKind::kXorbits;
@@ -81,9 +97,22 @@ struct Config {
   int sample_chunks = 1;
 
   // --- optimizer ---
+  /// Deprecated aliases, kept so existing callers (bench_fig9_ablation,
+  /// presets, tests) keep working: when the corresponding OptimizerSpec
+  /// pipeline is the default "auto", these bools decide which built-in
+  /// passes run. An explicit pipeline list overrides them entirely.
   bool graph_fusion = true;  // coloring-based graph-level fusion
   bool op_fusion = true;     // numexpr-style elementwise fusion
   bool column_pruning = true;
+  /// Per-level rewrite-pass pipelines (see src/optimizer/pass.h and
+  /// DESIGN.md §6). Each level lists pass names executed in order; the
+  /// single entry "auto" (the default) derives the pipeline from the legacy
+  /// bools above:
+  ///   tileable: column_pruning ? {predicate_pushdown, column_pruning,
+  ///                               dead_node_elim} : {}
+  ///   chunk:    op_fusion      ? {op_fusion, cse} : {}
+  ///   subtask:  graph_fusion   ? {graph_fusion} : {}
+  OptimizerSpec optimizer;
 
   /// When true, the API layer enforces each emulated engine's documented
   /// API gaps at call time (used by the API-coverage benchmark, Table V).

@@ -164,6 +164,10 @@ void Metrics::Reset() {
   fused_subtasks = 0;
   op_fusion_hits = 0;
   pruned_columns = 0;
+  predicates_pushed = 0;
+  cse_hits = 0;
+  dead_nodes_eliminated = 0;
+  source_bytes_read = 0;
   registry.Reset();
 }
 
@@ -193,6 +197,10 @@ MetricsSnapshot Metrics::Snapshot() const {
       {"fused_subtasks", fused_subtasks.load()},
       {"op_fusion_hits", op_fusion_hits.load()},
       {"pruned_columns", pruned_columns.load()},
+      {"predicates_pushed", predicates_pushed.load()},
+      {"cse_hits", cse_hits.load()},
+      {"dead_nodes_eliminated", dead_nodes_eliminated.load()},
+      {"source_bytes_read", source_bytes_read.load()},
   };
   s.gauges = registry.SnapshotGaugesLocked();
   // The copy-on-write buffer layer sits below the session, so its counters

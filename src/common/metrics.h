@@ -169,6 +169,16 @@ struct Metrics {
   std::atomic<int64_t> fused_subtasks{0};
   std::atomic<int64_t> op_fusion_hits{0};
   std::atomic<int64_t> pruned_columns{0};
+  /// Filter predicates the optimizer pushed into parquet/CSV source reads.
+  std::atomic<int64_t> predicates_pushed{0};
+  /// Duplicate pure chunk nodes deduplicated by common-subexpression
+  /// elimination before subtask building.
+  std::atomic<int64_t> cse_hits{0};
+  /// Tileable nodes dropped from the work list because no sink needs them.
+  std::atomic<int64_t> dead_nodes_eliminated{0};
+  /// Bytes of xparquet column blocks actually read by source kernels; the
+  /// denominator predicate pushdown and column pruning shrink.
+  std::atomic<int64_t> source_bytes_read{0};
 
   /// Named gauges + histograms registered by subsystems; the three
   /// histograms below are pre-registered for the executor and storage.

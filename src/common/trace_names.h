@@ -25,6 +25,12 @@ XORBITS_SPAN_NAME(kSpanTilePrefix, "tile:")
 XORBITS_SPAN_NAME(kSpanExecutePartial, "execute_partial")
 XORBITS_SPAN_NAME(kSpanOpFusion, "optimize:op_fusion")
 XORBITS_SPAN_NAME(kSpanGraphFusion, "optimize:graph_fusion")
+// Every optimizer pass emits one span per run, named `optimize:<pass>`;
+// the three constants above cover the migrated passes, these the new ones.
+XORBITS_SPAN_NAME(kSpanPassPrefix, "optimize:")
+XORBITS_SPAN_NAME(kSpanPredicatePushdown, "optimize:predicate_pushdown")
+XORBITS_SPAN_NAME(kSpanDeadNodeElim, "optimize:dead_node_elim")
+XORBITS_SPAN_NAME(kSpanCse, "optimize:cse")
 XORBITS_SPAN_NAME(kSpanScheduleRun, "schedule:run")
 XORBITS_SPAN_NAME(kSpanRecoverPrefix, "recover:")
 XORBITS_SPAN_NAME(kSpanSubtaskPrefix, "subtask:")
@@ -56,6 +62,14 @@ XORBITS_METRIC_NAME(kGaugeLineageEntries, "lineage_entries")
 XORBITS_METRIC_NAME(kGaugeBufferBytesShared, "buffer_bytes_shared")
 XORBITS_METRIC_NAME(kGaugeChunkCopiesAvoided, "chunk_copies_avoided")
 XORBITS_METRIC_NAME(kGaugeBufferCowCopies, "buffer_cow_copies")
+// Per-pass pipeline gauges. The suffix `<l><i>_<pass>` encodes the level
+// (t/c/s for tileable/chunk/subtask), the position in that level's
+// pipeline, and the pass name — e.g. `optimizer_pass_us/t1_column_pruning`
+// — so a sorted gauge snapshot reproduces each pipeline in order.
+XORBITS_METRIC_NAME(kGaugePassRunsPrefix, "optimizer_pass_runs/")
+XORBITS_METRIC_NAME(kGaugePassUsPrefix, "optimizer_pass_us/")
+XORBITS_METRIC_NAME(kGaugePassRemovedPrefix, "optimizer_nodes_removed/")
+XORBITS_METRIC_NAME(kGaugePassRewrittenPrefix, "optimizer_nodes_rewritten/")
 
 }  // namespace xorbits::trace
 

@@ -1,6 +1,9 @@
 #include "common/tracing.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/trace_names.h"
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -412,7 +415,59 @@ std::string Tracer::RenderRunReport(int pid) const {
     os << "  ... " << crit.size() - max_rows << " more\n";
   }
 
-  // 5. Counters + histograms from the attached metrics snapshot.
+  // 5. Optimizer pipeline: one row per configured pass, in pipeline order
+  //    (tileable, then chunk, then subtask level), from the pass gauges.
+  if (p->metrics.has_value()) {
+    struct PassRow {
+      int64_t runs = 0;
+      int64_t us = 0;
+      int64_t removed = 0;
+      int64_t rewritten = 0;
+    };
+    // Keyed by slot ("t0_predicate_pushdown"); slots sort by level rank
+    // then pipeline index.
+    std::map<std::pair<int, std::string>, PassRow> passes;
+    auto slot_key =
+        [](const std::string& slot) -> std::pair<int, std::string> {
+      int rank = 3;
+      if (!slot.empty()) {
+        if (slot[0] == 't') rank = 0;
+        if (slot[0] == 'c') rank = 1;
+        if (slot[0] == 's') rank = 2;
+      }
+      return {rank, slot};
+    };
+    for (const auto& [name, value] : p->metrics->gauges) {
+      auto slot_of = [&name](const char* prefix) -> std::string {
+        const std::string pre(prefix);
+        if (name.rfind(pre, 0) != 0) return "";
+        return name.substr(pre.size());
+      };
+      std::string s = slot_of(trace::kGaugePassRunsPrefix);
+      if (!s.empty()) passes[slot_key(s)].runs = value;
+      s = slot_of(trace::kGaugePassUsPrefix);
+      if (!s.empty()) passes[slot_key(s)].us = value;
+      s = slot_of(trace::kGaugePassRemovedPrefix);
+      if (!s.empty()) passes[slot_key(s)].removed = value;
+      s = slot_of(trace::kGaugePassRewrittenPrefix);
+      if (!s.empty()) passes[slot_key(s)].rewritten = value;
+    }
+    if (!passes.empty()) {
+      os << "\n-- optimizer passes (pipeline order) --\n";
+      for (const auto& [key, row] : passes) {
+        std::snprintf(line, sizeof(line),
+                      "  %-28s runs %5lld  %10lld us  removed %6lld  "
+                      "rewritten %6lld\n",
+                      key.second.c_str(), static_cast<long long>(row.runs),
+                      static_cast<long long>(row.us),
+                      static_cast<long long>(row.removed),
+                      static_cast<long long>(row.rewritten));
+        os << line;
+      }
+    }
+  }
+
+  // 6. Counters + histograms from the attached metrics snapshot.
   if (p->metrics.has_value()) {
     os << "\n-- counters (non-zero) --\n";
     for (const auto& [name, value] : p->metrics->counters) {

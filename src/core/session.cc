@@ -3,7 +3,6 @@
 #include "common/trace_names.h"
 #include "common/tracing.h"
 #include "dataframe/kernels.h"
-#include "optimizer/column_pruning.h"
 #include "tensor/ndarray.h"
 
 namespace xorbits::core {
@@ -28,8 +27,10 @@ Session::Session(Config config)
     : config_(RegisterTraceProcess(std::move(config))),
       storage_(std::make_unique<services::StorageService>(config_,
                                                           &metrics_)),
+      pass_manager_(config_, &metrics_),
       driver_(std::make_unique<tiling::TilingDriver>(
-          config_, &metrics_, storage_.get(), &meta_, &chunk_graph_)) {
+          config_, &metrics_, storage_.get(), &meta_, &chunk_graph_,
+          &pass_manager_)) {
   meta_.BindObservability(&metrics_);
 }
 
@@ -64,11 +65,8 @@ Status Session::Materialize(
   TraceSpan mat_span(tr, config_.trace.pid, kTrackSupervisor,
                      trace::kSpanMaterialize);
   mat_span.AddArg(Arg("tileables", static_cast<int64_t>(topo.size())));
-  if (config_.column_pruning) {
-    TraceSpan span(tr, config_.trace.pid, kTrackSupervisor,
-                   trace::kSpanColumnPruning);
-    optimizer::PruneColumns(topo, sinks);
-  }
+  XORBITS_RETURN_NOT_OK(
+      pass_manager_.RunTileablePipeline(&tileable_graph_, &topo, sinks));
   return driver_->TileAndRun(topo, sinks);
 }
 

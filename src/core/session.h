@@ -8,6 +8,7 @@
 #include "common/config.h"
 #include "common/metrics.h"
 #include "graph/graph.h"
+#include "optimizer/pass_manager.h"
 #include "services/meta_service.h"
 #include "services/storage_service.h"
 #include "tiling/tiling_driver.h"
@@ -53,6 +54,8 @@ class Session {
   services::MetaService meta_;
   graph::TileableGraph tileable_graph_;
   graph::ChunkGraph chunk_graph_;
+  /// Optimizer pipelines (declared before driver_, which keeps a pointer).
+  optimizer::PassManager pass_manager_;
   std::unique_ptr<tiling::TilingDriver> driver_;
 };
 

@@ -1,5 +1,6 @@
 #include "graph/graph.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -19,10 +20,56 @@ TileableNode* TileableGraph::AddNode(std::shared_ptr<OperatorBase> op,
 }
 
 std::vector<TileableNode*> TileableGraph::TopologicalOrder() const {
+  // Creation order is topological for an append-only graph, but optimizer
+  // rewrites may rewire an early consumer onto a later-created node
+  // (predicate pushdown clones sources), so sort properly: Kahn's
+  // algorithm, preferring creation order among ready nodes so untouched
+  // graphs keep their historical order.
+  std::unordered_map<const TileableNode*, int> degree;
+  std::unordered_map<const TileableNode*, std::vector<TileableNode*>> succs;
+  for (const auto& n : nodes_) {
+    degree.emplace(n.get(), 0);
+  }
+  for (const auto& n : nodes_) {
+    for (TileableNode* in : n->inputs) {
+      if (!degree.count(in)) continue;  // defensive: foreign input
+      degree[n.get()]++;
+      succs[in].push_back(n.get());
+    }
+  }
   std::vector<TileableNode*> out;
   out.reserve(nodes_.size());
-  for (const auto& n : nodes_) out.push_back(n.get());
-  return out;  // creation order is topological by construction
+  // `ready` as a min-ordered scan over creation order: repeatedly append
+  // the earliest-created node with no unprocessed inputs.
+  std::vector<TileableNode*> ready;
+  for (const auto& n : nodes_) {
+    if (degree[n.get()] == 0) ready.push_back(n.get());
+  }
+  // ready is in creation order; process as a queue, inserting newly-ready
+  // nodes in creation position to keep the order stable.
+  auto by_creation = [](const TileableNode* a, const TileableNode* b) {
+    return a->id < b->id;
+  };
+  for (size_t i = 0; i < ready.size(); ++i) {
+    TileableNode* n = ready[i];
+    out.push_back(n);
+    for (TileableNode* s : succs[n]) {
+      if (--degree[s] == 0) {
+        auto pos = std::upper_bound(ready.begin() + i + 1, ready.end(), s,
+                                    by_creation);
+        ready.insert(pos, s);
+      }
+    }
+  }
+  // Cycles cannot normally happen; fall back to creation order for any
+  // remainder so callers still see every node.
+  if (out.size() != nodes_.size()) {
+    std::unordered_set<const TileableNode*> seen(out.begin(), out.end());
+    for (const auto& n : nodes_) {
+      if (!seen.count(n.get())) out.push_back(n.get());
+    }
+  }
+  return out;
 }
 
 ChunkNode* ChunkGraph::AddNode(std::shared_ptr<OperatorBase> op,

@@ -1,0 +1,275 @@
+#include "graph/rewrite.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xorbits::graph {
+
+namespace {
+
+std::string NodeDesc(const TileableNode* n) {
+  return std::string(n->op ? n->op->type_name() : "<no-op>") + "#" +
+         std::to_string(n->id);
+}
+
+std::string NodeDesc(const ChunkNode* n) {
+  return std::string(n->op ? n->op->type_name() : "<no-op>") + "#" +
+         std::to_string(n->id);
+}
+
+}  // namespace
+
+int ReplaceInput(TileableNode* node, TileableNode* from, TileableNode* to) {
+  int hits = 0;
+  for (TileableNode*& in : node->inputs) {
+    if (in == from) {
+      in = to;
+      ++hits;
+    }
+  }
+  return hits;
+}
+
+int ReplaceInput(ChunkNode* node, ChunkNode* from, ChunkNode* to) {
+  int hits = 0;
+  for (ChunkNode*& in : node->inputs) {
+    if (in == from) {
+      in = to;
+      ++hits;
+    }
+  }
+  return hits;
+}
+
+Status VerifyTileableList(const std::vector<TileableNode*>& topo,
+                          const std::vector<TileableNode*>& sinks) {
+  std::unordered_map<const TileableNode*, size_t> pos;
+  for (size_t i = 0; i < topo.size(); ++i) {
+    const TileableNode* n = topo[i];
+    if (n == nullptr) return Status::Invalid("tileable list holds null node");
+    if (!pos.emplace(n, i).second) {
+      return Status::Invalid("tileable list holds " + NodeDesc(n) + " twice");
+    }
+  }
+  for (size_t i = 0; i < topo.size(); ++i) {
+    const TileableNode* n = topo[i];
+    for (const TileableNode* in : n->inputs) {
+      auto it = pos.find(in);
+      if (it == pos.end()) {
+        if (!n->tiled && !in->tiled) {
+          return Status::Invalid("input " + NodeDesc(in) + " of untiled " +
+                                 NodeDesc(n) +
+                                 " is neither tiled nor in the list");
+        }
+        continue;
+      }
+      if (it->second >= i) {
+        return Status::Invalid("input " + NodeDesc(in) +
+                               " does not precede its consumer " +
+                               NodeDesc(n));
+      }
+    }
+  }
+  for (const TileableNode* s : sinks) {
+    if (!pos.count(s)) {
+      return Status::Invalid("sink " + NodeDesc(s) +
+                             " was dropped from the tileable list");
+    }
+  }
+  return Status::OK();
+}
+
+Status VerifyChunkClosure(const std::vector<ChunkNode*>& closure,
+                          const std::vector<ChunkNode*>& must_persist) {
+  std::unordered_map<const ChunkNode*, size_t> pos;
+  for (size_t i = 0; i < closure.size(); ++i) {
+    const ChunkNode* n = closure[i];
+    if (n == nullptr) return Status::Invalid("chunk closure holds null node");
+    if (n->executed) {
+      return Status::Invalid("chunk closure holds executed " + NodeDesc(n));
+    }
+    if (!pos.emplace(n, i).second) {
+      return Status::Invalid("chunk closure holds " + NodeDesc(n) + " twice");
+    }
+  }
+  for (size_t i = 0; i < closure.size(); ++i) {
+    const ChunkNode* n = closure[i];
+    for (const ChunkNode* in : n->inputs) {
+      auto it = pos.find(in);
+      if (it == pos.end()) {
+        if (!in->executed) {
+          return Status::Invalid("input " + NodeDesc(in) + " of " +
+                                 NodeDesc(n) +
+                                 " is neither executed nor in the closure");
+        }
+        continue;
+      }
+      if (it->second >= i) {
+        return Status::Invalid("input " + NodeDesc(in) +
+                               " does not precede its consumer " +
+                               NodeDesc(n));
+      }
+    }
+  }
+  for (const ChunkNode* t : must_persist) {
+    if (!t->executed && !pos.count(t)) {
+      return Status::Invalid("target " + NodeDesc(t) +
+                             " was optimized out of the closure");
+    }
+  }
+  return Status::OK();
+}
+
+Status VerifySubtaskGraph(const SubtaskGraph& graph,
+                          const std::vector<ChunkNode*>& closure,
+                          const std::vector<ChunkNode*>& must_persist) {
+  const int n = static_cast<int>(graph.subtasks.size());
+  std::unordered_map<const ChunkNode*, int> owner;
+  for (int i = 0; i < n; ++i) {
+    const Subtask& st = graph.subtasks[i];
+    if (st.id != i) {
+      return Status::Invalid("subtask id " + std::to_string(st.id) +
+                             " != index " + std::to_string(i));
+    }
+    for (const ChunkNode* m : st.chunk_nodes) {
+      if (!owner.emplace(m, i).second) {
+        return Status::Invalid("chunk " + NodeDesc(m) +
+                               " belongs to two subtasks");
+      }
+    }
+  }
+  std::unordered_set<const ChunkNode*> closure_set(closure.begin(),
+                                                   closure.end());
+  for (const auto& [m, st] : owner) {
+    if (!closure_set.count(m)) {
+      return Status::Invalid("subtask member " + NodeDesc(m) +
+                             " is not in the closure");
+    }
+  }
+  for (const ChunkNode* c : closure) {
+    if (!owner.count(c)) {
+      return Status::Invalid("closure node " + NodeDesc(c) +
+                             " is in no subtask");
+    }
+  }
+
+  // Persisted-output index: which members are visible outside their subtask.
+  std::unordered_set<const ChunkNode*> output_set;
+  for (const Subtask& st : graph.subtasks) {
+    for (const ChunkNode* o : st.outputs) {
+      auto it = owner.find(o);
+      if (it == owner.end() || it->second != st.id) {
+        return Status::Invalid("output " + NodeDesc(o) +
+                               " is not a member of subtask " +
+                               std::to_string(st.id));
+      }
+      output_set.insert(o);
+    }
+  }
+
+  // Edge symmetry + range; external-input and persist consistency.
+  std::vector<std::unordered_set<int>> preds(n), succs(n);
+  for (const Subtask& st : graph.subtasks) {
+    for (int p : st.preds) {
+      if (p < 0 || p >= n || p == st.id) {
+        return Status::Invalid("bad pred " + std::to_string(p) +
+                               " on subtask " + std::to_string(st.id));
+      }
+      preds[st.id].insert(p);
+    }
+    for (int s : st.succs) {
+      if (s < 0 || s >= n || s == st.id) {
+        return Status::Invalid("bad succ " + std::to_string(s) +
+                               " on subtask " + std::to_string(st.id));
+      }
+      succs[st.id].insert(s);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int p : preds[i]) {
+      if (!succs[p].count(i)) {
+        return Status::Invalid("edge " + std::to_string(p) + "->" +
+                               std::to_string(i) + " missing succ link");
+      }
+    }
+    for (int s : succs[i]) {
+      if (!preds[s].count(i)) {
+        return Status::Invalid("edge " + std::to_string(i) + "->" +
+                               std::to_string(s) + " missing pred link");
+      }
+    }
+  }
+  for (const Subtask& st : graph.subtasks) {
+    std::unordered_set<const ChunkNode*> ext(st.external_inputs.begin(),
+                                             st.external_inputs.end());
+    for (const ChunkNode* e : st.external_inputs) {
+      auto it = owner.find(e);
+      if (it != owner.end() && it->second == st.id) {
+        return Status::Invalid("external input " + NodeDesc(e) +
+                               " is a member of subtask " +
+                               std::to_string(st.id));
+      }
+      if (it == owner.end()) {
+        if (!e->executed) {
+          return Status::Invalid("external input " + NodeDesc(e) +
+                                 " of subtask " + std::to_string(st.id) +
+                                 " is neither executed nor produced here");
+        }
+      } else {
+        if (!preds[st.id].count(it->second)) {
+          return Status::Invalid("subtask " + std::to_string(st.id) +
+                                 " reads " + NodeDesc(e) + " from subtask " +
+                                 std::to_string(it->second) +
+                                 " without a pred edge");
+        }
+        if (!output_set.count(e)) {
+          return Status::Invalid("cross-subtask input " + NodeDesc(e) +
+                                 " is not persisted by its producer");
+        }
+      }
+    }
+    for (const ChunkNode* m : st.chunk_nodes) {
+      for (const ChunkNode* in : m->inputs) {
+        auto it = owner.find(in);
+        if (it != owner.end() && it->second != st.id && !ext.count(in)) {
+          return Status::Invalid("member input " + NodeDesc(in) +
+                                 " from another subtask is missing from "
+                                 "external_inputs of subtask " +
+                                 std::to_string(st.id));
+        }
+      }
+    }
+  }
+  for (const ChunkNode* t : must_persist) {
+    if (t->executed) continue;
+    auto it = owner.find(t);
+    if (it == owner.end()) continue;  // closure check reports this
+    if (!output_set.count(t)) {
+      return Status::Invalid("target " + NodeDesc(t) + " of subtask " +
+                             std::to_string(it->second) +
+                             " is not in its outputs");
+    }
+  }
+
+  // Acyclicity (Kahn over pred counts).
+  std::vector<int> indeg(n);
+  std::vector<int> ready;
+  for (int i = 0; i < n; ++i) {
+    indeg[i] = static_cast<int>(preds[i].size());
+    if (indeg[i] == 0) ready.push_back(i);
+  }
+  int seen = 0;
+  while (!ready.empty()) {
+    const int u = ready.back();
+    ready.pop_back();
+    ++seen;
+    for (int s : succs[u]) {
+      if (--indeg[s] == 0) ready.push_back(s);
+    }
+  }
+  if (seen != n) return Status::Invalid("subtask graph has a cycle");
+  return Status::OK();
+}
+
+}  // namespace xorbits::graph

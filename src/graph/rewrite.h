@@ -1,0 +1,61 @@
+#ifndef XORBITS_GRAPH_REWRITE_H_
+#define XORBITS_GRAPH_REWRITE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace xorbits::graph {
+
+/// Rewrite + structural-invariant helpers shared by the optimizer's pass
+/// framework (src/optimizer/pass.h). Passes mutate graphs freely; after each
+/// pass the PassManager runs the matching Verify* check so a structurally
+/// broken rewrite fails loudly at the pass boundary instead of surfacing as
+/// a scheduler hang or a wrong answer three layers later.
+
+/// Replaces every occurrence of `from` in `node->inputs` with `to`.
+/// Returns how many input slots were rewired.
+int ReplaceInput(TileableNode* node, TileableNode* from, TileableNode* to);
+int ReplaceInput(ChunkNode* node, ChunkNode* from, ChunkNode* to);
+
+/// Invariants of a tileable work list about to be handed to TileAndRun:
+///   - no null or duplicated entries;
+///   - topological: a member's input that is also a member appears earlier
+///     (implies acyclicity over the list);
+///   - schedulable: every input of an untiled member is tiled already or a
+///     member itself (tiling would otherwise read absent chunk lists);
+///   - every sink is a member (a pass must never drop what the user asked
+///     to materialize).
+Status VerifyTileableList(const std::vector<TileableNode*>& topo,
+                          const std::vector<TileableNode*>& sinks);
+
+/// Invariants of a pending chunk closure about to become a subtask graph:
+///   - no null or duplicated entries, no already-executed members;
+///   - topological order with edge consistency: in-closure inputs precede
+///     their consumer, out-of-closure inputs are executed (their payload
+///     must be fetchable from storage);
+///   - every not-yet-executed target in `must_persist` is still a member
+///     (an optimization must not fuse away a node whose payload the caller
+///     needs).
+Status VerifyChunkClosure(const std::vector<ChunkNode*>& closure,
+                          const std::vector<ChunkNode*>& must_persist);
+
+/// Invariants of a built subtask graph against its source closure:
+///   - ids equal indices; every closure node is a member of exactly one
+///     subtask and subtasks contain only closure nodes;
+///   - pred/succ edges are symmetric, in range, self-loop free, and the
+///     graph is acyclic;
+///   - external inputs are not members of their own subtask and are either
+///     executed or produced (and persisted) by a predecessor subtask;
+///   - outputs are members; every member read by another subtask and every
+///     not-yet-executed `must_persist` member is in its subtask's outputs
+///     (persist-set consistency — a transient intermediate must never be
+///     needed outside its subtask).
+Status VerifySubtaskGraph(const SubtaskGraph& graph,
+                          const std::vector<ChunkNode*>& closure,
+                          const std::vector<ChunkNode*>& must_persist);
+
+}  // namespace xorbits::graph
+
+#endif  // XORBITS_GRAPH_REWRITE_H_

@@ -180,7 +180,8 @@ Result<XpqFileInfo> ReadXpqInfo(const std::string& path) {
 
 Result<DataFrame> ReadXpq(const std::string& path,
                           const std::vector<std::string>& columns,
-                          int64_t row_offset, int64_t row_count) {
+                          int64_t row_offset, int64_t row_count,
+                          int64_t* bytes_read) {
   XORBITS_ASSIGN_OR_RETURN(XpqFileInfo info, ReadXpqInfo(path));
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
@@ -210,6 +211,7 @@ Result<DataFrame> ReadXpq(const std::string& path,
     std::string block(ci->nbytes, '\0');
     in.read(block.data(), ci->nbytes);
     if (!in) return Status::IOError("truncated column block: " + ci->name);
+    if (bytes_read != nullptr) *bytes_read += ci->nbytes;
     XORBITS_ASSIGN_OR_RETURN(Column col,
                              DecodeColumn(block, ci->dtype, info.num_rows));
     names.push_back(ci->name);

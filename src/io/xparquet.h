@@ -36,11 +36,15 @@ Result<XpqFileInfo> ReadXpqInfo(const std::string& path);
 
 /// Reads the whole file, or only `columns` when non-empty (column pruning),
 /// or only rows [row_offset, row_offset+row_count) of those columns when
-/// row_count >= 0 (chunked reads decode the block then slice).
+/// row_count >= 0 (chunked reads decode the block then slice). When
+/// `bytes_read` is non-null it is incremented by the encoded size of every
+/// column block fetched — the I/O denominator that column pruning and
+/// predicate pushdown shrink.
 Result<dataframe::DataFrame> ReadXpq(const std::string& path,
                                      const std::vector<std::string>& columns = {},
                                      int64_t row_offset = 0,
-                                     int64_t row_count = -1);
+                                     int64_t row_count = -1,
+                                     int64_t* bytes_read = nullptr);
 
 }  // namespace xorbits::io
 

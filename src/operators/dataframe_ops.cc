@@ -26,10 +26,36 @@ Status EvalChunkOp::Execute(ExecutionContext& ctx) const {
     XORBITS_ASSIGN_OR_RETURN(df, dataframe::Filter(df, mask));
   }
   if (!projection_.empty()) {
-    XORBITS_ASSIGN_OR_RETURN(df, df.Select(projection_));
+    // The projection list is validated against the full schema when the
+    // graph is built; column pruning may since have narrowed what this
+    // chunk's input delivers (a rename projects its whole schema, but only
+    // the pruned subset arrives). Project what the optimized plan provides.
+    std::vector<std::string> cols;
+    for (const auto& c : projection_) {
+      if (df.HasColumn(c)) cols.push_back(c);
+    }
+    XORBITS_ASSIGN_OR_RETURN(df, df.Select(cols));
   }
   ctx.outputs[0] = services::MakeChunk(std::move(df));
   return Status::OK();
+}
+
+std::optional<std::string> EvalChunkOp::CseSignature() const {
+  std::string sig = "eval|";
+  for (const auto& a : assignments_) {
+    sig += a.name;
+    sig += '=';
+    sig += a.expr->ToString();
+    sig += ';';
+  }
+  sig += '|';
+  if (filter_ != nullptr) sig += filter_->ToString();
+  sig += '|';
+  for (const auto& c : projection_) {
+    sig += c;
+    sig += ',';
+  }
+  return sig;
 }
 
 Status SliceChunkOp::Execute(ExecutionContext& ctx) const {

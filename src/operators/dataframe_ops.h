@@ -36,6 +36,7 @@ class EvalChunkOp : public ChunkOp {
   const std::vector<Assignment>& assignments() const { return assignments_; }
   const ExprPtr& filter() const { return filter_; }
   const std::vector<std::string>& projection() const { return projection_; }
+  std::optional<std::string> CseSignature() const override;
 
  private:
   std::vector<Assignment> assignments_;
@@ -50,6 +51,9 @@ class SliceChunkOp : public ChunkOp {
       : offset_(offset), count_(count) {}
   const char* type_name() const override { return "Slice"; }
   Status Execute(ExecutionContext& ctx) const override;
+  std::optional<std::string> CseSignature() const override {
+    return "slice|" + std::to_string(offset_) + "|" + std::to_string(count_);
+  }
 
  private:
   int64_t offset_;
@@ -62,6 +66,9 @@ class ConcatChunkOp : public ChunkOp {
  public:
   const char* type_name() const override { return "Concat"; }
   Status Execute(ExecutionContext& ctx) const override;
+  std::optional<std::string> CseSignature() const override {
+    return "concat";
+  }
 };
 
 /// Whole-chunk sort.
@@ -71,6 +78,16 @@ class SortChunkOp : public ChunkOp {
       : by_(std::move(by)), ascending_(std::move(ascending)) {}
   const char* type_name() const override { return "Sort"; }
   Status Execute(ExecutionContext& ctx) const override;
+  std::optional<std::string> CseSignature() const override {
+    std::string sig = "sort|";
+    for (const auto& k : by_) {
+      sig += k;
+      sig += ',';
+    }
+    sig += '|';
+    for (bool a : ascending_) sig += a ? '1' : '0';
+    return sig;
+  }
 
  private:
   std::vector<std::string> by_;
@@ -85,6 +102,14 @@ class DedupChunkOp : public ChunkOp {
       : subset_(std::move(subset)) {}
   const char* type_name() const override { return "DropDuplicates"; }
   Status Execute(ExecutionContext& ctx) const override;
+  std::optional<std::string> CseSignature() const override {
+    std::string sig = "dedup|";
+    for (const auto& k : subset_) {
+      sig += k;
+      sig += ',';
+    }
+    return sig;
+  }
 
  private:
   std::vector<std::string> subset_;
@@ -161,6 +186,9 @@ class EvalOp : public TileableOp {
       const graph::TileableNode& node,
       const std::set<std::string>& out_columns) const override;
   bool has_filter() const { return filter_ != nullptr; }
+  const std::vector<Assignment>& assignments() const { return assignments_; }
+  const ExprPtr& filter() const { return filter_; }
+  const std::vector<std::string>& projection() const { return projection_; }
 
  private:
   std::vector<Assignment> assignments_;

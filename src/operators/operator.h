@@ -30,6 +30,8 @@ struct ExecutionContext {
   /// partition id -> payload, published as "<key>@<partition>".
   std::map<int, ChunkDataPtr> shuffle_outputs;
   int band = 0;
+  /// Run counters (source_bytes_read, ...); null in bare kernel tests.
+  Metrics* metrics = nullptr;
 };
 
 /// Chunk-level operator: the `execute` side of the paper's operator triple.
@@ -45,6 +47,14 @@ class ChunkOp : public graph::OperatorBase {
       const graph::ChunkNode& node) const;
   /// True when Execute fills shuffle_outputs instead of outputs.
   virtual bool is_shuffle_map() const { return false; }
+  /// Value-identity signature for common-subexpression elimination: two
+  /// nodes whose ops return the same signature, and whose inputs and
+  /// output_index match, produce identical payloads and may be merged.
+  /// nullopt (the default) opts the op out of CSE — only pure, determinis-
+  /// tic kernels whose parameters are fully captured should return one.
+  virtual std::optional<std::string> CseSignature() const {
+    return std::nullopt;
+  }
 };
 
 /// What a tile coroutine hands to the driver when it needs metadata: run

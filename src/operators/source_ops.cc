@@ -1,7 +1,10 @@
 #include "operators/source_ops.h"
 
+#include <algorithm>
 #include <filesystem>
+#include <set>
 
+#include "dataframe/kernels.h"
 #include "io/csv.h"
 #include "io/xparquet.h"
 #include "tiling/auto_rechunk.h"
@@ -9,6 +12,7 @@
 namespace xorbits::operators {
 
 using dataframe::DataFrame;
+using dataframe::DType;
 using graph::ChunkNode;
 using graph::TileableNode;
 using tensor::NDArray;
@@ -24,13 +28,141 @@ void SetPlannedMeta(ChunkNode* chunk, int64_t rows, int64_t cols,
   chunk->meta.chunk_row = chunk_row;
 }
 
+/// Empty column of the given dtype — what an all-false Filter leaves behind
+/// (no data, no validity), so skipped payload blocks stay byte-identical.
+dataframe::Column EmptyColumn(dataframe::DType dtype) {
+  using dataframe::Column;
+  switch (dtype) {
+    case DType::kInt64:
+      return Column::Int64({});
+    case DType::kFloat64:
+      return Column::Float64({});
+    case DType::kBool:
+      return Column::Bool({});
+    case DType::kString:
+      return Column::String({});
+  }
+  return Column::Int64({});
+}
+
+/// Rows the mask actually keeps (true and valid), mirroring
+/// dataframe::Filter's effective-mask rule.
+int64_t CountMatches(const dataframe::Column& mask) {
+  const auto& data = mask.bool_data();
+  int64_t matches = 0;
+  for (int64_t i = 0; i < mask.length(); ++i) {
+    if (data[i] != 0 && (!mask.has_validity() || mask.validity()[i])) {
+      ++matches;
+    }
+  }
+  return matches;
+}
+
 }  // namespace
 
 Status ReadXpqChunkOp::Execute(ExecutionContext& ctx) const {
+  int64_t bytes = 0;
+  if (filter_ == nullptr) {
+    XORBITS_ASSIGN_OR_RETURN(
+        DataFrame df,
+        io::ReadXpq(path_, columns_, row_offset_, row_count_, &bytes));
+    if (ctx.metrics != nullptr) ctx.metrics->source_bytes_read += bytes;
+    ctx.outputs[0] = services::MakeChunk(std::move(df));
+    return Status::OK();
+  }
+  // Pushed predicate: phase 1 reads only the predicate's columns and
+  // evaluates the mask; the remaining payload blocks are fetched only when
+  // at least one row survives. Output is byte-identical to reading every
+  // column and filtering afterwards.
+  XORBITS_ASSIGN_OR_RETURN(io::XpqFileInfo info, io::ReadXpqInfo(path_));
+  std::vector<std::string> out_names = columns_;
+  if (out_names.empty()) {
+    for (const auto& c : info.columns) out_names.push_back(c.name);
+  }
+  std::set<std::string> fset;
+  filter_->CollectColumns(&fset);
+  std::vector<std::string> fcols(fset.begin(), fset.end());
+  if (fcols.empty() && !out_names.empty()) {
+    // Constant predicate: probe the cheapest output column for the row
+    // count the mask must cover.
+    const io::XpqColumnInfo* cheapest = nullptr;
+    for (const auto& c : info.columns) {
+      const bool wanted = std::find(out_names.begin(), out_names.end(),
+                                    c.name) != out_names.end();
+      if (wanted && (cheapest == nullptr || c.nbytes < cheapest->nbytes)) {
+        cheapest = &c;
+      }
+    }
+    if (cheapest != nullptr) fcols.push_back(cheapest->name);
+  }
   XORBITS_ASSIGN_OR_RETURN(
-      DataFrame df, io::ReadXpq(path_, columns_, row_offset_, row_count_));
-  ctx.outputs[0] = services::MakeChunk(std::move(df));
+      DataFrame probe,
+      io::ReadXpq(path_, fcols, row_offset_, row_count_, &bytes));
+  XORBITS_ASSIGN_OR_RETURN(dataframe::Column mask, EvalExpr(probe, *filter_));
+  if (mask.dtype() != DType::kBool) {
+    return Status::TypeError("pushed filter predicate must be boolean");
+  }
+
+  DataFrame out;
+  if (CountMatches(mask) == 0) {
+    // Nothing survives: skip every remaining payload block and synthesize
+    // the empty frame Filter would have produced.
+    XORBITS_ASSIGN_OR_RETURN(DataFrame empty_probe,
+                             dataframe::Filter(probe, mask));
+    for (const auto& name : out_names) {
+      if (empty_probe.HasColumn(name)) {
+        XORBITS_ASSIGN_OR_RETURN(const dataframe::Column* col,
+                                 empty_probe.GetColumn(name));
+        XORBITS_RETURN_NOT_OK(out.SetColumn(name, *col));
+      } else {
+        const io::XpqColumnInfo* ci = nullptr;
+        for (const auto& c : info.columns) {
+          if (c.name == name) {
+            ci = &c;
+            break;
+          }
+        }
+        if (ci == nullptr) {
+          return Status::KeyError("xparquet column not found: " + name);
+        }
+        XORBITS_RETURN_NOT_OK(out.SetColumn(name, EmptyColumn(ci->dtype)));
+      }
+    }
+    out.set_index(empty_probe.index());
+  } else {
+    std::vector<std::string> rest;
+    for (const auto& name : out_names) {
+      if (!probe.HasColumn(name)) rest.push_back(name);
+    }
+    DataFrame payload;
+    if (!rest.empty()) {
+      XORBITS_ASSIGN_OR_RETURN(
+          payload, io::ReadXpq(path_, rest, row_offset_, row_count_, &bytes));
+    }
+    DataFrame full;
+    for (const auto& name : out_names) {
+      const DataFrame& src = probe.HasColumn(name) ? probe : payload;
+      XORBITS_ASSIGN_OR_RETURN(const dataframe::Column* col,
+                               src.GetColumn(name));
+      XORBITS_RETURN_NOT_OK(full.SetColumn(name, *col));
+    }
+    full.set_index(probe.index());
+    XORBITS_ASSIGN_OR_RETURN(out, dataframe::Filter(full, mask));
+  }
+  if (ctx.metrics != nullptr) ctx.metrics->source_bytes_read += bytes;
+  ctx.outputs[0] = services::MakeChunk(std::move(out));
   return Status::OK();
+}
+
+std::optional<std::string> ReadXpqChunkOp::CseSignature() const {
+  std::string sig = "xpq|" + path_ + "|" + std::to_string(row_offset_) + "|" +
+                    std::to_string(row_count_) + "|" +
+                    (filter_ != nullptr ? filter_->ToString() : "") + "|";
+  for (const auto& c : columns_) {
+    sig += c;
+    sig += ',';
+  }
+  return sig;
 }
 
 Status ReadCsvChunkOp::Execute(ExecutionContext& ctx) const {
@@ -39,8 +171,27 @@ Status ReadCsvChunkOp::Execute(ExecutionContext& ctx) const {
   opts.skip_rows = skip_rows_;
   opts.max_rows = max_rows_;
   XORBITS_ASSIGN_OR_RETURN(DataFrame df, io::ReadCsv(path_, opts));
+  if (filter_ != nullptr) {
+    // CSV is row-major: the pushed predicate cannot skip file bytes, but
+    // filtering at the source still shrinks every downstream chunk.
+    XORBITS_ASSIGN_OR_RETURN(dataframe::Column mask, EvalExpr(df, *filter_));
+    XORBITS_ASSIGN_OR_RETURN(DataFrame filtered,
+                             dataframe::Filter(df, mask));
+    df = std::move(filtered);
+  }
   ctx.outputs[0] = services::MakeChunk(std::move(df));
   return Status::OK();
+}
+
+std::optional<std::string> ReadCsvChunkOp::CseSignature() const {
+  std::string sig = "csv|" + path_ + "|" + std::to_string(skip_rows_) + "|" +
+                    std::to_string(max_rows_) + "|" +
+                    (filter_ != nullptr ? filter_->ToString() : "") + "|";
+  for (const auto& c : parse_dates_) {
+    sig += c;
+    sig += ',';
+  }
+  return sig;
 }
 
 Status RandomChunkOp::Execute(ExecutionContext& ctx) const {
@@ -50,6 +201,16 @@ Status RandomChunkOp::Execute(ExecutionContext& ctx) const {
                     : NDArray::RandomNormal(shape_, rng);
   ctx.outputs[0] = services::MakeChunk(std::move(out));
   return Status::OK();
+}
+
+std::optional<std::string> RandomChunkOp::CseSignature() const {
+  std::string sig = "rand|" + std::to_string(seed_) + "|" +
+                    std::to_string(static_cast<int>(dist_)) + "|";
+  for (int64_t d : shape_) {
+    sig += std::to_string(d);
+    sig += ',';
+  }
+  return sig;
 }
 
 Status WriteXpqChunkOp::Execute(ExecutionContext& ctx) const {
@@ -142,12 +303,19 @@ TileTask ReadXpqOp::Tile(TileContext& ctx, TileableNode* node) {
                             ? static_cast<int64_t>(info.columns.size())
                             : static_cast<int64_t>(pruned_columns_.size());
   for (const auto& [off, count] : SplitRows(info.num_rows, nchunks)) {
-    auto op =
-        std::make_shared<ReadXpqChunkOp>(path_, pruned_columns_, off, count);
+    auto op = std::make_shared<ReadXpqChunkOp>(path_, pruned_columns_, off,
+                                               count, pushed_filter_);
     ChunkNode* chunk = ctx.chunk_graph()->AddNode(std::move(op), {});
-    SetPlannedMeta(chunk, count, ncols,
-                   info.num_rows > 0 ? bytes * count / info.num_rows : 0,
-                   static_cast<int64_t>(node->chunks.size()));
+    if (pushed_filter_ != nullptr && ctx.dynamic()) {
+      // Filtered row count is unknown until the chunk runs; dynamic tiling
+      // will measure it (same contract as EvalOp with a filter).
+      SetPlannedMeta(chunk, -1, ncols, -1,
+                     static_cast<int64_t>(node->chunks.size()));
+    } else {
+      SetPlannedMeta(chunk, count, ncols,
+                     info.num_rows > 0 ? bytes * count / info.num_rows : 0,
+                     static_cast<int64_t>(node->chunks.size()));
+    }
     node->chunks.push_back(chunk);
   }
   node->est_rows = info.num_rows;
@@ -168,11 +336,16 @@ TileTask ReadCsvOp::Tile(TileContext& ctx, TileableNode* node) {
   }
   for (const auto& [off, count] : SplitRows(total, nchunks)) {
     auto op = std::make_shared<ReadCsvChunkOp>(path_, parse_dates_, off,
-                                               count);
+                                               count, pushed_filter_);
     ChunkNode* chunk = ctx.chunk_graph()->AddNode(std::move(op), {});
-    SetPlannedMeta(chunk, count, -1,
-                   total > 0 ? file_bytes * count / total : 0,
-                   static_cast<int64_t>(node->chunks.size()));
+    if (pushed_filter_ != nullptr && ctx.dynamic()) {
+      SetPlannedMeta(chunk, -1, -1, -1,
+                     static_cast<int64_t>(node->chunks.size()));
+    } else {
+      SetPlannedMeta(chunk, count, -1,
+                     total > 0 ? file_bytes * count / total : 0,
+                     static_cast<int64_t>(node->chunks.size()));
+    }
     node->chunks.push_back(chunk);
   }
   node->est_rows = total;

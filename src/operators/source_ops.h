@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "operators/expr.h"
 #include "operators/operator.h"
 #include "tensor/ndarray.h"
 
@@ -20,6 +21,12 @@ class DataChunkOp : public ChunkOp {
     ctx.outputs[0] = payload_;
     return Status::OK();
   }
+  /// Payload identity: two DataChunkOps are equal only when they emit the
+  /// very same captured payload (distinct tiles slice distinct pieces).
+  std::optional<std::string> CseSignature() const override {
+    return "data|" +
+           std::to_string(reinterpret_cast<uintptr_t>(payload_.get()));
+  }
 
  private:
   ChunkDataPtr payload_;
@@ -30,19 +37,26 @@ class DataChunkOp : public ChunkOp {
 class ReadXpqChunkOp : public ChunkOp {
  public:
   ReadXpqChunkOp(std::string path, std::vector<std::string> columns,
-                 int64_t row_offset, int64_t row_count)
+                 int64_t row_offset, int64_t row_count,
+                 ExprPtr filter = nullptr)
       : path_(std::move(path)),
         columns_(std::move(columns)),
         row_offset_(row_offset),
-        row_count_(row_count) {}
+        row_count_(row_count),
+        filter_(std::move(filter)) {}
   const char* type_name() const override { return "ReadParquet"; }
   Status Execute(ExecutionContext& ctx) const override;
+  std::optional<std::string> CseSignature() const override;
 
  private:
   std::string path_;
   std::vector<std::string> columns_;
   int64_t row_offset_;
   int64_t row_count_;
+  /// Pushed-down row predicate. The kernel reads the filter columns first,
+  /// evaluates the mask, and skips the remaining column blocks entirely
+  /// when no row matches — the I/O saving predicate pushdown buys.
+  ExprPtr filter_;  // may be null
 };
 
 /// Chunk kernel reading a CSV row range (dtype inference per chunk; dates
@@ -50,19 +64,25 @@ class ReadXpqChunkOp : public ChunkOp {
 class ReadCsvChunkOp : public ChunkOp {
  public:
   ReadCsvChunkOp(std::string path, std::vector<std::string> parse_dates,
-                 int64_t skip_rows, int64_t max_rows)
+                 int64_t skip_rows, int64_t max_rows,
+                 ExprPtr filter = nullptr)
       : path_(std::move(path)),
         parse_dates_(std::move(parse_dates)),
         skip_rows_(skip_rows),
-        max_rows_(max_rows) {}
+        max_rows_(max_rows),
+        filter_(std::move(filter)) {}
   const char* type_name() const override { return "ReadCsv"; }
   Status Execute(ExecutionContext& ctx) const override;
+  std::optional<std::string> CseSignature() const override;
 
  private:
   std::string path_;
   std::vector<std::string> parse_dates_;
   int64_t skip_rows_;
   int64_t max_rows_;
+  /// Pushed-down row predicate, applied after parsing (CSV is row-major,
+  /// so pushdown saves downstream work, not file bytes).
+  ExprPtr filter_;  // may be null
 };
 
 /// Chunk kernel generating a random tensor block.
@@ -73,6 +93,7 @@ class RandomChunkOp : public ChunkOp {
       : shape_(std::move(shape)), seed_(seed), dist_(dist) {}
   const char* type_name() const override { return "RandomChunk"; }
   Status Execute(ExecutionContext& ctx) const override;
+  std::optional<std::string> CseSignature() const override;
 
  private:
   std::vector<int64_t> shape_;
@@ -106,10 +127,13 @@ class ReadXpqOp : public TileableOp {
   const std::vector<std::string>& pruned_columns() const {
     return pruned_columns_;
   }
+  void SetPushedFilter(ExprPtr filter) { pushed_filter_ = std::move(filter); }
+  const ExprPtr& pushed_filter() const { return pushed_filter_; }
 
  private:
   std::string path_;
   std::vector<std::string> pruned_columns_;  // empty => all
+  ExprPtr pushed_filter_;                    // predicate pushdown; may be null
 };
 
 /// Tileable source over a CSV file.
@@ -119,10 +143,15 @@ class ReadCsvOp : public TileableOp {
       : path_(std::move(path)), parse_dates_(std::move(parse_dates)) {}
   const char* type_name() const override { return "ReadCsvFile"; }
   TileTask Tile(TileContext& ctx, graph::TileableNode* node) override;
+  const std::string& path() const { return path_; }
+  const std::vector<std::string>& parse_dates() const { return parse_dates_; }
+  void SetPushedFilter(ExprPtr filter) { pushed_filter_ = std::move(filter); }
+  const ExprPtr& pushed_filter() const { return pushed_filter_; }
 
  private:
   std::string path_;
   std::vector<std::string> parse_dates_;
+  ExprPtr pushed_filter_;  // predicate pushdown; may be null
 };
 
 /// Tileable source over an in-memory tensor.

@@ -21,8 +21,9 @@ struct Requirement {
 
 }  // namespace
 
-void PruneColumns(const std::vector<TileableNode*>& topo_order,
-                  const std::vector<TileableNode*>& sinks) {
+int PruneColumns(const std::vector<TileableNode*>& topo_order,
+                 const std::vector<TileableNode*>& sinks) {
+  int rewritten = 0;
   std::map<const TileableNode*, Requirement> required;
   // Sinks need their entire schema (the user sees all of it) — expressed as
   // the sink's column list so the requirement can still narrow through
@@ -89,8 +90,10 @@ void PruneColumns(const std::vector<TileableNode*>& topo_order,
         for (const auto& c : node->columns) {
           if (needed.count(c)) keep.push_back(c);
         }
+        if (keep != read->pruned_columns()) ++rewritten;
         read->SetPrunedColumns(std::move(keep));
       } else {
+        if (!read->pruned_columns().empty()) ++rewritten;
         read->SetPrunedColumns({});
       }
     } else if (!covered) {
@@ -107,6 +110,7 @@ void PruneColumns(const std::vector<TileableNode*>& topo_order,
       } else {
         read->SetPrunedColumns({});
       }
+      ++rewritten;
       node->tiled = false;
       node->chunks.clear();
     }
@@ -133,6 +137,7 @@ void PruneColumns(const std::vector<TileableNode*>& topo_order,
       }
     }
   }
+  return rewritten;
 }
 
 }  // namespace xorbits::optimizer

@@ -10,9 +10,10 @@ namespace xorbits::optimizer {
 /// Column pruning (§V-A): traverses the tileable graph backward from the
 /// sinks, recording the columns each operator needs, and installs the
 /// pruned column set on parquet sources so unused columns are never read.
-/// Sinks require their full schema. Must run before tiling.
-void PruneColumns(const std::vector<graph::TileableNode*>& topo_order,
-                  const std::vector<graph::TileableNode*>& sinks);
+/// Sinks require their full schema. Must run before tiling. Returns the
+/// number of source nodes whose pruned column set changed.
+int PruneColumns(const std::vector<graph::TileableNode*>& topo_order,
+                 const std::vector<graph::TileableNode*>& sinks);
 
 }  // namespace xorbits::optimizer
 

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "graph/coloring.h"
+#include "optimizer/pass.h"
 
 namespace xorbits::optimizer {
 
@@ -13,9 +14,11 @@ using graph::ChunkNode;
 using graph::Subtask;
 using graph::SubtaskGraph;
 
-SubtaskGraph BuildSubtaskGraph(const std::vector<ChunkNode*>& pending,
-                               const std::vector<ChunkNode*>& must_persist,
-                               bool enable_fusion, Metrics* metrics) {
+namespace {
+
+SubtaskGraph BuildImpl(const std::vector<ChunkNode*>& pending,
+                       const std::vector<ChunkNode*>& must_persist,
+                       bool enable_fusion) {
   SubtaskGraph out;
   if (pending.empty()) return out;
 
@@ -133,11 +136,62 @@ SubtaskGraph BuildSubtaskGraph(const std::vector<ChunkNode*>& pending,
       out.subtasks[p].succs.push_back(st.id);
     }
   }
+  return out;
+}
+
+/// Subtask-level fusion as a pass: rebuilds the subtask graph from the
+/// closure with coloring enabled and replaces the unfused plan. The
+/// `fused_subtasks` delta it reports composes with the one from
+/// BuildUnfusedSubtaskGraph to match the legacy single-shot accounting.
+class GraphFusionPass : public SubtaskPass {
+ public:
+  const char* name() const override { return kPassGraphFusion; }
+  Result<PassStats> Run(
+      PassContext& ctx, SubtaskGraph* graph,
+      const std::vector<ChunkNode*>& closure,
+      const std::vector<ChunkNode*>& must_persist) override {
+    PassStats stats;
+    const int64_t before = static_cast<int64_t>(graph->subtasks.size());
+    SubtaskGraph fused = BuildImpl(closure, must_persist, true);
+    stats.nodes_removed = before - static_cast<int64_t>(fused.subtasks.size());
+    if (ctx.metrics != nullptr) {
+      ctx.metrics->fused_subtasks += stats.nodes_removed;
+    }
+    *graph = std::move(fused);
+    return stats;
+  }
+};
+
+}  // namespace
+
+SubtaskGraph BuildSubtaskGraph(const std::vector<ChunkNode*>& pending,
+                               const std::vector<ChunkNode*>& must_persist,
+                               bool enable_fusion, Metrics* metrics) {
+  SubtaskGraph out = BuildImpl(pending, must_persist, enable_fusion);
   if (metrics != nullptr) {
     metrics->fused_subtasks += static_cast<int64_t>(pending.size()) -
                                static_cast<int64_t>(out.subtasks.size());
   }
   return out;
+}
+
+SubtaskGraph BuildUnfusedSubtaskGraph(
+    const std::vector<ChunkNode*>& pending,
+    const std::vector<ChunkNode*>& must_persist, Metrics* metrics) {
+  SubtaskGraph out = BuildImpl(pending, must_persist, false);
+  // Siblings of multi-output operators already share a subtask here; the
+  // delta below plus GraphFusionPass's delta equals what the one-shot
+  // BuildSubtaskGraph used to report.
+  if (metrics != nullptr) {
+    metrics->fused_subtasks += static_cast<int64_t>(pending.size()) -
+                               static_cast<int64_t>(out.subtasks.size());
+  }
+  return out;
+}
+
+std::unique_ptr<SubtaskPass> MakeSubtaskPass(const std::string& name) {
+  if (name == kPassGraphFusion) return std::make_unique<GraphFusionPass>();
+  return nullptr;
 }
 
 }  // namespace xorbits::optimizer

@@ -19,6 +19,13 @@ graph::SubtaskGraph BuildSubtaskGraph(
     const std::vector<graph::ChunkNode*>& must_persist, bool enable_fusion,
     Metrics* metrics);
 
+/// One execution unit per subtask — the pre-fusion physical plan the
+/// subtask-level pass pipeline (GraphFusionPass) starts from. Sibling
+/// chunk nodes of one multi-output operator still share a subtask.
+graph::SubtaskGraph BuildUnfusedSubtaskGraph(
+    const std::vector<graph::ChunkNode*>& pending,
+    const std::vector<graph::ChunkNode*>& must_persist, Metrics* metrics);
+
 }  // namespace xorbits::optimizer
 
 #endif  // XORBITS_OPTIMIZER_FUSION_H_

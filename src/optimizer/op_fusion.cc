@@ -41,8 +41,9 @@ std::shared_ptr<EvalChunkOp> TryMerge(const EvalChunkOp& up,
 
 }  // namespace
 
-std::vector<ChunkNode*> FuseElementwiseChains(std::vector<ChunkNode*> pending,
-                                              Metrics* metrics) {
+std::vector<ChunkNode*> FuseElementwiseChains(
+    std::vector<ChunkNode*> pending, Metrics* metrics,
+    const std::unordered_set<const ChunkNode*>* keep) {
   // Count in-closure consumers of each node.
   std::unordered_map<const ChunkNode*, int> consumers;
   std::unordered_set<const ChunkNode*> in_set(pending.begin(), pending.end());
@@ -61,6 +62,8 @@ std::vector<ChunkNode*> FuseElementwiseChains(std::vector<ChunkNode*> pending,
       ChunkNode* in = n->inputs[0];
       if (dropped.count(in) || !in_set.count(in) || in->executed) continue;
       if (consumers[in] != 1) continue;
+      // Never swallow a node whose payload the caller will fetch.
+      if (keep != nullptr && keep->count(in)) continue;
       auto* down = dynamic_cast<const EvalChunkOp*>(n->op.get());
       auto* up = dynamic_cast<const EvalChunkOp*>(in->op.get());
       if (down == nullptr || up == nullptr) continue;

@@ -1,6 +1,7 @@
 #ifndef XORBITS_OPTIMIZER_OP_FUSION_H_
 #define XORBITS_OPTIMIZER_OP_FUSION_H_
 
+#include <unordered_set>
 #include <vector>
 
 #include "common/metrics.h"
@@ -12,9 +13,11 @@ namespace xorbits::optimizer {
 /// operators (a -> b, b the sole consumer of a) into a single fused
 /// EvalChunkOp, eliminating materialized intermediates the way numexpr/JAX
 /// do. Mutates the pending closure in place and returns the surviving node
-/// list (dropped producers are removed).
+/// list (dropped producers are removed). Nodes in `keep` (execution
+/// targets whose payloads callers will fetch) are never dropped.
 std::vector<graph::ChunkNode*> FuseElementwiseChains(
-    std::vector<graph::ChunkNode*> pending, Metrics* metrics);
+    std::vector<graph::ChunkNode*> pending, Metrics* metrics,
+    const std::unordered_set<const graph::ChunkNode*>* keep = nullptr);
 
 }  // namespace xorbits::optimizer
 

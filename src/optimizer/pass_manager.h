@@ -1,0 +1,67 @@
+#ifndef XORBITS_OPTIMIZER_PASS_MANAGER_H_
+#define XORBITS_OPTIMIZER_PASS_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "optimizer/pass.h"
+
+namespace xorbits::optimizer {
+
+/// Owns the three per-level pass pipelines and runs them with uniform
+/// instrumentation: one `optimize:<pass>` trace span per run, per-pass
+/// gauges (`optimizer_pass_us/<slot>` etc., slot = level letter + pipeline
+/// index + pass name, e.g. `t1_column_pruning`), and — unless
+/// `config.optimizer.verify` is off — a structural invariant check of the
+/// rewritten graph after every pass (see graph/rewrite.h), so a buggy pass
+/// fails loudly at its own boundary instead of corrupting execution.
+///
+/// Pipelines come from `config.optimizer`; the `{"auto"}` sentinel derives
+/// each level from the legacy `column_pruning` / `op_fusion` /
+/// `graph_fusion` toggles (see common/config.h). Unknown pass names fail
+/// with Status::Invalid on first use.
+class PassManager {
+ public:
+  PassManager(const Config& config, Metrics* metrics);
+  ~PassManager();
+
+  PassManager(const PassManager&) = delete;
+  PassManager& operator=(const PassManager&) = delete;
+
+  /// Logical-plan pipeline, run once per Materialize before tiling. May
+  /// add nodes to `graph` and rewrite/shrink the `topo` work list.
+  Status RunTileablePipeline(graph::TileableGraph* graph,
+                             std::vector<graph::TileableNode*>* topo,
+                             const std::vector<graph::TileableNode*>& sinks);
+
+  /// Chunk-plan pipeline, run on every pending closure (each partial
+  /// execution). `must_persist` members survive every pass.
+  Status RunChunkPipeline(graph::ChunkGraph* graph,
+                          std::vector<graph::ChunkNode*>* closure,
+                          const std::vector<graph::ChunkNode*>& must_persist);
+
+  /// Physical-plan pipeline, run on the unfused subtask graph built from
+  /// `closure` before scheduling.
+  Status RunSubtaskPipeline(graph::SubtaskGraph* st_graph,
+                            const std::vector<graph::ChunkNode*>& closure,
+                            const std::vector<graph::ChunkNode*>& must_persist);
+
+ private:
+  Status EnsureInit();
+
+  const Config& config_;
+  Metrics* metrics_;
+  bool initialized_ = false;
+  std::vector<std::unique_ptr<TileablePass>> tileable_;
+  std::vector<std::unique_ptr<ChunkPass>> chunk_;
+  std::vector<std::unique_ptr<SubtaskPass>> subtask_;
+};
+
+}  // namespace xorbits::optimizer
+
+#endif  // XORBITS_OPTIMIZER_PASS_MANAGER_H_

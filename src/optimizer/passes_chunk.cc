@@ -1,0 +1,98 @@
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/rewrite.h"
+#include "operators/operator.h"
+#include "optimizer/op_fusion.h"
+#include "optimizer/pass.h"
+
+namespace xorbits::optimizer {
+
+using graph::ChunkNode;
+
+namespace {
+
+/// Elementwise-chain fusion, wrapped as a pass. Execution targets
+/// (`must_persist`) are protected: fusing one away would leave its fetch
+/// key forever unpublished.
+class OpFusionPass : public ChunkPass {
+ public:
+  const char* name() const override { return kPassOpFusion; }
+  Result<PassStats> Run(PassContext& ctx, std::vector<ChunkNode*>* closure,
+                        const std::vector<ChunkNode*>& must_persist) override {
+    PassStats stats;
+    const int64_t before = static_cast<int64_t>(closure->size());
+    std::unordered_set<const ChunkNode*> keep(must_persist.begin(),
+                                              must_persist.end());
+    *closure = FuseElementwiseChains(std::move(*closure), ctx.metrics, &keep);
+    stats.nodes_removed = before - static_cast<int64_t>(closure->size());
+    stats.nodes_rewritten = stats.nodes_removed;  // each merge rewrites one
+    return stats;
+  }
+};
+
+/// Common-subexpression elimination: two pending chunk nodes are duplicates
+/// when their operators report equal CseSignatures, they are the same
+/// output of their operator, and their (canonicalized) inputs match. The
+/// duplicate's consumers are rewired to the first occurrence and the
+/// duplicate leaves the closure unexecuted — it stays in the chunk graph,
+/// so a later ExecutePartial can still run it if some future operator
+/// consumes it directly.
+class CsePass : public ChunkPass {
+ public:
+  const char* name() const override { return kPassCse; }
+  Result<PassStats> Run(PassContext& ctx, std::vector<ChunkNode*>* closure,
+                        const std::vector<ChunkNode*>& must_persist) override {
+    PassStats stats;
+    std::unordered_set<const ChunkNode*> persist(must_persist.begin(),
+                                                 must_persist.end());
+    std::unordered_map<std::string, ChunkNode*> first_seen;
+    std::unordered_map<const ChunkNode*, ChunkNode*> canonical;
+    std::vector<ChunkNode*> kept;
+    kept.reserve(closure->size());
+    for (ChunkNode* n : *closure) {
+      // Rewire inputs that pointed at an eliminated duplicate.
+      for (ChunkNode*& in : n->inputs) {
+        auto it = canonical.find(in);
+        if (it != canonical.end()) {
+          in = it->second;
+          stats.nodes_rewritten++;
+        }
+      }
+      auto* op = dynamic_cast<const operators::ChunkOp*>(n->op.get());
+      std::optional<std::string> sig =
+          op != nullptr ? op->CseSignature() : std::nullopt;
+      if (!sig.has_value()) {
+        kept.push_back(n);
+        continue;
+      }
+      std::string key = *sig + "#" + std::to_string(n->output_index);
+      for (const ChunkNode* in : n->inputs) {
+        key += "|";
+        key += std::to_string(in->id);
+      }
+      auto [it, inserted] = first_seen.emplace(std::move(key), n);
+      // Fetch targets keep their own storage key; never eliminate them.
+      if (inserted || persist.count(n)) {
+        kept.push_back(n);
+        continue;
+      }
+      canonical[n] = it->second;
+      stats.nodes_removed++;
+      if (ctx.metrics != nullptr) ctx.metrics->cse_hits++;
+    }
+    *closure = std::move(kept);
+    return stats;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ChunkPass> MakeChunkPass(const std::string& name) {
+  if (name == kPassOpFusion) return std::make_unique<OpFusionPass>();
+  if (name == kPassCse) return std::make_unique<CsePass>();
+  return nullptr;
+}
+
+}  // namespace xorbits::optimizer

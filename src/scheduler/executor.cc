@@ -161,6 +161,7 @@ Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
       unit_key += k;
     }
     ExecutionContext ctx;
+    ctx.metrics = metrics_;
     auto cached = unit_cache.find(unit_key);
     if (cached != unit_cache.end()) {
       ctx.outputs = cached->second;

@@ -4,7 +4,6 @@
 #include "common/trace_names.h"
 #include "common/tracing.h"
 #include "optimizer/fusion.h"
-#include "optimizer/op_fusion.h"
 
 namespace xorbits::tiling {
 
@@ -17,13 +16,21 @@ using operators::TileTask;
 TilingDriver::TilingDriver(const Config& config, Metrics* metrics,
                            services::StorageService* storage,
                            services::MetaService* meta,
-                           graph::ChunkGraph* chunk_graph)
+                           graph::ChunkGraph* chunk_graph,
+                           optimizer::PassManager* pass_manager)
     : config_(config),
       metrics_(metrics),
       storage_(storage),
       meta_(meta),
       chunk_graph_(chunk_graph),
-      executor_(config, metrics, storage, meta) {}
+      pass_manager_(pass_manager),
+      executor_(config, metrics, storage, meta) {
+  if (pass_manager_ == nullptr) {
+    owned_pass_manager_ =
+        std::make_unique<optimizer::PassManager>(config_, metrics_);
+    pass_manager_ = owned_pass_manager_.get();
+  }
+}
 
 Status TilingDriver::ExecutePartial(
     const std::vector<ChunkNode*>& targets) {
@@ -34,18 +41,16 @@ Status TilingDriver::ExecutePartial(
   TraceSpan partial_span(tr, pid, kTrackSupervisor,
                          trace::kSpanExecutePartial);
   partial_span.AddArg(Arg("pending", static_cast<int64_t>(closure.size())));
-  if (config_.op_fusion) {
-    TraceSpan span(tr, pid, kTrackSupervisor, trace::kSpanOpFusion);
-    closure = optimizer::FuseElementwiseChains(std::move(closure), metrics_);
-  }
-  graph::SubtaskGraph st_graph;
-  {
-    TraceSpan span(tr, pid, kTrackSupervisor, trace::kSpanGraphFusion);
-    st_graph = optimizer::BuildSubtaskGraph(closure, targets,
-                                            config_.graph_fusion, metrics_);
-    span.AddArg(
-        Arg("subtasks", static_cast<int64_t>(st_graph.subtasks.size())));
-  }
+  XORBITS_RETURN_NOT_OK(
+      pass_manager_->RunChunkPipeline(chunk_graph_, &closure, targets));
+  // The unfused subtask graph is the physical-plan baseline; fusion (and
+  // any other subtask rewrites) happen in the subtask pipeline.
+  graph::SubtaskGraph st_graph =
+      optimizer::BuildUnfusedSubtaskGraph(closure, targets, metrics_);
+  XORBITS_RETURN_NOT_OK(
+      pass_manager_->RunSubtaskPipeline(&st_graph, closure, targets));
+  partial_span.AddArg(
+      Arg("subtasks", static_cast<int64_t>(st_graph.subtasks.size())));
   return executor_.Run(&st_graph, deadline_);
 }
 

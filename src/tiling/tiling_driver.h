@@ -2,11 +2,13 @@
 #define XORBITS_TILING_TILING_DRIVER_H_
 
 #include <chrono>
+#include <memory>
 #include <vector>
 
 #include "common/config.h"
 #include "common/metrics.h"
 #include "operators/operator.h"
+#include "optimizer/pass_manager.h"
 #include "scheduler/executor.h"
 
 namespace xorbits::tiling {
@@ -19,9 +21,12 @@ namespace xorbits::tiling {
 /// payloads.
 class TilingDriver {
  public:
+  /// `pass_manager` (optional; owned by the session) supplies the chunk-
+  /// and subtask-level optimizer pipelines run on every partial execution.
   TilingDriver(const Config& config, Metrics* metrics,
                services::StorageService* storage,
-               services::MetaService* meta, graph::ChunkGraph* chunk_graph);
+               services::MetaService* meta, graph::ChunkGraph* chunk_graph,
+               optimizer::PassManager* pass_manager = nullptr);
 
   /// Tiles and executes everything needed by `sinks`. `topo_order` is the
   /// full tileable graph order (already-tiled nodes are skipped, so
@@ -43,6 +48,9 @@ class TilingDriver {
   services::StorageService* storage_;
   services::MetaService* meta_;
   graph::ChunkGraph* chunk_graph_;
+  optimizer::PassManager* pass_manager_;
+  /// Fallback pipelines for drivers constructed without a session.
+  std::unique_ptr<optimizer::PassManager> owned_pass_manager_;
   scheduler::Executor executor_;
   std::chrono::steady_clock::time_point deadline_;
 };

@@ -1,0 +1,415 @@
+// Tests of the optimizer pass framework (src/optimizer/pass.h): pipeline
+// resolution from the config spec and the legacy toggle aliases, the graph
+// invariant verifier, the new predicate-pushdown / CSE / dead-node-elim
+// passes (including byte-identity of the optimized plans), column-pruning
+// edge cases expressed through the framework, and the per-pass gauges that
+// feed the run report's optimizer section.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/tracing.h"
+#include "core/xorbits.h"
+#include "graph/rewrite.h"
+#include "io/xparquet.h"
+#include "operators/dataframe_ops.h"
+#include "operators/source_ops.h"
+#include "optimizer/pass.h"
+#include "optimizer/pass_manager.h"
+
+namespace xorbits::optimizer {
+namespace {
+
+using dataframe::CmpOp;
+using dataframe::Column;
+using dataframe::DataFrame;
+using operators::Col;
+using operators::CompareExpr;
+using operators::Lit;
+
+/// 200-row table with four columns; `a` is 0..199 so range predicates have
+/// a predictable selectivity.
+std::string WriteTestTable(const char* name) {
+  std::string path = std::string("/tmp/xorbits_passmgr_") + name + ".xpq";
+  std::vector<int64_t> a, d;
+  std::vector<double> b;
+  std::vector<std::string> c;
+  for (int64_t i = 0; i < 200; ++i) {
+    a.push_back(i);
+    b.push_back(static_cast<double>(i) * 0.5);
+    c.push_back("row" + std::to_string(i));
+    d.push_back(i % 7);
+  }
+  auto df = DataFrame::Make({"a", "b", "c", "d"},
+                            {Column::Int64(a), Column::Float64(b),
+                             Column::String(c), Column::Int64(d)})
+                .MoveValue();
+  EXPECT_TRUE(io::WriteXpq(path, df).ok());
+  return path;
+}
+
+/// Small chunks so one source tiles to several chunks and per-chunk
+/// predicate evaluation actually skips payload reads.
+Config SmallChunkConfig() {
+  Config c;
+  c.default_chunk_rows = 50;
+  return c;
+}
+
+void ExpectFramesEqual(const DataFrame& x, const DataFrame& y) {
+  ASSERT_EQ(x.num_rows(), y.num_rows());
+  ASSERT_EQ(x.num_columns(), y.num_columns());
+  for (int c = 0; c < x.num_columns(); ++c) {
+    EXPECT_EQ(x.column_name(c), y.column_name(c));
+    const auto& cx = x.column(c);
+    const auto& cy = y.column(c);
+    ASSERT_EQ(cx.dtype(), cy.dtype()) << x.column_name(c);
+    for (int64_t i = 0; i < x.num_rows(); ++i) {
+      ASSERT_EQ(cx.IsNull(i), cy.IsNull(i)) << x.column_name(c);
+      if (cx.IsNull(i)) continue;
+      switch (cx.dtype()) {
+        case dataframe::DType::kInt64:
+          EXPECT_EQ(cx.int64_data()[i], cy.int64_data()[i]);
+          break;
+        case dataframe::DType::kFloat64:
+          EXPECT_EQ(cx.float64_data()[i], cy.float64_data()[i]);
+          break;
+        default:
+          EXPECT_EQ(cx.string_data()[i], cy.string_data()[i]);
+      }
+    }
+  }
+}
+
+// --- pipeline resolution ---------------------------------------------------
+
+TEST(PassPipelineTest, UnknownPassNameFailsMaterialize) {
+  const std::string path = WriteTestTable("unknown");
+  Config cfg;
+  cfg.optimizer.tileable = {"no_such_pass"};
+  core::Session session(cfg);
+  auto ref = ReadParquet(&session, path);
+  ASSERT_TRUE(ref.ok());
+  auto out = ref->Fetch();
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("unknown tileable pass"),
+            std::string::npos)
+      << out.status();
+  std::remove(path.c_str());
+}
+
+TEST(PassPipelineTest, ExplicitEmptyPipelineMatchesFullPipeline) {
+  const std::string path = WriteTestTable("identity");
+  auto query = [&](Config cfg) {
+    core::Session session(std::move(cfg));
+    auto ref = ReadParquet(&session, path);
+    auto f = ref->Filter(CompareExpr(Col("a"), CmpOp::kGt, Lit(int64_t{120})));
+    auto sel = f->Select({"a", "b"});
+    return sel->Fetch().MoveValue();
+  };
+  Config off = SmallChunkConfig();
+  off.optimizer.tileable = {};
+  off.optimizer.chunk = {};
+  off.optimizer.subtask = {};
+  // Full default pipeline (pushdown + pruning + DNE + fusion + CSE) must be
+  // observationally identical to no optimizer at all.
+  ExpectFramesEqual(query(SmallChunkConfig()), query(off));
+  std::remove(path.c_str());
+}
+
+TEST(PassPipelineTest, LegacyBoolsDriveAutoPipelines) {
+  const std::string path = WriteTestTable("legacy");
+  auto run = [&](Config cfg) {
+    core::Session session(std::move(cfg));
+    auto ref = ReadParquet(&session, path);
+    auto f = ref->Filter(CompareExpr(Col("a"), CmpOp::kGt, Lit(int64_t{50})));
+    EXPECT_TRUE(f->Fetch().ok());
+    return session.metrics().Snapshot();
+  };
+  // Defaults: every level's auto pipeline is active and each pass records
+  // its per-slot run gauge.
+  MetricsSnapshot on = run(Config{});
+  auto has_gauge = [](const MetricsSnapshot& s, const std::string& name) {
+    for (const auto& [k, v] : s.gauges) {
+      if (k == name) return v > 0;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_gauge(on, "optimizer_pass_runs/t0_predicate_pushdown"));
+  EXPECT_TRUE(has_gauge(on, "optimizer_pass_runs/t1_column_pruning"));
+  EXPECT_TRUE(has_gauge(on, "optimizer_pass_runs/t2_dead_node_elim"));
+  EXPECT_TRUE(has_gauge(on, "optimizer_pass_runs/c0_op_fusion"));
+  EXPECT_TRUE(has_gauge(on, "optimizer_pass_runs/c1_cse"));
+  EXPECT_TRUE(has_gauge(on, "optimizer_pass_runs/s0_graph_fusion"));
+  // Deprecated toggles still empty the corresponding auto pipeline.
+  Config legacy_off;
+  legacy_off.column_pruning = false;
+  legacy_off.op_fusion = false;
+  legacy_off.graph_fusion = false;
+  MetricsSnapshot off = run(std::move(legacy_off));
+  for (const auto& [k, v] : off.gauges) {
+    EXPECT_EQ(k.rfind("optimizer_pass_runs/", 0), std::string::npos)
+        << "pass ran with all toggles off: " << k;
+  }
+  std::remove(path.c_str());
+}
+
+// --- invariant verifier ----------------------------------------------------
+
+TEST(GraphVerifierTest, CatchesBrokenTileableList) {
+  graph::TileableGraph g;
+  auto op = std::make_shared<operators::EvalOp>(
+      std::vector<operators::Assignment>{{"x", Lit(1.0)}}, nullptr,
+      std::vector<std::string>{});
+  graph::TileableNode* a = g.AddNode(op, {});
+  graph::TileableNode* b = g.AddNode(op, {a});
+  EXPECT_TRUE(graph::VerifyTileableList({a, b}, {b}).ok());
+  // Consumer before producer.
+  Status s = graph::VerifyTileableList({b, a}, {b});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("does not precede"), std::string::npos);
+  // Duplicate entry.
+  s = graph::VerifyTileableList({a, a, b}, {b});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("twice"), std::string::npos);
+  // Sink optimized away.
+  s = graph::VerifyTileableList({a}, {b});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("dropped"), std::string::npos);
+  // Input of an untiled node neither tiled nor scheduled.
+  s = graph::VerifyTileableList({b}, {b});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("neither tiled nor in the list"),
+            std::string::npos);
+}
+
+TEST(GraphVerifierTest, CatchesBrokenChunkClosure) {
+  graph::ChunkGraph g;
+  auto op = std::make_shared<operators::EvalChunkOp>(
+      std::vector<operators::Assignment>{{"x", Lit(1.0)}}, nullptr,
+      std::vector<std::string>{});
+  graph::ChunkNode* a = g.AddNode(op, {});
+  graph::ChunkNode* b = g.AddNode(op, {a});
+  EXPECT_TRUE(graph::VerifyChunkClosure({a, b}, {b}).ok());
+  // Unexecuted input missing from the closure.
+  Status s = graph::VerifyChunkClosure({b}, {b});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("neither executed nor in the closure"),
+            std::string::npos);
+  // Executed nodes must not re-enter a pending closure.
+  a->executed = true;
+  s = graph::VerifyChunkClosure({a, b}, {b});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("executed"), std::string::npos);
+  // A target optimized out of the closure is an error.
+  a->executed = false;
+  s = graph::VerifyChunkClosure({a}, {a, b});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("optimized out"), std::string::npos);
+}
+
+// --- predicate pushdown ----------------------------------------------------
+
+TEST(PredicatePushdownTest, PushesFilterAndReducesBytesRead) {
+  const std::string path = WriteTestTable("pushdown");
+  auto query = [&](Config cfg, int64_t* bytes, int64_t* pushed) {
+    core::Session session(std::move(cfg));
+    auto ref = ReadParquet(&session, path);
+    auto f = ref->Filter(
+        CompareExpr(Col("a"), CmpOp::kGt, Lit(int64_t{160})));
+    auto sel = f->Select({"a", "b"});
+    DataFrame out = sel->Fetch().MoveValue();
+    *bytes = session.metrics().source_bytes_read.load();
+    *pushed = session.metrics().predicates_pushed.load();
+    return out;
+  };
+  // Baseline: pruning only. Pushdown run reads predicate columns first and
+  // skips payload columns for chunks where nothing matches (rows 0..149
+  // live in three all-miss chunks of 50).
+  Config pruned_only = SmallChunkConfig();
+  pruned_only.optimizer.tileable = {kPassColumnPruning};
+  int64_t base_bytes = 0, base_pushed = 0, push_bytes = 0, pushed = 0;
+  DataFrame base = query(std::move(pruned_only), &base_bytes, &base_pushed);
+  DataFrame opt = query(SmallChunkConfig(), &push_bytes, &pushed);
+  ExpectFramesEqual(base, opt);
+  EXPECT_EQ(base_pushed, 0);
+  EXPECT_GE(pushed, 1);
+  EXPECT_GT(base_bytes, 0);
+  EXPECT_LT(push_bytes, base_bytes);
+  std::remove(path.c_str());
+}
+
+TEST(PredicatePushdownTest, StackedFiltersCollapseIntoSource) {
+  const std::string path = WriteTestTable("stacked");
+  Config cfg = SmallChunkConfig();
+  core::Session session(std::move(cfg));
+  auto ref = ReadParquet(&session, path);
+  auto f1 = ref->Filter(CompareExpr(Col("a"), CmpOp::kGt, Lit(int64_t{20})));
+  auto f2 = f1->Filter(CompareExpr(Col("a"), CmpOp::kLt, Lit(int64_t{40})));
+  // Neither filter is the sink (a sink node must produce the user-visible
+  // result itself, so the pass refuses to bypass it).
+  auto sel = f2->Select({"a", "b"});
+  DataFrame out = sel->Fetch().MoveValue();
+  EXPECT_EQ(out.num_rows(), 19);
+  // Both predicates reached the source: two pushdown rewrites, and the
+  // chain collapsed so no Eval filter remains between source and sink.
+  EXPECT_EQ(session.metrics().predicates_pushed.load(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(PredicatePushdownTest, SharedSourceIsNotRewritten) {
+  const std::string path = WriteTestTable("shared");
+  core::Session session(Config{});
+  auto ref = ReadParquet(&session, path);
+  // Two consumers: the filter and a projection. Pushing the filter into the
+  // shared source would corrupt the sibling's rows.
+  auto f = ref->Filter(CompareExpr(Col("a"), CmpOp::kGt, Lit(int64_t{150})));
+  auto sibling = ref->Select({"b"});
+  DataFrame filtered = f->Fetch().MoveValue();
+  EXPECT_EQ(filtered.num_rows(), 49);
+  EXPECT_EQ(session.metrics().predicates_pushed.load(), 0);
+  DataFrame all = sibling->Fetch().MoveValue();
+  EXPECT_EQ(all.num_rows(), 200);
+  std::remove(path.c_str());
+}
+
+// --- chunk-level CSE -------------------------------------------------------
+
+TEST(CsePassTest, DeduplicatesIdenticalSourceReads) {
+  const std::string path = WriteTestTable("cse");
+  auto query = [&](Config cfg, int64_t* hits, int64_t* executed) {
+    core::Session session(std::move(cfg));
+    auto r1 = ReadParquet(&session, path);
+    auto r2 = ReadParquet(&session, path);
+    dataframe::MergeOptions on;
+    on.on = {"a"};
+    auto right = r2->Select({"a", "d"});
+    auto m = r1->Select({"a", "b"})->Merge(*right, on);
+    DataFrame out = m->Fetch().MoveValue();
+    *hits = session.metrics().cse_hits.load();
+    *executed = session.metrics().subtasks_executed.load();
+    return out;
+  };
+  Config no_cse = SmallChunkConfig();
+  no_cse.optimizer.chunk = {kPassOpFusion};
+  int64_t base_hits = 0, base_exec = 0, hits = 0, exec = 0;
+  DataFrame base = query(std::move(no_cse), &base_hits, &base_exec);
+  DataFrame opt = query(SmallChunkConfig(), &hits, &exec);
+  EXPECT_EQ(base_hits, 0);
+  // Both plans read the same file twice with the same pruned columns; CSE
+  // collapses the duplicate chunk reads, executing strictly fewer subtasks.
+  EXPECT_GE(hits, 1);
+  EXPECT_LT(exec, base_exec);
+  ExpectFramesEqual(base, opt);
+  std::remove(path.c_str());
+}
+
+// --- dead-node elimination -------------------------------------------------
+
+TEST(DeadNodeElimTest, AbandonedBranchIsNeitherTiledNorExecuted) {
+  const std::string path = WriteTestTable("dne");
+  core::Session session(Config{});
+  auto ref = ReadParquet(&session, path);
+  // A branch that is built but never fetched must not cost anything.
+  auto dead = ref->Assign("z", CompareExpr(Col("a"), CmpOp::kGt,
+                                           Lit(int64_t{0})));
+  auto live = ref->Select({"a"});
+  DataFrame out = live->Fetch().MoveValue();
+  EXPECT_EQ(out.num_columns(), 1);
+  EXPECT_GE(session.metrics().dead_nodes_eliminated.load(), 1);
+  EXPECT_FALSE(dead->node()->tiled);
+  // Fetching the branch later revives it (incremental Materialize).
+  DataFrame dead_out = dead->Fetch().MoveValue();
+  EXPECT_EQ(dead_out.num_rows(), 200);
+  std::remove(path.c_str());
+}
+
+// --- column pruning through the framework ----------------------------------
+
+TEST(ColumnPruningPassTest, NarrowsThroughProjectionAndRenameChain) {
+  const std::string path = WriteTestTable("chain");
+  core::Session session(Config{});
+  auto ref = ReadParquet(&session, path);
+  auto renamed = ref->Rename({{"a", "x"}});
+  auto wide = renamed->Select({"x", "b"});
+  auto narrow = wide->Select({"x"});
+  DataFrame out = narrow->Fetch().MoveValue();
+  EXPECT_EQ(out.num_columns(), 1);
+  EXPECT_EQ(out.column_name(0), "x");
+  EXPECT_EQ(out.num_rows(), 200);
+  // The requirement narrowed through the rename back to the original name.
+  auto* read = dynamic_cast<operators::ReadXpqOp*>(ref->node()->op.get());
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->pruned_columns(), (std::vector<std::string>{"a"}));
+  std::remove(path.c_str());
+}
+
+TEST(ColumnPruningPassTest, SinkNeedingFullSchemaDisablesPruning) {
+  const std::string path = WriteTestTable("fullschema");
+  core::Session session(Config{});
+  auto ref = ReadParquet(&session, path);
+  DataFrame out = ref->Fetch().MoveValue();
+  EXPECT_EQ(out.num_columns(), 4);
+  auto* read = dynamic_cast<operators::ReadXpqOp*>(ref->node()->op.get());
+  ASSERT_NE(read, nullptr);
+  EXPECT_TRUE(read->pruned_columns().empty());
+  std::remove(path.c_str());
+}
+
+TEST(ColumnPruningPassTest, ComposesWithDeadNodeElimInSpecOrder) {
+  const std::string path = WriteTestTable("dne_prune");
+  // Explicit pipeline: eliminate dead branches BEFORE planning reads, so a
+  // never-fetched consumer cannot widen the source's column set (the
+  // default order runs DNE last and would keep column d alive).
+  Config cfg;
+  cfg.optimizer.tileable = {kPassDeadNodeElim, kPassColumnPruning};
+  core::Session session(std::move(cfg));
+  auto ref = ReadParquet(&session, path);
+  auto dead = ref->Select({"d"});
+  auto live = ref->Select({"a"});
+  DataFrame out = live->Fetch().MoveValue();
+  EXPECT_EQ(out.num_columns(), 1);
+  auto* read = dynamic_cast<operators::ReadXpqOp*>(ref->node()->op.get());
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->pruned_columns(), (std::vector<std::string>{"a"}));
+  // Reviving the dead branch widens the plan and still works.
+  DataFrame dead_out = dead->Fetch().MoveValue();
+  EXPECT_EQ(dead_out.num_columns(), 1);
+  EXPECT_EQ(dead_out.column_name(0), "d");
+  std::remove(path.c_str());
+}
+
+// --- run report ------------------------------------------------------------
+
+TEST(PassReportTest, RunReportListsPassesInPipelineOrder) {
+  const std::string path = WriteTestTable("report");
+  Tracer tracer;
+  {
+    Config cfg;
+    cfg.trace.sink = &tracer;
+    core::Session session(std::move(cfg));
+    auto ref = ReadParquet(&session, path);
+    auto f = ref->Filter(CompareExpr(Col("a"), CmpOp::kGt, Lit(int64_t{10})));
+    ASSERT_TRUE(f->Fetch().ok());
+  }
+  const auto pids = tracer.process_ids();
+  ASSERT_EQ(pids.size(), 1u);
+  const std::string report = tracer.RenderRunReport(pids[0]);
+  ASSERT_NE(report.find("optimizer passes"), std::string::npos);
+  // Tileable slots precede chunk slots precede subtask slots.
+  const size_t t0 = report.find("t0_predicate_pushdown");
+  const size_t c0 = report.find("c0_op_fusion");
+  const size_t s0 = report.find("s0_graph_fusion");
+  ASSERT_NE(t0, std::string::npos);
+  ASSERT_NE(c0, std::string::npos);
+  ASSERT_NE(s0, std::string::npos);
+  EXPECT_LT(t0, c0);
+  EXPECT_LT(c0, s0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xorbits::optimizer
