@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -50,6 +51,26 @@ DataFrame MakeFrame(int64_t n, int64_t cardinality) {
   return DataFrame::Make({"k", "v", "x"},
                          {Column::Int64(k), Column::Int64(v),
                           Column::Float64(x)})
+      .MoveValue();
+}
+
+/// String-keyed variant of MakeFrame; `encoded` selects the dictionary
+/// representation of the key column (values identical either way).
+DataFrame MakeStringFrame(int64_t n, int64_t cardinality, bool encoded) {
+  Rng rng(11);
+  std::vector<std::string> k(n);
+  std::vector<int64_t> v(n);
+  std::vector<double> x(n);
+  for (int64_t i = 0; i < n; ++i) {
+    k[i] = "key_" + std::to_string(rng.UniformInt(0, cardinality - 1));
+    v[i] = i;
+    x[i] = rng.Uniform();
+  }
+  Column kc = Column::String(std::move(k));
+  if (encoded) kc = kc.DictEncode();
+  return DataFrame::Make({"k", "v", "x"},
+                         {std::move(kc), Column::Int64(std::move(v)),
+                          Column::Float64(std::move(x))})
       .MoveValue();
 }
 
@@ -232,6 +253,10 @@ SweepSample MeasureKernel(int threads, const std::function<void()>& run,
   ThreadPool* prev = SetCurrentThreadPool(&pool);
   SweepSample best;
   best.threads = threads;
+  // Untimed warmup: the first run after a frame is built pays allocator
+  // growth and page-fault costs that belong to the process, not the
+  // kernel; without it the first thread count measured eats them all.
+  run();
   for (int rep = 0; rep < 3; ++rep) {
     SweepSample s;
     s.threads = threads;
@@ -265,6 +290,10 @@ struct KernelSpec {
   int64_t rows;
   std::function<void()> run;
   std::function<std::string()> fingerprint;
+  /// Optional serial reference over plain (un-encoded) inputs; when set,
+  /// the sweep also asserts every checksum matches it — dictionary
+  /// encoding must be invisible in the output bytes.
+  std::function<std::string()> plain_run;
 };
 
 // ---------------------------------------------------------------------------
@@ -541,12 +570,24 @@ void WriteOptimizerJson(FILE* f) {
   std::remove(path.c_str());
 }
 
-void WriteKernelSweepJson(const char* path) {
-  const int64_t kRows = 400000;
+/// Returns true when every kernel produced byte-identical checksums at all
+/// thread counts and (for the string-keyed kernels) across encodings.
+bool WriteKernelSweepJson(const char* path, int64_t kRows) {
   DataFrame gb_df = MakeFrame(kRows, 500);
   DataFrame join_left = MakeFrame(kRows, 2000);
   DataFrame join_right = MakeFrame(2000, 2000);
   DataFrame sort_df = MakeFrame(kRows, 10000);
+  // String-keyed workloads for the dictionary paths. The join right side is
+  // large enough (> the 16k radix threshold) that the build partitions.
+  const int64_t kJoinBuildRows = std::max<int64_t>(kRows / 8, 20000);
+  DataFrame sgb_enc = MakeStringFrame(kRows, 500, /*encoded=*/true);
+  DataFrame sgb_plain = MakeStringFrame(kRows, 500, /*encoded=*/false);
+  DataFrame sj_left_enc = MakeStringFrame(kRows, 40000, /*encoded=*/true);
+  DataFrame sj_left_plain = MakeStringFrame(kRows, 40000, /*encoded=*/false);
+  DataFrame sj_right_enc =
+      MakeStringFrame(kJoinBuildRows, 40000, /*encoded=*/true);
+  DataFrame sj_right_plain =
+      MakeStringFrame(kJoinBuildRows, 40000, /*encoded=*/false);
   Rng rng(13);
   tensor::NDArray mm_a = tensor::NDArray::RandomNormal({288, 288}, rng);
   tensor::NDArray mm_b = tensor::NDArray::RandomNormal({288, 288}, rng);
@@ -586,12 +627,40 @@ void WriteKernelSweepJson(const char* path) {
              reinterpret_cast<const char*>(mm_out->data().data()),
              mm_out->data().size() * sizeof(double));
        }},
+      {"dict_groupby", kRows,
+       [&, df_out] {
+         *df_out = dataframe::GroupByAgg(sgb_enc, {"k"},
+                                         {{"v", AggFunc::kSum, "s"},
+                                          {"x", AggFunc::kMean, "m"},
+                                          {"x", AggFunc::kVar, "var"}})
+                       .ValueOrDie();
+       },
+       df_fingerprint,
+       [&] {
+         return FingerprintFrame(
+             dataframe::GroupByAgg(sgb_plain, {"k"},
+                                   {{"v", AggFunc::kSum, "s"},
+                                    {"x", AggFunc::kMean, "m"},
+                                    {"x", AggFunc::kVar, "var"}})
+                 .ValueOrDie());
+       }},
+      {"radix_join", kRows,
+       [&, df_out] {
+         *df_out = dataframe::Merge(sj_left_enc, sj_right_enc, join_opts)
+                       .ValueOrDie();
+       },
+       df_fingerprint,
+       [&] {
+         return FingerprintFrame(
+             dataframe::Merge(sj_left_plain, sj_right_plain, join_opts)
+                 .ValueOrDie());
+       }},
   };
 
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
-    return;
+    return false;
   }
   std::fprintf(f, "{\n  \"bench\": \"kernel_thread_sweep\",\n");
   std::fprintf(f,
@@ -599,6 +668,7 @@ void WriteKernelSweepJson(const char* path) {
                "the executor applies the same division to simulated_us\",\n");
   std::fprintf(f, "  \"kernels\": [\n");
   bool first_kernel = true;
+  bool all_identical = true;
   for (const KernelSpec& k : kernels) {
     std::printf("sweep %s ...\n", k.name);
     std::vector<SweepSample> sweep;
@@ -610,12 +680,26 @@ void WriteKernelSweepJson(const char* path) {
     for (const SweepSample& s : sweep) {
       identical = identical && s.checksum == sweep.front().checksum;
     }
+    bool matches_plain = true;
+    if (k.plain_run) {
+      ThreadPool* prev = SetCurrentThreadPool(nullptr);  // serial reference
+      matches_plain =
+          std::hash<std::string>{}(k.plain_run()) == sweep.front().checksum;
+      SetCurrentThreadPool(prev);
+      if (!matches_plain) {
+        std::fprintf(stderr, "%s: encoded/plain checksum mismatch!\n",
+                     k.name);
+      }
+    }
+    all_identical = all_identical && identical && matches_plain;
     if (!first_kernel) std::fprintf(f, ",\n");
     first_kernel = false;
     std::fprintf(f,
                  "    {\"kernel\": \"%s\", \"rows\": %" PRId64
-                 ", \"identical_outputs\": %s, \"sweep\": [\n",
-                 k.name, k.rows, identical ? "true" : "false");
+                 ", \"identical_outputs\": %s, \"matches_plain\": %s"
+                 ", \"sweep\": [\n",
+                 k.name, k.rows, identical ? "true" : "false",
+                 matches_plain ? "true" : "false");
     for (size_t i = 0; i < sweep.size(); ++i) {
       const SweepSample& s = sweep[i];
       const double speedup = s.modeled_us > 0 ? base / s.modeled_us : 0.0;
@@ -643,21 +727,34 @@ void WriteKernelSweepJson(const char* path) {
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
+  return all_identical;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Consume --trace-out before google-benchmark sees (and rejects) it.
+  // Consume --trace-out and --smoke before google-benchmark sees (and
+  // rejects) them.
   xorbits::bench::InitTrace(argc, argv);
+  bool smoke = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--trace-out=", 0) != 0) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    } else if (std::string(argv[i]).rfind("--trace-out=", 0) != 0) {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
-  WriteKernelSweepJson("BENCH_kernels.json");
+  if (smoke) {
+    // CI gate: small rows, sweep every kernel, and fail the process when
+    // any checksum differs across thread counts or between the
+    // dictionary-encoded and plain runs of the string-keyed kernels.
+    const bool ok = WriteKernelSweepJson("/tmp/bench_smoke.json", 40000);
+    std::printf("bench smoke: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
+  WriteKernelSweepJson("BENCH_kernels.json", 400000);
   // The kernel sweep itself runs no sessions; when tracing was requested,
   // run one small traced pipeline so the exported trace has content.
   if (xorbits::bench::BenchTrace::Get().tracer) {

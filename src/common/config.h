@@ -82,6 +82,13 @@ struct Config {
   bool enable_spill = false;
   std::string spill_dir = "/tmp/xorbits_spill";
 
+  // --- physical encoding ---
+  /// Dictionary-encode string columns at xparquet read time (int32 codes
+  /// over a shared deduplicated dictionary). Keyed kernels (groupby, join,
+  /// shuffle partitioning) and string predicates then work on codes; the
+  /// encoding never changes results — fetched frames decode on the way out.
+  bool dict_encode = true;
+
   // --- tiling ---
   bool dynamic_tiling = true;
   /// Upper bound for one chunk's payload; auto merge concatenates chunks and

@@ -1,0 +1,10 @@
+#include "common/kernel_stats.h"
+
+namespace xorbits::common {
+
+KernelStats& KernelStats::Get() {
+  static KernelStats stats;
+  return stats;
+}
+
+}  // namespace xorbits::common

@@ -1,0 +1,36 @@
+#ifndef XORBITS_COMMON_KERNEL_STATS_H_
+#define XORBITS_COMMON_KERNEL_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace xorbits::common {
+
+/// Process-global counters for the dictionary-encoding and radix-join
+/// kernel paths. Like BufferStats they live below Metrics/Session (the
+/// dataframe kernels have no session handle), so they are global and
+/// `Metrics::Snapshot` surfaces them as gauges. All updates are relaxed
+/// atomics — the totals are monotone and ordering is irrelevant.
+struct KernelStats {
+  /// String columns materialized in dictionary encoding (at xparquet read
+  /// time or by an explicit DictEncode).
+  std::atomic<int64_t> dict_encoded_columns{0};
+  /// Dictionary columns a kernel had to decode back to plain strings
+  /// because it has no dictionary fast path (the fallback rule of
+  /// DESIGN.md §7; a rising count flags a kernel worth teaching codes).
+  std::atomic<int64_t> dict_fallback_decodes{0};
+  /// Radix partitions built across all hash joins (1 per join when the
+  /// build side is small; more as the build side grows).
+  std::atomic<int64_t> join_radix_partitions{0};
+
+  static KernelStats& Get();
+  void Reset() {
+    dict_encoded_columns.store(0, std::memory_order_relaxed);
+    dict_fallback_decodes.store(0, std::memory_order_relaxed);
+    join_radix_partitions.store(0, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace xorbits::common
+
+#endif  // XORBITS_COMMON_KERNEL_STATS_H_

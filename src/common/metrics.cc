@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/buffer.h"
+#include "common/kernel_stats.h"
 #include "common/trace_names.h"
 
 namespace xorbits {
@@ -213,6 +214,18 @@ MetricsSnapshot Metrics::Snapshot() const {
                         bs.copies_avoided.load(std::memory_order_relaxed));
   s.gauges.emplace_back(trace::kGaugeBufferCowCopies,
                         bs.cow_copies.load(std::memory_order_relaxed));
+  // Same arrangement for the dictionary/radix kernel counters: global
+  // because the kernels run below the session, surfaced here as gauges.
+  const auto& ks = common::KernelStats::Get();
+  s.gauges.emplace_back(
+      trace::kGaugeDictEncodedColumns,
+      ks.dict_encoded_columns.load(std::memory_order_relaxed));
+  s.gauges.emplace_back(
+      trace::kGaugeDictFallbackDecodes,
+      ks.dict_fallback_decodes.load(std::memory_order_relaxed));
+  s.gauges.emplace_back(
+      trace::kGaugeJoinRadixPartitions,
+      ks.join_radix_partitions.load(std::memory_order_relaxed));
   std::sort(s.gauges.begin(), s.gauges.end());
   s.histograms = registry.SnapshotHistogramsLocked();
   return s;

@@ -83,9 +83,25 @@ Result<dataframe::DataFrame> Session::FetchDataFrame(
                              services::AsDataFrame(c));
     pieces.push_back(df);
   }
-  if (pieces.empty()) return dataframe::DataFrame();
-  if (pieces.size() == 1) return *pieces[0];
-  return dataframe::Concat(pieces);
+  dataframe::DataFrame out;
+  if (pieces.empty()) {
+    return out;
+  } else if (pieces.size() == 1) {
+    out = *pieces[0];
+  } else {
+    XORBITS_ASSIGN_OR_RETURN(out, dataframe::Concat(pieces));
+  }
+  // Fetched frames cross back into user code, which expects plain strings:
+  // late-decode dictionary columns here, once, at the session boundary.
+  // (Deliberately DictDecode, not DecodedFallback — leaving the engine is
+  // the planned exit, not a kernel missing a fast path.)
+  for (int i = 0; i < out.num_columns(); ++i) {
+    if (out.column(i).is_dict()) {
+      XORBITS_RETURN_NOT_OK(
+          out.SetColumn(out.column_name(i), out.column(i).DictDecode()));
+    }
+  }
+  return out;
 }
 
 Result<tensor::NDArray> Session::FetchTensor(graph::TileableNode* node) {

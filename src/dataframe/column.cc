@@ -4,6 +4,7 @@
 #include <cstring>
 #include <optional>
 
+#include "common/kernel_stats.h"
 #include "common/thread_pool.h"
 
 namespace xorbits::dataframe {
@@ -13,10 +14,10 @@ namespace {
 using common::BufferView;
 
 template <typename View>
-std::vector<typename View::value_type> TakeVec(
-    const View& v, const std::vector<int64_t>& indices) {
+std::vector<typename View::value_type> TakeVec(const View& v,
+                                              const int64_t* indices,
+                                              int64_t n) {
   using T = typename View::value_type;
-  const int64_t n = static_cast<int64_t>(indices.size());
   std::vector<T> out(n);
   const T* src = v.data();
   ParallelFor(0, n, 16384, [&](int64_t lo, int64_t hi) {
@@ -25,24 +26,45 @@ std::vector<typename View::value_type> TakeVec(
   return out;
 }
 
+/// Two-pass parallel filter: count survivors per morsel, prefix-sum the
+/// counts serially (morsel order), then scatter each morsel's survivors to
+/// its precomputed offset. Both passes are tight branch-light loops over
+/// raw pointers; output order equals the serial push_back order at any
+/// thread count because the decomposition depends only on (n, grain).
 template <typename View>
 std::vector<typename View::value_type> FilterVec(
     const View& v, const std::vector<uint8_t>& mask) {
-  std::vector<typename View::value_type> out;
-  for (size_t i = 0; i < v.size(); ++i) {
-    if (mask[i]) out.push_back(v[i]);
-  }
+  using T = typename View::value_type;
+  const int64_t n = v.ssize();
+  const int64_t grain = 16384;
+  const int64_t morsels = NumMorsels(0, n, grain);
+  const uint8_t* m = mask.data();
+  const T* src = v.data();
+  std::vector<int64_t> offsets(morsels + 1, 0);
+  ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+    int64_t c = 0;
+    for (int64_t i = lo; i < hi; ++i) c += (m[i] != 0);
+    offsets[lo / grain + 1] = c;
+  });
+  for (int64_t i = 0; i < morsels; ++i) offsets[i + 1] += offsets[i];
+  std::vector<T> out(offsets[morsels]);
+  ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+    int64_t o = offsets[lo / grain];
+    for (int64_t i = lo; i < hi; ++i) {
+      if (m[i]) out[o++] = src[i];
+    }
+  });
   return out;
 }
 
 /// True when `indices` is the contiguous ascending run indices[0]..+n-1,
 /// which lets Take degenerate to an O(1) Slice. Bails at the first break,
 /// so random index lists pay almost nothing for the probe.
-bool IsContiguousRun(const std::vector<int64_t>& indices) {
-  for (size_t i = 1; i < indices.size(); ++i) {
-    if (indices[i] != indices[0] + static_cast<int64_t>(i)) return false;
+bool IsContiguousRun(const int64_t* indices, int64_t n) {
+  for (int64_t i = 1; i < n; ++i) {
+    if (indices[i] != indices[0] + i) return false;
   }
-  return !indices.empty();
+  return n > 0;
 }
 
 /// Zero-copy Concat probe: when every non-empty piece is a window of one
@@ -131,6 +153,14 @@ Column Column::BoolFromView(BufferView<uint8_t> values,
   return Column(DType::kBool, std::move(values), std::move(validity));
 }
 
+Column Column::Dictionary(BufferView<int32_t> codes, StringDictPtr dict,
+                          BufferView<uint8_t> validity) {
+  assert(dict != nullptr);
+  Column c(DType::kString, std::move(codes), std::move(validity));
+  c.dict_ = std::move(dict);
+  return c;
+}
+
 Column Column::Nulls(DType dtype, int64_t length) {
   std::vector<uint8_t> validity(length, 0);
   switch (dtype) {
@@ -174,14 +204,19 @@ int64_t Column::null_count() const {
 }
 
 int64_t Column::nbytes() const {
+  int64_t cached = nbytes_cache_.load(std::memory_order_relaxed);
+  if (cached >= 0) return cached;
   int64_t bytes = validity_.ssize();
   bytes += std::visit([](const auto& v) { return v.view_nbytes(); }, data_);
+  if (dict_) bytes += dict_->values().view_nbytes();
+  nbytes_cache_.store(bytes, std::memory_order_relaxed);
   return bytes;
 }
 
 void Column::AppendBufferRefs(std::vector<common::BufferRef>* out) const {
   std::visit([&](const auto& v) { v.AppendRef(out); }, data_);
   validity_.AppendRef(out);
+  if (dict_) dict_->values().AppendRef(out);
 }
 
 const BufferView<int64_t>& Column::int64_data() const {
@@ -193,28 +228,77 @@ const BufferView<double>& Column::float64_data() const {
   return std::get<BufferView<double>>(data_);
 }
 const BufferView<std::string>& Column::string_data() const {
-  assert(dtype_ == DType::kString);
+  assert(dtype_ == DType::kString && !is_dict());
   return std::get<BufferView<std::string>>(data_);
 }
 const BufferView<uint8_t>& Column::bool_data() const {
   assert(dtype_ == DType::kBool);
   return std::get<BufferView<uint8_t>>(data_);
 }
+const BufferView<int32_t>& Column::dict_codes() const {
+  assert(is_dict());
+  return std::get<BufferView<int32_t>>(data_);
+}
 std::vector<int64_t>& Column::mutable_int64_data() {
   assert(dtype_ == DType::kInt64);
+  InvalidateNbytes();
   return std::get<BufferView<int64_t>>(data_).MutableVec();
 }
 std::vector<double>& Column::mutable_float64_data() {
   assert(dtype_ == DType::kFloat64);
+  InvalidateNbytes();
   return std::get<BufferView<double>>(data_).MutableVec();
 }
 std::vector<std::string>& Column::mutable_string_data() {
-  assert(dtype_ == DType::kString);
+  assert(dtype_ == DType::kString && !is_dict());
+  InvalidateNbytes();
   return std::get<BufferView<std::string>>(data_).MutableVec();
 }
 std::vector<uint8_t>& Column::mutable_bool_data() {
   assert(dtype_ == DType::kBool);
+  InvalidateNbytes();
   return std::get<BufferView<uint8_t>>(data_).MutableVec();
+}
+std::vector<int32_t>& Column::mutable_dict_codes() {
+  assert(is_dict());
+  InvalidateNbytes();
+  return std::get<BufferView<int32_t>>(data_).MutableVec();
+}
+
+Column Column::DictEncode() const {
+  if (dtype_ != DType::kString || is_dict()) return *this;
+  const BufferView<std::string>& vals = string_data();
+  const int64_t n = vals.ssize();
+  DictBuilder builder;
+  std::vector<int32_t> codes(n, 0);
+  for (int64_t i = 0; i < n; ++i) {
+    if (IsValid(i)) codes[i] = builder.GetOrAdd(vals[i]);
+  }
+  common::KernelStats::Get().dict_encoded_columns.fetch_add(
+      1, std::memory_order_relaxed);
+  return Dictionary(BufferView<int32_t>(std::move(codes)), builder.Finish(),
+                    validity_);
+}
+
+Column Column::DictDecode() const {
+  if (!is_dict()) return *this;
+  const BufferView<int32_t>& codes = dict_codes();
+  const int64_t n = codes.ssize();
+  std::vector<std::string> out(n);
+  const int32_t* c = codes.data();
+  ParallelFor(0, n, 16384, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      if (IsValid(i)) out[i] = dict_->value(c[i]);
+    }
+  });
+  return String(std::move(out), validity_);
+}
+
+Column Column::DecodedFallback() const {
+  if (!is_dict()) return *this;
+  common::KernelStats::Get().dict_fallback_decodes.fetch_add(
+      1, std::memory_order_relaxed);
+  return DictDecode();
 }
 
 Scalar Column::GetScalar(int64_t i) const {
@@ -222,7 +306,7 @@ Scalar Column::GetScalar(int64_t i) const {
   switch (dtype_) {
     case DType::kInt64: return Scalar::Int(int64_data()[i]);
     case DType::kFloat64: return Scalar::Float(float64_data()[i]);
-    case DType::kString: return Scalar::Str(string_data()[i]);
+    case DType::kString: return Scalar::Str(string_at(i));
     case DType::kBool: return Scalar::Bool(bool_data()[i] != 0);
   }
   return Scalar::Null();
@@ -239,27 +323,36 @@ double Column::GetDouble(int64_t i) const {
 }
 
 Column Column::Take(const std::vector<int64_t>& indices) const {
-  if (IsContiguousRun(indices)) {
-    return Slice(indices[0], static_cast<int64_t>(indices.size()));
+  return Take(indices.data(), static_cast<int64_t>(indices.size()));
+}
+
+Column Column::Take(const int64_t* indices, int64_t n) const {
+  if (IsContiguousRun(indices, n)) {
+    return Slice(indices[0], n);
   }
   BufferView<uint8_t> validity;
   if (has_validity()) {
-    validity = BufferView<uint8_t>(TakeVec(validity_, indices));
+    validity = BufferView<uint8_t>(TakeVec(validity_, indices, n));
+  }
+  if (is_dict()) {
+    return Dictionary(BufferView<int32_t>(TakeVec(dict_codes(), indices, n)),
+                      dict_, std::move(validity));
   }
   switch (dtype_) {
     case DType::kInt64:
-      return FromView(BufferView<int64_t>(TakeVec(int64_data(), indices)),
+      return FromView(BufferView<int64_t>(TakeVec(int64_data(), indices, n)),
                       std::move(validity));
     case DType::kFloat64:
-      return FromView(BufferView<double>(TakeVec(float64_data(), indices)),
+      return FromView(BufferView<double>(TakeVec(float64_data(), indices, n)),
                       std::move(validity));
     case DType::kString:
       return FromView(
-          BufferView<std::string>(TakeVec(string_data(), indices)),
+          BufferView<std::string>(TakeVec(string_data(), indices, n)),
           std::move(validity));
     case DType::kBool:
-      return BoolFromView(BufferView<uint8_t>(TakeVec(bool_data(), indices)),
-                          std::move(validity));
+      return BoolFromView(
+          BufferView<uint8_t>(TakeVec(bool_data(), indices, n)),
+          std::move(validity));
   }
   return Column();
 }
@@ -268,6 +361,10 @@ Column Column::Filter(const std::vector<uint8_t>& mask) const {
   BufferView<uint8_t> validity;
   if (has_validity()) {
     validity = BufferView<uint8_t>(FilterVec(validity_, mask));
+  }
+  if (is_dict()) {
+    return Dictionary(BufferView<int32_t>(FilterVec(dict_codes(), mask)),
+                      dict_, std::move(validity));
   }
   switch (dtype_) {
     case DType::kInt64:
@@ -293,7 +390,9 @@ Column Column::Slice(int64_t offset, int64_t count) const {
   Storage data =
       std::visit([&](const auto& v) { return Storage(v.Slice(offset, count)); },
                  data_);
-  return Column(dtype_, std::move(data), std::move(validity));
+  Column out(dtype_, std::move(data), std::move(validity));
+  out.dict_ = dict_;
+  return out;
 }
 
 Result<Column> Column::CastTo(DType target) const {
@@ -319,12 +418,109 @@ Result<Column> Column::CastTo(DType target) const {
                            " not supported");
 }
 
+namespace {
+
+/// Dictionary-aware string Concat. All pieces over one shared dictionary:
+/// concatenate the int32 codes (zero-copy when adjacent). Mixed
+/// dictionaries: unify into one dictionary in piece-then-code order and
+/// remap each piece through a small per-piece table. Any plain piece:
+/// decode everything (counted as a fallback) and concatenate strings.
+Result<Column> ConcatStrings(const std::vector<const Column*>& pieces,
+                             common::BufferView<uint8_t> validity,
+                             int64_t total) {
+  bool all_dict = true;
+  bool any_dict = false;
+  const StringDict* first_dict = nullptr;
+  bool same_dict = true;
+  for (const Column* c : pieces) {
+    if (c->is_dict()) {
+      any_dict = true;
+      if (first_dict == nullptr) {
+        first_dict = c->dict().get();
+      } else if (!first_dict->SameAs(*c->dict())) {
+        same_dict = false;
+      }
+    } else if (c->length() > 0) {
+      all_dict = false;
+    }
+  }
+  if (any_dict && all_dict && same_dict && first_dict != nullptr) {
+    StringDictPtr dict;
+    for (const Column* c : pieces) {
+      if (c->is_dict()) {
+        dict = c->dict();
+        break;
+      }
+    }
+    std::optional<BufferView<int32_t>> shared = TryAdjacentConcat<int32_t>(
+        pieces,
+        [](const Column& c) -> const BufferView<int32_t>& {
+          static const BufferView<int32_t> kEmpty;
+          return c.is_dict() ? c.dict_codes() : kEmpty;
+        },
+        total);
+    if (shared.has_value()) {
+      return Column::Dictionary(std::move(*shared), std::move(dict),
+                                std::move(validity));
+    }
+    std::vector<int32_t> codes;
+    codes.reserve(total);
+    for (const Column* c : pieces) {
+      if (c->length() == 0) continue;
+      const auto& v = c->dict_codes();
+      codes.insert(codes.end(), v.begin(), v.end());
+    }
+    return Column::Dictionary(BufferView<int32_t>(std::move(codes)),
+                              std::move(dict), std::move(validity));
+  }
+  if (any_dict && all_dict) {
+    // Different dictionaries: unify (first-seen across pieces) and remap.
+    DictBuilder builder;
+    std::vector<int32_t> codes;
+    codes.reserve(total);
+    for (const Column* c : pieces) {
+      if (c->length() == 0) continue;
+      const StringDict& d = *c->dict();
+      std::vector<int32_t> remap(d.size());
+      for (int64_t k = 0; k < d.size(); ++k) {
+        remap[k] = builder.GetOrAdd(d.value(static_cast<int32_t>(k)));
+      }
+      for (int32_t code : c->dict_codes()) codes.push_back(remap[code]);
+    }
+    return Column::Dictionary(BufferView<int32_t>(std::move(codes)),
+                              builder.Finish(), std::move(validity));
+  }
+  // Mixed plain/dictionary: fall back to plain strings.
+  std::vector<std::string> out;
+  out.reserve(total);
+  for (const Column* c : pieces) {
+    const int64_t n = c->length();
+    if (n == 0) continue;
+    if (c->is_dict()) {
+      common::KernelStats::Get().dict_fallback_decodes.fetch_add(
+          1, std::memory_order_relaxed);
+      const auto& codes = c->dict_codes();
+      for (int64_t i = 0; i < n; ++i) {
+        out.push_back(c->IsValid(i) ? c->dict()->value(codes[i])
+                                    : std::string());
+      }
+    } else {
+      const auto& v = c->string_data();
+      out.insert(out.end(), v.begin(), v.end());
+    }
+  }
+  return Column::String(std::move(out), std::move(validity));
+}
+
+}  // namespace
+
 Result<Column> Column::Concat(const std::vector<const Column*>& pieces) {
   if (pieces.empty()) return Status::Invalid("Concat of zero columns");
   const DType dtype = pieces[0]->dtype();
   int64_t total = 0;
   bool any_validity = false;
   bool all_validity = true;
+  bool any_dict = false;
   for (const Column* c : pieces) {
     if (c->dtype() != dtype) {
       return Status::TypeError("Concat dtype mismatch: " +
@@ -333,6 +529,7 @@ Result<Column> Column::Concat(const std::vector<const Column*>& pieces) {
     }
     total += c->length();
     any_validity |= c->has_validity();
+    any_dict |= c->is_dict();
     if (c->length() > 0 && !c->has_validity()) all_validity = false;
   }
   BufferView<uint8_t> validity;
@@ -358,6 +555,9 @@ Result<Column> Column::Concat(const std::vector<const Column*>& pieces) {
       }
       validity = BufferView<uint8_t>(std::move(merged));
     }
+  }
+  if (dtype == DType::kString && any_dict) {
+    return ConcatStrings(pieces, std::move(validity), total);
   }
   auto concat_typed = [&](auto getter) {
     using T = typename std::remove_cvref_t<
@@ -418,7 +618,7 @@ void Column::AppendKeyBytes(int64_t i, std::string* out) const {
     }
     case DType::kString: {
       out->push_back('\3');
-      const std::string& s = string_data()[i];
+      const std::string& s = string_at(i);
       uint32_t len = static_cast<uint32_t>(s.size());
       out->append(reinterpret_cast<const char*>(&len), sizeof(len));
       out->append(s);

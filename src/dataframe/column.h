@@ -1,7 +1,9 @@
 #ifndef XORBITS_DATAFRAME_COLUMN_H_
 #define XORBITS_DATAFRAME_COLUMN_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -9,6 +11,7 @@
 #include "common/buffer.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "dataframe/dict.h"
 #include "dataframe/dtype.h"
 #include "dataframe/scalar.h"
 
@@ -22,9 +25,48 @@ namespace xorbits::dataframe {
 /// window over the same buffer, and the `mutable_*` accessors make a
 /// private copy only when the buffer is actually shared. An empty
 /// `validity` means all values are valid.
+///
+/// String columns come in two physical encodings under the one logical
+/// dtype kString: plain (`BufferView<std::string>`) and dictionary
+/// (`BufferView<int32_t>` codes over a shared, deduplicated StringDict).
+/// Value-level APIs (GetScalar, AppendKeyBytes, string_at, Take/Filter/
+/// Slice/Concat) behave identically for both, so kernels that only read
+/// values never notice the encoding; kernels with a fast path branch on
+/// `is_dict()` and work on the int32 codes directly.
 class Column {
  public:
   Column() : dtype_(DType::kInt64) {}
+
+  Column(const Column& o)
+      : dtype_(o.dtype_),
+        data_(o.data_),
+        validity_(o.validity_),
+        dict_(o.dict_),
+        nbytes_cache_(o.nbytes_cache_.load(std::memory_order_relaxed)) {}
+  Column(Column&& o) noexcept
+      : dtype_(o.dtype_),
+        data_(std::move(o.data_)),
+        validity_(std::move(o.validity_)),
+        dict_(std::move(o.dict_)),
+        nbytes_cache_(o.nbytes_cache_.load(std::memory_order_relaxed)) {}
+  Column& operator=(const Column& o) {
+    dtype_ = o.dtype_;
+    data_ = o.data_;
+    validity_ = o.validity_;
+    dict_ = o.dict_;
+    nbytes_cache_.store(o.nbytes_cache_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    return *this;
+  }
+  Column& operator=(Column&& o) noexcept {
+    dtype_ = o.dtype_;
+    data_ = std::move(o.data_);
+    validity_ = std::move(o.validity_);
+    dict_ = std::move(o.dict_);
+    nbytes_cache_.store(o.nbytes_cache_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    return *this;
+  }
 
   static Column Int64(std::vector<int64_t> values,
                       std::vector<uint8_t> validity = {});
@@ -57,6 +99,13 @@ class Column {
   static Column BoolFromView(common::BufferView<uint8_t> values,
                              common::BufferView<uint8_t> validity = {});
 
+  /// Dictionary-encoded string column: int32 codes over a shared dict.
+  /// Codes of null rows are 0 by convention (never read). dtype() is
+  /// kString — the encoding is physical, not logical.
+  static Column Dictionary(common::BufferView<int32_t> codes,
+                           StringDictPtr dict,
+                           common::BufferView<uint8_t> validity = {});
+
   /// An all-null column of `length` with the given dtype.
   static Column Nulls(DType dtype, int64_t length);
 
@@ -73,13 +122,18 @@ class Column {
   bool IsNull(int64_t i) const { return !IsValid(i); }
   int64_t null_count() const;
 
-  /// In-memory payload size in bytes (validity + values; strings measured).
+  /// In-memory payload size in bytes (validity + values; strings measured,
+  /// dictionary columns count codes + dictionary). Cached: the first call
+  /// walks string payloads, later calls return the cached total. Mutating
+  /// through a `mutable_*` reference held across an nbytes() call would
+  /// leave the cache stale — mutate first, measure after.
   int64_t nbytes() const;
 
   // Typed accessors; dtype must match. The const accessors return the
   // shared view (vector-shaped: data()/size()/operator[]/iteration); the
   // mutable accessors unshare first (copy-on-write) and hand back the
-  // private backing vector.
+  // private backing vector. string_data requires a plain (non-dictionary)
+  // string column — encoding-agnostic readers use string_at instead.
   const common::BufferView<int64_t>& int64_data() const;
   const common::BufferView<double>& float64_data() const;
   const common::BufferView<std::string>& string_data() const;
@@ -89,10 +143,36 @@ class Column {
   std::vector<std::string>& mutable_string_data();
   std::vector<uint8_t>& mutable_bool_data();
   const common::BufferView<uint8_t>& validity() const { return validity_; }
-  std::vector<uint8_t>& mutable_validity() { return validity_.MutableVec(); }
+  std::vector<uint8_t>& mutable_validity() {
+    InvalidateNbytes();
+    return validity_.MutableVec();
+  }
 
-  /// Appends every underlying buffer of this column (values + validity) to
-  /// `out`; storage dedups by buffer id to count shared payloads once.
+  // --- dictionary encoding ---
+  bool is_dict() const { return dict_ != nullptr; }
+  const StringDictPtr& dict() const { return dict_; }
+  const common::BufferView<int32_t>& dict_codes() const;
+  std::vector<int32_t>& mutable_dict_codes();
+
+  /// String value at row `i` for either encoding; row must be valid.
+  const std::string& string_at(int64_t i) const {
+    return dict_ ? dict_->value(dict_codes()[i]) : string_data()[i];
+  }
+
+  /// Plain string column -> dictionary encoding (first-seen value order);
+  /// already-dict columns and non-string dtypes return unchanged.
+  Column DictEncode() const;
+
+  /// Dictionary column -> plain strings; others return unchanged.
+  Column DictDecode() const;
+
+  /// DictDecode that also counts a dictionary fallback (a kernel with no
+  /// code-level fast path had to materialize the strings).
+  Column DecodedFallback() const;
+
+  /// Appends every underlying buffer of this column (values + validity +
+  /// dictionary) to `out`; storage dedups by buffer id so a dictionary
+  /// shared by many columns is charged once per band.
   void AppendBufferRefs(std::vector<common::BufferRef>* out) const;
 
   /// Value at row `i` as a Scalar (Null if invalid).
@@ -104,6 +184,9 @@ class Column {
   /// Rows selected by position; each index must be in range. A contiguous
   /// ascending run degenerates to an O(1) Slice (no value-data copy).
   Column Take(const std::vector<int64_t>& indices) const;
+  /// Pointer form, for callers (join assembly) whose index arrays live in
+  /// raw uninitialized storage rather than a zero-initialized vector.
+  Column Take(const int64_t* indices, int64_t n) const;
 
   /// Rows where mask[i] != 0; mask length must equal column length.
   Column Filter(const std::vector<uint8_t>& mask) const;
@@ -115,11 +198,14 @@ class Column {
   Result<Column> CastTo(DType target) const;
 
   /// Concatenates same-dtype columns. Adjacent windows of one shared buffer
-  /// (the split-then-reassemble pattern) concatenate zero-copy.
+  /// (the split-then-reassemble pattern) concatenate zero-copy; dictionary
+  /// pieces over one shared dictionary concatenate their codes, pieces over
+  /// different dictionaries unify them (first-seen order) and remap.
   static Result<Column> Concat(const std::vector<const Column*>& pieces);
 
   /// Appends a type-tagged binary encoding of row `i` to `out`; identical
-  /// values produce identical bytes, so this is usable as a hash/group key.
+  /// values produce identical bytes — across encodings too, so a dictionary
+  /// column fingerprints byte-identically to its decoded form.
   void AppendKeyBytes(int64_t i, std::string* out) const;
 
   std::string ValueToString(int64_t i) const;
@@ -128,13 +214,22 @@ class Column {
   using Storage =
       std::variant<common::BufferView<int64_t>, common::BufferView<double>,
                    common::BufferView<std::string>,
-                   common::BufferView<uint8_t>>;
+                   common::BufferView<uint8_t>,
+                   common::BufferView<int32_t>>;
   Column(DType dtype, Storage data, common::BufferView<uint8_t> validity)
       : dtype_(dtype), data_(std::move(data)), validity_(std::move(validity)) {}
+
+  void InvalidateNbytes() const {
+    nbytes_cache_.store(-1, std::memory_order_relaxed);
+  }
 
   DType dtype_;
   Storage data_;
   common::BufferView<uint8_t> validity_;  // empty => all valid
+  StringDictPtr dict_;  // non-null <=> dictionary-encoded string column
+  /// Lazily computed nbytes(); -1 = unknown. Recomputing is idempotent, so
+  /// a racing double-compute is benign (relaxed atomics suffice).
+  mutable std::atomic<int64_t> nbytes_cache_{-1};
 };
 
 }  // namespace xorbits::dataframe

@@ -104,13 +104,54 @@ Result<Column> StrPredicate(const Column& v, const std::string& arg,
   const int64_t n = v.length();
   std::vector<uint8_t> out(n, 0);
   common::BufferView<uint8_t> validity = v.validity();
-  const auto& data = v.string_data();
+  const uint8_t* valid = v.has_validity() ? validity.data() : nullptr;
+  if (v.is_dict()) {
+    // Evaluate the predicate once per distinct value, then gather by code:
+    // O(nunique) string work instead of O(n).
+    const StringDict& d = *v.dict();
+    std::vector<uint8_t> per_code(d.size());
+    for (int64_t c = 0; c < d.size(); ++c) {
+      per_code[c] = pred(d.value(static_cast<int32_t>(c)), arg) ? 1 : 0;
+    }
+    const int32_t* codes = v.dict_codes().data();
+    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        out[i] = (valid == nullptr || valid[i]) ? per_code[codes[i]] : 0;
+      }
+    });
+    return Column::Bool(std::move(out), std::move(validity));
+  }
+  const std::string* data = v.string_data().data();
   ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
-      if (v.IsValid(i)) out[i] = pred(data[i], arg) ? 1 : 0;
+      if (valid == nullptr || valid[i]) out[i] = pred(data[i], arg) ? 1 : 0;
     }
   });
   return Column::Bool(std::move(out), std::move(validity));
+}
+
+/// Resolves a numeric/bool column's dtype once and hands `fn` a tight typed
+/// `double(int64_t)` getter, so elementwise inner loops stay branch-light
+/// (no per-row dtype dispatch through GetDouble).
+template <typename Fn>
+void WithDoubleGetter(const Column& c, Fn&& fn) {
+  switch (c.dtype()) {
+    case DType::kFloat64: {
+      const double* p = c.float64_data().data();
+      fn([p](int64_t i) { return p[i]; });
+      return;
+    }
+    case DType::kInt64: {
+      const int64_t* p = c.int64_data().data();
+      fn([p](int64_t i) { return static_cast<double>(p[i]); });
+      return;
+    }
+    default: {
+      const uint8_t* p = c.bool_data().data();
+      fn([p](int64_t i) { return p[i] ? 1.0 : 0.0; });
+      return;
+    }
+  }
 }
 
 }  // namespace
@@ -149,10 +190,14 @@ Result<Column> BinaryOp(const Column& lhs, const Column& rhs, BinOp op) {
                              DType::kFloat64;
   if (as_double) {
     std::vector<double> out(n);
-    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) {
-        out[i] = ApplyBinOpDouble(lhs.GetDouble(i), rhs.GetDouble(i), op);
-      }
+    WithDoubleGetter(lhs, [&](auto ga) {
+      WithDoubleGetter(rhs, [&](auto gb) {
+        ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            out[i] = ApplyBinOpDouble(ga(i), gb(i), op);
+          }
+        });
+      });
     });
     return Column::Float64(std::move(out), std::move(validity));
   }
@@ -179,12 +224,14 @@ Result<Column> BinaryOpScalar(const Column& lhs, const Scalar& rhs, BinOp op,
   if (as_double) {
     const double s = rhs.AsDouble();
     std::vector<double> out(n);
-    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) {
-        const double v = lhs.GetDouble(i);
-        out[i] = reverse ? ApplyBinOpDouble(s, v, op)
-                         : ApplyBinOpDouble(v, s, op);
-      }
+    WithDoubleGetter(lhs, [&](auto ga) {
+      ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const double v = ga(i);
+          out[i] = reverse ? ApplyBinOpDouble(s, v, op)
+                           : ApplyBinOpDouble(v, s, op);
+        }
+      });
     });
     return Column::Float64(std::move(out), std::move(validity));
   }
@@ -206,12 +253,28 @@ Result<Column> Compare(const Column& lhs, const Column& rhs, CmpOp op) {
   std::vector<uint8_t> out(n, 0);
   std::vector<uint8_t> validity = MergeValidity(lhs, rhs);
   if (lhs.dtype() == DType::kString && rhs.dtype() == DType::kString) {
-    const auto& a = lhs.string_data();
-    const auto& b = rhs.string_data();
+    // Equality over one shared dictionary is a pure int32 compare (codes
+    // are unique per value). Ordering ops can't use codes — first-seen
+    // order is not sorted — so they go through string_at.
+    if (lhs.is_dict() && rhs.is_dict() && lhs.dict()->SameAs(*rhs.dict()) &&
+        (op == CmpOp::kEq || op == CmpOp::kNe)) {
+      const int32_t* a = lhs.dict_codes().data();
+      const int32_t* b = rhs.dict_codes().data();
+      const uint8_t eq = op == CmpOp::kEq ? 1 : 0;
+      ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          if (lhs.IsValid(i) && rhs.IsValid(i)) {
+            out[i] = (a[i] == b[i]) ? eq : 1 - eq;
+          }
+        }
+      });
+      return Column::Bool(std::move(out), std::move(validity));
+    }
     ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
       for (int64_t i = lo; i < hi; ++i) {
         if (lhs.IsValid(i) && rhs.IsValid(i)) {
-          out[i] = ApplyCmpString(a[i], b[i], op) ? 1 : 0;
+          out[i] = ApplyCmpString(lhs.string_at(i), rhs.string_at(i), op)
+                       ? 1 : 0;
         }
       }
     });
@@ -219,13 +282,16 @@ Result<Column> Compare(const Column& lhs, const Column& rhs, CmpOp op) {
   }
   XORBITS_RETURN_NOT_OK(CheckNumeric(lhs, "Compare"));
   XORBITS_RETURN_NOT_OK(CheckNumeric(rhs, "Compare"));
-  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      if (lhs.IsValid(i) && rhs.IsValid(i)) {
-        out[i] =
-            ApplyCmpDouble(lhs.GetDouble(i), rhs.GetDouble(i), op) ? 1 : 0;
-      }
-    }
+  WithDoubleGetter(lhs, [&](auto ga) {
+    WithDoubleGetter(rhs, [&](auto gb) {
+      ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          if (lhs.IsValid(i) && rhs.IsValid(i)) {
+            out[i] = ApplyCmpDouble(ga(i), gb(i), op) ? 1 : 0;
+          }
+        }
+      });
+    });
   });
   return Column::Bool(std::move(out), std::move(validity));
 }
@@ -242,8 +308,24 @@ Result<Column> CompareScalar(const Column& lhs, const Scalar& rhs, CmpOp op) {
     if (!rhs.is_string()) {
       return Status::TypeError("CompareScalar: string column vs non-string");
     }
-    const auto& a = lhs.string_data();
     const std::string& s = rhs.AsString();
+    if (lhs.is_dict()) {
+      // One string compare per distinct value, then a gather by code.
+      const StringDict& d = *lhs.dict();
+      std::vector<uint8_t> per_code(d.size());
+      for (int64_t c = 0; c < d.size(); ++c) {
+        per_code[c] =
+            ApplyCmpString(d.value(static_cast<int32_t>(c)), s, op) ? 1 : 0;
+      }
+      const int32_t* codes = lhs.dict_codes().data();
+      ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          if (lhs.IsValid(i)) out[i] = per_code[codes[i]];
+        }
+      });
+      return Column::Bool(std::move(out), std::move(validity));
+    }
+    const std::string* a = lhs.string_data().data();
     ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
       for (int64_t i = lo; i < hi; ++i) {
         if (lhs.IsValid(i)) out[i] = ApplyCmpString(a[i], s, op) ? 1 : 0;
@@ -269,12 +351,14 @@ Result<Column> CompareScalar(const Column& lhs, const Scalar& rhs, CmpOp op) {
     return Status::TypeError("CompareScalar: numeric column vs non-numeric");
   }
   const double s = rhs.AsDouble();
-  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      if (lhs.IsValid(i)) {
-        out[i] = ApplyCmpDouble(lhs.GetDouble(i), s, op) ? 1 : 0;
+  WithDoubleGetter(lhs, [&](auto ga) {
+    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        if (lhs.IsValid(i)) {
+          out[i] = ApplyCmpDouble(ga(i), s, op) ? 1 : 0;
+        }
       }
-    }
+    });
   });
   return Column::Bool(std::move(out), std::move(validity));
 }
@@ -348,7 +432,22 @@ Result<Column> IsIn(const Column& v, const std::vector<Scalar>& values) {
     for (const auto& s : values) {
       if (s.is_string()) set.insert(s.AsString());
     }
-    const auto& data = v.string_data();
+    if (v.is_dict()) {
+      // One set probe per distinct value, then a gather by code.
+      const StringDict& d = *v.dict();
+      std::vector<uint8_t> per_code(d.size());
+      for (int64_t c = 0; c < d.size(); ++c) {
+        per_code[c] = set.count(d.value(static_cast<int32_t>(c))) ? 1 : 0;
+      }
+      const int32_t* codes = v.dict_codes().data();
+      ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          if (v.IsValid(i)) out[i] = per_code[codes[i]];
+        }
+      });
+      return Column::Bool(std::move(out), std::move(validity));
+    }
+    const std::string* data = v.string_data().data();
     ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
       for (int64_t i = lo; i < hi; ++i) {
         if (v.IsValid(i)) out[i] = set.count(data[i]) ? 1 : 0;
@@ -404,26 +503,6 @@ Result<Column> StrEndsWith(const Column& v, const std::string& suffix) {
       "StrEndsWith");
 }
 
-Result<Column> StrSlice(const Column& v, int64_t start, int64_t stop) {
-  if (v.dtype() != DType::kString) {
-    return Status::TypeError("StrSlice requires string column");
-  }
-  const int64_t n = v.length();
-  std::vector<std::string> out(n);
-  common::BufferView<uint8_t> validity = v.validity();
-  const auto& data = v.string_data();
-  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      if (!v.IsValid(i)) continue;
-      const auto& s = data[i];
-      int64_t b = std::min<int64_t>(start, s.size());
-      int64_t e = std::min<int64_t>(stop, s.size());
-      if (e > b) out[i] = s.substr(b, e - b);
-    }
-  });
-  return Column::String(std::move(out), std::move(validity));
-}
-
 namespace {
 template <typename F>
 Result<Column> StrMapString(const Column& v, F f, const char* what) {
@@ -431,9 +510,30 @@ Result<Column> StrMapString(const Column& v, F f, const char* what) {
     return Status::TypeError(std::string(what) + " requires string column");
   }
   const int64_t n = v.length();
-  std::vector<std::string> out(n);
   common::BufferView<uint8_t> validity = v.validity();
-  const auto& data = v.string_data();
+  if (v.is_dict()) {
+    // Map each distinct value once; the mapped values may collide (e.g.
+    // lower-casing), so re-dedup through a DictBuilder and remap codes.
+    const StringDict& d = *v.dict();
+    DictBuilder builder;
+    std::vector<int32_t> remap(d.size());
+    for (int64_t c = 0; c < d.size(); ++c) {
+      remap[c] = builder.GetOrAdd(f(d.value(static_cast<int32_t>(c))));
+    }
+    const int32_t* codes = v.dict_codes().data();
+    const uint8_t* valid = v.has_validity() ? validity.data() : nullptr;
+    std::vector<int32_t> out_codes(n, 0);
+    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        if (valid == nullptr || valid[i]) out_codes[i] = remap[codes[i]];
+      }
+    });
+    return Column::Dictionary(
+        common::BufferView<int32_t>(std::move(out_codes)), builder.Finish(),
+        std::move(validity));
+  }
+  std::vector<std::string> out(n);
+  const std::string* data = v.string_data().data();
   ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       if (v.IsValid(i)) out[i] = f(data[i]);
@@ -458,6 +558,14 @@ Result<Column> DateMapInt(const Column& dates, F f, const char* what) {
   return Column::Int64(std::move(out), std::move(validity));
 }
 }  // namespace
+
+Result<Column> StrSlice(const Column& v, int64_t start, int64_t stop) {
+  return StrMapString(v, [&](const std::string& s) {
+    int64_t b = std::min<int64_t>(start, s.size());
+    int64_t e = std::min<int64_t>(stop, s.size());
+    return e > b ? s.substr(b, e - b) : std::string();
+  }, "StrSlice");
+}
 
 Result<Column> StrUpper(const Column& v) {
   return StrMapString(v, [](const std::string& s) {
@@ -510,7 +618,23 @@ Result<Column> StrLen(const Column& v) {
   const int64_t n = v.length();
   std::vector<int64_t> out(n, 0);
   common::BufferView<uint8_t> validity = v.validity();
-  const auto& data = v.string_data();
+  if (v.is_dict()) {
+    // Lengths computed once per distinct value, gathered by code.
+    const StringDict& d = *v.dict();
+    std::vector<int64_t> per_code(d.size());
+    for (int64_t c = 0; c < d.size(); ++c) {
+      per_code[c] =
+          static_cast<int64_t>(d.value(static_cast<int32_t>(c)).size());
+    }
+    const int32_t* codes = v.dict_codes().data();
+    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        if (v.IsValid(i)) out[i] = per_code[codes[i]];
+      }
+    });
+    return Column::Int64(std::move(out), std::move(validity));
+  }
+  const std::string* data = v.string_data().data();
   ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       if (v.IsValid(i)) out[i] = static_cast<int64_t>(data[i].size());
@@ -633,9 +757,13 @@ Result<Scalar> SumCol(const Column& v) {
   }
   double s = 0;
   bool is_int = v.dtype() == DType::kInt64;
-  for (int64_t i = 0; i < v.length(); ++i) {
-    if (v.IsValid(i)) s += v.GetDouble(i);
-  }
+  const int64_t n = v.length();
+  const uint8_t* valid = v.has_validity() ? v.validity().data() : nullptr;
+  WithDoubleGetter(v, [&](auto ga) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (valid == nullptr || valid[i]) s += ga(i);
+    }
+  });
   if (is_int) return Scalar::Int(static_cast<int64_t>(s));
   return Scalar::Float(s);
 }
@@ -666,12 +794,16 @@ Result<Scalar> MeanCol(const Column& v) {
   }
   double s = 0;
   int64_t cnt = 0;
-  for (int64_t i = 0; i < v.length(); ++i) {
-    if (v.IsValid(i)) {
-      s += v.GetDouble(i);
-      ++cnt;
+  const int64_t n = v.length();
+  const uint8_t* valid = v.has_validity() ? v.validity().data() : nullptr;
+  WithDoubleGetter(v, [&](auto ga) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (valid == nullptr || valid[i]) {
+        s += ga(i);
+        ++cnt;
+      }
     }
-  }
+  });
   if (cnt == 0) return Scalar::Null();
   return Scalar::Float(s / cnt);
 }

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/thread_pool.h"
 #include "dataframe/compute.h"
+#include "dataframe/key_hash.h"
 
 namespace xorbits::dataframe {
 
@@ -58,76 +60,148 @@ namespace {
 /// a pure function of n so results never depend on thread count.
 inline int64_t AggGrain(int64_t n) { return GrainForMorsels(n, 4096, 16); }
 
+/// Open-addressing (linear probe, power-of-two) map from key-tuple rows to
+/// dense group ids. Keys live in the source columns — a slot stores only
+/// (hash, gid) and each gid remembers one representative row — so no key
+/// bytes are ever materialized (the allocation-free replacement for the old
+/// per-row AppendKeyBytes std::string keys).
+class GroupIndex {
+ public:
+  explicit GroupIndex(int64_t expected) {
+    // Start small regardless of `expected` (which is an upper bound — the
+    // morsel row count, usually vastly more than the group count) and let
+    // Grow() double on demand: growth rebuilds cost O(groups), not O(rows),
+    // while pre-sizing to `expected` zeroes megabytes per morsel and
+    // evicts the actual working set from cache.
+    int64_t cap = 64;
+    const int64_t want = std::min<int64_t>(expected * 2, 8192);
+    while (cap < want) cap <<= 1;
+    slot_gid_.assign(cap, -1);
+    slot_hash_.assign(cap, 0);
+    mask_ = cap - 1;
+  }
+
+  /// Group id of `row` (hash `h`), inserting a new group on first sight.
+  /// `eq(a, b)` decides row equality — callers pass an inlined typed
+  /// comparator for single-column keys and the generic RowHasher equality
+  /// otherwise.
+  template <typename Eq>
+  int64_t GetOrAdd(uint64_t h, int64_t row, const Eq& eq) {
+    if (static_cast<int64_t>(reps_.size()) * 2 >=
+        static_cast<int64_t>(slot_gid_.size())) {
+      Grow();
+    }
+    int64_t idx = static_cast<int64_t>(h) & mask_;
+    for (;;) {
+      const int64_t g = slot_gid_[idx];
+      if (g < 0) {
+        const int64_t gid = static_cast<int64_t>(reps_.size());
+        slot_gid_[idx] = gid;
+        slot_hash_[idx] = h;
+        reps_.push_back(row);
+        rep_hash_.push_back(h);
+        return gid;
+      }
+      if (slot_hash_[idx] == h && eq(reps_[g], row)) return g;
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  const std::vector<int64_t>& reps() const { return reps_; }
+  int64_t size() const { return static_cast<int64_t>(reps_.size()); }
+
+ private:
+  void Grow() {
+    const int64_t cap = static_cast<int64_t>(slot_gid_.size()) * 2;
+    slot_gid_.assign(cap, -1);
+    slot_hash_.assign(cap, 0);
+    mask_ = cap - 1;
+    for (size_t g = 0; g < reps_.size(); ++g) {
+      int64_t idx = static_cast<int64_t>(rep_hash_[g]) & mask_;
+      while (slot_gid_[idx] >= 0) idx = (idx + 1) & mask_;
+      slot_gid_[idx] = static_cast<int64_t>(g);
+      slot_hash_[idx] = rep_hash_[g];
+    }
+  }
+
+  std::vector<int64_t> slot_gid_;    // -1 = empty
+  std::vector<uint64_t> slot_hash_;
+  std::vector<int64_t> reps_;        // gid -> representative row
+  std::vector<uint64_t> rep_hash_;   // gid -> hash (for Grow)
+  int64_t mask_ = 0;
+};
+
 /// Assigns each row a dense group id; returns group count and fills
 /// `first_row` with one representative row per group in first-seen order.
 ///
 /// Parallel hash groupby partition phase, three deterministic steps:
-///   1. each morsel builds a local key dictionary (parallel);
-///   2. local dictionaries merge into the global one in morsel order, which
+///   1. each morsel builds a local group index (parallel);
+///   2. local indexes merge into the global one in morsel order, which
 ///      reproduces the serial first-seen group order exactly (serial);
 ///   3. rows rewrite their local ids to global ids (parallel).
+/// Hashing and comparison are typed and value-based (RowHasher), so the
+/// result is identical whether string keys are plain or dict-encoded.
 int64_t BuildGroups(const DataFrame& df, const std::vector<const Column*>& key_cols,
                     std::vector<int64_t>* gids, std::vector<int64_t>* first_row) {
   const int64_t n = df.num_rows();
   gids->resize(n);
-  const int64_t grain = AggGrain(n);
-  const int64_t morsels = NumMorsels(0, n, grain);
-  if (morsels < 2) {
-    std::unordered_map<std::string, int64_t> table;
-    table.reserve(static_cast<size_t>(n) * 2);
-    std::string key;
-    for (int64_t i = 0; i < n; ++i) {
-      key.clear();
-      for (const Column* c : key_cols) c->AppendKeyBytes(i, &key);
-      auto [it, inserted] =
-          table.emplace(key, static_cast<int64_t>(first_row->size()));
-      if (inserted) first_row->push_back(i);
-      (*gids)[i] = it->second;
-    }
-    return static_cast<int64_t>(first_row->size());
-  }
+  const RowHasher hasher(key_cols);
+  std::vector<uint64_t> hashes(n);
+  ParallelFor(0, n, 16384, [&](int64_t lo, int64_t hi) {
+    hasher.HashRange(lo, hi, hashes.data());
+  });
 
-  struct LocalGroups {
-    std::vector<std::string> keys;   // unique keys, local first-seen order
-    std::vector<int64_t> first_row;  // global row of local first occurrence
-  };
-  std::vector<LocalGroups> locals(morsels);
-  ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
-    LocalGroups& lg = locals[lo / grain];
-    std::unordered_map<std::string, int64_t> table;
-    table.reserve(static_cast<size_t>(hi - lo) * 2);
-    std::string key;
-    for (int64_t i = lo; i < hi; ++i) {
-      key.clear();
-      for (const Column* c : key_cols) c->AppendKeyBytes(i, &key);
-      auto [it, inserted] =
-          table.emplace(key, static_cast<int64_t>(lg.keys.size()));
-      if (inserted) {
-        lg.keys.push_back(key);
-        lg.first_row.push_back(i);
+  auto run = [&](const auto& eq) -> int64_t {
+    const int64_t grain = AggGrain(n);
+    const int64_t morsels = NumMorsels(0, n, grain);
+    if (morsels < 2) {
+      GroupIndex table(n);
+      for (int64_t i = 0; i < n; ++i) {
+        (*gids)[i] = table.GetOrAdd(hashes[i], i, eq);
       }
-      (*gids)[i] = it->second;
+      *first_row = table.reps();
+      return table.size();
     }
-  });
 
-  std::unordered_map<std::string, int64_t> table;
-  std::vector<std::vector<int64_t>> remap(morsels);
-  for (int64_t m = 0; m < morsels; ++m) {
-    LocalGroups& lg = locals[m];
-    remap[m].resize(lg.keys.size());
-    for (size_t k = 0; k < lg.keys.size(); ++k) {
-      auto [it, inserted] = table.emplace(
-          std::move(lg.keys[k]), static_cast<int64_t>(first_row->size()));
-      if (inserted) first_row->push_back(lg.first_row[k]);
-      remap[m][k] = it->second;
+    std::vector<std::unique_ptr<GroupIndex>> locals(morsels);
+    ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+      auto local = std::make_unique<GroupIndex>(hi - lo);
+      for (int64_t i = lo; i < hi; ++i) {
+        (*gids)[i] = local->GetOrAdd(hashes[i], i, eq);
+      }
+      locals[lo / grain] = std::move(local);
+    });
+
+    GroupIndex table(n);
+    std::vector<std::vector<int64_t>> remap(morsels);
+    for (int64_t m = 0; m < morsels; ++m) {
+      const std::vector<int64_t>& local_reps = locals[m]->reps();
+      remap[m].resize(local_reps.size());
+      for (size_t k = 0; k < local_reps.size(); ++k) {
+        const int64_t row = local_reps[k];
+        remap[m][k] = table.GetOrAdd(hashes[row], row, eq);
+      }
     }
+    *first_row = table.reps();
+
+    ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+      const std::vector<int64_t>& r = remap[lo / grain];
+      for (int64_t i = lo; i < hi; ++i) (*gids)[i] = r[(*gids)[i]];
+    });
+    return table.size();
+  };
+
+  // Single-column keys get an inlined typed comparator (see
+  // RowHasher::SoleInt64 for why these are exactly equivalent to the
+  // generic equality). The grouping itself is identical either way — only
+  // the per-probe call overhead differs.
+  if (const int64_t* k64 = hasher.SoleInt64()) {
+    return run([k64](int64_t a, int64_t b) { return k64[a] == k64[b]; });
   }
-
-  ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
-    const std::vector<int64_t>& r = remap[lo / grain];
-    for (int64_t i = lo; i < hi; ++i) (*gids)[i] = r[(*gids)[i]];
-  });
-  return static_cast<int64_t>(first_row->size());
+  if (const int32_t* codes = hasher.SoleDictCodes()) {
+    return run([codes](int64_t a, int64_t b) { return codes[a] == codes[b]; });
+  }
+  return run([&hasher](int64_t a, int64_t b) { return hasher.RowsEqual(a, b); });
 }
 
 /// Elementwise-sum combine for per-morsel partial accumulators.
@@ -143,6 +217,17 @@ Result<Column> AggregateColumn(const Column* col, AggFunc func,
   // Hot accumulations below run as morsel-local partials (one G-sized
   // buffer per morsel, morsel count capped by AggGrain) folded in morsel
   // order — deterministic at any thread count, including float cases.
+  //
+  // The float64 fast paths hoist the validity pointer and read values
+  // through a raw pointer instead of the per-row GetDouble switch, giving
+  // the compiler straight-line gather loops it can vectorize.
+  const double* f64 =
+      col != nullptr && col->dtype() == DType::kFloat64
+          ? col->float64_data().data()
+          : nullptr;
+  const uint8_t* valid =
+      col != nullptr && col->has_validity() ? col->validity().data() : nullptr;
+  const int64_t* gid = gids.data();
   switch (func) {
     case AggFunc::kSize: {
       std::vector<int64_t> out = ParallelReduce(
@@ -175,13 +260,17 @@ Result<Column> AggregateColumn(const Column* col, AggFunc func,
         return Status::TypeError("sum on non-numeric column");
       }
       if (col->dtype() == DType::kInt64) {
-        const auto& data = col->int64_data();
+        const int64_t* data = col->int64_data().data();
         std::vector<int64_t> out = ParallelReduce(
             0, n, AggGrain(n), std::vector<int64_t>(G, 0),
             [&](int64_t lo, int64_t hi) {
               std::vector<int64_t> p(G, 0);
-              for (int64_t i = lo; i < hi; ++i) {
-                if (col->IsValid(i)) p[gids[i]] += data[i];
+              if (valid == nullptr) {
+                for (int64_t i = lo; i < hi; ++i) p[gid[i]] += data[i];
+              } else {
+                for (int64_t i = lo; i < hi; ++i) {
+                  if (valid[i]) p[gid[i]] += data[i];
+                }
               }
               return p;
             },
@@ -192,8 +281,16 @@ Result<Column> AggregateColumn(const Column* col, AggFunc func,
           0, n, AggGrain(n), std::vector<double>(G, 0.0),
           [&](int64_t lo, int64_t hi) {
             std::vector<double> p(G, 0.0);
-            for (int64_t i = lo; i < hi; ++i) {
-              if (col->IsValid(i)) p[gids[i]] += col->GetDouble(i);
+            if (f64 != nullptr && valid == nullptr) {
+              for (int64_t i = lo; i < hi; ++i) p[gid[i]] += f64[i];
+            } else if (f64 != nullptr) {
+              for (int64_t i = lo; i < hi; ++i) {
+                if (valid[i]) p[gid[i]] += f64[i];
+              }
+            } else {
+              for (int64_t i = lo; i < hi; ++i) {
+                if (col->IsValid(i)) p[gid[i]] += col->GetDouble(i);
+              }
             }
             return p;
           },
@@ -208,10 +305,16 @@ Result<Column> AggregateColumn(const Column* col, AggFunc func,
           0, n, AggGrain(n), std::vector<double>(G, 0.0),
           [&](int64_t lo, int64_t hi) {
             std::vector<double> p(G, 0.0);
-            for (int64_t i = lo; i < hi; ++i) {
-              if (col->IsValid(i)) {
-                const double v = col->GetDouble(i);
-                p[gids[i]] += v * v;
+            if (f64 != nullptr && valid == nullptr) {
+              for (int64_t i = lo; i < hi; ++i) {
+                p[gid[i]] += f64[i] * f64[i];
+              }
+            } else {
+              for (int64_t i = lo; i < hi; ++i) {
+                if (col->IsValid(i)) {
+                  const double v = col->GetDouble(i);
+                  p[gid[i]] += v * v;
+                }
               }
             }
             return p;
@@ -231,10 +334,17 @@ Result<Column> AggregateColumn(const Column* col, AggFunc func,
           [&](int64_t lo, int64_t hi) {
             MeanPartial p{std::vector<double>(G, 0.0),
                           std::vector<int64_t>(G, 0)};
-            for (int64_t i = lo; i < hi; ++i) {
-              if (col->IsValid(i)) {
-                p.first[gids[i]] += col->GetDouble(i);
-                p.second[gids[i]]++;
+            if (f64 != nullptr && valid == nullptr) {
+              for (int64_t i = lo; i < hi; ++i) {
+                p.first[gid[i]] += f64[i];
+                p.second[gid[i]]++;
+              }
+            } else {
+              for (int64_t i = lo; i < hi; ++i) {
+                if (col->IsValid(i)) {
+                  p.first[gid[i]] += col->GetDouble(i);
+                  p.second[gid[i]]++;
+                }
               }
             }
             return p;
@@ -272,12 +382,21 @@ Result<Column> AggregateColumn(const Column* col, AggFunc func,
             Moments p{std::vector<double>(G, 0.0),
                       std::vector<double>(G, 0.0),
                       std::vector<int64_t>(G, 0)};
-            for (int64_t i = lo; i < hi; ++i) {
-              if (col->IsValid(i)) {
-                const double v = col->GetDouble(i);
-                p.sum[gids[i]] += v;
-                p.sumsq[gids[i]] += v * v;
-                p.cnt[gids[i]]++;
+            if (f64 != nullptr && valid == nullptr) {
+              for (int64_t i = lo; i < hi; ++i) {
+                const double v = f64[i];
+                p.sum[gid[i]] += v;
+                p.sumsq[gid[i]] += v * v;
+                p.cnt[gid[i]]++;
+              }
+            } else {
+              for (int64_t i = lo; i < hi; ++i) {
+                if (col->IsValid(i)) {
+                  const double v = col->GetDouble(i);
+                  p.sum[gid[i]] += v;
+                  p.sumsq[gid[i]] += v * v;
+                  p.cnt[gid[i]]++;
+                }
               }
             }
             return p;
@@ -406,7 +525,7 @@ Result<Column> AggregateColumn(const Column* col, AggFunc func,
             for (int64_t i = lo; i < hi; ++i) {
               if (!col->IsValid(i)) continue;
               const bool truthy = col->dtype() == DType::kString
-                                      ? !col->string_data()[i].empty()
+                                      ? !col->string_at(i).empty()
                                       : col->GetDouble(i) != 0.0;
               if (is_any && truthy) p[gids[i]] = 1;
               if (!is_any && !truthy) p[gids[i]] = 0;
@@ -445,6 +564,19 @@ Result<Column> AggregateColumn(const Column* col, AggFunc func,
     }
     case AggFunc::kNunique: {
       if (col == nullptr) return Status::Invalid("nunique needs a column");
+      if (col->is_dict()) {
+        // Dictionary fast path: distinct codes == distinct values.
+        std::vector<std::unordered_set<int32_t>> csets(G);
+        const int32_t* codes = col->dict_codes().data();
+        for (int64_t i = 0; i < n; ++i) {
+          if (col->IsValid(i)) csets[gid[i]].insert(codes[i]);
+        }
+        std::vector<int64_t> out(G);
+        for (int64_t g = 0; g < G; ++g) {
+          out[g] = static_cast<int64_t>(csets[g].size());
+        }
+        return Column::Int64(std::move(out));
+      }
       std::vector<std::unordered_set<std::string>> sets(G);
       std::string buf;
       for (int64_t i = 0; i < n; ++i) {

@@ -174,6 +174,42 @@ Result<DataFrame> FillNa(const DataFrame& df, const std::string& column,
   if (!c->has_validity()) return df;
   Column filled = *c;
   const int64_t n = filled.length();
+  if (filled.dtype() == DType::kString && filled.is_dict()) {
+    // Stay dictionary-encoded: resolve (or append) the fill value's code
+    // and patch codes — no string materialization.
+    const std::string fill = value.AsString();
+    const StringDict& d = *filled.dict();
+    int32_t fill_code = -1;
+    for (int64_t k = 0; k < d.size(); ++k) {
+      if (d.value(static_cast<int32_t>(k)) == fill) {
+        fill_code = static_cast<int32_t>(k);
+        break;
+      }
+    }
+    StringDictPtr dict = filled.dict();
+    if (fill_code < 0) {
+      std::vector<std::string> vals(d.values().begin(), d.values().end());
+      fill_code = static_cast<int32_t>(vals.size());
+      vals.push_back(fill);
+      dict = StringDict::Make(std::move(vals));
+    }
+    std::vector<int32_t> codes(filled.dict_codes().begin(),
+                               filled.dict_codes().end());
+    std::vector<uint8_t> valid(filled.validity().begin(),
+                               filled.validity().end());
+    for (int64_t i = 0; i < n; ++i) {
+      if (!valid[i]) {
+        codes[i] = fill_code;
+        valid[i] = 1;
+      }
+    }
+    Column patched = Column::Dictionary(
+        common::BufferView<int32_t>(std::move(codes)), std::move(dict),
+        common::BufferView<uint8_t>(std::move(valid)));
+    DataFrame out = df;
+    XORBITS_RETURN_NOT_OK(out.SetColumn(column, std::move(patched)));
+    return out;
+  }
   for (int64_t i = 0; i < n; ++i) {
     if (filled.IsValid(i)) continue;
     switch (filled.dtype()) {

@@ -1,0 +1,186 @@
+#include "dataframe/key_hash.h"
+
+#include <cstring>
+
+namespace xorbits::dataframe {
+
+namespace {
+
+// Per-dtype tag mixed into every column hash so `1` (int64) and `1.0`
+// (float64) never collide as keys — the same role the '\1'..'\4' tag bytes
+// play in AppendKeyBytes. Dictionary columns use the *string* tag: the
+// encoding must be invisible to hashing.
+inline uint64_t TagFor(DType t) {
+  switch (t) {
+    case DType::kInt64: return 0x9e3779b97f4a7c15ULL;
+    case DType::kFloat64: return 0xc2b2ae3d27d4eb4fULL;
+    case DType::kString: return 0x165667b19e3779f9ULL;
+    case DType::kBool: return 0x27d4eb2f165667c5ULL;
+  }
+  return 0;
+}
+
+inline constexpr uint64_t kNullHash = 0x8ebc6af09c88c6e3ULL;
+
+inline uint64_t HashF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return MixHash(bits ^ TagFor(DType::kFloat64));
+}
+
+// boost::hash_combine-style fold; keeps column order significant. Shared by
+// the per-row and bulk hash paths so they stay bit-identical.
+inline uint64_t FoldHash(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+}  // namespace
+
+RowHasher::RowHasher(std::vector<const Column*> cols) {
+  cols_.reserve(cols.size());
+  for (const Column* col : cols) {
+    ColAccess a;
+    a.col = col;
+    a.validity = col->has_validity() ? col->validity().data() : nullptr;
+    num_rows_ = col->length();
+    if (col->is_dict()) {
+      a.kind = Kind::kDict;
+      a.codes = col->dict_codes().data();
+      a.dict = col->dict().get();
+    } else {
+      switch (col->dtype()) {
+        case DType::kInt64:
+          a.kind = Kind::kInt64;
+          a.i64 = col->int64_data().data();
+          break;
+        case DType::kFloat64:
+          a.kind = Kind::kFloat64;
+          a.f64 = col->float64_data().data();
+          break;
+        case DType::kString:
+          a.kind = Kind::kString;
+          a.str = col->string_data().data();
+          break;
+        case DType::kBool:
+          a.kind = Kind::kBool;
+          a.b8 = col->bool_data().data();
+          break;
+      }
+    }
+    cols_.push_back(a);
+  }
+}
+
+uint64_t RowHasher::CombineCol(const ColAccess& c, int64_t row, uint64_t h) {
+  uint64_t v;
+  if (c.validity != nullptr && c.validity[row] == 0) {
+    v = kNullHash;
+  } else {
+    switch (c.kind) {
+      case Kind::kInt64:
+        v = MixHash(static_cast<uint64_t>(c.i64[row]) ^
+                    TagFor(DType::kInt64));
+        break;
+      case Kind::kFloat64:
+        v = HashF64(c.f64[row]);
+        break;
+      case Kind::kBool:
+        v = MixHash(static_cast<uint64_t>(c.b8[row] != 0) ^
+                    TagFor(DType::kBool));
+        break;
+      case Kind::kString: {
+        const std::string& s = c.str[row];
+        v = MixHash(HashBytes(s.data(), s.size()) ^
+                    TagFor(DType::kString));
+        break;
+      }
+      case Kind::kDict:
+        // Same bytes-hash as kString, precomputed once per distinct value.
+        v = MixHash(c.dict->hash(c.codes[row]) ^ TagFor(DType::kString));
+        break;
+      default:
+        v = 0;
+    }
+  }
+  return FoldHash(h, v);
+}
+
+void RowHasher::HashRange(int64_t lo, int64_t hi, uint64_t* out) const {
+  for (int64_t i = lo; i < hi; ++i) out[i] = 0xa0761d6478bd642fULL;
+  for (const ColAccess& c : cols_) {
+    if (c.validity == nullptr && c.kind == Kind::kInt64) {
+      const uint64_t tag = TagFor(DType::kInt64);
+      for (int64_t i = lo; i < hi; ++i) {
+        out[i] =
+            FoldHash(out[i], MixHash(static_cast<uint64_t>(c.i64[i]) ^ tag));
+      }
+    } else if (c.validity == nullptr && c.kind == Kind::kFloat64) {
+      for (int64_t i = lo; i < hi; ++i) {
+        out[i] = FoldHash(out[i], HashF64(c.f64[i]));
+      }
+    } else if (c.validity == nullptr && c.kind == Kind::kDict) {
+      const uint64_t tag = TagFor(DType::kString);
+      for (int64_t i = lo; i < hi; ++i) {
+        out[i] =
+            FoldHash(out[i], MixHash(c.dict->hash(c.codes[i]) ^ tag));
+      }
+    } else {
+      for (int64_t i = lo; i < hi; ++i) out[i] = CombineCol(c, i, out[i]);
+    }
+  }
+  for (int64_t i = lo; i < hi; ++i) out[i] = MixHash(out[i]);
+}
+
+bool RowHasher::Equal(int64_t a, const RowHasher& other, int64_t b) const {
+  const size_t n = cols_.size();
+  for (size_t k = 0; k < n; ++k) {
+    const ColAccess& ca = cols_[k];
+    const ColAccess& cb = other.cols_[k];
+    const bool na = ca.validity != nullptr && ca.validity[a] == 0;
+    const bool nb = cb.validity != nullptr && cb.validity[b] == 0;
+    if (na || nb) {
+      if (na != nb) return false;
+      continue;  // null == null
+    }
+    // Cross-encoding string compares are by value; everything else requires
+    // the same physical kind on both sides (dtype mismatch => not equal,
+    // matching the tag byte in AppendKeyBytes).
+    const bool sa = ca.kind == Kind::kString || ca.kind == Kind::kDict;
+    const bool sb = cb.kind == Kind::kString || cb.kind == Kind::kDict;
+    if (sa && sb) {
+      if (ca.kind == Kind::kDict && cb.kind == Kind::kDict &&
+          (ca.dict == cb.dict || ca.dict->SameAs(*cb.dict))) {
+        if (ca.codes[a] != cb.codes[b]) return false;
+        continue;
+      }
+      const std::string& va =
+          ca.kind == Kind::kDict ? ca.dict->value(ca.codes[a]) : ca.str[a];
+      const std::string& vb =
+          cb.kind == Kind::kDict ? cb.dict->value(cb.codes[b]) : cb.str[b];
+      if (va != vb) return false;
+      continue;
+    }
+    if (ca.kind != cb.kind) return false;
+    switch (ca.kind) {
+      case Kind::kInt64:
+        if (ca.i64[a] != cb.i64[b]) return false;
+        break;
+      case Kind::kFloat64: {
+        // Bit-pattern equality, matching the raw-bytes key encoding.
+        uint64_t xa, xb;
+        std::memcpy(&xa, &ca.f64[a], sizeof(xa));
+        std::memcpy(&xb, &cb.f64[b], sizeof(xb));
+        if (xa != xb) return false;
+        break;
+      }
+      case Kind::kBool:
+        if ((ca.b8[a] != 0) != (cb.b8[b] != 0)) return false;
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xorbits::dataframe

@@ -20,6 +20,13 @@ Result<DataFrame> SpreadToWide(const DataFrame& aggregated,
     XORBITS_ASSIGN_OR_RETURN(const Column* c, aggregated.GetColumn(k));
     index_cols.push_back(c);
   }
+  // The cell-fill loop below reads value rows through string_data, which a
+  // dictionary column doesn't have — decode up front (counted fallback).
+  Column decoded_val;
+  if (val_col->dtype() == DType::kString && val_col->is_dict()) {
+    decoded_val = val_col->DecodedFallback();
+    val_col = &decoded_val;
+  }
   const int64_t n = aggregated.num_rows();
 
   // Distinct output columns, ordered by value (pandas sorts them).

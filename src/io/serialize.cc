@@ -17,16 +17,25 @@ using dataframe::DType;
 using dataframe::Index;
 using tensor::NDArray;
 
-// "XDF" v2: column payloads are tagged (inline vs back-reference) so that
+// "XDF" v3: column payloads are tagged (inline vs back-reference) so that
 // views sharing one buffer window within a frame are written once and the
 // sharing is reconstructed on read (spill/restore keeps memory accounting
 // honest). A frame without internal sharing has exactly one inline payload
 // per column, so its bytes do not depend on how the columns were built.
-constexpr uint32_t kDfMagic = 0x58444602;
+// v3 adds a physical-encoding byte to string columns: dictionary-encoded
+// columns persist their int32 codes plus the dictionary values (both as
+// payloads, so a dictionary shared across columns is written once and the
+// sharing — including the StringDict object — survives the round trip).
+// v2 frames (no encoding byte) remain readable.
+constexpr uint32_t kDfMagicV2 = 0x58444602;
+constexpr uint32_t kDfMagic = 0x58444603;
 constexpr uint32_t kArrMagic = 0x58415201;  // "XAR" v1
 
 constexpr uint8_t kPayloadInline = 0;
 constexpr uint8_t kPayloadBackref = 1;
+
+constexpr uint8_t kEncodingPlain = 0;
+constexpr uint8_t kEncodingDict = 1;
 
 template <typename T>
 void WritePod(std::ostream& os, const T& v) {
@@ -108,10 +117,23 @@ struct WriteRegistry {
 
 using ReadPayloadVariant =
     std::variant<BufferView<int64_t>, BufferView<double>,
-                 BufferView<std::string>, BufferView<uint8_t>>;
+                 BufferView<std::string>, BufferView<uint8_t>,
+                 BufferView<int32_t>>;
 
 struct ReadRegistry {
   std::vector<ReadPayloadVariant> payloads;
+  /// StringDict objects already rebuilt in this frame, so columns that
+  /// shared one dictionary before the round trip share one after it too.
+  std::vector<dataframe::StringDictPtr> dicts;
+
+  dataframe::StringDictPtr DictFor(const BufferView<std::string>& values) {
+    for (const auto& d : dicts) {
+      if (d->values().IdenticalTo(values)) return d;
+    }
+    auto d = std::make_shared<const dataframe::StringDict>(values);
+    dicts.push_back(d);
+    return d;
+  }
 };
 
 template <typename T>
@@ -194,14 +216,22 @@ Status WriteColumn(std::ostream& os, const Column& c, WriteRegistry* reg) {
       XORBITS_RETURN_NOT_OK(WritePayload(os, c.bool_data(), reg));
       break;
     case DType::kString:
-      XORBITS_RETURN_NOT_OK(WritePayload(os, c.string_data(), reg));
+      if (c.is_dict()) {
+        WritePod<uint8_t>(os, kEncodingDict);
+        XORBITS_RETURN_NOT_OK(WritePayload(os, c.dict_codes(), reg));
+        XORBITS_RETURN_NOT_OK(WritePayload(os, c.dict()->values(), reg));
+      } else {
+        WritePod<uint8_t>(os, kEncodingPlain);
+        XORBITS_RETURN_NOT_OK(WritePayload(os, c.string_data(), reg));
+      }
       break;
   }
   if (!os) return Status::IOError("write failed");
   return Status::OK();
 }
 
-Result<Column> ReadColumn(std::istream& is, ReadRegistry* reg) {
+Result<Column> ReadColumn(std::istream& is, ReadRegistry* reg,
+                          bool has_encoding_byte) {
   uint8_t dtype_raw = 0, has_validity = 0;
   XORBITS_RETURN_NOT_OK(ReadPod(is, &dtype_raw));
   XORBITS_RETURN_NOT_OK(ReadPod(is, &has_validity));
@@ -227,6 +257,18 @@ Result<Column> ReadColumn(std::istream& is, ReadRegistry* reg) {
       return Column::BoolFromView(std::move(data), std::move(validity));
     }
     case DType::kString: {
+      uint8_t encoding = kEncodingPlain;
+      if (has_encoding_byte) XORBITS_RETURN_NOT_OK(ReadPod(is, &encoding));
+      if (encoding == kEncodingDict) {
+        XORBITS_ASSIGN_OR_RETURN(auto codes, ReadPayload<int32_t>(is, reg));
+        XORBITS_ASSIGN_OR_RETURN(auto values,
+                                 ReadPayload<std::string>(is, reg));
+        return Column::Dictionary(std::move(codes), reg->DictFor(values),
+                                  std::move(validity));
+      }
+      if (encoding != kEncodingPlain) {
+        return Status::IOError("bad string encoding tag");
+      }
       XORBITS_ASSIGN_OR_RETURN(auto data, ReadPayload<std::string>(is, reg));
       return Column::FromView(std::move(data), std::move(validity));
     }
@@ -263,7 +305,10 @@ Status WriteDataFrame(std::ostream& os, const DataFrame& df) {
 Result<DataFrame> ReadDataFrame(std::istream& is) {
   uint32_t magic = 0;
   XORBITS_RETURN_NOT_OK(ReadPod(is, &magic));
-  if (magic != kDfMagic) return Status::IOError("bad dataframe magic");
+  if (magic != kDfMagic && magic != kDfMagicV2) {
+    return Status::IOError("bad dataframe magic");
+  }
+  const bool has_encoding_byte = magic == kDfMagic;
   uint32_t ncols = 0;
   XORBITS_RETURN_NOT_OK(ReadPod(is, &ncols));
   ReadRegistry reg;
@@ -271,7 +316,8 @@ Result<DataFrame> ReadDataFrame(std::istream& is) {
   std::vector<Column> cols;
   for (uint32_t i = 0; i < ncols; ++i) {
     XORBITS_ASSIGN_OR_RETURN(std::string name, ReadString(is));
-    XORBITS_ASSIGN_OR_RETURN(Column c, ReadColumn(is, &reg));
+    XORBITS_ASSIGN_OR_RETURN(Column c,
+                             ReadColumn(is, &reg, has_encoding_byte));
     names.push_back(std::move(name));
     cols.push_back(std::move(c));
   }

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/kernel_stats.h"
+
 namespace xorbits::io {
 
 namespace {
@@ -11,7 +13,14 @@ using dataframe::Column;
 using dataframe::DataFrame;
 using dataframe::DType;
 
-constexpr uint32_t kMagic = 0x58505131;  // "XPQ1"
+// "XPQ2": string column blocks carry a physical-encoding byte — 0 for
+// plain length-prefixed strings, 1 for a dictionary page (deduplicated
+// values + int32 codes). "XPQ1" files (no encoding byte) remain readable.
+constexpr uint32_t kMagicV1 = 0x58505131;  // "XPQ1"
+constexpr uint32_t kMagic = 0x58505132;    // "XPQ2"
+
+constexpr uint8_t kEncodingPlain = 0;
+constexpr uint8_t kEncodingDict = 1;
 
 template <typename T>
 void WritePod(std::ostream& os, const T& v) {
@@ -58,14 +67,27 @@ std::string EncodeColumn(const Column& c) {
       os.write(reinterpret_cast<const char*>(c.bool_data().data()), n);
       break;
     case DType::kString:
-      for (const auto& s : c.string_data()) WriteStr(os, s);
+      if (c.is_dict()) {
+        // Dictionary page: the values are already deduplicated (StringDict
+        // invariant), so they round-trip without a rebuild.
+        WritePod<uint8_t>(os, kEncodingDict);
+        const dataframe::StringDict& d = *c.dict();
+        WritePod<uint32_t>(os, static_cast<uint32_t>(d.size()));
+        for (int64_t k = 0; k < d.size(); ++k) {
+          WriteStr(os, d.value(static_cast<int32_t>(k)));
+        }
+        os.write(reinterpret_cast<const char*>(c.dict_codes().data()), n * 4);
+      } else {
+        WritePod<uint8_t>(os, kEncodingPlain);
+        for (const auto& s : c.string_data()) WriteStr(os, s);
+      }
       break;
   }
   return os.str();
 }
 
-Result<Column> DecodeColumn(const std::string& block, DType dtype,
-                            int64_t n) {
+Result<Column> DecodeColumn(const std::string& block, DType dtype, int64_t n,
+                            bool has_encoding_byte, bool dict_encode) {
   std::istringstream is(block);
   uint8_t has_validity = 0;
   XORBITS_RETURN_NOT_OK(ReadPod(is, &has_validity));
@@ -95,13 +117,40 @@ Result<Column> DecodeColumn(const std::string& block, DType dtype,
       return Column::Bool(std::move(data), std::move(validity));
     }
     case DType::kString: {
+      uint8_t encoding = kEncodingPlain;
+      if (has_encoding_byte) XORBITS_RETURN_NOT_OK(ReadPod(is, &encoding));
+      if (encoding == kEncodingDict) {
+        uint32_t dict_size = 0;
+        XORBITS_RETURN_NOT_OK(ReadPod(is, &dict_size));
+        std::vector<std::string> values;
+        values.reserve(dict_size);
+        for (uint32_t k = 0; k < dict_size; ++k) {
+          XORBITS_ASSIGN_OR_RETURN(std::string s, ReadStr(is));
+          values.push_back(std::move(s));
+        }
+        std::vector<int32_t> codes(n);
+        is.read(reinterpret_cast<char*>(codes.data()), n * 4);
+        if (!is) return Status::IOError("truncated dict codes");
+        Column col = Column::Dictionary(
+            common::BufferView<int32_t>(std::move(codes)),
+            dataframe::StringDict::Make(std::move(values)),
+            common::BufferView<uint8_t>(std::move(validity)));
+        if (!dict_encode) return col.DictDecode();
+        common::KernelStats::Get().dict_encoded_columns.fetch_add(
+            1, std::memory_order_relaxed);
+        return col;
+      }
+      if (encoding != kEncodingPlain) {
+        return Status::IOError("bad string encoding tag");
+      }
       std::vector<std::string> data;
       data.reserve(n);
       for (int64_t i = 0; i < n; ++i) {
         XORBITS_ASSIGN_OR_RETURN(std::string s, ReadStr(is));
         data.push_back(std::move(s));
       }
-      return Column::String(std::move(data), std::move(validity));
+      Column col = Column::String(std::move(data), std::move(validity));
+      return dict_encode ? col.DictEncode() : col;
     }
   }
   return Status::IOError("bad dtype");
@@ -159,9 +208,12 @@ Result<XpqFileInfo> ReadXpqInfo(const std::string& path) {
   uint32_t magic = 0;
   XORBITS_RETURN_NOT_OK(ReadPod(in, &footer_size));
   XORBITS_RETURN_NOT_OK(ReadPod(in, &magic));
-  if (magic != kMagic) return Status::IOError("bad xparquet magic: " + path);
+  if (magic != kMagic && magic != kMagicV1) {
+    return Status::IOError("bad xparquet magic: " + path);
+  }
   in.seekg(file_size - 12 - footer_size);
   XpqFileInfo info;
+  info.version = magic == kMagic ? 2 : 1;
   XORBITS_RETURN_NOT_OK(ReadPod(in, &info.num_rows));
   uint32_t ncols = 0;
   XORBITS_RETURN_NOT_OK(ReadPod(in, &ncols));
@@ -181,7 +233,7 @@ Result<XpqFileInfo> ReadXpqInfo(const std::string& path) {
 Result<DataFrame> ReadXpq(const std::string& path,
                           const std::vector<std::string>& columns,
                           int64_t row_offset, int64_t row_count,
-                          int64_t* bytes_read) {
+                          int64_t* bytes_read, bool dict_encode) {
   XORBITS_ASSIGN_OR_RETURN(XpqFileInfo info, ReadXpqInfo(path));
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
@@ -212,8 +264,9 @@ Result<DataFrame> ReadXpq(const std::string& path,
     in.read(block.data(), ci->nbytes);
     if (!in) return Status::IOError("truncated column block: " + ci->name);
     if (bytes_read != nullptr) *bytes_read += ci->nbytes;
-    XORBITS_ASSIGN_OR_RETURN(Column col,
-                             DecodeColumn(block, ci->dtype, info.num_rows));
+    XORBITS_ASSIGN_OR_RETURN(
+        Column col, DecodeColumn(block, ci->dtype, info.num_rows,
+                                 info.version >= 2, dict_encode));
     names.push_back(ci->name);
     cols.push_back(std::move(col));
   }

@@ -20,6 +20,9 @@ struct XpqColumnInfo {
 /// File-level metadata (cheap to read: footer only).
 struct XpqFileInfo {
   int64_t num_rows = 0;
+  /// Format version: 2 = string blocks carry an encoding byte (plain vs
+  /// dictionary page); 1 = legacy plain-only string blocks.
+  uint32_t version = 2;
   std::vector<XpqColumnInfo> columns;
 
   bool HasColumn(const std::string& name) const;
@@ -39,12 +42,15 @@ Result<XpqFileInfo> ReadXpqInfo(const std::string& path);
 /// row_count >= 0 (chunked reads decode the block then slice). When
 /// `bytes_read` is non-null it is incremented by the encoded size of every
 /// column block fetched — the I/O denominator that column pruning and
-/// predicate pushdown shrink.
+/// predicate pushdown shrink. When `dict_encode` is true, string columns
+/// come back dictionary-encoded (dict pages load codes directly, plain
+/// blocks are encoded after decode); when false, everything is plain.
 Result<dataframe::DataFrame> ReadXpq(const std::string& path,
                                      const std::vector<std::string>& columns = {},
                                      int64_t row_offset = 0,
                                      int64_t row_count = -1,
-                                     int64_t* bytes_read = nullptr);
+                                     int64_t* bytes_read = nullptr,
+                                     bool dict_encode = false);
 
 }  // namespace xorbits::io
 

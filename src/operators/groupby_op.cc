@@ -1,9 +1,9 @@
 #include "operators/groupby_op.h"
 
 #include <algorithm>
-#include <functional>
 
 #include "dataframe/kernels.h"
+#include "dataframe/key_hash.h"
 #include "operators/dataframe_ops.h"
 
 namespace xorbits::operators {
@@ -71,12 +71,12 @@ Status HashPartitionChunkOp::Execute(ExecutionContext& ctx) const {
   }
   const int64_t n = in->num_rows();
   std::vector<std::vector<int64_t>> part_rows(partitions_);
-  std::string key;
-  std::hash<std::string> hasher;
+  // Typed value hash — no per-row key-bytes string. The hash is a pure
+  // function of the key values (encoding-invariant), so partition routing
+  // is identical whether the key columns arrive plain or dict-encoded.
+  dataframe::RowHasher hasher(key_cols);
   for (int64_t i = 0; i < n; ++i) {
-    key.clear();
-    for (const auto* c : key_cols) c->AppendKeyBytes(i, &key);
-    part_rows[hasher(key) % partitions_].push_back(i);
+    part_rows[hasher.Hash(i) % partitions_].push_back(i);
   }
   for (int p = 0; p < partitions_; ++p) {
     ctx.shuffle_outputs[p] = services::MakeChunk(in->TakeRows(part_rows[p]));

@@ -64,8 +64,8 @@ Status ReadXpqChunkOp::Execute(ExecutionContext& ctx) const {
   int64_t bytes = 0;
   if (filter_ == nullptr) {
     XORBITS_ASSIGN_OR_RETURN(
-        DataFrame df,
-        io::ReadXpq(path_, columns_, row_offset_, row_count_, &bytes));
+        DataFrame df, io::ReadXpq(path_, columns_, row_offset_, row_count_,
+                                  &bytes, dict_encode_));
     if (ctx.metrics != nullptr) ctx.metrics->source_bytes_read += bytes;
     ctx.outputs[0] = services::MakeChunk(std::move(df));
     return Status::OK();
@@ -96,8 +96,8 @@ Status ReadXpqChunkOp::Execute(ExecutionContext& ctx) const {
     if (cheapest != nullptr) fcols.push_back(cheapest->name);
   }
   XORBITS_ASSIGN_OR_RETURN(
-      DataFrame probe,
-      io::ReadXpq(path_, fcols, row_offset_, row_count_, &bytes));
+      DataFrame probe, io::ReadXpq(path_, fcols, row_offset_, row_count_,
+                                   &bytes, dict_encode_));
   XORBITS_ASSIGN_OR_RETURN(dataframe::Column mask, EvalExpr(probe, *filter_));
   if (mask.dtype() != DType::kBool) {
     return Status::TypeError("pushed filter predicate must be boolean");
@@ -137,7 +137,8 @@ Status ReadXpqChunkOp::Execute(ExecutionContext& ctx) const {
     DataFrame payload;
     if (!rest.empty()) {
       XORBITS_ASSIGN_OR_RETURN(
-          payload, io::ReadXpq(path_, rest, row_offset_, row_count_, &bytes));
+          payload, io::ReadXpq(path_, rest, row_offset_, row_count_, &bytes,
+                               dict_encode_));
     }
     DataFrame full;
     for (const auto& name : out_names) {
@@ -157,6 +158,7 @@ Status ReadXpqChunkOp::Execute(ExecutionContext& ctx) const {
 std::optional<std::string> ReadXpqChunkOp::CseSignature() const {
   std::string sig = "xpq|" + path_ + "|" + std::to_string(row_offset_) + "|" +
                     std::to_string(row_count_) + "|" +
+                    (dict_encode_ ? "d|" : "p|") +
                     (filter_ != nullptr ? filter_->ToString() : "") + "|";
   for (const auto& c : columns_) {
     sig += c;
@@ -304,7 +306,8 @@ TileTask ReadXpqOp::Tile(TileContext& ctx, TileableNode* node) {
                             : static_cast<int64_t>(pruned_columns_.size());
   for (const auto& [off, count] : SplitRows(info.num_rows, nchunks)) {
     auto op = std::make_shared<ReadXpqChunkOp>(path_, pruned_columns_, off,
-                                               count, pushed_filter_);
+                                               count, pushed_filter_,
+                                               ctx.config().dict_encode);
     ChunkNode* chunk = ctx.chunk_graph()->AddNode(std::move(op), {});
     if (pushed_filter_ != nullptr && ctx.dynamic()) {
       // Filtered row count is unknown until the chunk runs; dynamic tiling

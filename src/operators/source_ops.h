@@ -38,12 +38,13 @@ class ReadXpqChunkOp : public ChunkOp {
  public:
   ReadXpqChunkOp(std::string path, std::vector<std::string> columns,
                  int64_t row_offset, int64_t row_count,
-                 ExprPtr filter = nullptr)
+                 ExprPtr filter = nullptr, bool dict_encode = false)
       : path_(std::move(path)),
         columns_(std::move(columns)),
         row_offset_(row_offset),
         row_count_(row_count),
-        filter_(std::move(filter)) {}
+        filter_(std::move(filter)),
+        dict_encode_(dict_encode) {}
   const char* type_name() const override { return "ReadParquet"; }
   Status Execute(ExecutionContext& ctx) const override;
   std::optional<std::string> CseSignature() const override;
@@ -57,6 +58,9 @@ class ReadXpqChunkOp : public ChunkOp {
   /// evaluates the mask, and skips the remaining column blocks entirely
   /// when no row matches — the I/O saving predicate pushdown buys.
   ExprPtr filter_;  // may be null
+  /// Dictionary-encode string columns as they are read (Config::dict_encode,
+  /// captured at tile time — ExecutionContext carries no config).
+  bool dict_encode_;
 };
 
 /// Chunk kernel reading a CSV row range (dtype inference per chunk; dates

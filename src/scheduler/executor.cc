@@ -304,12 +304,20 @@ Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
   return Status::OK();
 }
 
-void Executor::RollbackSubtask(graph::Subtask& subtask) {
+void Executor::RollbackSubtask(graph::Subtask& subtask, bool tombstone) {
   for (graph::ChunkNode* node : subtask.chunk_nodes) {
     if (!node->executed) continue;
-    Status ignored = storage_->Delete(node->key);
-    (void)ignored;
-    storage_->DeleteByPrefix(node->key + "@");
+    if (tombstone) {
+      // Recovery-path rollback: the keys being torn down may have live
+      // consumers on other bands — leave kChunkLost tombstones behind.
+      Status ignored = storage_->DropChunk(node->key);
+      (void)ignored;
+      storage_->DropByPrefix(node->key + "@");
+    } else {
+      Status ignored = storage_->Delete(node->key);
+      (void)ignored;
+      storage_->DeleteByPrefix(node->key + "@");
+    }
     meta_->Delete(node->key);
     node->executed = false;
   }
@@ -394,14 +402,18 @@ Status Executor::RecoverKey(const std::string& key, int band, int depth,
       XORBITS_RETURN_NOT_OK(RecoverKey(in, band, depth + 1, sim_us));
     }
   }
-  // Drop surviving outputs (and settle tombstones) so the re-publish is
-  // clean; stale shuffle partitions are swept by base-key prefix.
+  // Drop surviving outputs so the re-publish is clean; stale shuffle
+  // partitions are swept by base-key prefix. Tombstoning drops, not plain
+  // deletes: subtasks on other bands keep running while this group
+  // recomputes, and a consumer that reads a sibling output inside the
+  // teardown-to-republish window must see recoverable kChunkLost (it will
+  // serialize on recovery_mu_ and find the key rebuilt), never kKeyError.
   for (const std::string& out_key : lineage->output_keys) {
-    Status ignored = storage_->Delete(out_key);
+    Status ignored = storage_->DropChunk(out_key);
     (void)ignored;
   }
   for (const graph::ChunkNode* n : lineage->nodes) {
-    storage_->DeleteByPrefix(n->key + "@");
+    storage_->DropByPrefix(n->key + "@");
   }
   for (graph::ChunkNode* n : lineage->nodes) n->executed = false;
 
@@ -423,7 +435,7 @@ Status Executor::RecoverKey(const std::string& key, int band, int depth,
     std::string lost;
     result = RunSubtask(recompute, uid, attempt, &lost);
     if (result.ok()) break;
-    RollbackSubtask(recompute);
+    RollbackSubtask(recompute, /*tombstone=*/true);
     if (result.IsChunkLost() && !lost.empty()) {
       // An input vanished between the availability check and the read
       // (nested loss); recover it and burn one attempt.

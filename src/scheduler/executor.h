@@ -80,7 +80,10 @@ class Executor {
   /// Deletes every output this subtask already published (including shuffle
   /// partitions) and clears member nodes' executed flags, so a retry can
   /// re-publish without duplicate-key collisions.
-  void RollbackSubtask(graph::Subtask& subtask);
+  /// Tears down a failed attempt's published outputs. `tombstone` leaves
+  /// kChunkLost markers behind (recovery-path rollback, where concurrent
+  /// consumers may race the teardown) instead of deleting cleanly.
+  void RollbackSubtask(graph::Subtask& subtask, bool tombstone = false);
 
   /// Serialized entry point for lineage recovery of one lost chunk;
   /// re-checks under the recovery lock whether a racing recovery already

@@ -284,6 +284,24 @@ bool StorageService::band_dead(int band) const {
   return band >= 0 && band < num_bands_ && band_dead_[band];
 }
 
+void StorageService::DropByPrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      if (it->second.level == StorageLevel::kMemory) {
+        UnchargeLocked(it->second.band, it->second);
+      } else {
+        std::filesystem::remove(it->second.spill_path);
+      }
+      ReleaseReplicasLocked(it->second);
+      lost_.insert(it->first);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 Status StorageService::DropChunk(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);

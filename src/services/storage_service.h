@@ -66,6 +66,13 @@ class StorageService {
   /// later Gets surface kChunkLost until a recomputed payload is Put.
   Status DropChunk(const std::string& key);
 
+  /// Tombstoning DeleteByPrefix: drops every chunk whose key starts with
+  /// `prefix` and marks each key lost. Used when lineage recovery tears
+  /// down a group's surviving shuffle partitions — concurrent consumers
+  /// must see recoverable kChunkLost, never fatal kKeyError, while the
+  /// group re-runs.
+  void DropByPrefix(const std::string& prefix);
+
   /// True when `key` was lost (band death / chunk-loss) and has not been
   /// recomputed yet.
   bool IsLost(const std::string& key) const;

@@ -130,7 +130,8 @@ TEST_P(BaselineEquivalenceTest, MatchesSingleNode) {
   ASSERT_TRUE(io::tpch::GenerateFiles(0.003, dir).ok());
   core::Session reference(EngineConfig(EngineKind::kPandasLike));
   auto expected = tpch::RunQuery(q, &reference, dir);
-  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(expected.ok()) << "pandas-like Q" << q << ": "
+                             << expected.status();
   core::Session baseline(EngineConfig(kind));
   auto actual = tpch::RunQuery(q, &baseline, dir);
   ASSERT_TRUE(actual.ok()) << actual.status();
