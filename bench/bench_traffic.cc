@@ -1,0 +1,328 @@
+// Traffic bench: multi-tenant serving under closed-loop load.
+//
+// N clients each own a tenant session on one shared SessionManager cluster
+// and submit a fixed number of mixed queries (Census, TPCx-AI UC10,
+// PLAsTiCC) back-to-back. Shed submissions (kOverloaded) are retried after
+// the server-supplied backoff hint, so per-query latency is the full
+// client-perceived time including admission queueing and retries. Reports
+// p50/p95/p99 latency (aggregate and per session), throughput, and shed
+// rate at N = {1, 4, 16}; writes BENCH_traffic.json.
+//
+// Acceptance tracked here: every query eventually completes OK at every
+// N, and with weighted-fair scheduling on, no session's p99 at N=4 may
+// exceed 3x the solo (N=1) p99 — see EXPERIMENTS.md.
+//
+// `--smoke` runs a seconds-long variant (N = {1, 2}, fewer/smaller
+// queries) for CI; the fairness bar is only enforced in the full run.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/session_manager.h"
+#include "workloads/pipelines.h"
+
+namespace xorbits::bench {
+namespace {
+
+struct TrafficParams {
+  std::vector<int> session_counts;
+  int queries_per_client = 10;
+  int64_t census_rows = 50000;
+  int64_t tpcxai_transactions = 30000;
+  int64_t plasticc_rows = 30000;
+};
+
+Config TrafficConfig() {
+  // 8 bands: N=4 contends without saturating (the fairness bar measures
+  // scheduling, not raw capacity starvation); N=16 oversubscribes 2:1.
+  Config c = BenchConfig(EngineKind::kXorbits, /*workers=*/4,
+                         /*bands_per_worker=*/2, /*band_mb=*/256,
+                         /*chunk_kb=*/64, /*deadline_ms=*/120000);
+  c.spill_dir = "/tmp/xorbits_bench_spill_traffic";
+  // Multi-tenant serving policy: enough slots that N=4 co-runs without
+  // shedding (the fairness bar assumes contention, not starvation), few
+  // enough that N=16 overloads and exercises queue -> shed degradation.
+  c.max_concurrent_sessions = 6;
+  c.admission_queue_depth = 4;
+  c.admission_timeout_ms = 100;
+  c.session_memory_quota_bytes = 32LL << 20;  // generous: accounting, not
+                                              // failure, is under test here
+  return c;
+}
+
+/// One client's closed loop: submit, retry-on-overload, record.
+struct ClientStats {
+  int64_t session_id = -1;
+  std::vector<double> latency_ms;  // per completed query, incl. retries
+  int64_t completed = 0;
+  int64_t shed = 0;    // overloaded responses (each is one retry cycle)
+  int64_t failed = 0;  // terminal non-overload failures
+};
+
+void RunClient(core::Session* session, int client_idx,
+               const TrafficParams& p, ClientStats* out) {
+  out->session_id = session->session_id();
+  constexpr int kMaxRetries = 200;
+  for (int q = 0; q < p.queries_per_client; ++q) {
+    const int kind = (client_idx + q) % 3;
+    const auto t0 = std::chrono::steady_clock::now();
+    Status st = Status::OK();
+    for (int attempt = 0; attempt <= kMaxRetries; ++attempt) {
+      switch (kind) {
+        case 0:
+          st = workloads::pipelines::Census(session, p.census_rows, 44)
+                   .status();
+          break;
+        case 1:
+          st = workloads::pipelines::TpcxAiUC10(session,
+                                                p.tpcxai_transactions,
+                                                /*num_customers=*/500)
+                   .status();
+          break;
+        default:
+          st = workloads::pipelines::Plasticc(session, p.plasticc_rows,
+                                              /*num_objects=*/300,
+                                              /*seed=*/45)
+                   .status();
+          break;
+      }
+      if (!st.IsOverloaded()) break;
+      // Server-guided backoff: the hint scales with queue pressure.
+      ++out->shed;
+      const int64_t hint = std::max<int64_t>(st.backoff_hint_ms(), 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(hint));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    if (st.ok()) {
+      ++out->completed;
+      out->latency_ms.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    } else {
+      ++out->failed;
+      std::fprintf(stderr, "client %d query %d failed: %s\n", client_idx, q,
+                   st.ToString().c_str());
+    }
+  }
+}
+
+double Percentile(std::vector<double> v, double pct) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = pct / 100.0 * static_cast<double>(v.size());
+  auto idx = static_cast<size_t>(std::ceil(rank));
+  if (idx == 0) idx = 1;
+  if (idx > v.size()) idx = v.size();
+  return v[idx - 1];
+}
+
+struct ScenarioResult {
+  int sessions = 0;
+  double wall_s = 0;
+  double throughput_qps = 0;
+  int64_t completed = 0;
+  int64_t shed = 0;
+  int64_t failed = 0;
+  double shed_rate = 0;  // shed / (completed + shed + failed) submissions
+  double p50 = 0, p95 = 0, p99 = 0;
+  std::vector<ClientStats> clients;
+};
+
+ScenarioResult RunScenario(int num_sessions, const TrafficParams& p) {
+  ScenarioResult res;
+  res.sessions = num_sessions;
+
+  Config config = TrafficConfig();
+  MaybeAttachTrace(&config);
+  auto mgr = core::SessionManager::Create(config);
+  if (!mgr.ok()) {
+    std::fprintf(stderr, "session manager: %s\n",
+                 mgr.status().ToString().c_str());
+    res.failed = num_sessions * p.queries_per_client;
+    return res;
+  }
+
+  std::vector<std::unique_ptr<core::Session>> sessions;
+  sessions.reserve(num_sessions);
+  for (int i = 0; i < num_sessions; ++i) {
+    sessions.push_back((*mgr)->CreateSession());
+  }
+
+  res.clients.resize(num_sessions);
+  std::vector<std::thread> threads;
+  threads.reserve(num_sessions);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < num_sessions; ++i) {
+    threads.emplace_back(RunClient, sessions[i].get(), i, std::cref(p),
+                         &res.clients[i]);
+  }
+  for (std::thread& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  res.wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+  std::vector<double> all;
+  for (const ClientStats& c : res.clients) {
+    res.completed += c.completed;
+    res.shed += c.shed;
+    res.failed += c.failed;
+    all.insert(all.end(), c.latency_ms.begin(), c.latency_ms.end());
+  }
+  const int64_t submissions = res.completed + res.shed + res.failed;
+  res.shed_rate = submissions > 0
+                      ? static_cast<double>(res.shed) /
+                            static_cast<double>(submissions)
+                      : 0.0;
+  res.throughput_qps =
+      res.wall_s > 0 ? static_cast<double>(res.completed) / res.wall_s : 0.0;
+  res.p50 = Percentile(all, 50);
+  res.p95 = Percentile(all, 95);
+  res.p99 = Percentile(all, 99);
+
+  std::printf(
+      "N=%-3d wall %6.2fs  %6.2f q/s  completed %4lld shed %4lld "
+      "failed %lld  shed_rate %.3f  p50 %7.1fms p95 %7.1fms p99 %7.1fms\n",
+      num_sessions, res.wall_s, res.throughput_qps,
+      static_cast<long long>(res.completed),
+      static_cast<long long>(res.shed), static_cast<long long>(res.failed),
+      res.shed_rate, res.p50, res.p95, res.p99);
+  for (const ClientStats& c : res.clients) {
+    std::printf("      session %-3lld completed %3lld shed %3lld "
+                "p50 %7.1fms p99 %7.1fms\n",
+                static_cast<long long>(c.session_id),
+                static_cast<long long>(c.completed),
+                static_cast<long long>(c.shed),
+                Percentile(c.latency_ms, 50), Percentile(c.latency_ms, 99));
+  }
+  return res;
+}
+
+void WriteJson(const char* path, const std::vector<ScenarioResult>& runs,
+               const TrafficParams& p, bool smoke, double solo_p99,
+               double n4_worst_ratio, bool fairness_pass) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"traffic_multitenant\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f,
+               "  \"workloads\": [\"census\", \"tpcxai_uc10\", "
+               "\"plasticc\"],\n");
+  std::fprintf(f, "  \"queries_per_client\": %d,\n", p.queries_per_client);
+  std::fprintf(f, "  \"solo_p99_ms\": %.2f,\n", solo_p99);
+  std::fprintf(f, "  \"scenarios\": [\n");
+  bool first = true;
+  for (const ScenarioResult& r : runs) {
+    if (!first) std::fprintf(f, ",\n");
+    first = false;
+    std::fprintf(
+        f,
+        "    {\"sessions\": %d, \"wall_s\": %.3f, "
+        "\"throughput_qps\": %.3f, \"completed\": %lld, \"shed\": %lld, "
+        "\"failed\": %lld, \"shed_rate\": %.4f, "
+        "\"latency_ms\": {\"p50\": %.2f, \"p95\": %.2f, \"p99\": %.2f},\n"
+        "     \"per_session\": [",
+        r.sessions, r.wall_s, r.throughput_qps,
+        static_cast<long long>(r.completed), static_cast<long long>(r.shed),
+        static_cast<long long>(r.failed), r.shed_rate, r.p50, r.p95, r.p99);
+    bool cfirst = true;
+    for (const ClientStats& c : r.clients) {
+      if (!cfirst) std::fprintf(f, ", ");
+      cfirst = false;
+      std::fprintf(f,
+                   "{\"session\": %lld, \"completed\": %lld, "
+                   "\"shed\": %lld, \"p50\": %.2f, \"p99\": %.2f}",
+                   static_cast<long long>(c.session_id),
+                   static_cast<long long>(c.completed),
+                   static_cast<long long>(c.shed),
+                   Percentile(c.latency_ms, 50),
+                   Percentile(c.latency_ms, 99));
+    }
+    std::fprintf(f, "]}");
+  }
+  std::fprintf(f, "\n  ],\n");
+  std::fprintf(f,
+               "  \"fairness\": {\"n4_max_p99_over_solo\": %.3f, "
+               "\"bound\": 3.0, \"pass\": %s}\n",
+               n4_worst_ratio, fairness_pass ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace xorbits::bench
+
+int main(int argc, char** argv) {
+  using namespace xorbits;
+  using namespace xorbits::bench;
+
+  InitTrace(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  TrafficParams p;
+  if (smoke) {
+    p.session_counts = {1, 2};
+    p.queries_per_client = 2;
+    p.census_rows = 8000;
+    p.tpcxai_transactions = 5000;
+    p.plasticc_rows = 5000;
+  } else {
+    p.session_counts = {1, 4, 16};
+  }
+
+  PrintHeader("Traffic: multi-tenant closed-loop serving");
+  std::printf("clients x %d queries each (census / tpcxai_uc10 / "
+              "plasticc mix), shed submissions retried after the "
+              "server's backoff hint\n\n",
+              p.queries_per_client);
+
+  std::vector<ScenarioResult> runs;
+  for (int n : p.session_counts) runs.push_back(RunScenario(n, p));
+
+  // Fairness bar (full mode): with WFQ on, no single session at N=4 may
+  // see p99 beyond 3x the solo p99.
+  const double solo_p99 = runs.empty() ? 0.0 : runs.front().p99;
+  double n4_worst_ratio = 0.0;
+  for (const ScenarioResult& r : runs) {
+    if (r.sessions != 4 || solo_p99 <= 0) continue;
+    for (const ClientStats& c : r.clients) {
+      const double ratio = Percentile(c.latency_ms, 99) / solo_p99;
+      n4_worst_ratio = std::max(n4_worst_ratio, ratio);
+    }
+  }
+
+  bool ok = true;
+  for (const ScenarioResult& r : runs) {
+    if (r.failed > 0 || r.completed == 0) {
+      std::printf("FAIL: N=%d had %lld terminal failures\n", r.sessions,
+                  static_cast<long long>(r.failed));
+      ok = false;
+    }
+  }
+  bool fairness_pass = true;
+  if (!smoke && n4_worst_ratio > 3.0) {
+    std::printf("FAIL: N=4 worst per-session p99 is %.2fx solo "
+                "(bound 3.0x)\n",
+                n4_worst_ratio);
+    fairness_pass = false;
+    ok = false;
+  }
+
+  WriteJson("BENCH_traffic.json", runs, p, smoke, solo_p99, n4_worst_ratio,
+            fairness_pass);
+  std::printf("traffic acceptance: %s\n", ok ? "PASS" : "FAIL");
+  FinishTrace();
+  return ok ? 0 : 1;
+}

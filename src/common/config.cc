@@ -13,6 +13,52 @@ const char* EngineKindName(EngineKind kind) {
   return "?";
 }
 
+Status Config::Validate() const {
+  if (num_workers <= 0) {
+    return Status::Invalid("num_workers must be positive, got " +
+                           std::to_string(num_workers));
+  }
+  if (bands_per_worker <= 0) {
+    return Status::Invalid("bands_per_worker must be positive, got " +
+                           std::to_string(bands_per_worker));
+  }
+  if (band_memory_limit <= 0) {
+    return Status::Invalid("band_memory_limit must be positive, got " +
+                           std::to_string(band_memory_limit));
+  }
+  if (max_concurrent_sessions < 0) {
+    return Status::Invalid("max_concurrent_sessions must be >= 0 (0 = "
+                           "unlimited), got " +
+                           std::to_string(max_concurrent_sessions));
+  }
+  // 0 would admit a session that can never store a byte; -1 is the explicit
+  // "disabled" sentinel. Anything below -1 is a sign bug in the caller.
+  if (session_memory_quota_bytes == 0 || session_memory_quota_bytes < -1) {
+    return Status::Invalid(
+        "session_memory_quota_bytes must be positive or -1 (disabled), "
+        "got " +
+        std::to_string(session_memory_quota_bytes));
+  }
+  if (admission_queue_depth < 0) {
+    return Status::Invalid("admission_queue_depth must be >= 0, got " +
+                           std::to_string(admission_queue_depth));
+  }
+  if (admission_timeout_ms < 0) {
+    return Status::Invalid("admission_timeout_ms must be >= 0, got " +
+                           std::to_string(admission_timeout_ms));
+  }
+  if (session_priority < 1 || session_priority > 100) {
+    return Status::Invalid("session_priority must be in [1, 100], got " +
+                           std::to_string(session_priority));
+  }
+  if (session_max_inflight < 0) {
+    return Status::Invalid("session_max_inflight must be >= 0 (0 = "
+                           "unlimited), got " +
+                           std::to_string(session_max_inflight));
+  }
+  return Status::OK();
+}
+
 Config Config::Preset(EngineKind kind) {
   Config c;
   c.engine = kind;

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+
 namespace xorbits {
 
 /// Which system's tiling/partitioning policy the engine emulates. Xorbits is
@@ -167,6 +169,33 @@ struct Config {
   /// lineage-tracked key) is dropped from storage.
   std::vector<int64_t> fault_chunk_losses;
 
+  // --- multi-tenancy (see DESIGN.md §8) ---
+  /// Sessions the admission controller lets run graphs concurrently;
+  /// 0 = unlimited. The default preserves single-session behaviour: a solo
+  /// session is always admitted without queuing.
+  int max_concurrent_sessions = 0;
+  /// Per-session cap on *in-memory* stored bytes, enforced by the storage
+  /// service with graceful degradation (spill the session's own cold chunks
+  /// first, fail only that session with kQuotaExceeded when spilling cannot
+  /// help). -1 disables; 0 is rejected by Validate() — an un-runnable quota
+  /// is a config bug, not a policy.
+  int64_t session_memory_quota_bytes = -1;
+  /// Submissions allowed to wait for admission before newcomers are shed
+  /// with kOverloaded (+ backoff hint). 0 = shed immediately when full.
+  int admission_queue_depth = 16;
+  /// How long one submission may wait in the admission queue before it is
+  /// shed anyway (bounds client latency under persistent overload).
+  int64_t admission_timeout_ms = 10000;
+  /// Weighted-fair share of this session in the executor's cross-session
+  /// ready queue: a priority-2 session accrues virtual work at half the
+  /// rate of a priority-1 one, so it gets ~2x the band slots under
+  /// contention. Valid range [1, 100].
+  int session_priority = 1;
+  /// Cap on this session's concurrently executing subtasks across all
+  /// bands (0 = unlimited). A blunt anti-starvation guard on top of
+  /// weighted fairness.
+  int session_max_inflight = 0;
+
   // --- observability ---
   /// Tracing sink + session process id; disabled (null sink) by default.
   TraceConfig trace;
@@ -176,6 +205,11 @@ struct Config {
 
   /// Preset reproducing the named system's policy restrictions.
   static Config Preset(EngineKind kind);
+
+  /// Rejects nonsensical values (non-positive topology, a zero quota,
+  /// priority out of range, negative queue depth) with a message naming
+  /// the field. Called by SessionManager before it builds a cluster.
+  Status Validate() const;
 };
 
 }  // namespace xorbits

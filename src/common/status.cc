@@ -17,6 +17,8 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kCancelled: return "Cancelled";
     case StatusCode::kWorkerLost: return "WorkerLost";
     case StatusCode::kChunkLost: return "ChunkLost";
+    case StatusCode::kOverloaded: return "Overloaded";
+    case StatusCode::kQuotaExceeded: return "QuotaExceeded";
   }
   return "Unknown";
 }

@@ -1,6 +1,7 @@
 #ifndef XORBITS_COMMON_STATUS_H_
 #define XORBITS_COMMON_STATUS_H_
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -24,6 +25,8 @@ enum class StatusCode {
   kCancelled,
   kWorkerLost,       // a band died; its subtasks must run elsewhere
   kChunkLost,        // stored chunk gone; recoverable via lineage recompute
+  kOverloaded,       // admission shed under load; retry after the hint
+  kQuotaExceeded,    // session memory quota exhausted; fatal for the session
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -74,6 +77,18 @@ class Status {
   static Status ChunkLost(std::string msg) {
     return Status(StatusCode::kChunkLost, std::move(msg));
   }
+  /// Load-shedding refusal from the admission controller. `backoff_hint_ms`
+  /// is the server's estimate of when capacity frees up; well-behaved
+  /// clients wait at least that long before retrying (the executor's
+  /// capped-backoff retry path honours it too).
+  static Status Overloaded(std::string msg, int64_t backoff_hint_ms = 0) {
+    Status s(StatusCode::kOverloaded, std::move(msg));
+    s.backoff_hint_ms_ = backoff_hint_ms;
+    return s;
+  }
+  static Status QuotaExceeded(std::string msg) {
+    return Status(StatusCode::kQuotaExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -84,6 +99,13 @@ class Status {
   bool IsNotImplemented() const { return code_ == StatusCode::kNotImplemented; }
   bool IsWorkerLost() const { return code_ == StatusCode::kWorkerLost; }
   bool IsChunkLost() const { return code_ == StatusCode::kChunkLost; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
+  bool IsQuotaExceeded() const {
+    return code_ == StatusCode::kQuotaExceeded;
+  }
+
+  /// Server-supplied retry delay for kOverloaded (0 = none supplied).
+  int64_t backoff_hint_ms() const { return backoff_hint_ms_; }
 
   /// Failure taxonomy used by the executor's retry policy. Retryable errors
   /// are transient by nature (an I/O flake, a band that died mid-subtask, a
@@ -91,11 +113,14 @@ class Status {
   /// re-execution; everything else — kernel bugs, type errors, deterministic
   /// OOM — fails identically on every attempt and must fail fast. kChunkLost
   /// is deliberately NOT retryable: plain re-execution cannot conjure the
-  /// missing input, it needs the lineage-recovery path first.
+  /// missing input, it needs the lineage-recovery path first. kOverloaded is
+  /// retryable (load passes); kQuotaExceeded is not — the session would hit
+  /// the same quota on every attempt and must fail (alone), not loop.
   bool IsRetryable() const {
     return code_ == StatusCode::kIOError ||
            code_ == StatusCode::kWorkerLost ||
-           code_ == StatusCode::kTimeout;
+           code_ == StatusCode::kTimeout ||
+           code_ == StatusCode::kOverloaded;
   }
 
   std::string ToString() const {
@@ -108,15 +133,19 @@ class Status {
     return s;
   }
 
-  /// Adds context to a non-OK status message (no-op on OK).
+  /// Adds context to a non-OK status message (no-op on OK). Preserves the
+  /// backoff hint so re-wrapped overload errors keep their retry advice.
   Status WithContext(const std::string& context) const {
     if (ok()) return *this;
-    return Status(code_, context + ": " + msg_);
+    Status s(code_, context + ": " + msg_);
+    s.backoff_hint_ms_ = backoff_hint_ms_;
+    return s;
   }
 
  private:
   StatusCode code_;
   std::string msg_;
+  int64_t backoff_hint_ms_ = 0;
 };
 
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {

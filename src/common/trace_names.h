@@ -35,6 +35,7 @@ XORBITS_SPAN_NAME(kSpanScheduleRun, "schedule:run")
 XORBITS_SPAN_NAME(kSpanRecoverPrefix, "recover:")
 XORBITS_SPAN_NAME(kSpanSubtaskPrefix, "subtask:")
 XORBITS_SPAN_NAME(kSpanSpillBackpressure, "storage:spill_backpressure")
+XORBITS_SPAN_NAME(kSpanSessionSubmit, "session:submit")
 
 // --- instant events (Chrome "i" events) ---
 XORBITS_EVENT_NAME(kEventAddTileable, "graph:add_tileable")
@@ -49,6 +50,10 @@ XORBITS_EVENT_NAME(kEventOom, "storage:oom")
 XORBITS_EVENT_NAME(kEventStoragePut, "storage:put")
 XORBITS_EVENT_NAME(kEventStorageGet, "storage:get")
 XORBITS_EVENT_NAME(kEventFetch, "fetch:chunks")
+XORBITS_EVENT_NAME(kEventSessionCreate, "session:create")
+XORBITS_EVENT_NAME(kEventSessionClose, "session:close")
+XORBITS_EVENT_NAME(kEventSessionShed, "session:shed")
+XORBITS_EVENT_NAME(kEventQuotaExceeded, "storage:quota_exceeded")
 
 // --- registry metrics (gauges + histograms; see MetricsRegistry) ---
 XORBITS_METRIC_NAME(kHistSubtaskLatencyUs, "subtask_latency_us")
@@ -73,6 +78,13 @@ XORBITS_METRIC_NAME(kGaugePassRunsPrefix, "optimizer_pass_runs/")
 XORBITS_METRIC_NAME(kGaugePassUsPrefix, "optimizer_pass_us/")
 XORBITS_METRIC_NAME(kGaugePassRemovedPrefix, "optimizer_nodes_removed/")
 XORBITS_METRIC_NAME(kGaugePassRewrittenPrefix, "optimizer_nodes_rewritten/")
+// Multi-tenant serving (DESIGN.md §8): admission queue wait, live/shed
+// session counts on the cluster process, and per-session in-memory bytes
+// the quota is enforced against.
+XORBITS_METRIC_NAME(kHistSessionQueueWaitUs, "session_queue_wait_us")
+XORBITS_METRIC_NAME(kGaugeSessionsActive, "sessions_active")
+XORBITS_METRIC_NAME(kGaugeSessionsShed, "sessions_shed")
+XORBITS_METRIC_NAME(kGaugeSessionBytesPrefix, "session_bytes_used/")
 
 }  // namespace xorbits::trace
 

@@ -6,6 +6,7 @@
 #include "common/trace_names.h"
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -467,7 +468,56 @@ std::string Tracer::RenderRunReport(int pid) const {
     }
   }
 
-  // 6. Counters + histograms from the attached metrics snapshot.
+  // 6. Multi-tenant serving (rendered for the cluster process, which owns
+  //    the admission gauges): live/shed sessions, admission queue wait,
+  //    and per-session in-memory bytes the quota is enforced against.
+  if (p->metrics.has_value()) {
+    bool have_sessions = false;
+    int64_t active = 0, shed = 0;
+    std::map<int64_t, int64_t> session_bytes;
+    const std::string bytes_prefix(trace::kGaugeSessionBytesPrefix);
+    for (const auto& [name, value] : p->metrics->gauges) {
+      if (name == trace::kGaugeSessionsActive) {
+        active = value;
+        have_sessions = true;
+      } else if (name == trace::kGaugeSessionsShed) {
+        shed = value;
+        have_sessions = true;
+      } else if (name.rfind(bytes_prefix, 0) == 0) {
+        session_bytes[std::atoll(name.c_str() + bytes_prefix.size())] = value;
+        have_sessions = true;
+      }
+    }
+    const HistogramSnapshot* wait = nullptr;
+    for (const HistogramSnapshot& h : p->metrics->histograms) {
+      if (h.name == trace::kHistSessionQueueWaitUs && h.count > 0) wait = &h;
+    }
+    if (have_sessions || wait != nullptr) {
+      os << "\n-- sessions (multi-tenant serving) --\n";
+      std::snprintf(line, sizeof(line),
+                    "  active %lld  shed %lld\n",
+                    static_cast<long long>(active),
+                    static_cast<long long>(shed));
+      os << line;
+      if (wait != nullptr) {
+        const double mean = static_cast<double>(wait->sum) / wait->count;
+        std::snprintf(line, sizeof(line),
+                      "  admission wait: count=%lld mean=%.1f us max=%lld us\n",
+                      static_cast<long long>(wait->count), mean,
+                      static_cast<long long>(wait->max));
+        os << line;
+      }
+      for (const auto& [sid, bytes] : session_bytes) {
+        std::snprintf(line, sizeof(line),
+                      "  session %-4lld in-memory %12lld B\n",
+                      static_cast<long long>(sid),
+                      static_cast<long long>(bytes));
+        os << line;
+      }
+    }
+  }
+
+  // 7. Counters + histograms from the attached metrics snapshot.
   if (p->metrics.has_value()) {
     os << "\n-- counters (non-zero) --\n";
     for (const auto& [name, value] : p->metrics->counters) {

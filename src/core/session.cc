@@ -1,7 +1,10 @@
 #include "core/session.h"
 
+#include <algorithm>
+
 #include "common/trace_names.h"
 #include "common/tracing.h"
+#include "core/session_manager.h"
 #include "dataframe/kernels.h"
 #include "tensor/ndarray.h"
 
@@ -25,16 +28,43 @@ Config RegisterTraceProcess(Config config) {
 
 Session::Session(Config config)
     : config_(RegisterTraceProcess(std::move(config))),
-      storage_(std::make_unique<services::StorageService>(config_,
-                                                          &metrics_)),
+      owned_storage_(std::make_unique<services::StorageService>(config_,
+                                                                &metrics_)),
+      storage_(owned_storage_.get()),
+      owned_meta_(std::make_unique<services::MetaService>()),
+      meta_(owned_meta_.get()),
       pass_manager_(config_, &metrics_),
       driver_(std::make_unique<tiling::TilingDriver>(
-          config_, &metrics_, storage_.get(), &meta_, &chunk_graph_,
+          config_, &metrics_, storage_, meta_, &chunk_graph_,
           &pass_manager_)) {
-  meta_.BindObservability(&metrics_);
+  meta_->BindObservability(&metrics_);
+}
+
+Session::Session(SessionManager* manager, Config config, int64_t session_id)
+    : config_(RegisterTraceProcess(std::move(config))),
+      manager_(manager),
+      session_id_(session_id),
+      storage_(&manager->storage()),
+      meta_(&manager->meta()),
+      pass_manager_(config_, &metrics_) {
+  // Namespace this tenant's chunk keys so co-tenants never collide and the
+  // storage service can attribute bytes to the session for its quota.
+  chunk_graph_.set_key_prefix("s" + std::to_string(session_id) + "/");
+  scheduler::RunOptions opts;
+  opts.session_id = session_id;
+  opts.priority = config_.session_priority;
+  opts.max_inflight = config_.session_max_inflight;
+  opts.metrics = &metrics_;
+  opts.trace = config_.trace;
+  driver_ = std::make_unique<tiling::TilingDriver>(
+      config_, &metrics_, storage_, meta_, &chunk_graph_, &pass_manager_,
+      &manager->executor(), opts);
 }
 
 Session::~Session() {
+  // A closed tenant's chunks and meta must not linger in the shared
+  // cluster: free its key namespace (also releasing its quota bytes).
+  if (manager_ != nullptr) manager_->OnSessionClose(session_id_);
   // Hand the final metrics to the trace sink so run reports (rendered after
   // every session is gone) still see this session's counters/histograms.
   if (config_.trace.sink != nullptr) {
@@ -67,7 +97,34 @@ Status Session::Materialize(
   mat_span.AddArg(Arg("tileables", static_cast<int64_t>(topo.size())));
   XORBITS_RETURN_NOT_OK(
       pass_manager_.RunTileablePipeline(&tileable_graph_, &topo, sinks));
-  return driver_->TileAndRun(topo, sinks);
+  if (manager_ == nullptr) return driver_->TileAndRun(topo, sinks);
+  // Tenant submission: reserve projected memory through admission control
+  // (queue / shed under load; see DESIGN.md §8), run, release.
+  TraceSpan submit_span(tr, config_.trace.pid, kTrackSupervisor,
+                        trace::kSpanSessionSubmit);
+  const int64_t estimate = EstimatePendingBytes(topo);
+  submit_span.AddArg(Arg("estimated_bytes", estimate));
+  XORBITS_RETURN_NOT_OK(manager_->Admit(session_id_, estimate));
+  Status run_status = driver_->TileAndRun(topo, sinks);
+  manager_->Release(session_id_);
+  return run_status;
+}
+
+int64_t Session::EstimatePendingBytes(
+    const std::vector<graph::TileableNode*>& topo) const {
+  int64_t total = 0;
+  for (const graph::TileableNode* node : topo) {
+    if (node->tiled) continue;
+    if (node->est_rows > 0) {
+      const int64_t cols =
+          std::max<int64_t>(1, static_cast<int64_t>(node->columns.size()));
+      total += node->est_rows * 8 * cols;
+    } else {
+      // Opaque node: assume one full chunk until tiling learns better.
+      total += config_.chunk_store_limit;
+    }
+  }
+  return total;
 }
 
 Result<dataframe::DataFrame> Session::FetchDataFrame(

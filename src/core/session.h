@@ -15,12 +15,27 @@
 
 namespace xorbits::core {
 
+class SessionManager;
+
 /// One Xorbits runtime: the simulated cluster (bands + storage), the meta
 /// service, the growing tileable/chunk graphs, and the tiling driver. The
 /// paper's session service keeps exactly this state per client session.
+///
+/// Two modes:
+///  - solo (the `Config` constructor): the session owns a private cluster —
+///    storage, meta, executor — the historical single-tenant behaviour,
+///    byte-identical to before multi-tenancy existed.
+///  - tenant (constructed by SessionManager::CreateSession): the session
+///    shares the manager's cluster services, namespaces its chunk keys
+///    under "s<id>/", and every Materialize passes admission control and
+///    runs under weighted-fair scheduling with this session's priority.
 class Session {
  public:
   explicit Session(Config config);
+  /// Tenant mode; called by SessionManager::CreateSession. `config` is the
+  /// manager's config with per-session overrides (priority, trace pid)
+  /// applied. The session must not outlive `manager`.
+  Session(SessionManager* manager, Config config, int64_t session_id);
   ~Session();
 
   Session(const Session&) = delete;
@@ -30,7 +45,9 @@ class Session {
   Metrics& metrics() { return metrics_; }
   graph::TileableGraph& tileable_graph() { return tileable_graph_; }
   services::StorageService& storage() { return *storage_; }
-  services::MetaService& meta() { return meta_; }
+  services::MetaService& meta() { return *meta_; }
+  /// Tenant id under a SessionManager; -1 for solo sessions.
+  int64_t session_id() const { return session_id_; }
 
   /// Adds a tileable node for `op` (the API layer's __call__ step).
   graph::TileableNode* AddTileable(
@@ -48,10 +65,24 @@ class Session {
   Result<tensor::NDArray> FetchTensor(graph::TileableNode* node);
 
  private:
+  /// Projected memory footprint of the un-materialized part of the graph,
+  /// the reservation Admit arbitrates between concurrent submissions:
+  /// est_rows * 8 bytes * columns per source when row counts are known,
+  /// one chunk_store_limit per opaque node otherwise.
+  int64_t EstimatePendingBytes(
+      const std::vector<graph::TileableNode*>& topo) const;
+
   Config config_;
   Metrics metrics_;
-  std::unique_ptr<services::StorageService> storage_;
-  services::MetaService meta_;
+  /// Null for solo sessions; owns the shared cluster in tenant mode.
+  SessionManager* manager_ = nullptr;
+  int64_t session_id_ = -1;
+  /// Owned in solo mode, null in tenant mode; `storage_`/`meta_` always
+  /// point at whichever cluster (private or shared) this session uses.
+  std::unique_ptr<services::StorageService> owned_storage_;
+  services::StorageService* storage_;
+  std::unique_ptr<services::MetaService> owned_meta_;
+  services::MetaService* meta_;
   graph::TileableGraph tileable_graph_;
   graph::ChunkGraph chunk_graph_;
   /// Optimizer pipelines (declared before driver_, which keeps a pointer).

@@ -80,7 +80,7 @@ ChunkNode* ChunkGraph::AddNode(std::shared_ptr<OperatorBase> op,
   node->op = std::move(op);
   node->inputs = std::move(inputs);
   node->output_index = output_index;
-  node->key = "c" + std::to_string(node->id) + "_" +
+  node->key = key_prefix_ + "c" + std::to_string(node->id) + "_" +
               std::to_string(node->output_index);
   ChunkNode* raw = node.get();
   nodes_.push_back(std::move(node));

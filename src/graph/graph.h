@@ -105,9 +105,18 @@ class ChunkGraph {
   }
   int64_t size() const { return static_cast<int64_t>(nodes_.size()); }
 
+  /// Namespace prepended to every subsequently created node's storage key.
+  /// Sessions sharing one storage service set "s<session_id>/" so their
+  /// chunk keys (and shuffle-partition keys derived from them) can never
+  /// collide across tenants. Empty (the default) keeps the historical
+  /// solo-session keys byte-identical.
+  void set_key_prefix(std::string prefix) { key_prefix_ = std::move(prefix); }
+  const std::string& key_prefix() const { return key_prefix_; }
+
  private:
   std::vector<std::unique_ptr<ChunkNode>> nodes_;
   int64_t next_id_ = 0;
+  std::string key_prefix_;
 };
 
 /// Component breakdown of one subtask's modeled cost, filled alongside

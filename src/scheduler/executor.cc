@@ -20,8 +20,8 @@ using operators::ExecutionContext;
 using services::ChunkDataPtr;
 
 /// Shared dispatch state for one Run call. Owned by Run's stack frame; band
-/// workers only dereference it under mu_ while `run_` still points at it,
-/// and Run does not return until no worker is busy with one of its
+/// workers only dereference it under mu_ while it is still listed in
+/// `runs_`, and Run does not return until no worker is busy with one of its
 /// subtasks.
 struct Executor::RunState {
   graph::SubtaskGraph* graph = nullptr;
@@ -36,7 +36,26 @@ struct Executor::RunState {
   int busy = 0;  // workers currently executing a subtask of this run
   std::atomic<bool> cancelled{false};
   Status failure = Status::OK();
+
+  // --- multi-tenant scheduling identity (see RunOptions) ---
+  int64_t session_id = -1;
+  int priority = 1;
+  int max_inflight = 0;  // 0 = unlimited
+  Metrics* metrics = nullptr;     // resolved, never null while listed
+  TraceConfig trace;              // resolved per-run trace identity
+  /// Weighted-fair virtual work: each dispatch adds kVirtualWork/priority;
+  /// band workers serve the eligible run with the least vwork. Guarded by
+  /// mu_.
+  int64_t vwork = 0;
+  /// Subtasks of this run currently executing across all bands (mu_).
+  int inflight = 0;
 };
+
+namespace {
+/// Virtual-work unit one dispatch charges at priority 1. Divides exactly
+/// by every legal priority in [1, 100], so shares stay proportional.
+constexpr int64_t kVirtualWork = 9900;
+}  // namespace
 
 Executor::Executor(const Config& config, Metrics* metrics,
                    services::StorageService* storage,
@@ -105,16 +124,17 @@ constexpr int64_t kDispatchUs = 1000;
 }  // namespace
 
 Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
-                            int attempt, std::string* lost_key) {
+                            int attempt, std::string* lost_key,
+                            Metrics* metrics, const TraceConfig& trace) {
   const int band = subtask.band;
   // Injected transient faults fire before any work: a fated (uid, attempt)
   // pair fails here deterministically, and a re-run of the same attempt
   // after lineage recovery passes identically.
   Status injected = injector_.MaybeInjectSubtaskFault(uid, attempt);
   if (!injected.ok()) {
-    metrics_->faults_injected++;
-    if (Tracer* tr = config_.trace.sink) {
-      tr->Instant(config_.trace.pid, kTrackBandBase + band,
+    metrics->faults_injected++;
+    if (Tracer* tr = trace.sink) {
+      tr->Instant(trace.pid, kTrackBandBase + band,
                   trace::kEventFaultTransient,
                   {Arg("uid", uid), Arg("attempt", int64_t{attempt})});
     }
@@ -161,7 +181,7 @@ Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
       unit_key += k;
     }
     ExecutionContext ctx;
-    ctx.metrics = metrics_;
+    ctx.metrics = metrics;
     auto cached = unit_cache.find(unit_key);
     if (cached != unit_cache.end()) {
       ctx.outputs = cached->second;
@@ -275,7 +295,7 @@ Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
   int64_t serial_cpu = band_cpu - par_cpu.inline_us();
   if (serial_cpu < 0) serial_cpu = 0;
   const int64_t slots = std::max(1, config_.cpus_per_band);
-  metrics_->kernel_cpu_us += serial_cpu + par_total;
+  metrics->kernel_cpu_us += serial_cpu + par_total;
   subtask.cost.serial_us = serial_cpu;
   subtask.cost.parallel_us = (par_total + slots - 1) / slots;
   subtask.cost.dispatch_us = kDispatchUs;
@@ -433,7 +453,8 @@ Status Executor::RecoverKey(const std::string& key, int band, int depth,
   const int max_attempts = config_.max_subtask_retries + 1;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     std::string lost;
-    result = RunSubtask(recompute, uid, attempt, &lost);
+    result = RunSubtask(recompute, uid, attempt, &lost, metrics_,
+                        config_.trace);
     if (result.ok()) break;
     RollbackSubtask(recompute, /*tombstone=*/true);
     if (result.IsChunkLost() && !lost.empty()) {
@@ -445,7 +466,8 @@ Status Executor::RecoverKey(const std::string& key, int band, int depth,
     }
     if (result.IsRetryable() && attempt + 1 < max_attempts) {
       metrics_->subtasks_retried++;
-      const int64_t delay = BackoffMs(attempt + 1);
+      const int64_t delay =
+          std::max(BackoffMs(attempt + 1), result.backoff_hint_ms());
       if (delay > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(delay));
       }
@@ -509,7 +531,7 @@ void Executor::EnqueueLocked(RunState* state, int task_id) {
   state->band_queues[st.band].push_back(task_id);
 }
 
-void Executor::KillBandLocked(RunState* state, int band) {
+void Executor::KillBandLocked(int band) {
   if (band < 0 || band >= config_.total_bands() || blacklisted_[band]) {
     return;
   }
@@ -523,15 +545,17 @@ void Executor::KillBandLocked(RunState* state, int band) {
   }
   XORBITS_LOG(Warn) << "chaos: band " << band << " died, " << lost.size()
                     << " chunk(s) lost; re-placing its queue";
-  if (state == nullptr) return;
-  // Re-place everything the dead band had queued; lost chunks are
-  // recovered lazily when a consumer's read surfaces kChunkLost.
-  std::deque<int> orphaned;
-  orphaned.swap(state->band_queues[band]);
-  for (int task_id : orphaned) {
-    graph::Subtask& st = state->graph->subtasks[task_id];
-    st.band = -1;  // force re-placement
-    EnqueueLocked(state, task_id);
+  // The band died for every tenant at once: re-place each active run's
+  // queued work; lost chunks are recovered lazily when a consumer's read
+  // surfaces kChunkLost.
+  for (RunState* state : runs_) {
+    std::deque<int> orphaned;
+    orphaned.swap(state->band_queues[band]);
+    for (int task_id : orphaned) {
+      graph::Subtask& st = state->graph->subtasks[task_id];
+      st.band = -1;  // force re-placement
+      EnqueueLocked(state, task_id);
+    }
   }
 }
 
@@ -550,14 +574,28 @@ void Executor::DropOneChunkLocked() {
   }
 }
 
-void Executor::ProcessDueFaultsLocked(RunState* state, int64_t completed) {
+void Executor::ProcessDueFaultsLocked(int64_t completed) {
   if (!injector_.enabled()) return;
   for (int band : injector_.TakeDueBandKills(completed)) {
-    KillBandLocked(state, band);
+    KillBandLocked(band);
   }
   for (int n = injector_.TakeDueChunkLosses(completed); n > 0; --n) {
     DropOneChunkLocked();
   }
+}
+
+Executor::RunState* Executor::PickRunLocked(int band) {
+  RunState* best = nullptr;
+  for (RunState* r : runs_) {
+    if (r->cancelled.load()) continue;
+    if (r->band_queues[band].empty()) continue;
+    if (r->max_inflight > 0 && r->inflight >= r->max_inflight) continue;
+    if (best == nullptr || r->vwork < best->vwork ||
+        (r->vwork == best->vwork && r->session_id < best->session_id)) {
+      best = r;
+    }
+  }
+  return best;
 }
 
 void Executor::BandWorkerLoop(int band) {
@@ -568,23 +606,29 @@ void Executor::BandWorkerLoop(int band) {
   }
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
+    RunState* state = nullptr;
     cv_.wait(lock, [&] {
-      return shutdown_ ||
-             (run_ != nullptr && !run_->cancelled &&
-              !run_->band_queues[band].empty());
+      if (shutdown_) return true;
+      state = PickRunLocked(band);
+      return state != nullptr;
     });
     if (shutdown_) return;
-    RunState* state = run_;
     const int task_id = state->band_queues[band].front();
     state->band_queues[band].pop_front();
     state->busy++;
+    state->inflight++;
+    // Weighted-fair accounting: this dispatch charges the run virtual work
+    // inversely to its priority, so higher-priority sessions win more
+    // slots under contention while everyone keeps making progress.
+    state->vwork += kVirtualWork / std::max(1, state->priority);
     const int attempt = state->attempts[task_id];
     const int64_t uid = state->uid_base + task_id;
     lock.unlock();
 
     graph::Subtask& st = state->graph->subtasks[task_id];
     std::string lost_key;
-    Status result = RunSubtask(st, uid, attempt, &lost_key);
+    Status result =
+        RunSubtask(st, uid, attempt, &lost_key, state->metrics, state->trace);
 
     // Lineage recovery: rebuild lost inputs on this band, then re-run the
     // attempt in place. Each iteration recovers one lost input chain, so
@@ -603,7 +647,8 @@ void Executor::BandWorkerLoop(int band) {
       }
       ++recovery_rounds;
       lost_key.clear();
-      result = RunSubtask(st, uid, attempt, &lost_key);
+      result = RunSubtask(st, uid, attempt, &lost_key, state->metrics,
+                          state->trace);
     }
     if (result.ok()) {
       st.sim_us += recovered_sim_us;
@@ -611,7 +656,7 @@ void Executor::BandWorkerLoop(int band) {
     }
 
     lock.lock();
-    metrics_->subtasks_executed++;
+    state->metrics->subtasks_executed++;
     if (result.ok() && blacklisted_[band]) {
       // The band died while this subtask ran; whatever it published went
       // down with the band's storage.
@@ -624,20 +669,23 @@ void Executor::BandWorkerLoop(int band) {
       for (int succ : st.succs) {
         if (--state->indegree[succ] == 0) EnqueueLocked(state, succ);
       }
-      ProcessDueFaultsLocked(state, ++completed_subtasks_);
+      ProcessDueFaultsLocked(++completed_subtasks_);
     } else if (result.IsRetryable() &&
                state->attempts[task_id] < config_.max_subtask_retries &&
                !state->cancelled.load()) {
       // Retryable failure with budget left: roll back, back off, re-queue
       // (off this band if it just died). `busy` stays held through the
-      // backoff so Run cannot drain while the subtask is parked here.
+      // backoff so Run cannot drain while the subtask is parked here. The
+      // delay honours a server-supplied backoff hint (overload shedding)
+      // when it exceeds the capped exponential schedule.
       state->attempts[task_id]++;
-      metrics_->subtasks_retried++;
+      state->metrics->subtasks_retried++;
       const int next_attempt = state->attempts[task_id];
-      const int64_t delay_ms = BackoffMs(next_attempt);
+      const int64_t delay_ms =
+          std::max(BackoffMs(next_attempt), result.backoff_hint_ms());
       lock.unlock();
-      if (Tracer* tr = config_.trace.sink) {
-        tr->Instant(config_.trace.pid, kTrackBandBase + band,
+      if (Tracer* tr = state->trace.sink) {
+        tr->Instant(state->trace.pid, kTrackBandBase + band,
                     trace::kEventSubtaskRetry,
                     {Arg("subtask", int64_t{task_id}),
                      Arg("attempt", int64_t{next_attempt}),
@@ -653,19 +701,30 @@ void Executor::BandWorkerLoop(int band) {
         EnqueueLocked(state, task_id);
       }
     } else {
-      metrics_->subtasks_failed++;
+      state->metrics->subtasks_failed++;
       state->cancelled = true;
       if (state->failure.ok()) state->failure = result;
     }
     state->busy--;
+    state->inflight--;
     cv_.notify_all();
     done_cv_.notify_all();
   }
 }
 
 Status Executor::Run(graph::SubtaskGraph* st_graph,
-                     std::chrono::steady_clock::time_point deadline) {
+                     std::chrono::steady_clock::time_point deadline,
+                     const RunOptions& opts) {
   if (st_graph->subtasks.empty()) return Status::OK();
+  // Resolve the run's context: solo callers fall back to the executor's
+  // cluster-level metrics and trace identity.
+  Metrics* run_metrics = opts.metrics != nullptr ? opts.metrics : metrics_;
+  const TraceConfig run_trace =
+      opts.trace.enabled() ? opts.trace : config_.trace;
+  // Spill bytes are metered on the storage service's (cluster) metrics;
+  // the delta across this run charges shared-disk backpressure to whoever
+  // ran while the disk was busy — co-tenant interference is part of the
+  // model, not an accounting bug.
   const int64_t spilled_before = metrics_->bytes_spilled.load();
   const int num_bands = config_.total_bands();
 
@@ -678,7 +737,7 @@ Status Executor::Run(graph::SubtaskGraph* st_graph,
     return Status::WorkerLost("every band in the cluster is dead");
   }
   AssignBands(config_, st_graph, &dead);
-  if (Tracer* tr = config_.trace.sink) {
+  if (Tracer* tr = run_trace.sink) {
     std::vector<int64_t> per_band(num_bands, 0);
     for (const graph::Subtask& st : st_graph->subtasks) {
       if (st.band >= 0 && st.band < num_bands) per_band[st.band]++;
@@ -688,7 +747,7 @@ Status Executor::Run(graph::SubtaskGraph* st_graph,
     for (int b = 0; b < num_bands; ++b) {
       args.push_back(Arg("band_" + std::to_string(b), per_band[b]));
     }
-    tr->Instant(config_.trace.pid, kTrackSupervisor, trace::kEventPlacement,
+    tr->Instant(run_trace.pid, kTrackSupervisor, trace::kEventPlacement,
                 std::move(args));
   }
 
@@ -699,6 +758,11 @@ Status Executor::Run(graph::SubtaskGraph* st_graph,
   state.indegree.resize(st_graph->subtasks.size());
   state.attempts.assign(st_graph->subtasks.size(), 0);
   state.remaining = static_cast<int>(st_graph->subtasks.size());
+  state.session_id = opts.session_id;
+  state.priority = std::max(1, std::min(100, opts.priority));
+  state.max_inflight = std::max(0, opts.max_inflight);
+  state.metrics = run_metrics;
+  state.trace = run_trace;
   for (const graph::Subtask& st : st_graph->subtasks) {
     state.indegree[st.id] = static_cast<int>(st.preds.size());
   }
@@ -708,13 +772,23 @@ Status Executor::Run(graph::SubtaskGraph* st_graph,
     std::unique_lock<std::mutex> lock(mu_);
     EnsureWorkersStarted();
     state.uid_base = (++run_seq_) << 20;
+    // A newcomer starts at the least virtual work currently in flight, so
+    // it competes fairly from its first dispatch without draining a debt
+    // accrued by runs that came before it.
+    int64_t min_vwork = 0;
+    bool first = true;
+    for (const RunState* r : runs_) {
+      if (first || r->vwork < min_vwork) min_vwork = r->vwork;
+      first = false;
+    }
+    state.vwork = min_vwork;
     for (const graph::Subtask& st : st_graph->subtasks) {
       if (st.preds.empty()) EnqueueLocked(&state, st.id);
     }
     // Kill/loss events scheduled at or before the current completion count
     // (e.g. "kill band 1 at step 0") fire before dispatch.
-    ProcessDueFaultsLocked(&state, completed_subtasks_);
-    run_ = &state;
+    runs_.push_back(&state);
+    ProcessDueFaultsLocked(completed_subtasks_);
     cv_.notify_all();
     auto drained = [&] {
       return (state.remaining == 0 || state.cancelled.load()) &&
@@ -722,7 +796,8 @@ Status Executor::Run(graph::SubtaskGraph* st_graph,
     };
     if (!done_cv_.wait_until(lock, deadline, drained)) {
       // Deadline passed: stop dispatching; workers finish their current
-      // subtask and quiesce, then the drain completes.
+      // subtask and quiesce, then the drain completes. Co-tenant runs are
+      // untouched — only this run's queue stops draining.
       state.cancelled = true;
       if (state.failure.ok()) {
         state.failure = Status::Timeout("task deadline exceeded");
@@ -732,7 +807,7 @@ Status Executor::Run(graph::SubtaskGraph* st_graph,
     }
     // Detach the run before releasing the lock so workers never observe a
     // dangling RunState.
-    run_ = nullptr;
+    runs_.erase(std::find(runs_.begin(), runs_.end(), &state));
     if (!state.failure.ok()) {
       out = state.failure;
     } else if (state.remaining != 0) {
@@ -773,8 +848,8 @@ Status Executor::Run(graph::SubtaskGraph* st_graph,
         makespan = finish[st.id];
         last = st.id;
       }
-      metrics_->subtask_latency_us->Observe(st.sim_us);
-      metrics_->queue_wait_us->Observe(queue_wait[st.id]);
+      run_metrics->subtask_latency_us->Observe(st.sim_us);
+      run_metrics->queue_wait_us->Observe(queue_wait[st.id]);
     }
     // Memory pressure: spilled bytes pass through a shared 500 MB/s disk
     // (write + eventual fault-back), the cost that turns static engines'
@@ -782,10 +857,10 @@ Status Executor::Run(graph::SubtaskGraph* st_graph,
     const int64_t spilled =
         metrics_->bytes_spilled.load() - spilled_before;
     const int64_t spill_us = 2 * spilled / 500;  // bytes / (500 B/us)
-    metrics_->simulated_us += makespan + spill_us;
+    run_metrics->simulated_us += makespan + spill_us;
 
-    if (Tracer* tr = config_.trace.sink) {
-      const int pid = config_.trace.pid;
+    if (Tracer* tr = run_trace.sink) {
+      const int pid = run_trace.pid;
       // Critical path: walk back from the last-finishing subtask, at each
       // step to whichever dependency (graph pred or band predecessor)
       // finished last. Each critical subtask contributes its cost

@@ -20,6 +20,25 @@
 
 namespace xorbits::scheduler {
 
+/// Per-run scheduling identity for multi-tenant execution (DESIGN.md §8).
+/// Defaults reproduce historical solo behaviour: cluster-level metrics and
+/// trace, priority 1, no in-flight cap.
+struct RunOptions {
+  /// Session the run belongs to (-1 = unattributed / solo).
+  int64_t session_id = -1;
+  /// Weighted-fair share: a run accrues virtual work inversely to its
+  /// priority, so priority-2 gets ~2x the band slots of priority-1 under
+  /// contention. Valid range [1, 100].
+  int priority = 1;
+  /// Cap on this run's concurrently executing subtasks (0 = unlimited).
+  int max_inflight = 0;
+  /// Per-session metrics sink; null falls back to the executor's.
+  Metrics* metrics = nullptr;
+  /// Per-session trace identity; a disabled sink falls back to the
+  /// executor's config trace.
+  TraceConfig trace;
+};
+
 /// Runs subtask graphs on the simulated cluster: one serial dispatch slot
 /// per band, dependency-ordered execution, byte-accurate storage accounting,
 /// failure propagation and a wall-clock deadline (exceeding it reports the
@@ -47,6 +66,15 @@ namespace xorbits::scheduler {
 /// service and re-executes it on the consuming band before retrying the
 /// consumer. Fatal errors (kernel bugs, type errors, deterministic OOM)
 /// still fail the run fast with their original error class.
+///
+/// Multi-tenancy: several Run calls (one per session thread) may be in
+/// flight at once. Each band worker picks its next subtask across all
+/// active runs by weighted-fair queueing — the eligible run with the least
+/// accrued virtual work wins, where each dispatch charges virtual work
+/// inversely proportional to the run's priority — under per-run in-flight
+/// caps, so one heavy session cannot starve co-tenants of band slots.
+/// Faults (band kills) apply cluster-wide: every active run's queue is
+/// re-placed off the dead band.
 class Executor {
  public:
   Executor(const Config& config, Metrics* metrics,
@@ -58,9 +86,13 @@ class Executor {
 
   /// Assigns bands (placement), executes everything, and marks persisted
   /// chunk nodes executed. `deadline` is absolute; pass time_point::max()
-  /// for no deadline.
+  /// for no deadline. `opts` attributes the run to a session for
+  /// weighted-fair scheduling, per-session metrics and tracing; the default
+  /// reproduces solo behaviour. Thread-safe: concurrent Run calls share
+  /// the band workers fairly.
   Status Run(graph::SubtaskGraph* st_graph,
-             std::chrono::steady_clock::time_point deadline);
+             std::chrono::steady_clock::time_point deadline,
+             const RunOptions& opts = {});
 
   /// Supervisor-side recovery hook: if `key` was lost (tombstoned), rebuild
   /// it from lineage on a surviving band. No-op when the chunk is present
@@ -74,9 +106,11 @@ class Executor {
 
   /// One execution attempt. `uid` identifies the (run, subtask) pair for
   /// deterministic fault injection; `lost_key`, when non-null, receives the
-  /// storage key whose read failed with kChunkLost.
+  /// storage key whose read failed with kChunkLost. `metrics`/`trace` are
+  /// the owning run's sinks (the executor's own for recovery work).
   Status RunSubtask(graph::Subtask& subtask, int64_t uid, int attempt,
-                    std::string* lost_key);
+                    std::string* lost_key, Metrics* metrics,
+                    const TraceConfig& trace);
   /// Deletes every output this subtask already published (including shuffle
   /// partitions) and clears member nodes' executed flags, so a retry can
   /// re-publish without duplicate-key collisions.
@@ -96,11 +130,17 @@ class Executor {
 
   void BandWorkerLoop(int band);
   void EnsureWorkersStarted();
+  /// Weighted-fair pick: the active run with work queued for `band`, an
+  /// open in-flight slot, and the least accrued virtual work (ties broken
+  /// by session id for determinism). Null when no run is eligible. Caller
+  /// holds mu_.
+  RunState* PickRunLocked(int band);
   /// Applies band-kill / chunk-loss events due at `completed` cluster-wide
   /// finished subtasks. Caller holds mu_.
-  void ProcessDueFaultsLocked(RunState* state, int64_t completed);
-  /// Blacklists `band`, drops its chunks, re-places its queue. Holds mu_.
-  void KillBandLocked(RunState* state, int band);
+  void ProcessDueFaultsLocked(int64_t completed);
+  /// Blacklists `band`, drops its chunks, re-places every active run's
+  /// queue for it. Holds mu_.
+  void KillBandLocked(int band);
   /// Chaos chunk-loss event: drops the lexicographically smallest
   /// lineage-tracked chunk. Caller holds mu_.
   void DropOneChunkLocked();
@@ -121,12 +161,15 @@ class Executor {
   // (nullptr entries when cpus_per_band == 1).
   std::vector<std::unique_ptr<ThreadPool>> kernel_pools_;
 
-  // Persistent band workers and the run they are serving.
+  // Persistent band workers and the runs they are serving. Each RunState
+  // is owned by its Run call's stack frame; it is appended to runs_ at
+  // dispatch start and removed (under mu_, after its drain) before Run
+  // returns, so workers never observe a dangling pointer.
   std::mutex mu_;
   std::condition_variable cv_;       // wakes band workers
   std::condition_variable done_cv_;  // wakes Run
   std::vector<std::thread> band_threads_;
-  RunState* run_ = nullptr;  // non-null while a Run is in flight
+  std::vector<RunState*> runs_;  // active runs, in admission order
   bool shutdown_ = false;
   bool workers_started_ = false;
 

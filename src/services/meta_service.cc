@@ -48,6 +48,25 @@ void MetaService::Delete(const std::string& key) {
   UpdateGaugesLocked();
 }
 
+void MetaService::DeleteByPrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = metas_.begin(); it != metas_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      it = metas_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = lineages_.begin(); it != lineages_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      it = lineages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  UpdateGaugesLocked();
+}
+
 int64_t MetaService::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(metas_.size());

@@ -59,6 +59,10 @@ class MetaService {
   Result<ChunkMeta> Get(const std::string& key) const;
   bool Has(const std::string& key) const;
   void Delete(const std::string& key);
+  /// Drops every meta and lineage entry whose key starts with `prefix`.
+  /// Used when a tenant session closes: its "s<id>/" namespace is swept
+  /// from the shared registry in one pass.
+  void DeleteByPrefix(const std::string& prefix);
   int64_t size() const;
   void Clear();
 

@@ -14,6 +14,7 @@ StorageService::StorageService(const Config& config, Metrics* metrics)
     : num_bands_(config.total_bands()),
       band_limit_(config.band_memory_limit),
       enable_spill_(config.enable_spill),
+      session_quota_(config.session_memory_quota_bytes),
       spill_dir_(config.spill_dir),
       metrics_(metrics),
       trace_(config.trace),
@@ -39,6 +40,79 @@ StorageService::StorageService(const Config& config, Metrics* metrics)
 }
 
 StorageService::~StorageService() { Clear(); }
+
+int64_t StorageService::SessionOfKey(const std::string& key) {
+  // Tenant keys are namespaced "s<digits>/..." by ChunkGraph::set_key_prefix;
+  // anything else (solo sessions, test fixtures) is unattributed. Shuffle
+  // partitions "s7/c3_0@2" inherit the prefix, so every byte a session's
+  // subtasks publish lands on its own account.
+  if (key.size() < 3 || key[0] != 's') return -1;
+  size_t i = 1;
+  while (i < key.size() && key[i] >= '0' && key[i] <= '9') ++i;
+  if (i == 1 || i >= key.size() || key[i] != '/') return -1;
+  return std::stoll(key.substr(1, i - 1));
+}
+
+void StorageService::AddSessionBytesLocked(int64_t session_id,
+                                           int64_t delta) {
+  if (session_id < 0 || delta == 0) return;
+  int64_t& bytes = session_bytes_[session_id];
+  bytes += delta;
+  Gauge*& g = session_gauges_[session_id];
+  if (g == nullptr) {
+    g = metrics_->registry.GetGauge(
+        trace::kGaugeSessionBytesPrefix + std::to_string(session_id),
+        "bytes");
+  }
+  g->Set(bytes);
+}
+
+int64_t StorageService::session_bytes(int64_t session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = session_bytes_.find(session_id);
+  return it == session_bytes_.end() ? 0 : it->second;
+}
+
+Status StorageService::EnsureSessionQuotaLocked(
+    int64_t session_id, int64_t incoming, const std::string& incoming_key) {
+  if (session_quota_ < 0 || session_id < 0) return Status::OK();
+  auto quota_detail = [&](const std::string& why) {
+    if (trace_.sink != nullptr) {
+      trace_.sink->Instant(trace_.pid, kTrackStorage,
+                           trace::kEventQuotaExceeded,
+                           {Arg("session", session_id),
+                            Arg("requested_bytes", incoming),
+                            Arg("used_bytes", session_bytes_[session_id]),
+                            Arg("quota_bytes", session_quota_)});
+    }
+    return "session " + std::to_string(session_id) +
+           " memory quota exceeded (" + why + "): requested " +
+           std::to_string(incoming) + " bytes for '" + incoming_key +
+           "', in-memory " + std::to_string(session_bytes_[session_id]) +
+           " of quota " + std::to_string(session_quota_) + " bytes";
+  };
+  if (incoming > session_quota_) {
+    metrics_->oom_events++;
+    return Status::QuotaExceeded(
+        quota_detail("single chunk exceeds whole quota"));
+  }
+  // Graceful degradation, step one: the session pays with its own cold
+  // data. Co-tenants' chunks are never touched on this path — a session
+  // can only be slowed (spill round-trips) or failed by its own footprint.
+  while (session_bytes_[session_id] + incoming > session_quota_) {
+    if (!enable_spill_) {
+      metrics_->oom_events++;
+      return Status::QuotaExceeded(quota_detail("spill disabled"));
+    }
+    Status s = SpillSessionOneLocked(session_id, incoming_key);
+    if (!s.ok()) {
+      metrics_->oom_events++;
+      return Status::QuotaExceeded(
+          quota_detail("cannot spill: " + s.message()));
+    }
+  }
+  return Status::OK();
+}
 
 void StorageService::FillAccounting(Entry* e, const ChunkData& data) {
   e->nbytes = data.nbytes();
@@ -106,12 +180,17 @@ Status StorageService::Put(const std::string& key, ChunkDataPtr data,
   Entry e;
   e.band = band;
   e.lru_tick = ++tick_;
+  e.session = SessionOfKey(key);
   FillAccounting(&e, *data);
   e.data = std::move(data);
   const int64_t bytes = e.nbytes;
+  // Quota before band budget: a tenant over its own cap must not get to
+  // evict co-tenants' chunks from the band while making room for itself.
+  XORBITS_RETURN_NOT_OK(EnsureSessionQuotaLocked(e.session, bytes, key));
   XORBITS_RETURN_NOT_OK(EnsureEntryCapacityLocked(band, e));
   lost_.erase(key);  // a recomputed payload resurrects a lost key
   ChargeLocked(band, e);
+  AddSessionBytesLocked(e.session, bytes);
   entries_.emplace(key, std::move(e));
   metrics_->chunks_stored++;
   metrics_->bytes_stored += bytes;
@@ -168,6 +247,15 @@ Result<ChunkDataPtr> StorageService::Get(const std::string& key,
     e.data = std::move(data);
     e.level = StorageLevel::kMemory;
     ChargeLocked(e.band, e);
+    AddSessionBytesLocked(e.session, e.nbytes);
+    // A fault-back may transiently push the session over quota (the reader
+    // needs the payload in memory no matter what); rebalance by spilling
+    // its other cold chunks best-effort rather than failing the read.
+    if (session_quota_ >= 0 && e.session >= 0) {
+      while (session_bytes_[e.session] > session_quota_ &&
+             SpillSessionOneLocked(e.session, key).ok()) {
+      }
+    }
     metrics_->UpdatePeak(band_used_[e.band]);
     peak_gauges_[e.band]->SetMax(band_used_[e.band]);
   }
@@ -214,6 +302,7 @@ Status StorageService::Delete(const std::string& key) {
   }
   if (it->second.level == StorageLevel::kMemory) {
     UnchargeLocked(it->second.band, it->second);
+    AddSessionBytesLocked(it->second.session, -it->second.nbytes);
   } else {
     std::filesystem::remove(it->second.spill_path);
   }
@@ -228,6 +317,7 @@ void StorageService::DeleteByPrefix(const std::string& prefix) {
     if (it->first.rfind(prefix, 0) == 0) {
       if (it->second.level == StorageLevel::kMemory) {
         UnchargeLocked(it->second.band, it->second);
+        AddSessionBytesLocked(it->second.session, -it->second.nbytes);
       } else {
         std::filesystem::remove(it->second.spill_path);
       }
@@ -258,6 +348,8 @@ std::vector<std::string> StorageService::MarkBandDead(int band) {
       // live on the dead worker's local disk.
       if (e.level == StorageLevel::kDisk) {
         std::filesystem::remove(e.spill_path);
+      } else {
+        AddSessionBytesLocked(e.session, -e.nbytes);
       }
       ReleaseReplicasLocked(e);
       lost_keys.push_back(it->first);
@@ -290,6 +382,7 @@ void StorageService::DropByPrefix(const std::string& prefix) {
     if (it->first.rfind(prefix, 0) == 0) {
       if (it->second.level == StorageLevel::kMemory) {
         UnchargeLocked(it->second.band, it->second);
+        AddSessionBytesLocked(it->second.session, -it->second.nbytes);
       } else {
         std::filesystem::remove(it->second.spill_path);
       }
@@ -310,6 +403,7 @@ Status StorageService::DropChunk(const std::string& key) {
   }
   if (it->second.level == StorageLevel::kMemory) {
     UnchargeLocked(it->second.band, it->second);
+    AddSessionBytesLocked(it->second.session, -it->second.nbytes);
   } else {
     std::filesystem::remove(it->second.spill_path);
   }
@@ -377,6 +471,8 @@ void StorageService::Clear() {
   for (auto& held : band_buffers_) held.clear();
   std::fill(band_replica_bytes_.begin(), band_replica_bytes_.end(), 0);
   for (Gauge* g : replica_gauges_) g->Set(0);
+  session_bytes_.clear();
+  for (auto& [sid, g] : session_gauges_) g->Set(0);
 }
 
 Status StorageService::EnsureCapacityLocked(int band, int64_t bytes) {
@@ -463,6 +559,34 @@ Status StorageService::SpillOneLocked(int band) {
     }
   }
   if (!victim) return Status::Invalid("nothing left to spill");
+  return SpillEntryLocked(victim_key, victim);
+}
+
+Status StorageService::SpillSessionOneLocked(int64_t session_id,
+                                             const std::string& exclude) {
+  // Quota degradation picks from the session's own chunks across all
+  // bands: LRU first, never the key currently being stored/faulted back.
+  Entry* victim = nullptr;
+  std::string victim_key;
+  for (auto& [key, e] : entries_) {
+    if (e.session != session_id || e.level != StorageLevel::kMemory) {
+      continue;
+    }
+    if (key == exclude) continue;
+    if (!victim || e.lru_tick < victim->lru_tick) {
+      victim = &e;
+      victim_key = key;
+    }
+  }
+  if (!victim) {
+    return Status::Invalid("session " + std::to_string(session_id) +
+                           " has nothing left to spill");
+  }
+  return SpillEntryLocked(victim_key, victim);
+}
+
+Status StorageService::SpillEntryLocked(const std::string& key,
+                                        Entry* victim) {
   XORBITS_ASSIGN_OR_RETURN(std::string buf, SerializeChunk(*victim->data));
   const std::string path =
       spill_dir_ + "/spill_" + std::to_string(++spill_file_seq_) + ".bin";
@@ -472,20 +596,22 @@ Status StorageService::SpillOneLocked(int band) {
     out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
     if (!out) return Status::IOError("spill write failed " + path);
   }
+  const int band = victim->band;
   UnchargeLocked(band, *victim);
+  AddSessionBytesLocked(victim->session, -victim->nbytes);
   metrics_->bytes_spilled += victim->nbytes;
   metrics_->spill_events++;
   spill_gauges_[band]->Add(victim->nbytes);
   if (trace_.sink != nullptr) {
     trace_.sink->Instant(trace_.pid, kTrackStorage, trace::kEventSpill,
-                         {Arg("key", victim_key),
+                         {Arg("key", key),
                           Arg("bytes", victim->nbytes),
                           Arg("band", int64_t{band})});
   }
   victim->data.reset();
   victim->level = StorageLevel::kDisk;
   victim->spill_path = path;
-  XORBITS_LOG(Debug) << "spilled " << victim_key << " (" << victim->nbytes
+  XORBITS_LOG(Debug) << "spilled " << key << " (" << victim->nbytes
                      << " bytes) from band " << band;
   return Status::OK();
 }

@@ -24,6 +24,15 @@ enum class StorageLevel { kMemory, kDisk };
 /// behind every OOM row in the paper's Tables I/II. `Get` from another band
 /// meters simulated network transfer. Keys are opaque; workers address data
 /// purely by key (put/get), never by location.
+///
+/// Multi-tenant quotas (DESIGN.md §8): keys of the form "s<id>/..." are
+/// attributed to session <id>, whose *in-memory* logical bytes are tracked
+/// and capped at Config::session_memory_quota_bytes. A Put that would bust
+/// the quota degrades gracefully: the session's own coldest chunks spill to
+/// disk first, and only when spilling cannot make room does the Put fail —
+/// with kQuotaExceeded against that session alone, never a co-tenant.
+/// Un-prefixed keys (solo sessions) are exempt, preserving historical
+/// behaviour.
 class StorageService {
  public:
   StorageService(const Config& config, Metrics* metrics);
@@ -85,6 +94,13 @@ class StorageService {
   int num_bands() const { return num_bands_; }
   int64_t band_limit() const { return band_limit_; }
 
+  /// In-memory logical bytes currently attributed to a session (0 when it
+  /// stores nothing). Spilled chunks do not count — spilling is exactly how
+  /// a session stays under quota.
+  int64_t session_bytes(int64_t session_id) const;
+  /// Session id a key is attributed to (-1 for un-namespaced keys).
+  static int64_t SessionOfKey(const std::string& key);
+
   /// Reserves transient working memory on a band for the duration of a
   /// subtask (fused intermediates never hit the store but still occupy
   /// worker memory). Returns OutOfMemory when it cannot fit.
@@ -112,6 +128,8 @@ class StorageService {
     uint64_t lru_tick = 0;
     /// Bands holding a cached replica (transfer charged once per band).
     std::vector<int> replicas;
+    /// Owning session parsed from the key prefix (-1 = un-namespaced).
+    int64_t session = -1;
   };
 
   /// One shared buffer held on a band: budget bytes + chunk refcount.
@@ -141,10 +159,28 @@ class StorageService {
   /// what `e` still needs. Caller holds mu_.
   Status EnsureEntryCapacityLocked(int band, const Entry& e);
   Status SpillOneLocked(int band);
+  /// Spills `victim` (an in-memory entry) to disk: uncharges its band,
+  /// decrements its session's in-memory bytes, meters spill counters.
+  Status SpillEntryLocked(const std::string& key, Entry* victim);
+  /// Spills the session's least-recently-used in-memory chunk (any band),
+  /// skipping `exclude`. Quota degradation step: the tenant pays with its
+  /// own cold data before it is failed. Caller holds mu_.
+  Status SpillSessionOneLocked(int64_t session_id,
+                               const std::string& exclude);
+  /// Adjusts the session's in-memory byte accounting + gauge (no-op for
+  /// session -1). Caller holds mu_.
+  void AddSessionBytesLocked(int64_t session_id, int64_t delta);
+  /// Makes room under the session quota for `incoming` more bytes by
+  /// spilling the session's own chunks; returns kQuotaExceeded naming the
+  /// session, its usage, and the quota when it cannot. Caller holds mu_.
+  Status EnsureSessionQuotaLocked(int64_t session_id, int64_t incoming,
+                                  const std::string& incoming_key);
 
   const int num_bands_;
   const int64_t band_limit_;
   const bool enable_spill_;
+  /// Per-session in-memory byte cap (-1 disables; see Config).
+  const int64_t session_quota_;
   const std::string spill_dir_;
   Metrics* const metrics_;
   const TraceConfig trace_;
@@ -168,6 +204,10 @@ class StorageService {
   std::vector<char> band_dead_;
   /// Keys lost to band death / chunk-loss events, pending recompute.
   std::unordered_set<std::string> lost_;
+  /// In-memory logical bytes per tenant session, and the lazily registered
+  /// session_bytes_used/<id> gauge mirroring each.
+  std::unordered_map<int64_t, int64_t> session_bytes_;
+  std::unordered_map<int64_t, Gauge*> session_gauges_;
   uint64_t tick_ = 0;
   uint64_t spill_file_seq_ = 0;
 };

@@ -17,19 +17,31 @@ TilingDriver::TilingDriver(const Config& config, Metrics* metrics,
                            services::StorageService* storage,
                            services::MetaService* meta,
                            graph::ChunkGraph* chunk_graph,
-                           optimizer::PassManager* pass_manager)
+                           optimizer::PassManager* pass_manager,
+                           scheduler::Executor* executor,
+                           scheduler::RunOptions run_options)
     : config_(config),
       metrics_(metrics),
       storage_(storage),
       meta_(meta),
       chunk_graph_(chunk_graph),
       pass_manager_(pass_manager),
-      executor_(config, metrics, storage, meta) {
+      executor_(executor),
+      run_options_(run_options) {
   if (pass_manager_ == nullptr) {
     owned_pass_manager_ =
         std::make_unique<optimizer::PassManager>(config_, metrics_);
     pass_manager_ = owned_pass_manager_.get();
   }
+  if (executor_ == nullptr) {
+    owned_executor_ = std::make_unique<scheduler::Executor>(config_, metrics_,
+                                                            storage_, meta_);
+    executor_ = owned_executor_.get();
+  }
+  // Every run this driver submits is attributed to its session's metrics
+  // and trace identity (falling back to the session-wide ones).
+  if (run_options_.metrics == nullptr) run_options_.metrics = metrics_;
+  if (!run_options_.trace.enabled()) run_options_.trace = config_.trace;
 }
 
 Status TilingDriver::ExecutePartial(
@@ -51,7 +63,7 @@ Status TilingDriver::ExecutePartial(
       pass_manager_->RunSubtaskPipeline(&st_graph, closure, targets));
   partial_span.AddArg(
       Arg("subtasks", static_cast<int64_t>(st_graph.subtasks.size())));
-  return executor_.Run(&st_graph, deadline_);
+  return executor_->Run(&st_graph, deadline_, run_options_);
 }
 
 Status TilingDriver::TileAndRun(
@@ -127,7 +139,7 @@ Result<std::vector<services::ChunkDataPtr>> TilingDriver::FetchChunks(
   for (const ChunkNode* c : node->chunks) {
     // A result chunk may have gone down with a band after it was computed;
     // rebuild it from lineage instead of leaking kChunkLost to the user.
-    XORBITS_RETURN_NOT_OK(executor_.EnsureChunkAvailable(c->key));
+    XORBITS_RETURN_NOT_OK(executor_->EnsureChunkAvailable(c->key));
     XORBITS_ASSIGN_OR_RETURN(services::ChunkDataPtr data,
                              storage_->Get(c->key, /*requesting_band=*/-1));
     out.push_back(std::move(data));

@@ -23,10 +23,17 @@ class TilingDriver {
  public:
   /// `pass_manager` (optional; owned by the session) supplies the chunk-
   /// and subtask-level optimizer pipelines run on every partial execution.
+  /// `executor` (optional) is a shared cluster executor — tenant sessions
+  /// under one SessionManager all submit to it, and `run_options` carries
+  /// their scheduling identity (session id, priority, in-flight cap,
+  /// per-session metrics/trace). When null the driver owns a private
+  /// executor, the historical solo behaviour.
   TilingDriver(const Config& config, Metrics* metrics,
                services::StorageService* storage,
                services::MetaService* meta, graph::ChunkGraph* chunk_graph,
-               optimizer::PassManager* pass_manager = nullptr);
+               optimizer::PassManager* pass_manager = nullptr,
+               scheduler::Executor* executor = nullptr,
+               scheduler::RunOptions run_options = {});
 
   /// Tiles and executes everything needed by `sinks`. `topo_order` is the
   /// full tileable graph order (already-tiled nodes are skipped, so
@@ -51,7 +58,11 @@ class TilingDriver {
   optimizer::PassManager* pass_manager_;
   /// Fallback pipelines for drivers constructed without a session.
   std::unique_ptr<optimizer::PassManager> owned_pass_manager_;
-  scheduler::Executor executor_;
+  /// Private executor for solo drivers; null when sharing the cluster's.
+  std::unique_ptr<scheduler::Executor> owned_executor_;
+  scheduler::Executor* executor_;
+  /// Scheduling identity stamped on every Run this driver submits.
+  scheduler::RunOptions run_options_;
   std::chrono::steady_clock::time_point deadline_;
 };
 
