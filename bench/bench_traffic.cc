@@ -8,12 +8,25 @@
 // p50/p95/p99 latency (aggregate and per session), throughput, and shed
 // rate at N = {1, 4, 16}; writes BENCH_traffic.json.
 //
+// The cross-session result cache (DESIGN.md §9) is ON by default: the
+// query mix is deterministic and repeated, so once each distinct plan has
+// been published, later submissions rewrite into fetches of shared
+// `cache/` chunks. Each scenario reports `hit_rate` =
+// cache_hits / (cache_hits + cache_misses) from the cluster metrics, and
+// every completed query's result checksum is compared against a cache-off
+// solo baseline computed up front — cache-served results must be
+// byte-identical to recomputed ones. `--no-cache` disables the cache for
+// A/B comparison (see EXPERIMENTS.md for the regeneration recipe).
+//
 // Acceptance tracked here: every query eventually completes OK at every
-// N, and with weighted-fair scheduling on, no session's p99 at N=4 may
-// exceed 3x the solo (N=1) p99 — see EXPERIMENTS.md.
+// N, checksums match the cache-off baseline, with weighted-fair
+// scheduling on no session's p99 at N=4 may exceed 3x the solo (N=1)
+// p99, and with the cache on the N=16 hit_rate must reach 0.5 — see
+// EXPERIMENTS.md.
 //
 // `--smoke` runs a seconds-long variant (N = {1, 2}, fewer/smaller
-// queries) for CI; the fairness bar is only enforced in the full run.
+// queries) for CI; the fairness and hit-rate bars are only enforced in
+// the full run.
 
 #include <algorithm>
 #include <chrono>
@@ -38,9 +51,10 @@ struct TrafficParams {
   int64_t census_rows = 50000;
   int64_t tpcxai_transactions = 30000;
   int64_t plasticc_rows = 30000;
+  bool enable_cache = true;
 };
 
-Config TrafficConfig() {
+Config TrafficConfig(bool enable_cache) {
   // 8 bands: N=4 contends without saturating (the fairness bar measures
   // scheduling, not raw capacity starvation); N=16 oversubscribes 2:1.
   Config c = BenchConfig(EngineKind::kXorbits, /*workers=*/4,
@@ -55,7 +69,53 @@ Config TrafficConfig() {
   c.admission_timeout_ms = 100;
   c.session_memory_quota_bytes = 32LL << 20;  // generous: accounting, not
                                               // failure, is under test here
+  // Cross-session result cache: the repeated deterministic query mix is
+  // exactly the sharing pattern the cache exists for. Cached bytes are
+  // charged to this cluster budget, never to a tenant quota.
+  c.enable_result_cache = enable_cache;
+  c.result_cache_budget_bytes = 64LL << 20;
   return c;
+}
+
+/// Exact result checksum (FNV-1a over names, dtypes, validity and raw value
+/// bytes): cache-served frames must equal the cache-off baseline.
+uint64_t Checksum(const dataframe::DataFrame& df) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const std::string& bytes) {
+    for (unsigned char b : bytes) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (int ci = 0; ci < df.num_columns(); ++ci) {
+    mix(df.column_name(ci));
+    const dataframe::Column& c = df.column(ci);
+    std::string buf;
+    buf += static_cast<char>(c.dtype());
+    for (int64_t i = 0; i < c.length(); ++i) {
+      buf += c.IsValid(i) ? 'v' : 'n';
+      if (c.IsValid(i)) c.AppendKeyBytes(i, &buf);
+    }
+    mix(buf);
+  }
+  return h;
+}
+
+/// Runs one query of `kind` on `session`, returning the result frame.
+Result<dataframe::DataFrame> RunQuery(core::Session* session, int kind,
+                                      const TrafficParams& p) {
+  switch (kind) {
+    case 0:
+      return workloads::pipelines::Census(session, p.census_rows, 44);
+    case 1:
+      return workloads::pipelines::TpcxAiUC10(session,
+                                              p.tpcxai_transactions,
+                                              /*num_customers=*/500);
+    default:
+      return workloads::pipelines::Plasticc(session, p.plasticc_rows,
+                                            /*num_objects=*/300,
+                                            /*seed=*/45);
+  }
 }
 
 /// One client's closed loop: submit, retry-on-overload, record.
@@ -65,10 +125,12 @@ struct ClientStats {
   int64_t completed = 0;
   int64_t shed = 0;    // overloaded responses (each is one retry cycle)
   int64_t failed = 0;  // terminal non-overload failures
+  int64_t mismatched = 0;  // results whose checksum diverged from baseline
 };
 
 void RunClient(core::Session* session, int client_idx,
-               const TrafficParams& p, ClientStats* out) {
+               const TrafficParams& p, const uint64_t* expected,
+               ClientStats* out) {
   out->session_id = session->session_id();
   constexpr int kMaxRetries = 200;
   for (int q = 0; q < p.queries_per_client; ++q) {
@@ -76,23 +138,11 @@ void RunClient(core::Session* session, int client_idx,
     const auto t0 = std::chrono::steady_clock::now();
     Status st = Status::OK();
     for (int attempt = 0; attempt <= kMaxRetries; ++attempt) {
-      switch (kind) {
-        case 0:
-          st = workloads::pipelines::Census(session, p.census_rows, 44)
-                   .status();
-          break;
-        case 1:
-          st = workloads::pipelines::TpcxAiUC10(session,
-                                                p.tpcxai_transactions,
-                                                /*num_customers=*/500)
-                   .status();
-          break;
-        default:
-          st = workloads::pipelines::Plasticc(session, p.plasticc_rows,
-                                              /*num_objects=*/300,
-                                              /*seed=*/45)
-                   .status();
-          break;
+      Result<dataframe::DataFrame> result = RunQuery(session, kind, p);
+      st = result.status();
+      if (st.ok() && expected != nullptr &&
+          Checksum(*result) != expected[kind]) {
+        ++out->mismatched;
       }
       if (!st.IsOverloaded()) break;
       // Server-guided backoff: the hint scales with queue pressure.
@@ -132,14 +182,19 @@ struct ScenarioResult {
   int64_t failed = 0;
   double shed_rate = 0;  // shed / (completed + shed + failed) submissions
   double p50 = 0, p95 = 0, p99 = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  double hit_rate = 0;  // hits / (hits + misses); 0 when cache disabled
+  int64_t mismatched = 0;
   std::vector<ClientStats> clients;
 };
 
-ScenarioResult RunScenario(int num_sessions, const TrafficParams& p) {
+ScenarioResult RunScenario(int num_sessions, const TrafficParams& p,
+                           const uint64_t* expected) {
   ScenarioResult res;
   res.sessions = num_sessions;
 
-  Config config = TrafficConfig();
+  Config config = TrafficConfig(p.enable_cache);
   MaybeAttachTrace(&config);
   auto mgr = core::SessionManager::Create(config);
   if (!mgr.ok()) {
@@ -161,17 +216,29 @@ ScenarioResult RunScenario(int num_sessions, const TrafficParams& p) {
   const auto t0 = std::chrono::steady_clock::now();
   for (int i = 0; i < num_sessions; ++i) {
     threads.emplace_back(RunClient, sessions[i].get(), i, std::cref(p),
-                         &res.clients[i]);
+                         expected, &res.clients[i]);
   }
   for (std::thread& t : threads) t.join();
   const auto t1 = std::chrono::steady_clock::now();
   res.wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+  // Cache probes are counted on the cluster metrics (the cache is a
+  // cluster service); snapshot before the sessions and manager go away.
+  const MetricsSnapshot cluster = (*mgr)->metrics().Snapshot();
+  res.cache_hits = cluster.Counter("cache_hits");
+  res.cache_misses = cluster.Counter("cache_misses");
+  const int64_t probes = res.cache_hits + res.cache_misses;
+  res.hit_rate = probes > 0
+                     ? static_cast<double>(res.cache_hits) /
+                           static_cast<double>(probes)
+                     : 0.0;
 
   std::vector<double> all;
   for (const ClientStats& c : res.clients) {
     res.completed += c.completed;
     res.shed += c.shed;
     res.failed += c.failed;
+    res.mismatched += c.mismatched;
     all.insert(all.end(), c.latency_ms.begin(), c.latency_ms.end());
   }
   const int64_t submissions = res.completed + res.shed + res.failed;
@@ -187,11 +254,18 @@ ScenarioResult RunScenario(int num_sessions, const TrafficParams& p) {
 
   std::printf(
       "N=%-3d wall %6.2fs  %6.2f q/s  completed %4lld shed %4lld "
-      "failed %lld  shed_rate %.3f  p50 %7.1fms p95 %7.1fms p99 %7.1fms\n",
+      "failed %lld  shed_rate %.3f  hit_rate %.3f (%lld/%lld)  "
+      "p50 %7.1fms p95 %7.1fms p99 %7.1fms\n",
       num_sessions, res.wall_s, res.throughput_qps,
       static_cast<long long>(res.completed),
       static_cast<long long>(res.shed), static_cast<long long>(res.failed),
-      res.shed_rate, res.p50, res.p95, res.p99);
+      res.shed_rate, res.hit_rate, static_cast<long long>(res.cache_hits),
+      static_cast<long long>(probes), res.p50, res.p95, res.p99);
+  if (res.mismatched > 0) {
+    std::printf("      CHECKSUM MISMATCH: %lld results diverged from the "
+                "cache-off baseline\n",
+                static_cast<long long>(res.mismatched));
+  }
   for (const ClientStats& c : res.clients) {
     std::printf("      session %-3lld completed %3lld shed %3lld "
                 "p50 %7.1fms p99 %7.1fms\n",
@@ -205,7 +279,8 @@ ScenarioResult RunScenario(int num_sessions, const TrafficParams& p) {
 
 void WriteJson(const char* path, const std::vector<ScenarioResult>& runs,
                const TrafficParams& p, bool smoke, double solo_p99,
-               double n4_worst_ratio, bool fairness_pass) {
+               double n4_worst_ratio, bool fairness_pass,
+               bool checksums_identical) {
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -213,6 +288,10 @@ void WriteJson(const char* path, const std::vector<ScenarioResult>& runs,
   }
   std::fprintf(f, "{\n  \"bench\": \"traffic_multitenant\",\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"result_cache\": %s,\n",
+               p.enable_cache ? "true" : "false");
+  std::fprintf(f, "  \"checksums_match_cache_off_baseline\": %s,\n",
+               checksums_identical ? "true" : "false");
   std::fprintf(f,
                "  \"workloads\": [\"census\", \"tpcxai_uc10\", "
                "\"plasticc\"],\n");
@@ -228,11 +307,16 @@ void WriteJson(const char* path, const std::vector<ScenarioResult>& runs,
         "    {\"sessions\": %d, \"wall_s\": %.3f, "
         "\"throughput_qps\": %.3f, \"completed\": %lld, \"shed\": %lld, "
         "\"failed\": %lld, \"shed_rate\": %.4f, "
+        "\"cache_hits\": %lld, \"cache_misses\": %lld, "
+        "\"hit_rate\": %.4f, "
         "\"latency_ms\": {\"p50\": %.2f, \"p95\": %.2f, \"p99\": %.2f},\n"
         "     \"per_session\": [",
         r.sessions, r.wall_s, r.throughput_qps,
         static_cast<long long>(r.completed), static_cast<long long>(r.shed),
-        static_cast<long long>(r.failed), r.shed_rate, r.p50, r.p95, r.p99);
+        static_cast<long long>(r.failed), r.shed_rate,
+        static_cast<long long>(r.cache_hits),
+        static_cast<long long>(r.cache_misses), r.hit_rate, r.p50, r.p95,
+        r.p99);
     bool cfirst = true;
     for (const ClientStats& c : r.clients) {
       if (!cfirst) std::fprintf(f, ", ");
@@ -267,11 +351,14 @@ int main(int argc, char** argv) {
 
   InitTrace(argc, argv);
   bool smoke = false;
+  bool no_cache = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--no-cache") == 0) no_cache = true;
   }
 
   TrafficParams p;
+  p.enable_cache = !no_cache;
   if (smoke) {
     p.session_counts = {1, 2};
     p.queries_per_client = 2;
@@ -285,11 +372,37 @@ int main(int argc, char** argv) {
   PrintHeader("Traffic: multi-tenant closed-loop serving");
   std::printf("clients x %d queries each (census / tpcxai_uc10 / "
               "plasticc mix), shed submissions retried after the "
-              "server's backoff hint\n\n",
-              p.queries_per_client);
+              "server's backoff hint, result cache %s\n\n",
+              p.queries_per_client, p.enable_cache ? "ON" : "OFF");
+
+  // Cache-off solo baseline: the reference checksum for every query kind.
+  // Every result any scenario completes — cache-served or recomputed —
+  // must match it byte for byte.
+  uint64_t expected[3] = {0, 0, 0};
+  {
+    Config base_config = TrafficConfig(/*enable_cache=*/false);
+    bool baseline_ok = true;
+    for (int kind = 0; kind < 3; ++kind) {
+      core::Session solo(base_config);
+      Result<dataframe::DataFrame> r = RunQuery(&solo, kind, p);
+      if (!r.ok()) {
+        std::fprintf(stderr, "baseline query %d failed: %s\n", kind,
+                     r.status().ToString().c_str());
+        baseline_ok = false;
+        continue;
+      }
+      expected[kind] = Checksum(*r);
+    }
+    if (!baseline_ok) {
+      std::printf("traffic acceptance: FAIL (cache-off baseline)\n");
+      return 1;
+    }
+  }
 
   std::vector<ScenarioResult> runs;
-  for (int n : p.session_counts) runs.push_back(RunScenario(n, p));
+  for (int n : p.session_counts) {
+    runs.push_back(RunScenario(n, p, expected));
+  }
 
   // Fairness bar (full mode): with WFQ on, no single session at N=4 may
   // see p99 beyond 3x the solo p99.
@@ -304,10 +417,18 @@ int main(int argc, char** argv) {
   }
 
   bool ok = true;
+  bool checksums_identical = true;
   for (const ScenarioResult& r : runs) {
     if (r.failed > 0 || r.completed == 0) {
       std::printf("FAIL: N=%d had %lld terminal failures\n", r.sessions,
                   static_cast<long long>(r.failed));
+      ok = false;
+    }
+    if (r.mismatched > 0) {
+      std::printf("FAIL: N=%d had %lld results differing from the "
+                  "cache-off baseline\n",
+                  r.sessions, static_cast<long long>(r.mismatched));
+      checksums_identical = false;
       ok = false;
     }
   }
@@ -319,9 +440,21 @@ int main(int argc, char** argv) {
     fairness_pass = false;
     ok = false;
   }
+  // Hit-rate bar (full mode, cache on): the N=16 mix revisits each of the
+  // three plans ~53 times, so the cache must serve at least half of all
+  // probes or it is not doing its job.
+  if (!smoke && p.enable_cache) {
+    for (const ScenarioResult& r : runs) {
+      if (r.sessions == 16 && r.hit_rate < 0.5) {
+        std::printf("FAIL: N=16 hit_rate %.3f below the 0.5 bar\n",
+                    r.hit_rate);
+        ok = false;
+      }
+    }
+  }
 
   WriteJson("BENCH_traffic.json", runs, p, smoke, solo_p99, n4_worst_ratio,
-            fairness_pass);
+            fairness_pass, checksums_identical);
   std::printf("traffic acceptance: %s\n", ok ? "PASS" : "FAIL");
   FinishTrace();
   return ok ? 0 : 1;

@@ -56,6 +56,14 @@ Status Config::Validate() const {
                            "unlimited), got " +
                            std::to_string(session_max_inflight));
   }
+  // A zero/negative budget with the cache on would evict every publish
+  // immediately — an un-usable cache is a config bug, not a policy.
+  if (enable_result_cache && result_cache_budget_bytes <= 0) {
+    return Status::Invalid(
+        "result_cache_budget_bytes must be positive when "
+        "enable_result_cache is set, got " +
+        std::to_string(result_cache_budget_bytes));
+  }
   return Status::OK();
 }
 

@@ -119,7 +119,8 @@ struct Config {
   /// bools above:
   ///   tileable: column_pruning ? {predicate_pushdown, column_pruning,
   ///                               dead_node_elim} : {}
-  ///   chunk:    op_fusion      ? {op_fusion, cse} : {}
+  ///   chunk:    (enable_result_cache ? {result_cache} : {}) +
+  ///             (op_fusion ? {op_fusion, cse} : {})
   ///   subtask:  graph_fusion   ? {graph_fusion} : {}
   OptimizerSpec optimizer;
 
@@ -195,6 +196,20 @@ struct Config {
   /// bands (0 = unlimited). A blunt anti-starvation guard on top of
   /// weighted fairness.
   int session_max_inflight = 0;
+
+  // --- result cache (see DESIGN.md §9) ---
+  /// Cross-session plan-fragment/result cache: a chunk-level optimizer pass
+  /// (`result_cache`) rewrites sub-plans whose transitive CacheSignature
+  /// matches an already-materialized chunk into fetches of that chunk, and
+  /// the executor publishes completed cacheable chunks under the shared
+  /// `cache/` key namespace. Off by default: solo single-shot sessions pay
+  /// signature hashing for no reuse.
+  bool enable_result_cache = false;
+  /// Cluster-level byte budget for the `cache/` namespace. Cached chunks
+  /// are charged here — never to any tenant's session_memory_quota_bytes —
+  /// and evicted LRU (unpinned entries only) when the budget is exceeded.
+  /// Must be positive when the cache is enabled.
+  int64_t result_cache_budget_bytes = 64LL << 20;
 
   // --- observability ---
   /// Tracing sink + session process id; disabled (null sink) by default.

@@ -169,6 +169,11 @@ void Metrics::Reset() {
   cse_hits = 0;
   dead_nodes_eliminated = 0;
   source_bytes_read = 0;
+  cache_hits = 0;
+  cache_misses = 0;
+  cache_publishes = 0;
+  cache_evictions = 0;
+  cache_invalidations = 0;
   registry.Reset();
 }
 
@@ -202,6 +207,11 @@ MetricsSnapshot Metrics::Snapshot() const {
       {"cse_hits", cse_hits.load()},
       {"dead_nodes_eliminated", dead_nodes_eliminated.load()},
       {"source_bytes_read", source_bytes_read.load()},
+      {"cache_hits", cache_hits.load()},
+      {"cache_misses", cache_misses.load()},
+      {"cache_publishes", cache_publishes.load()},
+      {"cache_evictions", cache_evictions.load()},
+      {"cache_invalidations", cache_invalidations.load()},
   };
   s.gauges = registry.SnapshotGaugesLocked();
   // The copy-on-write buffer layer sits below the session, so its counters

@@ -179,6 +179,18 @@ struct Metrics {
   /// Bytes of xparquet column blocks actually read by source kernels; the
   /// denominator predicate pushdown and column pruning shrink.
   std::atomic<int64_t> source_bytes_read{0};
+  /// Result-cache probes (DESIGN.md §9). A hit rewrites a whole pending
+  /// sub-plan into a fetch of a `cache/` chunk; a miss marks the chunk for
+  /// publication when the executor materializes it.
+  std::atomic<int64_t> cache_hits{0};
+  std::atomic<int64_t> cache_misses{0};
+  /// Chunks the executor published into the `cache/` namespace on
+  /// successful completion.
+  std::atomic<int64_t> cache_publishes{0};
+  /// Cache entries dropped LRU to fit result_cache_budget_bytes.
+  std::atomic<int64_t> cache_evictions{0};
+  /// Cache entries dropped because a source they derive from changed.
+  std::atomic<int64_t> cache_invalidations{0};
 
   /// Named gauges + histograms registered by subsystems; the three
   /// histograms below are pre-registered for the executor and storage.

@@ -31,6 +31,7 @@ XORBITS_SPAN_NAME(kSpanPassPrefix, "optimize:")
 XORBITS_SPAN_NAME(kSpanPredicatePushdown, "optimize:predicate_pushdown")
 XORBITS_SPAN_NAME(kSpanDeadNodeElim, "optimize:dead_node_elim")
 XORBITS_SPAN_NAME(kSpanCse, "optimize:cse")
+XORBITS_SPAN_NAME(kSpanResultCache, "optimize:result_cache")
 XORBITS_SPAN_NAME(kSpanScheduleRun, "schedule:run")
 XORBITS_SPAN_NAME(kSpanRecoverPrefix, "recover:")
 XORBITS_SPAN_NAME(kSpanSubtaskPrefix, "subtask:")
@@ -54,6 +55,8 @@ XORBITS_EVENT_NAME(kEventSessionCreate, "session:create")
 XORBITS_EVENT_NAME(kEventSessionClose, "session:close")
 XORBITS_EVENT_NAME(kEventSessionShed, "session:shed")
 XORBITS_EVENT_NAME(kEventQuotaExceeded, "storage:quota_exceeded")
+XORBITS_EVENT_NAME(kEventCacheEvict, "cache:evict")
+XORBITS_EVENT_NAME(kEventCacheInvalidate, "cache:invalidate")
 
 // --- registry metrics (gauges + histograms; see MetricsRegistry) ---
 XORBITS_METRIC_NAME(kHistSubtaskLatencyUs, "subtask_latency_us")
@@ -85,6 +88,10 @@ XORBITS_METRIC_NAME(kHistSessionQueueWaitUs, "session_queue_wait_us")
 XORBITS_METRIC_NAME(kGaugeSessionsActive, "sessions_active")
 XORBITS_METRIC_NAME(kGaugeSessionsShed, "sessions_shed")
 XORBITS_METRIC_NAME(kGaugeSessionBytesPrefix, "session_bytes_used/")
+// Result cache (DESIGN.md §9): live bytes/entries in the cluster-level
+// `cache/` namespace, charged to result_cache_budget_bytes.
+XORBITS_METRIC_NAME(kGaugeCacheBytes, "cache_bytes")
+XORBITS_METRIC_NAME(kGaugeCacheEntries, "cache_entries")
 
 }  // namespace xorbits::trace
 

@@ -517,7 +517,58 @@ std::string Tracer::RenderRunReport(int pid) const {
     }
   }
 
-  // 7. Counters + histograms from the attached metrics snapshot.
+  // 7. Result cache (DESIGN.md §9), rendered for the process that owns the
+  //    cache's metrics (the cluster under a SessionManager, the session in
+  //    solo mode): hit rate, publish/evict/invalidate churn, and the cached
+  //    footprint the cluster budget is enforced against.
+  if (p->metrics.has_value()) {
+    int64_t hits = 0, misses = 0, publishes = 0, evictions = 0,
+            invalidations = 0;
+    bool have_cache = false;
+    for (const auto& [name, value] : p->metrics->counters) {
+      if (name == "cache_hits") hits = value;
+      else if (name == "cache_misses") misses = value;
+      else if (name == "cache_publishes") publishes = value;
+      else if (name == "cache_evictions") evictions = value;
+      else if (name == "cache_invalidations") invalidations = value;
+      else continue;
+      have_cache = have_cache || value != 0;
+    }
+    int64_t cache_bytes = 0, cache_entries = 0;
+    for (const auto& [name, value] : p->metrics->gauges) {
+      if (name == trace::kGaugeCacheBytes) {
+        cache_bytes = value;
+        have_cache = have_cache || value != 0;
+      } else if (name == trace::kGaugeCacheEntries) {
+        cache_entries = value;
+        have_cache = have_cache || value != 0;
+      }
+    }
+    if (have_cache) {
+      const int64_t probes = hits + misses;
+      const double hit_rate =
+          probes > 0 ? static_cast<double>(hits) / probes : 0.0;
+      os << "\n-- result cache (cross-session) --\n";
+      std::snprintf(line, sizeof(line),
+                    "  hits %lld  misses %lld  hit_rate %.3f\n",
+                    static_cast<long long>(hits),
+                    static_cast<long long>(misses), hit_rate);
+      os << line;
+      std::snprintf(line, sizeof(line),
+                    "  publishes %lld  evictions %lld  invalidations %lld\n",
+                    static_cast<long long>(publishes),
+                    static_cast<long long>(evictions),
+                    static_cast<long long>(invalidations));
+      os << line;
+      std::snprintf(line, sizeof(line),
+                    "  cached %lld B in %lld entries\n",
+                    static_cast<long long>(cache_bytes),
+                    static_cast<long long>(cache_entries));
+      os << line;
+    }
+  }
+
+  // 8. Counters + histograms from the attached metrics snapshot.
   if (p->metrics.has_value()) {
     os << "\n-- counters (non-zero) --\n";
     for (const auto& [name, value] : p->metrics->counters) {

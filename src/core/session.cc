@@ -38,6 +38,15 @@ Session::Session(Config config)
           config_, &metrics_, storage_, meta_, &chunk_graph_,
           &pass_manager_)) {
   meta_->BindObservability(&metrics_);
+  if (config_.enable_result_cache) {
+    // Solo "cross-session" reuse is within-session across Materialize
+    // calls (the session owns its cluster); the plumbing is identical.
+    owned_result_cache_ = std::make_unique<services::ResultCache>(
+        config_, storage_, &metrics_);
+    pass_manager_.BindResultCache(owned_result_cache_.get(), meta_,
+                                  /*session_id=*/-1);
+    driver_->BindResultCache(owned_result_cache_.get());
+  }
 }
 
 Session::Session(SessionManager* manager, Config config, int64_t session_id)
@@ -59,6 +68,10 @@ Session::Session(SessionManager* manager, Config config, int64_t session_id)
   driver_ = std::make_unique<tiling::TilingDriver>(
       config_, &metrics_, storage_, meta_, &chunk_graph_, &pass_manager_,
       &manager->executor(), opts);
+  if (services::ResultCache* cache = manager->result_cache()) {
+    pass_manager_.BindResultCache(cache, meta_, session_id);
+    driver_->BindResultCache(cache);
+  }
 }
 
 Session::~Session() {

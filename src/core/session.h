@@ -10,6 +10,7 @@
 #include "graph/graph.h"
 #include "optimizer/pass_manager.h"
 #include "services/meta_service.h"
+#include "services/result_cache.h"
 #include "services/storage_service.h"
 #include "tiling/tiling_driver.h"
 
@@ -83,6 +84,9 @@ class Session {
   services::StorageService* storage_;
   std::unique_ptr<services::MetaService> owned_meta_;
   services::MetaService* meta_;
+  /// Solo-mode result cache (config.enable_result_cache); tenant sessions
+  /// use the manager's cluster-wide cache instead and leave this null.
+  std::unique_ptr<services::ResultCache> owned_result_cache_;
   graph::TileableGraph tileable_graph_;
   graph::ChunkGraph chunk_graph_;
   /// Optimizer pipelines (declared before driver_, which keeps a pointer).

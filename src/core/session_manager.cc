@@ -46,6 +46,11 @@ SessionManager::SessionManager(Config config)
       queue_wait_us_(metrics_.registry.GetHistogram(
           trace::kHistSessionQueueWaitUs, "us", DefaultBuckets())) {
   meta_.BindObservability(&metrics_);
+  if (config_.enable_result_cache) {
+    result_cache_ = std::make_unique<services::ResultCache>(
+        config_, storage_.get(), &metrics_);
+    executor_->set_result_cache(result_cache_.get());
+  }
 }
 
 SessionManager::~SessionManager() {
@@ -155,6 +160,11 @@ void SessionManager::OnSessionClose(int64_t session_id) {
   const std::string prefix = "s" + std::to_string(session_id) + "/";
   storage_->DeleteByPrefix(prefix);
   meta_.DeleteByPrefix(prefix);
+  // Cache lineage registered by this session points into its (now dying)
+  // chunk-graph arena; sweep it by session tag. The cached "cache/" chunks
+  // themselves deliberately survive — they are cluster property, and the
+  // next session to hit one re-registers lineage against its own graph.
+  meta_.DeleteLineageBySession(session_id);
   if (Tracer* tr = config_.trace.sink) {
     tr->Instant(config_.trace.pid, kTrackSupervisor, trace::kEventSessionClose,
                 {Arg("session", session_id)});

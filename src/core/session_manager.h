@@ -10,6 +10,7 @@
 #include "common/metrics.h"
 #include "scheduler/executor.h"
 #include "services/meta_service.h"
+#include "services/result_cache.h"
 #include "services/storage_service.h"
 
 namespace xorbits::core {
@@ -66,6 +67,11 @@ class SessionManager {
   services::StorageService& storage() { return *storage_; }
   services::MetaService& meta() { return meta_; }
   scheduler::Executor& executor() { return *executor_; }
+  /// Cluster-wide cross-session result cache (DESIGN.md §9); null unless
+  /// config.enable_result_cache. Cached bytes live under the "cache/" key
+  /// namespace and are charged to result_cache_budget_bytes here — never to
+  /// any tenant's session_memory_quota_bytes.
+  services::ResultCache* result_cache() { return result_cache_.get(); }
 
   /// Gates one graph submission (called by Session::Materialize).
   /// `estimated_bytes` is the submission's projected memory footprint,
@@ -90,6 +96,8 @@ class SessionManager {
   std::unique_ptr<services::StorageService> storage_;
   services::MetaService meta_;
   std::unique_ptr<scheduler::Executor> executor_;
+  /// Created when config_.enable_result_cache; outlives every session.
+  std::unique_ptr<services::ResultCache> result_cache_;
 
   // Admission state (guarded by mu_). `admitted_bytes_` remembers each
   // running submission's reservation so Release needs no arguments beyond

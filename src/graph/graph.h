@@ -53,6 +53,14 @@ struct ChunkNode {
   bool executed = false;
   /// Band the producing subtask ran on (-1 before scheduling).
   int band = -1;
+  /// Transitive plan signature set by the result_cache optimizer pass on a
+  /// probe *miss*: the executor publishes this node's payload to the
+  /// ResultCache under it when the subtask completes. Empty = not cacheable
+  /// or the cache is off (DESIGN.md §9).
+  std::string cache_plan_sig;
+  /// Source tags (file paths / content fingerprints) the sub-plan under
+  /// this node reads, carried alongside cache_plan_sig for invalidation.
+  std::vector<std::string> cache_tags;
 };
 
 /// One logical-plan node (whole distributed dataframe/tensor).

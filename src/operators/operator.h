@@ -55,6 +55,27 @@ class ChunkOp : public graph::OperatorBase {
   virtual std::optional<std::string> CseSignature() const {
     return std::nullopt;
   }
+  /// Signature for the cross-session result cache (DESIGN.md §9). Stricter
+  /// contract than CseSignature: the string must identify the op's output
+  /// bytes across *sessions and processes*, so process-local identities
+  /// (pointers, session-scoped ids) are banned, and source ops must fold
+  /// in external-state versions (file mtime+size) so a changed input hashes
+  /// to a fresh key instead of serving stale bytes. Defaults to
+  /// CseSignature, which is already value-based for every built-in op
+  /// except the in-memory data source (it opts out / re-tags — see
+  /// DataChunkOp). nullopt excludes the node and all its descendants.
+  virtual std::optional<std::string> CacheSignature() const {
+    return CseSignature();
+  }
+  /// Name of the external source this op reads, if any: the invalidation
+  /// handle for the result cache. File sources return their path; content-
+  /// fingerprinted in-memory sources return their tag. A cached entry
+  /// carries the union of its sub-plan's source tags, and
+  /// ResultCache::Invalidate(tag) eagerly drops everything derived from
+  /// that source (DESIGN.md §9).
+  virtual std::optional<std::string> CacheSourceTag() const {
+    return std::nullopt;
+  }
 };
 
 /// What a tile coroutine hands to the driver when it needs metadata: run

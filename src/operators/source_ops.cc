@@ -6,7 +6,9 @@
 
 #include "dataframe/kernels.h"
 #include "io/csv.h"
+#include "io/serialize.h"
 #include "io/xparquet.h"
+#include "services/result_cache.h"
 #include "tiling/auto_rechunk.h"
 
 namespace xorbits::operators {
@@ -43,6 +45,20 @@ dataframe::Column EmptyColumn(dataframe::DType dtype) {
       return Column::String({});
   }
   return Column::Int64({});
+}
+
+/// File-version suffix for source cache signatures: mtime + size, so a
+/// rewritten input file hashes to a fresh cache key (DESIGN.md §9).
+/// nullopt when the file cannot be stat'ed — an unverifiable source must
+/// not take part in cross-session reuse.
+std::optional<std::string> FileVersionTag(const std::string& path) {
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return std::nullopt;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return std::nullopt;
+  return "|v=" + std::to_string(mtime.time_since_epoch().count()) + ":" +
+         std::to_string(static_cast<int64_t>(size));
 }
 
 /// Rows the mask actually keeps (true and valid), mirroring
@@ -167,6 +183,12 @@ std::optional<std::string> ReadXpqChunkOp::CseSignature() const {
   return sig;
 }
 
+std::optional<std::string> ReadXpqChunkOp::CacheSignature() const {
+  std::optional<std::string> version = FileVersionTag(path_);
+  if (!version.has_value()) return std::nullopt;
+  return *CseSignature() + *version;
+}
+
 Status ReadCsvChunkOp::Execute(ExecutionContext& ctx) const {
   io::CsvOptions opts;
   opts.parse_dates = parse_dates_;
@@ -194,6 +216,12 @@ std::optional<std::string> ReadCsvChunkOp::CseSignature() const {
     sig += ',';
   }
   return sig;
+}
+
+std::optional<std::string> ReadCsvChunkOp::CacheSignature() const {
+  std::optional<std::string> version = FileVersionTag(path_);
+  if (!version.has_value()) return std::nullopt;
+  return *CseSignature() + *version;
 }
 
 Status RandomChunkOp::Execute(ExecutionContext& ctx) const {
@@ -260,11 +288,26 @@ TileTask FromDataFrameOp::Tile(TileContext& ctx, TileableNode* node) {
   if (total >= 2 * ctx.config().total_bands()) {
     nchunks = std::max<int64_t>(nchunks, ctx.config().total_bands());
   }
+  // Content fingerprint for the result cache: one serialize+hash of the
+  // whole frame, shared by every slice, so identical frames submitted by
+  // different sessions produce identical DataChunkOp cache signatures.
+  // Only paid when the cache is on; without a fingerprint the slices keep
+  // their pointer-identity CseSignature and opt out of cross-session reuse.
+  std::string cache_fp;
+  if (ctx.config().enable_result_cache) {
+    auto bytes_r = io::SerializeDataFrame(df_);
+    if (bytes_r.ok()) cache_fp = services::ResultCache::HashHex(*bytes_r);
+  }
   for (const auto& [off, count] : SplitRows(total, nchunks)) {
     DataFrame piece = df_.SliceRows(off, count);
     const int64_t piece_bytes = piece.nbytes();
-    auto op = std::make_shared<DataChunkOp>(
-        services::MakeChunk(std::move(piece)));
+    auto op = cache_fp.empty()
+                  ? std::make_shared<DataChunkOp>(
+                        services::MakeChunk(std::move(piece)))
+                  : std::make_shared<DataChunkOp>(
+                        services::MakeChunk(std::move(piece)),
+                        "df:" + cache_fp + ":" + std::to_string(off) + ":" +
+                            std::to_string(count));
     ChunkNode* chunk = ctx.chunk_graph()->AddNode(std::move(op), {});
     SetPlannedMeta(chunk, count, df_.num_columns(), piece_bytes,
                    static_cast<int64_t>(node->chunks.size()));
@@ -359,12 +402,23 @@ TileTask ReadCsvOp::Tile(TileContext& ctx, TileableNode* node) {
 TileTask FromNDArrayOp::Tile(TileContext& ctx, TileableNode* node) {
   const int64_t rows = array_.rows();
   const int64_t nchunks = ChooseChunkCount(ctx.config(), array_.nbytes());
+  // Same content-fingerprint arrangement as FromDataFrameOp::Tile.
+  std::string cache_fp;
+  if (ctx.config().enable_result_cache) {
+    auto bytes_r = io::SerializeNDArray(array_);
+    if (bytes_r.ok()) cache_fp = services::ResultCache::HashHex(*bytes_r);
+  }
   for (const auto& [off, count] : SplitRows(rows, nchunks)) {
     NDArray piece = array_.SliceRows(off, off + count);
     const int64_t piece_bytes = piece.nbytes();
     const int64_t piece_cols = piece.cols();
-    auto op = std::make_shared<DataChunkOp>(
-        services::MakeChunk(std::move(piece)));
+    auto op = cache_fp.empty()
+                  ? std::make_shared<DataChunkOp>(
+                        services::MakeChunk(std::move(piece)))
+                  : std::make_shared<DataChunkOp>(
+                        services::MakeChunk(std::move(piece)),
+                        "nd:" + cache_fp + ":" + std::to_string(off) + ":" +
+                            std::to_string(count));
     ChunkNode* chunk = ctx.chunk_graph()->AddNode(std::move(op), {});
     SetPlannedMeta(chunk, count, piece_cols, piece_bytes,
                    static_cast<int64_t>(node->chunks.size()));

@@ -16,6 +16,11 @@ namespace xorbits::operators {
 class DataChunkOp : public ChunkOp {
  public:
   explicit DataChunkOp(ChunkDataPtr payload) : payload_(std::move(payload)) {}
+  /// `cache_tag` is a content fingerprint of the captured slice, computed
+  /// by the tiling source when the result cache is on (FromDataFrameOp
+  /// hashes the serialized frame once and tags each slice with it).
+  DataChunkOp(ChunkDataPtr payload, std::string cache_tag)
+      : payload_(std::move(payload)), cache_tag_(std::move(cache_tag)) {}
   const char* type_name() const override { return "DataChunk"; }
   Status Execute(ExecutionContext& ctx) const override {
     ctx.outputs[0] = payload_;
@@ -27,9 +32,20 @@ class DataChunkOp : public ChunkOp {
     return "data|" +
            std::to_string(reinterpret_cast<uintptr_t>(payload_.get()));
   }
+  /// The pointer identity above is meaningless across sessions; only a
+  /// content-fingerprinted payload may take part in cross-session reuse.
+  std::optional<std::string> CacheSignature() const override {
+    if (cache_tag_.empty()) return std::nullopt;
+    return "data|" + cache_tag_;
+  }
+  std::optional<std::string> CacheSourceTag() const override {
+    if (cache_tag_.empty()) return std::nullopt;
+    return cache_tag_;
+  }
 
  private:
   ChunkDataPtr payload_;
+  std::string cache_tag_;  // empty => opted out of the result cache
 };
 
 /// Chunk kernel that reads a row range of selected columns from an
@@ -48,6 +64,10 @@ class ReadXpqChunkOp : public ChunkOp {
   const char* type_name() const override { return "ReadParquet"; }
   Status Execute(ExecutionContext& ctx) const override;
   std::optional<std::string> CseSignature() const override;
+  /// CseSignature + the file's mtime/size: a rewritten input hashes to a
+  /// fresh cache key instead of serving stale bytes (DESIGN.md §9).
+  std::optional<std::string> CacheSignature() const override;
+  std::optional<std::string> CacheSourceTag() const override { return path_; }
 
  private:
   std::string path_;
@@ -78,6 +98,9 @@ class ReadCsvChunkOp : public ChunkOp {
   const char* type_name() const override { return "ReadCsv"; }
   Status Execute(ExecutionContext& ctx) const override;
   std::optional<std::string> CseSignature() const override;
+  /// CseSignature + the file's mtime/size (see ReadXpqChunkOp).
+  std::optional<std::string> CacheSignature() const override;
+  std::optional<std::string> CacheSourceTag() const override { return path_; }
 
  private:
   std::string path_;

@@ -10,6 +10,11 @@
 #include "common/result.h"
 #include "graph/graph.h"
 
+namespace xorbits::services {
+class MetaService;
+class ResultCache;
+}  // namespace xorbits::services
+
 namespace xorbits::optimizer {
 
 /// What one pass did to its graph, reported to the pass manager for the
@@ -32,6 +37,20 @@ struct PassContext {
   Metrics* metrics = nullptr;
   graph::TileableGraph* tileable_graph = nullptr;
   graph::ChunkGraph* chunk_graph = nullptr;
+  /// Cross-session result cache (DESIGN.md §9); null unless the owning
+  /// PassManager was bound to one (enable_result_cache). The result_cache
+  /// chunk pass probes it and rewrites hits into fetches of cached chunks.
+  services::ResultCache* result_cache = nullptr;
+  /// Meta service the consuming run reads chunk metadata from; a cache hit
+  /// registers the cached chunk's meta (and recovery lineage) here.
+  services::MetaService* meta = nullptr;
+  /// Session the rewritten plan belongs to (-1 solo); stamps hit lineage so
+  /// session close can purge pointers into the closing graph arena.
+  int64_t session_id = -1;
+  /// Out-param: signatures pinned by cache hits this pipeline run. The
+  /// driver unpins them in its epilogue; null disables probing (publish
+  /// marking still happens).
+  std::vector<std::string>* pinned_sigs = nullptr;
 };
 
 /// Logical-plan pass: rewrites the tileable work list before tiling.
@@ -76,6 +95,7 @@ inline constexpr char kPassColumnPruning[] = "column_pruning";
 inline constexpr char kPassDeadNodeElim[] = "dead_node_elim";
 inline constexpr char kPassOpFusion[] = "op_fusion";
 inline constexpr char kPassCse[] = "cse";
+inline constexpr char kPassResultCache[] = "result_cache";
 inline constexpr char kPassGraphFusion[] = "graph_fusion";
 
 /// Factories: one registry per graph level. Return nullptr for names that

@@ -36,6 +36,14 @@ PassManager::PassManager(const Config& config, Metrics* metrics)
 
 PassManager::~PassManager() = default;
 
+void PassManager::BindResultCache(services::ResultCache* cache,
+                                  services::MetaService* meta,
+                                  int64_t session_id) {
+  result_cache_ = cache;
+  cache_meta_ = meta;
+  cache_session_id_ = session_id;
+}
+
 Status PassManager::EnsureInit() {
   if (initialized_) return Status::OK();
   const OptimizerSpec& spec = config_.optimizer;
@@ -49,8 +57,18 @@ Status PassManager::EnsureInit() {
     }
     tileable_.push_back(std::move(pass));
   }
-  for (const std::string& name : ResolveLevel(spec.chunk, config_.op_fusion,
-                                              {kPassOpFusion, kPassCse})) {
+  // Chunk "auto": the result-cache rewrite (when enabled) must see the
+  // pre-fusion closure, so it leads; the legacy op_fusion toggle still
+  // gates the fusion+CSE tail.
+  std::vector<std::string> chunk_auto;
+  if (config_.enable_result_cache) chunk_auto.push_back(kPassResultCache);
+  if (config_.op_fusion) {
+    chunk_auto.push_back(kPassOpFusion);
+    chunk_auto.push_back(kPassCse);
+  }
+  const bool chunk_auto_enabled = !chunk_auto.empty();
+  for (const std::string& name : ResolveLevel(spec.chunk, chunk_auto_enabled,
+                                              std::move(chunk_auto))) {
     auto pass = MakeChunkPass(name);
     if (pass == nullptr) {
       return Status::Invalid("unknown chunk pass: " + name);
@@ -141,12 +159,17 @@ Status PassManager::RunTileablePipeline(
 
 Status PassManager::RunChunkPipeline(
     graph::ChunkGraph* graph, std::vector<graph::ChunkNode*>* closure,
-    const std::vector<graph::ChunkNode*>& must_persist) {
+    const std::vector<graph::ChunkNode*>& must_persist,
+    std::vector<std::string>* pinned_sigs) {
   XORBITS_RETURN_NOT_OK(EnsureInit());
   PassContext ctx;
   ctx.config = &config_;
   ctx.metrics = metrics_;
   ctx.chunk_graph = graph;
+  ctx.result_cache = result_cache_;
+  ctx.meta = cache_meta_;
+  ctx.session_id = cache_session_id_;
+  ctx.pinned_sigs = pinned_sigs;
   for (size_t i = 0; i < chunk_.size(); ++i) {
     ChunkPass* pass = chunk_[i].get();
     Result<PassStats> r =

@@ -11,6 +11,11 @@
 #include "graph/graph.h"
 #include "optimizer/pass.h"
 
+namespace xorbits::services {
+class MetaService;
+class ResultCache;
+}  // namespace xorbits::services
+
 namespace xorbits::optimizer {
 
 /// Owns the three per-level pass pipelines and runs them with uniform
@@ -39,11 +44,23 @@ class PassManager {
                              std::vector<graph::TileableNode*>* topo,
                              const std::vector<graph::TileableNode*>& sinks);
 
+  /// Binds the cross-session result cache (DESIGN.md §9) so the
+  /// `result_cache` chunk pass can probe and rewrite. `meta` is where hit
+  /// metadata/lineage land (the service the consuming run reads);
+  /// `session_id` stamps hit lineage (-1 solo). All must outlive the
+  /// manager. Without this call the pass is an instrumented no-op.
+  void BindResultCache(services::ResultCache* cache,
+                       services::MetaService* meta, int64_t session_id);
+
   /// Chunk-plan pipeline, run on every pending closure (each partial
-  /// execution). `must_persist` members survive every pass.
+  /// execution). `must_persist` members survive every pass. When the
+  /// result cache is bound, `pinned_sigs` collects the signatures hits
+  /// pinned — the caller must ResultCache::Unpin them once the consuming
+  /// run is over (null skips probing entirely).
   Status RunChunkPipeline(graph::ChunkGraph* graph,
                           std::vector<graph::ChunkNode*>* closure,
-                          const std::vector<graph::ChunkNode*>& must_persist);
+                          const std::vector<graph::ChunkNode*>& must_persist,
+                          std::vector<std::string>* pinned_sigs = nullptr);
 
   /// Physical-plan pipeline, run on the unfused subtask graph built from
   /// `closure` before scheduling.
@@ -56,6 +73,9 @@ class PassManager {
 
   const Config& config_;
   Metrics* metrics_;
+  services::ResultCache* result_cache_ = nullptr;
+  services::MetaService* cache_meta_ = nullptr;
+  int64_t cache_session_id_ = -1;
   bool initialized_ = false;
   std::vector<std::unique_ptr<TileablePass>> tileable_;
   std::vector<std::unique_ptr<ChunkPass>> chunk_;

@@ -12,6 +12,7 @@
 #include "common/tracing.h"
 #include "operators/operator.h"
 #include "scheduler/placement.h"
+#include "services/result_cache.h"
 
 namespace xorbits::scheduler {
 
@@ -125,7 +126,8 @@ constexpr int64_t kDispatchUs = 1000;
 
 Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
                             int attempt, std::string* lost_key,
-                            Metrics* metrics, const TraceConfig& trace) {
+                            Metrics* metrics, const TraceConfig& trace,
+                            int64_t session_id) {
   const int band = subtask.band;
   // Injected transient faults fire before any work: a fated (uid, attempt)
   // pair fails here deterministically, and a re-run of the same attempt
@@ -267,6 +269,14 @@ Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
       }
       transients.push_back(payload->nbytes());
     }
+    // Result-cache publish (DESIGN.md §9): the optimizer stamped this node
+    // as a cache miss worth keeping. Both branches feed the cache — fusion
+    // routinely turns the cacheable payload into a transient intermediate.
+    // Best-effort by contract; a full cache just misses out.
+    if (result_cache_ != nullptr && !node->cache_plan_sig.empty()) {
+      result_cache_->Publish(node->cache_plan_sig, payload, band,
+                             MetaOf(payload, band), node->cache_tags);
+    }
     local[node->key] = std::move(payload);
   }
   release_all();
@@ -281,6 +291,7 @@ Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
     lineage.outputs = subtask.outputs;
     lineage.input_keys = fetched_keys;
     lineage.output_keys = published_keys;
+    lineage.session = session_id;
     for (const graph::ChunkNode* out : subtask.outputs) {
       meta_->PutLineage(out->key, lineage);
     }
@@ -435,7 +446,14 @@ Status Executor::RecoverKey(const std::string& key, int band, int depth,
   for (const graph::ChunkNode* n : lineage->nodes) {
     storage_->DropByPrefix(n->key + "@");
   }
-  for (graph::ChunkNode* n : lineage->nodes) n->executed = false;
+  // Clear executed flags only for nodes whose chunks are actually gone: a
+  // cache-hit lineage (DESIGN.md §9) may share ancestors with the live
+  // closure of a still-running query — those executed, still-stored nodes
+  // recompute transiently below without losing their flag (flipping it
+  // would invite a later tiling round into a duplicate-key republish).
+  for (graph::ChunkNode* n : lineage->nodes) {
+    if (!storage_->Has(n->key)) n->executed = false;
+  }
 
   graph::Subtask recompute;
   recompute.id = -1;
@@ -454,7 +472,7 @@ Status Executor::RecoverKey(const std::string& key, int band, int depth,
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     std::string lost;
     result = RunSubtask(recompute, uid, attempt, &lost, metrics_,
-                        config_.trace);
+                        config_.trace, lineage->session);
     if (result.ok()) break;
     RollbackSubtask(recompute, /*tombstone=*/true);
     if (result.IsChunkLost() && !lost.empty()) {
@@ -627,8 +645,8 @@ void Executor::BandWorkerLoop(int band) {
 
     graph::Subtask& st = state->graph->subtasks[task_id];
     std::string lost_key;
-    Status result =
-        RunSubtask(st, uid, attempt, &lost_key, state->metrics, state->trace);
+    Status result = RunSubtask(st, uid, attempt, &lost_key, state->metrics,
+                               state->trace, state->session_id);
 
     // Lineage recovery: rebuild lost inputs on this band, then re-run the
     // attempt in place. Each iteration recovers one lost input chain, so
@@ -648,7 +666,7 @@ void Executor::BandWorkerLoop(int band) {
       ++recovery_rounds;
       lost_key.clear();
       result = RunSubtask(st, uid, attempt, &lost_key, state->metrics,
-                          state->trace);
+                          state->trace, state->session_id);
     }
     if (result.ok()) {
       st.sim_us += recovered_sim_us;

@@ -18,6 +18,10 @@
 #include "services/meta_service.h"
 #include "services/storage_service.h"
 
+namespace xorbits::services {
+class ResultCache;
+}  // namespace xorbits::services
+
 namespace xorbits::scheduler {
 
 /// Per-run scheduling identity for multi-tenant execution (DESIGN.md §8).
@@ -101,6 +105,16 @@ class Executor {
   /// otherwise leak kChunkLost to the user.
   Status EnsureChunkAvailable(const std::string& key);
 
+  /// Binds the cross-session result cache (DESIGN.md §9). Once set, every
+  /// completed chunk whose node carries a `cache_plan_sig` (stamped by the
+  /// result_cache optimizer pass on a probe miss) is published to the cache
+  /// — from the persist branch and the fused-transient branch alike, since
+  /// fusion routinely makes the cacheable payload an interior intermediate.
+  /// Null (the default) disables publishing. Must outlive the executor.
+  void set_result_cache(services::ResultCache* cache) {
+    result_cache_ = cache;
+  }
+
  private:
   struct RunState;
 
@@ -108,9 +122,11 @@ class Executor {
   /// deterministic fault injection; `lost_key`, when non-null, receives the
   /// storage key whose read failed with kChunkLost. `metrics`/`trace` are
   /// the owning run's sinks (the executor's own for recovery work).
+  /// `session_id` stamps the lineage this attempt records (-1 solo), so
+  /// session close can purge lineages pointing into its graph arena.
   Status RunSubtask(graph::Subtask& subtask, int64_t uid, int attempt,
                     std::string* lost_key, Metrics* metrics,
-                    const TraceConfig& trace);
+                    const TraceConfig& trace, int64_t session_id = -1);
   /// Deletes every output this subtask already published (including shuffle
   /// partitions) and clears member nodes' executed flags, so a retry can
   /// re-publish without duplicate-key collisions.
@@ -155,6 +171,7 @@ class Executor {
   Metrics* metrics_;
   services::StorageService* storage_;
   services::MetaService* meta_;
+  services::ResultCache* result_cache_ = nullptr;
   FaultInjector injector_;
 
   // One kernel pool per simulated worker node, shared by its bands

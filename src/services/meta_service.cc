@@ -99,6 +99,18 @@ bool MetaService::HasLineage(const std::string& key) const {
   return lineages_.count(key) > 0;
 }
 
+void MetaService::DeleteLineageBySession(int64_t session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lineages_.begin(); it != lineages_.end();) {
+    if (it->second.session == session) {
+      it = lineages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  UpdateGaugesLocked();
+}
+
 int64_t MetaService::lineage_size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(lineages_.size());

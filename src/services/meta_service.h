@@ -42,6 +42,11 @@ struct ChunkLineage {
   /// plus every "<key>@<partition>" for shuffle mappers. Recovery deletes
   /// survivors in this list before re-running so re-Puts don't collide.
   std::vector<std::string> output_keys;
+  /// Session whose chunk-graph arena owns `nodes` (-1 = not session-bound).
+  /// Result-cache lineage for `cache/` keys points into a tenant's arena;
+  /// when that session closes its cache lineage must go with it or the
+  /// pointers dangle (DeleteLineageBySession) — the cached bytes stay.
+  int64_t session = -1;
 };
 
 /// Thread-safe key -> ChunkMeta registry shared by workers (writers, during
@@ -70,6 +75,10 @@ class MetaService {
   Result<ChunkLineage> GetLineage(const std::string& key) const;
   bool HasLineage(const std::string& key) const;
   int64_t lineage_size() const;
+  /// Drops every lineage entry tagged with `session` regardless of key
+  /// prefix — the session-close sweep for `cache/` lineage, whose keys are
+  /// deliberately outside the closing tenant's "s<id>/" namespace.
+  void DeleteLineageBySession(int64_t session);
 
  private:
   /// Pushes current map sizes into the bound gauges. Caller holds mu_.

@@ -4,6 +4,7 @@
 #include "common/trace_names.h"
 #include "common/tracing.h"
 #include "optimizer/fusion.h"
+#include "services/result_cache.h"
 
 namespace xorbits::tiling {
 
@@ -44,6 +45,14 @@ TilingDriver::TilingDriver(const Config& config, Metrics* metrics,
   if (!run_options_.trace.enabled()) run_options_.trace = config_.trace;
 }
 
+void TilingDriver::BindResultCache(services::ResultCache* cache) {
+  result_cache_ = cache;
+  // Solo drivers own their executor, so the session cannot reach it to
+  // hook publishing; under a shared cluster executor this re-sets the same
+  // pointer the manager already installed.
+  executor_->set_result_cache(cache);
+}
+
 Status TilingDriver::ExecutePartial(
     const std::vector<ChunkNode*>& targets) {
   std::vector<ChunkNode*> closure = graph::PendingClosure(targets);
@@ -53,8 +62,9 @@ Status TilingDriver::ExecutePartial(
   TraceSpan partial_span(tr, pid, kTrackSupervisor,
                          trace::kSpanExecutePartial);
   partial_span.AddArg(Arg("pending", static_cast<int64_t>(closure.size())));
-  XORBITS_RETURN_NOT_OK(
-      pass_manager_->RunChunkPipeline(chunk_graph_, &closure, targets));
+  XORBITS_RETURN_NOT_OK(pass_manager_->RunChunkPipeline(
+      chunk_graph_, &closure, targets,
+      result_cache_ != nullptr ? &pinned_sigs_ : nullptr));
   // The unfused subtask graph is the physical-plan baseline; fusion (and
   // any other subtask rewrites) happen in the subtask pipeline.
   graph::SubtaskGraph st_graph =
@@ -69,6 +79,19 @@ Status TilingDriver::ExecutePartial(
 Status TilingDriver::TileAndRun(
     const std::vector<TileableNode*>& topo_order,
     const std::vector<TileableNode*>& sinks) {
+  // Epilogue on every exit path: release the cache pins this submission's
+  // partial executions took, making those entries evictable again. Runs
+  // after the last consuming Run has finished (or failed) — the window the
+  // pin exists to cover.
+  struct PinRelease {
+    TilingDriver* d;
+    ~PinRelease() {
+      if (d->result_cache_ != nullptr && !d->pinned_sigs_.empty()) {
+        d->result_cache_->Unpin(d->pinned_sigs_);
+        d->pinned_sigs_.clear();
+      }
+    }
+  } pin_release{this};
   deadline_ = config_.task_deadline_ms > 0
                   ? std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(config_.task_deadline_ms)

@@ -11,6 +11,10 @@
 #include "optimizer/pass_manager.h"
 #include "scheduler/executor.h"
 
+namespace xorbits::services {
+class ResultCache;
+}  // namespace xorbits::services
+
 namespace xorbits::tiling {
 
 /// The supervisor-side task service: walks the tileable graph, drives each
@@ -45,6 +49,13 @@ class TilingDriver {
   Result<std::vector<services::ChunkDataPtr>> FetchChunks(
       const graph::TileableNode* node);
 
+  /// Attaches the cross-session result cache (DESIGN.md §9): chunk
+  /// pipelines start collecting hit pins (released in TileAndRun's
+  /// epilogue, success or failure) and the executor publishes stamped
+  /// misses. The owning session must also BindResultCache on its
+  /// PassManager — the driver only manages the pin lifecycle.
+  void BindResultCache(services::ResultCache* cache);
+
  private:
   /// Executes the pending ancestor closure of `targets` (no-op when all are
   /// executed): op-level fusion, coloring fusion, placement, run.
@@ -64,6 +75,11 @@ class TilingDriver {
   /// Scheduling identity stamped on every Run this driver submits.
   scheduler::RunOptions run_options_;
   std::chrono::steady_clock::time_point deadline_;
+  /// Result cache this driver's runs consume/feed; null when disabled.
+  services::ResultCache* result_cache_ = nullptr;
+  /// Signatures pinned by cache hits across the current TileAndRun's
+  /// partial executions; unpinned in its epilogue on every exit path.
+  std::vector<std::string> pinned_sigs_;
 };
 
 }  // namespace xorbits::tiling

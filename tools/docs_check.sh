@@ -1,6 +1,9 @@
 #!/bin/sh
 # Fails when an observability name registered in code is missing from
-# OBSERVABILITY.md. Runs as the `docs_check` ctest.
+# OBSERVABILITY.md, when a "DESIGN.md §N" anchor referenced anywhere in
+# the tree points at a section DESIGN.md does not have, or when README's
+# documentation map drifts from the docs on disk. Runs as the
+# `docs_check` ctest.
 #
 # Sources of truth:
 #   - src/common/trace_names.h    span / event / registry-metric constants
@@ -8,6 +11,8 @@
 #                                  _METRIC_NAME macros)
 #   - src/common/metrics.h        legacy counters, declared exactly as
 #                                 `std::atomic<int64_t> <name>{0};`
+#   - DESIGN.md                   `## N.` section headings
+#   - README.md                   the "Documentation map" table
 #
 # Usage: tools/docs_check.sh [repo-root]
 
@@ -16,9 +21,11 @@ root="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
 names_h="$root/src/common/trace_names.h"
 metrics_h="$root/src/common/metrics.h"
 doc="$root/OBSERVABILITY.md"
+design="$root/DESIGN.md"
+readme="$root/README.md"
 
 fail=0
-for f in "$names_h" "$metrics_h" "$doc"; do
+for f in "$names_h" "$metrics_h" "$doc" "$design" "$readme"; do
   if [ ! -f "$f" ]; then
     echo "docs_check: missing $f" >&2
     exit 1
@@ -58,9 +65,44 @@ for n in $counters; do
   check "$n" "metrics.h counter"
 done
 
+# DESIGN.md section anchors. Comments and docs cite sections as
+# "DESIGN.md §6" / "DESIGN.md §2a"; every cited section must still exist
+# as a `## N.` heading, so renumbering DESIGN.md forces the references
+# to move in the same commit.
+sections=$(grep -rhoE 'DESIGN\.md §[0-9]+a?' \
+    "$root/src" "$root/bench" "$root/tests" "$root/tools" "$root"/*.md \
+    2>/dev/null | sed 's/.*§//' | sort -u)
+nsections=0
+for s in $sections; do
+  nsections=$((nsections + 1))
+  if ! grep -qE "^## ${s}\." "$design"; then
+    echo "docs_check: 'DESIGN.md §$s' is referenced but DESIGN.md has no '## $s.' heading" >&2
+    fail=1
+  fi
+done
+
+# README documentation map: every file the map lists must exist, and the
+# core docs must be listed.
+docmap=$(sed -n 's/^| `\([A-Za-z0-9_]*\.md\)` |.*/\1/p' "$readme")
+for f in $docmap; do
+  if [ ! -f "$root/$f" ]; then
+    echo "docs_check: README doc map lists '$f' but it does not exist" >&2
+    fail=1
+  fi
+done
+for f in DESIGN.md EXPERIMENTS.md OBSERVABILITY.md ROADMAP.md CHANGES.md; do
+  if ! printf '%s\n' $docmap | grep -qx "$f"; then
+    echo "docs_check: '$f' is missing from README's documentation map" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
-  echo "docs_check: FAILED — add the missing rows to OBSERVABILITY.md" >&2
+  echo "docs_check: FAILED — fix the drift above (OBSERVABILITY.md rows," \
+    "DESIGN.md anchors, README doc map)" >&2
   exit 1
 fi
 echo "docs_check: OK ($(printf '%s\n' $names | wc -l) trace names," \
-  "$(printf '%s\n' $counters | wc -l) counters documented)"
+  "$(printf '%s\n' $counters | wc -l) counters," \
+  "$nsections DESIGN.md anchors," \
+  "$(printf '%s\n' $docmap | wc -l) doc-map entries checked)"
