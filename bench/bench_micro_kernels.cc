@@ -16,6 +16,7 @@
 
 #include "bench_util.h"
 #include "common/buffer.h"
+#include "common/late_stats.h"
 #include "core/xorbits.h"
 #include "io/xparquet.h"
 #include "optimizer/pass.h"
@@ -510,6 +511,11 @@ void WriteOptimizerJson(FILE* f) {
   };
   const auto run = [&](const char* mode, Config cfg) {
     cfg.default_chunk_rows = 4096;
+    // This section compares eager-path source I/O across pass specs;
+    // under late materialization payload reads defer to decode time and
+    // `source_bytes_read` stays 0 (the selectivity section covers the
+    // late path with `bytes_materialized`).
+    cfg.late_materialization = false;
     core::Session session(std::move(cfg));
     // Two branches hand-written against separate reads of the same table —
     // the duplicate scan CSE exists to collapse. Both prune to the same
@@ -568,6 +574,182 @@ void WriteOptimizerJson(FILE* f) {
   }
   std::fprintf(f, "  ]\n");
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Selectivity sweep (DESIGN.md §10): the same scan+filter run eagerly
+// (decode everything, compact at the filter) and late (lazy column thunks +
+// selection vector, forced only by the final consumer), at selectivities
+// from 0.1% to 100%. `bytes_materialized` deltas around each run show what
+// late materialization skips: at 1% the late path should turn fewer than a
+// quarter of the eager bytes dense (predicate column + selected rows vs.
+// every column plus the compacted output). Outputs must be byte-identical.
+// ---------------------------------------------------------------------------
+
+struct SelectivitySample {
+  double selectivity = 0;
+  int64_t rows_kept = 0;
+  int64_t eager_bytes = 0;
+  int64_t late_bytes = 0;
+  int64_t lazy_decodes = 0;
+  bool identical = false;
+};
+
+/// One dataset: file at `path`, predicate `pred_col < max_value * s`.
+/// Appends a JSON object for the dataset; returns false when any output
+/// differs or the 1%-selectivity byte gate fails.
+bool SweepSelectivity(FILE* f, const char* dataset, const std::string& path,
+                      const std::string& pred_col, int64_t pred_max,
+                      bool last) {
+  using dataframe::CmpOp;
+  auto& ls = common::LateStats::Get();
+  const double selectivities[] = {0.001, 0.01, 0.1, 0.5, 1.0};
+  std::vector<SelectivitySample> samples;
+  bool ok = true;
+  for (double sel : selectivities) {
+    const int64_t threshold =
+        sel >= 1.0 ? pred_max + 1
+                   : static_cast<int64_t>(static_cast<double>(pred_max) * sel);
+    const auto pred = operators::CompareExpr(
+        operators::Col(pred_col), CmpOp::kLt, operators::Lit(threshold));
+
+    SelectivitySample s;
+    s.selectivity = sel;
+
+    // Eager: decode every column at scan time, compact at the filter.
+    const int64_t e0 = ls.bytes_materialized.load();
+    DataFrame eager_df = io::ReadXpq(path).ValueOrDie();
+    Column eager_mask = operators::EvalExpr(eager_df, *pred).ValueOrDie();
+    DataFrame eager_out = dataframe::Filter(eager_df, eager_mask).ValueOrDie();
+    s.eager_bytes = ls.bytes_materialized.load() - e0;
+
+    // Late: footer-only read, predicate column decodes to build the mask,
+    // everything else resolves through the selection when the consumer
+    // (the fingerprint, standing in for fetch/serialize) reads it.
+    const int64_t l0 = ls.bytes_materialized.load();
+    const int64_t d0 = ls.lazy_columns_decoded.load();
+    DataFrame late_df = io::ReadXpqLazy(path).ValueOrDie();
+    Column late_mask = operators::EvalExpr(late_df, *pred).ValueOrDie();
+    DataFrame late_out = dataframe::FilterLate(late_df, late_mask).ValueOrDie();
+    const std::string late_fp = FingerprintFrame(late_out);
+    s.late_bytes = ls.bytes_materialized.load() - l0;
+    s.lazy_decodes = ls.lazy_columns_decoded.load() - d0;
+
+    s.rows_kept = eager_out.num_rows();
+    s.identical = late_fp == FingerprintFrame(eager_out);
+    if (!s.identical) {
+      std::fprintf(stderr, "selectivity %s@%.3f: eager/late outputs differ!\n",
+                   dataset, sel);
+      ok = false;
+    }
+    if (sel == 0.01 && s.late_bytes > s.eager_bytes / 4) {
+      std::fprintf(stderr,
+                   "selectivity %s@0.01: late bytes %" PRId64
+                   " exceed 0.25x of eager %" PRId64 "\n",
+                   dataset, s.late_bytes, s.eager_bytes);
+      ok = false;
+    }
+    samples.push_back(s);
+  }
+
+  std::fprintf(f, "    {\"dataset\": \"%s\", \"sweep\": [\n", dataset);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const SelectivitySample& s = samples[i];
+    const double ratio =
+        s.eager_bytes > 0
+            ? static_cast<double>(s.late_bytes) / s.eager_bytes
+            : 0.0;
+    std::fprintf(f,
+                 "      {\"selectivity\": %.3f, \"rows_kept\": %" PRId64
+                 ", \"bytes_materialized_eager\": %" PRId64
+                 ", \"bytes_materialized_late\": %" PRId64
+                 ", \"late_over_eager\": %.3f, \"lazy_columns_decoded\": "
+                 "%" PRId64 ", \"identical_output\": %s}%s\n",
+                 s.selectivity, s.rows_kept, s.eager_bytes, s.late_bytes,
+                 ratio, s.lazy_decodes, s.identical ? "true" : "false",
+                 i + 1 < samples.size() ? "," : "");
+    std::printf("selectivity %-14s s=%.3f eager=%" PRId64 " late=%" PRId64
+                " (%.3fx) identical=%s\n",
+                dataset, s.selectivity, s.eager_bytes, s.late_bytes, ratio,
+                s.identical ? "yes" : "NO");
+  }
+  std::fprintf(f, "    ]}%s\n", last ? "" : ",");
+  return ok;
+}
+
+/// Census-shaped table: ten mixed-dtype columns with a uniform 0..n-1 id
+/// the sweep predicates on (exact selectivities).
+DataFrame MakeCensusFrame(int64_t n) {
+  Rng rng(23);
+  std::vector<int64_t> id(n), age(n), edu(n), marital(n), occ(n);
+  std::vector<double> income(n), hours(n), weight(n);
+  std::vector<std::string> name(n), city(n);
+  for (int64_t i = 0; i < n; ++i) {
+    id[i] = i;
+    age[i] = rng.UniformInt(16, 95);
+    edu[i] = rng.UniformInt(0, 16);
+    marital[i] = rng.UniformInt(0, 6);
+    occ[i] = rng.UniformInt(0, 500);
+    income[i] = rng.Uniform() * 200000.0;
+    hours[i] = 10.0 + rng.Uniform() * 60.0;
+    weight[i] = rng.Uniform();
+    name[i] = "person_" + std::to_string(rng.UniformInt(0, 99999));
+    city[i] = "city_" + std::to_string(rng.UniformInt(0, 499));
+  }
+  return DataFrame::Make(
+             {"id", "age", "edu", "marital", "occ", "income", "hours",
+              "weight", "name", "city"},
+             {Column::Int64(id), Column::Int64(age), Column::Int64(edu),
+              Column::Int64(marital), Column::Int64(occ),
+              Column::Float64(income), Column::Float64(hours),
+              Column::Float64(weight), Column::String(name),
+              Column::String(city)})
+      .MoveValue();
+}
+
+/// Writes the `selectivity` JSON section (census + TPC-H lineitem files in
+/// /tmp); returns false when any gate fails.
+bool WriteSelectivityJson(FILE* f, int64_t rows) {
+  std::fprintf(f, "  \"selectivity\": [\n");
+  bool ok = true;
+
+  const std::string census_path = "/tmp/xorbits_bench_census.xpq";
+  DataFrame census = MakeCensusFrame(rows);
+  if (io::WriteXpq(census_path, census).ok()) {
+    ok = SweepSelectivity(f, "census", census_path, "id", rows,
+                          /*last=*/false) &&
+         ok;
+    std::remove(census_path.c_str());
+  } else {
+    std::fprintf(stderr, "selectivity bench: cannot write census file\n");
+    ok = false;
+  }
+
+  const std::string tpch_path = "/tmp/xorbits_bench_lineitem.xpq";
+  const double scale = rows >= 100000 ? 0.01 : 0.002;
+  auto tables = io::tpch::Generate(scale);
+  if (tables.ok()) {
+    const DataFrame& lineitem = tables->lineitem;
+    int64_t max_key = 0;
+    const Column& okey = *lineitem.GetColumn("l_orderkey").ValueOrDie();
+    for (int64_t i = 0; i < okey.length(); ++i) {
+      max_key = std::max(max_key, okey.int64_data()[i]);
+    }
+    if (io::WriteXpq(tpch_path, lineitem).ok()) {
+      ok = SweepSelectivity(f, "tpch_lineitem", tpch_path, "l_orderkey",
+                            max_key, /*last=*/true) &&
+           ok;
+      std::remove(tpch_path.c_str());
+    } else {
+      std::fprintf(stderr, "selectivity bench: cannot write lineitem file\n");
+      ok = false;
+    }
+  } else {
+    std::fprintf(stderr, "selectivity bench: tpch generation failed\n");
+    ok = false;
+  }
+  std::fprintf(f, "  ],\n");
+  return ok;
 }
 
 /// Returns true when every kernel produced byte-identical checksums at all
@@ -723,6 +905,7 @@ bool WriteKernelSweepJson(const char* path, int64_t kRows) {
   }
   std::fprintf(f, "\n  ],\n");
   WriteSharingJson(f);
+  all_identical = WriteSelectivityJson(f, kRows) && all_identical;
   WriteOptimizerJson(f);
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -737,15 +920,32 @@ int main(int argc, char** argv) {
   // rejects) them.
   xorbits::bench::InitTrace(argc, argv);
   bool smoke = false;
+  bool smoke_selectivity = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke") {
       smoke = true;
+    } else if (std::string(argv[i]) == "--smoke-selectivity") {
+      smoke_selectivity = true;
     } else if (std::string(argv[i]).rfind("--trace-out=", 0) != 0) {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
+  if (smoke_selectivity) {
+    // CI gate for late materialization alone: run just the selectivity
+    // sweep at small row counts and fail when any eager/late output pair
+    // differs or the 1% sweep point materializes more than a quarter of
+    // the eager bytes.
+    FILE* f = std::fopen("/tmp/bench_smoke_selectivity.json", "w");
+    if (f == nullptr) return 1;
+    std::fprintf(f, "{\n");
+    const bool ok = WriteSelectivityJson(f, 40000);
+    std::fprintf(f, "  \"bench\": \"selectivity_smoke\"\n}\n");
+    std::fclose(f);
+    std::printf("selectivity smoke: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
   if (smoke) {
     // CI gate: small rows, sweep every kernel, and fail the process when
     // any checksum differs across thread counts or between the

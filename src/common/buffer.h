@@ -149,6 +149,17 @@ class BufferView {
       length_ = -1;
       return buf_->vec;
     }
+    if (size() == 0) {
+      // Empty window over a shared buffer (a zero-row selection sliced off
+      // a column, say): "unsharing" would copy nothing, yet the copy path
+      // below would still count a CoW copy and allocate a private buffer
+      // while keeping the old one pinned. Start from a fresh empty buffer
+      // and release the shared one instead.
+      buf_ = std::make_shared<buffer_detail::Buffer<T>>(std::vector<T>());
+      offset_ = 0;
+      length_ = -1;
+      return buf_->vec;
+    }
     BufferStats::Get().cow_copies.fetch_add(1, std::memory_order_relaxed);
     auto copy = std::make_shared<buffer_detail::Buffer<T>>(ToVector());
     buf_ = std::move(copy);

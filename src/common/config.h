@@ -120,9 +120,16 @@ struct Config {
   ///   tileable: column_pruning ? {predicate_pushdown, column_pruning,
   ///                               dead_node_elim} : {}
   ///   chunk:    (enable_result_cache ? {result_cache} : {}) +
-  ///             (op_fusion ? {op_fusion, cse} : {})
+  ///             (op_fusion ? {op_fusion, cse} : {}) +
+  ///             (late_materialization ? {late_materialization} : {})
   ///   subtask:  graph_fusion   ? {graph_fusion} : {}
   OptimizerSpec optimizer;
+  /// Late materialization (DESIGN.md §10): a chunk pass swaps kernels that
+  /// offer a late variant, so filters flow selection vectors downstream and
+  /// xparquet payload columns decode lazily on first read instead of at
+  /// scan time. Physical rewrite only — results are byte-identical; the
+  /// `bytes_materialized` gauge shows what it saves.
+  bool late_materialization = true;
 
   /// When true, the API layer enforces each emulated engine's documented
   /// API gaps at call time (used by the API-coverage benchmark, Table V).

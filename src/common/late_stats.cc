@@ -1,0 +1,10 @@
+#include "common/late_stats.h"
+
+namespace xorbits::common {
+
+LateStats& LateStats::Get() {
+  static LateStats stats;
+  return stats;
+}
+
+}  // namespace xorbits::common

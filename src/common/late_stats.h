@@ -1,0 +1,47 @@
+#ifndef XORBITS_COMMON_LATE_STATS_H_
+#define XORBITS_COMMON_LATE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace xorbits::common {
+
+/// Process-global counters for the late-materialization data path
+/// (DESIGN.md §10). Like BufferStats/KernelStats they live below
+/// Metrics/Session — the dataframe layer that resolves selections has no
+/// session handle — so they are global and `Metrics::Snapshot` surfaces
+/// them as gauges. All updates are relaxed atomics; the totals are
+/// monotone and cross-thread ordering is irrelevant.
+struct LateStats {
+  /// Column-payload bytes made dense in memory: counted when an eager
+  /// filter/take compacts a frame, when a lazy column source decodes, and
+  /// when a pending selection is resolved against a column. The late path's
+  /// figure of merit: at low selectivity it tracks the selected rows, not
+  /// the input size (`bytes_materialized / eager bytes_materialized` is the
+  /// selectivity-sweep ratio in BENCH_kernels.json).
+  std::atomic<int64_t> bytes_materialized{0};
+  /// Frame-level events where a consumer that genuinely needs dense data
+  /// (serialize/spill, shuffle partitioning, concat, row take, result
+  /// fetch, column mutation) forced a pending selection or lazy slots to
+  /// compact.
+  std::atomic<int64_t> selections_forced{0};
+  /// Column slots decoded on demand from a lazy source (an xparquet block
+  /// thunk or a deferred expression). An untouched column never counts.
+  std::atomic<int64_t> lazy_columns_decoded{0};
+  /// Column transforms (string ops, datetime extraction, casts, arithmetic)
+  /// attached as deferred expression sources instead of being evaluated
+  /// eagerly at assignment time.
+  std::atomic<int64_t> deferred_transforms{0};
+
+  static LateStats& Get();
+  void Reset() {
+    bytes_materialized.store(0, std::memory_order_relaxed);
+    selections_forced.store(0, std::memory_order_relaxed);
+    lazy_columns_decoded.store(0, std::memory_order_relaxed);
+    deferred_transforms.store(0, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace xorbits::common
+
+#endif  // XORBITS_COMMON_LATE_STATS_H_

@@ -5,6 +5,7 @@
 
 #include "common/buffer.h"
 #include "common/kernel_stats.h"
+#include "common/late_stats.h"
 #include "common/trace_names.h"
 
 namespace xorbits {
@@ -168,6 +169,7 @@ void Metrics::Reset() {
   predicates_pushed = 0;
   cse_hits = 0;
   dead_nodes_eliminated = 0;
+  late_rewrites = 0;
   source_bytes_read = 0;
   cache_hits = 0;
   cache_misses = 0;
@@ -206,6 +208,7 @@ MetricsSnapshot Metrics::Snapshot() const {
       {"predicates_pushed", predicates_pushed.load()},
       {"cse_hits", cse_hits.load()},
       {"dead_nodes_eliminated", dead_nodes_eliminated.load()},
+      {"late_rewrites", late_rewrites.load()},
       {"source_bytes_read", source_bytes_read.load()},
       {"cache_hits", cache_hits.load()},
       {"cache_misses", cache_misses.load()},
@@ -236,6 +239,22 @@ MetricsSnapshot Metrics::Snapshot() const {
   s.gauges.emplace_back(
       trace::kGaugeJoinRadixPartitions,
       ks.join_radix_partitions.load(std::memory_order_relaxed));
+  // Late-materialization counters (DESIGN.md §10), also process-global:
+  // lazy frames outlive any one run, so their resolution costs cannot be
+  // attributed to a per-run Metrics instance.
+  const auto& ls = common::LateStats::Get();
+  s.gauges.emplace_back(
+      trace::kGaugeBytesMaterialized,
+      ls.bytes_materialized.load(std::memory_order_relaxed));
+  s.gauges.emplace_back(
+      trace::kGaugeSelectionsForced,
+      ls.selections_forced.load(std::memory_order_relaxed));
+  s.gauges.emplace_back(
+      trace::kGaugeLazyColumnsDecoded,
+      ls.lazy_columns_decoded.load(std::memory_order_relaxed));
+  s.gauges.emplace_back(
+      trace::kGaugeDeferredTransforms,
+      ls.deferred_transforms.load(std::memory_order_relaxed));
   std::sort(s.gauges.begin(), s.gauges.end());
   s.histograms = registry.SnapshotHistogramsLocked();
   return s;

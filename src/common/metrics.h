@@ -176,6 +176,9 @@ struct Metrics {
   std::atomic<int64_t> cse_hits{0};
   /// Tileable nodes dropped from the work list because no sink needs them.
   std::atomic<int64_t> dead_nodes_eliminated{0};
+  /// Chunk nodes the late-materialization pass swapped to their late
+  /// variant (selection vectors + lazy column decode, DESIGN.md §10).
+  std::atomic<int64_t> late_rewrites{0};
   /// Bytes of xparquet column blocks actually read by source kernels; the
   /// denominator predicate pushdown and column pruning shrink.
   std::atomic<int64_t> source_bytes_read{0};

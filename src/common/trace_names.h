@@ -92,6 +92,13 @@ XORBITS_METRIC_NAME(kGaugeSessionBytesPrefix, "session_bytes_used/")
 // `cache/` namespace, charged to result_cache_budget_bytes.
 XORBITS_METRIC_NAME(kGaugeCacheBytes, "cache_bytes")
 XORBITS_METRIC_NAME(kGaugeCacheEntries, "cache_entries")
+// Late materialization (DESIGN.md §10): bytes turned dense (decoded or
+// gathered through a selection), forced compactions, lazy column decodes,
+// and deferred expression assignments. Process-global like BufferStats.
+XORBITS_METRIC_NAME(kGaugeBytesMaterialized, "bytes_materialized")
+XORBITS_METRIC_NAME(kGaugeSelectionsForced, "selections_forced")
+XORBITS_METRIC_NAME(kGaugeLazyColumnsDecoded, "lazy_columns_decoded")
+XORBITS_METRIC_NAME(kGaugeDeferredTransforms, "deferred_transforms")
 
 }  // namespace xorbits::trace
 

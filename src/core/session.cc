@@ -161,6 +161,10 @@ Result<dataframe::DataFrame> Session::FetchDataFrame(
   } else {
     XORBITS_ASSIGN_OR_RETURN(out, dataframe::Concat(pieces));
   }
+  // Result fetch is a genuine forcing point (DESIGN.md §10): the frame
+  // crosses back into user code, so every pending selection and lazy slot
+  // resolves here, metered as `selections_forced`. No-op on dense frames.
+  out.Compact();
   // Fetched frames cross back into user code, which expects plain strings:
   // late-decode dictionary columns here, once, at the session boundary.
   // (Deliberately DictDecode, not DecodedFallback — leaving the engine is

@@ -239,6 +239,10 @@ const BufferView<int32_t>& Column::dict_codes() const {
   assert(is_dict());
   return std::get<BufferView<int32_t>>(data_);
 }
+// The mutable accessors all unshare through BufferView::MutableVec, which
+// skips both the copy and the cow_copies count when the window is empty —
+// a zero-row selection gathered off a shared column must not pay (or be
+// charged for) a copy-on-write of nothing.
 std::vector<int64_t>& Column::mutable_int64_data() {
   assert(dtype_ == DType::kInt64);
   InvalidateNbytes();

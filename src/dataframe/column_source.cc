@@ -1,0 +1,19 @@
+#include "dataframe/column_source.h"
+
+namespace xorbits::dataframe {
+
+Column ColumnSource::Empty() const {
+  switch (dtype()) {
+    case DType::kInt64:
+      return Column::Int64({});
+    case DType::kFloat64:
+      return Column::Float64({});
+    case DType::kString:
+      return Column::String({});
+    case DType::kBool:
+      return Column::Bool({});
+  }
+  return Column::Int64({});
+}
+
+}  // namespace xorbits::dataframe

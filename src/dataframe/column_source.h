@@ -1,0 +1,56 @@
+#ifndef XORBITS_DATAFRAME_COLUMN_SOURCE_H_
+#define XORBITS_DATAFRAME_COLUMN_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataframe/column.h"
+#include "dataframe/dtype.h"
+
+namespace xorbits::dataframe {
+
+/// A thunk that can produce a column on demand — the lazy-decode half of
+/// late materialization (DESIGN.md §10). A DataFrame slot backed by a
+/// ColumnSource holds no payload until something reads it; resolution goes
+/// through the frame's pending Selection, so only the selected rows are
+/// ever decoded. Implementations live in the layers that own the data:
+/// `io::XpqColumnSource` decodes an xparquet column block, and the
+/// operators layer wraps deferred expressions (string ops, casts, datetime
+/// extraction) the same way.
+///
+/// Sources must be deterministic and side-effect free: Load(rows) must
+/// equal the row-gather of LoadAll() for any ascending `rows`, at any
+/// thread count. The lazy path's byte-identity guarantee rests on this.
+class ColumnSource {
+ public:
+  virtual ~ColumnSource() = default;
+
+  virtual DType dtype() const = 0;
+  /// Base (unselected) row count this source can produce.
+  virtual int64_t length() const = 0;
+  /// Estimated dense payload bytes if fully materialized; used for frame
+  /// nbytes() estimates before any decode happens.
+  virtual int64_t nbytes_hint() const = 0;
+  /// Human-readable origin ("xpq:census.xpq:age", "expr:upper(name)").
+  virtual std::string describe() const = 0;
+
+  /// Produces exactly the given base rows (strictly ascending, in range) as
+  /// a column of rows.size().
+  virtual Result<Column> Load(const std::vector<int64_t>& rows) const = 0;
+  /// Produces all `length()` rows.
+  virtual Result<Column> LoadAll() const = 0;
+
+  /// A zero-row column of this dtype with no I/O or compute. String sources
+  /// return a plain (non-dictionary) empty column, matching the eager
+  /// reader's empty-chunk synthesis so Concat across encodings works.
+  Column Empty() const;
+};
+
+using ColumnSourcePtr = std::shared_ptr<const ColumnSource>;
+
+}  // namespace xorbits::dataframe
+
+#endif  // XORBITS_DATAFRAME_COLUMN_SOURCE_H_

@@ -1,9 +1,29 @@
 #include "dataframe/dataframe.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <set>
 #include <sstream>
 
+#include "common/late_stats.h"
+
 namespace xorbits::dataframe {
+
+namespace lazy_detail {
+
+/// One column slot's resolution cache. Shared (via shared_ptr) by every
+/// copy of a lazy frame, so a column is decoded/gathered at most once no
+/// matter how many copies read it, from however many threads.
+struct LazyCell {
+  std::mutex mu;
+  bool ready = false;
+  Column value;
+};
+
+}  // namespace lazy_detail
+
+using lazy_detail::LazyCell;
 
 Result<DataFrame> DataFrame::Make(std::vector<std::string> names,
                                   std::vector<Column> columns) {
@@ -34,8 +54,11 @@ Result<DataFrame> DataFrame::Make(std::vector<std::string> names,
 DataFrame DataFrame::EmptyLike(const DataFrame& schema_source) {
   DataFrame df;
   df.names_ = schema_source.names_;
-  for (const auto& c : schema_source.columns_) {
-    df.columns_.push_back(c.Slice(0, 0));
+  for (size_t i = 0; i < schema_source.columns_.size(); ++i) {
+    const bool sourced = i < schema_source.sources_.size() &&
+                         schema_source.sources_[i] != nullptr;
+    df.columns_.push_back(sourced ? schema_source.sources_[i]->Empty()
+                                  : schema_source.columns_[i].Slice(0, 0));
   }
   df.index_ = Index::Range(0, 0);
   return df;
@@ -44,7 +67,10 @@ DataFrame DataFrame::EmptyLike(const DataFrame& schema_source) {
 std::vector<DType> DataFrame::dtypes() const {
   std::vector<DType> out;
   out.reserve(columns_.size());
-  for (const auto& c : columns_) out.push_back(c.dtype());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const bool sourced = i < sources_.size() && sources_[i] != nullptr;
+    out.push_back(sourced ? sources_[i]->dtype() : columns_[i].dtype());
+  }
   return out;
 }
 
@@ -64,16 +90,109 @@ Result<int> DataFrame::ColumnIndex(const std::string& name) const {
 
 Result<const Column*> DataFrame::GetColumn(const std::string& name) const {
   XORBITS_ASSIGN_OR_RETURN(int i, ColumnIndex(name));
-  return &columns_[i];
+  return &column(i);
+}
+
+const Column& DataFrame::ResolveColumn(int i) const {
+  LazyCell& cell = *cells_[i];
+  std::lock_guard<std::mutex> lock(cell.mu);
+  if (cell.ready) return cell.value;
+  auto& stats = common::LateStats::Get();
+  ColumnSourcePtr src =
+      static_cast<size_t>(i) < sources_.size() ? sources_[i] : nullptr;
+  if (src) {
+    Result<Column> loaded =
+        selection_.active()
+            ? (selection_.length() == 0
+                   ? Result<Column>(src->Empty())
+                   : src->Load(selection_.rows().ToVector()))
+            : src->LoadAll();
+    if (!loaded.ok()) {
+      // A source that loaded fine at plan time vanished mid-resolution
+      // (file deleted under a running query). No error channel exists on
+      // the const read path; this is as fatal as a failed mmap.
+      std::fprintf(stderr, "fatal: lazy column load failed (%s): %s\n",
+                   src->describe().c_str(),
+                   loaded.status().ToString().c_str());
+      std::abort();
+    }
+    cell.value = std::move(loaded).MoveValue();
+    stats.lazy_columns_decoded.fetch_add(1, std::memory_order_relaxed);
+    stats.bytes_materialized.fetch_add(cell.value.nbytes(),
+                                       std::memory_order_relaxed);
+  } else {
+    const Column& base = columns_[i];
+    if (!selection_.active()) {
+      cell.value = base;  // pure share, nothing new becomes dense
+    } else if (selection_.length() == 0) {
+      cell.value = base.Slice(0, 0);  // O(1), avoids a pointless gather
+    } else {
+      cell.value = base.Take(selection_.rows().data(), selection_.length());
+      stats.bytes_materialized.fetch_add(cell.value.nbytes(),
+                                         std::memory_order_relaxed);
+    }
+  }
+  cell.ready = true;
+  return cell.value;
+}
+
+void DataFrame::EnsureLazy() {
+  if (!cells_.empty() || columns_.empty()) return;
+  base_rows_ = num_rows();
+  sources_.assign(columns_.size(), nullptr);
+  cells_.clear();
+  cells_.reserve(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    cells_.push_back(std::make_shared<LazyCell>());
+  }
+}
+
+bool DataFrame::IsSlotPending(int i) const {
+  if (cells_.empty()) return false;
+  if (static_cast<size_t>(i) >= sources_.size() || !sources_[i]) return false;
+  LazyCell& cell = *cells_[i];
+  std::lock_guard<std::mutex> lock(cell.mu);
+  return !cell.ready;
+}
+
+void DataFrame::Compact() {
+  if (cells_.empty()) return;
+  common::LateStats::Get().selections_forced.fetch_add(
+      1, std::memory_order_relaxed);
+  std::vector<Column> dense;
+  dense.reserve(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    dense.push_back(ResolveColumn(static_cast<int>(i)));
+  }
+  columns_ = std::move(dense);
+  sources_.clear();
+  cells_.clear();
+  selection_ = Selection();
+  base_rows_ = -1;
+}
+
+DataFrame DataFrame::Compacted() const {
+  DataFrame out = *this;
+  out.Compact();
+  return out;
 }
 
 Status DataFrame::SetColumn(const std::string& name, Column column) {
+  // A dense column can join a lazy frame as a plain base slot while no
+  // selection is pending (visible == base rows). Once a selection is
+  // active the new column is visible-aligned, not base-aligned, so the
+  // frame must compact first.
+  if (!cells_.empty() && selection_.active()) Compact();
   if (!columns_.empty() && column.length() != num_rows()) {
     return Status::Invalid("SetColumn length mismatch for '" + name + "'");
   }
   for (size_t i = 0; i < names_.size(); ++i) {
     if (names_[i] == name) {
       columns_[i] = std::move(column);
+      if (!cells_.empty()) {
+        sources_[i] = nullptr;
+        cells_[i] = std::make_shared<LazyCell>();
+      }
       return Status::OK();
     }
   }
@@ -82,6 +201,46 @@ Status DataFrame::SetColumn(const std::string& name, Column column) {
   }
   names_.push_back(name);
   columns_.push_back(std::move(column));
+  if (!cells_.empty()) {
+    sources_.push_back(nullptr);
+    cells_.push_back(std::make_shared<LazyCell>());
+  }
+  return Status::OK();
+}
+
+Status DataFrame::SetColumnSource(const std::string& name,
+                                  ColumnSourcePtr source) {
+  if (!source) {
+    return Status::Invalid("SetColumnSource: null source for '" + name + "'");
+  }
+  if (columns_.empty() && index_.length() == 0 && !selection_.active()) {
+    index_ = Index::Range(0, source->length());
+  }
+  if (source->length() != base_rows()) {
+    return Status::Invalid("SetColumnSource base length mismatch for '" +
+                           name + "'");
+  }
+  const bool was_eager = cells_.empty();
+  EnsureLazy();
+  if (cells_.empty()) {
+    // Zero-slot frame: EnsureLazy is a no-op, install the bookkeeping here.
+    base_rows_ = source->length();
+  }
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      if (was_eager && selection_.active()) {
+        return Status::Invalid("SetColumnSource on a filtered eager frame");
+      }
+      columns_[i] = Column();
+      sources_[i] = std::move(source);
+      cells_[i] = std::make_shared<LazyCell>();
+      return Status::OK();
+    }
+  }
+  names_.push_back(name);
+  columns_.push_back(Column());
+  sources_.push_back(std::move(source));
+  cells_.push_back(std::make_shared<LazyCell>());
   return Status::OK();
 }
 
@@ -89,6 +248,10 @@ Status DataFrame::RemoveColumn(const std::string& name) {
   XORBITS_ASSIGN_OR_RETURN(int i, ColumnIndex(name));
   names_.erase(names_.begin() + i);
   columns_.erase(columns_.begin() + i);
+  if (!cells_.empty()) {
+    sources_.erase(sources_.begin() + i);
+    cells_.erase(cells_.begin() + i);
+  }
   return Status::OK();
 }
 
@@ -99,6 +262,14 @@ Result<DataFrame> DataFrame::Select(
     XORBITS_ASSIGN_OR_RETURN(int i, ColumnIndex(n));
     out.names_.push_back(n);
     out.columns_.push_back(columns_[i]);
+    if (!cells_.empty()) {
+      out.sources_.push_back(sources_[i]);
+      out.cells_.push_back(cells_[i]);
+    }
+  }
+  if (!cells_.empty() && !out.cells_.empty()) {
+    out.selection_ = selection_;
+    out.base_rows_ = base_rows_;
   }
   out.index_ = index_;
   return out;
@@ -121,6 +292,7 @@ Result<DataFrame> DataFrame::Rename(
 }
 
 DataFrame DataFrame::TakeRows(const std::vector<int64_t>& indices) const {
+  if (!cells_.empty()) return Compacted().TakeRows(indices);
   DataFrame out;
   out.names_ = names_;
   out.columns_.reserve(columns_.size());
@@ -130,11 +302,45 @@ DataFrame DataFrame::TakeRows(const std::vector<int64_t>& indices) const {
 }
 
 DataFrame DataFrame::FilterRows(const std::vector<uint8_t>& mask) const {
+  if (!cells_.empty()) return FilterRowsLate(mask);
   DataFrame out;
   out.names_ = names_;
   out.columns_.reserve(columns_.size());
-  for (const auto& c : columns_) out.columns_.push_back(c.Filter(mask));
+  int64_t made_dense = 0;
+  for (const auto& c : columns_) {
+    out.columns_.push_back(c.Filter(mask));
+    made_dense += out.columns_.back().nbytes();
+  }
   out.index_ = index_.Filter(mask);
+  common::LateStats::Get().bytes_materialized.fetch_add(
+      made_dense, std::memory_order_relaxed);
+  return out;
+}
+
+DataFrame DataFrame::FilterRowsLate(const std::vector<uint8_t>& mask) const {
+  if (columns_.empty()) return FilterRows(mask);  // index-only frame
+  DataFrame out = *this;
+  out.EnsureLazy();
+  out.selection_ = out.selection_.ComposeMask(mask);
+  // Fresh cells: cached resolutions are aligned to the old visible rows.
+  for (auto& c : out.cells_) c = std::make_shared<LazyCell>();
+  out.index_ = index_.Filter(mask);
+  return out;
+}
+
+DataFrame DataFrame::WithSelectionRows(std::vector<int64_t> rows) const {
+  const int64_t n = static_cast<int64_t>(rows.size());
+  DataFrame out = *this;
+  if (columns_.empty()) {
+    // Column-less snapshot (e.g. a constant expression): only the row count
+    // matters, and a RangeIndex carries it.
+    out.index_ = Index::Range(0, n);
+    return out;
+  }
+  out.EnsureLazy();
+  out.selection_ = Selection::FromIndices(std::move(rows));
+  for (auto& c : out.cells_) c = std::make_shared<LazyCell>();
+  out.index_ = Index::Range(0, n);
   return out;
 }
 
@@ -142,6 +348,13 @@ DataFrame DataFrame::SliceRows(int64_t offset, int64_t count) const {
   if (offset < 0) offset = 0;
   if (offset > num_rows()) offset = num_rows();
   if (count < 0 || offset + count > num_rows()) count = num_rows() - offset;
+  if (!cells_.empty()) {
+    DataFrame out = *this;
+    out.selection_ = selection_.ComposeSlice(offset, count, base_rows_);
+    for (auto& c : out.cells_) c = std::make_shared<LazyCell>();
+    out.index_ = index_.Slice(offset, count);
+    return out;
+  }
   DataFrame out;
   out.names_ = names_;
   out.columns_.reserve(columns_.size());
@@ -157,13 +370,42 @@ DataFrame DataFrame::ResetIndex() const {
 }
 
 int64_t DataFrame::nbytes() const {
-  int64_t bytes = index_.nbytes();
-  for (const auto& c : columns_) bytes += c.nbytes();
+  int64_t bytes = index_.nbytes() + selection_.nbytes();
+  if (cells_.empty()) {
+    for (const auto& c : columns_) bytes += c.nbytes();
+    return bytes;
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    LazyCell& cell = *cells_[i];
+    std::lock_guard<std::mutex> lock(cell.mu);
+    if (cell.ready) {
+      bytes += cell.value.nbytes();
+    } else if (i < sources_.size() && sources_[i]) {
+      bytes += sources_[i]->nbytes_hint();
+    } else {
+      bytes += columns_[i].nbytes();
+    }
+  }
   return bytes;
 }
 
 void DataFrame::AppendBufferRefs(std::vector<common::BufferRef>* out) const {
-  for (const auto& c : columns_) c.AppendBufferRefs(out);
+  if (cells_.empty()) {
+    for (const auto& c : columns_) c.AppendBufferRefs(out);
+    return;
+  }
+  selection_.AppendBufferRefs(out);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    LazyCell& cell = *cells_[i];
+    std::lock_guard<std::mutex> lock(cell.mu);
+    if (cell.ready) {
+      cell.value.AppendBufferRefs(out);
+    } else {
+      // Pending sourced slots hold no payload; a pending base slot's full
+      // column is still resident and must be charged.
+      columns_[i].AppendBufferRefs(out);
+    }
+  }
 }
 
 std::string DataFrame::ToString(int64_t max_rows) const {
@@ -174,7 +416,7 @@ std::string DataFrame::ToString(int64_t max_rows) const {
   const int64_t n = num_rows();
   auto emit_row = [&](int64_t r) {
     os << index_.Label(r);
-    for (const auto& c : columns_) os << "\t" << c.ValueToString(r);
+    for (int i = 0; i < num_columns(); ++i) os << "\t" << column(i).ValueToString(r);
     os << "\n";
   };
   if (n <= max_rows) {

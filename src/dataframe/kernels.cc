@@ -9,7 +9,11 @@
 
 namespace xorbits::dataframe {
 
-Result<DataFrame> Filter(const DataFrame& df, const Column& mask) {
+namespace {
+
+/// Null mask entries drop the row (pandas boolean indexing).
+Result<std::vector<uint8_t>> EffectiveMask(const DataFrame& df,
+                                           const Column& mask) {
   if (mask.dtype() != DType::kBool) {
     return Status::TypeError("Filter mask must be bool");
   }
@@ -25,7 +29,21 @@ Result<DataFrame> Filter(const DataFrame& df, const Column& mask) {
       }
     });
   }
+  return effective;
+}
+
+}  // namespace
+
+Result<DataFrame> Filter(const DataFrame& df, const Column& mask) {
+  XORBITS_ASSIGN_OR_RETURN(std::vector<uint8_t> effective,
+                           EffectiveMask(df, mask));
   return df.FilterRows(effective);
+}
+
+Result<DataFrame> FilterLate(const DataFrame& df, const Column& mask) {
+  XORBITS_ASSIGN_OR_RETURN(std::vector<uint8_t> effective,
+                           EffectiveMask(df, mask));
+  return df.FilterRowsLate(effective);
 }
 
 Result<DataFrame> SortValues(const DataFrame& df,

@@ -14,6 +14,11 @@ namespace xorbits::dataframe {
 /// mask entries drop the row (pandas boolean indexing).
 Result<DataFrame> Filter(const DataFrame& df, const Column& mask);
 
+/// Filter that stays late even on an eager frame: the result carries a
+/// pending Selection over the input's columns instead of compacted copies
+/// (DESIGN.md §10). Same rows as Filter; only the representation differs.
+Result<DataFrame> FilterLate(const DataFrame& df, const Column& mask);
+
 /// Stable multi-key sort; `ascending` must match `by` in length (or be
 /// empty for all-ascending). Nulls sort last (pandas default).
 Result<DataFrame> SortValues(const DataFrame& df,

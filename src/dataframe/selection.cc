@@ -1,0 +1,44 @@
+#include "dataframe/selection.h"
+
+namespace xorbits::dataframe {
+
+Selection Selection::FromMask(const std::vector<uint8_t>& mask) {
+  std::vector<int64_t> rows;
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] != 0) rows.push_back(static_cast<int64_t>(i));
+  }
+  return FromIndices(std::move(rows));
+}
+
+Selection Selection::FromIndices(std::vector<int64_t> rows) {
+  Selection s;
+  s.active_ = true;
+  s.rows_ = common::BufferView<int64_t>(std::move(rows));
+  return s;
+}
+
+Selection Selection::ComposeMask(const std::vector<uint8_t>& mask) const {
+  if (!active_) return FromMask(mask);
+  std::vector<int64_t> rows;
+  const int64_t n = rows_.ssize();
+  for (int64_t i = 0; i < n; ++i) {
+    if (mask[i] != 0) rows.push_back(rows_[i]);
+  }
+  return FromIndices(std::move(rows));
+}
+
+Selection Selection::ComposeSlice(int64_t offset, int64_t count,
+                                  int64_t base_length) const {
+  const int64_t n = active_ ? rows_.ssize() : base_length;
+  if (offset < 0) offset = 0;
+  if (offset > n) offset = n;
+  if (count < 0 || offset + count > n) count = n - offset;
+  std::vector<int64_t> rows;
+  rows.reserve(count);
+  for (int64_t i = 0; i < count; ++i) {
+    rows.push_back(active_ ? rows_[offset + i] : offset + i);
+  }
+  return FromIndices(std::move(rows));
+}
+
+}  // namespace xorbits::dataframe

@@ -1,0 +1,62 @@
+#ifndef XORBITS_DATAFRAME_SELECTION_H_
+#define XORBITS_DATAFRAME_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/buffer.h"
+
+namespace xorbits::dataframe {
+
+/// The row-visibility half of late materialization (DESIGN.md §10): a
+/// sorted list of base-row positions that a filter kept, carried alongside
+/// a frame instead of compacting every column immediately. Columns are
+/// gathered through the selection only when a consumer actually reads them,
+/// so a filter followed by a two-column aggregate never touches the other
+/// columns' payloads.
+///
+/// An inactive selection means "all base rows visible" — a lazy frame whose
+/// columns are still undecoded but unfiltered carries one of these. Indices
+/// ride a shared `BufferView`, so copying a Selection (every DataFrame
+/// copy) is O(1) and the indices are charged once in buffer accounting.
+class Selection {
+ public:
+  /// Inactive: every base row visible.
+  Selection() = default;
+
+  /// Selection over base rows where mask[i] != 0.
+  static Selection FromMask(const std::vector<uint8_t>& mask);
+
+  /// Explicit base-row positions; must be strictly ascending and in range
+  /// (callers own the invariant — kernels rely on it for ordered output).
+  static Selection FromIndices(std::vector<int64_t> rows);
+
+  bool active() const { return active_; }
+  /// Number of visible rows. Only meaningful when active.
+  int64_t length() const { return rows_.ssize(); }
+  const common::BufferView<int64_t>& rows() const { return rows_; }
+
+  /// Composes with a mask over the *visible* rows: `mask.size()` must equal
+  /// `length()` when active, or the base row count when inactive. The
+  /// result selects base rows that survive both filters.
+  Selection ComposeMask(const std::vector<uint8_t>& mask) const;
+
+  /// Composes with a contiguous window over the visible rows (the lazy
+  /// SliceRows path). When inactive the base length must be supplied so the
+  /// window can be turned into explicit indices.
+  Selection ComposeSlice(int64_t offset, int64_t count,
+                         int64_t base_length) const;
+
+  int64_t nbytes() const { return rows_.view_nbytes(); }
+  void AppendBufferRefs(std::vector<common::BufferRef>* out) const {
+    rows_.AppendRef(out);
+  }
+
+ private:
+  bool active_ = false;
+  common::BufferView<int64_t> rows_;
+};
+
+}  // namespace xorbits::dataframe
+
+#endif  // XORBITS_DATAFRAME_SELECTION_H_

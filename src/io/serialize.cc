@@ -6,6 +6,8 @@
 #include <sstream>
 #include <variant>
 
+#include "common/late_stats.h"
+
 namespace xorbits::io {
 
 namespace {
@@ -279,6 +281,14 @@ Result<Column> ReadColumn(std::istream& is, ReadRegistry* reg,
 }  // namespace
 
 Status WriteDataFrame(std::ostream& os, const DataFrame& df) {
+  // Serialization is a forcing point (DESIGN.md §10): the stream format is
+  // dense, so every lazy slot resolves through the frame's selection below
+  // (the per-column reads) — meter the event. The frame itself stays lazy;
+  // resolved cells are cached for other consumers.
+  if (df.is_lazy()) {
+    common::LateStats::Get().selections_forced.fetch_add(
+        1, std::memory_order_relaxed);
+  }
   WritePod(os, kDfMagic);
   WritePod<uint32_t>(os, static_cast<uint32_t>(df.num_columns()));
   WriteRegistry reg;

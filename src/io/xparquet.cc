@@ -1,9 +1,11 @@
 #include "io/xparquet.h"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "common/kernel_stats.h"
+#include "common/late_stats.h"
 
 namespace xorbits::io {
 
@@ -156,6 +158,130 @@ Result<Column> DecodeColumn(const std::string& block, DType dtype, int64_t n,
   return Status::IOError("bad dtype");
 }
 
+/// Selective decode: produces only `rows` (strictly ascending positions in
+/// [0, n)) of a column block, without materializing the rest. Fixed-width
+/// payloads gather straight out of the raw bytes (memcpy per value — the
+/// payload is unaligned behind the validity prefix); plain string blocks
+/// walk the length prefixes once and copy only selected strings; dictionary
+/// pages decode the dictionary fully (it is shared and deduplicated) and
+/// gather the int32 codes. Value-identical to DecodeColumn + row gather.
+Result<Column> DecodeColumnRows(const std::string& block, DType dtype,
+                                int64_t n, bool has_encoding_byte,
+                                bool dict_encode,
+                                const std::vector<int64_t>& rows) {
+  const char* p = block.data();
+  const char* end = p + block.size();
+  auto need = [&](int64_t k) { return end - p >= k; };
+  if (!need(1)) return Status::IOError("truncated block header");
+  const uint8_t has_validity = static_cast<uint8_t>(*p++);
+  const uint8_t* validity_base = nullptr;
+  if (has_validity) {
+    if (!need(n)) return Status::IOError("truncated validity");
+    validity_base = reinterpret_cast<const uint8_t*>(p);
+    p += n;
+  }
+  const int64_t m = static_cast<int64_t>(rows.size());
+  for (int64_t i = 0; i < m; ++i) {
+    if (rows[i] < 0 || rows[i] >= n || (i > 0 && rows[i] <= rows[i - 1])) {
+      return Status::Invalid("DecodeColumnRows: rows not ascending/in range");
+    }
+  }
+  std::vector<uint8_t> validity;
+  if (has_validity) {
+    validity.resize(m);
+    for (int64_t i = 0; i < m; ++i) validity[i] = validity_base[rows[i]];
+  }
+  switch (dtype) {
+    case DType::kInt64: {
+      if (!need(n * 8)) return Status::IOError("truncated int64 block");
+      std::vector<int64_t> data(m);
+      for (int64_t i = 0; i < m; ++i) {
+        std::memcpy(&data[i], p + rows[i] * 8, 8);
+      }
+      return Column::Int64(std::move(data), std::move(validity));
+    }
+    case DType::kFloat64: {
+      if (!need(n * 8)) return Status::IOError("truncated float64 block");
+      std::vector<double> data(m);
+      for (int64_t i = 0; i < m; ++i) {
+        std::memcpy(&data[i], p + rows[i] * 8, 8);
+      }
+      return Column::Float64(std::move(data), std::move(validity));
+    }
+    case DType::kBool: {
+      if (!need(n)) return Status::IOError("truncated bool block");
+      std::vector<uint8_t> data(m);
+      for (int64_t i = 0; i < m; ++i) {
+        data[i] = static_cast<uint8_t>(p[rows[i]]);
+      }
+      return Column::Bool(std::move(data), std::move(validity));
+    }
+    case DType::kString: {
+      uint8_t encoding = kEncodingPlain;
+      if (has_encoding_byte) {
+        if (!need(1)) return Status::IOError("truncated encoding tag");
+        encoding = static_cast<uint8_t>(*p++);
+      }
+      if (encoding == kEncodingDict) {
+        uint32_t dict_size = 0;
+        if (!need(4)) return Status::IOError("truncated dict size");
+        std::memcpy(&dict_size, p, 4);
+        p += 4;
+        std::vector<std::string> values;
+        values.reserve(dict_size);
+        for (uint32_t k = 0; k < dict_size; ++k) {
+          uint32_t len = 0;
+          if (!need(4)) return Status::IOError("truncated dict value");
+          std::memcpy(&len, p, 4);
+          p += 4;
+          if (!need(len)) return Status::IOError("truncated dict value");
+          values.emplace_back(p, len);
+          p += len;
+        }
+        if (!need(n * 4)) return Status::IOError("truncated dict codes");
+        std::vector<int32_t> codes(m);
+        for (int64_t i = 0; i < m; ++i) {
+          std::memcpy(&codes[i], p + rows[i] * 4, 4);
+        }
+        if (dict_encode) {
+          common::KernelStats::Get().dict_encoded_columns.fetch_add(
+              1, std::memory_order_relaxed);
+          return Column::Dictionary(
+              common::BufferView<int32_t>(std::move(codes)),
+              dataframe::StringDict::Make(std::move(values)),
+              common::BufferView<uint8_t>(std::move(validity)));
+        }
+        std::vector<std::string> data(m);
+        for (int64_t i = 0; i < m; ++i) {
+          if (validity.empty() || validity[i]) data[i] = values[codes[i]];
+        }
+        return Column::String(std::move(data), std::move(validity));
+      }
+      if (encoding != kEncodingPlain) {
+        return Status::IOError("bad string encoding tag");
+      }
+      std::vector<std::string> data(m);
+      int64_t next = 0;
+      for (int64_t r = 0; r < n && next < m; ++r) {
+        uint32_t len = 0;
+        if (!need(4)) return Status::IOError("truncated string block");
+        std::memcpy(&len, p, 4);
+        p += 4;
+        if (!need(len)) return Status::IOError("truncated string block");
+        if (rows[next] == r) {
+          data[next].assign(p, len);
+          ++next;
+        }
+        p += len;
+      }
+      if (next < m) return Status::IOError("string block shorter than rows");
+      Column col = Column::String(std::move(data), std::move(validity));
+      return dict_encode ? col.DictEncode() : col;
+    }
+  }
+  return Status::IOError("bad dtype");
+}
+
 }  // namespace
 
 bool XpqFileInfo::HasColumn(const std::string& name) const {
@@ -267,6 +393,11 @@ Result<DataFrame> ReadXpq(const std::string& path,
     XORBITS_ASSIGN_OR_RETURN(
         Column col, DecodeColumn(block, ci->dtype, info.num_rows,
                                  info.version >= 2, dict_encode));
+    // Eager decode makes the full column dense regardless of what the
+    // query later touches — the denominator the lazy path is measured
+    // against (DESIGN.md §10).
+    common::LateStats::Get().bytes_materialized.fetch_add(
+        col.nbytes(), std::memory_order_relaxed);
     names.push_back(ci->name);
     cols.push_back(std::move(col));
   }
@@ -279,6 +410,88 @@ Result<DataFrame> ReadXpq(const std::string& path,
     df.set_index(dataframe::Index::Range(row_offset,
                                          row_offset + df.num_rows()));
   }
+  return df;
+}
+
+int64_t XpqColumnSource::nbytes_hint() const {
+  if (file_rows_ <= 0) return 0;
+  // Encoded block size scaled to the window — a fine estimate: payloads
+  // are stored uncompressed, so encoded ~= dense.
+  return info_.nbytes * row_count_ / file_rows_;
+}
+
+std::string XpqColumnSource::describe() const {
+  return "xpq:" + path_ + ":" + info_.name;
+}
+
+Result<Column> XpqColumnSource::LoadRows(
+    const std::vector<int64_t>* rows) const {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path_);
+  in.seekg(info_.offset);
+  std::string block(info_.nbytes, '\0');
+  in.read(block.data(), info_.nbytes);
+  if (!in) return Status::IOError("truncated column block: " + info_.name);
+  if (rows == nullptr && row_offset_ == 0 && row_count_ == file_rows_) {
+    return DecodeColumn(block, info_.dtype, file_rows_, has_encoding_byte_,
+                        dict_encode_);
+  }
+  std::vector<int64_t> abs;
+  if (rows != nullptr) {
+    abs.reserve(rows->size());
+    for (int64_t r : *rows) abs.push_back(row_offset_ + r);
+  } else {
+    abs.reserve(row_count_);
+    for (int64_t r = 0; r < row_count_; ++r) abs.push_back(row_offset_ + r);
+  }
+  return DecodeColumnRows(block, info_.dtype, file_rows_, has_encoding_byte_,
+                          dict_encode_, abs);
+}
+
+Result<Column> XpqColumnSource::Load(const std::vector<int64_t>& rows) const {
+  return LoadRows(&rows);
+}
+
+Result<Column> XpqColumnSource::LoadAll() const { return LoadRows(nullptr); }
+
+Result<DataFrame> ReadXpqLazy(const std::string& path,
+                              const std::vector<std::string>& columns,
+                              int64_t row_offset, int64_t row_count,
+                              bool dict_encode) {
+  XORBITS_ASSIGN_OR_RETURN(XpqFileInfo info, ReadXpqInfo(path));
+  std::vector<const XpqColumnInfo*> wanted;
+  if (columns.empty()) {
+    for (const auto& c : info.columns) wanted.push_back(&c);
+  } else {
+    for (const auto& name : columns) {
+      const XpqColumnInfo* found = nullptr;
+      for (const auto& c : info.columns) {
+        if (c.name == name) {
+          found = &c;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::KeyError("xparquet column not found: " + name);
+      }
+      wanted.push_back(found);
+    }
+  }
+  if (row_offset < 0 || row_offset > info.num_rows) {
+    return Status::Invalid("ReadXpqLazy: row_offset out of range");
+  }
+  const int64_t count = row_count < 0 ? info.num_rows - row_offset
+                                      : std::min(row_count,
+                                                 info.num_rows - row_offset);
+  DataFrame df;
+  for (const XpqColumnInfo* ci : wanted) {
+    XORBITS_RETURN_NOT_OK(df.SetColumnSource(
+        ci->name,
+        std::make_shared<XpqColumnSource>(path, *ci, info.num_rows,
+                                          row_offset, count,
+                                          info.version >= 2, dict_encode)));
+  }
+  df.set_index(dataframe::Index::Range(row_offset, row_offset + count));
   return df;
 }
 

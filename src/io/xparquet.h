@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "dataframe/column_source.h"
 #include "dataframe/dataframe.h"
 
 namespace xorbits::io {
@@ -51,6 +52,56 @@ Result<dataframe::DataFrame> ReadXpq(const std::string& path,
                                      int64_t row_count = -1,
                                      int64_t* bytes_read = nullptr,
                                      bool dict_encode = false);
+
+/// Lazy per-column thunk over one xparquet column block (DESIGN.md §10).
+/// Nothing is read at construction; `Load(rows)` fetches the block and
+/// decodes only the selected rows of the op's row window — fixed-width
+/// payloads gather directly from the raw bytes, plain string blocks scan
+/// length prefixes and materialize only the selected strings, dictionary
+/// pages decode the (shared) dictionary once and gather codes.
+class XpqColumnSource : public dataframe::ColumnSource {
+ public:
+  /// `info` names one column block of `path`; [row_offset, row_offset +
+  /// row_count) is the window of the file this source exposes as rows
+  /// 0..row_count-1 (the chunk split).
+  XpqColumnSource(std::string path, XpqColumnInfo info, int64_t file_rows,
+                  int64_t row_offset, int64_t row_count,
+                  bool has_encoding_byte, bool dict_encode)
+      : path_(std::move(path)),
+        info_(std::move(info)),
+        file_rows_(file_rows),
+        row_offset_(row_offset),
+        row_count_(row_count),
+        has_encoding_byte_(has_encoding_byte),
+        dict_encode_(dict_encode) {}
+
+  dataframe::DType dtype() const override { return info_.dtype; }
+  int64_t length() const override { return row_count_; }
+  int64_t nbytes_hint() const override;
+  std::string describe() const override;
+  Result<dataframe::Column> Load(
+      const std::vector<int64_t>& rows) const override;
+  Result<dataframe::Column> LoadAll() const override;
+
+ private:
+  Result<dataframe::Column> LoadRows(const std::vector<int64_t>* rows) const;
+
+  std::string path_;
+  XpqColumnInfo info_;
+  int64_t file_rows_;
+  int64_t row_offset_;
+  int64_t row_count_;
+  bool has_encoding_byte_;
+  bool dict_encode_;
+};
+
+/// Like ReadXpq but returns a frame whose columns are XpqColumnSource
+/// thunks: only the footer is read here, and a column's block is fetched
+/// and decoded the first time something reads it — through the frame's
+/// pending selection, so a filtered consumer decodes only matching rows.
+Result<dataframe::DataFrame> ReadXpqLazy(
+    const std::string& path, const std::vector<std::string>& columns = {},
+    int64_t row_offset = 0, int64_t row_count = -1, bool dict_encode = false);
 
 }  // namespace xorbits::io
 

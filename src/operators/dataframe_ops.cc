@@ -14,6 +14,7 @@ using graph::TileableNode;
 // --- chunk kernels ---
 
 Status EvalChunkOp::Execute(ExecutionContext& ctx) const {
+  if (late_) return ExecuteLate(ctx);
   XORBITS_ASSIGN_OR_RETURN(const DataFrame* in,
                            services::AsDataFrame(ctx.inputs[0]));
   DataFrame df = *in;
@@ -38,6 +39,48 @@ Status EvalChunkOp::Execute(ExecutionContext& ctx) const {
   }
   ctx.outputs[0] = services::MakeChunk(std::move(df));
   return Status::OK();
+}
+
+Status EvalChunkOp::ExecuteLate(ExecutionContext& ctx) const {
+  XORBITS_ASSIGN_OR_RETURN(const DataFrame* in,
+                           services::AsDataFrame(ctx.inputs[0]));
+  DataFrame df = *in;
+  for (const auto& a : assignments_) {
+    // Defer the transform behind a lazy slot when possible; expressions the
+    // probe rejects (or that would land on a filtered eager frame) fall
+    // back to eager evaluation — correctness never depends on deferral.
+    Result<dataframe::ColumnSourcePtr> src = MakeDeferredExprSource(df, a.expr);
+    bool deferred = false;
+    if (src.ok()) {
+      deferred = df.SetColumnSource(a.name, src.MoveValue()).ok();
+    }
+    if (!deferred) {
+      XORBITS_ASSIGN_OR_RETURN(dataframe::Column col, EvalExpr(df, *a.expr));
+      XORBITS_RETURN_NOT_OK(df.SetColumn(a.name, std::move(col)));
+    }
+  }
+  if (filter_) {
+    // Evaluating the mask resolves only the predicate's columns; the filter
+    // itself composes a pending selection — nothing else is touched.
+    XORBITS_ASSIGN_OR_RETURN(dataframe::Column mask, EvalExpr(df, *filter_));
+    XORBITS_ASSIGN_OR_RETURN(df, dataframe::FilterLate(df, mask));
+  }
+  if (!projection_.empty()) {
+    std::vector<std::string> cols;
+    for (const auto& c : projection_) {
+      if (df.HasColumn(c)) cols.push_back(c);
+    }
+    XORBITS_ASSIGN_OR_RETURN(df, df.Select(cols));
+  }
+  ctx.outputs[0] = services::MakeChunk(std::move(df));
+  return Status::OK();
+}
+
+std::shared_ptr<ChunkOp> EvalChunkOp::WithLateMaterialization() const {
+  auto copy =
+      std::make_shared<EvalChunkOp>(assignments_, filter_, projection_);
+  copy->late_ = true;
+  return copy;
 }
 
 std::optional<std::string> EvalChunkOp::CseSignature() const {

@@ -37,11 +37,19 @@ class EvalChunkOp : public ChunkOp {
   const ExprPtr& filter() const { return filter_; }
   const std::vector<std::string>& projection() const { return projection_; }
   std::optional<std::string> CseSignature() const override;
+  /// Late variant: assignments become deferred ExprSources and the filter
+  /// composes a pending selection instead of compacting. `late_` is a
+  /// physical flag only — Cse/Cache signatures deliberately ignore it.
+  std::shared_ptr<ChunkOp> WithLateMaterialization() const override;
 
  private:
+  Status ExecuteLate(ExecutionContext& ctx) const;
+
   std::vector<Assignment> assignments_;
   ExprPtr filter_;  // may be null
   std::vector<std::string> projection_;  // empty => keep all
+  /// Emit a lazy frame (see WithLateMaterialization).
+  bool late_ = false;
 };
 
 /// Contiguous row slice of a chunk.
@@ -69,6 +77,7 @@ class ConcatChunkOp : public ChunkOp {
   std::optional<std::string> CseSignature() const override {
     return "concat";
   }
+  bool ForcesDenseInput() const override { return true; }
 };
 
 /// Whole-chunk sort.
@@ -78,6 +87,7 @@ class SortChunkOp : public ChunkOp {
       : by_(std::move(by)), ascending_(std::move(ascending)) {}
   const char* type_name() const override { return "Sort"; }
   Status Execute(ExecutionContext& ctx) const override;
+  bool ForcesDenseInput() const override { return true; }
   std::optional<std::string> CseSignature() const override {
     std::string sig = "sort|";
     for (const auto& k : by_) {
@@ -102,6 +112,7 @@ class DedupChunkOp : public ChunkOp {
       : subset_(std::move(subset)) {}
   const char* type_name() const override { return "DropDuplicates"; }
   Status Execute(ExecutionContext& ctx) const override;
+  bool ForcesDenseInput() const override { return true; }
   std::optional<std::string> CseSignature() const override {
     std::string sig = "dedup|";
     for (const auto& k : subset_) {
@@ -123,6 +134,7 @@ class QuantileBoundariesChunkOp : public ChunkOp {
       : key_(std::move(key)), partitions_(partitions), ascending_(ascending) {}
   const char* type_name() const override { return "SortSample"; }
   Status Execute(ExecutionContext& ctx) const override;
+  bool ForcesDenseInput() const override { return true; }
 
  private:
   std::string key_;
@@ -139,6 +151,7 @@ class RangePartitionChunkOp : public ChunkOp {
   const char* type_name() const override { return "RangePartition"; }
   bool fusible() const override { return false; }
   bool is_shuffle_map() const override { return true; }
+  bool ForcesDenseInput() const override { return true; }
   Status Execute(ExecutionContext& ctx) const override;
 
  private:
@@ -160,6 +173,7 @@ class SortMergeChunkOp : public ChunkOp {
   std::vector<std::string> InputKeys(
       const graph::ChunkNode& node) const override;
   Status Execute(ExecutionContext& ctx) const override;
+  bool ForcesDenseInput() const override { return true; }
 
  private:
   int partition_;

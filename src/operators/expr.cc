@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/late_stats.h"
 #include "common/thread_pool.h"
 
 namespace xorbits::operators {
@@ -375,6 +376,80 @@ Result<Column> EvalExpr(const DataFrame& df, const Expr& expr) {
   piece_ptrs.reserve(morsels);
   for (const Column& c : parts) piece_ptrs.push_back(&c);
   return Column::Concat(piece_ptrs);
+}
+
+namespace {
+
+/// Deferred transform: an expression plus a snapshot of the columns it
+/// reads. Load(rows) rebinds the snapshot's selection to exactly the rows
+/// the consumer still wants and evaluates the tree there — row-wise
+/// expressions commute with row selection, so this equals evaluating
+/// eagerly at assignment time and gathering afterwards. The snapshot shares
+/// the source frame's lazy state (sources, resolution cells), so deferring
+/// an expression over a lazy read keeps the whole chain lazy.
+class ExprSource : public dataframe::ColumnSource {
+ public:
+  ExprSource(DataFrame snapshot, ExprPtr expr, dataframe::DType dtype,
+             int64_t base_rows)
+      : snapshot_(std::move(snapshot)),
+        expr_(std::move(expr)),
+        dtype_(dtype),
+        base_rows_(base_rows) {}
+
+  dataframe::DType dtype() const override { return dtype_; }
+  int64_t length() const override { return base_rows_; }
+  int64_t nbytes_hint() const override {
+    // Dense estimate at 8 bytes/row — exact for numeric outputs, order-of-
+    // magnitude for strings; only nbytes() estimates consume this.
+    return base_rows_ * 8;
+  }
+  std::string describe() const override {
+    return "expr:" + expr_->ToString();
+  }
+
+  Result<Column> Load(const std::vector<int64_t>& rows) const override {
+    return EvalExpr(snapshot_.WithSelectionRows(rows), *expr_);
+  }
+  Result<Column> LoadAll() const override {
+    // Only reachable when the consumer frame has no pending selection,
+    // which implies the snapshot has none either (selections only narrow).
+    return EvalExpr(snapshot_, *expr_);
+  }
+
+ private:
+  DataFrame snapshot_;
+  ExprPtr expr_;
+  dataframe::DType dtype_;
+  int64_t base_rows_;
+};
+
+}  // namespace
+
+Result<dataframe::ColumnSourcePtr> MakeDeferredExprSource(
+    const DataFrame& df, ExprPtr expr) {
+  if (!expr) return Status::Invalid("MakeDeferredExprSource: null expr");
+  // Snapshot only what the expression reads; Select shares lazy state, so
+  // this costs a few shared_ptr copies regardless of frame width.
+  std::set<std::string> used;
+  expr->CollectColumns(&used);
+  std::vector<std::string> present;
+  for (const auto& name : used) {
+    if (!df.HasColumn(name)) {
+      return Status::KeyError("MakeDeferredExprSource: no column '" + name +
+                              "'");
+    }
+    present.push_back(name);
+  }
+  XORBITS_ASSIGN_OR_RETURN(DataFrame snapshot, df.Select(present));
+  // Probe the output dtype on a zero-row frame — no decode, no compute.
+  XORBITS_ASSIGN_OR_RETURN(Column probe,
+                           EvalExpr(DataFrame::EmptyLike(snapshot), *expr));
+  common::LateStats::Get().deferred_transforms.fetch_add(
+      1, std::memory_order_relaxed);
+  // Base length comes from the consumer frame, not the snapshot: a
+  // column-less snapshot (constant expression) has no base of its own.
+  return dataframe::ColumnSourcePtr(std::make_shared<ExprSource>(
+      std::move(snapshot), std::move(expr), probe.dtype(), df.base_rows()));
 }
 
 }  // namespace xorbits::operators

@@ -96,6 +96,17 @@ ExprPtr WeekDayExpr(ExprPtr v);
 Result<dataframe::Column> EvalExpr(const dataframe::DataFrame& df,
                                    const Expr& expr);
 
+/// Wraps `expr` over a snapshot of `df` as a lazy ColumnSource so the
+/// assignment's cost is deferred to first read (DESIGN.md §10): Load(rows)
+/// evaluates the expression only at the requested base rows. Valid because
+/// every Expr kind is row-wise, so select-then-eval equals eval-then-select
+/// byte for byte. The snapshot is restricted to the columns the expression
+/// reads and shares the frame's lazy state — deferring never decodes.
+/// Fails (caller evaluates eagerly instead) when the output dtype cannot be
+/// probed on an empty frame.
+Result<dataframe::ColumnSourcePtr> MakeDeferredExprSource(
+    const dataframe::DataFrame& df, ExprPtr expr);
+
 }  // namespace xorbits::operators
 
 #endif  // XORBITS_OPERATORS_EXPR_H_

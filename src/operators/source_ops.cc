@@ -77,6 +77,7 @@ int64_t CountMatches(const dataframe::Column& mask) {
 }  // namespace
 
 Status ReadXpqChunkOp::Execute(ExecutionContext& ctx) const {
+  if (late_) return ExecuteLate(ctx);
   int64_t bytes = 0;
   if (filter_ == nullptr) {
     XORBITS_ASSIGN_OR_RETURN(
@@ -169,6 +170,90 @@ Status ReadXpqChunkOp::Execute(ExecutionContext& ctx) const {
   if (ctx.metrics != nullptr) ctx.metrics->source_bytes_read += bytes;
   ctx.outputs[0] = services::MakeChunk(std::move(out));
   return Status::OK();
+}
+
+Status ReadXpqChunkOp::ExecuteLate(ExecutionContext& ctx) const {
+  // Late variant (DESIGN.md §10). Without a filter the whole frame is
+  // sourced lazily: only the footer is read here. With a pushed filter,
+  // the predicate's columns are probed eagerly (that I/O is unavoidable —
+  // the mask needs their values), every other column becomes a thunk, and
+  // the mask is carried as a pending selection instead of compacting. An
+  // all-false mask leaves an empty selection, so payload blocks are never
+  // fetched — the same I/O skip the eager two-phase path special-cases.
+  if (filter_ == nullptr) {
+    XORBITS_ASSIGN_OR_RETURN(
+        DataFrame df, io::ReadXpqLazy(path_, columns_, row_offset_,
+                                      row_count_, dict_encode_));
+    ctx.outputs[0] = services::MakeChunk(std::move(df));
+    return Status::OK();
+  }
+  int64_t bytes = 0;
+  XORBITS_ASSIGN_OR_RETURN(io::XpqFileInfo info, io::ReadXpqInfo(path_));
+  std::vector<std::string> out_names = columns_;
+  if (out_names.empty()) {
+    for (const auto& c : info.columns) out_names.push_back(c.name);
+  }
+  std::set<std::string> fset;
+  filter_->CollectColumns(&fset);
+  std::vector<std::string> fcols(fset.begin(), fset.end());
+  if (fcols.empty() && !out_names.empty()) {
+    const io::XpqColumnInfo* cheapest = nullptr;
+    for (const auto& c : info.columns) {
+      const bool wanted = std::find(out_names.begin(), out_names.end(),
+                                    c.name) != out_names.end();
+      if (wanted && (cheapest == nullptr || c.nbytes < cheapest->nbytes)) {
+        cheapest = &c;
+      }
+    }
+    if (cheapest != nullptr) fcols.push_back(cheapest->name);
+  }
+  XORBITS_ASSIGN_OR_RETURN(
+      DataFrame probe, io::ReadXpq(path_, fcols, row_offset_, row_count_,
+                                   &bytes, dict_encode_));
+  XORBITS_ASSIGN_OR_RETURN(dataframe::Column mask, EvalExpr(probe, *filter_));
+  if (mask.dtype() != DType::kBool) {
+    return Status::TypeError("pushed filter predicate must be boolean");
+  }
+  const int64_t count = row_count_ < 0 ? info.num_rows - row_offset_
+                                       : row_count_;
+  DataFrame full;
+  for (const auto& name : out_names) {
+    if (probe.HasColumn(name)) {
+      XORBITS_ASSIGN_OR_RETURN(const dataframe::Column* col,
+                               probe.GetColumn(name));
+      XORBITS_RETURN_NOT_OK(full.SetColumn(name, *col));
+      continue;
+    }
+    const io::XpqColumnInfo* ci = nullptr;
+    for (const auto& c : info.columns) {
+      if (c.name == name) {
+        ci = &c;
+        break;
+      }
+    }
+    if (ci == nullptr) {
+      return Status::KeyError("xparquet column not found: " + name);
+    }
+    XORBITS_RETURN_NOT_OK(full.SetColumnSource(
+        name, std::make_shared<io::XpqColumnSource>(
+                  path_, *ci, info.num_rows, row_offset_, count,
+                  info.version >= 2, dict_encode_)));
+  }
+  full.set_index(probe.index());
+  // `full` is lazy, so Filter composes the mask into its selection instead
+  // of compacting (FilterRowsLate under dataframe::Filter).
+  XORBITS_ASSIGN_OR_RETURN(DataFrame out, dataframe::Filter(full, mask));
+  if (ctx.metrics != nullptr) ctx.metrics->source_bytes_read += bytes;
+  ctx.outputs[0] = services::MakeChunk(std::move(out));
+  return Status::OK();
+}
+
+std::shared_ptr<ChunkOp> ReadXpqChunkOp::WithLateMaterialization() const {
+  auto copy = std::make_shared<ReadXpqChunkOp>(path_, columns_, row_offset_,
+                                               row_count_, filter_,
+                                               dict_encode_);
+  copy->late_ = true;
+  return copy;
 }
 
 std::optional<std::string> ReadXpqChunkOp::CseSignature() const {

@@ -68,8 +68,15 @@ class ReadXpqChunkOp : public ChunkOp {
   /// fresh cache key instead of serving stale bytes (DESIGN.md §9).
   std::optional<std::string> CacheSignature() const override;
   std::optional<std::string> CacheSourceTag() const override { return path_; }
+  /// Late variant: payload columns become XpqColumnSource thunks and the
+  /// pushed filter becomes a pending selection, so a downstream consumer
+  /// decodes only the columns and rows it touches. `late_` is a physical
+  /// flag only — Cse/Cache signatures deliberately ignore it (same bytes).
+  std::shared_ptr<ChunkOp> WithLateMaterialization() const override;
 
  private:
+  Status ExecuteLate(ExecutionContext& ctx) const;
+
   std::string path_;
   std::vector<std::string> columns_;
   int64_t row_offset_;
@@ -81,6 +88,8 @@ class ReadXpqChunkOp : public ChunkOp {
   /// Dictionary-encode string columns as they are read (Config::dict_encode,
   /// captured at tile time — ExecutionContext carries no config).
   bool dict_encode_;
+  /// Emit a lazy frame (see WithLateMaterialization).
+  bool late_ = false;
 };
 
 /// Chunk kernel reading a CSV row range (dtype inference per chunk; dates
@@ -201,6 +210,8 @@ class WriteXpqChunkOp : public ChunkOp {
       : dir_(std::move(dir)), index_(index) {}
   const char* type_name() const override { return "WriteParquet"; }
   Status Execute(ExecutionContext& ctx) const override;
+  /// The file format is dense; writing resolves every column anyway.
+  bool ForcesDenseInput() const override { return true; }
 
  private:
   std::string dir_;

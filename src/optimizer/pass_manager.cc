@@ -66,6 +66,11 @@ Status PassManager::EnsureInit() {
     chunk_auto.push_back(kPassOpFusion);
     chunk_auto.push_back(kPassCse);
   }
+  // Late materialization runs last: it rewrites the post-fusion kernels and
+  // must see the closure's final consumer wiring to pick forcing points.
+  if (config_.late_materialization) {
+    chunk_auto.push_back(kPassLateMaterialization);
+  }
   const bool chunk_auto_enabled = !chunk_auto.empty();
   for (const std::string& name : ResolveLevel(spec.chunk, chunk_auto_enabled,
                                               std::move(chunk_auto))) {

@@ -13,6 +13,10 @@ int64_t ChunkData::nbytes() const {
 }
 
 int64_t ChunkData::overhead_nbytes() const {
+  // Lazy frames (DESIGN.md §10) charge only what is resident: the buffer
+  // refs cover resolved cells / base payload / the selection vector, and
+  // pending sources deliberately contribute nothing — an undecoded column
+  // occupies no band memory until something reads it.
   if (is_dataframe()) return dataframe().index().nbytes();
   if (is_ndarray()) return 0;
   return 16;

@@ -1,0 +1,384 @@
+// Late-materialization suite (DESIGN.md §10): selection vectors survive
+// serialize-v2 and spill round trips byte-identical to the eager path,
+// lazy xparquet columns decode only when touched (and only the selected
+// rows), deferred expression sources match eager evaluation, filter→groupby
+// and filter→join chains are checksum-identical across 1/2/4/8-thread
+// pools with plain and dictionary-encoded strings, and — the satellite
+// regression — an empty shared BufferView window unshares without a CoW
+// copy. Runs under both the ASan `sanitize` and TSan `concurrency` labels.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/late_stats.h"
+#include "common/thread_pool.h"
+#include "dataframe/dataframe.h"
+#include "dataframe/dict.h"
+#include "dataframe/groupby.h"
+#include "dataframe/join.h"
+#include "dataframe/kernels.h"
+#include "io/serialize.h"
+#include "io/xparquet.h"
+#include "operators/expr.h"
+#include "services/chunk_data.h"
+
+namespace xorbits::dataframe {
+namespace {
+
+using common::LateStats;
+
+/// Order-sensitive value checksum over every cell (AppendKeyBytes is
+/// documented byte-identical across encodings and materialization states).
+uint64_t Fingerprint(const DataFrame& df) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  std::string key;
+  for (int c = 0; c < df.num_columns(); ++c) {
+    h = HashBytes(df.column_name(c).data(), df.column_name(c).size(), h);
+    for (int64_t i = 0; i < df.num_rows(); ++i) {
+      key.clear();
+      df.column(c).AppendKeyBytes(i, &key);
+      h = HashBytes(key.data(), key.size(), h);
+    }
+  }
+  return h;
+}
+
+/// Deterministic mixed-dtype frame: int64 key with repeats (groupby/join
+/// fodder), float64 payload, and a low-cardinality string column.
+DataFrame SampleFrame(int64_t n) {
+  std::vector<int64_t> id(n), key(n);
+  std::vector<double> val(n);
+  std::vector<std::string> city(n);
+  const char* cities[] = {"ulm", "kiel", "bonn", "trier", "essen"};
+  uint64_t s = 42;
+  for (int64_t i = 0; i < n; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    id[i] = i;
+    key[i] = static_cast<int64_t>((s >> 33) % 17);
+    val[i] = static_cast<double>((s >> 17) % 1000) / 8.0;
+    city[i] = cities[(s >> 41) % 5];
+  }
+  DataFrame df;
+  EXPECT_TRUE(df.SetColumn("id", Column::Int64(std::move(id))).ok());
+  EXPECT_TRUE(df.SetColumn("key", Column::Int64(std::move(key))).ok());
+  EXPECT_TRUE(df.SetColumn("val", Column::Float64(std::move(val))).ok());
+  EXPECT_TRUE(df.SetColumn("city", Column::String(std::move(city))).ok());
+  return df;
+}
+
+/// keep row i iff id % modulus == 0 — selectivity 1/modulus.
+std::vector<uint8_t> ModMask(int64_t n, int64_t modulus) {
+  std::vector<uint8_t> mask(n, 0);
+  for (int64_t i = 0; i < n; i += modulus) mask[i] = 1;
+  return mask;
+}
+
+std::string TempPath(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("xorbits_late_test_") + tag + ".xpq"))
+      .string();
+}
+
+// --- selection vectors survive serialize v2 -------------------------------
+
+TEST(LateMaterializationTest, SelectionSerializeRoundTrip) {
+  const int64_t kRows = 600;
+  const std::string path = TempPath("ser");
+  DataFrame base = SampleFrame(kRows);
+  ASSERT_TRUE(io::WriteXpq(path, base).ok());
+
+  auto eager_r = io::ReadXpq(path);
+  ASSERT_TRUE(eager_r.ok());
+  DataFrame eager = eager_r.MoveValue().FilterRows(ModMask(kRows, 7));
+
+  auto lazy_r = io::ReadXpqLazy(path);
+  ASSERT_TRUE(lazy_r.ok());
+  DataFrame lazy = lazy_r.MoveValue().FilterRowsLate(ModMask(kRows, 7));
+  ASSERT_TRUE(lazy.is_lazy());
+  ASSERT_TRUE(lazy.selection().active());
+
+  // Serialization is a forcing point: the writer resolves the selection
+  // internally and the stream must be readable as a plain dense frame.
+  const int64_t forced_before =
+      LateStats::Get().selections_forced.load(std::memory_order_relaxed);
+  std::ostringstream os;
+  ASSERT_TRUE(io::WriteDataFrame(os, lazy).ok());
+  EXPECT_GT(LateStats::Get().selections_forced.load(std::memory_order_relaxed),
+            forced_before);
+
+  std::istringstream is(os.str());
+  auto back = io::ReadDataFrame(is);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back.ValueOrDie().is_lazy());
+  EXPECT_EQ(Fingerprint(back.ValueOrDie()), Fingerprint(eager));
+
+  // Round trip the eager side too: both streams decode to the same bytes.
+  std::ostringstream os2;
+  ASSERT_TRUE(io::WriteDataFrame(os2, eager).ok());
+  std::istringstream is2(os2.str());
+  auto back2 = io::ReadDataFrame(is2);
+  ASSERT_TRUE(back2.ok());
+  EXPECT_EQ(Fingerprint(back.ValueOrDie()), Fingerprint(back2.ValueOrDie()));
+  std::filesystem::remove(path);
+}
+
+// --- ...and spill (chunk serialization) -----------------------------------
+
+TEST(LateMaterializationTest, SelectionSpillRoundTrip) {
+  const int64_t kRows = 400;
+  const std::string path = TempPath("spill");
+  DataFrame base = SampleFrame(kRows);
+  ASSERT_TRUE(io::WriteXpq(path, base).ok());
+
+  DataFrame eager = base.FilterRows(ModMask(kRows, 5));
+
+  auto lazy_r = io::ReadXpqLazy(path);
+  ASSERT_TRUE(lazy_r.ok());
+  DataFrame lazy = lazy_r.MoveValue().FilterRowsLate(ModMask(kRows, 5));
+  ASSERT_TRUE(lazy.is_lazy());
+
+  // Spill path: chunks serialize through the same v2 writer; a lazy chunk
+  // must come back as a dense frame with identical bytes.
+  auto buf = services::SerializeChunk(*services::MakeChunk(lazy));
+  ASSERT_TRUE(buf.ok());
+  auto chunk = services::DeserializeChunk(buf.ValueOrDie());
+  ASSERT_TRUE(chunk.ok());
+  auto df = services::AsDataFrame(chunk.ValueOrDie());
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(Fingerprint(*df.ValueOrDie()), Fingerprint(eager));
+  std::filesystem::remove(path);
+}
+
+// --- lazy decode is demand-driven and selection-aware ---------------------
+
+TEST(LateMaterializationTest, LazyDecodeTouchesOnlyReadColumns) {
+  const int64_t kRows = 2000;
+  const std::string path = TempPath("decode");
+  ASSERT_TRUE(io::WriteXpq(path, SampleFrame(kRows)).ok());
+
+  auto& ls = LateStats::Get();
+  const int64_t decoded0 = ls.lazy_columns_decoded.load();
+
+  auto lazy_r = io::ReadXpqLazy(path);
+  ASSERT_TRUE(lazy_r.ok());
+  DataFrame lazy = lazy_r.MoveValue();
+  // Reading the footer decodes nothing.
+  EXPECT_EQ(ls.lazy_columns_decoded.load(), decoded0);
+  for (int i = 0; i < lazy.num_columns(); ++i) {
+    EXPECT_TRUE(lazy.IsSlotPending(i));
+  }
+
+  // Touch one column: exactly one slot resolves.
+  EXPECT_EQ(lazy.column(1).length(), kRows);
+  EXPECT_EQ(ls.lazy_columns_decoded.load(), decoded0 + 1);
+  EXPECT_FALSE(lazy.IsSlotPending(1));
+  EXPECT_TRUE(lazy.IsSlotPending(0));
+  std::filesystem::remove(path);
+}
+
+TEST(LateMaterializationTest, LowSelectivityMaterializesFewerBytes) {
+  const int64_t kRows = 20000;
+  const std::string path = TempPath("bytes");
+  ASSERT_TRUE(io::WriteXpq(path, SampleFrame(kRows)).ok());
+  auto& ls = LateStats::Get();
+
+  // Eager: read everything dense, then compact-filter to 1%.
+  int64_t eager_bytes = 0;
+  {
+    auto r = io::ReadXpq(path);
+    ASSERT_TRUE(r.ok());
+    const int64_t b0 = ls.bytes_materialized.load();
+    DataFrame out = r.ValueOrDie().FilterRows(ModMask(kRows, 100));
+    (void)Fingerprint(out);
+    eager_bytes = ls.bytes_materialized.load() - b0;
+    // ReadXpq itself is the bulk of eager work; fold it in via nbytes.
+    eager_bytes += r.ValueOrDie().nbytes();
+  }
+
+  // Late: the filter stays a selection; reading the result decodes only
+  // the ~1% of rows that survive.
+  int64_t late_bytes = 0;
+  uint64_t late_fp = 0, eager_fp = 0;
+  {
+    auto er = io::ReadXpq(path);
+    ASSERT_TRUE(er.ok());
+    eager_fp = Fingerprint(er.ValueOrDie().FilterRows(ModMask(kRows, 100)));
+
+    auto r = io::ReadXpqLazy(path);
+    ASSERT_TRUE(r.ok());
+    const int64_t b0 = ls.bytes_materialized.load();
+    DataFrame out = r.MoveValue().FilterRowsLate(ModMask(kRows, 100));
+    late_fp = Fingerprint(out);
+    late_bytes = ls.bytes_materialized.load() - b0;
+  }
+  EXPECT_EQ(late_fp, eager_fp);
+  // The acceptance bar is <= 0.25x at 1%; in-process we comfortably beat it.
+  EXPECT_GT(late_bytes, 0);
+  EXPECT_LE(late_bytes, eager_bytes / 4)
+      << "late=" << late_bytes << " eager=" << eager_bytes;
+  std::filesystem::remove(path);
+}
+
+// --- deferred transforms ---------------------------------------------------
+
+TEST(LateMaterializationTest, DeferredExprSourceMatchesEager) {
+  const int64_t kRows = 500;
+  DataFrame df = SampleFrame(kRows);
+  using operators::Col;
+  using operators::Lit;
+  operators::ExprPtr expr = operators::CompareExpr(Col("key"), CmpOp::kLt,
+                                                   Lit(int64_t{9}));
+
+  // Eager baseline: evaluate at assignment time, then filter.
+  DataFrame eager = df;
+  {
+    auto col = operators::EvalExpr(eager, *expr);
+    ASSERT_TRUE(col.ok());
+    ASSERT_TRUE(eager.SetColumn("flag", col.MoveValue()).ok());
+    eager = eager.FilterRows(ModMask(kRows, 3));
+  }
+
+  // Deferred: the transform hangs behind a lazy slot and is evaluated only
+  // at the rows the selection keeps.
+  auto& ls = LateStats::Get();
+  const int64_t deferred0 = ls.deferred_transforms.load();
+  DataFrame late = df;
+  {
+    auto src = operators::MakeDeferredExprSource(late, expr);
+    ASSERT_TRUE(src.ok());
+    ASSERT_TRUE(late.SetColumnSource("flag", src.MoveValue()).ok());
+    EXPECT_EQ(ls.deferred_transforms.load(), deferred0 + 1);
+    late = late.FilterRowsLate(ModMask(kRows, 3));
+    ASSERT_TRUE(late.is_lazy());
+  }
+  EXPECT_EQ(Fingerprint(late), Fingerprint(eager));
+
+  // Compact() is the explicit forcing point and must be a fixpoint.
+  late.Compact();
+  EXPECT_FALSE(late.is_lazy());
+  EXPECT_EQ(Fingerprint(late), Fingerprint(eager));
+}
+
+TEST(LateMaterializationTest, FilterLateKernelComposesSelections) {
+  const int64_t kRows = 300;
+  DataFrame df = SampleFrame(kRows);
+
+  std::vector<uint8_t> even(kRows, 0), third;
+  for (int64_t i = 0; i < kRows; i += 2) even[i] = 1;
+
+  auto first = FilterLate(df, Column::Bool(even));
+  ASSERT_TRUE(first.ok());
+  DataFrame mid = first.MoveValue();
+  ASSERT_TRUE(mid.selection().active());
+
+  third.assign(mid.num_rows(), 0);
+  for (int64_t i = 0; i < mid.num_rows(); i += 3) third[i] = 1;
+  auto second = FilterLate(mid, Column::Bool(third));
+  ASSERT_TRUE(second.ok());
+  DataFrame late = second.MoveValue();
+
+  // Same chain through the eager kernel.
+  auto e1 = Filter(df, Column::Bool(even));
+  ASSERT_TRUE(e1.ok());
+  auto e2 = Filter(e1.ValueOrDie(), Column::Bool(third));
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(late.num_rows(), e2.ValueOrDie().num_rows());
+  EXPECT_EQ(Fingerprint(late), Fingerprint(e2.ValueOrDie()));
+}
+
+// --- thread count x encoding checksum identity ----------------------------
+
+TEST(LateMaterializationTest, FilterGroupByJoinChecksumAcrossThreadsAndDict) {
+  const int64_t kRows = 3000;
+  const std::string path = TempPath("threads");
+  ASSERT_TRUE(io::WriteXpq(path, SampleFrame(kRows)).ok());
+
+  const std::vector<AggSpec> aggs = {{"val", AggFunc::kSum, "val_sum"},
+                                     {"id", AggFunc::kCount, "n"}};
+  DataFrame right;
+  {
+    std::vector<int64_t> k(17);
+    std::vector<std::string> label(17);
+    for (int64_t i = 0; i < 17; ++i) {
+      k[i] = i;
+      label[i] = "g" + std::to_string(i);
+    }
+    ASSERT_TRUE(right.SetColumn("key", Column::Int64(std::move(k))).ok());
+    ASSERT_TRUE(
+        right.SetColumn("label", Column::String(std::move(label))).ok());
+  }
+  MergeOptions mo;
+  mo.on = {"key"};
+
+  // Baseline: single-threaded, plain strings, eager frames.
+  uint64_t base_gb = 0, base_join = 0;
+  {
+    auto r = io::ReadXpq(path);
+    ASSERT_TRUE(r.ok());
+    DataFrame filtered = r.ValueOrDie().FilterRows(ModMask(kRows, 4));
+    auto gb = GroupByAgg(filtered, {"key", "city"}, aggs);
+    ASSERT_TRUE(gb.ok());
+    base_gb = Fingerprint(gb.ValueOrDie());
+    auto jn = Merge(filtered, right, mo);
+    ASSERT_TRUE(jn.ok());
+    base_join = Fingerprint(jn.ValueOrDie());
+  }
+
+  for (int threads : {1, 2, 4, 8}) {
+    for (bool dict : {false, true}) {
+      ThreadPool pool(threads);
+      ThreadPool* prev = SetCurrentThreadPool(&pool);
+      auto r = io::ReadXpqLazy(path, {}, 0, -1, dict);
+      ASSERT_TRUE(r.ok());
+      DataFrame filtered = r.MoveValue().FilterRowsLate(ModMask(kRows, 4));
+      ASSERT_TRUE(filtered.is_lazy());
+
+      auto gb = GroupByAgg(filtered, {"key", "city"}, aggs);
+      ASSERT_TRUE(gb.ok()) << gb.status().ToString();
+      EXPECT_EQ(Fingerprint(gb.ValueOrDie()), base_gb)
+          << "groupby threads=" << threads << " dict=" << dict;
+
+      auto jn = Merge(filtered, right, mo);
+      ASSERT_TRUE(jn.ok()) << jn.status().ToString();
+      EXPECT_EQ(Fingerprint(jn.ValueOrDie()), base_join)
+          << "join threads=" << threads << " dict=" << dict;
+      SetCurrentThreadPool(prev);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+// --- satellite regression: empty shared window must not CoW-copy ----------
+
+TEST(LateMaterializationTest, EmptyWindowMutableVecNoCowCopy) {
+  std::vector<int64_t> payload(4096);
+  for (size_t i = 0; i < payload.size(); ++i) payload[i] = int64_t(i);
+  common::BufferView<int64_t> base(std::move(payload));
+  common::BufferView<int64_t> shared = base;       // shares the buffer
+  common::BufferView<int64_t> empty = shared.Slice(128, 0);
+  ASSERT_EQ(empty.size(), 0);
+
+  auto& bs = common::BufferStats::Get();
+  const int64_t cow0 = bs.cow_copies.load(std::memory_order_relaxed);
+  std::vector<int64_t>& vec = empty.MutableVec();
+  // A zero-row selection's unshare copies nothing: no CoW copy is counted
+  // and the shared payload buffer is released, not pinned.
+  EXPECT_EQ(bs.cow_copies.load(std::memory_order_relaxed), cow0);
+  EXPECT_TRUE(vec.empty());
+  EXPECT_FALSE(empty.SharesBufferWith(base));
+
+  // The fresh buffer is private and writable.
+  vec.push_back(7);
+  EXPECT_EQ(empty.size(), 1);
+  EXPECT_EQ(base.size(), 4096);
+  EXPECT_EQ(base[0], 0);
+}
+
+}  // namespace
+}  // namespace xorbits::dataframe

@@ -149,6 +149,7 @@ TEST(PassPipelineTest, LegacyBoolsDriveAutoPipelines) {
   legacy_off.column_pruning = false;
   legacy_off.op_fusion = false;
   legacy_off.graph_fusion = false;
+  legacy_off.late_materialization = false;
   MetricsSnapshot off = run(std::move(legacy_off));
   for (const auto& [k, v] : off.gauges) {
     EXPECT_EQ(k.rfind("optimizer_pass_runs/", 0), std::string::npos)
@@ -228,12 +229,19 @@ TEST(PredicatePushdownTest, PushesFilterAndReducesBytesRead) {
   };
   // Baseline: pruning only. Pushdown run reads predicate columns first and
   // skips payload columns for chunks where nothing matches (rows 0..149
-  // live in three all-miss chunks of 50).
+  // live in three all-miss chunks of 50). Both runs pin the eager read
+  // path: `source_bytes_read` counts block fetches at read time, which is
+  // what this test compares — under late materialization payload I/O
+  // happens at decode time and is metered as `bytes_materialized` instead
+  // (DESIGN.md §10).
   Config pruned_only = SmallChunkConfig();
   pruned_only.optimizer.tileable = {kPassColumnPruning};
+  pruned_only.late_materialization = false;
+  Config push_cfg = SmallChunkConfig();
+  push_cfg.late_materialization = false;
   int64_t base_bytes = 0, base_pushed = 0, push_bytes = 0, pushed = 0;
   DataFrame base = query(std::move(pruned_only), &base_bytes, &base_pushed);
-  DataFrame opt = query(SmallChunkConfig(), &push_bytes, &pushed);
+  DataFrame opt = query(std::move(push_cfg), &push_bytes, &pushed);
   ExpectFramesEqual(base, opt);
   EXPECT_EQ(base_pushed, 0);
   EXPECT_GE(pushed, 1);

@@ -65,6 +65,23 @@ for n in $counters; do
   check "$n" "metrics.h counter"
 done
 
+# Process-global stats structs (BufferStats / KernelStats / LateStats):
+# these live below Metrics and are surfaced as gauges by
+# Metrics::Snapshot, so every counter they declare needs a row too. The
+# check is substring-based because several are documented under their
+# gauge name (e.g. `cow_copies` as `buffer_cow_copies`).
+for stats_h in "$root/src/common/buffer.h" \
+               "$root/src/common/kernel_stats.h" \
+               "$root/src/common/late_stats.h"; do
+  [ -f "$stats_h" ] || continue
+  stats=$(sed -n \
+    's/^ *std::atomic<int64_t> \([a-z_][a-z0-9_]*[a-z0-9]\){0};.*/\1/p' \
+    "$stats_h")
+  for n in $stats; do
+    check "$n" "$(basename "$stats_h") stats counter"
+  done
+done
+
 # DESIGN.md section anchors. Comments and docs cite sections as
 # "DESIGN.md §6" / "DESIGN.md §2a"; every cited section must still exist
 # as a `## N.` heading, so renumbering DESIGN.md forces the references
