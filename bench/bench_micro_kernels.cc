@@ -16,6 +16,7 @@
 
 #include "bench_util.h"
 #include "common/buffer.h"
+#include "common/exchange_stats.h"
 #include "common/late_stats.h"
 #include "core/xorbits.h"
 #include "io/xparquet.h"
@@ -752,6 +753,211 @@ bool WriteSelectivityJson(FILE* f, int64_t rows) {
   return ok;
 }
 
+// ---------------------------------------------------------------------------
+// Pipelined block exchange (DESIGN.md §11): OOM frontier at a fixed band
+// budget, wire-vs-memory compression on dict-encoded TPC-H lineitem keys,
+// and eager-vs-pipelined checksum identity.
+// ---------------------------------------------------------------------------
+
+/// TPC-H lineitem key columns — int64 l_orderkey plus the dict-encoded
+/// l_returnflag / l_linestatus flags — the frame the CI compression gate is
+/// defined on (the int64 key ships full-width; the codes pack to 1 byte).
+DataFrame LineitemKeyFrame(int64_t rows) {
+  const double scale = static_cast<double>(rows) / (1500000.0 * 4.0) * 1.1;
+  auto tables = io::tpch::Generate(std::max(scale, 0.001));
+  if (!tables.ok()) return DataFrame();
+  DataFrame li = tables->lineitem.SliceRows(
+      0, std::min(rows, tables->lineitem.num_rows()));
+  DataFrame out;
+  (void)out.SetColumn("l_orderkey",
+                      *li.GetColumn("l_orderkey").ValueOrDie());
+  (void)out.SetColumn("l_returnflag",
+                      li.GetColumn("l_returnflag").ValueOrDie()->DictEncode());
+  (void)out.SetColumn("l_linestatus",
+                      li.GetColumn("l_linestatus").ValueOrDie()->DictEncode());
+  return out;
+}
+
+struct ShuffleProbe {
+  bool completed = false;
+  bool oom = false;       // failed with the OOM class (the frontier signal)
+  double wall_s = 0;
+  int64_t wire = 0;       // serialized bytes pushed through the exchange
+  int64_t mem = 0;        // logical bytes of the same blocks
+  int64_t spilled = 0;    // blocks pushed to disk by flow control
+  size_t checksum = 0;
+};
+
+/// One full shuffle (global sort of the key frame) on a session whose band
+/// budget is fixed at `band_budget`. Eager mode holds every whole shuffle
+/// partition resident; pipelined mode streams blocks and may spill them.
+ShuffleProbe RunShuffleProbe(const DataFrame& keys, int64_t rows,
+                             int64_t band_budget, bool pipelined) {
+  Config c;
+  c.num_workers = 2;
+  c.bands_per_worker = 2;
+  c.cpus_per_band = 2;
+  c.band_memory_limit = band_budget;
+  c.chunk_store_limit = 128LL << 10;
+  c.shuffle_block_bytes = 32 << 10;
+  c.pipelined_shuffle = pipelined;
+  c.task_deadline_ms = 120000;
+
+  auto& stats = common::ExchangeStats::Get();
+  const int64_t w0 = stats.shuffle_wire_bytes.load();
+  const int64_t m0 = stats.shuffle_memory_bytes.load();
+  const int64_t s0 = stats.shuffle_blocks_spilled.load();
+
+  // Materialize a tight copy of the head `rows`: a zero-copy slice would
+  // keep the full generated buffers alive and be charged at their whole
+  // size, OOMing every probe regardless of `rows`.
+  DataFrame head;
+  {
+    auto enc = services::SerializeChunk(
+        *services::MakeChunk(keys.SliceRows(0, rows)));
+    if (!enc.ok()) return ShuffleProbe{};
+    auto dec = services::DeserializeChunk(*enc);
+    if (!dec.ok()) return ShuffleProbe{};
+    head = (*dec)->dataframe();
+  }
+
+  ShuffleProbe p;
+  const auto t0 = std::chrono::steady_clock::now();
+  Status st;
+  {
+    core::Session session(c);
+    auto df = FromPandas(&session, head);
+    if (df.ok()) {
+      auto sorted = df->SortValues({"l_returnflag", "l_orderkey"});
+      if (sorted.ok()) {
+        auto out = sorted->Fetch();
+        if (out.ok()) {
+          p.completed = true;
+          p.checksum = std::hash<std::string>{}(FingerprintFrame(*out));
+        } else {
+          st = out.status();
+        }
+      } else {
+        st = sorted.status();
+      }
+    } else {
+      st = df.status();
+    }
+  }
+  p.oom = !p.completed && st.IsOutOfMemory();
+  if (!p.completed && !p.oom) {
+    std::fprintf(stderr, "shuffle probe rows=%" PRId64 " %s failed: %s\n",
+                 rows, pipelined ? "pipelined" : "eager",
+                 st.ToString().c_str());
+  } else if (p.oom && std::getenv("XORBITS_SHUFFLE_DEBUG") != nullptr) {
+    std::fprintf(stderr, "shuffle probe rows=%" PRId64 " %s OOM: %s\n", rows,
+                 pipelined ? "pipelined" : "eager", st.ToString().c_str());
+  }
+  p.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+  p.wire = stats.shuffle_wire_bytes.load() - w0;
+  p.mem = stats.shuffle_memory_bytes.load() - m0;
+  p.spilled = stats.shuffle_blocks_spilled.load() - s0;
+  return p;
+}
+
+/// Writes the `shuffle` JSON section: an SF sweep at a fixed band budget in
+/// eager and pipelined mode. Gates (returned as `ok`): identical checksums
+/// wherever both modes complete, and wire <= 0.7x memory on the dict-keyed
+/// frame. The full bench additionally records how far the pipelined OOM
+/// frontier sits beyond the eager one.
+bool WriteShuffleJson(FILE* f, int64_t base_rows, int64_t band_budget,
+                      bool require_frontier_shift) {
+  const std::vector<int64_t> sf = {1, 2, 3, 4, 6, 8};
+  DataFrame keys = LineitemKeyFrame(base_rows * sf.back());
+  if (keys.num_rows() < base_rows) {
+    std::fprintf(stderr, "shuffle bench: lineitem generation failed\n");
+    return false;
+  }
+  bool identical = true;
+  bool wire_gate = true;
+  int64_t eager_frontier = 0, pipelined_frontier = 0;
+  std::fprintf(f, "  \"shuffle\": {\n");
+  std::fprintf(f,
+               "    \"note\": \"global sort of dict-encoded lineitem keys; "
+               "fixed band budget %" PRId64
+               " bytes; frontier = largest row count that completes without "
+               "OOM\",\n",
+               band_budget);
+  std::fprintf(f, "    \"sweep\": [\n");
+  for (size_t i = 0; i < sf.size(); ++i) {
+    const int64_t rows = std::min(base_rows * sf[i], keys.num_rows());
+    ShuffleProbe eager =
+        RunShuffleProbe(keys, rows, band_budget, /*pipelined=*/false);
+    ShuffleProbe piped =
+        RunShuffleProbe(keys, rows, band_budget, /*pipelined=*/true);
+    if (eager.completed) eager_frontier = sf[i];
+    if (piped.completed) pipelined_frontier = sf[i];
+    if (eager.completed && piped.completed &&
+        eager.checksum != piped.checksum) {
+      std::fprintf(stderr,
+                   "shuffle bench: eager/pipelined checksum mismatch at "
+                   "rows=%" PRId64 "!\n",
+                   rows);
+      identical = false;
+    }
+    if (piped.completed && piped.mem > 0 &&
+        piped.wire > (piped.mem * 7) / 10) {
+      std::fprintf(stderr,
+                   "shuffle bench: wire %" PRId64 " > 0.7x memory %" PRId64
+                   " at rows=%" PRId64 "!\n",
+                   piped.wire, piped.mem, rows);
+      wire_gate = false;
+    }
+    std::fprintf(
+        f,
+        "      {\"sf\": %" PRId64 ", \"rows\": %" PRId64
+        ", \"eager\": {\"completed\": %s, \"oom\": %s, \"wall_s\": %.3f}, "
+        "\"pipelined\": {\"completed\": %s, \"oom\": %s, \"wall_s\": %.3f, "
+        "\"shuffle_wire_bytes\": %" PRId64 ", \"shuffle_memory_bytes\": %" PRId64
+        ", \"wire_ratio\": %.3f, \"blocks_spilled\": %" PRId64
+        "}, \"identical\": %s}%s\n",
+        sf[i], rows, eager.completed ? "true" : "false",
+        eager.oom ? "true" : "false", eager.wall_s,
+        piped.completed ? "true" : "false", piped.oom ? "true" : "false",
+        piped.wall_s, piped.wire, piped.mem,
+        piped.mem > 0 ? static_cast<double>(piped.wire) /
+                            static_cast<double>(piped.mem)
+                      : 0.0,
+        piped.spilled,
+        (!eager.completed || !piped.completed ||
+         eager.checksum == piped.checksum)
+            ? "true"
+            : "false",
+        i + 1 < sf.size() ? "," : "");
+    std::printf("shuffle sf=%" PRId64 " eager=%s pipelined=%s spilled=%" PRId64
+                "\n",
+                sf[i], eager.completed ? "ok" : (eager.oom ? "OOM" : "fail"),
+                piped.completed ? "ok" : (piped.oom ? "OOM" : "fail"),
+                piped.spilled);
+  }
+  const bool frontier_moved = pipelined_frontier > eager_frontier;
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f,
+               "    \"eager_oom_frontier_sf\": %" PRId64
+               ", \"pipelined_oom_frontier_sf\": %" PRId64
+               ", \"frontier_moved\": %s, \"identical_outputs\": %s, "
+               "\"wire_gate_0p7\": %s\n  },\n",
+               eager_frontier, pipelined_frontier,
+               frontier_moved ? "true" : "false",
+               identical ? "true" : "false", wire_gate ? "true" : "false");
+  bool ok = identical && wire_gate;
+  if (require_frontier_shift && !frontier_moved) {
+    std::fprintf(stderr,
+                 "shuffle bench: pipelined OOM frontier (%" PRId64
+                 ") did not move past eager (%" PRId64 ")\n",
+                 pipelined_frontier, eager_frontier);
+    ok = false;
+  }
+  return ok;
+}
+
 /// Returns true when every kernel produced byte-identical checksums at all
 /// thread counts and (for the string-keyed kernels) across encodings.
 bool WriteKernelSweepJson(const char* path, int64_t kRows) {
@@ -906,6 +1112,12 @@ bool WriteKernelSweepJson(const char* path, int64_t kRows) {
   std::fprintf(f, "\n  ],\n");
   WriteSharingJson(f);
   all_identical = WriteSelectivityJson(f, kRows) && all_identical;
+  // Shuffle frontier sweep: base 8k rows per SF step, 1 MiB band budget —
+  // sized so the eager plan falls over one SF step before the pipelined one.
+  all_identical = WriteShuffleJson(f, std::min<int64_t>(kRows / 2, 8000),
+                                   1LL << 20,
+                                   /*require_frontier_shift=*/true) &&
+                  all_identical;
   WriteOptimizerJson(f);
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -921,17 +1133,36 @@ int main(int argc, char** argv) {
   xorbits::bench::InitTrace(argc, argv);
   bool smoke = false;
   bool smoke_selectivity = false;
+  bool smoke_shuffle = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke") {
       smoke = true;
     } else if (std::string(argv[i]) == "--smoke-selectivity") {
       smoke_selectivity = true;
+    } else if (std::string(argv[i]) == "--smoke-shuffle") {
+      smoke_shuffle = true;
     } else if (std::string(argv[i]).rfind("--trace-out=", 0) != 0) {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
+  if (smoke_shuffle) {
+    // CI gate for the pipelined exchange alone: a short SF sweep that
+    // fails when eager and pipelined checksums ever differ or when the
+    // serialized wire bytes exceed 0.7x the logical bytes on the
+    // dict-encoded lineitem key frame. The OOM-frontier shift is recorded
+    // but only enforced by the full (non-smoke) run.
+    FILE* f = std::fopen("/tmp/bench_smoke_shuffle.json", "w");
+    if (f == nullptr) return 1;
+    std::fprintf(f, "{\n");
+    const bool ok = WriteShuffleJson(f, 8000, 1LL << 20,
+                                     /*require_frontier_shift=*/false);
+    std::fprintf(f, "  \"bench\": \"shuffle_smoke\"\n}\n");
+    std::fclose(f);
+    std::printf("shuffle smoke: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
   if (smoke_selectivity) {
     // CI gate for late materialization alone: run just the selectivity
     // sweep at small row counts and fail when any eager/late output pair

@@ -168,6 +168,34 @@ class BufferView {
     return buf_->vec;
   }
 
+  /// Pre-sizes the backing vector's capacity for at least `n` total
+  /// elements (unshares first, like MutableVec). A no-op when the current
+  /// capacity already suffices.
+  void Reserve(int64_t n) {
+    std::vector<T>& v = MutableVec();
+    if (static_cast<int64_t>(v.capacity()) < n) v.reserve(n);
+  }
+
+  /// Appends `n` elements with geometric capacity doubling, so building a
+  /// view out of many small appends (exchange block assembly, packed-code
+  /// decode) costs O(1) amortized per element regardless of the standard
+  /// library's growth policy. Unshares once per call, not once per element
+  /// — a shared view pays a single CoW copy, then grows in place.
+  void Append(const T* values, int64_t n) {
+    if (n <= 0) return;
+    std::vector<T>& v = MutableVec();
+    const size_t need = v.size() + static_cast<size_t>(n);
+    if (need > v.capacity()) {
+      size_t cap = v.capacity() == 0 ? 16 : v.capacity() * 2;
+      while (cap < need) cap *= 2;
+      v.reserve(cap);
+    }
+    v.insert(v.end(), values, values + n);
+  }
+
+  /// Single-element convenience over Append.
+  void AppendValue(const T& value) { Append(&value, 1); }
+
   // --- introspection for accounting and tests ---
   bool has_buffer() const { return buf_ != nullptr; }
   uint64_t buffer_id() const { return buf_ ? buf_->id : 0; }

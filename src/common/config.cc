@@ -56,6 +56,16 @@ Status Config::Validate() const {
                            "unlimited), got " +
                            std::to_string(session_max_inflight));
   }
+  if (shuffle_block_bytes <= 0) {
+    return Status::Invalid("shuffle_block_bytes must be positive, got " +
+                           std::to_string(shuffle_block_bytes));
+  }
+  if (exchange_backpressure_watermark <= 0.0 ||
+      exchange_backpressure_watermark > 1.0) {
+    return Status::Invalid(
+        "exchange_backpressure_watermark must be in (0, 1], got " +
+        std::to_string(exchange_backpressure_watermark));
+  }
   // A zero/negative budget with the cache on would evict every publish
   // immediately — an un-usable cache is a config bug, not a policy.
   if (enable_result_cache && result_cache_budget_bytes <= 0) {

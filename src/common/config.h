@@ -84,6 +84,24 @@ struct Config {
   bool enable_spill = false;
   std::string spill_dir = "/tmp/xorbits_spill";
 
+  // --- pipelined shuffle (see DESIGN.md §11) ---
+  /// Stream shuffle-map output through the block exchange: partitions are
+  /// emitted as fixed-size blocks and reduce-side subtasks become runnable
+  /// as soon as every input block for their partition exists — not when
+  /// every mapper has finished. Off falls back to the eager whole-partition
+  /// shuffle store; results are byte-identical either way.
+  bool pipelined_shuffle = true;
+  /// Target payload bytes per shuffle block. Mappers cut their per-partition
+  /// output into blocks of at most this many logical bytes (the last block
+  /// of a partition may be smaller; a partition always emits at least one
+  /// block so empty partitions keep their schema).
+  int64_t shuffle_block_bytes = 2LL << 20;
+  /// Flow control: when a producing band's in-memory usage exceeds this
+  /// fraction of band_memory_limit at block-push time, the exchange spills
+  /// its own cold blocks on that band before accepting the new block
+  /// (metered as exchange_backpressure_us). Valid range (0, 1].
+  double exchange_backpressure_watermark = 0.8;
+
   // --- physical encoding ---
   /// Dictionary-encode string columns at xparquet read time (int32 codes
   /// over a shared deduplicated dictionary). Keyed kernels (groupby, join,

@@ -1,0 +1,10 @@
+#include "common/exchange_stats.h"
+
+namespace xorbits::common {
+
+ExchangeStats& ExchangeStats::Get() {
+  static ExchangeStats stats;
+  return stats;
+}
+
+}  // namespace xorbits::common

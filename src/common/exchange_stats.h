@@ -1,0 +1,54 @@
+#ifndef XORBITS_COMMON_EXCHANGE_STATS_H_
+#define XORBITS_COMMON_EXCHANGE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace xorbits::common {
+
+/// Process-global counters for the pipelined block exchange (DESIGN.md
+/// §11). Like BufferStats/KernelStats/LateStats they sit below
+/// Metrics/Session — blocks are produced inside operator kernels and
+/// consumed by the executor across sessions — so they are global and
+/// `Metrics::Snapshot` surfaces them as gauges. All updates are relaxed
+/// atomics; the totals are monotone and cross-thread ordering is
+/// irrelevant.
+struct ExchangeStats {
+  /// Serialized (v4 packed-code) bytes of every shuffle block pushed into
+  /// the exchange — what crossing the wire would cost. Compare against
+  /// shuffle_memory_bytes for the compression ratio the CI smoke gate
+  /// enforces (wire <= 0.7x memory on dict-encoded TPC-H lineitem keys).
+  std::atomic<int64_t> shuffle_wire_bytes{0};
+  /// Logical in-memory bytes (ChunkData::nbytes) of the same blocks —
+  /// what the eager whole-partition path would have held resident.
+  std::atomic<int64_t> shuffle_memory_bytes{0};
+  /// Blocks emitted by shuffle-map operators through the exchange.
+  std::atomic<int64_t> shuffle_blocks_produced{0};
+  /// Blocks fetched and concatenated by reduce-side subtasks.
+  std::atomic<int64_t> shuffle_blocks_consumed{0};
+  /// Cold blocks pushed to disk by exchange backpressure (a subset of the
+  /// storage layer's spill_events: only spills the exchange initiated).
+  std::atomic<int64_t> shuffle_blocks_spilled{0};
+  /// Blocks rebuilt by lineage recovery after chaos-injected block loss
+  /// (re-running the producing mapper).
+  std::atomic<int64_t> shuffle_blocks_recovered{0};
+  /// Wall-clock microseconds producers spent in the flow-control path
+  /// (spilling their own cold blocks because the receiving band was near
+  /// its storage budget).
+  std::atomic<int64_t> exchange_backpressure_us{0};
+
+  static ExchangeStats& Get();
+  void Reset() {
+    shuffle_wire_bytes.store(0, std::memory_order_relaxed);
+    shuffle_memory_bytes.store(0, std::memory_order_relaxed);
+    shuffle_blocks_produced.store(0, std::memory_order_relaxed);
+    shuffle_blocks_consumed.store(0, std::memory_order_relaxed);
+    shuffle_blocks_spilled.store(0, std::memory_order_relaxed);
+    shuffle_blocks_recovered.store(0, std::memory_order_relaxed);
+    exchange_backpressure_us.store(0, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace xorbits::common
+
+#endif  // XORBITS_COMMON_EXCHANGE_STATS_H_

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/buffer.h"
+#include "common/exchange_stats.h"
 #include "common/kernel_stats.h"
 #include "common/late_stats.h"
 #include "common/trace_names.h"
@@ -255,6 +256,31 @@ MetricsSnapshot Metrics::Snapshot() const {
   s.gauges.emplace_back(
       trace::kGaugeDeferredTransforms,
       ls.deferred_transforms.load(std::memory_order_relaxed));
+  // Pipelined-exchange counters (DESIGN.md §11), also process-global:
+  // blocks are produced in operator kernels and consumed by the executor,
+  // neither of which holds a per-run Metrics instance at push time.
+  const auto& xs = common::ExchangeStats::Get();
+  s.gauges.emplace_back(
+      trace::kGaugeShuffleWireBytes,
+      xs.shuffle_wire_bytes.load(std::memory_order_relaxed));
+  s.gauges.emplace_back(
+      trace::kGaugeShuffleMemoryBytes,
+      xs.shuffle_memory_bytes.load(std::memory_order_relaxed));
+  s.gauges.emplace_back(
+      trace::kGaugeShuffleBlocksProduced,
+      xs.shuffle_blocks_produced.load(std::memory_order_relaxed));
+  s.gauges.emplace_back(
+      trace::kGaugeShuffleBlocksConsumed,
+      xs.shuffle_blocks_consumed.load(std::memory_order_relaxed));
+  s.gauges.emplace_back(
+      trace::kGaugeShuffleBlocksSpilled,
+      xs.shuffle_blocks_spilled.load(std::memory_order_relaxed));
+  s.gauges.emplace_back(
+      trace::kGaugeShuffleBlocksRecovered,
+      xs.shuffle_blocks_recovered.load(std::memory_order_relaxed));
+  s.gauges.emplace_back(
+      trace::kGaugeExchangeBackpressureUs,
+      xs.exchange_backpressure_us.load(std::memory_order_relaxed));
   std::sort(s.gauges.begin(), s.gauges.end());
   s.histograms = registry.SnapshotHistogramsLocked();
   return s;

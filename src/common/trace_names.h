@@ -37,6 +37,10 @@ XORBITS_SPAN_NAME(kSpanRecoverPrefix, "recover:")
 XORBITS_SPAN_NAME(kSpanSubtaskPrefix, "subtask:")
 XORBITS_SPAN_NAME(kSpanSpillBackpressure, "storage:spill_backpressure")
 XORBITS_SPAN_NAME(kSpanSessionSubmit, "session:submit")
+// Pipelined block exchange (DESIGN.md §11): producer-side block push
+// (includes any backpressure spill time) and reduce-side partition fetch.
+XORBITS_SPAN_NAME(kSpanExchangePush, "exchange:push")
+XORBITS_SPAN_NAME(kSpanExchangeFetch, "exchange:fetch")
 
 // --- instant events (Chrome "i" events) ---
 XORBITS_EVENT_NAME(kEventAddTileable, "graph:add_tileable")
@@ -57,6 +61,10 @@ XORBITS_EVENT_NAME(kEventSessionShed, "session:shed")
 XORBITS_EVENT_NAME(kEventQuotaExceeded, "storage:quota_exceeded")
 XORBITS_EVENT_NAME(kEventCacheEvict, "cache:evict")
 XORBITS_EVENT_NAME(kEventCacheInvalidate, "cache:invalidate")
+// Pipelined block exchange (DESIGN.md §11): a partition's block stream
+// sealed (reducer may start) and a producer throttled by flow control.
+XORBITS_EVENT_NAME(kEventExchangeSeal, "exchange:seal")
+XORBITS_EVENT_NAME(kEventExchangeBackpressure, "exchange:backpressure")
 
 // --- registry metrics (gauges + histograms; see MetricsRegistry) ---
 XORBITS_METRIC_NAME(kHistSubtaskLatencyUs, "subtask_latency_us")
@@ -99,6 +107,16 @@ XORBITS_METRIC_NAME(kGaugeBytesMaterialized, "bytes_materialized")
 XORBITS_METRIC_NAME(kGaugeSelectionsForced, "selections_forced")
 XORBITS_METRIC_NAME(kGaugeLazyColumnsDecoded, "lazy_columns_decoded")
 XORBITS_METRIC_NAME(kGaugeDeferredTransforms, "deferred_transforms")
+// Pipelined block exchange (DESIGN.md §11): compressed wire vs logical
+// in-memory shuffle bytes, block lifecycle counts, and producer time lost
+// to flow control. Process-global like BufferStats (ExchangeStats).
+XORBITS_METRIC_NAME(kGaugeShuffleWireBytes, "shuffle_wire_bytes")
+XORBITS_METRIC_NAME(kGaugeShuffleMemoryBytes, "shuffle_memory_bytes")
+XORBITS_METRIC_NAME(kGaugeShuffleBlocksProduced, "shuffle_blocks_produced")
+XORBITS_METRIC_NAME(kGaugeShuffleBlocksConsumed, "shuffle_blocks_consumed")
+XORBITS_METRIC_NAME(kGaugeShuffleBlocksSpilled, "shuffle_blocks_spilled")
+XORBITS_METRIC_NAME(kGaugeShuffleBlocksRecovered, "shuffle_blocks_recovered")
+XORBITS_METRIC_NAME(kGaugeExchangeBackpressureUs, "exchange_backpressure_us")
 
 }  // namespace xorbits::trace
 

@@ -1,5 +1,6 @@
 #include "io/serialize.h"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -29,12 +30,18 @@ using tensor::NDArray;
 // payloads, so a dictionary shared across columns is written once and the
 // sharing — including the StringDict object — survives the round trip).
 // v2 frames (no encoding byte) remain readable.
+// v4 packs dictionary-code payloads to the narrowest of 1/2/4 bytes that
+// covers the code range and RLE-compresses runs when that is smaller —
+// the lightweight wire compression the pipelined exchange meters as
+// `shuffle_wire_bytes` (DESIGN.md §11). v2/v3 frames remain readable.
 constexpr uint32_t kDfMagicV2 = 0x58444602;
-constexpr uint32_t kDfMagic = 0x58444603;
+constexpr uint32_t kDfMagicV3 = 0x58444603;
+constexpr uint32_t kDfMagic = 0x58444604;
 constexpr uint32_t kArrMagic = 0x58415201;  // "XAR" v1
 
 constexpr uint8_t kPayloadInline = 0;
 constexpr uint8_t kPayloadBackref = 1;
+constexpr uint8_t kPayloadPackedCodes = 2;  // v4, int32 dict codes only
 
 constexpr uint8_t kEncodingPlain = 0;
 constexpr uint8_t kEncodingDict = 1;
@@ -201,6 +208,145 @@ Result<BufferView<T>> ReadPayload(std::istream& is, ReadRegistry* reg) {
   return v;
 }
 
+/// v4 dictionary-code payload: codes pack to the narrowest of 1/2/4 bytes
+/// covering their range, plus RLE when `runs * (width + 4)` beats raw
+/// packing. Shares the back-reference registry with WritePayload, so a
+/// code buffer reused across columns is still written once. Negative codes
+/// (no current producer emits them) fall back to raw 4-byte packing so the
+/// format stays total.
+Status WritePackedCodes(std::ostream& os, const BufferView<int32_t>& v,
+                        WriteRegistry* reg) {
+  if (v.has_buffer() && !v.empty()) {
+    WriteRegistry::Key key{v.buffer_id(), v.offset(), v.ssize()};
+    const int64_t idx = reg->Find(key);
+    if (idx >= 0) {
+      WritePod<uint8_t>(os, kPayloadBackref);
+      WritePod<uint32_t>(os, static_cast<uint32_t>(idx));
+      return os ? Status::OK() : Status::IOError("write failed");
+    }
+    reg->seen.push_back(key);
+  }
+  WritePod<uint8_t>(os, kPayloadPackedCodes);
+  const int64_t n = v.ssize();
+  WritePod<uint64_t>(os, static_cast<uint64_t>(n));
+  int32_t max_code = 0;
+  bool negative = false;
+  int64_t run_count = n > 0 ? 1 : 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (v[i] < 0) negative = true;
+    if (v[i] > max_code) max_code = v[i];
+    if (i > 0 && v[i] != v[i - 1]) ++run_count;
+  }
+  uint8_t width = 4;
+  if (!negative) {
+    if (max_code <= 0xff) {
+      width = 1;
+    } else if (max_code <= 0xffff) {
+      width = 2;
+    }
+  }
+  const bool rle =
+      n > 0 && run_count * (width + 4) < n * static_cast<int64_t>(width);
+  WritePod<uint8_t>(os, width);
+  WritePod<uint8_t>(os, rle ? 1 : 0);
+  auto write_code = [&](int32_t c) {
+    if (width == 1) {
+      WritePod<uint8_t>(os, static_cast<uint8_t>(c));
+    } else if (width == 2) {
+      WritePod<uint16_t>(os, static_cast<uint16_t>(c));
+    } else {
+      WritePod<int32_t>(os, c);
+    }
+  };
+  if (rle) {
+    WritePod<uint64_t>(os, static_cast<uint64_t>(run_count));
+    int64_t i = 0;
+    while (i < n) {
+      int64_t j = i;
+      while (j < n && v[j] == v[i]) ++j;
+      write_code(v[i]);
+      WritePod<uint32_t>(os, static_cast<uint32_t>(j - i));
+      i = j;
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) write_code(v[i]);
+  }
+  return os ? Status::OK() : Status::IOError("write failed");
+}
+
+Result<BufferView<int32_t>> ReadPackedCodes(std::istream& is,
+                                            ReadRegistry* reg) {
+  uint8_t tag = 0;
+  XORBITS_RETURN_NOT_OK(ReadPod(is, &tag));
+  if (tag == kPayloadBackref) {
+    uint32_t idx = 0;
+    XORBITS_RETURN_NOT_OK(ReadPod(is, &idx));
+    if (idx >= reg->payloads.size()) {
+      return Status::IOError("payload back-reference out of range");
+    }
+    const auto* v = std::get_if<BufferView<int32_t>>(&reg->payloads[idx]);
+    if (v == nullptr) {
+      return Status::IOError("payload back-reference type mismatch");
+    }
+    return *v;
+  }
+  if (tag == kPayloadInline) {  // not emitted by the v4 writer; accepted
+    XORBITS_ASSIGN_OR_RETURN(auto v, ReadInlinePayload<int32_t>(is));
+    if (!v.empty()) reg->payloads.push_back(v);
+    return v;
+  }
+  if (tag != kPayloadPackedCodes) return Status::IOError("bad payload tag");
+  uint64_t n = 0;
+  uint8_t width = 0, rle = 0;
+  XORBITS_RETURN_NOT_OK(ReadPod(is, &n));
+  XORBITS_RETURN_NOT_OK(ReadPod(is, &width));
+  XORBITS_RETURN_NOT_OK(ReadPod(is, &rle));
+  if (width != 1 && width != 2 && width != 4) {
+    return Status::IOError("bad packed-code width");
+  }
+  auto read_code = [&](int32_t* c) -> Status {
+    if (width == 1) {
+      uint8_t b = 0;
+      XORBITS_RETURN_NOT_OK(ReadPod(is, &b));
+      *c = b;
+    } else if (width == 2) {
+      uint16_t b = 0;
+      XORBITS_RETURN_NOT_OK(ReadPod(is, &b));
+      *c = b;
+    } else {
+      XORBITS_RETURN_NOT_OK(ReadPod(is, c));
+    }
+    return Status::OK();
+  };
+  // Rebuilt through the amortized-growth append path: one reservation,
+  // geometric growth if a corrupt stream under-declares `n`.
+  BufferView<int32_t> out;
+  out.Reserve(static_cast<int64_t>(n));
+  if (rle) {
+    uint64_t runs = 0;
+    XORBITS_RETURN_NOT_OK(ReadPod(is, &runs));
+    uint64_t total = 0;
+    for (uint64_t r = 0; r < runs; ++r) {
+      int32_t c = 0;
+      uint32_t len = 0;
+      XORBITS_RETURN_NOT_OK(read_code(&c));
+      XORBITS_RETURN_NOT_OK(ReadPod(is, &len));
+      total += len;
+      if (total > n) return Status::IOError("packed-code run overflow");
+      for (uint32_t k = 0; k < len; ++k) out.AppendValue(c);
+    }
+    if (total != n) return Status::IOError("packed-code run underflow");
+  } else {
+    for (uint64_t i = 0; i < n; ++i) {
+      int32_t c = 0;
+      XORBITS_RETURN_NOT_OK(read_code(&c));
+      out.AppendValue(c);
+    }
+  }
+  if (!out.empty()) reg->payloads.push_back(out);
+  return out;
+}
+
 Status WriteColumn(std::ostream& os, const Column& c, WriteRegistry* reg) {
   WritePod<uint8_t>(os, static_cast<uint8_t>(c.dtype()));
   WritePod<uint8_t>(os, c.has_validity() ? 1 : 0);
@@ -220,7 +366,7 @@ Status WriteColumn(std::ostream& os, const Column& c, WriteRegistry* reg) {
     case DType::kString:
       if (c.is_dict()) {
         WritePod<uint8_t>(os, kEncodingDict);
-        XORBITS_RETURN_NOT_OK(WritePayload(os, c.dict_codes(), reg));
+        XORBITS_RETURN_NOT_OK(WritePackedCodes(os, c.dict_codes(), reg));
         XORBITS_RETURN_NOT_OK(WritePayload(os, c.dict()->values(), reg));
       } else {
         WritePod<uint8_t>(os, kEncodingPlain);
@@ -233,7 +379,7 @@ Status WriteColumn(std::ostream& os, const Column& c, WriteRegistry* reg) {
 }
 
 Result<Column> ReadColumn(std::istream& is, ReadRegistry* reg,
-                          bool has_encoding_byte) {
+                          uint32_t version) {
   uint8_t dtype_raw = 0, has_validity = 0;
   XORBITS_RETURN_NOT_OK(ReadPod(is, &dtype_raw));
   XORBITS_RETURN_NOT_OK(ReadPod(is, &has_validity));
@@ -260,9 +406,14 @@ Result<Column> ReadColumn(std::istream& is, ReadRegistry* reg,
     }
     case DType::kString: {
       uint8_t encoding = kEncodingPlain;
-      if (has_encoding_byte) XORBITS_RETURN_NOT_OK(ReadPod(is, &encoding));
+      if (version >= 3) XORBITS_RETURN_NOT_OK(ReadPod(is, &encoding));
       if (encoding == kEncodingDict) {
-        XORBITS_ASSIGN_OR_RETURN(auto codes, ReadPayload<int32_t>(is, reg));
+        BufferView<int32_t> codes;
+        if (version >= 4) {
+          XORBITS_ASSIGN_OR_RETURN(codes, ReadPackedCodes(is, reg));
+        } else {
+          XORBITS_ASSIGN_OR_RETURN(codes, ReadPayload<int32_t>(is, reg));
+        }
         XORBITS_ASSIGN_OR_RETURN(auto values,
                                  ReadPayload<std::string>(is, reg));
         return Column::Dictionary(std::move(codes), reg->DictFor(values),
@@ -296,17 +447,43 @@ Status WriteDataFrame(std::ostream& os, const DataFrame& df) {
     WriteString(os, df.column_name(i));
     XORBITS_RETURN_NOT_OK(WriteColumn(os, df.column(i), &reg));
   }
-  // Index: 0 = range(start), 1 = labels.
+  // Index: 0 = range(start), 1 = raw int64 labels, 2 = width-packed labels
+  // (v4). Shuffle partitions carry row-position labels whose span is far
+  // narrower than int64, so pack them as offsets from their minimum in the
+  // narrowest of 1/2/4 bytes — this is most of the `shuffle_wire_bytes`
+  // saving on frames whose columns are already dictionary-packed.
   const Index& idx = df.index();
   if (idx.is_range()) {
     WritePod<uint8_t>(os, 0);
     WritePod<int64_t>(os, idx.range_start());
     WritePod<int64_t>(os, idx.range_start() + idx.length());
   } else {
-    WritePod<uint8_t>(os, 1);
     std::vector<int64_t> labels(idx.length());
     for (int64_t i = 0; i < idx.length(); ++i) labels[i] = idx.Label(i);
-    WriteVec(os, labels);
+    int64_t lo = 0;
+    uint64_t span = 0;
+    if (!labels.empty()) {
+      auto [mn, mx] = std::minmax_element(labels.begin(), labels.end());
+      lo = *mn;
+      span = static_cast<uint64_t>(*mx) - static_cast<uint64_t>(lo);
+    }
+    const uint8_t width = span < (1ull << 8)    ? 1
+                          : span < (1ull << 16) ? 2
+                          : span < (1ull << 32) ? 4
+                                                : 8;
+    if (labels.empty() || width == 8) {
+      WritePod<uint8_t>(os, 1);
+      WriteVec(os, labels);
+    } else {
+      WritePod<uint8_t>(os, 2);
+      WritePod<int64_t>(os, lo);
+      WritePod<uint64_t>(os, labels.size());
+      WritePod<uint8_t>(os, width);
+      for (int64_t v : labels) {
+        const uint64_t d = static_cast<uint64_t>(v) - static_cast<uint64_t>(lo);
+        os.write(reinterpret_cast<const char*>(&d), width);
+      }
+    }
   }
   if (!os) return Status::IOError("write failed");
   return Status::OK();
@@ -315,10 +492,10 @@ Status WriteDataFrame(std::ostream& os, const DataFrame& df) {
 Result<DataFrame> ReadDataFrame(std::istream& is) {
   uint32_t magic = 0;
   XORBITS_RETURN_NOT_OK(ReadPod(is, &magic));
-  if (magic != kDfMagic && magic != kDfMagicV2) {
+  if (magic != kDfMagic && magic != kDfMagicV3 && magic != kDfMagicV2) {
     return Status::IOError("bad dataframe magic");
   }
-  const bool has_encoding_byte = magic == kDfMagic;
+  const uint32_t version = magic & 0xff;
   uint32_t ncols = 0;
   XORBITS_RETURN_NOT_OK(ReadPod(is, &ncols));
   ReadRegistry reg;
@@ -326,8 +503,7 @@ Result<DataFrame> ReadDataFrame(std::istream& is) {
   std::vector<Column> cols;
   for (uint32_t i = 0; i < ncols; ++i) {
     XORBITS_ASSIGN_OR_RETURN(std::string name, ReadString(is));
-    XORBITS_ASSIGN_OR_RETURN(Column c,
-                             ReadColumn(is, &reg, has_encoding_byte));
+    XORBITS_ASSIGN_OR_RETURN(Column c, ReadColumn(is, &reg, version));
     names.push_back(std::move(name));
     cols.push_back(std::move(c));
   }
@@ -340,9 +516,29 @@ Result<DataFrame> ReadDataFrame(std::istream& is) {
     XORBITS_RETURN_NOT_OK(ReadPod(is, &start));
     XORBITS_RETURN_NOT_OK(ReadPod(is, &stop));
     df.set_index(Index::Range(start, stop));
-  } else {
+  } else if (index_kind == 1) {
     XORBITS_ASSIGN_OR_RETURN(auto labels, ReadVec<int64_t>(is));
     df.set_index(Index::Labels(std::move(labels)));
+  } else if (index_kind == 2 && version >= 4) {
+    int64_t lo = 0;
+    uint64_t n = 0;
+    uint8_t width = 0;
+    XORBITS_RETURN_NOT_OK(ReadPod(is, &lo));
+    XORBITS_RETURN_NOT_OK(ReadPod(is, &n));
+    XORBITS_RETURN_NOT_OK(ReadPod(is, &width));
+    if (width != 1 && width != 2 && width != 4) {
+      return Status::IOError("bad packed-index width");
+    }
+    std::vector<int64_t> labels(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t d = 0;
+      is.read(reinterpret_cast<char*>(&d), width);
+      if (!is) return Status::IOError("truncated packed index");
+      labels[i] = lo + static_cast<int64_t>(d);
+    }
+    df.set_index(Index::Labels(std::move(labels)));
+  } else {
+    return Status::IOError("bad index kind");
   }
   return df;
 }

@@ -206,8 +206,8 @@ Status RangePartitionChunkOp::Execute(ExecutionContext& ctx) const {
     part_rows[p].push_back(i);
   }
   for (int p = 0; p < partitions_; ++p) {
-    ctx.shuffle_outputs[p] =
-        services::MakeChunk(in->TakeRows(part_rows[p]));
+    XORBITS_RETURN_NOT_OK(ctx.EmitShufflePartition(
+        p, services::MakeChunk(in->TakeRows(part_rows[p]))));
   }
   return Status::OK();
 }

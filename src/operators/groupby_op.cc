@@ -79,7 +79,8 @@ Status HashPartitionChunkOp::Execute(ExecutionContext& ctx) const {
     part_rows[hasher.Hash(i) % partitions_].push_back(i);
   }
   for (int p = 0; p < partitions_; ++p) {
-    ctx.shuffle_outputs[p] = services::MakeChunk(in->TakeRows(part_rows[p]));
+    XORBITS_RETURN_NOT_OK(ctx.EmitShufflePartition(
+        p, services::MakeChunk(in->TakeRows(part_rows[p]))));
   }
   return Status::OK();
 }

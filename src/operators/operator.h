@@ -24,14 +24,38 @@ using services::ChunkDataPtr;
 /// payloads, slots for its outputs, and (for shuffle mappers) a partition
 /// output map. Mirrors the `ctx` dict of the paper's execute method.
 struct ExecutionContext {
+  /// Streaming destination for shuffle partitions (DESIGN.md §11). When the
+  /// executor runs a shuffle mapper under the pipelined exchange it plants
+  /// one of these, and each partition leaves the mapper the moment it is
+  /// cut — blocked, compressed, and sealed mid-subtask — instead of
+  /// accumulating in shuffle_outputs until the subtask ends.
+  class ShuffleSink {
+   public:
+    virtual ~ShuffleSink() = default;
+    virtual Status Emit(int partition, ChunkDataPtr data) = 0;
+  };
+
   const graph::ChunkNode* node = nullptr;
   std::vector<ChunkDataPtr> inputs;
   std::vector<ChunkDataPtr> outputs;
   /// partition id -> payload, published as "<key>@<partition>".
   std::map<int, ChunkDataPtr> shuffle_outputs;
+  /// Non-null only for shuffle mappers under the pipelined exchange.
+  ShuffleSink* shuffle_sink = nullptr;
   int band = 0;
   /// Run counters (source_bytes_read, ...); null in bare kernel tests.
   Metrics* metrics = nullptr;
+
+  /// How mapper kernels hand off a finished partition: streams through the
+  /// sink when one is planted, otherwise buffers in shuffle_outputs (the
+  /// eager path — byte-identical results either way).
+  Status EmitShufflePartition(int partition, ChunkDataPtr data) {
+    if (shuffle_sink != nullptr) {
+      return shuffle_sink->Emit(partition, std::move(data));
+    }
+    shuffle_outputs[partition] = std::move(data);
+    return Status::OK();
+  }
 };
 
 /// Chunk-level operator: the `execute` side of the paper's operator triple.

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/exchange_stats.h"
 #include "common/logging.h"
 #include "common/trace_names.h"
 #include "common/tracing.h"
@@ -50,6 +51,27 @@ struct Executor::RunState {
   int64_t vwork = 0;
   /// Subtasks of this run currently executing across all bands (mu_).
   int inflight = 0;
+
+  // --- pipelined exchange dispatch (DESIGN.md §11; all guarded by mu_) ---
+  /// True when this run routes shuffles through the block exchange.
+  bool pipelined = false;
+  /// Per subtask: input partitions not yet sealed. A reducer becomes
+  /// runnable when this hits zero and `nonex_left` is zero — possibly while
+  /// its mapper subtasks are still executing.
+  std::vector<int> ex_wait;
+  /// Per subtask: predecessors that feed it through ordinary stored chunks
+  /// (not the exchange) and have not completed yet.
+  std::vector<int> nonex_left;
+  /// Per subtask: whether it has been enqueued once. Guards against the
+  /// double dispatch of a seal-triggered early enqueue followed by the
+  /// normal indegree-zero enqueue when its mappers complete.
+  std::vector<char> enqueued;
+  /// Per subtask: the predecessors classified exchange-only (their whole
+  /// contribution arrives as sealed partitions); their completion does not
+  /// decrement nonex_left.
+  std::vector<std::unordered_set<int>> ex_preds;
+  /// Partition key -> subtasks waiting on its seal.
+  std::unordered_map<std::string, std::vector<int>> seal_waiters;
 };
 
 namespace {
@@ -67,6 +89,12 @@ Executor::Executor(const Config& config, Metrics* metrics,
       meta_(meta),
       injector_(config),
       blacklisted_(config.total_bands(), 0) {
+  exchange_ = std::make_unique<services::ExchangeService>(config, metrics,
+                                                          storage, meta);
+  exchange_->set_seal_listener(
+      [this](const std::string& partition_key) {
+        OnPartitionSealed(partition_key);
+      });
   kernel_pools_.resize(config_.num_workers);
   if (config_.cpus_per_band > 1) {
     const int pool_threads =
@@ -197,6 +225,28 @@ Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
           ctx.inputs.push_back(it->second);
           continue;
         }
+        // Pipelined shuffle input (DESIGN.md §11): a sealed partition is
+        // reassembled from its exchange blocks, and transfer is metered on
+        // the blocks' *wire* (compressed) bytes — the pipelined path's
+        // UC10 advantage over moving logical bytes.
+        if (exchange_->enabled() && !storage_->Has(k) &&
+            exchange_->IsSealed(k)) {
+          int64_t wire = 0;
+          std::string lost;
+          auto part = exchange_->FetchPartition(k, band, &wire, &lost);
+          if (!part.ok()) {
+            release_all();
+            if (part.status().IsChunkLost() && lost_key != nullptr) {
+              *lost_key = lost.empty() ? k : lost;
+            }
+            return part.status().WithContext(
+                std::string("fetching input for ") + op->type_name());
+          }
+          transfer_us += wire / kNetworkBytesPerUs;
+          fetched_keys.push_back(k);
+          ctx.inputs.push_back(std::move(*part));
+          continue;
+        }
         bool transferred = false;
         auto fetched = storage_->Get(k, band, &transferred);
         if (!fetched.ok()) {
@@ -213,12 +263,61 @@ Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
         fetched_keys.push_back(k);
         ctx.inputs.push_back(*fetched);
       }
+      // Pipelined shuffle output: plant the streaming sink before the
+      // kernel runs, so each partition leaves as sealed blocks the moment
+      // the mapper cuts it. Provisional lineage goes in first — a block
+      // lost while the mapper is still executing must already resolve to
+      // this group for recovery (output_keys stays empty; rollback and
+      // recovery sweep mapper blocks by "<key>@" prefix anyway).
+      struct ExchangeSink final : ExecutionContext::ShuffleSink {
+        services::ExchangeService* exchange = nullptr;
+        std::string base;
+        int band = 0;
+        std::vector<std::string>* published = nullptr;
+        int64_t memory_bytes = 0;
+        int64_t wire_bytes = 0;
+        int64_t rows = 0;
+        Status Emit(int partition, ChunkDataPtr data) override {
+          rows += data->rows();
+          return exchange->PushPartition(
+              base + "@" + std::to_string(partition), std::move(data), band,
+              published, &memory_bytes, &wire_bytes);
+        }
+      };
+      ExchangeSink sink;
+      if (op->is_shuffle_map() && exchange_->enabled()) {
+        sink.exchange = exchange_.get();
+        sink.base = node->key;
+        sink.band = band;
+        sink.published = &published_keys;
+        ctx.shuffle_sink = &sink;
+        services::ChunkLineage provisional;
+        provisional.nodes = subtask.chunk_nodes;
+        provisional.outputs = subtask.outputs;
+        provisional.input_keys = fetched_keys;
+        provisional.session = session_id;
+        meta_->PutLineage(node->key, provisional);
+      }
       Status st = op->Execute(ctx);
       if (!st.ok()) {
         release_all();
         return st.WithContext(op->type_name());
       }
       if (op->is_shuffle_map()) {
+        if (ctx.shuffle_sink != nullptr) {
+          // Partitions already streamed out block-by-block mid-kernel; all
+          // that is left is the aggregate meta and the store pass, charged
+          // on the logical bytes just as the eager path does.
+          store_us += sink.memory_bytes / kStoreBytesPerUs;
+          services::ChunkMeta m;
+          m.rows = sink.rows;
+          m.nbytes = sink.memory_bytes;
+          m.band = band;
+          meta_->Put(node->key, m);
+          shuffle_map_nodes.push_back(node);
+          node->executed = true;
+          continue;
+        }
         int64_t total_rows = 0, total_bytes = 0;
         for (const auto& [p, data] : ctx.shuffle_outputs) {
           const std::string part_key = node->key + "@" + std::to_string(p);
@@ -337,6 +436,24 @@ Status Executor::RunSubtask(graph::Subtask& subtask, int64_t uid,
 
 void Executor::RollbackSubtask(graph::Subtask& subtask, bool tombstone) {
   for (graph::ChunkNode* node : subtask.chunk_nodes) {
+    // In-flight exchange streams (DESIGN.md §11): a mapper that failed
+    // mid-partition has published sealed blocks without ever flipping
+    // `executed`, and early-dispatched reducers may be reading them right
+    // now. Sweep its whole "@" namespace with tombstones regardless of the
+    // rollback flavour — a concurrent consumer must see recoverable
+    // kChunkLost, never fatal kKeyError, and the retried mapper
+    // re-publishes byte-identical blocks over the tombstones. Seal records
+    // stay: the deterministic re-run reseals the same ranges, and deleting
+    // them would turn a concurrent FetchPartition into kKeyError.
+    if (exchange_->enabled()) {
+      const auto* op = dynamic_cast<const operators::ChunkOp*>(node->op.get());
+      if (op != nullptr && op->is_shuffle_map()) {
+        storage_->DropByPrefix(node->key + "@");
+        meta_->Delete(node->key);
+        node->executed = false;
+        continue;
+      }
+    }
     if (!node->executed) continue;
     if (tombstone) {
       // Recovery-path rollback: the keys being torn down may have live
@@ -412,6 +529,11 @@ Status Executor::RecoverLostChunk(const std::string& key, int band,
   return out;
 }
 
+bool Executor::InputAvailable(const std::string& key) const {
+  if (storage_->Has(key)) return true;
+  return exchange_->enabled() && exchange_->PartitionIntact(key);
+}
+
 Status Executor::RecoverKey(const std::string& key, int band, int depth,
                             int64_t* sim_us) {
   if (depth > config_.max_recovery_depth) {
@@ -427,9 +549,11 @@ Status Executor::RecoverKey(const std::string& key, int band, int depth,
   }
   // Rebuild the minimal recomputation subgraph: recursively recover every
   // external input of the producing group that is itself gone, then re-run
-  // the whole group (its interior nodes were never persisted).
+  // the whole group (its interior nodes were never persisted). Inputs that
+  // arrive through the exchange ("<mapper>@<p>") count as available when
+  // sealed with every block readable.
   for (const std::string& in : lineage->input_keys) {
-    if (!storage_->Has(in)) {
+    if (!InputAvailable(in)) {
       XORBITS_RETURN_NOT_OK(RecoverKey(in, band, depth + 1, sim_us));
     }
   }
@@ -500,6 +624,14 @@ Status Executor::RecoverKey(const std::string& key, int band, int depth,
   *sim_us += recompute.sim_us;
   metrics_->chunks_recovered +=
       static_cast<int64_t>(lineage->outputs.size());
+  // Block-range lineage at work: a lost exchange block re-ran only its
+  // producing mapper group, whose deterministic re-emission resealed the
+  // same block range with identical bytes.
+  if (key.find('#') != std::string::npos &&
+      key.find('@') != std::string::npos) {
+    common::ExchangeStats::Get().shuffle_blocks_recovered.fetch_add(
+        1, std::memory_order_relaxed);
+  }
   XORBITS_LOG(Info) << "recovered chunk " << base << " on band " << band
                     << " (group of " << lineage->nodes.size()
                     << ", depth " << depth << ")";
@@ -546,7 +678,32 @@ void Executor::EnqueueLocked(RunState* state, int task_id) {
     st.band = target;
     for (graph::ChunkNode* n : st.chunk_nodes) n->band = target;
   }
+  if (!state->enqueued.empty()) state->enqueued[task_id] = 1;
   state->band_queues[st.band].push_back(task_id);
+}
+
+void Executor::OnPartitionSealed(const std::string& partition_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool woke = false;
+  for (RunState* state : runs_) {
+    if (!state->pipelined) continue;
+    auto it = state->seal_waiters.find(partition_key);
+    if (it == state->seal_waiters.end()) continue;
+    for (int id : it->second) {
+      // Early dispatch: every input partition sealed and every ordinary
+      // predecessor done — runnable while its mappers' subtasks are still
+      // executing. `enqueued` keeps the later indegree-zero path from
+      // dispatching it a second time.
+      if (--state->ex_wait[id] == 0 && state->nonex_left[id] == 0 &&
+          !state->enqueued[id]) {
+        EnqueueLocked(state, id);
+        woke = true;
+      }
+    }
+    // Re-seals after a mapper retry find no waiters and no-op.
+    state->seal_waiters.erase(it);
+  }
+  if (woke) cv_.notify_all();
 }
 
 void Executor::KillBandLocked(int band) {
@@ -685,7 +842,17 @@ void Executor::BandWorkerLoop(int band) {
     if (result.ok()) {
       state->remaining--;
       for (int succ : st.succs) {
-        if (--state->indegree[succ] == 0) EnqueueLocked(state, succ);
+        if (state->pipelined &&
+            state->ex_preds[succ].count(task_id) == 0) {
+          state->nonex_left[succ]--;
+        }
+        const bool ready =
+            --state->indegree[succ] == 0 ||
+            (state->pipelined && state->ex_wait[succ] == 0 &&
+             state->nonex_left[succ] == 0);
+        if (ready && (state->enqueued.empty() || !state->enqueued[succ])) {
+          EnqueueLocked(state, succ);
+        }
       }
       ProcessDueFaultsLocked(++completed_subtasks_);
     } else if (result.IsRetryable() &&
@@ -785,6 +952,77 @@ Status Executor::Run(graph::SubtaskGraph* st_graph,
     state.indegree[st.id] = static_cast<int>(st.preds.size());
   }
 
+  // Pipelined exchange dispatch setup (DESIGN.md §11): classify, per
+  // subtask, which inputs arrive as exchange partitions ("<base>@<p>") and
+  // which predecessors feed it through ordinary stored chunks, so a reducer
+  // dispatches the moment its last input partition seals instead of waiting
+  // for whole mapper subtasks. Computed before the run is published in
+  // runs_, so the seal listener can never observe a half-built table.
+  const size_t n_subtasks = st_graph->subtasks.size();
+  state.pipelined = exchange_->enabled();
+  state.enqueued.assign(n_subtasks, 0);
+  if (state.pipelined) {
+    state.ex_wait.assign(n_subtasks, 0);
+    state.nonex_left.assign(n_subtasks, 0);
+    state.ex_preds.assign(n_subtasks, {});
+    for (graph::Subtask& st : st_graph->subtasks) {
+      std::unordered_set<std::string> own;  // keys produced inside
+      for (const graph::ChunkNode* node : st.chunk_nodes) {
+        own.insert(node->key);
+      }
+      std::unordered_set<std::string> part_keys;   // "<base>@<p>" inputs
+      std::unordered_set<std::string> part_bases;  // their mapper keys
+      std::unordered_set<std::string> plain_keys;  // ordinary inputs
+      for (const graph::ChunkNode* node : st.chunk_nodes) {
+        const auto* op = dynamic_cast<const ChunkOp*>(node->op.get());
+        if (op == nullptr) continue;
+        for (const std::string& k : op->InputKeys(*node)) {
+          if (own.count(k)) continue;  // fused-internal edge
+          const auto at = k.rfind('@');
+          if (at != std::string::npos) {
+            const std::string base = k.substr(0, at);
+            if (own.count(base)) continue;  // in-subtask mapper
+            part_keys.insert(k);
+            part_bases.insert(base);
+          } else {
+            plain_keys.insert(k);
+          }
+        }
+      }
+      // A predecessor is exchange-only when none of its nodes feed this
+      // subtask directly and at least one is a mapper it consumes; its
+      // completion then carries no dispatch information beyond the seals.
+      // Anything ambiguous stays a direct predecessor (correct, just not
+      // early).
+      int nonex = 0;
+      for (int p : st.preds) {
+        bool direct = false;
+        bool via_exchange = false;
+        for (const graph::ChunkNode* pn :
+             st_graph->subtasks[p].chunk_nodes) {
+          if (plain_keys.count(pn->key)) {
+            direct = true;
+            break;
+          }
+          if (part_bases.count(pn->key)) via_exchange = true;
+        }
+        if (!direct && via_exchange) {
+          state.ex_preds[st.id].insert(p);
+        } else {
+          nonex++;
+        }
+      }
+      state.nonex_left[st.id] = nonex;
+      int waits = 0;
+      for (const std::string& k : part_keys) {
+        if (exchange_->IsSealed(k)) continue;  // from an earlier partial run
+        waits++;
+        state.seal_waiters[k].push_back(st.id);
+      }
+      state.ex_wait[st.id] = waits;
+    }
+  }
+
   Status out = Status::OK();
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -801,7 +1039,13 @@ Status Executor::Run(graph::SubtaskGraph* st_graph,
     }
     state.vwork = min_vwork;
     for (const graph::Subtask& st : st_graph->subtasks) {
-      if (st.preds.empty()) EnqueueLocked(&state, st.id);
+      // Roots; plus, under the pipelined exchange, subtasks whose whole
+      // input set is already-sealed partitions from an earlier partial run.
+      const bool ready =
+          st.preds.empty() ||
+          (state.pipelined && state.ex_wait[st.id] == 0 &&
+           state.nonex_left[st.id] == 0);
+      if (ready && !state.enqueued[st.id]) EnqueueLocked(&state, st.id);
     }
     // Kill/loss events scheduled at or before the current completion count
     // (e.g. "kill band 1 at step 0") fire before dispatch.

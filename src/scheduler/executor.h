@@ -15,6 +15,7 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "graph/graph.h"
+#include "services/exchange_service.h"
 #include "services/meta_service.h"
 #include "services/storage_service.h"
 
@@ -115,6 +116,12 @@ class Executor {
     result_cache_ = cache;
   }
 
+  /// The pipelined block exchange this executor owns (DESIGN.md §11).
+  /// Exposed for tests and benches that inspect seals or fetch partitions
+  /// directly; disabled (and bypassed) when Config::pipelined_shuffle is
+  /// off.
+  services::ExchangeService* exchange() { return exchange_.get(); }
+
  private:
   struct RunState;
 
@@ -165,6 +172,14 @@ class Executor {
   /// Queues `task_id`, re-placing it first if its band is dead. Holds mu_.
   void EnqueueLocked(RunState* state, int task_id);
 
+  /// Exchange seal listener (DESIGN.md §11): a partition's block stream
+  /// sealed mid-subtask; decrement every waiting reducer's outstanding
+  /// seal count and enqueue the ones that just became runnable. Takes mu_.
+  void OnPartitionSealed(const std::string& partition_key);
+  /// True when `key` can be read right now: present in storage, or a
+  /// sealed exchange partition with every block still readable.
+  bool InputAvailable(const std::string& key) const;
+
   int64_t BackoffMs(int attempt) const;
 
   const Config& config_;
@@ -172,6 +187,9 @@ class Executor {
   services::StorageService* storage_;
   services::MetaService* meta_;
   services::ResultCache* result_cache_ = nullptr;
+  /// Streaming shuffle path between mappers and reducers; constructed by
+  /// the executor (no caller ripple) over its own storage + meta services.
+  std::unique_ptr<services::ExchangeService> exchange_;
   FaultInjector injector_;
 
   // One kernel pool per simulated worker node, shared by its bands

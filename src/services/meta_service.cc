@@ -64,6 +64,13 @@ void MetaService::DeleteByPrefix(const std::string& prefix) {
       ++it;
     }
   }
+  for (auto it = block_ranges_.begin(); it != block_ranges_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      it = block_ranges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   UpdateGaugesLocked();
 }
 
@@ -76,6 +83,7 @@ void MetaService::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   metas_.clear();
   lineages_.clear();
+  block_ranges_.clear();
   UpdateGaugesLocked();
 }
 
@@ -114,6 +122,44 @@ void MetaService::DeleteLineageBySession(int64_t session) {
 int64_t MetaService::lineage_size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(lineages_.size());
+}
+
+void MetaService::PutBlockRange(const std::string& partition_key,
+                                int64_t blocks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  block_ranges_[partition_key] = blocks;
+}
+
+Result<int64_t> MetaService::GetBlockRange(
+    const std::string& partition_key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = block_ranges_.find(partition_key);
+  if (it == block_ranges_.end()) {
+    return Status::KeyError("no block range for partition '" + partition_key +
+                            "'");
+  }
+  return it->second;
+}
+
+bool MetaService::HasBlockRange(const std::string& partition_key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return block_ranges_.count(partition_key) > 0;
+}
+
+void MetaService::DeleteBlockRangeByPrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = block_ranges_.begin(); it != block_ranges_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      it = block_ranges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int64_t MetaService::block_range_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(block_ranges_.size());
 }
 
 }  // namespace xorbits::services

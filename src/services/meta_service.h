@@ -80,6 +80,27 @@ class MetaService {
   /// deliberately outside the closing tenant's "s<id>/" namespace.
   void DeleteLineageBySession(int64_t session);
 
+  // --- shuffle block ranges (DESIGN.md §11) ---
+  //
+  // Lineage at block granularity: a sealed record "<mapper>@<p>" -> N says
+  // the exchange published exactly blocks "#0".."#N-1" for that partition.
+  // The record is the reducer's green light (all blocks exist) and the
+  // recovery contract (a lost block re-runs only the producing mapper,
+  // whose deterministic re-emission reseals the same range).
+
+  /// Seals `partition_key` with `blocks` published blocks. Resealing after
+  /// a mapper re-run overwrites (the deterministic recompute publishes the
+  /// same count).
+  void PutBlockRange(const std::string& partition_key, int64_t blocks);
+  /// Number of blocks sealed for `partition_key`; KeyError when unsealed.
+  Result<int64_t> GetBlockRange(const std::string& partition_key) const;
+  /// True once the partition's block stream has sealed.
+  bool HasBlockRange(const std::string& partition_key) const;
+  /// Unseals every partition whose key starts with `prefix` (a mapper being
+  /// rolled back: "<mapper>@" sweeps all its partitions). Missing is fine.
+  void DeleteBlockRangeByPrefix(const std::string& prefix);
+  int64_t block_range_size() const;
+
  private:
   /// Pushes current map sizes into the bound gauges. Caller holds mu_.
   void UpdateGaugesLocked();
@@ -87,6 +108,8 @@ class MetaService {
   mutable std::mutex mu_;
   std::unordered_map<std::string, ChunkMeta> metas_;
   std::unordered_map<std::string, ChunkLineage> lineages_;
+  /// Sealed shuffle partitions: "<mapper>@<p>" -> block count.
+  std::unordered_map<std::string, int64_t> block_ranges_;
   Gauge* meta_entries_ = nullptr;     // bound via BindObservability
   Gauge* lineage_entries_ = nullptr;
 };

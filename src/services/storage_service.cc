@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/exchange_stats.h"
 #include "common/logging.h"
 #include "common/trace_names.h"
 #include "common/tracing.h"
@@ -100,13 +101,13 @@ Status StorageService::EnsureSessionQuotaLocked(
   // data. Co-tenants' chunks are never touched on this path — a session
   // can only be slowed (spill round-trips) or failed by its own footprint.
   while (session_bytes_[session_id] + incoming > session_quota_) {
-    if (!enable_spill_) {
-      metrics_->oom_events++;
-      return Status::QuotaExceeded(quota_detail("spill disabled"));
-    }
-    Status s = SpillSessionOneLocked(session_id, incoming_key);
+    Status s = SpillSessionOneLocked(session_id, incoming_key,
+                                     /*forced_only=*/!enable_spill_);
     if (!s.ok()) {
       metrics_->oom_events++;
+      if (!enable_spill_) {
+        return Status::QuotaExceeded(quota_detail("spill disabled"));
+      }
       return Status::QuotaExceeded(
           quota_detail("cannot spill: " + s.message()));
     }
@@ -164,7 +165,7 @@ void StorageService::ReleaseReplicasLocked(const Entry& e) {
 }
 
 Status StorageService::Put(const std::string& key, ChunkDataPtr data,
-                           int band) {
+                           int band, bool force_spillable) {
   if (!data) return Status::Invalid("Put of null chunk: " + key);
   if (band < 0 || band >= num_bands_) {
     return Status::Invalid("Put on bad band " + std::to_string(band));
@@ -181,6 +182,7 @@ Status StorageService::Put(const std::string& key, ChunkDataPtr data,
   e.band = band;
   e.lru_tick = ++tick_;
   e.session = SessionOfKey(key);
+  e.force_spillable = force_spillable;
   FillAccounting(&e, *data);
   e.data = std::move(data);
   const int64_t bytes = e.nbytes;
@@ -495,13 +497,15 @@ Status StorageService::EnsureCapacityLocked(int band, int64_t bytes) {
     return Status::OutOfMemory(oom_detail("chunk exceeds whole band budget"));
   }
   while (band_used_[band] + bytes > band_limit_) {
-    if (!enable_spill_) {
-      metrics_->oom_events++;
-      return Status::OutOfMemory(oom_detail("over budget (spill disabled)"));
-    }
-    Status s = SpillOneLocked(band);
+    // With spill disabled only force-spillable entries (exchange blocks)
+    // may leave memory; when none remain this is a genuine OOM.
+    Status s = SpillOneLocked(band, /*forced_only=*/!enable_spill_);
     if (!s.ok()) {
       metrics_->oom_events++;
+      if (!enable_spill_) {
+        return Status::OutOfMemory(
+            oom_detail("over budget (spill disabled)"));
+      }
       return Status::OutOfMemory(
           oom_detail("over budget and cannot spill (" + s.message() + ")"));
     }
@@ -529,14 +533,13 @@ Status StorageService::EnsureEntryCapacityLocked(int band, const Entry& e) {
         oom_detail("chunk exceeds whole band budget", delta));
   }
   while (band_used_[band] + delta > band_limit_) {
-    if (!enable_spill_) {
-      metrics_->oom_events++;
-      return Status::OutOfMemory(
-          oom_detail("over budget (spill disabled)", delta));
-    }
-    Status s = SpillOneLocked(band);
+    Status s = SpillOneLocked(band, /*forced_only=*/!enable_spill_);
     if (!s.ok()) {
       metrics_->oom_events++;
+      if (!enable_spill_) {
+        return Status::OutOfMemory(
+            oom_detail("over budget (spill disabled)", delta));
+      }
       return Status::OutOfMemory(oom_detail(
           "over budget and cannot spill (" + s.message() + ")", delta));
     }
@@ -547,12 +550,13 @@ Status StorageService::EnsureEntryCapacityLocked(int band, const Entry& e) {
   return Status::OK();
 }
 
-Status StorageService::SpillOneLocked(int band) {
+Status StorageService::SpillOneLocked(int band, bool forced_only) {
   // Pick the least-recently-used in-memory chunk on this band.
   Entry* victim = nullptr;
   std::string victim_key;
   for (auto& [key, e] : entries_) {
     if (e.band != band || e.level != StorageLevel::kMemory) continue;
+    if (forced_only && !e.force_spillable) continue;
     if (!victim || e.lru_tick < victim->lru_tick) {
       victim = &e;
       victim_key = key;
@@ -562,8 +566,32 @@ Status StorageService::SpillOneLocked(int band) {
   return SpillEntryLocked(victim_key, victim);
 }
 
+int64_t StorageService::SpillByPrefix(const std::string& prefix, int band,
+                                      int64_t target_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t spilled = 0;
+  while (spilled < target_bytes) {
+    Entry* victim = nullptr;
+    std::string victim_key;
+    for (auto& [key, e] : entries_) {
+      if (e.band != band || e.level != StorageLevel::kMemory) continue;
+      if (key.compare(0, prefix.size(), prefix) != 0) continue;
+      if (!victim || e.lru_tick < victim->lru_tick) {
+        victim = &e;
+        victim_key = key;
+      }
+    }
+    if (victim == nullptr) break;
+    const int64_t bytes = victim->nbytes;
+    if (!SpillEntryLocked(victim_key, victim).ok()) break;
+    spilled += bytes;
+  }
+  return spilled;
+}
+
 Status StorageService::SpillSessionOneLocked(int64_t session_id,
-                                             const std::string& exclude) {
+                                             const std::string& exclude,
+                                             bool forced_only) {
   // Quota degradation picks from the session's own chunks across all
   // bands: LRU first, never the key currently being stored/faulted back.
   Entry* victim = nullptr;
@@ -572,6 +600,7 @@ Status StorageService::SpillSessionOneLocked(int64_t session_id,
     if (e.session != session_id || e.level != StorageLevel::kMemory) {
       continue;
     }
+    if (forced_only && !e.force_spillable) continue;
     if (key == exclude) continue;
     if (!victim || e.lru_tick < victim->lru_tick) {
       victim = &e;
@@ -588,6 +617,13 @@ Status StorageService::SpillSessionOneLocked(int64_t session_id,
 Status StorageService::SpillEntryLocked(const std::string& key,
                                         Entry* victim) {
   XORBITS_ASSIGN_OR_RETURN(std::string buf, SerializeChunk(*victim->data));
+  // Lazily created: force-spillable entries (exchange blocks) can spill
+  // even when enable_spill is off, in which case the constructor made no
+  // directory. Idempotent and cheap next to the file write.
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(spill_dir_, ec);
+  }
   const std::string path =
       spill_dir_ + "/spill_" + std::to_string(++spill_file_seq_) + ".bin";
   {
@@ -611,6 +647,12 @@ Status StorageService::SpillEntryLocked(const std::string& key,
   victim->data.reset();
   victim->level = StorageLevel::kDisk;
   victim->spill_path = path;
+  if (victim->force_spillable) {
+    // Only exchange blocks are force-spillable; count every one that
+    // leaves memory, whether backpressure or band capacity pushed it out.
+    common::ExchangeStats::Get().shuffle_blocks_spilled.fetch_add(
+        1, std::memory_order_relaxed);
+  }
   XORBITS_LOG(Debug) << "spilled " << key << " (" << victim->nbytes
                      << " bytes) from band " << band;
   return Status::OK();

@@ -43,7 +43,20 @@ class StorageService {
 
   /// Stores `data` on `band`. Fails with OutOfMemory when the band budget is
   /// exhausted and spill is disabled (or disk cannot absorb the overflow).
-  Status Put(const std::string& key, ChunkDataPtr data, int band);
+  /// `force_spillable` marks the entry as evictable to disk even when
+  /// Config::enable_spill is off — exchange shuffle blocks use this so a
+  /// band under pressure pushes cold blocks out instead of OOMing, which is
+  /// what moves the OOM frontier (DESIGN.md §11).
+  Status Put(const std::string& key, ChunkDataPtr data, int band,
+             bool force_spillable = false);
+
+  /// Spills in-memory chunks whose key starts with `prefix` on `band`,
+  /// coldest (LRU) first, until at least `target_bytes` have left memory or
+  /// nothing matching remains. Exchange flow control: a producer near the
+  /// band watermark pushes its *own* cold blocks to disk before adding a
+  /// new one. Returns the logical bytes spilled (0 = nothing eligible).
+  int64_t SpillByPrefix(const std::string& prefix, int band,
+                        int64_t target_bytes);
 
   /// Fetches a chunk; `requesting_band` meters cross-band transfer and
   /// faults spilled chunks back into memory. A band pays the transfer only
@@ -130,6 +143,9 @@ class StorageService {
     std::vector<int> replicas;
     /// Owning session parsed from the key prefix (-1 = un-namespaced).
     int64_t session = -1;
+    /// May be spilled even when Config::enable_spill is off (exchange
+    /// shuffle blocks).
+    bool force_spillable = false;
   };
 
   /// One shared buffer held on a band: budget bytes + chunk refcount.
@@ -158,7 +174,9 @@ class StorageService {
   /// spill, since evicting a chunk that shares buffers with `e` shrinks
   /// what `e` still needs. Caller holds mu_.
   Status EnsureEntryCapacityLocked(int band, const Entry& e);
-  Status SpillOneLocked(int band);
+  /// `forced_only` restricts victims to force-spillable entries — the only
+  /// ones allowed to leave memory when Config::enable_spill is off.
+  Status SpillOneLocked(int band, bool forced_only = false);
   /// Spills `victim` (an in-memory entry) to disk: uncharges its band,
   /// decrements its session's in-memory bytes, meters spill counters.
   Status SpillEntryLocked(const std::string& key, Entry* victim);
@@ -166,7 +184,8 @@ class StorageService {
   /// skipping `exclude`. Quota degradation step: the tenant pays with its
   /// own cold data before it is failed. Caller holds mu_.
   Status SpillSessionOneLocked(int64_t session_id,
-                               const std::string& exclude);
+                               const std::string& exclude,
+                               bool forced_only = false);
   /// Adjusts the session's in-memory byte accounting + gauge (no-op for
   /// session -1). Caller holds mu_.
   void AddSessionBytesLocked(int64_t session_id, int64_t delta);

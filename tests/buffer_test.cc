@@ -121,6 +121,51 @@ TEST(BufferViewTest, UniqueViewAndBufferBytes) {
   EXPECT_EQ(bufs[0].second, 100 * 8);
 }
 
+TEST(BufferViewTest, AppendIsAmortizedConstant) {
+  // Exchange block assembly and packed-code decode build views out of many
+  // single-element appends; geometric capacity doubling must keep total
+  // allocation linear. Per-element growth (reserve exactly n+1 each call)
+  // would allocate ~N^2/2 bytes here — hundreds of gigabytes — so a linear
+  // bound with modest slack separates the two regimes decisively.
+  constexpr int64_t kN = 1 << 20;
+  BufferView<int64_t> v;
+  v.MutableVec();  // materialize the empty buffer outside the window
+  const int64_t before = g_alloc_bytes.load(std::memory_order_relaxed);
+  for (int64_t i = 0; i < kN; ++i) v.AppendValue(i);
+  const int64_t grown = g_alloc_bytes.load(std::memory_order_relaxed) - before;
+  ASSERT_EQ(v.ssize(), kN);
+  EXPECT_EQ(v[kN - 1], kN - 1);
+  // Doubling from 16 up to 2^20 allocates at most 16+32+...+2^20 < 2*2^20
+  // elements; allow 4x for allocator rounding and bookkeeping.
+  EXPECT_LT(grown, 4 * kN * static_cast<int64_t>(sizeof(int64_t)));
+
+  // A shared view pays exactly one CoW copy, then keeps growing in place.
+  BufferView<int64_t> shared = v;
+  const int64_t cow_before =
+      common::BufferStats::Get().cow_copies.load(std::memory_order_relaxed);
+  for (int64_t i = 0; i < 1000; ++i) shared.AppendValue(i);
+  EXPECT_EQ(
+      common::BufferStats::Get().cow_copies.load(std::memory_order_relaxed) -
+          cow_before,
+      1);
+  EXPECT_EQ(v.ssize(), kN);  // original untouched
+  EXPECT_EQ(shared.ssize(), kN + 1000);
+}
+
+TEST(BufferViewTest, ReservePresizesAndAppendHonorsIt) {
+  constexpr int64_t kN = 1 << 16;
+  BufferView<int64_t> v;
+  v.Reserve(kN);
+  const int64_t before = g_alloc_bytes.load(std::memory_order_relaxed);
+  for (int64_t i = 0; i < kN; ++i) v.AppendValue(i);
+  const int64_t grown = g_alloc_bytes.load(std::memory_order_relaxed) - before;
+  // Capacity was pre-sized: the append loop itself allocates nothing.
+  EXPECT_LT(grown, kBookkeeping);
+  ASSERT_EQ(v.ssize(), kN);
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[kN - 1], kN - 1);
+}
+
 // --- Column / NDArray zero-copy paths -------------------------------------
 
 TEST(BufferSharingTest, ColumnSliceAllocatesNoValueData) {

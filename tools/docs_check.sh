@@ -72,7 +72,8 @@ done
 # gauge name (e.g. `cow_copies` as `buffer_cow_copies`).
 for stats_h in "$root/src/common/buffer.h" \
                "$root/src/common/kernel_stats.h" \
-               "$root/src/common/late_stats.h"; do
+               "$root/src/common/late_stats.h" \
+               "$root/src/common/exchange_stats.h"; do
   [ -f "$stats_h" ] || continue
   stats=$(sed -n \
     's/^ *std::atomic<int64_t> \([a-z_][a-z0-9_]*[a-z0-9]\){0};.*/\1/p' \
